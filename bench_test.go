@@ -1,0 +1,230 @@
+package securecache_test
+
+// One benchmark per table/figure of the paper's evaluation (§IV), at
+// scaled-down parameters so `go test -bench=.` completes quickly; the
+// secexperiments binary runs the same drivers at paper size. Each bench
+// reports the figure's headline statistic as custom metrics so the shape
+// of the result is visible straight from the benchmark output.
+//
+// Microbenches for the hot paths (hashing, sampling, allocation, cache
+// ops, wire codec) live next to their packages.
+
+import (
+	"testing"
+
+	"securecache/internal/experiments"
+	"securecache/internal/kvstore"
+	"securecache/internal/sim"
+	"securecache/internal/workload"
+)
+
+// benchConfig returns the scaled-down experiment configuration used by
+// every figure benchmark.
+func benchConfig() experiments.Config {
+	cfg := experiments.Small()
+	cfg.Runs = 20
+	return cfg
+}
+
+func runFigure(b *testing.B, run func(experiments.Config) (*sim.Table, error)) *sim.Table {
+	b.Helper()
+	var tbl *sim.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = run(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// BenchmarkFig3a regenerates Figure 3(a): normalized max load vs queried
+// keys with a small cache. Reported metrics: the gain at the adversary's
+// optimum (x = c+1) and at the far end (x = m).
+func BenchmarkFig3a(b *testing.B) {
+	tbl := runFigure(b, experiments.Fig3a)
+	gains := tbl.Column("max_gain")
+	b.ReportMetric(gains[0], "gain@x=c+1")
+	b.ReportMetric(gains[len(gains)-1], "gain@x=m")
+}
+
+// BenchmarkFig3b regenerates Figure 3(b): same sweep with a large cache.
+// The gain must stay at or below ~1 across the sweep.
+func BenchmarkFig3b(b *testing.B) {
+	tbl := runFigure(b, experiments.Fig3b)
+	gains := tbl.Column("max_gain")
+	maxGain := gains[0]
+	for _, g := range gains {
+		if g > maxGain {
+			maxGain = g
+		}
+	}
+	b.ReportMetric(maxGain, "max-gain-any-x")
+}
+
+// BenchmarkFig4 regenerates Figure 4: normalized max load vs cluster size
+// under uniform, Zipf(1.01), and adversarial patterns.
+func BenchmarkFig4(b *testing.B) {
+	tbl := runFigure(b, experiments.Fig4)
+	last := tbl.Rows() - 1
+	b.ReportMetric(tbl.Row(last)[1], "uniform@max-n")
+	b.ReportMetric(tbl.Row(last)[2], "zipf@max-n")
+	b.ReportMetric(tbl.Row(last)[3], "adversarial@max-n")
+}
+
+// BenchmarkFig5a regenerates Figure 5(a): best achievable gain vs cache
+// size; the reported metrics bracket the critical point.
+func BenchmarkFig5a(b *testing.B) {
+	tbl := runFigure(b, experiments.Fig5a)
+	gains := tbl.Column("best_gain")
+	b.ReportMetric(gains[0], "gain@min-c")
+	b.ReportMetric(gains[len(gains)-1], "gain@max-c")
+}
+
+// BenchmarkFig5b regenerates Figure 5(b): the number of keys the best
+// adversary queries vs cache size (c+1 below the critical point, m
+// above).
+func BenchmarkFig5b(b *testing.B) {
+	tbl := runFigure(b, experiments.Fig5b)
+	xs := tbl.Column("best_x")
+	b.ReportMetric(xs[0], "x@min-c")
+	b.ReportMetric(xs[len(xs)-1], "x@max-c")
+}
+
+// BenchmarkAblationReplication sweeps the replication factor (beyond the
+// paper): required cache size c* vs d.
+func BenchmarkAblationReplication(b *testing.B) {
+	tbl := runFigure(b, func(cfg experiments.Config) (*sim.Table, error) {
+		return experiments.ReplicationSweep(cfg, nil)
+	})
+	req := tbl.Column("required_c")
+	b.ReportMetric(req[0], "c*@d=2")
+	b.ReportMetric(req[len(req)-1], "c*@d=5")
+}
+
+// BenchmarkAblationPolicy compares replica-selection policies under
+// attack.
+func BenchmarkAblationPolicy(b *testing.B) {
+	tbl := runFigure(b, experiments.PolicyAblation)
+	gains := tbl.Column("max_gain")
+	b.ReportMetric(gains[0], "gain-least-loaded")
+	b.ReportMetric(gains[1], "gain-random")
+	b.ReportMetric(gains[2], "gain-split")
+}
+
+// BenchmarkAblationPartitioner compares partitioning schemes under
+// attack.
+func BenchmarkAblationPartitioner(b *testing.B) {
+	tbl := runFigure(b, experiments.PartitionerAblation)
+	gains := tbl.Column("max_gain")
+	b.ReportMetric(gains[0], "gain-hash")
+	b.ReportMetric(gains[1], "gain-ring")
+	b.ReportMetric(gains[2], "gain-rendezvous")
+}
+
+// BenchmarkAblationCachePolicy compares practical cache policies against
+// the perfect-cache assumption under attack.
+func BenchmarkAblationCachePolicy(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Runs = 5
+	var tbl *sim.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = experiments.CachePolicyAblation(cfg, 50000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	hit := tbl.Column("mean_hit_ratio")
+	b.ReportMetric(hit[0], "hit-perfect")
+	b.ReportMetric(hit[2], "hit-lfu")
+}
+
+// BenchmarkLatencyUnderAttack runs the queueing-simulation experiment:
+// p99 latency and drop rate of the optimal attack under no / small /
+// provisioned caches.
+func BenchmarkLatencyUnderAttack(b *testing.B) {
+	cfg := benchConfig()
+	var tbl *sim.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = experiments.LatencyUnderAttack(cfg, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	drops := tbl.Column("drop_rate")
+	b.ReportMetric(drops[1], "droprate-small-cache")
+	b.ReportMetric(drops[2], "droprate-provisioned")
+}
+
+// BenchmarkCalibrateK measures the empirical balls-into-bins gap used to
+// fit the bound constant k.
+func BenchmarkCalibrateK(b *testing.B) {
+	var res experiments.FitResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.FitK(1000, 3, 100, 10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.KFitMean, "k-fit-mean")
+	b.ReportMetric(res.GapTheory, "k-theory")
+}
+
+// BenchmarkBaselineComparison computes the cache requirement of the Fan
+// et al. single-choice baseline next to the replicated c* — the paper's
+// asymptotic improvement (n·ln n vs n·ln ln n / ln d).
+func BenchmarkBaselineComparison(b *testing.B) {
+	tbl := runFigure(b, func(cfg experiments.Config) (*sim.Table, error) {
+		return experiments.ReplicationBenefit(cfg, nil)
+	})
+	req := tbl.Column("required_c")
+	b.ReportMetric(req[0], "c-single-choice")
+	b.ReportMetric(req[2], "c-replicated-d3")
+}
+
+// BenchmarkAblationAdaptive runs the adaptive-attacker ablation: static
+// vs cyclic attacks against each cache policy.
+func BenchmarkAblationAdaptive(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Runs = 3
+	var tbl *sim.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = experiments.AdaptiveAttackAblation(cfg, 30000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tbl.Column("static_max_load")[1], "lru-static")
+	b.ReportMetric(tbl.Column("cyclic_max_load")[1], "lru-cyclic")
+}
+
+// BenchmarkLiveClusterAttack measures end-to-end attack throughput
+// against the real TCP kvstore with a provisioned cache (the paper's
+// architecture in deployment form).
+func BenchmarkLiveClusterAttack(b *testing.B) {
+	lc, err := kvstore.StartLocalCluster(kvstore.LocalConfig{
+		Nodes: 4, Replication: 2, PartitionSeed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+	dist := workload.NewAdversarial(1000, 17, 0)
+	gen := workload.NewGenerator(dist, 3)
+	for k := 0; k < 17; k++ {
+		if err := lc.Frontend.Set(workload.KeyName(k), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lc.Frontend.Get(workload.KeyName(gen.Next())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command kvfront runs the front-end server: the component that owns the
+// secret partition mapping and the popularity-based cache, and forwards
+// misses to the back-end replica groups.
+//
+// The -cache-size flag is where the paper's result becomes operational:
+// size it with secbound (c* = ceil(n·k + 1)) and no adversarial client
+// can push any backend above the even share.
+//
+// Usage:
+//
+//	kvfront -listen 127.0.0.1:7000 \
+//	        -backends 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+//	        -replication 2 -cache lfu -cache-size 16 -seed 0xsecret
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"securecache/internal/cache"
+	"securecache/internal/core"
+	"securecache/internal/kvstore"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7000", "listen address")
+		backends  = flag.String("backends", "", "comma-separated backend addresses (node order matters)")
+		repl      = flag.Int("replication", 3, "replication factor d")
+		seed      = flag.Uint64("seed", 0, "SECRET partition seed (keep it out of client hands)")
+		cacheKind = flag.String("cache", "lfu", "cache policy: lru | lfu | slru | tinylfu | arc | none")
+		cacheSize = flag.Int("cache-size", 0, "cache entries; 0 = auto-provision c* from n and d")
+		selection = flag.String("selection", "least-inflight", "replica selection: least-inflight | random | round-robin")
+		admin     = flag.String("admin", "", "optional HTTP admin address (/healthz, /metrics, /info)")
+	)
+	flag.Parse()
+
+	addrs := splitNonEmpty(*backends)
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "kvfront: -backends is required")
+		os.Exit(2)
+	}
+
+	size := *cacheSize
+	if size == 0 && *cacheKind != "none" {
+		p := core.Params{Nodes: len(addrs), Replication: *repl, Items: 1}
+		if len(addrs) >= 2 && *repl >= 2 {
+			size = p.RequiredCacheSize()
+			log.Printf("kvfront: auto-provisioned cache size c* = %d (n=%d, d=%d)", size, len(addrs), *repl)
+		} else {
+			size = 64
+			log.Printf("kvfront: n or d below the d-choice analysis; defaulting cache to %d entries", size)
+		}
+	}
+
+	var fc cache.Cache
+	if *cacheKind != "none" {
+		var err error
+		fc, err = cache.New(cache.Kind(*cacheKind), size)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvfront:", err)
+			os.Exit(2)
+		}
+	}
+
+	front, err := kvstore.NewFrontend(kvstore.FrontendConfig{
+		BackendAddrs:  addrs,
+		Replication:   *repl,
+		PartitionSeed: *seed,
+		Cache:         fc,
+		Selection:     kvstore.Selection(*selection),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvfront:", err)
+		os.Exit(2)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvfront:", err)
+		os.Exit(2)
+	}
+	log.Printf("kvfront listening on %s, %d backends, d=%d, cache=%s/%d",
+		l.Addr(), len(addrs), *repl, *cacheKind, size)
+
+	if *admin != "" {
+		adminSrv, adminAddr, err := kvstore.StartAdmin(*admin, front.Metrics(), map[string]interface{}{
+			"role": "frontend", "addr": l.Addr().String(),
+			"backends": addrs, "replication": *repl,
+			"cache": *cacheKind, "cache_size": size,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvfront:", err)
+			os.Exit(2)
+		}
+		defer adminSrv.Close()
+		log.Printf("kvfront admin on http://%s", adminAddr)
+	}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("kvfront shutting down")
+		front.Close()
+	}()
+
+	if err := front.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Fatal("kvfront: ", err)
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

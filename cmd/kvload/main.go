@@ -1,0 +1,229 @@
+// Command kvload is the load generator / attacker for a live kvstore
+// deployment: it preloads a key space through the front end, then fires a
+// query stream (uniform, zipf, adversarial, or a recorded trace) from
+// concurrent workers and reports client-side throughput and latency plus
+// per-backend load if backend addresses are given.
+//
+// Usage:
+//
+//	kvload -frontend 127.0.0.1:7000 -m 1000 -workload adversarial -x 17 -queries 100000
+//	kvload -frontend 127.0.0.1:7000 -trace atk.bin -workers 8
+//	kvload -frontend 127.0.0.1:7000 -m 1000 -workload zipf \
+//	       -backends 127.0.0.1:7001,127.0.0.1:7002   # also report per-node loads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"securecache/internal/kvstore"
+	"securecache/internal/stats"
+	"securecache/internal/trace"
+	"securecache/internal/workload"
+)
+
+func main() {
+	var (
+		frontend  = flag.String("frontend", "127.0.0.1:7000", "frontend address")
+		backends  = flag.String("backends", "", "optional comma-separated backend addresses for per-node load")
+		m         = flag.Int("m", 1000, "key-space size")
+		kind      = flag.String("workload", "adversarial", "workload: adversarial | uniform | zipf")
+		x         = flag.Int("x", 0, "adversarial: queried keys (0 = m/10+1)")
+		zipfS     = flag.Float64("zipf-s", 1.01, "zipf exponent")
+		queries   = flag.Int("queries", 100000, "total queries to send")
+		workers   = flag.Int("workers", 4, "concurrent workers")
+		batch     = flag.Int("batch", 1, "keys per request (1 = single GET, >1 = MGET)")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		tracePath = flag.String("trace", "", "replay this trace file instead of sampling")
+		preload   = flag.Bool("preload", true, "SET every key before the run")
+	)
+	flag.Parse()
+
+	keys, err := buildKeys(*tracePath, *kind, *m, *x, *zipfS, *queries, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *preload {
+		if err := preloadKeys(*frontend, keys); err != nil {
+			fatal(err)
+		}
+	}
+
+	before := backendCounts(splitNonEmpty(*backends))
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		lat     stats.Summary
+		p99     = stats.NewP2Quantile(0.99)
+		errors  int
+		perWork = (len(keys) + *workers - 1) / *workers
+	)
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		lo := w * perWork
+		hi := lo + perWork
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(slice []int) {
+			defer wg.Done()
+			client := kvstore.NewClient(*frontend)
+			defer client.Close()
+			var local stats.Summary
+			localP99 := stats.NewP2Quantile(0.99)
+			localErrs := 0
+			step := *batch
+			if step < 1 {
+				step = 1
+			}
+			for lo := 0; lo < len(slice); lo += step {
+				hi := lo + step
+				if hi > len(slice) {
+					hi = len(slice)
+				}
+				t0 := time.Now()
+				var err error
+				if step == 1 {
+					_, err = client.Get(workload.KeyName(slice[lo]))
+				} else {
+					names := make([]string, hi-lo)
+					for j, k := range slice[lo:hi] {
+						names[j] = workload.KeyName(k)
+					}
+					_, err = client.MGet(names)
+				}
+				us := float64(time.Since(t0).Microseconds())
+				if err != nil && err != kvstore.ErrNotFound {
+					localErrs++
+					continue
+				}
+				// Record one latency sample per request (batched or not).
+				local.Add(us)
+				localP99.Add(us)
+			}
+			mu.Lock()
+			lat.Merge(local)
+			if localP99.N() > 0 {
+				p99.Add(localP99.Value()) // approximate merge: p99 of worker p99s
+			}
+			errors += localErrs
+			mu.Unlock()
+		}(keys[lo:hi])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	queriesSent := float64(lat.N()) * float64(*batch)
+	if *batch <= 1 {
+		queriesSent = float64(lat.N())
+	}
+	fmt.Printf("sent ~%.0f queries in %d requests over %v (%.0f qps, %d workers, batch %d, %d errors)\n",
+		queriesSent, lat.N(), elapsed.Round(time.Millisecond),
+		queriesSent/elapsed.Seconds(), *workers, *batch, errors)
+	fmt.Printf("per-request latency: mean %.0fµs  p99≈%.0fµs  max %.0fµs\n", lat.Mean(), p99.Value(), lat.Max())
+
+	if addrs := splitNonEmpty(*backends); len(addrs) > 0 {
+		after := backendCounts(addrs)
+		fmt.Println("per-backend request deltas:")
+		var total, maxDelta uint64
+		for i := range addrs {
+			delta := after[i] - before[i]
+			total += delta
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+			fmt.Printf("  node %2d (%s): %d\n", i, addrs[i], delta)
+		}
+		if total > 0 {
+			even := float64(total) / float64(len(addrs))
+			fmt.Printf("normalized max backend load: %.3f (hottest %d / even share %.1f)\n",
+				float64(maxDelta)/even, maxDelta, even)
+		} else {
+			fmt.Println("backends saw no traffic (cache absorbed the attack)")
+		}
+	}
+}
+
+func buildKeys(tracePath, kind string, m, x int, zipfS float64, queries int, seed uint64) ([]int, error) {
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return nil, err
+		}
+		return tr.Keys, nil
+	}
+	var dist workload.Distribution
+	switch kind {
+	case "adversarial":
+		if x == 0 {
+			x = m/10 + 1
+		}
+		dist = workload.NewAdversarial(m, x, 0)
+	case "uniform":
+		dist = workload.NewUniform(m, m)
+	case "zipf":
+		dist = workload.NewZipf(m, zipfS)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", kind)
+	}
+	return workload.NewGenerator(dist, seed).Batch(make([]int, 0, queries), queries), nil
+}
+
+func preloadKeys(frontend string, keys []int) error {
+	seen := make(map[int]bool)
+	client := kvstore.NewClient(frontend)
+	defer client.Close()
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if err := client.Set(workload.KeyName(k), []byte("payload")); err != nil {
+			return fmt.Errorf("preload key %d: %w", k, err)
+		}
+	}
+	fmt.Printf("preloaded %d distinct keys\n", len(seen))
+	return nil
+}
+
+func backendCounts(addrs []string) []uint64 {
+	counts := make([]uint64, len(addrs))
+	for i, addr := range addrs {
+		c := kvstore.NewClient(addr)
+		if stats, err := c.Stats(); err == nil {
+			counts[i] = kvstore.StatCounter(stats, "requests_total")
+		}
+		c.Close()
+	}
+	return counts
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kvload:", err)
+	os.Exit(2)
+}

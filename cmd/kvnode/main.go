@@ -1,0 +1,81 @@
+// Command kvnode runs one back-end node of the kvstore: an in-memory
+// replicated-partition storage server speaking the securecache wire
+// protocol.
+//
+// Usage:
+//
+//	kvnode -id 0 -listen 127.0.0.1:7001
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"securecache/internal/kvstore"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "node ID (for logs/stats)")
+		listen   = flag.String("listen", "127.0.0.1:7001", "listen address")
+		admin    = flag.String("admin", "", "optional HTTP admin address (/healthz, /metrics, /info)")
+		snapshot = flag.String("snapshot", "", "snapshot file: restored at startup if present, written on shutdown")
+	)
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvnode:", err)
+		os.Exit(2)
+	}
+	node := kvstore.NewBackend(*id)
+	log.Printf("kvnode %d listening on %s", *id, l.Addr())
+
+	if *snapshot != "" {
+		switch err := node.LoadSnapshot(*snapshot); {
+		case err == nil:
+			log.Printf("kvnode %d restored %d keys from %s", *id, node.Store().Len(), *snapshot)
+		case os.IsNotExist(err):
+			log.Printf("kvnode %d: no snapshot at %s, starting empty", *id, *snapshot)
+		default:
+			fmt.Fprintln(os.Stderr, "kvnode:", err)
+			os.Exit(2)
+		}
+	}
+
+	if *admin != "" {
+		adminSrv, adminAddr, err := kvstore.StartAdmin(*admin, node.Metrics(),
+			map[string]interface{}{"role": "backend", "id": *id, "addr": l.Addr().String()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvnode:", err)
+			os.Exit(2)
+		}
+		defer adminSrv.Close()
+		log.Printf("kvnode %d admin on http://%s", *id, adminAddr)
+	}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("kvnode %d shutting down", *id)
+		if *snapshot != "" {
+			if err := node.SaveSnapshot(*snapshot); err != nil {
+				log.Printf("kvnode %d: snapshot: %v", *id, err)
+			} else {
+				log.Printf("kvnode %d: snapshot saved to %s", *id, *snapshot)
+			}
+		}
+		node.Close()
+	}()
+
+	if err := node.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Fatalf("kvnode %d: %v", *id, err)
+	}
+}

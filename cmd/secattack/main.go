@@ -1,0 +1,110 @@
+// Command secattack drives the adversary model: it reports the optimal
+// strategy for given public parameters, evaluates it empirically against
+// fresh random partitions, and can emit the attack trace for replay
+// against a live cluster (kvload reads it).
+//
+// Usage:
+//
+//	secattack -n 1000 -d 3 -m 100000 -c 200                 # evaluate best attack
+//	secattack -n 1000 -d 3 -m 100000 -c 200 -sweep          # sweep x (Fig. 3 data)
+//	secattack -n 8 -d 3 -m 1000 -c 16 -emit-trace atk.bin -queries 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"securecache/internal/attack"
+	"securecache/internal/trace"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 1000, "number of back-end nodes")
+		d         = flag.Int("d", 3, "replication factor")
+		m         = flag.Int("m", 100000, "number of items stored")
+		c         = flag.Int("c", 200, "front-end cache size")
+		rate      = flag.Float64("rate", 100000, "attack rate R (qps)")
+		runs      = flag.Int("runs", 200, "evaluation runs")
+		seed      = flag.Uint64("seed", 2013, "root seed")
+		k         = flag.Float64("k", 1.2, "bound constant")
+		sweep     = flag.Bool("sweep", false, "sweep x from c+1 to m (Fig. 3 series)")
+		emitTrace = flag.String("emit-trace", "", "write the best-attack query trace to this file")
+		queries   = flag.Int("queries", 100000, "trace length for -emit-trace")
+	)
+	flag.Parse()
+
+	adv := attack.Adversary{Items: *m, Nodes: *n, Replication: *d, CacheSize: *c, KOverride: *k}
+	cfg := attack.EvalConfig{Rate: *rate, Runs: *runs, Seed: *seed}
+
+	p := adv.Params()
+	fmt.Printf("adversary knowledge: m=%d n=%d d=%d c=%d (k=%g)\n", *m, *n, *d, *c, *k)
+	fmt.Printf("  provisioning threshold c* = %d\n", p.RequiredCacheSize())
+	fmt.Printf("  theory-optimal x          = %d\n", adv.BestX())
+
+	if *emitTrace != "" {
+		dist, err := adv.BestDistribution()
+		if err != nil {
+			fatal(err)
+		}
+		tr := trace.Record(dist, *queries, *seed)
+		f, err := os.Create(*emitTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.Write(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  wrote %d-query attack trace to %s\n", *queries, *emitTrace)
+		return
+	}
+
+	if *sweep {
+		xs := sweepPoints(*c+1, *m)
+		tbl, err := adv.SweepX(xs, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(tbl)
+		return
+	}
+
+	res, err := adv.EvaluateBest(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  empirical best x          = %d\n", res.X)
+	fmt.Printf("  achieved gain             : max %s, mean %s\n", res.MaxGain, res.MeanGain)
+}
+
+func sweepPoints(lo, hi int) []int {
+	if lo < 2 {
+		lo = 2
+	}
+	if hi <= lo {
+		return []int{hi}
+	}
+	pts := []int{lo}
+	for v := lo; v < hi; {
+		v = v * 3 / 2
+		if v <= pts[len(pts)-1] {
+			v = pts[len(pts)-1] + 1
+		}
+		if v >= hi {
+			break
+		}
+		pts = append(pts, v)
+	}
+	return append(pts, hi)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "secattack:", err)
+	os.Exit(2)
+}

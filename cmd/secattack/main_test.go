@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestSweepPoints(t *testing.T) {
+	pts := sweepPoints(201, 100000)
+	if pts[0] != 201 || pts[len(pts)-1] != 100000 {
+		t.Errorf("endpoints wrong: %v ... %v", pts[0], pts[len(pts)-1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] <= pts[i-1] {
+			t.Fatalf("not strictly increasing at %d: %v", i, pts)
+		}
+	}
+	if len(pts) < 5 || len(pts) > 40 {
+		t.Errorf("unreasonable point count %d", len(pts))
+	}
+}
+
+func TestSweepPointsEdges(t *testing.T) {
+	if got := sweepPoints(0, 5); got[0] < 2 {
+		t.Errorf("lo not clamped to 2: %v", got)
+	}
+	if got := sweepPoints(10, 10); len(got) != 1 || got[0] != 10 {
+		t.Errorf("degenerate sweep: %v", got)
+	}
+	if got := sweepPoints(10, 5); len(got) != 1 || got[0] != 5 {
+		t.Errorf("inverted sweep: %v", got)
+	}
+}

@@ -1,0 +1,136 @@
+// Command secguard is the operational monitor: it polls the back-end
+// nodes' HTTP admin endpoints (/metrics), computes per-window request
+// deltas, and runs the load-concentration detector from internal/guard —
+// printing a verdict per window and the provisioning recommendation when
+// the cluster is configured below the paper's threshold.
+//
+// Usage:
+//
+//	secguard -admins 127.0.0.1:8001,127.0.0.1:8002,127.0.0.1:8003 \
+//	         -d 3 -m 100000 -c 16 -interval 5s -windows 12
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"securecache/internal/core"
+	"securecache/internal/guard"
+)
+
+func main() {
+	var (
+		admins   = flag.String("admins", "", "comma-separated backend admin addresses (host:port)")
+		d        = flag.Int("d", 3, "replication factor")
+		m        = flag.Int("m", 100000, "number of items stored")
+		c        = flag.Int("c", 0, "front-end cache size")
+		k        = flag.Float64("k", 1.2, "bound constant")
+		interval = flag.Duration("interval", 5*time.Second, "polling interval")
+		windows  = flag.Int("windows", 0, "number of windows to observe (0 = forever)")
+		alert    = flag.Float64("alert", 1.2, "normalized max load alert level")
+		critical = flag.Float64("critical", 2.0, "normalized max load critical level")
+	)
+	flag.Parse()
+
+	addrs := splitNonEmpty(*admins)
+	if len(addrs) < 2 {
+		fmt.Fprintln(os.Stderr, "secguard: need at least two -admins addresses")
+		os.Exit(2)
+	}
+	params := core.Params{
+		Nodes:       len(addrs),
+		Replication: *d,
+		Items:       *m,
+		CacheSize:   *c,
+		KOverride:   *k,
+	}
+	g, err := guard.New(guard.Config{
+		Params:       params,
+		AlertGain:    *alert,
+		CriticalGain: *critical,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secguard:", err)
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: 3 * time.Second}
+	prev, err := pollAll(client, addrs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secguard:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("secguard: watching %d nodes every %v (c=%d, required c*=%d)\n",
+		len(addrs), *interval, *c, params.RequiredCacheSize())
+	for w := 0; *windows == 0 || w < *windows; w++ {
+		time.Sleep(*interval)
+		cur, err := pollAll(client, addrs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secguard: poll:", err)
+			continue
+		}
+		loads := make([]float64, len(addrs))
+		for i := range addrs {
+			if cur[i] >= prev[i] {
+				loads[i] = float64(cur[i] - prev[i])
+			}
+		}
+		prev = cur
+		obs, err := g.Observe(loads)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secguard:", err)
+			continue
+		}
+		fmt.Printf("[%s] %s\n", time.Now().Format(time.TimeOnly), obs)
+	}
+}
+
+// pollAll fetches requests_total from every admin endpoint.
+func pollAll(client *http.Client, addrs []string) ([]uint64, error) {
+	out := make([]uint64, len(addrs))
+	for i, addr := range addrs {
+		v, err := pollOne(client, addr)
+		if err != nil {
+			return nil, fmt.Errorf("node %d (%s): %w", i, addr, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func pollOne(client *http.Client, addr string) (uint64, error) {
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, err
+	}
+	var metrics map[string]interface{}
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		return 0, err
+	}
+	total, _ := metrics["requests_total"].(float64)
+	return uint64(total), nil
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

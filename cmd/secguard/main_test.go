@@ -1,0 +1,88 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPollOne(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"requests_total": 12345, "other": "x"}`))
+	}))
+	defer srv.Close()
+
+	client := &http.Client{Timeout: time.Second}
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	got, err := pollOne(client, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 12345 {
+		t.Errorf("pollOne = %d, want 12345", got)
+	}
+}
+
+func TestPollOneErrors(t *testing.T) {
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	if _, err := pollOne(client, "127.0.0.1:1"); err == nil {
+		t.Error("unreachable endpoint accepted")
+	}
+
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	if _, err := pollOne(client, strings.TrimPrefix(bad.URL, "http://")); err == nil {
+		t.Error("500 response accepted")
+	}
+
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	defer garbage.Close()
+	if _, err := pollOne(client, strings.TrimPrefix(garbage.URL, "http://")); err == nil {
+		t.Error("non-JSON response accepted")
+	}
+}
+
+func TestPollOneMissingCounter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	client := &http.Client{Timeout: time.Second}
+	got, err := pollOne(client, strings.TrimPrefix(srv.URL, "http://"))
+	if err != nil || got != 0 {
+		t.Errorf("missing counter: %d, %v; want 0, nil", got, err)
+	}
+}
+
+func TestPollAllAggregates(t *testing.T) {
+	mk := func(v string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"requests_total": ` + v + `}`))
+		}))
+	}
+	a, b := mk("10"), mk("20")
+	defer a.Close()
+	defer b.Close()
+	client := &http.Client{Timeout: time.Second}
+	got, err := pollAll(client, []string{
+		strings.TrimPrefix(a.URL, "http://"),
+		strings.TrimPrefix(b.URL, "http://"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 10 || got[1] != 20 {
+		t.Errorf("pollAll = %v", got)
+	}
+}

@@ -1,0 +1,60 @@
+// Adversary walkthrough: build the paper's optimal attack distribution
+// step by step (Theorem 1), sweep the number of queried keys, and show
+// where the attack flips from effective to ineffective.
+//
+// Run with:
+//
+//	go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"securecache/internal/attack"
+	"securecache/internal/core"
+)
+
+func main() {
+	const (
+		nodes = 200
+		d     = 3
+		items = 20000
+		cache = 30
+	)
+	adv := attack.Adversary{Items: items, Nodes: nodes, Replication: d, CacheSize: cache, KOverride: 1.2}
+	cfg := attack.EvalConfig{Rate: 50000, Runs: 50, Seed: 7}
+
+	// Theorem 1 in action: start from a lumpy query distribution over 8
+	// keys with a 3-entry cached plateau and watch the load-shifting
+	// steps collapse it to plateau + residual.
+	fmt.Println("== Theorem 1: load shifting toward the optimal pattern ==")
+	probs := []float64{0.2, 0.2, 0.2, 0.15, 0.1, 0.08, 0.05, 0.02}
+	fmt.Printf("start: %v\n", probs)
+	steps := 0
+	for core.Theorem1Step(probs, 3) {
+		steps++
+		fmt.Printf("step %d: %v\n", steps, probs)
+	}
+	x := core.NormalFormX(probs, 3)
+	fmt.Printf("normal form after %d steps: %d positive keys (plateau + residual)\n\n", steps, x)
+
+	// Sweep x against the simulated cluster: the Figure 3 experiment in
+	// miniature.
+	fmt.Println("== sweeping the number of queried keys ==")
+	tbl, err := adv.SweepX([]int{cache + 1, 2 * cache, 10 * cache, 100 * cache, items}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tbl)
+
+	// The dichotomy: where is the flip?
+	p := adv.Params()
+	fmt.Printf("\nprovisioning threshold c* = %d; current cache %d\n", p.RequiredCacheSize(), cache)
+	fmt.Printf("theory-optimal attack: query x = %d keys\n", adv.BestX())
+	res, err := adv.EvaluateBest(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("achieved gain: %s (x = %d)\n", res.MaxGain, res.X)
+}

@@ -1,0 +1,3 @@
+module securecache
+
+go 1.22

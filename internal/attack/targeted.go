@@ -1,0 +1,113 @@
+package attack
+
+import (
+	"fmt"
+
+	"securecache/internal/cluster"
+	"securecache/internal/core"
+	"securecache/internal/partition"
+	"securecache/internal/workload"
+	"securecache/internal/xrand"
+)
+
+// TargetedAdversary models the insider threat the paper's Assumption 1
+// rules out: an attacker who has learned the secret partition mapping
+// (leaked seed, compromised front end, or a store with predictable
+// placement like a range-partitioned column store). Such an attacker does
+// not need to out-guess the cache — it enumerates keys whose replica
+// group contains the victim node and spreads its budget over as many of
+// them as it likes, so the cache absorbs an arbitrarily small fraction.
+//
+// With x victim-mapped keys and a c-entry cache, the victim's gain
+// approaches (n/d)·(1 − c/x) when replicas are chosen per key at random
+// (each targeted key has a 1/d chance of being served by the victim),
+// and the full n·(1 − c/x) when the key→serving-node rule is
+// deterministic and known (the attacker filters for keys the victim
+// serves). Either way the gain grows with n and is unbounded by any
+// cache size: no cache of any size prevents it. This is the quantitative
+// justification for the paper's randomized-mapping requirement (and for
+// excluding BigTable/HBase-style predictable partitioning).
+//
+// Least-loaded selection resists the naive version — the victim's group
+// mates absorb load — but the attacker counters by targeting a whole
+// replica-group set S (keys with group ⊆ S), trapping the load inside
+// |S| nodes; the defense still cannot come from the cache.
+type TargetedAdversary struct {
+	// Part is the leaked partitioner.
+	Part partition.Partitioner
+	// Victim is the node to overload.
+	Victim int
+}
+
+// KeysForVictim enumerates up to limit keys (scanning key IDs from 0)
+// whose replica group contains the victim. On average a fraction d/n of
+// the key space qualifies. It returns an error if the victim is out of
+// range or limit is not positive.
+func (t TargetedAdversary) KeysForVictim(keySpace, limit int) ([]int, error) {
+	if t.Part == nil {
+		return nil, fmt.Errorf("attack: targeted adversary needs the leaked partitioner")
+	}
+	if t.Victim < 0 || t.Victim >= t.Part.Nodes() {
+		return nil, fmt.Errorf("attack: victim %d out of [0, %d)", t.Victim, t.Part.Nodes())
+	}
+	if limit <= 0 || keySpace <= 0 {
+		return nil, fmt.Errorf("attack: KeysForVictim(keySpace=%d, limit=%d)", keySpace, limit)
+	}
+	var keys []int
+	group := make([]int, 0, t.Part.Replicas())
+	for k := 0; k < keySpace && len(keys) < limit; k++ {
+		group = t.Part.GroupAppend(group[:0], uint64(k))
+		for _, node := range group {
+			if node == t.Victim {
+				keys = append(keys, k)
+				break
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("attack: no keys of %d map to victim %d", keySpace, t.Victim)
+	}
+	return keys, nil
+}
+
+// Distribution builds the targeted attack workload: uniform over up to
+// maxKeys victim-mapped keys of the keySpace. With x keys and a front-end
+// cache of c entries the cache can absorb at most c/x of the rate, so
+// picking maxKeys >> c makes the attack cache-proof.
+func (t TargetedAdversary) Distribution(keySpace, maxKeys int) (workload.Distribution, error) {
+	keys, err := t.KeysForVictim(keySpace, maxKeys)
+	if err != nil {
+		return nil, err
+	}
+	probs := make([]float64, keySpace)
+	p := 1 / float64(len(keys))
+	for _, k := range keys {
+		probs[k] = p
+	}
+	return workload.NewPMF(probs), nil
+}
+
+// Evaluate measures the targeted attack against a cluster built on the
+// SAME (leaked) partitioner, with a perfect cache of c entries, under
+// per-key random replica selection (the honest policy for this attack:
+// the victim serves ~1/d of the targeted keys). Because the mapping is
+// fixed, the only randomness left is the replica choice, driven by seed.
+func (t TargetedAdversary) Evaluate(keySpace, maxKeys, cacheSize int,
+	rate float64, seed uint64) (core.AttackGain, error) {
+	dist, err := t.Distribution(keySpace, maxKeys)
+	if err != nil {
+		return 0, err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes:       t.Part.Nodes(),
+		Replication: t.Part.Replicas(),
+		Partitioner: t.Part,
+		Policy:      cluster.PolicyRandomReplica,
+	})
+	if err != nil {
+		return 0, err
+	}
+	cached := cluster.CachedSet(workload.TopC(dist, cacheSize))
+	rep := cl.ApplyLoad(dist, rate, cached, xrand.New(seed))
+	return core.AttackGain(rep.NormalizedMaxLoad()), nil
+}

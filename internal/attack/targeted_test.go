@@ -1,0 +1,112 @@
+package attack
+
+import (
+	"testing"
+
+	"securecache/internal/partition"
+)
+
+func TestKeysForVictim(t *testing.T) {
+	part := partition.NewHash(50, 3, 42)
+	adv := TargetedAdversary{Part: part, Victim: 7}
+	keys, err := adv.KeysForVictim(10000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 200 {
+		t.Fatalf("found %d keys, want 200 (d/n of key space ≈ 600 qualify)", len(keys))
+	}
+	for _, k := range keys {
+		found := false
+		for _, node := range part.Group(uint64(k)) {
+			if node == 7 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("key %d does not map to the victim", k)
+		}
+	}
+}
+
+func TestKeysForVictimValidation(t *testing.T) {
+	part := partition.NewHash(10, 2, 1)
+	cases := []TargetedAdversary{
+		{Part: nil, Victim: 0},
+		{Part: part, Victim: -1},
+		{Part: part, Victim: 10},
+	}
+	for i, adv := range cases {
+		if _, err := adv.KeysForVictim(100, 10); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	good := TargetedAdversary{Part: part, Victim: 0}
+	if _, err := good.KeysForVictim(0, 10); err == nil {
+		t.Error("zero key space accepted")
+	}
+	if _, err := good.KeysForVictim(100, 0); err == nil {
+		t.Error("zero limit accepted")
+	}
+}
+
+func TestTargetedAttackDefeatsAnyCache(t *testing.T) {
+	// The headline negative result: once the mapping leaks, even a cache
+	// far beyond c* cannot protect the victim. n=100, d=3: c* = 121 with
+	// k=1.2; give the defender a luxurious c=500 and watch gain ≈ n/d.
+	const n, d, m = 100, 3, 50000
+	part := partition.NewHash(n, d, 1337) // the leaked secret
+	adv := TargetedAdversary{Part: part, Victim: 13}
+
+	gain, err := adv.Evaluate(m, 1000, 500, 10000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected ≈ (n/d)·(1 − 500/1000) ≈ 16.7; anything clearly effective
+	// proves the point.
+	if float64(gain) < 5 {
+		t.Errorf("targeted gain %v with c=500, want >> 1 (cache cannot defend a leaked mapping)", gain)
+	}
+}
+
+func TestTargetedAttackScalesWithKeys(t *testing.T) {
+	// More targeted keys dilute the cache further: gain grows toward n/d.
+	const n, d, m, c = 100, 3, 50000, 100
+	part := partition.NewHash(n, d, 7)
+	adv := TargetedAdversary{Part: part, Victim: 0}
+	few, err := adv.Evaluate(m, 150, c, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := adv.Evaluate(m, 1200, c, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(many) <= float64(few) {
+		t.Errorf("gain did not grow with targeted keys: %v (150 keys) vs %v (1200 keys)", few, many)
+	}
+}
+
+func TestTargetedDistributionShape(t *testing.T) {
+	part := partition.NewHash(20, 2, 3)
+	adv := TargetedAdversary{Part: part, Victim: 5}
+	dist, err := adv.Distribution(5000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Support() != 50 {
+		t.Errorf("support = %d, want 50", dist.Support())
+	}
+	// Uniform over the selected keys.
+	var firstP float64
+	dist.EachNonzero(func(k int, p float64) bool {
+		if firstP == 0 {
+			firstP = p
+		} else if p != firstP {
+			t.Errorf("non-uniform targeted distribution at key %d", k)
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,182 @@
+// Package ballsbins implements the balls-into-bins allocation models the
+// paper's analysis rests on.
+//
+// The system analogy: keys are balls, back-end nodes are bins. A key with
+// replication factor d may be served by any of d randomly chosen nodes,
+// and the analysis assumes the node that ultimately serves it is the least
+// loaded of the d — the classic "power of d choices" allocation. For the
+// heavily loaded case (M >> N balls), Berenbrink, Czumaj, Steger & Vöcking
+// (STOC'00) prove the maximum bin load is
+//
+//	M/N + ln(ln N)/ln(d) ± Θ(1)            (d >= 2)
+//
+// with high probability, while for d = 1 the deviation is the much larger
+// Θ(sqrt(M ln N / N)). The gap term ln ln N / ln d is what makes a small
+// O(n)-size cache sufficient: it does not grow with the number of keys.
+//
+// The package provides both the simulation (Assign, AssignWeighted) and
+// the closed-form expectations (ExpectedMaxLoad*, GapTerm).
+package ballsbins
+
+import (
+	"fmt"
+	"math"
+
+	"securecache/internal/xrand"
+)
+
+// Choice selects candidate bins for a ball. It abstracts the partitioner:
+// the simulator uses a hash-based implementation, tests use explicit
+// lists. Candidates must be distinct bins in [0, bins).
+type Choice func(ball uint64) []int
+
+// UniformChoice returns a Choice drawing d distinct uniform bins per ball
+// using rng. The same ball gets the same candidates only if the caller
+// memoizes; for allocation experiments each ball is placed once, so fresh
+// randomness per call is exactly the model.
+func UniformChoice(bins, d int, rng *xrand.Xoshiro256) Choice {
+	if d <= 0 || d > bins {
+		panic(fmt.Sprintf("ballsbins: UniformChoice(bins=%d, d=%d): need 0 < d <= bins", bins, d))
+	}
+	return func(uint64) []int {
+		return SampleDistinct(bins, d, rng)
+	}
+}
+
+// SampleDistinct draws d distinct values from [0, n) uniformly (Floyd's
+// algorithm, O(d) expected time, no allocation beyond the result).
+func SampleDistinct(n, d int, rng *xrand.Xoshiro256) []int {
+	if d <= 0 || d > n {
+		panic(fmt.Sprintf("ballsbins: SampleDistinct(n=%d, d=%d): need 0 < d <= n", n, d))
+	}
+	out := make([]int, 0, d)
+	// Floyd's subset sampling: for j in [n-d, n), pick t in [0, j]; take t
+	// unless already taken, else take j.
+	taken := make(map[int]bool, d)
+	for j := n - d; j < n; j++ {
+		t := rng.Intn(j + 1)
+		if taken[t] {
+			t = j
+		}
+		taken[t] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+// Assignment is the result of placing balls into bins.
+type Assignment struct {
+	// Loads[b] is the total weight placed in bin b.
+	Loads []float64
+	// Counts[b] is the number of balls placed in bin b.
+	Counts []int
+}
+
+// MaxLoad returns the largest bin weight.
+func (a *Assignment) MaxLoad() float64 {
+	m := 0.0
+	for _, l := range a.Loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// TotalLoad returns the sum of all bin weights.
+func (a *Assignment) TotalLoad() float64 {
+	var s float64
+	for _, l := range a.Loads {
+		s += l
+	}
+	return s
+}
+
+// MaxCount returns the largest bin ball count.
+func (a *Assignment) MaxCount() int {
+	m := 0
+	for _, c := range a.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Assign places balls unit-weight balls into bins bins, each ball going to
+// the least loaded of the d candidates supplied by choose (ties broken
+// toward the first candidate). This is the greedy d-choice process of the
+// Berenbrink et al. analysis.
+func Assign(balls, bins int, choose Choice) *Assignment {
+	return AssignWeighted(bins, uniformWeights(balls), choose)
+}
+
+// uniformWeights returns a weight function assigning 1 to each of n balls.
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// AssignWeighted places len(weights) balls, ball i carrying weights[i],
+// into bins bins via greedy least-loaded-of-d. Weighted balls model keys
+// with unequal query rates (e.g. Zipf tails).
+func AssignWeighted(bins int, weights []float64, choose Choice) *Assignment {
+	if bins <= 0 {
+		panic(fmt.Sprintf("ballsbins: AssignWeighted with bins=%d", bins))
+	}
+	a := &Assignment{
+		Loads:  make([]float64, bins),
+		Counts: make([]int, bins),
+	}
+	for ball, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("ballsbins: ball %d has negative weight %v", ball, w))
+		}
+		cands := choose(uint64(ball))
+		best := cands[0]
+		for _, b := range cands[1:] {
+			if a.Loads[b] < a.Loads[best] {
+				best = b
+			}
+		}
+		a.Loads[best] += w
+		a.Counts[best]++
+	}
+	return a
+}
+
+// GapTerm returns ln(ln n)/ln(d), the additive gap of the heavily loaded
+// d-choice bound (d >= 2). For d = 1 the gap concept does not apply and
+// the function panics; use ExpectedMaxLoadOneChoice instead. For n <= e
+// the inner log is clamped to keep the result finite and non-negative.
+func GapTerm(n, d int) float64 {
+	if d < 2 {
+		panic(fmt.Sprintf("ballsbins: GapTerm with d=%d (defined for d >= 2)", d))
+	}
+	if n < 2 {
+		panic(fmt.Sprintf("ballsbins: GapTerm with n=%d", n))
+	}
+	inner := math.Log(float64(n))
+	if inner < 1 {
+		inner = 1 // clamp so ln ln n >= 0
+	}
+	return math.Log(inner) / math.Log(float64(d))
+}
+
+// ExpectedMaxLoad returns the Berenbrink et al. estimate of the maximum
+// bin count for balls balls in bins bins with d >= 2 choices:
+// balls/bins + ln ln bins / ln d. The Θ(1) term is omitted (callers add a
+// fitted constant; the paper uses k = gap + k' with fitted k = 1.2).
+func ExpectedMaxLoad(balls, bins, d int) float64 {
+	return float64(balls)/float64(bins) + GapTerm(bins, d)
+}
+
+// ExpectedMaxLoadOneChoice returns the classical single-choice estimate
+// for the heavily loaded case: balls/bins + sqrt(2·balls·ln(bins)/bins).
+func ExpectedMaxLoadOneChoice(balls, bins int) float64 {
+	m, n := float64(balls), float64(bins)
+	return m/n + math.Sqrt(2*m*math.Log(n)/n)
+}

@@ -1,0 +1,246 @@
+package ballsbins
+
+import (
+	"math"
+	"testing"
+
+	"securecache/internal/xrand"
+)
+
+func TestSampleDistinct(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 1000; trial++ {
+		s := SampleDistinct(20, 5, rng)
+		if len(s) != 5 {
+			t.Fatalf("got %d values, want 5", len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("invalid sample %v", s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinctFullRange(t *testing.T) {
+	rng := xrand.New(2)
+	s := SampleDistinct(5, 5, rng)
+	seen := map[int]bool{}
+	for _, v := range s {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("SampleDistinct(5,5) = %v, want a permutation of 0..4", s)
+	}
+}
+
+func TestSampleDistinctUniform(t *testing.T) {
+	// Each value should appear in a d-of-n sample with probability d/n.
+	rng := xrand.New(3)
+	const n, d, trials = 10, 3, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range SampleDistinct(n, d, rng) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * d / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("value %d appeared %d times, want ~%v", v, c, want)
+		}
+	}
+}
+
+func TestSampleDistinctPanics(t *testing.T) {
+	rng := xrand.New(1)
+	for _, tc := range []struct{ n, d int }{{5, 0}, {5, 6}, {0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SampleDistinct(%d,%d) did not panic", tc.n, tc.d)
+				}
+			}()
+			SampleDistinct(tc.n, tc.d, rng)
+		}()
+	}
+}
+
+func TestAssignConservation(t *testing.T) {
+	rng := xrand.New(4)
+	a := Assign(10000, 100, UniformChoice(100, 3, rng))
+	if got := a.TotalLoad(); math.Abs(got-10000) > 1e-6 {
+		t.Errorf("total load %v, want 10000", got)
+	}
+	totalCount := 0
+	for _, c := range a.Counts {
+		totalCount += c
+	}
+	if totalCount != 10000 {
+		t.Errorf("total count %d, want 10000", totalCount)
+	}
+}
+
+func TestAssignTwoChoicesBeatsOne(t *testing.T) {
+	// The power of two choices: max load with d=2 must be well below d=1.
+	const balls, bins, trials = 20000, 200, 10
+	var max1, max2 float64
+	for trial := 0; trial < trials; trial++ {
+		rng1 := xrand.New(uint64(100 + trial))
+		rng2 := xrand.New(uint64(200 + trial))
+		max1 += Assign(balls, bins, UniformChoice(bins, 1, rng1)).MaxLoad()
+		max2 += Assign(balls, bins, UniformChoice(bins, 2, rng2)).MaxLoad()
+	}
+	max1 /= trials
+	max2 /= trials
+	if max2 >= max1 {
+		t.Errorf("d=2 max load %v not below d=1 max load %v", max2, max1)
+	}
+	// d=2 should be close to M/N + lnln: within a few balls of 100.
+	if max2 > 110 {
+		t.Errorf("d=2 max load %v, want near 100", max2)
+	}
+}
+
+func TestAssignMatchesTheoryHeavilyLoaded(t *testing.T) {
+	// With M=100k balls and N=1000 bins, d=3: theory says max ≈ 100 +
+	// lnln(1000)/ln(3) ≈ 101.76 ± Θ(1).
+	rng := xrand.New(7)
+	a := Assign(100000, 1000, UniformChoice(1000, 3, rng))
+	theory := ExpectedMaxLoad(100000, 1000, 3)
+	if got := float64(a.MaxCount()); math.Abs(got-theory) > 3 {
+		t.Errorf("simulated max count %v vs theory %v (|diff| > 3)", got, theory)
+	}
+}
+
+func TestAssignWeighted(t *testing.T) {
+	// Three balls of weight 5 into 3 bins with full choice (d=3) must
+	// end up one per bin (greedy least-loaded).
+	choose := func(uint64) []int { return []int{0, 1, 2} }
+	a := AssignWeighted(3, []float64{5, 5, 5}, choose)
+	for b, l := range a.Loads {
+		if l != 5 {
+			t.Errorf("bin %d load %v, want 5", b, l)
+		}
+	}
+	if a.MaxLoad() != 5 || a.MaxCount() != 1 {
+		t.Errorf("MaxLoad/MaxCount = %v/%d, want 5/1", a.MaxLoad(), a.MaxCount())
+	}
+}
+
+func TestAssignWeightedUnequal(t *testing.T) {
+	// Greedy: weights 10, 1, 1, 1 with choices {0,1}: ball0->0 (tie
+	// toward first), ball1->1, ball2->1 (1 < 10), ball3->1 (2 < 10)...
+	choose := func(uint64) []int { return []int{0, 1} }
+	a := AssignWeighted(2, []float64{10, 1, 1, 1}, choose)
+	if a.Loads[0] != 10 || a.Loads[1] != 3 {
+		t.Errorf("loads = %v, want [10 3]", a.Loads)
+	}
+}
+
+func TestAssignTieBreakFirstCandidate(t *testing.T) {
+	choose := func(uint64) []int { return []int{2, 0, 1} }
+	a := Assign(1, 3, choose)
+	if a.Counts[2] != 1 {
+		t.Errorf("tie not broken toward first candidate: counts %v", a.Counts)
+	}
+}
+
+func TestAssignPanics(t *testing.T) {
+	choose := func(uint64) []int { return []int{0} }
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero bins did not panic")
+			}
+		}()
+		AssignWeighted(0, []float64{1}, choose)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative weight did not panic")
+			}
+		}()
+		AssignWeighted(2, []float64{-1}, choose)
+	}()
+}
+
+func TestGapTerm(t *testing.T) {
+	// GapTerm(1000, 3) = ln(ln 1000)/ln 3 ≈ 1.759.
+	got := GapTerm(1000, 3)
+	want := math.Log(math.Log(1000)) / math.Log(3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("GapTerm(1000,3) = %v, want %v", got, want)
+	}
+	// Monotone: more choices -> smaller gap.
+	if GapTerm(1000, 4) >= GapTerm(1000, 3) {
+		t.Error("gap not decreasing in d")
+	}
+	// More bins -> larger gap.
+	if GapTerm(10000, 3) <= GapTerm(100, 3) {
+		t.Error("gap not increasing in n")
+	}
+	// The paper's observation that the gap stays a small constant for all
+	// deployed cluster sizes (n < 1e5, d >= 3). The exact "< 2" claim in
+	// the paper is slightly loose — ln ln 1e5 / ln 3 ≈ 2.22 — but the
+	// point stands: the term is O(1), so the cache-size rule is O(n).
+	if g := GapTerm(99999, 3); g >= 2.3 {
+		t.Errorf("GapTerm(1e5-1, 3) = %v, want < 2.3 (paper's O(n) claim)", g)
+	}
+}
+
+func TestGapTermClampSmallN(t *testing.T) {
+	if g := GapTerm(2, 2); g != 0 {
+		t.Errorf("GapTerm(2,2) = %v, want 0 (clamped)", g)
+	}
+}
+
+func TestGapTermPanics(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{1000, 1}, {1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GapTerm(%d,%d) did not panic", tc.n, tc.d)
+				}
+			}()
+			GapTerm(tc.n, tc.d)
+		}()
+	}
+}
+
+func TestExpectedMaxLoadFormulas(t *testing.T) {
+	// d-choice: M/N + gap.
+	if got, want := ExpectedMaxLoad(100000, 1000, 3), 100+GapTerm(1000, 3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExpectedMaxLoad = %v, want %v", got, want)
+	}
+	// one-choice is much larger in the heavy regime.
+	if ExpectedMaxLoadOneChoice(100000, 1000) <= ExpectedMaxLoad(100000, 1000, 2) {
+		t.Error("one-choice bound not above two-choice bound")
+	}
+}
+
+func TestUniformChoicePanics(t *testing.T) {
+	rng := xrand.New(1)
+	for _, tc := range []struct{ bins, d int }{{5, 0}, {5, 6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("UniformChoice(%d,%d) did not panic", tc.bins, tc.d)
+				}
+			}()
+			UniformChoice(tc.bins, tc.d, rng)
+		}()
+	}
+}
+
+func BenchmarkAssignD3(b *testing.B) {
+	rng := xrand.New(1)
+	choose := UniformChoice(1000, 3, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Assign(10000, 1000, choose)
+	}
+}

@@ -1,0 +1,234 @@
+package cache
+
+import "container/list"
+
+// ARC is the Adaptive Replacement Cache (Megiddo & Modha, FAST'03): it
+// balances recency and frequency online by keeping two resident lists —
+// T1 (seen once recently) and T2 (seen at least twice) — plus two ghost
+// lists of recently evicted keys (B1, B2). Hits in a ghost list signal
+// that the adaptive target p should shift capacity toward the
+// corresponding resident list.
+//
+// ARC matters for the cache-policy ablation because it self-tunes between
+// the LRU-like behaviour (diffusing an equal-rate attack) and the
+// LFU-like behaviour (pinning the popular set) without a workload-
+// specific knob.
+type ARC struct {
+	capacity int
+	p        int        // adaptive target size of t1
+	t1, t2   *list.List // resident: recency / frequency
+	b1, b2   *list.List // ghosts: evicted from t1 / t2
+	items    map[uint64]*arcEntry
+	stats    Stats
+}
+
+type arcList byte
+
+const (
+	arcT1 arcList = iota + 1
+	arcT2
+	arcB1
+	arcB2
+)
+
+type arcEntry struct {
+	key   uint64
+	value []byte
+	where arcList
+	pos   *list.Element
+}
+
+var _ Cache = (*ARC)(nil)
+
+// NewARC returns an ARC cache holding at most capacity resident keys
+// (ghost lists track up to capacity additional evicted keys' metadata).
+func NewARC(capacity int) *ARC {
+	validateCapacity(capacity)
+	return &ARC{
+		capacity: capacity,
+		t1:       list.New(),
+		t2:       list.New(),
+		b1:       list.New(),
+		b2:       list.New(),
+		items:    make(map[uint64]*arcEntry, 2*capacity),
+	}
+}
+
+// Get returns the cached value; a resident hit promotes the key to the
+// frequency list T2.
+func (c *ARC) Get(key uint64) ([]byte, bool) {
+	e, ok := c.items[key]
+	if !ok || (e.where != arcT1 && e.where != arcT2) {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.moveTo(e, arcT2)
+	return e.value, true
+}
+
+// Put inserts or updates key following the ARC replacement algorithm.
+// It always admits (returns true) unless capacity is zero.
+func (c *ARC) Put(key uint64, value []byte) bool {
+	if c.capacity == 0 {
+		return false
+	}
+	e, ok := c.items[key]
+	switch {
+	case ok && (e.where == arcT1 || e.where == arcT2):
+		// Resident: update value, promote to T2.
+		e.value = value
+		c.moveTo(e, arcT2)
+	case ok && e.where == arcB1:
+		// Ghost hit in B1: recency list was too small; grow p.
+		c.p = min(c.capacity, c.p+max(1, c.b2.Len()/max(1, c.b1.Len())))
+		c.replace(false)
+		e.value = value
+		c.moveTo(e, arcT2)
+	case ok && e.where == arcB2:
+		// Ghost hit in B2: frequency list was too small; shrink p.
+		c.p = max(0, c.p-max(1, c.b1.Len()/max(1, c.b2.Len())))
+		c.replace(true)
+		e.value = value
+		c.moveTo(e, arcT2)
+	default:
+		// Brand new key.
+		if c.t1.Len()+c.b1.Len() >= c.capacity {
+			if c.t1.Len() < c.capacity {
+				c.dropOldest(c.b1)
+				c.replace(false)
+			} else {
+				c.dropOldest(c.t1)
+			}
+		} else if c.t1.Len()+c.t2.Len()+c.b1.Len()+c.b2.Len() >= c.capacity {
+			if c.t1.Len()+c.t2.Len()+c.b1.Len()+c.b2.Len() >= 2*c.capacity {
+				c.dropOldest(c.b2)
+			}
+			if c.t1.Len()+c.t2.Len() >= c.capacity {
+				c.replace(false)
+			}
+		}
+		e = &arcEntry{key: key, value: value}
+		c.items[key] = e
+		e.where = arcT1
+		e.pos = c.t1.PushFront(e)
+	}
+	return true
+}
+
+// replace evicts from T1 or T2 into the corresponding ghost list,
+// following the adaptive target p. b2Hit biases toward evicting from T1.
+func (c *ARC) replace(b2Hit bool) {
+	if c.t1.Len() > 0 && (c.t1.Len() > c.p || (b2Hit && c.t1.Len() == c.p)) {
+		c.demote(c.t1, arcB1)
+	} else if c.t2.Len() > 0 {
+		c.demote(c.t2, arcB2)
+	} else if c.t1.Len() > 0 {
+		c.demote(c.t1, arcB1)
+	}
+}
+
+// demote moves the LRU entry of src into ghost list dst (value dropped).
+func (c *ARC) demote(src *list.List, dst arcList) {
+	back := src.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*arcEntry)
+	src.Remove(back)
+	e.value = nil
+	e.where = dst
+	e.pos = c.ghost(dst).PushFront(e)
+}
+
+// dropOldest fully forgets the LRU entry of l.
+func (c *ARC) dropOldest(l *list.List) {
+	back := l.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*arcEntry)
+	l.Remove(back)
+	delete(c.items, e.key)
+}
+
+func (c *ARC) ghost(w arcList) *list.List {
+	if w == arcB1 {
+		return c.b1
+	}
+	return c.b2
+}
+
+func (c *ARC) listOf(w arcList) *list.List {
+	switch w {
+	case arcT1:
+		return c.t1
+	case arcT2:
+		return c.t2
+	case arcB1:
+		return c.b1
+	default:
+		return c.b2
+	}
+}
+
+// moveTo relocates e to the front of the given resident list, ensuring
+// capacity by replacing first when needed.
+func (c *ARC) moveTo(e *arcEntry, dst arcList) {
+	if e.where == dst && dst == arcT2 {
+		c.t2.MoveToFront(e.pos)
+		return
+	}
+	wasGhost := e.where == arcB1 || e.where == arcB2
+	c.listOf(e.where).Remove(e.pos)
+	if wasGhost && c.t1.Len()+c.t2.Len() >= c.capacity {
+		c.replace(e.where == arcB2)
+	}
+	e.where = dst
+	e.pos = c.listOf(dst).PushFront(e)
+}
+
+// Contains reports residency (ghost entries do not count) without state
+// updates.
+func (c *ARC) Contains(key uint64) bool {
+	e, ok := c.items[key]
+	return ok && (e.where == arcT1 || e.where == arcT2)
+}
+
+// Remove invalidates key entirely (resident or ghost).
+func (c *ARC) Remove(key uint64) bool {
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	resident := e.where == arcT1 || e.where == arcT2
+	c.listOf(e.where).Remove(e.pos)
+	delete(c.items, key)
+	return resident
+}
+
+// Len returns the number of resident keys.
+func (c *ARC) Len() int { return c.t1.Len() + c.t2.Len() }
+
+// Cap returns the resident capacity.
+func (c *ARC) Cap() int { return c.capacity }
+
+// Stats returns cumulative counters.
+func (c *ARC) Stats() Stats { return c.stats }
+
+// Target returns the adaptive T1-target p (exposed for tests).
+func (c *ARC) Target() int { return c.p }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

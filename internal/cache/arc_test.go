@@ -1,0 +1,170 @@
+package cache
+
+import (
+	"testing"
+
+	"securecache/internal/workload"
+	"securecache/internal/xrand"
+)
+
+func TestARCBasics(t *testing.T) {
+	c := NewARC(4)
+	if c.Cap() != 4 || c.Len() != 0 {
+		t.Fatal("fresh ARC shape wrong")
+	}
+	c.Put(1, []byte("a"))
+	v, ok := c.Get(1)
+	if !ok || string(v) != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	c.Put(1, []byte("b"))
+	if v, _ := c.Get(1); string(v) != "b" {
+		t.Error("update lost")
+	}
+	if !c.Contains(1) || c.Contains(9) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestARCCapacityBound(t *testing.T) {
+	rng := xrand.New(1)
+	c := NewARC(16)
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(200))
+		if _, ok := c.Get(k); !ok {
+			c.Put(k, nil)
+		}
+		if c.Len() > c.Cap() {
+			t.Fatalf("resident %d > cap %d at step %d", c.Len(), c.Cap(), i)
+		}
+		if c.t1.Len()+c.t2.Len()+c.b1.Len()+c.b2.Len() > 2*c.Cap()+1 {
+			t.Fatalf("total directory %d > 2c", c.t1.Len()+c.t2.Len()+c.b1.Len()+c.b2.Len())
+		}
+	}
+}
+
+func TestARCPromotionToT2(t *testing.T) {
+	c := NewARC(4)
+	c.Put(1, nil)
+	if c.items[1].where != arcT1 {
+		t.Fatal("new key not in T1")
+	}
+	c.Get(1)
+	if c.items[1].where != arcT2 {
+		t.Fatal("hit key not promoted to T2")
+	}
+}
+
+func TestARCGhostHitAdaptsTarget(t *testing.T) {
+	c := NewARC(4)
+	// Seed T2 (ghosting from T1 only happens once T2 holds pages: with
+	// T1 occupying the whole cache, canonical ARC drops T1's LRU without
+	// a ghost). Then scan: T1 evictions now demote into B1.
+	c.Put(0, nil)
+	c.Put(1, nil)
+	c.Get(0)
+	c.Get(1)
+	for k := uint64(10); k < 18; k++ {
+		c.Put(k, nil)
+	}
+	// Some scanned key should now be a B1 ghost.
+	var ghost uint64
+	found := false
+	for k := uint64(10); k < 18; k++ {
+		if e, ok := c.items[k]; ok && e.where == arcB1 {
+			ghost, found = k, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no B1 ghost produced by scan overflow")
+	}
+	before := c.Target()
+	c.Put(ghost, nil) // ghost hit: p must grow
+	if c.Target() <= before {
+		t.Errorf("B1 ghost hit did not grow target (was %d, now %d)", before, c.Target())
+	}
+	if !c.Contains(ghost) {
+		t.Error("ghost-hit key not resident")
+	}
+}
+
+func TestARCZeroCapacity(t *testing.T) {
+	c := NewARC(0)
+	if c.Put(1, nil) {
+		t.Error("zero-capacity ARC admitted")
+	}
+	if _, ok := c.Get(1); ok {
+		t.Error("zero-capacity ARC hit")
+	}
+}
+
+func TestARCRemove(t *testing.T) {
+	c := NewARC(4)
+	c.Put(1, []byte("v"))
+	if !c.Remove(1) {
+		t.Error("Remove of resident returned false")
+	}
+	if c.Remove(1) {
+		t.Error("double Remove returned true")
+	}
+	if _, ok := c.Get(1); ok {
+		t.Error("removed key still hits")
+	}
+}
+
+func TestARCStatsAndInterface(t *testing.T) {
+	var c Cache = NewARC(8)
+	c.Put(1, nil)
+	c.Get(1)
+	c.Get(2)
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestARCScanResistanceBeatsLRU(t *testing.T) {
+	// A working set with repeated hits plus a long one-touch scan: ARC
+	// should retain more of the working set than plain LRU.
+	const capacity = 32
+	workingSet := 16
+	runPolicy := func(c Cache) float64 {
+		rng := xrand.New(7)
+		hits, lookups := 0, 0
+		for i := 0; i < 60000; i++ {
+			var k uint64
+			if i%2 == 0 { // alternate working-set hits and scan keys
+				k = uint64(rng.Intn(workingSet))
+			} else {
+				k = uint64(1000 + i) // never repeats
+			}
+			lookups++
+			if _, ok := c.Get(k); ok {
+				hits++
+			} else {
+				c.Put(k, nil)
+			}
+		}
+		return float64(hits) / float64(lookups)
+	}
+	arcRatio := runPolicy(NewARC(capacity))
+	lruRatio := runPolicy(NewLRU(capacity))
+	if arcRatio <= lruRatio {
+		t.Errorf("ARC hit ratio %.3f not above LRU %.3f under scan+working-set", arcRatio, lruRatio)
+	}
+}
+
+func TestARCApproachesPerfectUnderZipf(t *testing.T) {
+	const m, capacity, queries = 2000, 200, 200000
+	dist := workload.NewZipf(m, 1.01)
+	perfectKeys := make(map[uint64]bool, capacity)
+	for k := range workload.TopC(dist, capacity) {
+		perfectKeys[uint64(k)] = true
+	}
+	perfect := hitRatioUnder(NewPerfect(perfectKeys), dist, queries, 9)
+	arc := hitRatioUnder(NewARC(capacity), dist, queries, 9)
+	if arc < perfect-0.15 {
+		t.Errorf("ARC hit ratio %.3f more than 0.15 below perfect %.3f", arc, perfect)
+	}
+}

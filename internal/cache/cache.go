@@ -1,0 +1,102 @@
+// Package cache implements the front-end caches of the paper's
+// architecture.
+//
+// The paper analyses an idealized "perfect cache" that always holds the c
+// most popular items (Assumption 2). Perfect implements exactly that, given
+// the true popularity order. Deployed systems approximate it with
+// replacement and admission policies; the package provides LRU, LFU,
+// segmented LRU, and a TinyLFU-style admission filter so the experiments
+// can measure how close practice gets to the perfect-cache assumption.
+//
+// All caches map uint64 keys to opaque []byte values (nil values are
+// legal, and the simulation uses them throughout — only presence matters
+// there). Caches are not safe for concurrent use; the kvstore front end
+// wraps them in a mutex.
+package cache
+
+import "fmt"
+
+// Cache is a bounded key-value cache.
+type Cache interface {
+	// Get returns the cached value and whether the key was present.
+	// Get counts toward hit/miss statistics and updates recency or
+	// frequency state.
+	Get(key uint64) ([]byte, bool)
+	// Put inserts or updates a key. Admission-controlled caches may
+	// decline to insert; Put reports whether the key is cached afterwards.
+	Put(key uint64, value []byte) bool
+	// Contains reports presence without updating any policy state or
+	// statistics.
+	Contains(key uint64) bool
+	// Remove invalidates key, reporting whether it was present. For the
+	// Perfect cache — whose membership is fixed by definition — Remove
+	// drops the stored value only, so the next Get hit carries no stale
+	// data.
+	Remove(key uint64) bool
+	// Len returns the number of cached keys.
+	Len() int
+	// Cap returns the maximum number of cached keys.
+	Cap() int
+	// Stats returns cumulative hit/miss counters.
+	Stats() Stats
+}
+
+// Stats holds cumulative cache counters.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// String formats the counters for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d ratio=%.4f", s.Hits, s.Misses, s.HitRatio())
+}
+
+// Kind names a cache implementation, for configs and flags.
+type Kind string
+
+// Supported cache kinds.
+const (
+	KindPerfect Kind = "perfect"
+	KindLRU     Kind = "lru"
+	KindLFU     Kind = "lfu"
+	KindSLRU    Kind = "slru"
+	KindTinyLFU Kind = "tinylfu"
+	KindARC     Kind = "arc"
+)
+
+// New constructs a cache of the given kind and capacity. Perfect caches
+// cannot be built here — they need the popularity order; use NewPerfect.
+func New(kind Kind, capacity int) (Cache, error) {
+	switch kind {
+	case KindLRU, "":
+		return NewLRU(capacity), nil
+	case KindLFU:
+		return NewLFU(capacity), nil
+	case KindSLRU:
+		return NewSLRU(capacity), nil
+	case KindTinyLFU:
+		return NewTinyLFU(capacity, 0), nil
+	case KindARC:
+		return NewARC(capacity), nil
+	case KindPerfect:
+		return nil, fmt.Errorf("cache: perfect cache requires the popularity set; use NewPerfect")
+	default:
+		return nil, fmt.Errorf("cache: unknown cache kind %q", kind)
+	}
+}
+
+func validateCapacity(c int) {
+	if c < 0 {
+		panic(fmt.Sprintf("cache: negative capacity %d", c))
+	}
+}

@@ -1,0 +1,210 @@
+package cache
+
+import (
+	"testing"
+
+	"securecache/internal/workload"
+	"securecache/internal/xrand"
+)
+
+// allCaches builds one of each policy at the given capacity.
+func allCaches(capacity int) map[string]Cache {
+	perfectSet := make(map[uint64]bool, capacity)
+	for k := uint64(0); k < uint64(capacity); k++ {
+		perfectSet[k] = true
+	}
+	return map[string]Cache{
+		"perfect": NewPerfect(perfectSet),
+		"lru":     NewLRU(capacity),
+		"lfu":     NewLFU(capacity),
+		"slru":    NewSLRU(capacity),
+		"tinylfu": NewTinyLFU(capacity, 0),
+		"arc":     NewARC(capacity),
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	rng := xrand.New(1)
+	for name, c := range allCaches(16) {
+		for i := 0; i < 5000; i++ {
+			k := uint64(rng.Intn(200))
+			c.Get(k)
+			c.Put(k, nil)
+			if c.Len() > c.Cap() {
+				t.Fatalf("%s: Len %d > Cap %d", name, c.Len(), c.Cap())
+			}
+		}
+	}
+}
+
+func TestGetAfterPut(t *testing.T) {
+	for name, c := range allCaches(16) {
+		if admitted := c.Put(3, []byte("v3")); admitted {
+			v, ok := c.Get(3)
+			if !ok || string(v) != "v3" {
+				t.Errorf("%s: Get(3) = %q, %v after admitted Put", name, v, ok)
+			}
+		}
+	}
+}
+
+func TestContainsDoesNotCountStats(t *testing.T) {
+	for name, c := range allCaches(8) {
+		c.Put(1, nil)
+		c.Contains(1)
+		c.Contains(99)
+		s := c.Stats()
+		if s.Hits != 0 || s.Misses != 0 {
+			t.Errorf("%s: Contains affected stats: %v", name, s)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	for name, c := range allCaches(8) {
+		c.Put(1, nil)
+		c.Get(1)  // hit
+		c.Get(42) // miss (42 outside perfect set of size 8)
+		s := c.Stats()
+		if s.Hits != 1 || s.Misses != 1 {
+			t.Errorf("%s: stats = %+v, want 1 hit 1 miss", name, s)
+		}
+		if got := s.HitRatio(); got != 0.5 {
+			t.Errorf("%s: HitRatio = %v, want 0.5", name, got)
+		}
+	}
+}
+
+func TestHitRatioEmpty(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Error("HitRatio of zero stats should be 0")
+	}
+}
+
+func TestZeroCapacityNeverCaches(t *testing.T) {
+	for name, c := range map[string]Cache{
+		"lru":     NewLRU(0),
+		"lfu":     NewLFU(0),
+		"slru":    NewSLRU(0),
+		"tinylfu": NewTinyLFU(0, 0),
+		"arc":     NewARC(0),
+		"perfect": NewPerfect(nil),
+	} {
+		if c.Put(1, nil) {
+			t.Errorf("%s: zero-capacity cache admitted a key", name)
+		}
+		if _, ok := c.Get(1); ok {
+			t.Errorf("%s: zero-capacity cache hit", name)
+		}
+		if c.Len() != 0 {
+			t.Errorf("%s: zero-capacity cache Len %d", name, c.Len())
+		}
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"lru":     func() { NewLRU(-1) },
+		"lfu":     func() { NewLFU(-1) },
+		"slru":    func() { NewSLRU(-1) },
+		"tinylfu": func() { NewTinyLFU(-1, 0) },
+		"arc":     func() { NewARC(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: negative capacity did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewByKind(t *testing.T) {
+	for _, kind := range []Kind{KindLRU, KindLFU, KindSLRU, KindTinyLFU, KindARC, ""} {
+		c, err := New(kind, 10)
+		if err != nil {
+			t.Fatalf("New(%q): %v", kind, err)
+		}
+		if c.Cap() != 10 {
+			t.Errorf("New(%q).Cap() = %d", kind, c.Cap())
+		}
+	}
+	if _, err := New(KindPerfect, 10); err == nil {
+		t.Error("New(perfect) should error (needs popularity set)")
+	}
+	if _, err := New("bogus", 10); err == nil {
+		t.Error("New(bogus) should error")
+	}
+}
+
+// hitRatioUnder runs queries queries from dist through c with
+// always-put-on-miss and returns the hit ratio.
+func hitRatioUnder(c Cache, dist workload.Distribution, queries int, seed uint64) float64 {
+	g := workload.NewGenerator(dist, seed)
+	for i := 0; i < queries; i++ {
+		k := uint64(g.Next())
+		if _, ok := c.Get(k); !ok {
+			c.Put(k, nil)
+		}
+	}
+	return c.Stats().HitRatio()
+}
+
+func TestPoliciesApproachPerfectUnderStaticSkew(t *testing.T) {
+	// Under a static Zipf workload every reasonable policy should achieve
+	// a hit ratio within striking distance of the perfect cache.
+	const m, capacity, queries = 2000, 200, 200000
+	dist := workload.NewZipf(m, 1.01)
+
+	perfectKeys := make(map[uint64]bool, capacity)
+	for k := range workload.TopC(dist, capacity) {
+		perfectKeys[uint64(k)] = true
+	}
+	perfect := NewPerfect(perfectKeys)
+	perfectRatio := hitRatioUnder(perfect, dist, queries, 9)
+
+	for name, c := range map[string]Cache{
+		"lru":     NewLRU(capacity),
+		"lfu":     NewLFU(capacity),
+		"slru":    NewSLRU(capacity),
+		"tinylfu": NewTinyLFU(capacity, 0),
+		"arc":     NewARC(capacity),
+	} {
+		ratio := hitRatioUnder(c, dist, queries, 9)
+		if ratio < perfectRatio-0.15 {
+			t.Errorf("%s: hit ratio %.3f, perfect %.3f — more than 0.15 below",
+				name, ratio, perfectRatio)
+		}
+		if ratio > perfectRatio+0.01 {
+			t.Errorf("%s: hit ratio %.3f exceeds perfect %.3f", name, ratio, perfectRatio)
+		}
+	}
+}
+
+func TestRemoveAcrossPolicies(t *testing.T) {
+	for name, c := range allCaches(8) {
+		c.Put(3, []byte("v"))
+		removed := c.Remove(3)
+		if !removed {
+			t.Errorf("%s: Remove of present key returned false", name)
+		}
+		if c.Remove(3) {
+			t.Errorf("%s: double Remove returned true", name)
+		}
+		// After removal, a Get must not return the stale value.
+		if v, ok := c.Get(3); ok && string(v) == "v" {
+			t.Errorf("%s: stale value served after Remove", name)
+		}
+	}
+}
+
+func TestRemoveAbsentKey(t *testing.T) {
+	for name, c := range allCaches(4) {
+		if c.Remove(12345) {
+			t.Errorf("%s: Remove of never-seen key returned true", name)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package cache
+
+import "container/list"
+
+// LFU is an O(1) least-frequently-used cache (Shah, Mitra & Matani's
+// frequency-list construction): entries live in buckets of equal access
+// count; eviction takes the least recently used entry of the lowest
+// bucket. LFU approximates the perfect cache well under static
+// popularity — which is exactly the adversarial setting — because the
+// plateau keys accumulate the highest counts and stick.
+type LFU struct {
+	capacity int
+	freqs    *list.List // of *lfuBucket, ascending count
+	items    map[uint64]*lfuItem
+	stats    Stats
+}
+
+type lfuBucket struct {
+	count   uint64
+	entries *list.List // of *lfuItem, front = most recent
+}
+
+type lfuItem struct {
+	key    uint64
+	value  []byte
+	bucket *list.Element // the *lfuBucket this item is in
+	pos    *list.Element // position within bucket.entries
+}
+
+var _ Cache = (*LFU)(nil)
+
+// NewLFU returns an LFU cache holding at most capacity keys.
+func NewLFU(capacity int) *LFU {
+	validateCapacity(capacity)
+	return &LFU{
+		capacity: capacity,
+		freqs:    list.New(),
+		items:    make(map[uint64]*lfuItem, capacity),
+	}
+}
+
+// Get returns the cached value, incrementing the key's frequency.
+func (c *LFU) Get(key uint64) ([]byte, bool) {
+	it, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.touch(it)
+	return it.value, true
+}
+
+// touch moves it to the next-higher frequency bucket.
+func (c *LFU) touch(it *lfuItem) {
+	cur := it.bucket.Value.(*lfuBucket)
+	nextCount := cur.count + 1
+	next := it.bucket.Next()
+	var dst *list.Element
+	if next != nil && next.Value.(*lfuBucket).count == nextCount {
+		dst = next
+	} else {
+		dst = c.freqs.InsertAfter(&lfuBucket{count: nextCount, entries: list.New()}, it.bucket)
+	}
+	cur.entries.Remove(it.pos)
+	if cur.entries.Len() == 0 {
+		c.freqs.Remove(it.bucket)
+	}
+	it.bucket = dst
+	it.pos = dst.Value.(*lfuBucket).entries.PushFront(it)
+}
+
+// Put inserts or updates key with frequency 1 (new) or bumped (existing),
+// evicting the least frequent entry if full. Always admits unless
+// capacity is zero.
+func (c *LFU) Put(key uint64, value []byte) bool {
+	if c.capacity == 0 {
+		return false
+	}
+	if it, ok := c.items[key]; ok {
+		it.value = value
+		c.touch(it)
+		return true
+	}
+	if len(c.items) >= c.capacity {
+		c.evict()
+	}
+	// New entries enter a count-1 bucket at the front of the list.
+	front := c.freqs.Front()
+	var dst *list.Element
+	if front != nil && front.Value.(*lfuBucket).count == 1 {
+		dst = front
+	} else {
+		dst = c.freqs.PushFront(&lfuBucket{count: 1, entries: list.New()})
+	}
+	it := &lfuItem{key: key, value: value, bucket: dst}
+	it.pos = dst.Value.(*lfuBucket).entries.PushFront(it)
+	c.items[key] = it
+	return true
+}
+
+// evict removes the LRU entry of the lowest-frequency bucket.
+func (c *LFU) evict() {
+	front := c.freqs.Front()
+	if front == nil {
+		return
+	}
+	bucket := front.Value.(*lfuBucket)
+	victim := bucket.entries.Back()
+	if victim == nil {
+		c.freqs.Remove(front)
+		return
+	}
+	it := victim.Value.(*lfuItem)
+	bucket.entries.Remove(victim)
+	if bucket.entries.Len() == 0 {
+		c.freqs.Remove(front)
+	}
+	delete(c.items, it.key)
+}
+
+// Contains reports presence without updating frequency or statistics.
+func (c *LFU) Contains(key uint64) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Remove deletes key if present, reporting whether it was.
+func (c *LFU) Remove(key uint64) bool {
+	it, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	bucket := it.bucket.Value.(*lfuBucket)
+	bucket.entries.Remove(it.pos)
+	if bucket.entries.Len() == 0 {
+		c.freqs.Remove(it.bucket)
+	}
+	delete(c.items, key)
+	return true
+}
+
+// Count returns the access count of key (0 if absent). Exposed for tests
+// and for the cache-policy ablation's introspection.
+func (c *LFU) Count(key uint64) uint64 {
+	it, ok := c.items[key]
+	if !ok {
+		return 0
+	}
+	return it.bucket.Value.(*lfuBucket).count
+}
+
+// Len returns the number of cached keys.
+func (c *LFU) Len() int { return len(c.items) }
+
+// Cap returns the capacity.
+func (c *LFU) Cap() int { return c.capacity }
+
+// Stats returns cumulative counters.
+func (c *LFU) Stats() Stats { return c.stats }

@@ -1,0 +1,106 @@
+package cache
+
+import "container/list"
+
+// LRU is a classic least-recently-used cache: every Get and Put moves the
+// key to the front; inserting into a full cache evicts the back.
+type LRU struct {
+	capacity int
+	order    *list.List // front = most recent
+	items    map[uint64]*list.Element
+	stats    Stats
+}
+
+type lruEntry struct {
+	key   uint64
+	value []byte
+}
+
+var _ Cache = (*LRU)(nil)
+
+// NewLRU returns an LRU cache holding at most capacity keys. A capacity of
+// zero yields a cache that never stores anything (useful as the "no cache"
+// baseline).
+func NewLRU(capacity int) *LRU {
+	validateCapacity(capacity)
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[uint64]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value, refreshing the key's recency.
+func (c *LRU) Get(key uint64) ([]byte, bool) {
+	if e, ok := c.items[key]; ok {
+		c.order.MoveToFront(e)
+		c.stats.Hits++
+		return e.Value.(*lruEntry).value, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry if
+// full. It always admits (returns true) unless capacity is zero.
+func (c *LRU) Put(key uint64, value []byte) bool {
+	if c.capacity == 0 {
+		return false
+	}
+	if e, ok := c.items[key]; ok {
+		c.order.MoveToFront(e)
+		e.Value.(*lruEntry).value = value
+		return true
+	}
+	if c.order.Len() >= c.capacity {
+		c.evictOldest()
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, value: value})
+	return true
+}
+
+func (c *LRU) evictOldest() {
+	back := c.order.Back()
+	if back == nil {
+		return
+	}
+	c.order.Remove(back)
+	delete(c.items, back.Value.(*lruEntry).key)
+}
+
+// Contains reports presence without updating recency or statistics.
+func (c *LRU) Contains(key uint64) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Victim returns the key that would be evicted next and whether one
+// exists. TinyLFU admission uses it to compare candidate vs victim
+// frequency.
+func (c *LRU) Victim() (uint64, bool) {
+	back := c.order.Back()
+	if back == nil {
+		return 0, false
+	}
+	return back.Value.(*lruEntry).key, true
+}
+
+// Remove deletes key if present, reporting whether it was.
+func (c *LRU) Remove(key uint64) bool {
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(e)
+	delete(c.items, key)
+	return true
+}
+
+// Len returns the number of cached keys.
+func (c *LRU) Len() int { return c.order.Len() }
+
+// Cap returns the capacity.
+func (c *LRU) Cap() int { return c.capacity }
+
+// Stats returns cumulative counters.
+func (c *LRU) Stats() Stats { return c.stats }

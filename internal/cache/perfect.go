@@ -1,0 +1,80 @@
+package cache
+
+// Perfect is the paper's idealized front-end cache: it permanently holds a
+// fixed set of keys (the c most popular items under the true query
+// distribution) and never evicts. Queries for member keys always hit;
+// everything else always misses — exactly Assumption 2 of the paper.
+//
+// Values are stored lazily on Put so the kvstore can also run with a
+// Perfect cache when the workload is known.
+type Perfect struct {
+	member map[uint64]bool
+	values map[uint64][]byte
+	stats  Stats
+}
+
+var _ Cache = (*Perfect)(nil)
+
+// NewPerfect returns a perfect cache pinned to exactly the given key set.
+func NewPerfect(keys map[uint64]bool) *Perfect {
+	member := make(map[uint64]bool, len(keys))
+	for k, ok := range keys {
+		if ok {
+			member[k] = true
+		}
+	}
+	return &Perfect{
+		member: member,
+		values: make(map[uint64][]byte, len(member)),
+	}
+}
+
+// NewPerfectFromSlice returns a perfect cache pinned to the listed keys.
+func NewPerfectFromSlice(keys []uint64) *Perfect {
+	member := make(map[uint64]bool, len(keys))
+	for _, k := range keys {
+		member[k] = true
+	}
+	return &Perfect{member: member, values: make(map[uint64][]byte, len(member))}
+}
+
+// Get hits iff key is in the pinned set.
+func (p *Perfect) Get(key uint64) ([]byte, bool) {
+	if p.member[key] {
+		p.stats.Hits++
+		return p.values[key], true
+	}
+	p.stats.Misses++
+	return nil, false
+}
+
+// Put stores a value only for pinned keys and reports whether the key is
+// cached.
+func (p *Perfect) Put(key uint64, value []byte) bool {
+	if !p.member[key] {
+		return false
+	}
+	p.values[key] = value
+	return true
+}
+
+// Contains reports pinned membership without touching statistics.
+func (p *Perfect) Contains(key uint64) bool { return p.member[key] }
+
+// Remove drops the stored value for key (membership is permanent by
+// definition of the perfect cache). It reports whether a value was
+// stored.
+func (p *Perfect) Remove(key uint64) bool {
+	_, had := p.values[key]
+	delete(p.values, key)
+	return had
+}
+
+// Len returns the pinned-set size (membership is permanent, so Len == Cap).
+func (p *Perfect) Len() int { return len(p.member) }
+
+// Cap returns the pinned-set size.
+func (p *Perfect) Cap() int { return len(p.member) }
+
+// Stats returns cumulative counters.
+func (p *Perfect) Stats() Stats { return p.stats }

@@ -1,0 +1,123 @@
+package cache
+
+// SLRU is a segmented LRU: a probationary segment absorbs new keys and a
+// protected segment holds keys that have been hit at least once while
+// probationary. Scans (long runs of one-touch keys) can only churn the
+// probation segment, so frequently reused keys survive — a cheap step from
+// plain LRU toward the perfect cache.
+//
+// The protected segment gets 80% of the capacity (the ratio used by
+// Caffeine and the 2Q literature); probation gets the rest, with a minimum
+// of one slot each when capacity >= 2.
+type SLRU struct {
+	probation *LRU
+	protected *LRU
+	capacity  int
+	stats     Stats
+}
+
+var _ Cache = (*SLRU)(nil)
+
+// NewSLRU returns a segmented LRU with the given total capacity.
+func NewSLRU(capacity int) *SLRU {
+	validateCapacity(capacity)
+	protCap := capacity * 8 / 10
+	if capacity >= 2 && protCap == 0 {
+		protCap = 1
+	}
+	if capacity >= 2 && protCap == capacity {
+		protCap = capacity - 1
+	}
+	return &SLRU{
+		probation: NewLRU(capacity - protCap),
+		protected: NewLRU(protCap),
+		capacity:  capacity,
+	}
+}
+
+// Get returns the cached value. A probationary hit promotes the key to the
+// protected segment (possibly demoting the protected LRU victim back to
+// probation).
+func (c *SLRU) Get(key uint64) ([]byte, bool) {
+	if v, ok := c.protected.Get(key); ok {
+		c.stats.Hits++
+		return v, true
+	}
+	if v, ok := peekRemove(c.probation, key); ok {
+		c.stats.Hits++
+		c.promote(key, v)
+		return v, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// peekRemove removes key from l and returns its value, without touching
+// l's own statistics (the segment caches are internal).
+func peekRemove(l *LRU, key uint64) ([]byte, bool) {
+	e, ok := l.items[key]
+	if !ok {
+		return nil, false
+	}
+	v := e.Value.(*lruEntry).value
+	l.order.Remove(e)
+	delete(l.items, key)
+	return v, true
+}
+
+// promote moves a key into the protected segment, demoting its victim to
+// probation if needed.
+func (c *SLRU) promote(key uint64, value []byte) {
+	if c.protected.Cap() == 0 {
+		c.probation.Put(key, value)
+		return
+	}
+	if c.protected.Len() >= c.protected.Cap() {
+		if vk, ok := c.protected.Victim(); ok {
+			vv, _ := peekRemove(c.protected, vk)
+			c.probation.Put(vk, vv)
+		}
+	}
+	c.protected.Put(key, value)
+}
+
+// Put inserts a new key into probation (or refreshes an existing key in
+// place). Always admits unless capacity is zero.
+func (c *SLRU) Put(key uint64, value []byte) bool {
+	if c.capacity == 0 {
+		return false
+	}
+	if c.protected.Contains(key) {
+		c.protected.Put(key, value)
+		return true
+	}
+	return c.probation.Put(key, value)
+}
+
+// Contains reports presence in either segment, without state updates.
+func (c *SLRU) Contains(key uint64) bool {
+	return c.protected.Contains(key) || c.probation.Contains(key)
+}
+
+// Remove deletes key from whichever segment holds it.
+func (c *SLRU) Remove(key uint64) bool {
+	return c.protected.Remove(key) || c.probation.Remove(key)
+}
+
+// Victim returns the next eviction candidate: the probation victim if the
+// probation segment is non-empty, else the protected victim.
+func (c *SLRU) Victim() (uint64, bool) {
+	if k, ok := c.probation.Victim(); ok {
+		return k, true
+	}
+	return c.protected.Victim()
+}
+
+// Len returns the number of cached keys across both segments.
+func (c *SLRU) Len() int { return c.probation.Len() + c.protected.Len() }
+
+// Cap returns the total capacity.
+func (c *SLRU) Cap() int { return c.capacity }
+
+// Stats returns cumulative counters.
+func (c *SLRU) Stats() Stats { return c.stats }

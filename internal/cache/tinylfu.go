@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"securecache/internal/sketch"
+)
+
+// TinyLFU wraps an SLRU main cache with a frequency-based admission filter
+// (Einziger, Friedman & Manes, 2017): a count-min sketch estimates each
+// key's recent popularity, and a candidate is admitted on miss only if it
+// is estimated more popular than the main cache's eviction victim. A
+// periodic halving ("reset") keeps the sketch adaptive.
+//
+// Under a static adversarial distribution TinyLFU converges to caching the
+// plateau keys — the closest a practical policy gets to the paper's
+// perfect-cache assumption, which is why it anchors the cache-policy
+// ablation.
+type TinyLFU struct {
+	main       *SLRU
+	sketch     *sketch.CountMin
+	window     uint64 // halve the sketch every window admissions-samples
+	sinceReset uint64
+	stats      Stats
+}
+
+var _ Cache = (*TinyLFU)(nil)
+
+// NewTinyLFU returns a TinyLFU cache with the given capacity. window is
+// the sample count between sketch halvings; 0 selects 10× capacity, the
+// ratio from the TinyLFU paper.
+func NewTinyLFU(capacity int, window uint64) *TinyLFU {
+	validateCapacity(capacity)
+	if window == 0 {
+		window = uint64(capacity) * 10
+		if window == 0 {
+			window = 1
+		}
+	}
+	// Sketch width ~4× capacity keeps the estimate error below the
+	// popularity differences that matter for admission.
+	width := 4 * capacity
+	if width < 64 {
+		width = 64
+	}
+	return &TinyLFU{
+		main:   NewSLRU(capacity),
+		sketch: sketch.NewCountMin(width, 4, 0x71f9),
+		window: window,
+	}
+}
+
+// Get returns the cached value, recording the access in the frequency
+// sketch either way.
+func (c *TinyLFU) Get(key uint64) ([]byte, bool) {
+	c.observe(key)
+	v, ok := c.main.Get(key)
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return v, ok
+}
+
+func (c *TinyLFU) observe(key uint64) {
+	c.sketch.AddUint(key, 1)
+	c.sinceReset++
+	if c.sinceReset >= c.window {
+		c.sketch.Halve()
+		c.sinceReset = 0
+	}
+}
+
+// Put admits key only if the main cache has room or the key is estimated
+// at least as popular as the eviction victim. It reports whether the key
+// is cached afterwards.
+func (c *TinyLFU) Put(key uint64, value []byte) bool {
+	if c.main.Cap() == 0 {
+		return false
+	}
+	if c.main.Contains(key) || c.main.Len() < c.main.Cap() {
+		return c.main.Put(key, value)
+	}
+	victim, ok := c.main.Victim()
+	if !ok {
+		return c.main.Put(key, value)
+	}
+	if c.sketch.EstimateUint(key) < c.sketch.EstimateUint(victim) {
+		return false // candidate loses; keep the incumbent
+	}
+	return c.main.Put(key, value)
+}
+
+// Contains reports presence without state updates.
+func (c *TinyLFU) Contains(key uint64) bool { return c.main.Contains(key) }
+
+// Remove deletes key from the main cache (the sketch intentionally keeps
+// its counts: popularity history survives invalidation).
+func (c *TinyLFU) Remove(key uint64) bool { return c.main.Remove(key) }
+
+// Len returns the number of cached keys.
+func (c *TinyLFU) Len() int { return c.main.Len() }
+
+// Cap returns the capacity.
+func (c *TinyLFU) Cap() int { return c.main.Cap() }
+
+// Stats returns cumulative counters (of the TinyLFU wrapper, not the
+// internal SLRU).
+func (c *TinyLFU) Stats() Stats { return c.stats }

@@ -1,0 +1,228 @@
+// Package cluster models the back-end of the paper's architecture: n
+// nodes behind a front-end cache, serving a randomly partitioned key
+// space with replication factor d.
+//
+// The model is rate-based: a workload distribution plus a total client
+// rate R induces a per-key query rate, the front-end cache absorbs the
+// rates of cached keys, and every uncached key's rate lands on back-end
+// nodes according to the replica-selection policy. The resulting per-node
+// loads are what the paper's Figures 3-5 plot (normalized by the ideal
+// even share R/n).
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"securecache/internal/partition"
+	"securecache/internal/workload"
+	"securecache/internal/xrand"
+)
+
+// Policy selects how a key's query rate is spread over its replica group.
+type Policy string
+
+// Replica-selection policies.
+const (
+	// PolicyLeastLoaded assigns each key wholly to the least loaded node
+	// of its replica group at assignment time — the greedy d-choice
+	// balls-into-bins process the paper's analysis assumes.
+	PolicyLeastLoaded Policy = "least-loaded"
+	// PolicyRandomReplica assigns each key wholly to one uniformly random
+	// node of its group (what a client that picks a random replica per
+	// session does).
+	PolicyRandomReplica Policy = "random"
+	// PolicySplit divides each key's rate evenly across its d replicas —
+	// the steady-state of per-query round-robin or per-query random
+	// selection.
+	PolicySplit Policy = "split"
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Nodes is n, the number of back-end nodes. Required.
+	Nodes int
+	// Replication is d, the replica-group size. Required.
+	Replication int
+	// Partitioner maps keys to replica groups. If nil, a hash partitioner
+	// keyed by Seed is used.
+	Partitioner partition.Partitioner
+	// Policy selects replica usage. Empty selects PolicyLeastLoaded.
+	Policy Policy
+	// Seed keys the default partitioner and the random-replica policy.
+	Seed uint64
+	// NodeCapacity is the max sustainable query rate r_i per node;
+	// 0 means unlimited. Load beyond capacity is reported as dropped.
+	NodeCapacity float64
+	// Cost optionally weights each key's queries (Assumption 4 relaxes
+	// to non-uniform per-operation costs the way Fan et al. §4 does: a
+	// key of cost w contributes w load units per query). Nil means
+	// uniform cost 1. Must return positive, finite values.
+	Cost func(key int) float64
+}
+
+// Cluster is a simulated back-end cluster. Construct with New; a Cluster
+// is immutable and safe for concurrent use (each ApplyLoad works on its
+// own state).
+type Cluster struct {
+	cfg  Config
+	part partition.Partitioner
+}
+
+// New validates cfg and returns a Cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: Nodes = %d, must be positive", cfg.Nodes)
+	}
+	if cfg.Replication <= 0 || cfg.Replication > cfg.Nodes {
+		return nil, fmt.Errorf("cluster: Replication = %d, must be in [1, Nodes=%d]",
+			cfg.Replication, cfg.Nodes)
+	}
+	switch cfg.Policy {
+	case "", PolicyLeastLoaded, PolicyRandomReplica, PolicySplit:
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %q", cfg.Policy)
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyLeastLoaded
+	}
+	if cfg.NodeCapacity < 0 {
+		return nil, fmt.Errorf("cluster: NodeCapacity = %v, must be >= 0", cfg.NodeCapacity)
+	}
+	part := cfg.Partitioner
+	if part == nil {
+		part = partition.NewHash(cfg.Nodes, cfg.Replication, cfg.Seed)
+	} else {
+		if part.Nodes() != cfg.Nodes || part.Replicas() != cfg.Replication {
+			return nil, fmt.Errorf("cluster: partitioner is %d nodes x%d replicas, config wants %dx%d",
+				part.Nodes(), part.Replicas(), cfg.Nodes, cfg.Replication)
+		}
+	}
+	return &Cluster{cfg: cfg, part: part}, nil
+}
+
+// Nodes returns n.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// Replication returns d.
+func (c *Cluster) Replication() int { return c.cfg.Replication }
+
+// Partitioner exposes the key -> replica-group mapping (for the kvstore
+// front end and for tests).
+func (c *Cluster) Partitioner() partition.Partitioner { return c.part }
+
+// LoadReport summarizes the outcome of applying a workload.
+type LoadReport struct {
+	// Loads[i] is the query rate landing on node i.
+	Loads []float64
+	// OfferedRate is the total client rate R.
+	OfferedRate float64
+	// CachedRate is the rate absorbed by the front-end cache.
+	CachedRate float64
+	// BackendRate is the rate reaching back-end nodes (before drops).
+	BackendRate float64
+	// DroppedRate is the rate beyond node capacities (0 when unlimited).
+	DroppedRate float64
+	// SaturatedNodes counts nodes pushed beyond capacity.
+	SaturatedNodes int
+	// KeysAssigned counts distinct uncached keys placed on nodes.
+	KeysAssigned int
+}
+
+// MaxLoad returns the load of the most loaded node.
+func (r *LoadReport) MaxLoad() float64 {
+	m := 0.0
+	for _, l := range r.Loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// NormalizedMaxLoad returns MaxLoad / (R/n): the paper's "normalized max
+// workload", whose expectation is the Attack Gain. Values above 1.0 mean
+// the most loaded node carries more than the ideal even share of the
+// offered rate.
+func (r *LoadReport) NormalizedMaxLoad() float64 {
+	if r.OfferedRate == 0 {
+		return 0
+	}
+	return r.MaxLoad() / (r.OfferedRate / float64(len(r.Loads)))
+}
+
+// ApplyLoad runs the rate-based model: every key of dist with non-zero
+// probability contributes p*totalRate; keys for which cached returns true
+// are absorbed by the front end; the rest are placed on back-end nodes per
+// the cluster's policy. rng drives the random-replica policy and is
+// ignored by the others (it may be nil for them); pass a derived
+// per-run rng for reproducibility.
+//
+// cached may be nil, meaning no front-end cache.
+func (c *Cluster) ApplyLoad(dist workload.Distribution, totalRate float64,
+	cached func(key int) bool, rng *xrand.Xoshiro256) *LoadReport {
+	if totalRate < 0 {
+		panic(fmt.Sprintf("cluster: ApplyLoad with negative rate %v", totalRate))
+	}
+	if c.cfg.Policy == PolicyRandomReplica && rng == nil {
+		panic("cluster: random-replica policy requires an rng")
+	}
+	report := &LoadReport{
+		Loads:       make([]float64, c.cfg.Nodes),
+		OfferedRate: totalRate,
+	}
+	group := make([]int, 0, c.cfg.Replication)
+	dist.EachNonzero(func(key int, p float64) bool {
+		rate := p * totalRate
+		if cached != nil && cached(key) {
+			report.CachedRate += rate
+			return true
+		}
+		if c.cfg.Cost != nil {
+			w := c.cfg.Cost(key)
+			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				panic(fmt.Sprintf("cluster: Cost(%d) = %v, must be positive and finite", key, w))
+			}
+			rate *= w
+		}
+		report.BackendRate += rate
+		report.KeysAssigned++
+		group = c.part.GroupAppend(group[:0], uint64(key))
+		switch c.cfg.Policy {
+		case PolicySplit:
+			share := rate / float64(len(group))
+			for _, node := range group {
+				report.Loads[node] += share
+			}
+		case PolicyRandomReplica:
+			report.Loads[group[rng.Intn(len(group))]] += rate
+		default: // PolicyLeastLoaded
+			best := group[0]
+			for _, node := range group[1:] {
+				if report.Loads[node] < report.Loads[best] {
+					best = node
+				}
+			}
+			report.Loads[best] += rate
+		}
+		return true
+	})
+	if capacity := c.cfg.NodeCapacity; capacity > 0 {
+		for _, l := range report.Loads {
+			if l > capacity {
+				report.DroppedRate += l - capacity
+				report.SaturatedNodes++
+			}
+		}
+	}
+	return report
+}
+
+// CachedSet adapts a workload.TopC result (or any key set) to the cached
+// callback ApplyLoad expects.
+func CachedSet(set map[int]bool) func(key int) bool {
+	if set == nil {
+		return nil
+	}
+	return func(key int) bool { return set[key] }
+}

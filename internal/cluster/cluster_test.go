@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"securecache/internal/partition"
+	"securecache/internal/workload"
+	"securecache/internal/xrand"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, Replication: 1},
+		{Nodes: 10, Replication: 0},
+		{Nodes: 10, Replication: 11},
+		{Nodes: 10, Replication: 3, Policy: "bogus"},
+		{Nodes: 10, Replication: 3, NodeCapacity: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	// Mismatched explicit partitioner.
+	p := partition.NewHash(5, 2, 1)
+	if _, err := New(Config{Nodes: 10, Replication: 3, Partitioner: p}); err == nil {
+		t.Error("mismatched partitioner accepted")
+	}
+}
+
+func TestApplyLoadConservation(t *testing.T) {
+	c := mustNew(t, Config{Nodes: 50, Replication: 3, Seed: 1})
+	dist := workload.NewUniform(1000, 1000)
+	const rate = 5000.0
+	rep := c.ApplyLoad(dist, rate, nil, nil)
+	var sum float64
+	for _, l := range rep.Loads {
+		sum += l
+	}
+	if math.Abs(sum-rate) > 1e-6 {
+		t.Errorf("backend loads sum to %v, want %v", sum, rate)
+	}
+	if math.Abs(rep.BackendRate-rate) > 1e-6 || rep.CachedRate != 0 {
+		t.Errorf("rates: backend %v cached %v, want %v / 0", rep.BackendRate, rep.CachedRate, rate)
+	}
+	if rep.KeysAssigned != 1000 {
+		t.Errorf("KeysAssigned = %d, want 1000", rep.KeysAssigned)
+	}
+}
+
+func TestApplyLoadWithCache(t *testing.T) {
+	c := mustNew(t, Config{Nodes: 10, Replication: 2, Seed: 2})
+	dist := workload.NewUniform(100, 100)
+	cached := CachedSet(workload.TopC(dist, 40))
+	rep := c.ApplyLoad(dist, 1000, cached, nil)
+	if math.Abs(rep.CachedRate-400) > 1e-6 {
+		t.Errorf("CachedRate = %v, want 400", rep.CachedRate)
+	}
+	if math.Abs(rep.BackendRate-600) > 1e-6 {
+		t.Errorf("BackendRate = %v, want 600", rep.BackendRate)
+	}
+	if rep.KeysAssigned != 60 {
+		t.Errorf("KeysAssigned = %d, want 60", rep.KeysAssigned)
+	}
+}
+
+func TestCachedSetNil(t *testing.T) {
+	if CachedSet(nil) != nil {
+		t.Error("CachedSet(nil) should be nil (no cache)")
+	}
+}
+
+func TestPolicySplitSpreadsEvenly(t *testing.T) {
+	// One key, split policy: each of its d replicas gets rate/d.
+	c := mustNew(t, Config{Nodes: 10, Replication: 5, Policy: PolicySplit, Seed: 3})
+	dist := workload.NewUniform(1, 1)
+	rep := c.ApplyLoad(dist, 100, nil, nil)
+	nonzero := 0
+	for _, l := range rep.Loads {
+		if l == 0 {
+			continue
+		}
+		nonzero++
+		if math.Abs(l-20) > 1e-9 {
+			t.Errorf("replica load %v, want 20", l)
+		}
+	}
+	if nonzero != 5 {
+		t.Errorf("%d nodes loaded, want 5", nonzero)
+	}
+}
+
+func TestPolicyLeastLoadedSingleKeyConcentrates(t *testing.T) {
+	// One key under least-loaded: the whole rate lands on one node. This
+	// is the adversary's x = c+1 situation.
+	c := mustNew(t, Config{Nodes: 10, Replication: 3, Seed: 4})
+	dist := workload.NewUniform(1, 1)
+	rep := c.ApplyLoad(dist, 100, nil, nil)
+	if rep.MaxLoad() != 100 {
+		t.Errorf("MaxLoad = %v, want 100", rep.MaxLoad())
+	}
+	if got := rep.NormalizedMaxLoad(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("NormalizedMaxLoad = %v, want 10 (= n * 1/1)", got)
+	}
+}
+
+func TestPolicyRandomReplicaRequiresRNG(t *testing.T) {
+	c := mustNew(t, Config{Nodes: 10, Replication: 3, Policy: PolicyRandomReplica})
+	defer func() {
+		if recover() == nil {
+			t.Error("random policy without rng did not panic")
+		}
+	}()
+	c.ApplyLoad(workload.NewUniform(10, 10), 1, nil, nil)
+}
+
+func TestPolicyRandomReplicaStaysInGroup(t *testing.T) {
+	c := mustNew(t, Config{Nodes: 20, Replication: 3, Policy: PolicyRandomReplica, Seed: 5})
+	dist := workload.NewUniform(200, 200)
+	rng := xrand.New(6)
+	rep := c.ApplyLoad(dist, 200, nil, rng)
+	var sum float64
+	for _, l := range rep.Loads {
+		sum += l
+	}
+	if math.Abs(sum-200) > 1e-6 {
+		t.Errorf("loads sum %v, want 200", sum)
+	}
+}
+
+func TestPolicyOrderingLeastLoadedWins(t *testing.T) {
+	// With many equal-rate keys the max load orders
+	// least-loaded <= split <= random: the d-choice gap (ln ln n / ln d)
+	// beats even splitting (a 1-choice process with d× lighter balls,
+	// gap ~ sqrt(M d ln n / n)/d), which beats plain 1-choice.
+	const n, d, keys, runs = 100, 3, 5000, 5
+	dist := workload.NewUniform(keys, keys)
+	avg := func(policy Policy) float64 {
+		var total float64
+		for r := 0; r < runs; r++ {
+			c := mustNew(t, Config{Nodes: n, Replication: d, Policy: policy, Seed: uint64(10 + r)})
+			rng := xrand.New(uint64(100 + r))
+			total += c.ApplyLoad(dist, float64(keys), nil, rng).MaxLoad()
+		}
+		return total / runs
+	}
+	ll, rr, sp := avg(PolicyLeastLoaded), avg(PolicyRandomReplica), avg(PolicySplit)
+	if ll >= sp {
+		t.Errorf("least-loaded max %v not below split %v", ll, sp)
+	}
+	if sp >= rr {
+		t.Errorf("split max %v not below random %v", sp, rr)
+	}
+}
+
+func TestNodeCapacityDrops(t *testing.T) {
+	// One key, whole rate 100 on one node, capacity 30: 70 dropped.
+	c := mustNew(t, Config{Nodes: 5, Replication: 2, Seed: 7, NodeCapacity: 30})
+	rep := c.ApplyLoad(workload.NewUniform(1, 1), 100, nil, nil)
+	if math.Abs(rep.DroppedRate-70) > 1e-9 {
+		t.Errorf("DroppedRate = %v, want 70", rep.DroppedRate)
+	}
+	if rep.SaturatedNodes != 1 {
+		t.Errorf("SaturatedNodes = %d, want 1", rep.SaturatedNodes)
+	}
+}
+
+func TestNormalizedMaxLoadZeroRate(t *testing.T) {
+	c := mustNew(t, Config{Nodes: 5, Replication: 2, Seed: 8})
+	rep := c.ApplyLoad(workload.NewUniform(10, 10), 0, nil, nil)
+	if rep.NormalizedMaxLoad() != 0 {
+		t.Error("zero offered rate should normalize to 0")
+	}
+}
+
+func TestApplyLoadNegativeRatePanics(t *testing.T) {
+	c := mustNew(t, Config{Nodes: 5, Replication: 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("negative rate did not panic")
+		}
+	}()
+	c.ApplyLoad(workload.NewUniform(10, 10), -1, nil, nil)
+}
+
+func TestDeterministicAcrossCalls(t *testing.T) {
+	// Same config and distribution -> identical loads (least-loaded policy
+	// uses no rng).
+	cfg := Config{Nodes: 30, Replication: 3, Seed: 42}
+	dist := workload.NewZipf(500, 1.01)
+	a := mustNew(t, cfg).ApplyLoad(dist, 1000, nil, nil)
+	b := mustNew(t, cfg).ApplyLoad(dist, 1000, nil, nil)
+	for i := range a.Loads {
+		if a.Loads[i] != b.Loads[i] {
+			t.Fatalf("node %d load differs: %v vs %v", i, a.Loads[i], b.Loads[i])
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := mustNew(t, Config{Nodes: 7, Replication: 2, Seed: 1})
+	if c.Nodes() != 7 || c.Replication() != 2 {
+		t.Error("accessors wrong")
+	}
+	if c.Partitioner() == nil {
+		t.Error("partitioner not exposed")
+	}
+}
+
+func TestDefaultPolicyIsLeastLoaded(t *testing.T) {
+	// An empty policy must behave identically to PolicyLeastLoaded.
+	dist := workload.NewUniform(100, 100)
+	a := mustNew(t, Config{Nodes: 10, Replication: 3, Seed: 9}).ApplyLoad(dist, 100, nil, nil)
+	b := mustNew(t, Config{Nodes: 10, Replication: 3, Seed: 9, Policy: PolicyLeastLoaded}).ApplyLoad(dist, 100, nil, nil)
+	for i := range a.Loads {
+		if a.Loads[i] != b.Loads[i] {
+			t.Fatal("default policy differs from least-loaded")
+		}
+	}
+}
+
+func BenchmarkApplyLoadLeastLoaded(b *testing.B) {
+	c, err := New(Config{Nodes: 1000, Replication: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := workload.NewUniform(100000, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ApplyLoad(dist, 1e5, nil, nil)
+	}
+}
+
+func TestCostWeightedLoad(t *testing.T) {
+	// Two keys, equal rates, but key 1 costs 5x: its node carries 5x the
+	// load units of key 0's node.
+	c := mustNew(t, Config{
+		Nodes: 10, Replication: 2, Seed: 11,
+		Cost: func(key int) float64 {
+			if key == 1 {
+				return 5
+			}
+			return 1
+		},
+	})
+	rep := c.ApplyLoad(workload.NewUniform(2, 2), 100, nil, nil)
+	if math.Abs(rep.BackendRate-(50+250)) > 1e-9 {
+		t.Errorf("BackendRate = %v, want 300 (50 + 5*50)", rep.BackendRate)
+	}
+	if got := rep.MaxLoad(); math.Abs(got-250) > 1e-9 {
+		t.Errorf("MaxLoad = %v, want 250", got)
+	}
+}
+
+func TestCostValidation(t *testing.T) {
+	c := mustNew(t, Config{
+		Nodes: 5, Replication: 2, Seed: 1,
+		Cost: func(int) float64 { return -1 },
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("negative cost did not panic")
+		}
+	}()
+	c.ApplyLoad(workload.NewUniform(2, 2), 10, nil, nil)
+}

@@ -1,0 +1,187 @@
+// Package core implements the paper's analytical contribution: the
+// throughput bound for randomly partitioned services with replication
+// under the worst-case (adversarial) access pattern, and the cache
+// provisioning rule that follows from it.
+//
+// Notation follows Table I of the paper:
+//
+//	n  number of back-end nodes
+//	m  number of (key, value) items stored in the system
+//	c  number of items cached at the front end
+//	d  replication factor (replica-group size)
+//	R  total client query rate
+//	x  number of distinct keys the adversary queries
+//
+// The chain of results:
+//
+//  1. Theorem 1: the optimal adversarial distribution queries x keys — the
+//     first x−1 (including all c cached keys) at equal probability h and
+//     the last at the residual 1−(x−1)h. Any other distribution can be
+//     improved by shifting mass between uncached keys (Theorem1Step).
+//  2. Eq. 8: with keys assigned to nodes by the d-choice balls-into-bins
+//     process, E[L_max] <= [ (x−c)/n + k ] · R/(x−1), where
+//     k = ln ln n / ln d + k' (Berenbrink et al. gap plus a Θ(1) constant).
+//  3. Eq. 10: normalizing by the even share R/n,
+//     AttackGain <= 1 + (1 − c + n·k)/(x − 1).
+//  4. Dichotomy: if c < n·k + 1 the bound exceeds 1 and is decreasing in
+//     x, so the best attack queries x = c+1 and is always effective; if
+//     c >= n·k + 1 the bound is below 1 and increasing in x, so the best
+//     the adversary can do is query the whole key space — never effective.
+//     RequiredCacheSize returns the threshold c* = ceil(n·k + 1).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"securecache/internal/ballsbins"
+)
+
+// DefaultKPrime is the fitted Θ(1) constant k' such that k = gap + k'
+// reproduces the paper's bound curves. The paper plots Eq. 10 with the
+// overall constant k = 1.2 for n = 1000, d = 3 (where the pure gap term is
+// ln ln 1000 / ln 3 ≈ 1.76); k' = k − gap ≈ −0.56 recovers that choice.
+// Exposed so experiments can document the paper's exact setting.
+const DefaultKPrime = -0.559
+
+// Params bundles the system parameters of the analysis.
+type Params struct {
+	// Nodes is n, the number of back-end nodes (required, >= 2).
+	Nodes int
+	// Replication is d, the replica-group size (required, >= 2 for the
+	// d-choice bound; d = 1 reduces to the Fan et al. single-copy case,
+	// which this analysis does not cover).
+	Replication int
+	// Items is m, the number of keys stored (required, >= 1).
+	Items int
+	// CacheSize is c, the number of front-end cache entries (>= 0).
+	CacheSize int
+	// KPrime is the Θ(1) additive constant k' of k = gap + k'.
+	// The zero value selects DefaultKPrime; to force exactly 0, use a
+	// tiny non-zero value or set K directly via KOverride.
+	KPrime float64
+	// KOverride, if non-zero, bypasses gap+k' and uses this k directly
+	// (the paper's figures fix k = 1.2).
+	KOverride float64
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.Nodes < 2 {
+		return fmt.Errorf("core: Nodes = %d, need >= 2", p.Nodes)
+	}
+	if p.Replication < 2 {
+		return fmt.Errorf("core: Replication = %d, the d-choice bound needs d >= 2", p.Replication)
+	}
+	if p.Replication > p.Nodes {
+		return fmt.Errorf("core: Replication %d exceeds Nodes %d", p.Replication, p.Nodes)
+	}
+	if p.Items < 1 {
+		return fmt.Errorf("core: Items = %d, need >= 1", p.Items)
+	}
+	if p.CacheSize < 0 {
+		return fmt.Errorf("core: CacheSize = %d, need >= 0", p.CacheSize)
+	}
+	return nil
+}
+
+// K returns the constant k = ln ln n / ln d + k' of Eq. 8/10 (or the
+// override).
+func (p Params) K() float64 {
+	if p.KOverride != 0 {
+		return p.KOverride
+	}
+	kPrime := p.KPrime
+	if kPrime == 0 {
+		kPrime = DefaultKPrime
+	}
+	return ballsbins.GapTerm(p.Nodes, p.Replication) + kPrime
+}
+
+// Gap returns the pure balls-into-bins gap term ln ln n / ln d.
+func (p Params) Gap() float64 { return ballsbins.GapTerm(p.Nodes, p.Replication) }
+
+// BoundMaxLoad returns the Eq. 8 upper bound on E[L_max] for an adversary
+// querying x keys at total rate R:
+//
+//	E[L_max] <= [ (x−c)/n + k ] · R/(x−1)
+//
+// It panics if x <= c (the cache absorbs everything; no load reaches the
+// back end) or x < 2 (the per-key rate R/(x−1) is undefined).
+func (p Params) BoundMaxLoad(x int, rate float64) float64 {
+	if x <= p.CacheSize {
+		panic(fmt.Sprintf("core: BoundMaxLoad with x=%d <= c=%d (attack fully cached)", x, p.CacheSize))
+	}
+	if x < 2 {
+		panic(fmt.Sprintf("core: BoundMaxLoad with x=%d < 2", x))
+	}
+	perKey := rate / float64(x-1)
+	return (float64(x-p.CacheSize)/float64(p.Nodes) + p.K()) * perKey
+}
+
+// BoundNormalizedMaxLoad returns the Eq. 10 upper bound on the normalized
+// max load (the Attack Gain):
+//
+//	E[L_max] / (R/n) <= 1 + (1 − c + n·k)/(x − 1)
+//
+// Same domain restrictions as BoundMaxLoad.
+func (p Params) BoundNormalizedMaxLoad(x int) float64 {
+	if x <= p.CacheSize {
+		panic(fmt.Sprintf("core: BoundNormalizedMaxLoad with x=%d <= c=%d", x, p.CacheSize))
+	}
+	if x < 2 {
+		panic(fmt.Sprintf("core: BoundNormalizedMaxLoad with x=%d < 2", x))
+	}
+	return 1 + (1-float64(p.CacheSize)+float64(p.Nodes)*p.K())/float64(x-1)
+}
+
+// RequiredCacheSize returns c* = ceil(n·k + 1), the smallest cache size
+// for which no adversarial access pattern achieves Attack Gain > 1 — the
+// paper's provisioning rule. It is O(n · ln ln n / ln d), independent of
+// the number of items m.
+func (p Params) RequiredCacheSize() int {
+	return int(math.Ceil(float64(p.Nodes)*p.K() + 1))
+}
+
+// EffectiveAttackPossible reports whether the configured cache is below
+// the provisioning threshold, i.e. whether an adversary can push the most
+// loaded node above the even share (Case 1 of the analysis).
+func (p Params) EffectiveAttackPossible() bool {
+	return float64(p.CacheSize) < float64(p.Nodes)*p.K()+1
+}
+
+// BestAdversarialX returns the number of keys an optimal adversary
+// queries: c+1 when an effective attack is possible (the bound decreases
+// in x, so the adversary minimizes x), and m otherwise (the bound
+// increases toward 1, so the adversary queries everything).
+func (p Params) BestAdversarialX() int {
+	if p.EffectiveAttackPossible() {
+		x := p.CacheSize + 1
+		if x < 2 {
+			x = 2 // an x of 1 leaves the per-key rate undefined; with
+			// c = 0 the adversary still spreads over 2 keys
+		}
+		if x > p.Items {
+			x = p.Items
+		}
+		return x
+	}
+	return p.Items
+}
+
+// AttackGain is the normalized workload of the most loaded node,
+// E[L_max]/(R/n) (Definition 1 of the paper).
+type AttackGain float64
+
+// Effective reports whether the gain exceeds 1.0 (Definition 2: an
+// effective DDoS makes the hottest node carry more than the even share).
+func (g AttackGain) Effective() bool { return g > 1.0 }
+
+// String formats the gain with its classification.
+func (g AttackGain) String() string {
+	verdict := "ineffective"
+	if g.Effective() {
+		verdict = "EFFECTIVE"
+	}
+	return fmt.Sprintf("%.4f (%s)", float64(g), verdict)
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"securecache/internal/ballsbins"
+)
+
+// paperParams are the evaluation parameters of §IV: n=1000, d=3, m=1e5,
+// with the paper's fitted k = 1.2.
+func paperParams(c int) Params {
+	return Params{Nodes: 1000, Replication: 3, Items: 100000, CacheSize: c, KOverride: 1.2}
+}
+
+func TestValidate(t *testing.T) {
+	good := paperParams(100)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Nodes: 1, Replication: 2, Items: 10},
+		{Nodes: 10, Replication: 1, Items: 10},
+		{Nodes: 10, Replication: 11, Items: 10},
+		{Nodes: 10, Replication: 3, Items: 0},
+		{Nodes: 10, Replication: 3, Items: 10, CacheSize: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestKOverrideAndDefault(t *testing.T) {
+	p := paperParams(100)
+	if p.K() != 1.2 {
+		t.Errorf("KOverride: K() = %v, want 1.2", p.K())
+	}
+	p.KOverride = 0
+	// Default: gap + DefaultKPrime.
+	want := ballsbins.GapTerm(1000, 3) + DefaultKPrime
+	if math.Abs(p.K()-want) > 1e-12 {
+		t.Errorf("default K() = %v, want %v", p.K(), want)
+	}
+	// DefaultKPrime is calibrated so that n=1000, d=3 gives k ≈ 1.2.
+	if math.Abs(p.K()-1.2) > 0.01 {
+		t.Errorf("calibrated K() = %v, want ≈ 1.2", p.K())
+	}
+	p.KPrime = 0.5
+	if math.Abs(p.K()-(ballsbins.GapTerm(1000, 3)+0.5)) > 1e-12 {
+		t.Error("explicit KPrime not honored")
+	}
+}
+
+func TestBoundNormalizedMaxLoadEq10(t *testing.T) {
+	// Hand-check Eq. 10: n=1000, k=1.2, c=200, x=2001:
+	// 1 + (1 - 200 + 1200)/2000 = 1.5005.
+	p := paperParams(200)
+	got := p.BoundNormalizedMaxLoad(2001)
+	if math.Abs(got-1.5005) > 1e-12 {
+		t.Errorf("bound = %v, want 1.5005", got)
+	}
+}
+
+func TestBoundMaxLoadConsistentWithNormalized(t *testing.T) {
+	// BoundMaxLoad / (R/n) must equal BoundNormalizedMaxLoad.
+	p := paperParams(200)
+	const rate = 1e5
+	for _, x := range []int{201, 500, 5000, 100000} {
+		abs := p.BoundMaxLoad(x, rate)
+		norm := p.BoundNormalizedMaxLoad(x)
+		if math.Abs(abs/(rate/1000)-norm) > 1e-9 {
+			t.Errorf("x=%d: absolute/normalized bounds inconsistent: %v vs %v", x, abs/(rate/1000), norm)
+		}
+	}
+}
+
+func TestBoundMonotonicity(t *testing.T) {
+	small := paperParams(200) // below threshold: bound decreasing in x
+	prev := math.Inf(1)
+	for x := 201; x < 10000; x += 97 {
+		b := small.BoundNormalizedMaxLoad(x)
+		if b > prev+1e-12 {
+			t.Fatalf("small cache: bound increased at x=%d", x)
+		}
+		if b <= 1 {
+			t.Fatalf("small cache: bound fell to %v <= 1 at x=%d (Case 1 says it stays above 1)", b, x)
+		}
+		prev = b
+	}
+	large := paperParams(2000) // above threshold: bound increasing in x, < 1
+	prev = math.Inf(-1)
+	for x := 2001; x < 100000; x += 997 {
+		b := large.BoundNormalizedMaxLoad(x)
+		if b < prev-1e-12 {
+			t.Fatalf("large cache: bound decreased at x=%d", x)
+		}
+		if b >= 1 {
+			t.Fatalf("large cache: bound %v >= 1 at x=%d (Case 2 says it stays below 1)", b, x)
+		}
+		prev = b
+	}
+}
+
+func TestBoundPanics(t *testing.T) {
+	p := paperParams(200)
+	for name, f := range map[string]func(){
+		"x<=c norm": func() { p.BoundNormalizedMaxLoad(200) },
+		"x<=c abs":  func() { p.BoundMaxLoad(150, 1) },
+		"x<2 norm":  func() { Params{Nodes: 10, Replication: 2, Items: 5, KOverride: 1}.BoundNormalizedMaxLoad(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRequiredCacheSizePaperSetting(t *testing.T) {
+	// n=1000, k=1.2: c* = ceil(1000*1.2 + 1) = 1201.
+	p := paperParams(0)
+	if got := p.RequiredCacheSize(); got != 1201 {
+		t.Errorf("RequiredCacheSize = %d, want 1201", got)
+	}
+}
+
+func TestRequiredCacheSizeScalesLinearly(t *testing.T) {
+	// c* is O(n): doubling n roughly doubles c* (gap grows only lnln).
+	mk := func(n int) int {
+		return Params{Nodes: n, Replication: 3, Items: 1 << 20}.RequiredCacheSize()
+	}
+	c1, c2 := mk(1000), mk(2000)
+	ratio := float64(c2) / float64(c1)
+	if ratio < 1.9 || ratio > 2.2 {
+		t.Errorf("c*(2000)/c*(1000) = %v, want ~2 (O(n) scaling)", ratio)
+	}
+}
+
+func TestRequiredCacheSizeIndependentOfItems(t *testing.T) {
+	a := Params{Nodes: 500, Replication: 3, Items: 1000}.RequiredCacheSize()
+	b := Params{Nodes: 500, Replication: 3, Items: 100000000}.RequiredCacheSize()
+	if a != b {
+		t.Errorf("c* depends on m: %d vs %d", a, b)
+	}
+}
+
+func TestRequiredCacheSizeDecreasesWithReplication(t *testing.T) {
+	mk := func(d int) int {
+		return Params{Nodes: 1000, Replication: d, Items: 1 << 20}.RequiredCacheSize()
+	}
+	prev := math.MaxInt32
+	for d := 2; d <= 6; d++ {
+		c := mk(d)
+		if c >= prev {
+			t.Errorf("c* not decreasing in d: c*(%d)=%d, c*(%d)=%d", d-1, prev, d, c)
+		}
+		prev = c
+	}
+}
+
+func TestDichotomyAtThreshold(t *testing.T) {
+	p := paperParams(0)
+	cstar := p.RequiredCacheSize()
+	below := paperParams(cstar - 1)
+	if !below.EffectiveAttackPossible() {
+		t.Error("c = c*-1 should permit an effective attack")
+	}
+	at := paperParams(cstar)
+	if at.EffectiveAttackPossible() {
+		t.Error("c = c* should prevent effective attacks")
+	}
+	// Best x flips from c+1 to m across the threshold.
+	if got := below.BestAdversarialX(); got != cstar {
+		t.Errorf("below threshold: best x = %d, want c+1 = %d", got, cstar)
+	}
+	if got := at.BestAdversarialX(); got != at.Items {
+		t.Errorf("at threshold: best x = %d, want m = %d", got, at.Items)
+	}
+}
+
+func TestBestAdversarialXZeroCache(t *testing.T) {
+	p := paperParams(0)
+	if got := p.BestAdversarialX(); got != 2 {
+		t.Errorf("c=0: best x = %d, want 2 (per-key rate needs x >= 2)", got)
+	}
+}
+
+func TestBestAdversarialXClampedToItems(t *testing.T) {
+	p := Params{Nodes: 100, Replication: 3, Items: 50, CacheSize: 49, KOverride: 1.2}
+	if got := p.BestAdversarialX(); got != 50 {
+		t.Errorf("best x = %d, want clamped to m = 50", got)
+	}
+}
+
+func TestAttackGainClassification(t *testing.T) {
+	if AttackGain(0.99).Effective() {
+		t.Error("gain 0.99 classified effective")
+	}
+	if !AttackGain(1.01).Effective() {
+		t.Error("gain 1.01 classified ineffective")
+	}
+	if s := AttackGain(2.5).String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestProvisionReport(t *testing.T) {
+	pr, err := paperParams(200).Provision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.RequiredCacheSize != 1201 || pr.CurrentEffective {
+		t.Errorf("provision: %+v", pr)
+	}
+	if !pr.WorstGainAtCurrent.Effective() {
+		t.Error("worst gain at c=200 should be effective")
+	}
+	if pr.BestX != 201 {
+		t.Errorf("BestX = %d, want 201", pr.BestX)
+	}
+	if pr.String() == "" {
+		t.Error("empty report")
+	}
+
+	safe, err := paperParams(1500).Provision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !safe.CurrentEffective {
+		t.Error("c=1500 should be protected")
+	}
+	if safe.WorstGainAtCurrent.Effective() {
+		t.Errorf("protected config has effective worst gain %v", safe.WorstGainAtCurrent)
+	}
+	if safe.String() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestProvisionFullyCachedKeySpace(t *testing.T) {
+	p := Params{Nodes: 10, Replication: 3, Items: 5, CacheSize: 5, KOverride: 1.2}
+	pr, err := p.Provision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.CurrentEffective || pr.WorstGainAtCurrent != 0 {
+		t.Errorf("fully cached key space: %+v", pr)
+	}
+}
+
+func TestProvisionInvalid(t *testing.T) {
+	if _, err := (Params{}).Provision(); err == nil {
+		t.Error("Provision of zero params did not error")
+	}
+}
+
+func TestCriticalPointFindsThreshold(t *testing.T) {
+	// Synthetic gain curve: crosses 1.0 exactly at c = 137.
+	gain := func(c int) float64 {
+		if c >= 137 {
+			return 0.9
+		}
+		return 1.5
+	}
+	got, err := CriticalPoint(0, 1000, 1.0, gain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 137 {
+		t.Errorf("CriticalPoint = %d, want 137", got)
+	}
+}
+
+func TestCriticalPointErrors(t *testing.T) {
+	if _, err := CriticalPoint(10, 5, 1, func(int) float64 { return 0 }); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := CriticalPoint(0, 10, 1, func(int) float64 { return 2 }); err == nil {
+		t.Error("never-crossing gain accepted")
+	}
+	if _, err := CriticalPoint(0, 10, math.NaN(), func(int) float64 { return 0 }); err == nil {
+		t.Error("NaN threshold accepted")
+	}
+}
+
+func TestCriticalPointMatchesAnalyticalThreshold(t *testing.T) {
+	// Use the Eq. 10 bound itself as the gain evaluator: the empirical
+	// critical point must equal RequiredCacheSize (up to the ceil).
+	base := paperParams(0)
+	gain := func(c int) float64 {
+		p := paperParams(c)
+		x := p.BestAdversarialX()
+		if x <= c {
+			return 0
+		}
+		if x < 2 {
+			x = 2
+		}
+		return p.BoundNormalizedMaxLoad(x)
+	}
+	got, err := CriticalPoint(0, 5000, 1.0, gain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.RequiredCacheSize()
+	if got < want-1 || got > want {
+		t.Errorf("empirical critical point %d, analytical c* %d", got, want)
+	}
+}

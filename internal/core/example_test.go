@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+
+	"securecache/internal/core"
+)
+
+// Size the front-end cache for the paper's evaluation cluster.
+func ExampleParams_Provision() {
+	p := core.Params{
+		Nodes:       1000,
+		Replication: 3,
+		Items:       100000,
+		CacheSize:   200,
+		KOverride:   1.2, // the paper's fitted constant
+	}
+	report, err := p.Provision()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("required cache size:", report.RequiredCacheSize)
+	fmt.Println("adversary's best x:", report.BestX)
+	fmt.Printf("worst-case gain bound: %.4f\n", float64(report.WorstGainAtCurrent))
+	// Output:
+	// required cache size: 1201
+	// adversary's best x: 201
+	// worst-case gain bound: 6.0050
+}
+
+// The Eq. 10 bound across the two regimes.
+func ExampleParams_BoundNormalizedMaxLoad() {
+	small := core.Params{Nodes: 1000, Replication: 3, Items: 100000, CacheSize: 200, KOverride: 1.2}
+	large := core.Params{Nodes: 1000, Replication: 3, Items: 100000, CacheSize: 2000, KOverride: 1.2}
+	fmt.Printf("c=200,  x=201:    %.4f (decreasing in x, > 1)\n", small.BoundNormalizedMaxLoad(201))
+	fmt.Printf("c=200,  x=100000: %.4f\n", small.BoundNormalizedMaxLoad(100000))
+	fmt.Printf("c=2000, x=2001:   %.4f (increasing in x, < 1)\n", large.BoundNormalizedMaxLoad(2001))
+	fmt.Printf("c=2000, x=100000: %.4f\n", large.BoundNormalizedMaxLoad(100000))
+	// Output:
+	// c=200,  x=201:    6.0050 (decreasing in x, > 1)
+	// c=200,  x=100000: 1.0100
+	// c=2000, x=2001:   0.6005 (increasing in x, < 1)
+	// c=2000, x=100000: 0.9920
+}
+
+// Theorem 1's load-shifting step collapses any distribution toward the
+// plateau + residual normal form.
+func ExampleTheorem1Normalize() {
+	// Two cached keys at 0.3, three uncached keys below the plateau.
+	probs := []float64{0.3, 0.3, 0.2, 0.15, 0.05}
+	steps := core.Theorem1Normalize(probs, 2)
+	fmt.Println("steps:", steps)
+	fmt.Println("normal form:", probs)
+	fmt.Println("x =", core.NormalFormX(probs, 2))
+	// Output:
+	// steps: 2
+	// normal form: [0.3 0.3 0.3 0.1 0]
+	// x = 4
+}

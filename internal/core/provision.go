@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Provision is the result of sizing a front-end cache for a cluster.
+type Provision struct {
+	// Params echoes the input.
+	Params Params
+	// K is the constant used (gap + k' or the override).
+	K float64
+	// Gap is the pure ln ln n / ln d term.
+	Gap float64
+	// RequiredCacheSize is c* = ceil(n·k + 1).
+	RequiredCacheSize int
+	// CurrentEffective reports whether the configured CacheSize already
+	// prevents effective attacks.
+	CurrentEffective bool
+	// WorstGainAtCurrent is the Eq. 10 bound on the attack gain at the
+	// configured cache size, evaluated at the adversary's best x.
+	WorstGainAtCurrent AttackGain
+	// BestX is the adversary's optimal number of queried keys at the
+	// configured cache size.
+	BestX int
+}
+
+// Provision computes the provisioning summary for p. It returns an error
+// if p fails validation.
+func (p Params) Provision() (Provision, error) {
+	if err := p.Validate(); err != nil {
+		return Provision{}, err
+	}
+	bestX := p.BestAdversarialX()
+	gainX := bestX
+	if gainX <= p.CacheSize {
+		// The whole key space fits in the cache; no query reaches the
+		// back end and the gain is 0 by convention.
+		return Provision{
+			Params:            p,
+			K:                 p.K(),
+			Gap:               p.Gap(),
+			RequiredCacheSize: p.RequiredCacheSize(),
+			CurrentEffective:  true,
+			BestX:             bestX,
+		}, nil
+	}
+	if gainX < 2 {
+		gainX = 2
+	}
+	return Provision{
+		Params:             p,
+		K:                  p.K(),
+		Gap:                p.Gap(),
+		RequiredCacheSize:  p.RequiredCacheSize(),
+		CurrentEffective:   !p.EffectiveAttackPossible(),
+		WorstGainAtCurrent: AttackGain(p.BoundNormalizedMaxLoad(gainX)),
+		BestX:              bestX,
+	}, nil
+}
+
+// String renders a human-readable provisioning report.
+func (pr Provision) String() string {
+	status := "VULNERABLE: effective DDoS possible"
+	if pr.CurrentEffective {
+		status = "protected: no effective DDoS exists"
+	}
+	return fmt.Sprintf(
+		"n=%d d=%d m=%d c=%d | k=%.4f (gap %.4f) | required c*=%d | best x=%d | worst gain bound=%.4f | %s",
+		pr.Params.Nodes, pr.Params.Replication, pr.Params.Items, pr.Params.CacheSize,
+		pr.K, pr.Gap, pr.RequiredCacheSize, pr.BestX, float64(pr.WorstGainAtCurrent), status)
+}
+
+// CriticalPoint finds the smallest cache size c in [lo, hi] for which
+// bestGain(c) <= threshold, assuming bestGain is non-increasing in c (true
+// in expectation: a larger cache can only absorb more attack mass). It
+// returns an error if even hi fails the threshold.
+//
+// bestGain is typically an empirical evaluator — run the simulated
+// adversary's best strategy at cache size c and return the achieved
+// normalized max load — so each call may be expensive; the search makes
+// O(log(hi−lo)) calls.
+func CriticalPoint(lo, hi int, threshold float64, bestGain func(c int) float64) (int, error) {
+	if lo < 0 || hi < lo {
+		return 0, fmt.Errorf("core: CriticalPoint with invalid range [%d, %d]", lo, hi)
+	}
+	if math.IsNaN(threshold) {
+		return 0, fmt.Errorf("core: CriticalPoint with NaN threshold")
+	}
+	if bestGain(hi) > threshold {
+		return 0, fmt.Errorf("core: CriticalPoint: gain %v at c=%d still above threshold %v",
+			bestGain(hi), hi, threshold)
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if bestGain(mid) <= threshold {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}

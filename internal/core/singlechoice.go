@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the baseline the paper extends: Fan, Lim, Andersen
+// & Kaminsky, "Small Cache, Big Effect: Provable Load Balancing for
+// Randomly Partitioned Cluster Services" (SoCC'11) — reference [18] —
+// where each key is served by exactly ONE node (no replication). The
+// placement process is then single-choice balls-into-bins, whose heavily
+// loaded deviation is Θ(sqrt(M ln n / N)) instead of the d-choice
+// ln ln n / ln d, and the adversary's calculus changes qualitatively:
+//
+//   - The normalized load bound becomes
+//     gain(x) <= (x−c)/(x−1) + n/(x−1) · sqrt(2 (x−c) ln n / n) + n·k1/(x−1)
+//     which is NOT monotone in x: the adversary tunes a finite optimal
+//     x*(c, n) (a continuous function of c and n, as the paper notes).
+//   - In the regime that matters (c ≲ n·ln n, i.e. any O(n)-sized cache)
+//     the optimal attack keeps gain > 1: with an O(n) cache the baseline
+//     provides provable load *balancing* (gain bounded by a small
+//     constant) but not the replication paper's hard "gain <= 1" DDoS
+//     prevention. Driving the single-choice gain to ~1 requires
+//     c = Ω(n·ln n) — exactly Fan et al.'s O(n log n) provisioning —
+//     whereas replication achieves it with c* = O(n·ln ln n / ln d).
+//
+// SingleChoiceParams mirrors Params for the d = 1 baseline.
+type SingleChoiceParams struct {
+	// Nodes is n (>= 2).
+	Nodes int
+	// Items is m (>= 1).
+	Items int
+	// CacheSize is c (>= 0).
+	CacheSize int
+	// K1 is the Θ(1) additive constant of the single-choice bound
+	// (analogous to k'); 0 selects a neutral default of 0.
+	K1 float64
+}
+
+// Validate checks parameter sanity.
+func (p SingleChoiceParams) Validate() error {
+	if p.Nodes < 2 {
+		return fmt.Errorf("core: single-choice Nodes = %d, need >= 2", p.Nodes)
+	}
+	if p.Items < 1 {
+		return fmt.Errorf("core: single-choice Items = %d, need >= 1", p.Items)
+	}
+	if p.CacheSize < 0 {
+		return fmt.Errorf("core: single-choice CacheSize = %d, need >= 0", p.CacheSize)
+	}
+	return nil
+}
+
+// BoundNormalizedMaxLoad returns the single-choice analogue of Eq. 10:
+// the normalized max load of an adversary querying x keys,
+//
+//	gain(x) <= (x−c)/(x−1) + sqrt(2·n·(x−c)·ln n)/(x−1) + n·K1/(x−1).
+//
+// Derivation: x−c uncached balls into n bins, single choice, max count
+// (x−c)/n + sqrt(2 (x−c) ln n / n) + K1, per-key rate R/(x−1), normalized
+// by R/n. It panics if x <= c or x < 2.
+func (p SingleChoiceParams) BoundNormalizedMaxLoad(x int) float64 {
+	if x <= p.CacheSize {
+		panic(fmt.Sprintf("core: single-choice bound with x=%d <= c=%d", x, p.CacheSize))
+	}
+	if x < 2 {
+		panic(fmt.Sprintf("core: single-choice bound with x=%d < 2", x))
+	}
+	n := float64(p.Nodes)
+	balls := float64(x - p.CacheSize)
+	dev := math.Sqrt(2 * n * balls * math.Log(n))
+	return (balls + dev + n*p.K1) / float64(x-1)
+}
+
+// BestAdversarialX numerically maximizes the bound over x in (c, m]. The
+// gain function is unimodal (a decreasing term plus a term maximized at
+// finite x), so a golden-section-style scan over the integer range is
+// robust; the range is scanned geometrically then refined.
+func (p SingleChoiceParams) BestAdversarialX() int {
+	lo := p.CacheSize + 1
+	if lo < 2 {
+		lo = 2
+	}
+	if lo >= p.Items {
+		return p.Items
+	}
+	bestX, bestGain := lo, p.BoundNormalizedMaxLoad(lo)
+	// Geometric scan.
+	for x := lo; x <= p.Items; x = x*11/10 + 1 {
+		if g := p.BoundNormalizedMaxLoad(x); g > bestGain {
+			bestX, bestGain = x, g
+		}
+	}
+	if g := p.BoundNormalizedMaxLoad(p.Items); g > bestGain {
+		bestX, bestGain = p.Items, g
+	}
+	// Local refinement around the geometric winner.
+	span := bestX / 10
+	if span < 10 {
+		span = 10
+	}
+	loRef, hiRef := bestX-span, bestX+span
+	if loRef < lo {
+		loRef = lo
+	}
+	if hiRef > p.Items {
+		hiRef = p.Items
+	}
+	step := (hiRef - loRef) / 200
+	if step < 1 {
+		step = 1
+	}
+	for x := loRef; x <= hiRef; x += step {
+		if g := p.BoundNormalizedMaxLoad(x); g > bestGain {
+			bestX, bestGain = x, g
+		}
+	}
+	return bestX
+}
+
+// TheoreticalOptimalX returns the closed-form stationary point of the
+// dominant term of the bound: maximizing sqrt(2n(x−c)ln n)/(x−1) over
+// continuous x gives x* = 2c − 1 + 2(1 − c)... — in the regime c >> 1 it
+// reduces to x* ≈ 2c. Exposed for tests and for comparing with the
+// numeric optimum.
+func (p SingleChoiceParams) TheoreticalOptimalX() float64 {
+	// d/dx [ sqrt(x−c)/(x−1) ] = 0  =>  (x−1) = 2(x−c)  =>  x = 2c − 1.
+	x := 2*float64(p.CacheSize) - 1
+	if x < 2 {
+		x = 2
+	}
+	if x > float64(p.Items) {
+		x = float64(p.Items)
+	}
+	return x
+}
+
+// RequiredCacheForGain returns the smallest cache size whose worst-case
+// bound stays at or below the target gain (> 1; the single-choice system
+// cannot reach gain <= 1 for any finite cache — that is precisely the
+// replication paper's improvement). It returns an error if even a cache
+// of m entries cannot meet the target.
+func (p SingleChoiceParams) RequiredCacheForGain(target float64) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if target <= 1 {
+		return 0, fmt.Errorf("core: single-choice cannot guarantee gain <= %v (needs replication)", target)
+	}
+	worst := func(c int) float64 {
+		q := p
+		q.CacheSize = c
+		x := q.BestAdversarialX()
+		if x <= c {
+			return 0
+		}
+		if x < 2 {
+			x = 2
+		}
+		return q.BoundNormalizedMaxLoad(x)
+	}
+	if worst(p.Items) > target {
+		return 0, fmt.Errorf("core: even caching all %d items leaves worst gain %v > %v",
+			p.Items, worst(p.Items), target)
+	}
+	lo, hi := 0, p.Items
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if worst(mid) <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Theorem1Step applies one load-shifting step of Theorem 1 to a query
+// distribution, in place.
+//
+// probs is a PMF over keys in decreasing-popularity order; the first c
+// entries are the cached keys, all at the plateau probability h =
+// probs[0] (for c = 0 the plateau is free and taken as min(1, the largest
+// current entry... see below). The step finds the first uncached key i
+// with 0 < probs[i] < h and the last key j with probs[j] > 0, j > i, and
+// shifts δ = min(h − probs[i], probs[j]) from j to i. The paper proves
+// this never decreases E[L_max].
+//
+// It returns true if a shift was performed, false if the distribution is
+// already in the Theorem-1 normal form (a plateau of h followed by one
+// residual key).
+//
+// The function panics if probs is not a valid PMF, if c is out of range,
+// or if the cached prefix is not a plateau dominating the uncached tail.
+func Theorem1Step(probs []float64, c int) bool {
+	h := validateTheorem1Input(probs, c)
+	// First uncached key strictly below the plateau with room to grow.
+	i := -1
+	for k := c; k < len(probs); k++ {
+		if probs[k] > 0 && probs[k] < h-1e-15 {
+			i = k
+			break
+		}
+	}
+	if i == -1 {
+		return false // all positive uncached keys already at the plateau
+	}
+	// Last positive key.
+	j := -1
+	for k := len(probs) - 1; k > i; k-- {
+		if probs[k] > 0 {
+			j = k
+			break
+		}
+	}
+	if j == -1 {
+		return false // i is the single residual key: normal form
+	}
+	delta := math.Min(h-probs[i], probs[j])
+	probs[i] += delta
+	probs[j] -= delta
+	if probs[j] < 1e-15 {
+		probs[j] = 0
+	}
+	return true
+}
+
+// Theorem1Normalize applies Theorem1Step until a fixed point, returning
+// the number of steps. The result is the Theorem-1 normal form: every
+// positive key except at most one sits at the cached plateau h, followed
+// by a single residual key. For a start with x0 positive keys the loop
+// terminates in at most x0 steps (each step zeroes the tail key or
+// saturates key i).
+func Theorem1Normalize(probs []float64, c int) int {
+	steps := 0
+	for Theorem1Step(probs, c) {
+		steps++
+		if steps > 4*len(probs) {
+			panic("core: Theorem1Normalize failed to converge (invalid input?)")
+		}
+	}
+	return steps
+}
+
+// validateTheorem1Input checks the PMF and plateau structure, returning
+// the plateau probability h.
+func validateTheorem1Input(probs []float64, c int) float64 {
+	if len(probs) == 0 {
+		panic("core: Theorem1Step on empty distribution")
+	}
+	if c < 0 || c >= len(probs) {
+		panic(fmt.Sprintf("core: Theorem1Step with c=%d out of range [0, %d)", c, len(probs)))
+	}
+	var sum float64
+	for k, p := range probs {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			panic(fmt.Sprintf("core: Theorem1Step: probs[%d] = %v invalid", k, p))
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		panic(fmt.Sprintf("core: Theorem1Step: probabilities sum to %v, want 1", sum))
+	}
+	// Plateau: the cached keys must share the maximum probability.
+	var h float64
+	if c > 0 {
+		h = probs[0]
+		for k := 1; k < c; k++ {
+			if math.Abs(probs[k]-h) > 1e-12 {
+				panic(fmt.Sprintf("core: Theorem1Step: cached keys not a plateau (probs[%d]=%v != h=%v)", k, probs[k], h))
+			}
+		}
+		for k := c; k < len(probs); k++ {
+			if probs[k] > h+1e-12 {
+				panic(fmt.Sprintf("core: Theorem1Step: uncached probs[%d]=%v above plateau h=%v", k, probs[k], h))
+			}
+		}
+	} else {
+		// No cache: the plateau is the current maximum (shifting toward
+		// the most-queried key still never decreases E[L_max]).
+		for _, p := range probs {
+			if p > h {
+				h = p
+			}
+		}
+	}
+	return h
+}
+
+// NormalFormX returns the number of positive keys of a distribution in
+// Theorem-1 normal form, i.e. the adversary's x. It panics if the
+// distribution is not in normal form (call Theorem1Normalize first).
+func NormalFormX(probs []float64, c int) int {
+	h := validateTheorem1Input(probs, c)
+	x := 0
+	belowPlateau := 0
+	for k, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		x++
+		if p < h-1e-12 {
+			belowPlateau++
+			if belowPlateau > 1 {
+				panic(fmt.Sprintf("core: distribution not in normal form: key %d below plateau", k))
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"securecache/internal/workload"
+	"securecache/internal/xrand"
+)
+
+func pmfSum(probs []float64) float64 {
+	var s float64
+	for _, p := range probs {
+		s += p
+	}
+	return s
+}
+
+func TestTheorem1StepShiftsTailToHead(t *testing.T) {
+	// c=2 cached at 0.3 each; uncached: 0.2, 0.15, 0.05.
+	probs := []float64{0.3, 0.3, 0.2, 0.15, 0.05}
+	changed := Theorem1Step(probs, 2)
+	if !changed {
+		t.Fatal("step reported no change")
+	}
+	// Key 2 (first below plateau) grows by δ = min(0.3-0.2, 0.05) = 0.05,
+	// taken from key 4 (last positive).
+	want := []float64{0.3, 0.3, 0.25, 0.15, 0}
+	for i, w := range want {
+		if math.Abs(probs[i]-w) > 1e-12 {
+			t.Errorf("probs[%d] = %v, want %v", i, probs[i], w)
+		}
+	}
+	if math.Abs(pmfSum(probs)-1) > 1e-12 {
+		t.Errorf("sum drifted to %v", pmfSum(probs))
+	}
+}
+
+func TestTheorem1StepSaturatesAtPlateau(t *testing.T) {
+	// δ limited by h - p_i: key 2 can only grow to h.
+	probs := []float64{0.3, 0.3, 0.25, 0.15}
+	Theorem1Step(probs, 2)
+	if math.Abs(probs[2]-0.3) > 1e-12 {
+		t.Errorf("probs[2] = %v, want saturated at 0.3", probs[2])
+	}
+	if math.Abs(probs[3]-0.1) > 1e-12 {
+		t.Errorf("probs[3] = %v, want 0.1", probs[3])
+	}
+}
+
+func TestTheorem1NormalFormFixedPoint(t *testing.T) {
+	// Already canonical adversarial shape: no step applies.
+	probs := []float64{0.25, 0.25, 0.25, 0.25}
+	if Theorem1Step(probs, 2) {
+		t.Error("step changed a normal-form distribution")
+	}
+	probs = []float64{0.3, 0.3, 0.3, 0.1}
+	if Theorem1Step(probs, 2) {
+		t.Error("step changed a plateau+residual distribution")
+	}
+}
+
+func TestTheorem1NormalizeConverges(t *testing.T) {
+	// A messy long tail must collapse to plateau + residual.
+	rng := xrand.New(3)
+	const m, c = 50, 5
+	probs := make([]float64, m)
+	// Cached plateau at h = 0.04; remaining mass 0.8 spread decreasingly.
+	for i := 0; i < c; i++ {
+		probs[i] = 0.04
+	}
+	rest := 0.8
+	weights := make([]float64, m-c)
+	var wsum float64
+	for i := range weights {
+		weights[i] = rng.Float64()
+		wsum += weights[i]
+	}
+	// Sort descending so the input respects monotone ordering under h.
+	for i := range weights {
+		weights[i] = weights[i] / wsum * rest
+	}
+	// Clamp any entry above h by redistributing (simple approach: scale
+	// all to be below h).
+	for i := range weights {
+		if weights[i] > 0.04 {
+			weights[i] = 0.039
+		}
+	}
+	var used float64
+	for _, w := range weights {
+		used += w
+	}
+	// Renormalize the whole PMF to sum to 1.
+	total := 0.2 + used
+	for i := 0; i < c; i++ {
+		probs[i] = 0.04 / total
+	}
+	for i := c; i < m; i++ {
+		probs[i] = weights[i-c] / total
+	}
+
+	steps := Theorem1Normalize(probs, c)
+	if steps == 0 {
+		t.Fatal("expected at least one step")
+	}
+	x := NormalFormX(probs, c)
+	if x <= c {
+		t.Fatalf("normal form x = %d, want > c = %d", x, c)
+	}
+	// Structure: all positive keys at plateau except at most one.
+	h := probs[0]
+	below := 0
+	for _, p := range probs {
+		if p > 0 && p < h-1e-12 {
+			below++
+		}
+	}
+	if below > 1 {
+		t.Errorf("%d keys below plateau after normalization, want <= 1", below)
+	}
+	if math.Abs(pmfSum(probs)-1) > 1e-9 {
+		t.Errorf("sum drifted to %v", pmfSum(probs))
+	}
+}
+
+func TestTheorem1NormalizeMatchesAdversarialDistribution(t *testing.T) {
+	// Normalizing uniform-over-x' mass under plateau h = 1/x should yield
+	// the same support as workload.NewAdversarial.
+	const m, c = 20, 4
+	// Start: cached at 1/10 each, six uncached keys at 1/10 each but the
+	// last two at 1/20 + 1/20 spread.
+	probs := make([]float64, m)
+	for i := 0; i < 8; i++ {
+		probs[i] = 0.1
+	}
+	probs[8], probs[9], probs[10], probs[11] = 0.05, 0.05, 0.05, 0.05
+	Theorem1Normalize(probs, c)
+	x := NormalFormX(probs, c)
+	ref := workload.NewAdversarial(m, x, probs[0])
+	for k := 0; k < m; k++ {
+		if math.Abs(probs[k]-ref.Prob(k)) > 1e-9 {
+			t.Errorf("key %d: normalized %v != adversarial reference %v", k, probs[k], ref.Prob(k))
+		}
+	}
+}
+
+func TestTheorem1StepValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":          func() { Theorem1Step(nil, 0) },
+		"c out of range": func() { Theorem1Step([]float64{1}, 1) },
+		"negative":       func() { Theorem1Step([]float64{1.5, -0.5}, 0) },
+		"sum != 1":       func() { Theorem1Step([]float64{0.5, 0.4}, 0) },
+		"broken plateau": func() { Theorem1Step([]float64{0.5, 0.3, 0.2}, 2) },
+		"tail above h":   func() { Theorem1Step([]float64{0.2, 0.2, 0.6}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTheorem1ZeroCachePlateauIsMax(t *testing.T) {
+	// c = 0: plateau is the current max; mass shifts toward key 0.
+	probs := []float64{0.5, 0.3, 0.2}
+	if !Theorem1Step(probs, 0) {
+		t.Fatal("no step applied")
+	}
+	// Key 1 grows by min(0.5-0.3, 0.2) = 0.2.
+	want := []float64{0.5, 0.5, 0}
+	for i, w := range want {
+		if math.Abs(probs[i]-w) > 1e-12 {
+			t.Errorf("probs[%d] = %v, want %v", i, probs[i], w)
+		}
+	}
+}
+
+func TestNormalFormXPanicsOnNonNormal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NormalFormX accepted a non-normal distribution")
+		}
+	}()
+	NormalFormX([]float64{0.4, 0.4, 0.1, 0.1}, 1) // two keys below plateau
+}

@@ -1,0 +1,316 @@
+// Package des is a discrete-event queueing simulator for the paper's
+// architecture. The analytical model (internal/cluster) reasons about
+// rates; des adds the time domain: Poisson query arrivals, exponential
+// per-query service times, FCFS queues at each back-end node — so an
+// attack's operational signature (queue growth, latency blow-up, drops at
+// a saturated node) can be measured, not just its rate concentration.
+//
+// The simulator is deliberately classical: a single event heap over
+// virtual time, M/M/1-style nodes, a front-end cache that serves hits in
+// zero simulated time (Assumption 3: the cache is never the bottleneck).
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"securecache/internal/hashing"
+	"securecache/internal/partition"
+	"securecache/internal/stats"
+	"securecache/internal/workload"
+	"securecache/internal/xrand"
+)
+
+// Policy selects the replica for a cache miss.
+type Policy string
+
+// Replica policies.
+const (
+	// PolicyLeastQueue routes each query to the replica with the shortest
+	// queue — per-query dynamic selection. Note this is *stronger* than
+	// the paper's model for a single hot key: consecutive queries for the
+	// same key spread over its d replicas.
+	PolicyLeastQueue Policy = "least-queue"
+	// PolicyRandom routes each query to a uniformly random replica.
+	PolicyRandom Policy = "random"
+	// PolicySticky pins each key to one deterministic replica of its
+	// group (hash-selected) — the paper's Assumption 1, where "the node
+	// which ultimately serves" a key is fixed (data locality, session
+	// affinity, or a client-side replica pick). Under attack this is the
+	// pessimistic, analysis-faithful policy.
+	PolicySticky Policy = "sticky"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Nodes is n. Required.
+	Nodes int
+	// Replication is d. Required.
+	Replication int
+	// PartitionSeed keys the (hash) partitioner.
+	PartitionSeed uint64
+	// Dist is the query distribution. Required.
+	Dist workload.Distribution
+	// Cached reports whether a key is pinned in the front-end cache
+	// (perfect-cache model); nil = no cache.
+	Cached func(key int) bool
+	// ArrivalRate is the total client rate R in queries per (simulated)
+	// second. Required (> 0).
+	ArrivalRate float64
+	// ServiceRate is each node's service rate µ (queries/second).
+	// Required (> 0). A node saturates when its miss rate approaches µ.
+	ServiceRate float64
+	// Policy defaults to PolicyLeastQueue.
+	Policy Policy
+	// ServiceDist selects the service-time distribution: "exp"
+	// (exponential, the default — M/M/1 nodes) or "det" (deterministic
+	// 1/µ — M/D/1 nodes, for workloads with uniform per-query cost as in
+	// the paper's Assumption 4).
+	ServiceDist string
+	// QueueCap bounds each node's queue (including the job in service);
+	// arrivals beyond it are dropped. 0 = unbounded.
+	QueueCap int
+	// Duration is the simulated time in seconds. Required (> 0).
+	Duration float64
+	// Warmup discards measurements before this time (default: 10% of
+	// Duration).
+	Warmup float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("des: Nodes = %d", c.Nodes)
+	}
+	if c.Replication < 1 || c.Replication > c.Nodes {
+		return fmt.Errorf("des: Replication = %d with %d nodes", c.Replication, c.Nodes)
+	}
+	if c.Dist == nil {
+		return fmt.Errorf("des: Dist is nil")
+	}
+	if c.ArrivalRate <= 0 || c.ServiceRate <= 0 {
+		return fmt.Errorf("des: rates must be positive (arrival %v, service %v)", c.ArrivalRate, c.ServiceRate)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("des: Duration = %v", c.Duration)
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Duration {
+		return fmt.Errorf("des: Warmup = %v outside [0, %v)", c.Warmup, c.Duration)
+	}
+	if c.QueueCap < 0 {
+		return fmt.Errorf("des: QueueCap = %v", c.QueueCap)
+	}
+	switch c.Policy {
+	case "", PolicyLeastQueue, PolicyRandom, PolicySticky:
+	default:
+		return fmt.Errorf("des: unknown policy %q", c.Policy)
+	}
+	switch c.ServiceDist {
+	case "", "exp", "det":
+		return nil
+	default:
+		return fmt.Errorf("des: unknown service distribution %q", c.ServiceDist)
+	}
+}
+
+// Result is the measured outcome of one simulation.
+type Result struct {
+	// Served counts backend queries completed after warmup.
+	Served int
+	// CacheHits counts queries absorbed by the front end after warmup.
+	CacheHits int
+	// Dropped counts arrivals rejected by a full queue after warmup.
+	Dropped int
+	// Latency summarizes backend query sojourn time (queue + service) in
+	// seconds, after warmup. Cache hits are excluded (they are served in
+	// zero simulated time by assumption).
+	Latency stats.Summary
+	// P99Latency estimates the 99th-percentile sojourn time (seconds).
+	P99Latency float64
+	// Utilization[i] is node i's busy fraction of the measured window.
+	Utilization []float64
+	// MaxQueue is the largest queue length observed at any node.
+	MaxQueue int
+	// NodeServed[i] counts queries node i completed after warmup.
+	NodeServed []int
+}
+
+// MaxUtilization returns the busiest node's utilization.
+func (r *Result) MaxUtilization() float64 {
+	m := 0.0
+	for _, u := range r.Utilization {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// DropRate returns dropped / (served + dropped), the loss ratio among
+// backend-bound queries.
+func (r *Result) DropRate() float64 {
+	total := r.Served + r.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Dropped) / float64(total)
+}
+
+// event kinds.
+const (
+	evArrival = iota
+	evDeparture
+)
+
+type event struct {
+	at   float64
+	kind int
+	node int // departure only
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type node struct {
+	queue     []float64 // arrival times of waiting + in-service jobs
+	busySince float64
+	busyTime  float64
+	served    int
+	maxQueue  int
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyLeastQueue
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = cfg.Duration / 10
+	}
+
+	part := partition.NewHash(cfg.Nodes, cfg.Replication, cfg.PartitionSeed)
+	rng := xrand.New(xrand.Derive(cfg.Seed, 0xDE5))
+	expRand := rng.Rand() // for ExpFloat64
+	serviceTime := func() float64 { return expRand.ExpFloat64() / cfg.ServiceRate }
+	if cfg.ServiceDist == "det" {
+		serviceTime = func() float64 { return 1 / cfg.ServiceRate }
+	}
+
+	nodes := make([]node, cfg.Nodes)
+	res := &Result{
+		Utilization: make([]float64, cfg.Nodes),
+		NodeServed:  make([]int, cfg.Nodes),
+	}
+	p99 := stats.NewP2Quantile(0.99)
+
+	events := &eventHeap{}
+	heap.Init(events)
+	heap.Push(events, event{at: expRand.ExpFloat64() / cfg.ArrivalRate, kind: evArrival})
+
+	group := make([]int, 0, cfg.Replication)
+	for events.Len() > 0 {
+		ev := heap.Pop(events).(event)
+		if ev.at > cfg.Duration {
+			break
+		}
+		now := ev.at
+		measuring := now >= cfg.Warmup
+		switch ev.kind {
+		case evArrival:
+			// Schedule the next arrival first (Poisson process).
+			heap.Push(events, event{at: now + expRand.ExpFloat64()/cfg.ArrivalRate, kind: evArrival})
+			key := cfg.Dist.Sample(rng)
+			if cfg.Cached != nil && cfg.Cached(key) {
+				if measuring {
+					res.CacheHits++
+				}
+				continue
+			}
+			group = part.GroupAppend(group[:0], uint64(key))
+			target := group[0]
+			switch cfg.Policy {
+			case PolicyRandom:
+				target = group[rng.Intn(len(group))]
+			case PolicySticky:
+				target = group[hashing.Hash64Uint(uint64(key), cfg.PartitionSeed^0x57CC)%uint64(len(group))]
+			default: // PolicyLeastQueue
+				for _, cand := range group[1:] {
+					if len(nodes[cand].queue) < len(nodes[target].queue) {
+						target = cand
+					}
+				}
+			}
+			nd := &nodes[target]
+			if cfg.QueueCap > 0 && len(nd.queue) >= cfg.QueueCap {
+				if measuring {
+					res.Dropped++
+				}
+				continue
+			}
+			nd.queue = append(nd.queue, now)
+			if len(nd.queue) > nd.maxQueue {
+				nd.maxQueue = len(nd.queue)
+			}
+			if len(nd.queue) == 1 { // idle server: start service
+				nd.busySince = now
+				heap.Push(events, event{
+					at:   now + serviceTime(),
+					kind: evDeparture,
+					node: target,
+				})
+			}
+		case evDeparture:
+			nd := &nodes[ev.node]
+			arrived := nd.queue[0]
+			nd.queue = nd.queue[1:]
+			if measuring {
+				res.Served++
+				nd.served++
+				sojourn := now - arrived
+				res.Latency.Add(sojourn)
+				p99.Add(sojourn)
+			}
+			if len(nd.queue) > 0 { // next job starts immediately
+				heap.Push(events, event{
+					at:   now + serviceTime(),
+					kind: evDeparture,
+					node: ev.node,
+				})
+			} else {
+				nd.busyTime += now - nd.busySince
+			}
+		}
+	}
+
+	for i := range nodes {
+		busy := nodes[i].busyTime
+		if len(nodes[i].queue) > 0 { // still busy at the end of the run
+			busy += cfg.Duration - nodes[i].busySince
+		}
+		// Busy fraction over the whole run; with a warmup that is a tenth
+		// of the duration the steady-state error is negligible.
+		res.Utilization[i] = math.Min(1, busy/cfg.Duration)
+		res.NodeServed[i] = nodes[i].served
+		if nodes[i].maxQueue > res.MaxQueue {
+			res.MaxQueue = nodes[i].maxQueue
+		}
+	}
+	res.P99Latency = p99.Value()
+	return res, nil
+}

@@ -1,0 +1,295 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"securecache/internal/workload"
+)
+
+func TestValidation(t *testing.T) {
+	good := Config{
+		Nodes: 4, Replication: 2, Dist: workload.NewUniform(10, 10),
+		ArrivalRate: 10, ServiceRate: 10, Duration: 1,
+	}
+	if err := good.validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.Replication = 0 },
+		func(c *Config) { c.Replication = 5 },
+		func(c *Config) { c.Dist = nil },
+		func(c *Config) { c.ArrivalRate = 0 },
+		func(c *Config) { c.ServiceRate = -1 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.Warmup = 2 },
+		func(c *Config) { c.QueueCap = -1 },
+		func(c *Config) { c.Policy = "bogus" },
+	}
+	for i, mut := range mutations {
+		bad := good
+		mut(&bad)
+		if _, err := Run(bad); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// TestMM1Latency checks the simulator against the closed form for an
+// M/M/1 queue: with a single node, no cache, mean sojourn time
+// W = 1/(µ − λ).
+func TestMM1Latency(t *testing.T) {
+	const lambda, mu = 700.0, 1000.0
+	res, err := Run(Config{
+		Nodes:       1,
+		Replication: 1,
+		Dist:        workload.NewUniform(100, 100),
+		ArrivalRate: lambda,
+		ServiceRate: mu,
+		Duration:    300,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (mu - lambda) // ≈ 3.33 ms
+	got := res.Latency.Mean()
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("M/M/1 mean sojourn %v, theory %v (>10%% off)", got, want)
+	}
+	// Utilization ρ = λ/µ = 0.7.
+	if u := res.Utilization[0]; math.Abs(u-0.7) > 0.05 {
+		t.Errorf("utilization %v, want ~0.7", u)
+	}
+	if res.Dropped != 0 {
+		t.Errorf("unbounded queue dropped %d", res.Dropped)
+	}
+}
+
+func TestCacheAbsorbsHits(t *testing.T) {
+	// All queried keys cached: backends see nothing.
+	res, err := Run(Config{
+		Nodes:       4,
+		Replication: 2,
+		Dist:        workload.NewUniform(100, 10),
+		Cached:      func(key int) bool { return key < 10 },
+		ArrivalRate: 1000,
+		ServiceRate: 100,
+		Duration:    10,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 0 {
+		t.Errorf("backends served %d with everything cached", res.Served)
+	}
+	if res.CacheHits == 0 {
+		t.Error("no cache hits recorded")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := Config{
+		Nodes: 8, Replication: 3, Dist: workload.NewZipf(200, 1.01),
+		ArrivalRate: 2000, ServiceRate: 400, Duration: 5, Seed: 3,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Served != b.Served || a.Latency.Mean() != b.Latency.Mean() {
+		t.Error("same seed produced different results")
+	}
+	cfg.Seed = 4
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Served == c.Served && a.Latency.Mean() == c.Latency.Mean() {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestBoundedQueueDrops(t *testing.T) {
+	// Overload one node hard (single hot key) with a tiny queue: drops.
+	res, err := Run(Config{
+		Nodes:       4,
+		Replication: 2,
+		Dist:        workload.NewUniform(100, 1), // all traffic on key 0
+		ArrivalRate: 1000,
+		ServiceRate: 100, // 10x overload on the victim node
+		QueueCap:    5,
+		Duration:    10,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Error("overloaded bounded queue dropped nothing")
+	}
+	if res.DropRate() < 0.5 {
+		t.Errorf("drop rate %v, want heavy loss under 10x overload", res.DropRate())
+	}
+	if res.MaxQueue > 5 {
+		t.Errorf("queue grew to %d past cap 5", res.MaxQueue)
+	}
+}
+
+func TestLeastQueueBeatsRandomUnderSkew(t *testing.T) {
+	// Moderately skewed load: least-queue routing should give lower p99
+	// than random routing.
+	base := Config{
+		Nodes:       6,
+		Replication: 3,
+		Dist:        workload.NewZipf(50, 1.2),
+		ArrivalRate: 3000,
+		ServiceRate: 800,
+		Duration:    20,
+		Seed:        6,
+	}
+	lq := base
+	lq.Policy = PolicyLeastQueue
+	rnd := base
+	rnd.Policy = PolicyRandom
+	a, err := Run(lq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P99Latency >= b.P99Latency {
+		t.Errorf("least-queue p99 %v not below random p99 %v", a.P99Latency, b.P99Latency)
+	}
+}
+
+func TestUtilizationConservation(t *testing.T) {
+	// Total served across nodes must equal Served; utilizations in [0,1].
+	res, err := Run(Config{
+		Nodes: 5, Replication: 2, Dist: workload.NewUniform(100, 100),
+		ArrivalRate: 1000, ServiceRate: 400, Duration: 10, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for i, u := range res.Utilization {
+		if u < 0 || u > 1 {
+			t.Errorf("node %d utilization %v", i, u)
+		}
+		sum += res.NodeServed[i]
+	}
+	if sum != res.Served {
+		t.Errorf("node served sum %d != Served %d", sum, res.Served)
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	cfg := Config{
+		Nodes: 50, Replication: 3, Dist: workload.NewZipf(1000, 1.01),
+		ArrivalRate: 10000, ServiceRate: 400, Duration: 2, Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestStickyPinsHotKeyToOneNode(t *testing.T) {
+	// All traffic on one key: sticky serves it from exactly one node,
+	// least-queue spreads it over the whole replica group.
+	base := Config{
+		Nodes:       6,
+		Replication: 3,
+		Dist:        workload.NewUniform(100, 1),
+		ArrivalRate: 900,
+		ServiceRate: 1000,
+		Duration:    10,
+		Seed:        8,
+	}
+	sticky := base
+	sticky.Policy = PolicySticky
+	rs, err := Run(sticky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	activeSticky := 0
+	for _, served := range rs.NodeServed {
+		if served > 0 {
+			activeSticky++
+		}
+	}
+	if activeSticky != 1 {
+		t.Errorf("sticky served the hot key from %d nodes, want 1", activeSticky)
+	}
+
+	lq := base
+	lq.Policy = PolicyLeastQueue
+	rl, err := Run(lq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	activeLQ := 0
+	for _, served := range rl.NodeServed {
+		if served > 0 {
+			activeLQ++
+		}
+	}
+	if activeLQ != 3 {
+		t.Errorf("least-queue served the hot key from %d nodes, want 3 (the replica group)", activeLQ)
+	}
+	// And the spreading buys latency: least-queue p99 below sticky p99.
+	if rl.P99Latency >= rs.P99Latency {
+		t.Errorf("least-queue p99 %v not below sticky p99 %v", rl.P99Latency, rs.P99Latency)
+	}
+}
+
+// TestMD1Latency checks deterministic service against the M/D/1 closed
+// form: W = 1/µ + ρ/(2µ(1−ρ)).
+func TestMD1Latency(t *testing.T) {
+	const lambda, mu = 700.0, 1000.0
+	res, err := Run(Config{
+		Nodes:       1,
+		Replication: 1,
+		Dist:        workload.NewUniform(100, 100),
+		ArrivalRate: lambda,
+		ServiceRate: mu,
+		ServiceDist: "det",
+		Duration:    300,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda / mu
+	want := 1/mu + rho/(2*mu*(1-rho)) // ≈ 2.17 ms
+	got := res.Latency.Mean()
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("M/D/1 mean sojourn %v, theory %v (>10%% off)", got, want)
+	}
+	// M/D/1 waits are half of M/M/1's queueing delay: must be clearly
+	// below the exponential-service result at the same load.
+	mm1 := 1 / (mu - lambda)
+	if got >= mm1 {
+		t.Errorf("M/D/1 sojourn %v not below M/M/1 %v", got, mm1)
+	}
+}
+
+func TestServiceDistValidation(t *testing.T) {
+	cfg := Config{
+		Nodes: 1, Replication: 1, Dist: workload.NewUniform(10, 10),
+		ArrivalRate: 1, ServiceRate: 1, Duration: 1, ServiceDist: "pareto",
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown service distribution accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+func TestFitKPaperRegime(t *testing.T) {
+	// n=1000, d=3, heavily loaded: the realized gap should be a small
+	// constant in the neighbourhood of the paper's fitted k = 1.2 and
+	// below the loose theory term + O(1).
+	res, err := FitK(1000, 3, 100, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KFitMean < 0.5 || res.KFitMean > 3 {
+		t.Errorf("fitted mean k = %v, want a small constant near 1-2", res.KFitMean)
+	}
+	if res.KFitMax < res.KFitMean {
+		t.Errorf("max-fit %v below mean-fit %v", res.KFitMax, res.KFitMean)
+	}
+	if res.GapTheory <= 0 {
+		t.Errorf("theory gap %v", res.GapTheory)
+	}
+	// The observed gap must not exceed theory by more than the Θ(1) the
+	// bound absorbs.
+	if res.GapMaxObserved > res.GapTheory+2.5 {
+		t.Errorf("observed gap %v far above theory %v", res.GapMaxObserved, res.GapTheory)
+	}
+}
+
+func TestFitKMoreChoicesSmallerGap(t *testing.T) {
+	d2, err := FitK(500, 2, 50, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4, err := FitK(500, 4, 50, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4.GapMeanObserved > d2.GapMeanObserved {
+		t.Errorf("gap with d=4 (%v) above d=2 (%v)", d4.GapMeanObserved, d2.GapMeanObserved)
+	}
+}
+
+func TestFitKValidation(t *testing.T) {
+	for name, args := range map[string][4]int{
+		"n too small": {1, 2, 10, 5},
+		"d too small": {100, 1, 10, 5},
+		"d > n":       {10, 11, 10, 5},
+		"no balls":    {100, 3, 0, 5},
+		"no runs":     {100, 3, 10, 0},
+	} {
+		if _, err := FitK(args[0], args[1], args[2], args[3], 1); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

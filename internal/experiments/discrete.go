@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"securecache/internal/cache"
+	"securecache/internal/partition"
+	"securecache/internal/sim"
+	"securecache/internal/workload"
+	"securecache/internal/xrand"
+)
+
+// DiscreteResult is the outcome of one discrete (per-query) simulation.
+type DiscreteResult struct {
+	// Queries is the number of queries replayed.
+	Queries int
+	// HitRatio is the front-end cache hit ratio.
+	HitRatio float64
+	// NormMax is the normalized max back-end load: the hottest node's
+	// query count divided by the even share (total queries / n).
+	NormMax float64
+}
+
+// DiscreteRun replays a concrete query stream through a real cache in
+// front of the partitioned back end, counting per-node queries. Unlike
+// sim.Run (which works on exact rates under the perfect-cache
+// assumption), this path exercises replacement/admission dynamics, so it
+// is the evaluator for the cache-policy ablation.
+//
+// Serving follows the paper's model at key granularity: the first miss of
+// a key picks the least-loaded replica of its group (the d-choice
+// process), and the key then *sticks* to that node — "the node which
+// ultimately serves it" is fixed (Assumption 1). Re-evaluating the choice
+// per query would quietly split a hot key across its replicas and
+// understate the attack.
+func DiscreteRun(n, d int, c cache.Cache, dist workload.Distribution,
+	queries int, seed uint64) (DiscreteResult, error) {
+	rng := xrand.New(xrand.Derive(seed, 0xD2))
+	return DiscreteRunStream(n, d, c, func(int) int { return dist.Sample(rng) }, queries, seed)
+}
+
+// DiscreteRunStream is DiscreteRun for an arbitrary query stream: next(q)
+// returns the q-th query's key. It enables attackers whose pattern is a
+// *sequence* rather than a distribution — e.g. the cyclic scan that
+// defeats recency-based caches (AdaptiveAttackAblation).
+func DiscreteRunStream(n, d int, c cache.Cache, next func(q int) int,
+	queries int, seed uint64) (DiscreteResult, error) {
+	if n < 1 || d < 1 || d > n {
+		return DiscreteResult{}, fmt.Errorf("experiments: DiscreteRun with n=%d d=%d", n, d)
+	}
+	if queries < 1 {
+		return DiscreteResult{}, fmt.Errorf("experiments: DiscreteRun with %d queries", queries)
+	}
+	part := partition.NewHash(n, d, xrand.Derive(seed, 0xD1))
+	counts := make([]int, n)
+	assigned := make(map[uint64]int) // key -> its serving node, fixed at first miss
+	group := make([]int, 0, d)
+	hits := 0
+	for q := 0; q < queries; q++ {
+		key := uint64(next(q))
+		if _, ok := c.Get(key); ok {
+			hits++
+			continue
+		}
+		c.Put(key, nil)
+		node, ok := assigned[key]
+		if !ok {
+			group = part.GroupAppend(group[:0], key)
+			node = group[0]
+			for _, cand := range group[1:] {
+				if counts[cand] < counts[node] {
+					node = cand
+				}
+			}
+			assigned[key] = node
+		}
+		counts[node]++
+	}
+	maxCount := 0
+	for _, cnt := range counts {
+		if cnt > maxCount {
+			maxCount = cnt
+		}
+	}
+	return DiscreteResult{
+		Queries:  queries,
+		HitRatio: float64(hits) / float64(queries),
+		NormMax:  float64(maxCount) / (float64(queries) / float64(n)),
+	}, nil
+}
+
+// CachePolicyNames labels CachePolicyAblation rows.
+var CachePolicyNames = []string{"perfect", "lru", "lfu", "slru", "tinylfu", "arc"}
+
+// CachePolicyAblation measures how close practical cache policies come to
+// the paper's perfect-cache assumption under the adversarial pattern: it
+// replays the best attack stream against perfect, LRU, LFU, SLRU, and
+// TinyLFU front ends of the same size and reports hit ratio and
+// normalized max load for each. queriesPerRun discrete queries are
+// replayed cfg.Runs times with fresh partitions and caches; the max over
+// runs is reported, matching the paper's statistic.
+func CachePolicyAblation(cfg Config, queriesPerRun int) (*sim.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if queriesPerRun < 1 {
+		return nil, fmt.Errorf("experiments: queriesPerRun = %d", queriesPerRun)
+	}
+	cacheSize := cfg.Nodes / 5
+	adv := cfg.adversary(cacheSize)
+	dist, err := adv.DistributionForX(adv.BestX())
+	if err != nil {
+		return nil, err
+	}
+	tbl := sim.NewTable(
+		fmt.Sprintf("Ablation: cache policy under attack (n=%d d=%d c=%d x=%d queries=%d runs=%d)",
+			cfg.Nodes, cfg.Replication, cacheSize, adv.BestX(), queriesPerRun, cfg.Runs),
+		"policy", "max_norm_load", "mean_hit_ratio")
+	for i, name := range CachePolicyNames {
+		var maxNorm, hitSum float64
+		for run := 0; run < cfg.Runs; run++ {
+			res, err := DiscreteRun(cfg.Nodes, cfg.Replication,
+				buildAblationCache(name, cacheSize, dist), dist,
+				queriesPerRun, xrand.Derive(cfg.Seed, 0xAB, uint64(i), uint64(run)))
+			if err != nil {
+				return nil, err
+			}
+			if res.NormMax > maxNorm {
+				maxNorm = res.NormMax
+			}
+			hitSum += res.HitRatio
+		}
+		tbl.AddRow(float64(i), maxNorm, hitSum/float64(cfg.Runs))
+	}
+	return tbl, nil
+}

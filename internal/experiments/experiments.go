@@ -1,0 +1,431 @@
+// Package experiments contains one driver per figure of the paper's
+// evaluation (§IV), plus the ablations DESIGN.md calls out. Every driver
+// returns a sim.Table whose rows are the series the corresponding figure
+// plots; the secexperiments binary renders them and bench_test.go runs
+// scaled-down versions.
+//
+// Paper defaults (§IV): n = 1000 back-end nodes, replication d = 3,
+// m = 10^5 stored keys, client rate R = 10^5 qps, 200 runs per point,
+// bound constant k = 1.2, least-loaded replica selection, perfect cache.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"securecache/internal/attack"
+	"securecache/internal/cluster"
+	"securecache/internal/core"
+	"securecache/internal/partition"
+	"securecache/internal/sim"
+	"securecache/internal/workload"
+)
+
+// Config holds the shared experiment parameters.
+type Config struct {
+	// Nodes is the base cluster size n.
+	Nodes int
+	// Replication is d.
+	Replication int
+	// Items is the stored key count m.
+	Items int
+	// Rate is the client rate R.
+	Rate float64
+	// Runs is the repetitions per sweep point.
+	Runs int
+	// K is the bound constant of Eq. 10 (the paper fits k = 1.2).
+	K float64
+	// Seed roots all randomness.
+	Seed uint64
+}
+
+// Default returns the paper's §IV parameters.
+func Default() Config {
+	return Config{
+		Nodes:       1000,
+		Replication: 3,
+		Items:       100000,
+		Rate:        100000,
+		Runs:        200,
+		K:           1.2,
+		Seed:        2013, // ICDCS'13
+	}
+}
+
+// Small returns a scaled-down configuration (n/10, m/20, fewer runs) that
+// preserves every qualitative regime: the provisioning threshold
+// c* = n·k+1 = 121 still sits well inside the swept cache range. Used by
+// tests and benchmarks.
+func Small() Config {
+	return Config{
+		Nodes:       100,
+		Replication: 3,
+		Items:       5000,
+		Rate:        10000,
+		Runs:        30,
+		K:           1.2,
+		Seed:        2013,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Nodes < 2 || c.Replication < 2 || c.Items < 1 || c.Rate <= 0 || c.Runs < 1 {
+		return fmt.Errorf("experiments: invalid config %+v", c)
+	}
+	if c.K == 0 {
+		return fmt.Errorf("experiments: K must be set (the paper uses 1.2)")
+	}
+	return nil
+}
+
+func (c Config) adversary(cacheSize int) attack.Adversary {
+	return attack.Adversary{
+		Items:       c.Items,
+		Nodes:       c.Nodes,
+		Replication: c.Replication,
+		CacheSize:   cacheSize,
+		KOverride:   c.K,
+	}
+}
+
+func (c Config) evalConfig() attack.EvalConfig {
+	return attack.EvalConfig{Rate: c.Rate, Runs: c.Runs, Seed: c.Seed}
+}
+
+// geomSweep returns ~points geometrically spaced integers covering
+// [lo, hi], always including both endpoints, strictly increasing.
+func geomSweep(lo, hi, points int) []int {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi <= lo {
+		return []int{lo}
+	}
+	if points < 2 {
+		points = 2
+	}
+	out := make([]int, 0, points)
+	ratio := float64(hi) / float64(lo)
+	for i := 0; i < points; i++ {
+		v := int(float64(lo) * math.Pow(ratio, float64(i)/float64(points-1)))
+		if len(out) > 0 && v <= out[len(out)-1] {
+			v = out[len(out)-1] + 1
+		}
+		if v > hi {
+			v = hi
+		}
+		out = append(out, v)
+		if v == hi {
+			break
+		}
+	}
+	if out[len(out)-1] != hi {
+		out = append(out, hi)
+	}
+	return out
+}
+
+// Fig3a reproduces Figure 3(a): normalized max workload vs the number of
+// queried keys x, with a small cache (c = n/5, the paper's 200 for
+// n = 1000). The simulated max-over-runs gain decreases with x and the
+// adversary profits from querying just over c keys; the Eq. 10 bound with
+// the fitted k tracks the curve from above at the optimum and in the
+// heavily loaded regime.
+func Fig3a(cfg Config) (*sim.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.Nodes / 5
+	return fig3(cfg, c, "Fig 3(a)")
+}
+
+// Fig3b reproduces Figure 3(b): same sweep with a large cache (c = 2n,
+// the paper's 2000). The gain now increases with x toward (but below) 1:
+// the adversary's best move is to query the whole key space and still
+// fails.
+func Fig3b(cfg Config) (*sim.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := 2 * cfg.Nodes
+	return fig3(cfg, c, "Fig 3(b)")
+}
+
+func fig3(cfg Config, cacheSize int, label string) (*sim.Table, error) {
+	adv := cfg.adversary(cacheSize)
+	xs := geomSweep(cacheSize+1, cfg.Items, 14)
+	tbl, err := adv.SweepX(xs, cfg.evalConfig())
+	if err != nil {
+		return nil, err
+	}
+	tbl.Title = fmt.Sprintf("%s: normalized max load vs x (n=%d d=%d c=%d m=%d R=%g runs=%d k=%g)",
+		label, cfg.Nodes, cfg.Replication, cacheSize, cfg.Items, cfg.Rate, cfg.Runs, cfg.K)
+	return tbl, nil
+}
+
+// Fig4 reproduces Figure 4: normalized max workload vs the number of
+// back-end nodes under three access patterns — uniform over all keys,
+// Zipf(1.01), and the adversarial best strategy — with a fixed cache
+// c = base n / 10 (the paper's 100). Uniform stays flat near 1, Zipf is
+// the cheapest to serve (the cache absorbs the skew), and the adversarial
+// curve grows once n·k + 1 exceeds c.
+func Fig4(cfg Config) (*sim.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cacheSize := cfg.Nodes / 10
+	nodeSweep := geomSweep(cfg.Nodes/10, 2*cfg.Nodes, 7)
+	tbl := sim.NewTable(
+		fmt.Sprintf("Fig 4: normalized max load vs n (c=%d d=%d m=%d R=%g runs=%d)",
+			cacheSize, cfg.Replication, cfg.Items, cfg.Rate, cfg.Runs),
+		"n", "uniform", "zipf_1.01", "adversarial")
+	zipf := workload.NewZipf(cfg.Items, 1.01)
+	uniform := workload.NewUniform(cfg.Items, cfg.Items)
+	for _, n := range nodeSweep {
+		if n < cfg.Replication {
+			continue
+		}
+		row := make([]float64, 0, 4)
+		row = append(row, float64(n))
+		for _, dist := range []workload.Distribution{uniform, zipf} {
+			agg, err := sim.Run(sim.Scenario{
+				Nodes:       n,
+				Replication: cfg.Replication,
+				CacheSize:   cacheSize,
+				Dist:        dist,
+				Rate:        cfg.Rate,
+				Runs:        cfg.Runs,
+				Seed:        cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, agg.MaxOfNormMax())
+		}
+		advCfg := cfg
+		advCfg.Nodes = n
+		res, err := advCfg.adversary(cacheSize).EvaluateBest(advCfg.evalConfig())
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, float64(res.MaxGain))
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}
+
+// Fig5 computes the shared sweep behind Figures 5(a) and 5(b): for each
+// cache size, the adversary's best achievable normalized max load and the
+// number of keys that best attack queries. The returned table has columns
+// c, best_gain, bound, best_x, and the analytic threshold is reported in
+// the title.
+func Fig5(cfg Config) (*sim.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cstar := core.Params{
+		Nodes:       cfg.Nodes,
+		Replication: cfg.Replication,
+		Items:       cfg.Items,
+		KOverride:   cfg.K,
+	}.RequiredCacheSize()
+	sweep := geomSweep(cfg.Nodes/50, 4*cfg.Nodes, 13)
+	tbl := sim.NewTable(
+		fmt.Sprintf("Fig 5: best adversarial gain and queried keys vs cache size (n=%d d=%d m=%d runs=%d, analytic c*=%d)",
+			cfg.Nodes, cfg.Replication, cfg.Items, cfg.Runs, cstar),
+		"c", "best_gain", "bound", "best_x")
+	for _, c := range sweep {
+		adv := cfg.adversary(c)
+		res, err := adv.EvaluateBest(cfg.evalConfig())
+		if err != nil {
+			return nil, err
+		}
+		p := adv.Params()
+		boundX := p.BestAdversarialX()
+		if boundX < 2 {
+			boundX = 2
+		}
+		bound := 0.0
+		if boundX > c {
+			bound = p.BoundNormalizedMaxLoad(boundX)
+		}
+		tbl.AddRow(float64(c), float64(res.MaxGain), bound, float64(res.X))
+	}
+	return tbl, nil
+}
+
+// Fig5a reproduces Figure 5(a): best achievable normalized max load vs
+// cache size, with the Eq. 10 bound. The curve decreases in c and crosses
+// 1.0 at a critical point close to the analytic c* = n·k + 1.
+func Fig5a(cfg Config) (*sim.Table, error) {
+	full, err := Fig5(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tbl := sim.NewTable(full.Title+" — (a) best gain", "c", "best_gain", "bound")
+	for i := 0; i < full.Rows(); i++ {
+		row := full.Row(i)
+		tbl.AddRow(row[0], row[1], row[2])
+	}
+	return tbl, nil
+}
+
+// Fig5b reproduces Figure 5(b): the number of keys the best adversary
+// queries vs cache size. Below the critical point the adversary queries
+// c+1 keys; above it, the entire key space m.
+func Fig5b(cfg Config) (*sim.Table, error) {
+	full, err := Fig5(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tbl := sim.NewTable(full.Title+" — (b) queried keys", "c", "best_x")
+	for i := 0; i < full.Rows(); i++ {
+		row := full.Row(i)
+		tbl.AddRow(row[0], row[3])
+	}
+	return tbl, nil
+}
+
+// CriticalPoint empirically locates the cache size at which the best
+// adversarial gain stops exceeding 1.0 (the crossing the paper's Fig 5(a)
+// marks) and returns it together with the analytic c* for comparison.
+func CriticalPoint(cfg Config) (empirical, analytic int, err error) {
+	if err := cfg.validate(); err != nil {
+		return 0, 0, err
+	}
+	analytic = core.Params{
+		Nodes:       cfg.Nodes,
+		Replication: cfg.Replication,
+		Items:       cfg.Items,
+		KOverride:   cfg.K,
+	}.RequiredCacheSize()
+	gain := func(c int) float64 {
+		res, gerr := cfg.adversary(c).EvaluateBest(cfg.evalConfig())
+		if gerr != nil {
+			err = gerr
+			return 0
+		}
+		return float64(res.MaxGain)
+	}
+	empirical, cerr := core.CriticalPoint(1, 4*cfg.Nodes, 1.0, gain)
+	if err != nil {
+		return 0, 0, err
+	}
+	if cerr != nil {
+		return 0, 0, cerr
+	}
+	return empirical, analytic, nil
+}
+
+// ReplicationSweep is an ablation beyond the paper: the attack gain at a
+// fixed sub-threshold cache and the required cache size c*, as the
+// replication factor d varies. More replication tightens the bound
+// (ln ln n / ln d shrinks), so c* decreases in d.
+func ReplicationSweep(cfg Config, ds []int) (*sim.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(ds) == 0 {
+		ds = []int{2, 3, 4, 5}
+	}
+	cacheSize := cfg.Nodes / 5
+	tbl := sim.NewTable(
+		fmt.Sprintf("Ablation: replication factor sweep (n=%d c=%d m=%d runs=%d)",
+			cfg.Nodes, cacheSize, cfg.Items, cfg.Runs),
+		"d", "gap_term", "required_c", "best_gain")
+	for _, d := range ds {
+		if d < 2 || d > cfg.Nodes {
+			return nil, fmt.Errorf("experiments: replication %d out of range", d)
+		}
+		dcfg := cfg
+		dcfg.Replication = d
+		// Use the theoretical k for cross-d comparisons: the fitted 1.2
+		// was calibrated for d=3 only.
+		p := core.Params{Nodes: cfg.Nodes, Replication: d, Items: cfg.Items}
+		adv := dcfg.adversary(cacheSize)
+		res, err := adv.EvaluateBest(dcfg.evalConfig())
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(float64(d), p.Gap(), float64(p.RequiredCacheSize()), float64(res.MaxGain))
+	}
+	return tbl, nil
+}
+
+// PolicyAblation compares replica-selection policies under the best
+// adversarial pattern at a fixed sub-threshold cache: least-loaded (the
+// paper's model), random replica, and split. Least-loaded should win.
+func PolicyAblation(cfg Config) (*sim.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cacheSize := cfg.Nodes / 5
+	// In this regime the best attack queries c+1 keys.
+	x := cacheSize + 1
+	dist := workload.NewAdversarial(cfg.Items, x, 0)
+	tbl := sim.NewTable(
+		fmt.Sprintf("Ablation: replica-selection policy under attack (n=%d d=%d c=%d x=%d runs=%d)",
+			cfg.Nodes, cfg.Replication, cacheSize, x, cfg.Runs),
+		"policy", "max_gain", "mean_gain")
+	for i, policy := range []cluster.Policy{cluster.PolicyLeastLoaded, cluster.PolicyRandomReplica, cluster.PolicySplit} {
+		agg, err := sim.Run(sim.Scenario{
+			Nodes:       cfg.Nodes,
+			Replication: cfg.Replication,
+			CacheSize:   cacheSize,
+			Dist:        dist,
+			Rate:        cfg.Rate,
+			Runs:        cfg.Runs,
+			Seed:        cfg.Seed,
+			Policy:      policy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(float64(i), agg.MaxOfNormMax(), agg.NormMax.Mean())
+	}
+	return tbl, nil
+}
+
+// PolicyNames maps PolicyAblation row indices to policy names (tables are
+// numeric; callers label rows with this).
+var PolicyNames = []string{string(cluster.PolicyLeastLoaded), string(cluster.PolicyRandomReplica), string(cluster.PolicySplit)}
+
+// PartitionerAblation confirms the results are partitioner-independent:
+// the attack gain at a fixed sub-threshold cache under hash, ring, and
+// rendezvous partitioning should agree within noise.
+func PartitionerAblation(cfg Config) (*sim.Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cacheSize := cfg.Nodes / 5
+	adv := cfg.adversary(cacheSize)
+	x := adv.BestX()
+	dist, err := adv.DistributionForX(x)
+	if err != nil {
+		return nil, err
+	}
+	tbl := sim.NewTable(
+		fmt.Sprintf("Ablation: partitioner scheme under attack (n=%d d=%d c=%d x=%d runs=%d)",
+			cfg.Nodes, cfg.Replication, cacheSize, x, cfg.Runs),
+		"partitioner", "max_gain", "mean_gain")
+	for i, kind := range []partition.Kind{partition.KindHash, partition.KindRing, partition.KindRendezvous} {
+		agg, err := sim.Run(sim.Scenario{
+			Nodes:       cfg.Nodes,
+			Replication: cfg.Replication,
+			CacheSize:   cacheSize,
+			Dist:        dist,
+			Rate:        cfg.Rate,
+			Runs:        cfg.Runs,
+			Seed:        cfg.Seed,
+			Partitioner: kind,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(float64(i), agg.MaxOfNormMax(), agg.NormMax.Mean())
+	}
+	return tbl, nil
+}
+
+// PartitionerNames labels PartitionerAblation rows.
+var PartitionerNames = []string{string(partition.KindHash), string(partition.KindRing), string(partition.KindRendezvous)}

@@ -1,0 +1,38 @@
+package guard_test
+
+import (
+	"fmt"
+
+	"securecache/internal/core"
+	"securecache/internal/guard"
+)
+
+// Watch a small cluster's load windows and catch a concentration attack.
+func ExampleGuard_Observe() {
+	g, err := guard.New(guard.Config{
+		Params: core.Params{
+			Nodes: 10, Replication: 3, Items: 10000, CacheSize: 2, KOverride: 1.2,
+		},
+		Smoothing: 1, // no EWMA smoothing, for a deterministic example
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Window 1: balanced traffic.
+	flat := []float64{100, 101, 99, 100, 98, 102, 100, 100, 99, 101}
+	obs, _ := g.Observe(flat)
+	fmt.Println("flat:   ", obs.Verdict)
+
+	// Window 2: one node carries 5x its share.
+	hot := []float64{100, 100, 100, 500, 100, 100, 100, 100, 100, 100}
+	obs, _ = g.Observe(hot)
+	fmt.Println("hot:    ", obs.Verdict)
+	fmt.Println("vulnerable below c*:", obs.Vulnerable)
+	fmt.Println("recommended cache:", obs.RecommendedCacheSize)
+	// Output:
+	// flat:    balanced
+	// hot:     critical
+	// vulnerable below c*: true
+	// recommended cache: 13
+}

@@ -1,0 +1,166 @@
+// Package guard turns the paper's theory into an operational monitor: it
+// watches per-node load samples, detects when the cluster's load shape
+// looks adversarial (hottest node far above the even share), and
+// recommends the front-end cache size that would make such an attack
+// impossible.
+//
+// Detection is deliberately simple and assumption-light — it needs only
+// the per-node load vector the back ends already export (requests_total
+// deltas) — because the paper's whole point is that *prevention* is a
+// provisioning decision, not a filtering one. The guard tells you that
+// you are under (or vulnerable to) load-concentration attack and what c*
+// to provision; it does not try to identify attacker keys.
+package guard
+
+import (
+	"fmt"
+	"math"
+
+	"securecache/internal/core"
+)
+
+// Verdict classifies one load observation window.
+type Verdict string
+
+// Verdicts.
+const (
+	// VerdictBalanced: the load shape is consistent with benign traffic
+	// through a working cache (normalized max below the alert level).
+	VerdictBalanced Verdict = "balanced"
+	// VerdictSkewed: one node is meaningfully above the even share —
+	// either an attack below the provisioning threshold or organic skew
+	// leaking past the cache.
+	VerdictSkewed Verdict = "skewed"
+	// VerdictCritical: the hottest node is beyond the critical level
+	// (default 2x the even share); service degradation is imminent.
+	VerdictCritical Verdict = "critical"
+)
+
+// Config parameterizes a Guard.
+type Config struct {
+	// Params describes the protected cluster (Nodes, Replication, Items,
+	// CacheSize, and optionally the bound constant). Required fields as
+	// per core.Params.Validate.
+	Params core.Params
+	// AlertGain is the normalized max load above which the verdict is
+	// Skewed. Default 1.2 (the even share plus the Θ(1) slack the
+	// d-choice allocation itself can produce).
+	AlertGain float64
+	// CriticalGain is the level above which the verdict is Critical.
+	// Default 2.0.
+	CriticalGain float64
+	// Smoothing is the EWMA factor applied to successive windows in
+	// (0, 1]; 1 means no smoothing. Default 0.3.
+	Smoothing float64
+}
+
+// Guard is a stateful monitor. It is not safe for concurrent use; feed it
+// from a single collection loop.
+type Guard struct {
+	cfg    Config
+	ewma   float64
+	primed bool
+	obs    int
+}
+
+// New validates cfg and returns a Guard.
+func New(cfg Config) (*Guard, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("guard: %w", err)
+	}
+	if cfg.AlertGain == 0 {
+		cfg.AlertGain = 1.2
+	}
+	if cfg.CriticalGain == 0 {
+		cfg.CriticalGain = 2.0
+	}
+	if cfg.AlertGain <= 1 || cfg.CriticalGain <= cfg.AlertGain {
+		return nil, fmt.Errorf("guard: need 1 < AlertGain (%v) < CriticalGain (%v)",
+			cfg.AlertGain, cfg.CriticalGain)
+	}
+	if cfg.Smoothing < 0 || cfg.Smoothing > 1 {
+		return nil, fmt.Errorf("guard: Smoothing %v outside [0, 1]", cfg.Smoothing)
+	}
+	if cfg.Smoothing == 0 {
+		cfg.Smoothing = 0.3
+	}
+	return &Guard{cfg: cfg}, nil
+}
+
+// Observation is the guard's assessment of one window.
+type Observation struct {
+	// NormalizedMax is max(loads) / mean(loads) for this window: the
+	// realized attack gain, assuming the window's total is the offered
+	// backend load.
+	NormalizedMax float64
+	// Smoothed is the EWMA of NormalizedMax across windows.
+	Smoothed float64
+	// Verdict classifies the smoothed value.
+	Verdict Verdict
+	// Vulnerable reports whether the configured cache is below the
+	// provisioning threshold (an attack like this window's shape is
+	// *expected* to be possible).
+	Vulnerable bool
+	// RecommendedCacheSize is c* for the cluster — the provisioning fix.
+	RecommendedCacheSize int
+}
+
+// Observe ingests one window of per-node loads (request-count deltas or
+// rates; any consistent unit). It returns the assessment, or an error for
+// malformed input. Windows with zero total load return VerdictBalanced
+// and do not move the EWMA.
+func (g *Guard) Observe(loads []float64) (Observation, error) {
+	if len(loads) != g.cfg.Params.Nodes {
+		return Observation{}, fmt.Errorf("guard: %d load samples for %d nodes",
+			len(loads), g.cfg.Params.Nodes)
+	}
+	var total, maxLoad float64
+	for i, l := range loads {
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return Observation{}, fmt.Errorf("guard: invalid load %v at node %d", l, i)
+		}
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	obs := Observation{
+		Vulnerable:           g.cfg.Params.EffectiveAttackPossible(),
+		RecommendedCacheSize: g.cfg.Params.RequiredCacheSize(),
+	}
+	if total == 0 {
+		obs.Verdict = VerdictBalanced
+		obs.Smoothed = g.ewma
+		return obs, nil
+	}
+	obs.NormalizedMax = maxLoad / (total / float64(len(loads)))
+	if !g.primed {
+		g.ewma = obs.NormalizedMax
+		g.primed = true
+	} else {
+		g.ewma = g.cfg.Smoothing*obs.NormalizedMax + (1-g.cfg.Smoothing)*g.ewma
+	}
+	g.obs++
+	obs.Smoothed = g.ewma
+	switch {
+	case obs.Smoothed >= g.cfg.CriticalGain:
+		obs.Verdict = VerdictCritical
+	case obs.Smoothed >= g.cfg.AlertGain:
+		obs.Verdict = VerdictSkewed
+	default:
+		obs.Verdict = VerdictBalanced
+	}
+	return obs, nil
+}
+
+// Windows returns the number of non-empty windows observed.
+func (g *Guard) Windows() int { return g.obs }
+
+// String renders an observation for operator logs.
+func (o Observation) String() string {
+	s := fmt.Sprintf("norm-max=%.3f (ewma %.3f) verdict=%s", o.NormalizedMax, o.Smoothed, o.Verdict)
+	if o.Vulnerable {
+		s += fmt.Sprintf(" — cache below threshold, grow to c*=%d", o.RecommendedCacheSize)
+	}
+	return s
+}

@@ -1,0 +1,184 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+
+	"securecache/internal/cluster"
+	"securecache/internal/core"
+	"securecache/internal/workload"
+	"securecache/internal/xrand"
+)
+
+func testParams(c int) core.Params {
+	return core.Params{Nodes: 50, Replication: 3, Items: 5000, CacheSize: c, KOverride: 1.2}
+}
+
+func mustGuard(t *testing.T, cfg Config) *Guard {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{},                                      // invalid params
+		{Params: testParams(0), AlertGain: 0.9}, // alert <= 1
+		{Params: testParams(0), AlertGain: 1.5, CriticalGain: 1.4},
+		{Params: testParams(0), Smoothing: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := New(Config{Params: testParams(0)}); err != nil {
+		t.Errorf("defaulted config rejected: %v", err)
+	}
+}
+
+func TestObserveInputValidation(t *testing.T) {
+	g := mustGuard(t, Config{Params: testParams(10)})
+	if _, err := g.Observe(make([]float64, 3)); err == nil {
+		t.Error("wrong-length load vector accepted")
+	}
+	loads := make([]float64, 50)
+	loads[0] = -1
+	if _, err := g.Observe(loads); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestBalancedVerdict(t *testing.T) {
+	g := mustGuard(t, Config{Params: testParams(200), Smoothing: 1})
+	loads := make([]float64, 50)
+	for i := range loads {
+		loads[i] = 100
+	}
+	obs, err := g.Observe(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Verdict != VerdictBalanced {
+		t.Errorf("flat loads verdict %s", obs.Verdict)
+	}
+	if obs.NormalizedMax != 1 {
+		t.Errorf("norm max %v, want 1", obs.NormalizedMax)
+	}
+	if obs.Vulnerable {
+		t.Error("c=200 > c*=61 flagged vulnerable")
+	}
+}
+
+func TestCriticalVerdictUnderConcentration(t *testing.T) {
+	g := mustGuard(t, Config{Params: testParams(10), Smoothing: 1})
+	loads := make([]float64, 50)
+	for i := range loads {
+		loads[i] = 10
+	}
+	loads[7] = 500 // hot node
+	obs, err := g.Observe(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Verdict != VerdictCritical {
+		t.Errorf("verdict %s, want critical (norm max %v)", obs.Verdict, obs.NormalizedMax)
+	}
+	if !obs.Vulnerable {
+		t.Error("c=10 < c* not flagged vulnerable")
+	}
+	if obs.RecommendedCacheSize != testParams(10).RequiredCacheSize() {
+		t.Error("recommendation != c*")
+	}
+	if !strings.Contains(obs.String(), "grow to c*") {
+		t.Errorf("String() missing recommendation: %s", obs.String())
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	g := mustGuard(t, Config{Params: testParams(10), Smoothing: 0.5})
+	flat := make([]float64, 50)
+	spike := make([]float64, 50)
+	for i := range flat {
+		flat[i] = 10
+		spike[i] = 10
+	}
+	spike[0] = 1000
+	// Prime with flat traffic.
+	for i := 0; i < 5; i++ {
+		if _, err := g.Observe(flat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One spike window must not immediately push the EWMA to the raw max.
+	obs, err := g.Observe(spike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Smoothed >= obs.NormalizedMax {
+		t.Errorf("EWMA %v not below raw %v after one spike", obs.Smoothed, obs.NormalizedMax)
+	}
+	// Sustained spikes converge upward.
+	for i := 0; i < 10; i++ {
+		obs, err = g.Observe(spike)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if obs.Verdict != VerdictCritical {
+		t.Errorf("sustained concentration verdict %s", obs.Verdict)
+	}
+	if g.Windows() != 16 {
+		t.Errorf("Windows = %d, want 16", g.Windows())
+	}
+}
+
+func TestZeroWindowIgnored(t *testing.T) {
+	g := mustGuard(t, Config{Params: testParams(10)})
+	obs, err := g.Observe(make([]float64, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Verdict != VerdictBalanced || g.Windows() != 0 {
+		t.Errorf("empty window: verdict %s, windows %d", obs.Verdict, g.Windows())
+	}
+}
+
+// TestGuardDetectsSimulatedAttack wires the guard to the cluster
+// simulator: benign Zipf traffic through an adequate cache stays
+// balanced; the optimal attack against a small cache trips the alarm.
+func TestGuardDetectsSimulatedAttack(t *testing.T) {
+	const n, d, m, c = 50, 3, 5000, 10
+	cl, err := cluster.New(cluster.Config{Nodes: n, Replication: d, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustGuard(t, Config{Params: testParams(c), Smoothing: 1})
+
+	// Benign: Zipf through a perfect cache of the top c keys.
+	zipf := workload.NewZipf(m, 1.01)
+	cached := cluster.CachedSet(workload.TopC(zipf, c))
+	rep := cl.ApplyLoad(zipf, 10000, cached, xrand.New(1))
+	obs, err := g.Observe(rep.Loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Verdict == VerdictCritical {
+		t.Errorf("benign zipf flagged critical (norm max %v)", obs.NormalizedMax)
+	}
+
+	// Attack: x = c+1 equal keys.
+	atk := workload.NewAdversarial(m, c+1, 0)
+	cachedAtk := cluster.CachedSet(workload.TopC(atk, c))
+	rep = cl.ApplyLoad(atk, 10000, cachedAtk, xrand.New(2))
+	obs, err = g.Observe(rep.Loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Verdict != VerdictCritical {
+		t.Errorf("attack verdict %s (norm max %v), want critical", obs.Verdict, obs.NormalizedMax)
+	}
+}

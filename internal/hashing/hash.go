@@ -1,0 +1,71 @@
+// Package hashing provides the hash primitives used for randomized service
+// partitioning: a seeded 64-bit string hash, and three node-selection
+// schemes built on it (consistent-hash ring, rendezvous hashing, and jump
+// consistent hash).
+//
+// The security property the paper relies on is *opacity*: the mapping from
+// keys to replica groups must be unpredictable to a client that does not
+// know the seed. All hashes here are therefore keyed — the same key hashes
+// differently under different seeds — and the partitioners in
+// internal/partition keep their seed private.
+package hashing
+
+// FNV-1a constants (64-bit variant).
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// Hash64 returns a keyed 64-bit hash of key. It is FNV-1a seeded with a
+// mixed seed and strengthened with a splitmix-style avalanche finalizer, so
+// that near-identical keys (e.g. "key-1", "key-2") produce uncorrelated
+// outputs. It allocates nothing.
+func Hash64(key string, seed uint64) uint64 {
+	h := fnvOffset64 ^ mix(seed)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return mix(h)
+}
+
+// Hash64Bytes is Hash64 for a byte slice key.
+func Hash64Bytes(key []byte, seed uint64) uint64 {
+	h := fnvOffset64 ^ mix(seed)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return mix(h)
+}
+
+// Hash64Uint returns a keyed hash of an integer key without formatting it
+// into a string. Integer keys are the common case in simulations, where the
+// key space is simply [0, m).
+func Hash64Uint(key, seed uint64) uint64 {
+	return mix(mix(key^0x9e3779b97f4a7c15) ^ mix(seed))
+}
+
+// mix is the splitmix64 finalizer: a full-avalanche 64-bit permutation.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// JumpHash implements Lamping & Veach's jump consistent hash: it maps hash
+// to a bucket in [0, buckets) such that changing buckets from b to b+1
+// remaps only ~1/(b+1) of the keys. It panics if buckets <= 0.
+func JumpHash(hash uint64, buckets int) int {
+	if buckets <= 0 {
+		panic("hashing: JumpHash with non-positive bucket count")
+	}
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		hash = hash*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((hash>>33)+1)))
+	}
+	return int(b)
+}

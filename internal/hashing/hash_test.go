@@ -1,0 +1,127 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	f := func(key string, seed uint64) bool {
+		return Hash64(key, seed) == Hash64(key, seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash64SeedDependence(t *testing.T) {
+	// The same key under different seeds must hash differently (the
+	// opacity property the partitioner relies on).
+	keys := []string{"", "a", "key-1", "key-2", "user:12345"}
+	for _, k := range keys {
+		if Hash64(k, 1) == Hash64(k, 2) {
+			t.Errorf("Hash64(%q) identical under seeds 1 and 2", k)
+		}
+	}
+}
+
+func TestHash64BytesMatchesString(t *testing.T) {
+	f := func(key []byte, seed uint64) bool {
+		return Hash64Bytes(key, seed) == Hash64(string(key), seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash64UintAvalanche(t *testing.T) {
+	// Consecutive integer keys must produce well-spread hashes: check that
+	// bucketizing 100k consecutive keys into 64 buckets is near-uniform.
+	const n, buckets = 100000, 64
+	counts := make([]int, buckets)
+	for k := uint64(0); k < n; k++ {
+		counts[Hash64Uint(k, 7)%buckets]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d hashes, want ~%v", b, c, want)
+		}
+	}
+}
+
+func TestJumpHashRange(t *testing.T) {
+	f := func(h uint64) bool {
+		b := JumpHash(h, 10)
+		return b >= 0 && b < 10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJumpHashSingleBucket(t *testing.T) {
+	for _, h := range []uint64{0, 1, math.MaxUint64} {
+		if got := JumpHash(h, 1); got != 0 {
+			t.Errorf("JumpHash(%d, 1) = %d, want 0", h, got)
+		}
+	}
+}
+
+func TestJumpHashMinimalDisruption(t *testing.T) {
+	// Growing from b to b+1 buckets should remap roughly 1/(b+1) of keys.
+	const keys = 50000
+	const from, to = 10, 11
+	moved := 0
+	for k := uint64(0); k < keys; k++ {
+		h := Hash64Uint(k, 3)
+		if JumpHash(h, from) != JumpHash(h, to) {
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	want := 1.0 / to
+	if math.Abs(frac-want) > 0.02 {
+		t.Errorf("moved fraction %v, want ~%v", frac, want)
+	}
+}
+
+func TestJumpHashPanicsOnZeroBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("JumpHash(_, 0) did not panic")
+		}
+	}()
+	JumpHash(1, 0)
+}
+
+func TestJumpHashUniform(t *testing.T) {
+	const keys, buckets = 100000, 13
+	counts := make([]int, buckets)
+	for k := uint64(0); k < keys; k++ {
+		counts[JumpHash(Hash64Uint(k, 9), buckets)]++
+	}
+	want := float64(keys) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d keys, want ~%v", b, c, want)
+		}
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Hash64("benchmark-key-123456", uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkHash64Uint(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Hash64Uint(uint64(i), 42)
+	}
+	_ = sink
+}

@@ -1,0 +1,90 @@
+package hashing
+
+import "container/heap"
+
+// Rendezvous implements highest-random-weight (HRW, "rendezvous") hashing
+// over nodes 0..n-1. A key is assigned to the node(s) with the highest
+// keyed hash of the (key, node) pair. Rendezvous hashing gives perfectly
+// uniform placement in expectation and minimal disruption on membership
+// change, at O(n) lookup cost.
+//
+// Rendezvous is safe for concurrent use: it is immutable after creation.
+type Rendezvous struct {
+	seed uint64
+	n    int
+}
+
+// NewRendezvous returns an HRW hasher over n nodes keyed by seed.
+// It panics if n <= 0.
+func NewRendezvous(n int, seed uint64) *Rendezvous {
+	if n <= 0 {
+		panic("hashing: NewRendezvous with n <= 0")
+	}
+	return &Rendezvous{seed: seed, n: n}
+}
+
+// Len reports the number of nodes.
+func (r *Rendezvous) Len() int { return r.n }
+
+// Get returns the single highest-weight node for key.
+func (r *Rendezvous) Get(key string) int {
+	h := Hash64(key, r.seed)
+	return r.topOfUint(h, 1)[0]
+}
+
+// GetN returns the n highest-weight distinct nodes for key, in decreasing
+// weight order. If n exceeds the node count, all nodes are returned.
+func (r *Rendezvous) GetN(key string, n int) []int {
+	return r.topOfUint(Hash64(key, r.seed), n)
+}
+
+// GetNUint is GetN for integer keys.
+func (r *Rendezvous) GetNUint(key uint64, n int) []int {
+	return r.topOfUint(Hash64Uint(key, r.seed), n)
+}
+
+// weightHeap is a min-heap of (weight, node) used to track the current
+// top-n candidates in a single pass.
+type weightHeap []weightedNode
+
+type weightedNode struct {
+	w    uint64
+	node int
+}
+
+func (h weightHeap) Len() int            { return len(h) }
+func (h weightHeap) Less(i, j int) bool  { return h[i].w < h[j].w }
+func (h weightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *weightHeap) Push(x interface{}) { *h = append(*h, x.(weightedNode)) }
+func (h *weightHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (r *Rendezvous) topOfUint(keyHash uint64, n int) []int {
+	if n <= 0 {
+		panic("hashing: GetN with non-positive n")
+	}
+	if n > r.n {
+		n = r.n
+	}
+	h := make(weightHeap, 0, n)
+	for node := 0; node < r.n; node++ {
+		w := Hash64Uint(keyHash^uint64(node)*0x9e3779b97f4a7c15, r.seed+uint64(node))
+		if len(h) < n {
+			heap.Push(&h, weightedNode{w: w, node: node})
+		} else if w > h[0].w {
+			h[0] = weightedNode{w: w, node: node}
+			heap.Fix(&h, 0)
+		}
+	}
+	// Extract in decreasing weight order.
+	out := make([]int, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(weightedNode).node
+	}
+	return out
+}

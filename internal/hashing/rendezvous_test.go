@@ -1,0 +1,104 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRendezvousGetNDistinctInRange(t *testing.T) {
+	r := NewRendezvous(15, 42)
+	for k := uint64(0); k < 2000; k++ {
+		nodes := r.GetNUint(k, 4)
+		if len(nodes) != 4 {
+			t.Fatalf("GetNUint returned %d nodes, want 4", len(nodes))
+		}
+		seen := map[int]bool{}
+		for _, n := range nodes {
+			if n < 0 || n >= 15 || seen[n] {
+				t.Fatalf("invalid node list %v", nodes)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRendezvousDeterministic(t *testing.T) {
+	a, b := NewRendezvous(10, 7), NewRendezvous(10, 7)
+	for k := uint64(0); k < 500; k++ {
+		na, nb := a.GetNUint(k, 3), b.GetNUint(k, 3)
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("same-seed HRW disagrees on key %d", k)
+			}
+		}
+	}
+}
+
+func TestRendezvousBalance(t *testing.T) {
+	const nodes, keys = 10, 50000
+	r := NewRendezvous(nodes, 9)
+	counts := make([]int, nodes)
+	for k := uint64(0); k < keys; k++ {
+		counts[r.GetNUint(k, 1)[0]]++
+	}
+	want := float64(keys) / nodes
+	for n, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("node %d received %d keys, want ~%v", n, c, want)
+		}
+	}
+}
+
+func TestRendezvousOrderIsByWeight(t *testing.T) {
+	// The first element of GetN(k, n) must equal Get(k) — highest weight
+	// first.
+	r := NewRendezvous(12, 5)
+	for k := 0; k < 200; k++ {
+		key := "key-" + string(rune('a'+k%26)) + string(rune('0'+k%10))
+		if r.GetN(key, 3)[0] != r.Get(key) {
+			t.Fatalf("GetN first element != Get for %q", key)
+		}
+	}
+}
+
+func TestRendezvousGetNClamped(t *testing.T) {
+	r := NewRendezvous(3, 1)
+	if got := len(r.GetNUint(1, 10)); got != 3 {
+		t.Errorf("GetN(10) over 3 nodes returned %d", got)
+	}
+}
+
+func TestRendezvousPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRendezvous(0) did not panic")
+		}
+	}()
+	NewRendezvous(0, 1)
+}
+
+func TestRendezvousMinimalDisruptionOnGrowth(t *testing.T) {
+	// Growing n -> n+1 should move ~1/(n+1) of the keys (only those whose
+	// new node wins).
+	const keys = 20000
+	small, big := NewRendezvous(10, 3), NewRendezvous(11, 3)
+	moved := 0
+	for k := uint64(0); k < keys; k++ {
+		if small.GetNUint(k, 1)[0] != big.GetNUint(k, 1)[0] {
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if math.Abs(frac-1.0/11) > 0.02 {
+		t.Errorf("moved fraction %v, want ~%v", frac, 1.0/11)
+	}
+}
+
+func BenchmarkRendezvousGetN(b *testing.B) {
+	r := NewRendezvous(100, 1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.GetNUint(uint64(i), 3)[0]
+	}
+	_ = sink
+}

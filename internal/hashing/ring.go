@@ -1,0 +1,138 @@
+package hashing
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Nodes are identified
+// by integer IDs; each node owns Replicas points on the 64-bit ring, and a
+// key is assigned to the first N distinct nodes found walking clockwise
+// from the key's hash.
+//
+// The zero value is not usable; construct with NewRing. Ring is not safe
+// for concurrent mutation; concurrent reads are safe once built.
+type Ring struct {
+	seed     uint64
+	replicas int
+	points   []ringPoint // sorted by pos once built (see dirty)
+	dirty    bool        // points need re-sorting before the next lookup
+	nodes    map[int]bool
+}
+
+type ringPoint struct {
+	pos  uint64
+	node int
+}
+
+// RingOption configures a Ring.
+type RingOption func(*Ring)
+
+// WithVirtualNodes sets the number of virtual nodes (ring points) per
+// physical node. More virtual nodes give a more uniform key distribution
+// at the cost of memory and lookup constant factors. Default 128.
+func WithVirtualNodes(v int) RingOption {
+	return func(r *Ring) {
+		if v > 0 {
+			r.replicas = v
+		}
+	}
+}
+
+// NewRing returns an empty ring whose placement is keyed by seed.
+func NewRing(seed uint64, opts ...RingOption) *Ring {
+	r := &Ring{seed: seed, replicas: 128, nodes: make(map[int]bool)}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Add inserts a node. Adding an existing node is a no-op. The new virtual
+// points are merged lazily: the next lookup (or an explicit Finalize)
+// sorts the ring, so adding n nodes costs one O(n·v·log(n·v)) sort rather
+// than n of them.
+func (r *Ring) Add(node int) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for v := 0; v < r.replicas; v++ {
+		pos := Hash64Uint(uint64(node)<<20|uint64(v), r.seed^0x52494e47) // "RING"
+		r.points = append(r.points, ringPoint{pos: pos, node: node})
+	}
+	r.dirty = true
+}
+
+// Finalize sorts the ring after a batch of Adds. Lookups call it
+// implicitly; calling it once after construction makes the Ring safe for
+// concurrent readers (lookups on a finalized ring do not mutate).
+func (r *Ring) Finalize() {
+	if !r.dirty {
+		return
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].pos < r.points[j].pos })
+	r.dirty = false
+}
+
+// Remove deletes a node and its virtual points. Removing an absent node is
+// a no-op.
+func (r *Ring) Remove(node int) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the number of physical nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Get returns the node owning key, i.e. the first node clockwise from the
+// key's position. It panics if the ring is empty.
+func (r *Ring) Get(key string) int {
+	nodes := r.GetN(key, 1)
+	return nodes[0]
+}
+
+// GetN returns the first n distinct nodes clockwise from the key's
+// position. If fewer than n nodes exist, all nodes are returned (in walk
+// order). It panics if the ring is empty or n <= 0.
+func (r *Ring) GetN(key string, n int) []int {
+	return r.getN(Hash64(key, r.seed), n)
+}
+
+// GetNUint is GetN for integer keys.
+func (r *Ring) GetNUint(key uint64, n int) []int {
+	return r.getN(Hash64Uint(key, r.seed), n)
+}
+
+func (r *Ring) getN(h uint64, n int) []int {
+	if len(r.points) == 0 {
+		panic("hashing: lookup on empty ring")
+	}
+	r.Finalize()
+	if n <= 0 {
+		panic(fmt.Sprintf("hashing: GetN with n=%d", n))
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; len(out) < n; i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

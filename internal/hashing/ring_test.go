@@ -1,0 +1,188 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+)
+
+func newTestRing(n int, opts ...RingOption) *Ring {
+	r := NewRing(42, opts...)
+	for i := 0; i < n; i++ {
+		r.Add(i)
+	}
+	return r
+}
+
+func TestRingGetNDistinctAndInRange(t *testing.T) {
+	r := newTestRing(20)
+	for k := uint64(0); k < 2000; k++ {
+		nodes := r.GetNUint(k, 3)
+		if len(nodes) != 3 {
+			t.Fatalf("GetNUint returned %d nodes, want 3", len(nodes))
+		}
+		seen := map[int]bool{}
+		for _, n := range nodes {
+			if n < 0 || n >= 20 {
+				t.Fatalf("node %d out of range", n)
+			}
+			if seen[n] {
+				t.Fatalf("duplicate node %d in %v", n, nodes)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, b := newTestRing(10), newTestRing(10)
+	for k := uint64(0); k < 500; k++ {
+		ga, gb := a.GetNUint(k, 3), b.GetNUint(k, 3)
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("rings with same seed disagree on key %d: %v vs %v", k, ga, gb)
+			}
+		}
+	}
+}
+
+func TestRingSeedChangesMapping(t *testing.T) {
+	a := NewRing(1)
+	b := NewRing(2)
+	for i := 0; i < 10; i++ {
+		a.Add(i)
+		b.Add(i)
+	}
+	same := 0
+	const keys = 1000
+	for k := uint64(0); k < keys; k++ {
+		if a.GetNUint(k, 1)[0] == b.GetNUint(k, 1)[0] {
+			same++
+		}
+	}
+	// Two independent uniform mappings to 10 nodes agree ~10% of the time.
+	if float64(same)/keys > 0.25 {
+		t.Errorf("rings with different seeds agree on %d/%d keys", same, keys)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const nodes, keys = 10, 50000
+	r := newTestRing(nodes, WithVirtualNodes(256))
+	counts := make([]int, nodes)
+	for k := uint64(0); k < keys; k++ {
+		counts[r.GetNUint(k, 1)[0]]++
+	}
+	want := float64(keys) / nodes
+	for n, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.25 {
+			t.Errorf("node %d received %d keys, want within 25%% of %v", n, c, want)
+		}
+	}
+}
+
+func TestRingConsistencyOnRemoval(t *testing.T) {
+	// Removing one node must only remap keys that were owned by it.
+	const nodes, keys = 10, 5000
+	r := newTestRing(nodes)
+	before := make([]int, keys)
+	for k := 0; k < keys; k++ {
+		before[k] = r.GetNUint(uint64(k), 1)[0]
+	}
+	const victim = 3
+	r.Remove(victim)
+	for k := 0; k < keys; k++ {
+		after := r.GetNUint(uint64(k), 1)[0]
+		if before[k] != victim && after != before[k] {
+			t.Fatalf("key %d moved from %d to %d although node %d was removed",
+				k, before[k], after, victim)
+		}
+		if after == victim {
+			t.Fatalf("key %d still mapped to removed node", k)
+		}
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := newTestRing(5)
+	points := len(r.points)
+	r.Add(3) // duplicate
+	if len(r.points) != points {
+		t.Error("duplicate Add changed the ring")
+	}
+	r.Remove(99) // absent
+	if len(r.points) != points {
+		t.Error("Remove of absent node changed the ring")
+	}
+	if r.Len() != 5 {
+		t.Errorf("Len = %d, want 5", r.Len())
+	}
+}
+
+func TestRingGetNMoreThanNodes(t *testing.T) {
+	r := newTestRing(3)
+	nodes := r.GetNUint(1, 10)
+	if len(nodes) != 3 {
+		t.Errorf("GetN(10) over 3 nodes returned %d nodes", len(nodes))
+	}
+}
+
+func TestRingEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("lookup on empty ring did not panic")
+		}
+	}()
+	NewRing(1).Get("x")
+}
+
+func TestRingStringAndUintLookups(t *testing.T) {
+	r := newTestRing(8)
+	// Just exercise both entry points; they hash differently by design.
+	if n := r.Get("hello"); n < 0 || n >= 8 {
+		t.Errorf("Get returned out-of-range node %d", n)
+	}
+	if ns := r.GetN("hello", 2); len(ns) != 2 {
+		t.Errorf("GetN returned %d nodes", len(ns))
+	}
+}
+
+func BenchmarkRingGetN(b *testing.B) {
+	r := newTestRing(1000)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.GetNUint(uint64(i), 3)[0]
+	}
+	_ = sink
+}
+
+func TestRingLazyFinalize(t *testing.T) {
+	r := NewRing(1)
+	r.Add(0)
+	r.Add(1)
+	// Lookup before explicit Finalize must still work (implicit sort).
+	if n := r.GetNUint(5, 1)[0]; n != 0 && n != 1 {
+		t.Errorf("lookup on lazily-built ring returned %d", n)
+	}
+	// Adding after a lookup re-dirties; the next lookup re-sorts.
+	r.Add(2)
+	seen := map[int]bool{}
+	for k := uint64(0); k < 300; k++ {
+		seen[r.GetNUint(k, 1)[0]] = true
+	}
+	if !seen[2] {
+		t.Error("node added after finalize never owns a key")
+	}
+	// Finalize is idempotent.
+	r.Finalize()
+	r.Finalize()
+}
+
+func BenchmarkRingConstruct1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := NewRing(1)
+		for n := 0; n < 1000; n++ {
+			r.Add(n)
+		}
+		r.Finalize()
+	}
+}

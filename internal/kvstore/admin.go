@@ -1,0 +1,73 @@
+package kvstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"securecache/internal/metrics"
+)
+
+// AdminServer exposes a node's operational surface over HTTP:
+//
+//	GET /healthz  -> 200 "ok"
+//	GET /metrics  -> the metrics registry as JSON
+//	GET /info     -> static node info (JSON)
+//
+// It exists so a deployment can be scraped by ordinary monitoring tooling
+// without speaking the binary protocol; the guard package's load vectors
+// come from exactly these metrics.
+type AdminServer struct {
+	server   *http.Server
+	listener net.Listener
+}
+
+// StartAdmin serves the admin surface for the given registry on addr
+// (use "127.0.0.1:0" for ephemeral). info is embedded verbatim in /info.
+func StartAdmin(addr string, reg *metrics.Registry, info map[string]interface{}) (*AdminServer, string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("kvstore: admin listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		blob, err := reg.Snapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+	})
+	infoBlob, err := json.Marshal(info)
+	if err != nil {
+		l.Close()
+		return nil, "", fmt.Errorf("kvstore: admin info: %w", err)
+	}
+	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(infoBlob)
+	})
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if serr := srv.Serve(l); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			// Accept-loop failures after Close are expected; anything else
+			// is already surfaced to clients as connection errors.
+			_ = serr
+		}
+	}()
+	return &AdminServer{server: srv, listener: l}, l.Addr().String(), nil
+}
+
+// Close stops the admin server.
+func (a *AdminServer) Close() error { return a.server.Close() }

@@ -1,0 +1,84 @@
+package kvstore
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestAdminEndpoints(t *testing.T) {
+	b, addr, err := StartBackend(3, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	admin, adminAddr, err := StartAdmin("127.0.0.1:0", b.Metrics(),
+		map[string]interface{}{"role": "backend", "id": 3, "addr": addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + adminAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	// Drive some traffic so metrics are non-trivial.
+	c := NewClient(addr)
+	defer c.Close()
+	if err := c.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if m["requests_total"].(float64) < 2 {
+		t.Errorf("requests_total = %v", m["requests_total"])
+	}
+
+	code, body = get("/info")
+	if code != 200 {
+		t.Fatalf("/info = %d", code)
+	}
+	var info map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("/info not JSON: %v", err)
+	}
+	if info["role"] != "backend" || info["id"].(float64) != 3 {
+		t.Errorf("/info = %v", info)
+	}
+}
+
+func TestAdminBadInfo(t *testing.T) {
+	b := NewBackend(0)
+	defer b.Close()
+	if _, _, err := StartAdmin("127.0.0.1:0", b.Metrics(),
+		map[string]interface{}{"bad": func() {}}); err == nil {
+		t.Error("unmarshalable info accepted")
+	}
+}

@@ -1,0 +1,198 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"securecache/internal/metrics"
+	"securecache/internal/proto"
+)
+
+// Backend is one back-end node: a Store behind a TCP listener speaking
+// the proto wire format. Create with NewBackend, then Serve (or use
+// StartBackend which does both on a goroutine).
+type Backend struct {
+	id      int
+	store   *Store
+	metrics *metrics.Registry
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewBackend returns a backend node with the given ID (used only for
+// logging and stats).
+func NewBackend(id int) *Backend {
+	return &Backend{
+		id:      id,
+		store:   NewStore(),
+		metrics: metrics.NewRegistry(),
+		conns:   make(map[net.Conn]bool),
+	}
+}
+
+// Metrics exposes the node's metric registry ("requests_total",
+// "gets_total", "sets_total", "dels_total", "hits_total").
+func (b *Backend) Metrics() *metrics.Registry { return b.metrics }
+
+// Store exposes the underlying storage engine (tests seed data directly).
+func (b *Backend) Store() *Store { return b.store }
+
+// Serve accepts connections on l until Close. It always returns a non-nil
+// error (net.ErrClosed after a clean Close).
+func (b *Backend) Serve(l net.Listener) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return net.ErrClosed
+	}
+	b.listener = l
+	b.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		b.conns[conn] = true
+		b.wg.Add(1)
+		b.mu.Unlock()
+		go b.serveConn(conn)
+	}
+}
+
+func (b *Backend) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		b.mu.Lock()
+		delete(b.conns, conn)
+		b.mu.Unlock()
+		b.wg.Done()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		req, err := proto.ReadRequest(r)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				// Malformed input or mid-frame disconnect: drop the
+				// connection (the protocol has no resync point).
+				log.Printf("kvstore: backend %d: read: %v", b.id, err)
+			}
+			return
+		}
+		resp := b.handle(req)
+		if err := proto.WriteResponse(w, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (b *Backend) handle(req *proto.Request) *proto.Response {
+	b.metrics.Counter("requests_total").Inc()
+	switch req.Op {
+	case proto.OpGet:
+		b.metrics.Counter("gets_total").Inc()
+		v, ok := b.store.Get(req.Key)
+		if !ok {
+			return &proto.Response{Status: proto.StatusNotFound}
+		}
+		b.metrics.Counter("hits_total").Inc()
+		return &proto.Response{Status: proto.StatusOK, Payload: v}
+	case proto.OpSet:
+		b.metrics.Counter("sets_total").Inc()
+		b.store.Set(req.Key, req.Value)
+		return &proto.Response{Status: proto.StatusOK}
+	case proto.OpDel:
+		b.metrics.Counter("dels_total").Inc()
+		if !b.store.Delete(req.Key) {
+			return &proto.Response{Status: proto.StatusNotFound}
+		}
+		return &proto.Response{Status: proto.StatusOK}
+	case proto.OpMGet:
+		b.metrics.Counter("mgets_total").Inc()
+		b.metrics.Counter("gets_total").Add(uint64(len(req.Keys)))
+		results := make([]proto.MGetResult, len(req.Keys))
+		for i, key := range req.Keys {
+			v, ok := b.store.Get(key)
+			results[i] = proto.MGetResult{Found: ok, Value: v}
+			if ok {
+				b.metrics.Counter("hits_total").Inc()
+			}
+		}
+		payload, err := proto.EncodeMGetPayload(results)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &proto.Response{Status: proto.StatusOK, Payload: payload}
+	case proto.OpStats:
+		blob, err := b.metrics.Snapshot()
+		if err != nil {
+			return errResponse(fmt.Errorf("snapshot: %w", err))
+		}
+		return &proto.Response{Status: proto.StatusOK, Payload: blob}
+	case proto.OpPing:
+		return &proto.Response{Status: proto.StatusOK}
+	default:
+		return errResponse(fmt.Errorf("unsupported op %s", req.Op))
+	}
+}
+
+func errResponse(err error) *proto.Response {
+	return &proto.Response{Status: proto.StatusError, Payload: []byte(err.Error())}
+}
+
+// Close stops accepting, closes all connections, and waits for handler
+// goroutines to drain. Safe to call more than once.
+func (b *Backend) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	l := b.listener
+	for conn := range b.conns {
+		conn.Close()
+	}
+	b.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	b.wg.Wait()
+	return err
+}
+
+// StartBackend listens on addr (use "127.0.0.1:0" for an ephemeral port)
+// and serves on a background goroutine. It returns the backend and the
+// bound address.
+func StartBackend(id int, addr string) (*Backend, string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("kvstore: backend %d listen: %w", id, err)
+	}
+	b := NewBackend(id)
+	go func() {
+		if serr := b.Serve(l); serr != nil && !errors.Is(serr, net.ErrClosed) {
+			log.Printf("kvstore: backend %d serve: %v", id, serr)
+		}
+	}()
+	return b, l.Addr().String(), nil
+}

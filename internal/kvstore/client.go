@@ -1,0 +1,220 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"securecache/internal/proto"
+)
+
+// Client talks the proto wire format to one server (a backend or a
+// frontend — the protocol is the same). It maintains a small pool of
+// connections so concurrent callers do not serialize on one socket.
+// Client is safe for concurrent use.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+}
+
+type clientConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// maxIdleConns bounds the per-client idle pool.
+const maxIdleConns = 8
+
+// NewClient returns a client for addr. Connections are dialed lazily.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, dialTimeout: 5 * time.Second}
+}
+
+// Addr returns the target address.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) getConn() (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, net.ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial %s: %w", c.addr, err)
+	}
+	return &clientConn{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}, nil
+}
+
+func (c *Client) putConn(cc *clientConn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < maxIdleConns {
+		c.idle = append(c.idle, cc)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	cc.conn.Close()
+}
+
+// Do sends one request and reads its response. Transport errors close the
+// connection (the protocol cannot resync mid-stream).
+func (c *Client) Do(req *proto.Request) (*proto.Response, error) {
+	cc, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	if err := proto.WriteRequest(cc.w, req); err != nil {
+		cc.conn.Close()
+		return nil, err
+	}
+	if err := cc.w.Flush(); err != nil {
+		cc.conn.Close()
+		return nil, err
+	}
+	resp, err := proto.ReadResponse(cc.r)
+	if err != nil {
+		cc.conn.Close()
+		return nil, fmt.Errorf("kvstore: %s %s: %w", req.Op, c.addr, err)
+	}
+	c.putConn(cc)
+	return resp, nil
+}
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = fmt.Errorf("kvstore: key not found")
+
+// Get fetches key's value. It returns ErrNotFound for missing keys.
+func (c *Client) Get(key string) ([]byte, error) {
+	resp, err := c.Do(&proto.Request{Op: proto.OpGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Status {
+	case proto.StatusOK:
+		return resp.Payload, nil
+	case proto.StatusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, resp.Err()
+	}
+}
+
+// Set stores value under key.
+func (c *Client) Set(key string, value []byte) error {
+	resp, err := c.Do(&proto.Request{Op: proto.OpSet, Key: key, Value: value})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Del removes key. Deleting a missing key is not an error (idempotent).
+func (c *Client) Del(key string) error {
+	resp, err := c.Do(&proto.Request{Op: proto.OpDel, Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Status == proto.StatusNotFound {
+		return nil
+	}
+	return resp.Err()
+}
+
+// MGet fetches several keys in one round trip. The result slice is
+// parallel to keys; missing keys have Found == false. Batches beyond
+// proto.MaxBatchKeys are split transparently.
+func (c *Client) MGet(keys []string) ([]proto.MGetResult, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	out := make([]proto.MGetResult, 0, len(keys))
+	for start := 0; start < len(keys); start += proto.MaxBatchKeys {
+		end := start + proto.MaxBatchKeys
+		if end > len(keys) {
+			end = len(keys)
+		}
+		resp, err := c.Do(&proto.Request{Op: proto.OpMGet, Keys: keys[start:end]})
+		if err != nil {
+			return nil, err
+		}
+		if err := resp.Err(); err != nil {
+			return nil, err
+		}
+		results, err := proto.DecodeMGetPayload(resp.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(results) != end-start {
+			return nil, fmt.Errorf("kvstore: MGet returned %d results for %d keys", len(results), end-start)
+		}
+		out = append(out, results...)
+	}
+	return out, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	resp, err := c.Do(&proto.Request{Op: proto.OpPing})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Stats fetches the server's metric snapshot as a decoded JSON object.
+func (c *Client) Stats() (map[string]interface{}, error) {
+	resp, err := c.Do(&proto.Request{Op: proto.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(resp.Payload, &m); err != nil {
+		return nil, fmt.Errorf("kvstore: decoding stats: %w", err)
+	}
+	return m, nil
+}
+
+// StatCounter extracts a numeric counter from a Stats result, 0 if absent.
+func StatCounter(stats map[string]interface{}, name string) uint64 {
+	v, ok := stats[name].(float64)
+	if !ok {
+		return 0
+	}
+	return uint64(v)
+}
+
+// Close closes all pooled connections. In-flight requests on checked-out
+// connections finish; their conns are then discarded.
+func (c *Client) Close() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, cc := range idle {
+		cc.conn.Close()
+	}
+}

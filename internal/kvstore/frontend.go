@@ -1,0 +1,509 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"securecache/internal/cache"
+	"securecache/internal/hashing"
+	"securecache/internal/metrics"
+	"securecache/internal/partition"
+	"securecache/internal/proto"
+)
+
+// Selection chooses how the frontend picks a replica for a GET.
+type Selection string
+
+// Replica-selection policies for the frontend.
+const (
+	// SelectLeastInflight sends each GET to the replica with the fewest
+	// outstanding requests from this frontend — the practical analogue of
+	// the analysis's least-loaded rule, and the default.
+	SelectLeastInflight Selection = "least-inflight"
+	// SelectRandom picks a uniformly random replica per GET.
+	SelectRandom Selection = "random"
+	// SelectRoundRobin rotates over the replica group per GET.
+	SelectRoundRobin Selection = "round-robin"
+)
+
+// keyIDSeed converts wire keys to the uint64 IDs the partitioner and the
+// cache use. It is a fixed public constant: the security of the scheme
+// rests on the partition seed, not on this mapping.
+const keyIDSeed = 0xfeed5eed
+
+// KeyID maps a wire key to its 64-bit ID.
+func KeyID(key string) uint64 { return hashing.Hash64(key, keyIDSeed) }
+
+// FrontendConfig configures a Frontend.
+type FrontendConfig struct {
+	// BackendAddrs lists the back-end node addresses; node i is
+	// BackendAddrs[i]. Required, non-empty.
+	BackendAddrs []string
+	// Replication is d. Required, in [1, len(BackendAddrs)].
+	Replication int
+	// PartitionSeed is the SECRET seed of the key -> replica-group
+	// mapping. An adversary who learns it can target single nodes
+	// regardless of cache size.
+	PartitionSeed uint64
+	// Cache is the front-end cache; nil disables caching.
+	Cache cache.Cache
+	// Selection picks the GET replica policy (default least-inflight).
+	Selection Selection
+}
+
+// Frontend is the paper's front end: it owns the cache and the secret
+// partition mapping, serves cache hits directly, and forwards misses to
+// the key's replica group. It speaks the same wire protocol as backends,
+// so clients are oblivious.
+type Frontend struct {
+	cfg       FrontendConfig
+	part      partition.Partitioner
+	backends  []*Client
+	inflight  []atomic.Int64
+	rrState   atomic.Uint64
+	randState atomic.Uint64
+	metrics   *metrics.Registry
+
+	cacheMu sync.Mutex // guards cfg.Cache (cache impls are not concurrent-safe)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewFrontend validates cfg and returns a Frontend (not yet serving).
+func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
+	n := len(cfg.BackendAddrs)
+	if n == 0 {
+		return nil, errors.New("kvstore: frontend needs at least one backend")
+	}
+	if cfg.Replication < 1 || cfg.Replication > n {
+		return nil, fmt.Errorf("kvstore: replication %d out of [1, %d]", cfg.Replication, n)
+	}
+	switch cfg.Selection {
+	case "", SelectLeastInflight, SelectRandom, SelectRoundRobin:
+	default:
+		return nil, fmt.Errorf("kvstore: unknown selection policy %q", cfg.Selection)
+	}
+	if cfg.Selection == "" {
+		cfg.Selection = SelectLeastInflight
+	}
+	f := &Frontend{
+		cfg:      cfg,
+		part:     partition.NewHash(n, cfg.Replication, cfg.PartitionSeed),
+		backends: make([]*Client, n),
+		inflight: make([]atomic.Int64, n),
+		metrics:  metrics.NewRegistry(),
+		conns:    make(map[net.Conn]bool),
+	}
+	f.randState.Store(cfg.PartitionSeed ^ 0x9e3779b97f4a7c15)
+	for i, addr := range cfg.BackendAddrs {
+		f.backends[i] = NewClient(addr)
+	}
+	return f, nil
+}
+
+// Metrics exposes the frontend's registry ("requests_total",
+// "cache_hits_total", "cache_misses_total", "backend_errors_total", ...).
+func (f *Frontend) Metrics() *metrics.Registry { return f.metrics }
+
+// Group returns the replica group of a wire key (exposed for tests and
+// the livecluster example, which needs ground truth).
+func (f *Frontend) Group(key string) []int { return f.part.Group(KeyID(key)) }
+
+// cacheEntry encodes (key, value) so hash collisions on KeyID cannot
+// serve the wrong key's data: [uint16 keylen][key][value].
+func encodeEntry(key string, value []byte) []byte {
+	buf := make([]byte, 2+len(key)+len(value))
+	binary.BigEndian.PutUint16(buf, uint16(len(key)))
+	copy(buf[2:], key)
+	copy(buf[2+len(key):], value)
+	return buf
+}
+
+func decodeEntry(key string, blob []byte) ([]byte, bool) {
+	if len(blob) < 2 {
+		return nil, false
+	}
+	klen := int(binary.BigEndian.Uint16(blob))
+	if len(blob) < 2+klen || string(blob[2:2+klen]) != key {
+		return nil, false
+	}
+	return blob[2+klen:], true
+}
+
+func (f *Frontend) cacheGet(key string) ([]byte, bool) {
+	if f.cfg.Cache == nil {
+		return nil, false
+	}
+	id := KeyID(key)
+	f.cacheMu.Lock()
+	blob, ok := f.cfg.Cache.Get(id)
+	f.cacheMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return decodeEntry(key, blob)
+}
+
+func (f *Frontend) cachePut(key string, value []byte) {
+	if f.cfg.Cache == nil {
+		return
+	}
+	id := KeyID(key)
+	f.cacheMu.Lock()
+	f.cfg.Cache.Put(id, encodeEntry(key, value))
+	f.cacheMu.Unlock()
+}
+
+func (f *Frontend) cacheRemove(key string) {
+	if f.cfg.Cache == nil {
+		return
+	}
+	id := KeyID(key)
+	f.cacheMu.Lock()
+	f.cfg.Cache.Remove(id)
+	f.cacheMu.Unlock()
+}
+
+// orderedReplicas returns the key's replica group ordered by the
+// configured selection policy (first entry = first choice).
+func (f *Frontend) orderedReplicas(key string) []int {
+	group := f.part.Group(KeyID(key))
+	ordered := append([]int(nil), group...)
+	switch f.cfg.Selection {
+	case SelectRandom:
+		// Stateless Fisher-Yates driven by an atomic splitmix stream.
+		for i := len(ordered) - 1; i > 0; i-- {
+			j := int(f.nextRand() % uint64(i+1))
+			ordered[i], ordered[j] = ordered[j], ordered[i]
+		}
+	case SelectRoundRobin:
+		shift := int(f.rrState.Add(1) % uint64(len(ordered)))
+		rotated := make([]int, 0, len(ordered))
+		rotated = append(rotated, ordered[shift:]...)
+		rotated = append(rotated, ordered[:shift]...)
+		ordered = rotated
+	default: // SelectLeastInflight
+		// Selection sort by inflight count (d is tiny).
+		for i := 0; i < len(ordered); i++ {
+			best := i
+			for j := i + 1; j < len(ordered); j++ {
+				if f.inflight[ordered[j]].Load() < f.inflight[ordered[best]].Load() {
+					best = j
+				}
+			}
+			ordered[i], ordered[best] = ordered[best], ordered[i]
+		}
+	}
+	return ordered
+}
+
+func (f *Frontend) nextRand() uint64 {
+	for {
+		old := f.randState.Load()
+		next := old + 0x9e3779b97f4a7c15
+		if f.randState.CompareAndSwap(old, next) {
+			z := next
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31)
+		}
+	}
+}
+
+// Get serves a read: cache first, then the replica group in policy order,
+// failing over across replicas on transport errors.
+func (f *Frontend) Get(key string) ([]byte, error) {
+	f.metrics.Counter("requests_total").Inc()
+	if v, ok := f.cacheGet(key); ok {
+		f.metrics.Counter("cache_hits_total").Inc()
+		return v, nil
+	}
+	f.metrics.Counter("cache_misses_total").Inc()
+	var lastErr error
+	for _, node := range f.orderedReplicas(key) {
+		f.inflight[node].Add(1)
+		v, err := f.backends[node].Get(key)
+		f.inflight[node].Add(-1)
+		switch {
+		case err == nil:
+			f.cachePut(key, v)
+			return v, nil
+		case errors.Is(err, ErrNotFound):
+			return nil, ErrNotFound
+		default:
+			f.metrics.Counter("backend_errors_total").Inc()
+			lastErr = err
+		}
+	}
+	return nil, fmt.Errorf("kvstore: all replicas failed for %q: %w", key, lastErr)
+}
+
+// Set writes to every replica of the key's group (write-all). If any
+// replica fails the error is returned, but surviving replicas keep the
+// write (the system favors availability of reads over strict atomicity,
+// like the Dynamo-style systems the paper cites).
+func (f *Frontend) Set(key string, value []byte) error {
+	f.metrics.Counter("requests_total").Inc()
+	f.metrics.Counter("sets_total").Inc()
+	var failures []string
+	for _, node := range f.part.Group(KeyID(key)) {
+		f.inflight[node].Add(1)
+		err := f.backends[node].Set(key, value)
+		f.inflight[node].Add(-1)
+		if err != nil {
+			f.metrics.Counter("backend_errors_total").Inc()
+			failures = append(failures, fmt.Sprintf("node %d: %v", node, err))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("kvstore: set %q: %s", key, strings.Join(failures, "; "))
+	}
+	// Refresh the cache only if the key is already cached — a write must
+	// not evict a popular entry for a cold key.
+	if f.cfg.Cache != nil {
+		id := KeyID(key)
+		f.cacheMu.Lock()
+		if f.cfg.Cache.Contains(id) {
+			f.cfg.Cache.Put(id, encodeEntry(key, value))
+		}
+		f.cacheMu.Unlock()
+	}
+	return nil
+}
+
+// MGet serves a batch read: cached keys are answered locally, the misses
+// are grouped by their first-choice replica and fetched with one OpMGet
+// per backend. Per-node failures fall back to single-key Gets (which
+// fail over across replicas). Results are parallel to keys.
+func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
+	f.metrics.Counter("requests_total").Inc()
+	results := make([]proto.MGetResult, len(keys))
+	missIdx := make(map[int][]int) // backend node -> indices into keys
+	for i, key := range keys {
+		if v, ok := f.cacheGet(key); ok {
+			f.metrics.Counter("cache_hits_total").Inc()
+			results[i] = proto.MGetResult{Found: true, Value: v}
+			continue
+		}
+		f.metrics.Counter("cache_misses_total").Inc()
+		node := f.orderedReplicas(key)[0]
+		missIdx[node] = append(missIdx[node], i)
+	}
+	for node, idxs := range missIdx {
+		batch := make([]string, len(idxs))
+		for j, i := range idxs {
+			batch[j] = keys[i]
+		}
+		f.inflight[node].Add(int64(len(batch)))
+		fetched, err := f.backends[node].MGet(batch)
+		f.inflight[node].Add(-int64(len(batch)))
+		if err != nil {
+			// Batch path failed (node down mid-flight): recover per key
+			// through the failover-aware Get.
+			f.metrics.Counter("backend_errors_total").Inc()
+			for _, i := range idxs {
+				v, gerr := f.Get(keys[i])
+				switch {
+				case gerr == nil:
+					results[i] = proto.MGetResult{Found: true, Value: v}
+				case errors.Is(gerr, ErrNotFound):
+					results[i] = proto.MGetResult{}
+				default:
+					return nil, gerr
+				}
+			}
+			continue
+		}
+		for j, i := range idxs {
+			results[i] = fetched[j]
+			if fetched[j].Found {
+				f.cachePut(keys[i], fetched[j].Value)
+			}
+		}
+	}
+	return results, nil
+}
+
+// Del removes the key from every replica and invalidates the cache.
+func (f *Frontend) Del(key string) error {
+	f.metrics.Counter("requests_total").Inc()
+	f.metrics.Counter("dels_total").Inc()
+	f.cacheRemove(key)
+	var failures []string
+	for _, node := range f.part.Group(KeyID(key)) {
+		if err := f.backends[node].Del(key); err != nil {
+			f.metrics.Counter("backend_errors_total").Inc()
+			failures = append(failures, fmt.Sprintf("node %d: %v", node, err))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("kvstore: del %q: %s", key, strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// CacheStats returns the cache's hit/miss counters (zero Stats when no
+// cache is configured).
+func (f *Frontend) CacheStats() cache.Stats {
+	if f.cfg.Cache == nil {
+		return cache.Stats{}
+	}
+	f.cacheMu.Lock()
+	defer f.cacheMu.Unlock()
+	return f.cfg.Cache.Stats()
+}
+
+// handle dispatches one wire request.
+func (f *Frontend) handle(req *proto.Request) *proto.Response {
+	switch req.Op {
+	case proto.OpGet:
+		v, err := f.Get(req.Key)
+		switch {
+		case err == nil:
+			return &proto.Response{Status: proto.StatusOK, Payload: v}
+		case errors.Is(err, ErrNotFound):
+			return &proto.Response{Status: proto.StatusNotFound}
+		default:
+			return errResponse(err)
+		}
+	case proto.OpSet:
+		if err := f.Set(req.Key, req.Value); err != nil {
+			return errResponse(err)
+		}
+		return &proto.Response{Status: proto.StatusOK}
+	case proto.OpDel:
+		if err := f.Del(req.Key); err != nil {
+			return errResponse(err)
+		}
+		return &proto.Response{Status: proto.StatusOK}
+	case proto.OpMGet:
+		results, err := f.MGet(req.Keys)
+		if err != nil {
+			return errResponse(err)
+		}
+		payload, err := proto.EncodeMGetPayload(results)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &proto.Response{Status: proto.StatusOK, Payload: payload}
+	case proto.OpStats:
+		blob, err := f.metrics.Snapshot()
+		if err != nil {
+			return errResponse(err)
+		}
+		return &proto.Response{Status: proto.StatusOK, Payload: blob}
+	case proto.OpPing:
+		return &proto.Response{Status: proto.StatusOK}
+	default:
+		return errResponse(fmt.Errorf("unsupported op %s", req.Op))
+	}
+}
+
+// Serve accepts client connections on l until Close.
+func (f *Frontend) Serve(l net.Listener) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return net.ErrClosed
+	}
+	f.listener = l
+	f.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		f.conns[conn] = true
+		f.wg.Add(1)
+		f.mu.Unlock()
+		go f.serveConn(conn)
+	}
+}
+
+func (f *Frontend) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		f.mu.Lock()
+		delete(f.conns, conn)
+		f.mu.Unlock()
+		f.wg.Done()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		req, err := proto.ReadRequest(r)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				log.Printf("kvstore: frontend read: %v", err)
+			}
+			return
+		}
+		if err := proto.WriteResponse(w, f.handle(req)); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops serving and releases backend connections.
+func (f *Frontend) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	l := f.listener
+	for conn := range f.conns {
+		conn.Close()
+	}
+	f.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	f.wg.Wait()
+	for _, c := range f.backends {
+		c.Close()
+	}
+	return err
+}
+
+// StartFrontend listens on addr and serves on a background goroutine,
+// returning the frontend and its bound address.
+func StartFrontend(cfg FrontendConfig, addr string) (*Frontend, string, error) {
+	f, err := NewFrontend(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("kvstore: frontend listen: %w", err)
+	}
+	go func() {
+		if serr := f.Serve(l); serr != nil && !errors.Is(serr, net.ErrClosed) {
+			log.Printf("kvstore: frontend serve: %v", serr)
+		}
+	}()
+	return f, l.Addr().String(), nil
+}

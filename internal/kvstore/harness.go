@@ -1,0 +1,83 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"securecache/internal/cache"
+)
+
+// LocalCluster is an in-process deployment of the full architecture on
+// loopback TCP: n backends plus one frontend. It exists for tests, the
+// livecluster example, and the kvload benchmark path.
+type LocalCluster struct {
+	Backends     []*Backend
+	BackendAddrs []string
+	Frontend     *Frontend
+	FrontendAddr string
+}
+
+// LocalConfig configures StartLocalCluster.
+type LocalConfig struct {
+	// Nodes is the number of backends. Required.
+	Nodes int
+	// Replication is d. Required.
+	Replication int
+	// PartitionSeed is the secret mapping seed.
+	PartitionSeed uint64
+	// Cache is the frontend cache (nil = no cache).
+	Cache cache.Cache
+	// Selection is the frontend replica policy (default least-inflight).
+	Selection Selection
+}
+
+// StartLocalCluster boots the backends and frontend on ephemeral loopback
+// ports. Always Close the returned cluster.
+func StartLocalCluster(cfg LocalConfig) (*LocalCluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("kvstore: LocalConfig.Nodes = %d", cfg.Nodes)
+	}
+	lc := &LocalCluster{}
+	for i := 0; i < cfg.Nodes; i++ {
+		b, addr, err := StartBackend(i, "127.0.0.1:0")
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
+		lc.Backends = append(lc.Backends, b)
+		lc.BackendAddrs = append(lc.BackendAddrs, addr)
+	}
+	f, addr, err := StartFrontend(FrontendConfig{
+		BackendAddrs:  lc.BackendAddrs,
+		Replication:   cfg.Replication,
+		PartitionSeed: cfg.PartitionSeed,
+		Cache:         cfg.Cache,
+		Selection:     cfg.Selection,
+	}, "127.0.0.1:0")
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	lc.Frontend = f
+	lc.FrontendAddr = addr
+	return lc, nil
+}
+
+// BackendRequestCounts returns each backend's requests_total counter —
+// the per-node load the attack experiments compare.
+func (lc *LocalCluster) BackendRequestCounts() []uint64 {
+	counts := make([]uint64, len(lc.Backends))
+	for i, b := range lc.Backends {
+		counts[i] = b.Metrics().Counter("requests_total").Value()
+	}
+	return counts
+}
+
+// Close shuts everything down (frontend first, then backends).
+func (lc *LocalCluster) Close() {
+	if lc.Frontend != nil {
+		lc.Frontend.Close()
+	}
+	for _, b := range lc.Backends {
+		b.Close()
+	}
+}

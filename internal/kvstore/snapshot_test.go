@@ -1,0 +1,134 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := NewStore()
+	for i := 0; i < 500; i++ {
+		src.Set(fmt.Sprintf("key-%03d", i), []byte(fmt.Sprintf("value-%d", i)))
+	}
+	src.Set("empty", nil)
+
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewStore()
+	if err := dst.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("restored %d keys, want %d", dst.Len(), src.Len())
+	}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		v, ok := dst.Get(k)
+		if !ok || string(v) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("key %s: %q, %v", k, v, ok)
+		}
+	}
+	if v, ok := dst.Get("empty"); !ok || len(v) != 0 {
+		t.Error("empty value lost")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	// Equal content -> byte-identical snapshots (sorted key order).
+	a, b := NewStore(), NewStore()
+	for i := 0; i < 100; i++ {
+		a.Set(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	for i := 99; i >= 0; i-- { // reverse insertion order
+		b.Set(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteSnapshot(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteSnapshot(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("snapshots of equal content differ")
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	s := NewStore()
+	for _, raw := range [][]byte{
+		nil,
+		[]byte("not a snapshot"),
+		append([]byte("SCKV"), 0, 99, 0, 0, 0, 0, 0, 0, 0, 0), // bad version
+	} {
+		if err := s.ReadSnapshot(bytes.NewReader(raw)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("garbage accepted or wrong error: %v", err)
+		}
+	}
+}
+
+func TestSnapshotTruncated(t *testing.T) {
+	src := NewStore()
+	src.Set("k", []byte("v"))
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if err := NewStore().ReadSnapshot(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+func TestBackendCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "node0.snap")
+
+	// Run a backend, write data through the wire, snapshot, kill it.
+	b1, addr, err := StartBackend(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(addr)
+	for i := 0; i < 50; i++ {
+		if err := c.Set(fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	if err := b1.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	b1.Close()
+
+	// "Restart": a fresh backend restoring from the snapshot.
+	b2, addr2, err := StartBackend(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if err := b2.LoadSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewClient(addr2)
+	defer c2.Close()
+	for i := 0; i < 50; i++ {
+		v, err := c2.Get(fmt.Sprintf("k%02d", i))
+		if err != nil || string(v) != "v" {
+			t.Fatalf("key k%02d after recovery: %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestLoadSnapshotMissingFile(t *testing.T) {
+	b := NewBackend(0)
+	defer b.Close()
+	if err := b.LoadSnapshot(filepath.Join(t.TempDir(), "absent.snap")); err == nil {
+		t.Error("missing snapshot file accepted")
+	}
+}

@@ -1,0 +1,197 @@
+// Package metrics is a small, dependency-free metrics library for the
+// kvstore servers: atomic counters and gauges, bucketed histograms, and a
+// registry that renders a JSON snapshot for the STATS protocol verb and
+// for operators.
+//
+// All instruments are safe for concurrent use; the hot-path cost of a
+// counter increment is one atomic add.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable int64 value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into caller-defined buckets (upper bounds,
+// ascending, with an implicit +Inf bucket). It is safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Uint64   // float64 bits accumulated via CAS
+	total  atomic.Uint64
+}
+
+// NewHistogram returns a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: NewHistogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending at %d", i))
+		}
+	}
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	return &Histogram{bounds: cp, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Snapshot returns bucket upper bounds and cumulative counts (Prometheus
+// style: counts[i] = observations <= bounds[i]; the final entry is the
+// total).
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []uint64) {
+	bounds = make([]float64, len(h.bounds))
+	copy(bounds, h.bounds)
+	cumulative = make([]uint64, len(h.counts))
+	var running uint64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cumulative[i] = running
+	}
+	return bounds, cumulative
+}
+
+// Registry is a named collection of instruments. The zero value is not
+// usable; create with NewRegistry. All methods are safe for concurrent
+// use; Counter/Gauge/Histogram return an existing instrument when the
+// name is already registered (and panic if it is of a different kind).
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]interface{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: make(map[string]interface{})}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.items[name]; ok {
+		c, ok := existing.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("metrics: %q already registered as %T", name, existing))
+		}
+		return c
+	}
+	c := &Counter{}
+	r.items[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.items[name]; ok {
+		g, ok := existing.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("metrics: %q already registered as %T", name, existing))
+		}
+		return g
+	}
+	g := &Gauge{}
+	r.items[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with bounds if
+// needed. Bounds are ignored when the histogram already exists.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.items[name]; ok {
+		h, ok := existing.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("metrics: %q already registered as %T", name, existing))
+		}
+		return h
+	}
+	h := NewHistogram(bounds...)
+	r.items[name] = h
+	return h
+}
+
+// Snapshot renders all instruments as a JSON object: counters and gauges
+// as numbers, histograms as {sum, total, buckets}.
+func (r *Registry) Snapshot() ([]byte, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.items))
+	for name := range r.items {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]interface{}, len(names))
+	for _, name := range names {
+		switch v := r.items[name].(type) {
+		case *Counter:
+			out[name] = v.Value()
+		case *Gauge:
+			out[name] = v.Value()
+		case *Histogram:
+			bounds, cum := v.Snapshot()
+			out[name] = map[string]interface{}{
+				"sum":        v.Sum(),
+				"total":      v.Total(),
+				"bounds":     bounds,
+				"cumulative": cum,
+			}
+		}
+	}
+	r.mu.Unlock()
+	return json.Marshal(out)
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 80000 {
+		t.Errorf("Value = %d, want 80000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("Value = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	bounds, cum := h.Snapshot()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("snapshot lengths %d/%d", len(bounds), len(cum))
+	}
+	// <=1: 0.5 and 1; <=10: +5; <=100: +50; total: +500.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d, want 5", h.Total())
+	}
+	if math.Abs(h.Sum()-556.5) > 1e-9 {
+		t.Errorf("Sum = %v, want 556.5", h.Sum())
+	}
+}
+
+func TestHistogramConcurrentSum(t *testing.T) {
+	h := NewHistogram(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Total() != 20000 || math.Abs(h.Sum()-20000) > 1e-6 {
+		t.Errorf("Total/Sum = %d/%v, want 20000/20000", h.Total(), h.Sum())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no bounds":    func() { NewHistogram() },
+		"unsorted":     func() { NewHistogram(2, 1) },
+		"equal bounds": func() { NewHistogram(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRegistryIdempotentAndTyped(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs")
+	b := r.Counter("reqs")
+	if a != b {
+		t.Error("Counter not idempotent")
+	}
+	if r.Gauge("depth") != r.Gauge("depth") {
+		t.Error("Gauge not idempotent")
+	}
+	if r.Histogram("lat", 1, 2) != r.Histogram("lat") {
+		t.Error("Histogram not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+	r.Gauge("reqs")
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.Gauge("conns").Set(2)
+	r.Histogram("lat_us", 100, 1000).Observe(250)
+	blob, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if m["hits"].(float64) != 3 {
+		t.Errorf("hits = %v", m["hits"])
+	}
+	if m["conns"].(float64) != 2 {
+		t.Errorf("conns = %v", m["conns"])
+	}
+	lat, ok := m["lat_us"].(map[string]interface{})
+	if !ok || lat["total"].(float64) != 1 {
+		t.Errorf("lat_us = %v", m["lat_us"])
+	}
+}

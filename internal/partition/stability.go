@@ -1,0 +1,52 @@
+package partition
+
+// Stability quantifies Assumption 4 of the paper ("costly to shift
+// results: the partitioning is relatively stable"): when cluster
+// membership changes, how many keys move?
+//
+// MovedFraction samples the key space and reports the fraction of keys
+// whose replica group changed between two partitioners (e.g. before and
+// after adding a node). Consistent-hash and rendezvous partitioners move
+// only O(d/n) of the keys per membership change, while a naive modulo or
+// freshly-seeded hash partitioner reshuffles almost everything — which is
+// why deployments pay for ring/HRW partitioning even though the paper's
+// bound itself is partitioner-agnostic.
+
+// MovedFraction samples keys 0..samples-1 and returns the fraction whose
+// replica group differs between a and b. Group order is ignored: a key
+// "moves" only if the *set* of nodes serving it changes (a reordering
+// costs nothing — the data is already on all group members).
+func MovedFraction(a, b Partitioner, samples int) float64 {
+	if samples <= 0 {
+		panic("partition: MovedFraction with non-positive sample count")
+	}
+	moved := 0
+	ga := make([]int, 0, a.Replicas())
+	gb := make([]int, 0, b.Replicas())
+	for key := 0; key < samples; key++ {
+		ga = a.GroupAppend(ga[:0], uint64(key))
+		gb = b.GroupAppend(gb[:0], uint64(key))
+		if !sameSet(ga, gb) {
+			moved++
+		}
+	}
+	return float64(moved) / float64(samples)
+}
+
+// sameSet reports whether two small int slices contain the same elements
+// (d is tiny, so the quadratic check beats allocating maps).
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+outer:
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}

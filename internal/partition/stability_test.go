@@ -1,0 +1,86 @@
+package partition
+
+import "testing"
+
+func TestMovedFractionIdentical(t *testing.T) {
+	a := NewRing(20, 3, 5, 0)
+	b := NewRing(20, 3, 5, 0)
+	if f := MovedFraction(a, b, 2000); f != 0 {
+		t.Errorf("identical partitioners moved %v of keys", f)
+	}
+}
+
+func TestMovedFractionRingGrowth(t *testing.T) {
+	// Growing a ring from 20 to 21 nodes should move roughly d/(n+1) of
+	// the keys' groups — the minimal-disruption property.
+	const d = 3
+	a := NewRing(20, d, 5, 256)
+	b := NewRing(21, d, 5, 256)
+	f := MovedFraction(a, b, 20000)
+	// Expected ≈ 1 - (1 - 1/21)^d ≈ 0.136; allow generous noise.
+	if f > 0.30 {
+		t.Errorf("ring growth moved %v of keys, want ~0.14", f)
+	}
+	if f == 0 {
+		t.Error("ring growth moved nothing")
+	}
+}
+
+func TestMovedFractionRendezvousGrowth(t *testing.T) {
+	const d = 3
+	a := NewRendezvous(20, d, 5)
+	b := NewRendezvous(21, d, 5)
+	f := MovedFraction(a, b, 20000)
+	if f > 0.25 {
+		t.Errorf("rendezvous growth moved %v of keys, want ~d/(n+1)", f)
+	}
+	if f == 0 {
+		t.Error("rendezvous growth moved nothing")
+	}
+}
+
+func TestMovedFractionHashGrowthIsDisruptive(t *testing.T) {
+	// The plain hash partitioner has no minimal-disruption property: a
+	// node-count change reshuffles nearly everything. This is exactly why
+	// real systems (and the ring/rendezvous options here) exist.
+	a := NewHash(20, 3, 5)
+	b := NewHash(21, 3, 5)
+	f := MovedFraction(a, b, 20000)
+	if f < 0.5 {
+		t.Errorf("hash partitioner growth moved only %v of keys; expected heavy reshuffle", f)
+	}
+}
+
+func TestMovedFractionSeedChangeMovesEverything(t *testing.T) {
+	// Rotating the secret seed is the nuclear option against an adversary
+	// who learned the mapping — and costs a full reshuffle.
+	a := NewRendezvous(20, 3, 5)
+	b := NewRendezvous(20, 3, 6)
+	f := MovedFraction(a, b, 5000)
+	if f < 0.9 {
+		t.Errorf("seed rotation moved only %v of keys", f)
+	}
+}
+
+func TestMovedFractionIgnoresOrder(t *testing.T) {
+	// Two partitioners returning the same sets in different orders move
+	// nothing. Build via the sameSet helper directly.
+	if !sameSet([]int{1, 2, 3}, []int{3, 1, 2}) {
+		t.Error("sameSet order-sensitive")
+	}
+	if sameSet([]int{1, 2, 3}, []int{1, 2, 4}) {
+		t.Error("sameSet missed a difference")
+	}
+	if sameSet([]int{1, 2}, []int{1, 2, 3}) {
+		t.Error("sameSet ignored length")
+	}
+}
+
+func TestMovedFractionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive samples did not panic")
+		}
+	}()
+	MovedFraction(NewHash(5, 2, 1), NewHash(5, 2, 1), 0)
+}

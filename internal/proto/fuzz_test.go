@@ -1,0 +1,89 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadRequest hammers the request decoder with arbitrary bytes: it
+// must never panic or over-allocate, and everything it accepts must
+// re-encode to an equivalent message.
+func FuzzReadRequest(f *testing.F) {
+	seed := [][]byte{
+		{},
+		{0, 0, 0, 0},
+		{0, 0, 0, 1, byte(OpPing)},
+		mustReq(&Request{Op: OpGet, Key: "k"}),
+		mustReq(&Request{Op: OpSet, Key: "key", Value: []byte("value")}),
+		mustReq(&Request{Op: OpDel, Key: ""}),
+		{0xff, 0xff, 0xff, 0xff, 1, 2, 3},
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		req, err := ReadRequest(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Round-trip: whatever decoded must encode and decode identically.
+		re, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatalf("accepted request %+v fails to encode: %v", req, err)
+		}
+		back, err := ReadRequest(bytes.NewReader(re))
+		if err != nil {
+			t.Fatalf("re-encoded request fails to decode: %v", err)
+		}
+		if back.Op != req.Op || back.Key != req.Key || !bytes.Equal(back.Value, req.Value) {
+			t.Fatalf("round trip changed the message: %+v vs %+v", req, back)
+		}
+	})
+}
+
+// FuzzReadResponse is the response-side analogue.
+func FuzzReadResponse(f *testing.F) {
+	seed := [][]byte{
+		{},
+		mustResp(&Response{Status: StatusOK, Payload: []byte("v")}),
+		mustResp(&Response{Status: StatusNotFound}),
+		mustResp(&Response{Status: StatusError, Payload: []byte("boom")}),
+		{0, 0, 0, 5, 77, 0, 0, 0, 0},
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		resp, err := ReadResponse(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		re, err := AppendResponse(nil, resp)
+		if err != nil {
+			t.Fatalf("accepted response %+v fails to encode: %v", resp, err)
+		}
+		back, err := ReadResponse(bytes.NewReader(re))
+		if err != nil {
+			t.Fatalf("re-encoded response fails to decode: %v", err)
+		}
+		if back.Status != resp.Status || !bytes.Equal(back.Payload, resp.Payload) {
+			t.Fatalf("round trip changed the message: %+v vs %+v", resp, back)
+		}
+	})
+}
+
+func mustReq(r *Request) []byte {
+	b, err := AppendRequest(nil, r)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func mustResp(r *Response) []byte {
+	b, err := AppendResponse(nil, r)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

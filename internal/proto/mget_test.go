@@ -1,0 +1,101 @@
+package proto
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMGetRequestRoundTrip(t *testing.T) {
+	req := &Request{Op: OpMGet, Keys: []string{"a", "key-two", "", "third"}}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != OpMGet || len(got.Keys) != 4 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i, k := range req.Keys {
+		if got.Keys[i] != k {
+			t.Errorf("key %d: %q != %q", i, got.Keys[i], k)
+		}
+	}
+}
+
+func TestMGetRequestLimits(t *testing.T) {
+	if _, err := AppendMGetRequest(nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	big := make([]string, MaxBatchKeys+1)
+	if _, err := AppendMGetRequest(nil, big); err == nil {
+		t.Error("oversized batch accepted")
+	}
+	if _, err := AppendMGetRequest(nil, []string{strings.Repeat("k", MaxKeyLen+1)}); err == nil {
+		t.Error("oversized key accepted")
+	}
+}
+
+func TestMGetPayloadRoundTrip(t *testing.T) {
+	in := []MGetResult{
+		{Found: true, Value: []byte("hello")},
+		{Found: false},
+		{Found: true, Value: nil},
+	}
+	payload, err := EncodeMGetPayload(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeMGetPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("decoded %d results", len(out))
+	}
+	if !out[0].Found || string(out[0].Value) != "hello" {
+		t.Errorf("result 0: %+v", out[0])
+	}
+	if out[1].Found || out[2].Value != nil && len(out[2].Value) != 0 {
+		t.Errorf("results 1/2: %+v %+v", out[1], out[2])
+	}
+	if !out[2].Found {
+		t.Error("result 2 should be found with empty value")
+	}
+}
+
+func TestMGetPayloadMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":         {},
+		"zero count":    {0, 0},
+		"truncated":     {0, 2, 1, 0, 0, 0, 0},
+		"value overrun": {0, 1, 1, 0, 0, 0, 9, 'x'},
+	}
+	for name, raw := range cases {
+		if _, err := DecodeMGetPayload(raw); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMGetRequestMalformedBody(t *testing.T) {
+	// op byte + truncated count.
+	raw := []byte{0, 0, 0, 2, byte(OpMGet), 0}
+	if _, err := ReadRequest(bytes.NewReader(raw)); err == nil {
+		t.Error("truncated MGET accepted")
+	}
+	// Claims 2 keys, provides 1.
+	raw = []byte{0, 0, 0, 6, byte(OpMGet), 0, 2, 0, 1, 'k'}
+	if _, err := ReadRequest(bytes.NewReader(raw)); err == nil {
+		t.Error("short MGET accepted")
+	}
+}
+
+func TestOpMGetString(t *testing.T) {
+	if OpMGet.String() != "MGET" {
+		t.Errorf("OpMGet.String() = %q", OpMGet.String())
+	}
+}

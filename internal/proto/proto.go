@@ -1,0 +1,300 @@
+// Package proto defines the binary wire protocol spoken between kvstore
+// clients, the front-end, and back-end nodes.
+//
+// Every message is a length-prefixed frame:
+//
+//	uint32  body length (big endian, excludes the prefix itself)
+//	body    request or response payload
+//
+// Request body:
+//
+//	byte    op (OpGet, OpSet, OpDel, OpStats, OpPing)
+//	uint16  key length, then key bytes (absent for OpStats/OpPing)
+//	uint32  value length, then value bytes (OpSet only)
+//
+// Response body:
+//
+//	byte    status (StatusOK, StatusNotFound, StatusError)
+//	uint32  payload length, then payload bytes
+//	        (the value for GET, JSON metrics for STATS, the error
+//	        message for StatusError)
+//
+// The protocol is deliberately minimal: no pipelining metadata, no
+// versioning negotiation — one request, one response, in order, per
+// connection. Frames are bounded (MaxKeyLen, MaxValueLen) so a malicious
+// peer cannot make a server allocate unbounded memory.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op identifies a request operation.
+type Op byte
+
+// Request operations.
+const (
+	OpGet Op = iota + 1
+	OpSet
+	OpDel
+	OpStats
+	OpPing
+)
+
+// String names the op for logs and errors.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpSet:
+		return "SET"
+	case OpDel:
+		return "DEL"
+	case OpStats:
+		return "STATS"
+	case OpPing:
+		return "PING"
+	case OpMGet:
+		return "MGET"
+	default:
+		return fmt.Sprintf("Op(%d)", byte(o))
+	}
+}
+
+func (o Op) valid() bool { return (o >= OpGet && o <= OpPing) || o == OpMGet }
+
+// hasKey reports whether the op carries a key.
+func (o Op) hasKey() bool { return o == OpGet || o == OpSet || o == OpDel }
+
+// Status identifies a response outcome.
+type Status byte
+
+// Response statuses.
+const (
+	StatusOK Status = iota + 1
+	StatusNotFound
+	StatusError
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("Status(%d)", byte(s))
+	}
+}
+
+func (s Status) valid() bool { return s >= StatusOK && s <= StatusError }
+
+// Size limits. Oversized frames are rejected before allocation.
+const (
+	MaxKeyLen   = 1 << 10 // 1 KiB keys
+	MaxValueLen = 1 << 22 // 4 MiB values
+	maxFrame    = MaxValueLen + MaxKeyLen + 16
+)
+
+// Protocol errors.
+var (
+	ErrFrameTooLarge = errors.New("proto: frame exceeds size limit")
+	ErrMalformed     = errors.New("proto: malformed message")
+)
+
+// Request is a client -> server message. Key/Value apply to the
+// single-key ops; Keys applies to OpMGet.
+type Request struct {
+	Op    Op
+	Key   string
+	Value []byte
+	Keys  []string
+}
+
+// Response is a server -> client message. For StatusError, Payload holds
+// the UTF-8 error message.
+type Response struct {
+	Status  Status
+	Payload []byte
+}
+
+// Err returns the response's error, or nil unless StatusError.
+func (r *Response) Err() error {
+	if r.Status != StatusError {
+		return nil
+	}
+	return fmt.Errorf("proto: remote error: %s", r.Payload)
+}
+
+// AppendRequest encodes req into dst (after the 4-byte frame prefix) and
+// returns the grown slice. It validates limits.
+func AppendRequest(dst []byte, req *Request) ([]byte, error) {
+	if !req.Op.valid() {
+		return dst, fmt.Errorf("%w: bad op %d", ErrMalformed, req.Op)
+	}
+	if req.Op == OpMGet {
+		return AppendMGetRequest(dst, req.Keys)
+	}
+	if len(req.Key) > MaxKeyLen {
+		return dst, fmt.Errorf("%w: key length %d", ErrFrameTooLarge, len(req.Key))
+	}
+	if len(req.Value) > MaxValueLen {
+		return dst, fmt.Errorf("%w: value length %d", ErrFrameTooLarge, len(req.Value))
+	}
+	body := 1
+	if req.Op.hasKey() {
+		body += 2 + len(req.Key)
+	}
+	if req.Op == OpSet {
+		body += 4 + len(req.Value)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, byte(req.Op))
+	if req.Op.hasKey() {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(req.Key)))
+		dst = append(dst, req.Key...)
+	}
+	if req.Op == OpSet {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(req.Value)))
+		dst = append(dst, req.Value...)
+	}
+	return dst, nil
+}
+
+// WriteRequest frames and writes req to w.
+func WriteRequest(w io.Writer, req *Request) error {
+	buf, err := AppendRequest(nil, req)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadRequest reads one framed request from r.
+func ReadRequest(r io.Reader) (*Request, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 1 {
+		return nil, fmt.Errorf("%w: empty body", ErrMalformed)
+	}
+	req := &Request{Op: Op(body[0])}
+	body = body[1:]
+	if !req.Op.valid() {
+		return nil, fmt.Errorf("%w: bad op %d", ErrMalformed, req.Op)
+	}
+	if req.Op == OpMGet {
+		keys, err := parseMGetBody(body)
+		if err != nil {
+			return nil, err
+		}
+		req.Keys = keys
+		return req, nil
+	}
+	if req.Op.hasKey() {
+		if len(body) < 2 {
+			return nil, fmt.Errorf("%w: truncated key length", ErrMalformed)
+		}
+		klen := int(binary.BigEndian.Uint16(body))
+		body = body[2:]
+		if klen > MaxKeyLen || len(body) < klen {
+			return nil, fmt.Errorf("%w: key length %d vs body %d", ErrMalformed, klen, len(body))
+		}
+		req.Key = string(body[:klen])
+		body = body[klen:]
+	}
+	if req.Op == OpSet {
+		if len(body) < 4 {
+			return nil, fmt.Errorf("%w: truncated value length", ErrMalformed)
+		}
+		vlen := int(binary.BigEndian.Uint32(body))
+		body = body[4:]
+		if vlen > MaxValueLen || len(body) < vlen {
+			return nil, fmt.Errorf("%w: value length %d vs body %d", ErrMalformed, vlen, len(body))
+		}
+		req.Value = append([]byte(nil), body[:vlen]...)
+		body = body[vlen:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(body))
+	}
+	return req, nil
+}
+
+// AppendResponse encodes resp into dst and returns the grown slice.
+func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
+	if !resp.Status.valid() {
+		return dst, fmt.Errorf("%w: bad status %d", ErrMalformed, resp.Status)
+	}
+	if len(resp.Payload) > MaxValueLen {
+		return dst, fmt.Errorf("%w: payload length %d", ErrFrameTooLarge, len(resp.Payload))
+	}
+	body := 1 + 4 + len(resp.Payload)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, byte(resp.Status))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Payload)))
+	dst = append(dst, resp.Payload...)
+	return dst, nil
+}
+
+// WriteResponse frames and writes resp to w.
+func WriteResponse(w io.Writer, resp *Response) error {
+	buf, err := AppendResponse(nil, resp)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadResponse reads one framed response from r.
+func ReadResponse(r io.Reader) (*Response, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 5 {
+		return nil, fmt.Errorf("%w: response body %d bytes", ErrMalformed, len(body))
+	}
+	resp := &Response{Status: Status(body[0])}
+	if !resp.Status.valid() {
+		return nil, fmt.Errorf("%w: bad status %d", ErrMalformed, resp.Status)
+	}
+	plen := int(binary.BigEndian.Uint32(body[1:]))
+	body = body[5:]
+	if plen > MaxValueLen || len(body) != plen {
+		return nil, fmt.Errorf("%w: payload length %d vs body %d", ErrMalformed, plen, len(body))
+	}
+	if plen > 0 {
+		resp.Payload = append([]byte(nil), body...)
+	}
+	return resp, nil
+}
+
+// readFrame reads the 4-byte prefix and then the body.
+func readFrame(r io.Reader) ([]byte, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err // io.EOF passes through for clean closes
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > maxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return body, nil
+}

@@ -1,0 +1,214 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTripRequest(t *testing.T, req *Request) *Request {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+	got, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatalf("ReadRequest: %v", err)
+	}
+	return got
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []*Request{
+		{Op: OpGet, Key: "k00000001"},
+		{Op: OpSet, Key: "user:42", Value: []byte("hello world")},
+		{Op: OpSet, Key: "empty-value", Value: nil},
+		{Op: OpDel, Key: "gone"},
+		{Op: OpStats},
+		{Op: OpPing},
+	}
+	for _, req := range cases {
+		got := roundTripRequest(t, req)
+		if got.Op != req.Op || got.Key != req.Key || !bytes.Equal(got.Value, req.Value) {
+			t.Errorf("%s: round trip %+v -> %+v", req.Op, req, got)
+		}
+	}
+}
+
+func TestRequestRoundTripQuick(t *testing.T) {
+	f := func(key string, value []byte, pickSet bool) bool {
+		if len(key) > MaxKeyLen || len(value) > MaxValueLen {
+			return true // out of protocol bounds; rejected separately
+		}
+		req := &Request{Op: OpGet, Key: key}
+		if pickSet {
+			req = &Request{Op: OpSet, Key: key, Value: value}
+		}
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			return false
+		}
+		got, err := ReadRequest(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Op == req.Op && got.Key == req.Key && bytes.Equal(got.Value, req.Value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []*Response{
+		{Status: StatusOK, Payload: []byte("value-bytes")},
+		{Status: StatusOK},
+		{Status: StatusNotFound},
+		{Status: StatusError, Payload: []byte("node down")},
+	}
+	for _, resp := range cases {
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, resp); err != nil {
+			t.Fatalf("WriteResponse: %v", err)
+		}
+		got, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatalf("ReadResponse: %v", err)
+		}
+		if got.Status != resp.Status || !bytes.Equal(got.Payload, resp.Payload) {
+			t.Errorf("round trip %+v -> %+v", resp, got)
+		}
+	}
+}
+
+func TestResponseErr(t *testing.T) {
+	ok := &Response{Status: StatusOK}
+	if ok.Err() != nil {
+		t.Error("OK response has error")
+	}
+	e := &Response{Status: StatusError, Payload: []byte("boom")}
+	if err := e.Err(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Err() = %v", err)
+	}
+}
+
+func TestWriteRequestLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{Op: OpGet, Key: strings.Repeat("k", MaxKeyLen+1)}); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if err := WriteRequest(&buf, &Request{Op: OpSet, Key: "k", Value: make([]byte, MaxValueLen+1)}); err == nil {
+		t.Error("oversized value accepted")
+	}
+	if err := WriteRequest(&buf, &Request{Op: 0, Key: "k"}); err == nil {
+		t.Error("invalid op accepted")
+	}
+}
+
+func TestReadRequestMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty body":       {0, 0, 0, 0},
+		"bad op":           {0, 0, 0, 1, 99},
+		"truncated keylen": {0, 0, 0, 2, byte(OpGet), 0},
+		"key overrun":      {0, 0, 0, 4, byte(OpGet), 0, 9, 'k'},
+		"trailing bytes":   {0, 0, 0, 5, byte(OpGet), 0, 1, 'k', 'z'},
+		"set no value len": {0, 0, 0, 4, byte(OpSet), 0, 1, 'k'},
+	}
+	for name, raw := range cases {
+		if _, err := ReadRequest(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: error %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	raw := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadRequest(bytes.NewReader(raw)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("error %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadRequestCleanEOF(t *testing.T) {
+	if _, err := ReadRequest(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream error %v, want io.EOF", err)
+	}
+}
+
+func TestReadRequestTruncatedBody(t *testing.T) {
+	raw := []byte{0, 0, 0, 10, byte(OpGet)} // claims 10 bytes, has 1
+	if _, err := ReadRequest(bytes.NewReader(raw)); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated body error %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadResponseMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"short body":     {0, 0, 0, 1, byte(StatusOK)},
+		"bad status":     {0, 0, 0, 5, 99, 0, 0, 0, 0},
+		"payload length": {0, 0, 0, 5, byte(StatusOK), 0, 0, 0, 9},
+	}
+	for name, raw := range cases {
+		if _, err := ReadResponse(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if OpGet.String() != "GET" || OpSet.String() != "SET" || OpDel.String() != "DEL" ||
+		OpStats.String() != "STATS" || OpPing.String() != "PING" {
+		t.Error("op names wrong")
+	}
+	if Op(99).String() == "" || Status(99).String() == "" {
+		t.Error("unknown op/status should still format")
+	}
+	if StatusOK.String() != "OK" || StatusNotFound.String() != "NOT_FOUND" || StatusError.String() != "ERROR" {
+		t.Error("status names wrong")
+	}
+}
+
+func TestMultipleMessagesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := WriteRequest(&buf, &Request{Op: OpGet, Key: workKey(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		req, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if req.Key != workKey(i) {
+			t.Fatalf("message %d: key %q", i, req.Key)
+		}
+	}
+}
+
+func workKey(i int) string { return string(rune('a' + i)) }
+
+func BenchmarkAppendRequest(b *testing.B) {
+	req := &Request{Op: OpSet, Key: "k00001234", Value: bytes.Repeat([]byte("x"), 128)}
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf, _ = AppendRequest(buf[:0], req)
+	}
+	_ = buf
+}
+
+func BenchmarkReadRequest(b *testing.B) {
+	raw, _ := AppendRequest(nil, &Request{Op: OpSet, Key: "k00001234", Value: bytes.Repeat([]byte("x"), 128)})
+	r := bytes.NewReader(raw)
+	for i := 0; i < b.N; i++ {
+		r.Reset(raw)
+		if _, err := ReadRequest(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

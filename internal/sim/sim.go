@@ -1,0 +1,192 @@
+// Package sim is the experiment harness: it runs a simulation scenario
+// many times with independently derived seeds (in parallel across CPUs),
+// aggregates the per-run results, and renders tables.
+//
+// A scenario fixes the cluster shape (n, d, partitioner, policy), the
+// front-end cache size (perfect caching, as the paper assumes), the
+// workload distribution, and the client rate. One *run* draws a fresh
+// random partition (a new partitioner seed) and measures the resulting
+// per-node loads; the paper repeats 200 runs and reports the max of the
+// maximum loads, which Aggregate exposes alongside mean and quantiles.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"securecache/internal/cluster"
+	"securecache/internal/partition"
+	"securecache/internal/stats"
+	"securecache/internal/workload"
+	"securecache/internal/xrand"
+)
+
+// Scenario describes one simulation configuration.
+type Scenario struct {
+	// Nodes is n. Required.
+	Nodes int
+	// Replication is d. Required.
+	Replication int
+	// CacheSize is c: the perfect front-end cache pins the c most popular
+	// keys of Dist. Zero means no cache.
+	CacheSize int
+	// Dist is the query distribution. Required.
+	Dist workload.Distribution
+	// Rate is the total client rate R. Required (> 0).
+	Rate float64
+	// Runs is the number of independent repetitions (fresh partition per
+	// run). Zero selects 200, the paper's setting.
+	Runs int
+	// Seed is the root seed; every run derives its own stream from it.
+	Seed uint64
+	// Policy selects replica usage; empty selects least-loaded (the
+	// paper's model).
+	Policy cluster.Policy
+	// Partitioner selects the key -> replica-group scheme; empty selects
+	// hash partitioning.
+	Partitioner partition.Kind
+	// NodeCapacity caps per-node rate (0 = unlimited).
+	NodeCapacity float64
+}
+
+func (s Scenario) validate() error {
+	if s.Dist == nil {
+		return fmt.Errorf("sim: Scenario.Dist is nil")
+	}
+	if s.Rate <= 0 {
+		return fmt.Errorf("sim: Rate = %v, must be positive", s.Rate)
+	}
+	if s.CacheSize < 0 {
+		return fmt.Errorf("sim: CacheSize = %d, must be >= 0", s.CacheSize)
+	}
+	if s.Runs < 0 {
+		return fmt.Errorf("sim: Runs = %d, must be >= 0", s.Runs)
+	}
+	// Nodes/Replication are validated by cluster.New; probe once here so
+	// the error surfaces before launching goroutines.
+	_, err := cluster.New(cluster.Config{
+		Nodes:        s.Nodes,
+		Replication:  s.Replication,
+		Policy:       s.Policy,
+		NodeCapacity: s.NodeCapacity,
+	})
+	return err
+}
+
+// Aggregate summarizes a scenario over all runs.
+type Aggregate struct {
+	// Scenario echoes the input (with defaults applied).
+	Scenario Scenario
+	// NormMax aggregates the per-run normalized max load E[L_max]/(R/n).
+	NormMax stats.Summary
+	// MaxLoad aggregates the per-run absolute max load.
+	MaxLoad stats.Summary
+	// Dropped aggregates the per-run dropped rate (capacity model).
+	Dropped stats.Summary
+	// CachedFraction is the fraction of the offered rate absorbed by the
+	// cache (identical across runs: the cache and distribution are fixed).
+	CachedFraction float64
+	// PerRunNormMax holds each run's normalized max load, in run order.
+	PerRunNormMax []float64
+}
+
+// MaxOfNormMax returns the max over runs of the normalized max load — the
+// statistic the paper's Figure 3 plots.
+func (a *Aggregate) MaxOfNormMax() float64 { return a.NormMax.Max() }
+
+// Run executes the scenario and aggregates the results. Runs execute in
+// parallel across GOMAXPROCS workers; results are deterministic for a
+// given Seed regardless of parallelism (each run's randomness is derived
+// from (Seed, runIndex) alone).
+func Run(s Scenario) (*Aggregate, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if s.Runs == 0 {
+		s.Runs = 200
+	}
+
+	// The perfect cache set depends only on the distribution.
+	cachedSet := workload.TopC(s.Dist, s.CacheSize)
+	cached := cluster.CachedSet(cachedSet)
+
+	perRun := make([]float64, s.Runs)
+	perRunAbs := make([]float64, s.Runs)
+	perRunDropped := make([]float64, s.Runs)
+	var cachedFraction float64
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > s.Runs {
+		workers = s.Runs
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		errs []error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				run := next
+				next++
+				mu.Unlock()
+				if run >= s.Runs {
+					return
+				}
+				rep, err := runOnce(s, cached, run)
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+				perRun[run] = rep.NormalizedMaxLoad()
+				perRunAbs[run] = rep.MaxLoad()
+				perRunDropped[run] = rep.DroppedRate
+				if run == 0 {
+					mu.Lock()
+					cachedFraction = rep.CachedRate / rep.OfferedRate
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+
+	agg := &Aggregate{Scenario: s, CachedFraction: cachedFraction, PerRunNormMax: perRun}
+	for i := range perRun {
+		agg.NormMax.Add(perRun[i])
+		agg.MaxLoad.Add(perRunAbs[i])
+		agg.Dropped.Add(perRunDropped[i])
+	}
+	return agg, nil
+}
+
+// runOnce executes a single run with seeds derived from (Seed, run).
+func runOnce(s Scenario, cached func(int) bool, run int) (*cluster.LoadReport, error) {
+	partSeed := xrand.Derive(s.Seed, 0xC1, uint64(run))
+	part, err := partition.New(s.Partitioner, s.Nodes, s.Replication, partSeed)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes:        s.Nodes,
+		Replication:  s.Replication,
+		Partitioner:  part,
+		Policy:       s.Policy,
+		NodeCapacity: s.NodeCapacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(xrand.Derive(s.Seed, 0xC2, uint64(run)))
+	return cl.ApplyLoad(s.Dist, s.Rate, cached, rng), nil
+}

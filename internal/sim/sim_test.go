@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"securecache/internal/cluster"
+	"securecache/internal/partition"
+	"securecache/internal/workload"
+)
+
+func smallScenario() Scenario {
+	return Scenario{
+		Nodes:       50,
+		Replication: 3,
+		CacheSize:   10,
+		Dist:        workload.NewUniform(500, 100),
+		Rate:        1000,
+		Runs:        20,
+		Seed:        42,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := []Scenario{
+		{},                                  // nil dist
+		{Dist: workload.NewUniform(10, 10)}, // zero rate
+		{Dist: workload.NewUniform(10, 10), Rate: 1, Nodes: 0, Replication: 1},
+		{Dist: workload.NewUniform(10, 10), Rate: 1, Nodes: 10, Replication: 3, CacheSize: -1},
+		{Dist: workload.NewUniform(10, 10), Rate: 1, Nodes: 10, Replication: 3, Runs: -1},
+		{Dist: workload.NewUniform(10, 10), Rate: 1, Nodes: 10, Replication: 3, Policy: "bogus"},
+		{Dist: workload.NewUniform(10, 10), Rate: 1, Nodes: 10, Replication: 3, Partitioner: "bogus"},
+	}
+	for i, s := range bad {
+		if _, err := Run(s); err == nil {
+			t.Errorf("scenario %d accepted", i)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	s := smallScenario()
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerRunNormMax {
+		if a.PerRunNormMax[i] != b.PerRunNormMax[i] {
+			t.Fatalf("run %d differs between identical executions", i)
+		}
+	}
+	if a.MaxOfNormMax() != b.MaxOfNormMax() {
+		t.Error("MaxOfNormMax not deterministic")
+	}
+}
+
+func TestRunDefaultsTo200Runs(t *testing.T) {
+	s := smallScenario()
+	s.Runs = 0
+	s.Nodes = 10
+	s.Dist = workload.NewUniform(50, 50)
+	agg, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.NormMax.N() != 200 {
+		t.Errorf("defaulted to %d runs, want 200", agg.NormMax.N())
+	}
+}
+
+func TestRunCachedFraction(t *testing.T) {
+	// Uniform over 100 keys, cache 25 -> 25% of rate cached.
+	s := smallScenario()
+	s.Dist = workload.NewUniform(500, 100)
+	s.CacheSize = 25
+	agg, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(agg.CachedFraction-0.25) > 1e-9 {
+		t.Errorf("CachedFraction = %v, want 0.25", agg.CachedFraction)
+	}
+}
+
+func TestRunSeedChangesResults(t *testing.T) {
+	s := smallScenario()
+	// Zipf gives continuous-valued per-node loads, so two different
+	// partitions essentially never produce identical max loads (uniform
+	// rates would quantize the max load onto a handful of values).
+	s.Dist = workload.NewZipf(500, 1.01)
+	a, _ := Run(s)
+	s.Seed = 43
+	b, _ := Run(s)
+	same := true
+	for i := range a.PerRunNormMax {
+		if a.PerRunNormMax[i] != b.PerRunNormMax[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical run sequences")
+	}
+}
+
+func TestRunNormalizedSanity(t *testing.T) {
+	// With no cache and uniform workload, the normalized max load should
+	// be close to but >= 1 (it's a max over nodes).
+	s := Scenario{
+		Nodes:       20,
+		Replication: 3,
+		Dist:        workload.NewUniform(5000, 5000),
+		Rate:        5000,
+		Runs:        10,
+		Seed:        7,
+	}
+	agg, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.NormMax.Mean() < 1 {
+		t.Errorf("mean normalized max %v < 1 (impossible for a max)", agg.NormMax.Mean())
+	}
+	if agg.NormMax.Mean() > 1.5 {
+		t.Errorf("mean normalized max %v implausibly high for uniform d=3", agg.NormMax.Mean())
+	}
+}
+
+func TestRunAllPoliciesAndPartitioners(t *testing.T) {
+	for _, policy := range []cluster.Policy{cluster.PolicyLeastLoaded, cluster.PolicyRandomReplica, cluster.PolicySplit} {
+		for _, part := range []partition.Kind{partition.KindHash, partition.KindRing, partition.KindRendezvous} {
+			s := smallScenario()
+			s.Runs = 3
+			s.Policy = policy
+			s.Partitioner = part
+			if _, err := Run(s); err != nil {
+				t.Errorf("policy %q partitioner %q: %v", policy, part, err)
+			}
+		}
+	}
+}
+
+func TestRunCapacityDrops(t *testing.T) {
+	s := smallScenario()
+	s.Dist = workload.NewUniform(500, 11) // 11 queried, 10 cached -> one hot key
+	s.CacheSize = 10
+	s.NodeCapacity = 10 // hot key carries ~1000/11 ≈ 91 > 10
+	agg, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Dropped.Mean() <= 0 {
+		t.Error("expected dropped load under tight capacity")
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable("demo", "x", "y")
+	tb.AddRow(1, 2.5)
+	tb.AddRow(2, 3.5)
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	col := tb.Column("y")
+	if col[0] != 2.5 || col[1] != 3.5 {
+		t.Errorf("Column(y) = %v", col)
+	}
+	row := tb.Row(0)
+	row[0] = 99 // must not alias
+	if tb.Row(0)[0] != 1 {
+		t.Error("Row returned aliased storage")
+	}
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "2.5") {
+		t.Errorf("String output missing content:\n%s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("csv demo", "a", "b")
+	tb.AddRow(1, 0.5)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# csv demo", "a,b", "1,0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	tb := NewTable("p", "a", "b")
+	for name, f := range map[string]func(){
+		"no columns":   func() { NewTable("x") },
+		"row mismatch": func() { tb.AddRow(1) },
+		"bad column":   func() { tb.Column("zzz") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTableCellFormatting(t *testing.T) {
+	tb := NewTable("f", "v")
+	tb.AddRow(1234567)
+	tb.AddRow(0.333333333333)
+	s := tb.String()
+	if !strings.Contains(s, "1234567") {
+		t.Errorf("integer cell mangled:\n%s", s)
+	}
+	if strings.Contains(s, "1.234567e") {
+		t.Errorf("integer formatted in scientific notation:\n%s", s)
+	}
+}

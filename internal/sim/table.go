@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple numeric result table: one row per sweep point, named
+// columns. The experiment drivers fill one Table per paper figure, and
+// both the benchmarks and the secexperiments binary render it.
+type Table struct {
+	// Title labels the table (e.g. "Fig 3(a): normalized max load vs x").
+	Title string
+	// Columns names the columns, first typically the sweep variable.
+	Columns []string
+	rows    [][]float64
+}
+
+// NewTable returns an empty table with the given title and columns.
+func NewTable(title string, columns ...string) *Table {
+	if len(columns) == 0 {
+		panic("sim: NewTable with no columns")
+	}
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. It panics on column-count mismatch — rows come
+// from experiment code, so a mismatch is a programming error.
+func (t *Table) AddRow(values ...float64) {
+	if len(values) != len(t.Columns) {
+		panic(fmt.Sprintf("sim: AddRow with %d values for %d columns", len(values), len(t.Columns)))
+	}
+	row := make([]float64, len(values))
+	copy(row, values)
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Row returns a copy of row i.
+func (t *Table) Row(i int) []float64 {
+	row := make([]float64, len(t.rows[i]))
+	copy(row, t.rows[i])
+	return row
+}
+
+// Column returns a copy of the named column. It panics if the column does
+// not exist.
+func (t *Table) Column(name string) []float64 {
+	idx := -1
+	for i, c := range t.Columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		panic(fmt.Sprintf("sim: table %q has no column %q", t.Title, name))
+	}
+	out := make([]float64, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = row[idx]
+	}
+	return out
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.rows))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for r, row := range t.rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			cells[r][i] = formatCell(v)
+			if len(cells[r][i]) > widths[i] {
+				widths[i] = len(cells[r][i])
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// WriteCSV writes the table (with a title comment line) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	record := make([]string, len(t.Columns))
+	for _, row := range t.rows {
+		for i, v := range row {
+			record[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

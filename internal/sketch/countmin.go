@@ -1,0 +1,122 @@
+// Package sketch provides the probabilistic counting structures used by
+// realistic front-end caches: a count-min sketch for frequency estimation
+// and a Space-Saving summary for top-k tracking.
+//
+// The paper assumes "perfect caching" — the front end always holds the c
+// most popular items. A deployed front end cannot know true popularity, so
+// it approximates it with exactly these sketches (the approach memcached
+// front ends and TinyLFU-style admission policies use). The cache-policy
+// ablation in internal/experiments quantifies how close the approximation
+// gets to the perfect-cache assumption.
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"securecache/internal/hashing"
+)
+
+// CountMin is a count-min sketch: a width×depth matrix of counters where
+// each key increments one counter per row and is estimated by the minimum
+// across rows. Estimates are never under the true count; overestimation is
+// bounded by εN with probability 1−δ for width=⌈e/ε⌉, depth=⌈ln(1/δ)⌉.
+//
+// CountMin is not safe for concurrent use.
+type CountMin struct {
+	width uint64
+	rows  [][]uint64
+	seeds []uint64
+	total uint64
+}
+
+// NewCountMin returns a sketch with the given geometry. It panics if
+// width or depth is not positive.
+func NewCountMin(width, depth int, seed uint64) *CountMin {
+	if width <= 0 || depth <= 0 {
+		panic(fmt.Sprintf("sketch: NewCountMin(%d, %d): dimensions must be positive", width, depth))
+	}
+	cm := &CountMin{
+		width: uint64(width),
+		rows:  make([][]uint64, depth),
+		seeds: make([]uint64, depth),
+	}
+	for i := range cm.rows {
+		cm.rows[i] = make([]uint64, width)
+		cm.seeds[i] = seed + uint64(i)*0x9e3779b97f4a7c15
+	}
+	return cm
+}
+
+// NewCountMinWithError returns a sketch sized for additive error at most
+// epsilon*N with probability at least 1-delta.
+func NewCountMinWithError(epsilon, delta float64, seed uint64) *CountMin {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("sketch: NewCountMinWithError(%v, %v): parameters must be in (0,1)", epsilon, delta))
+	}
+	width := int(math.Ceil(math.E / epsilon))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	return NewCountMin(width, depth, seed)
+}
+
+// Add increments key's count by delta.
+func (cm *CountMin) Add(key string, delta uint64) {
+	for i, s := range cm.seeds {
+		cm.rows[i][hashing.Hash64(key, s)%cm.width] += delta
+	}
+	cm.total += delta
+}
+
+// AddUint is Add for integer keys.
+func (cm *CountMin) AddUint(key uint64, delta uint64) {
+	for i, s := range cm.seeds {
+		cm.rows[i][hashing.Hash64Uint(key, s)%cm.width] += delta
+	}
+	cm.total += delta
+}
+
+// Estimate returns the (over-)estimated count for key.
+func (cm *CountMin) Estimate(key string) uint64 {
+	est := uint64(math.MaxUint64)
+	for i, s := range cm.seeds {
+		if c := cm.rows[i][hashing.Hash64(key, s)%cm.width]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// EstimateUint is Estimate for integer keys.
+func (cm *CountMin) EstimateUint(key uint64) uint64 {
+	est := uint64(math.MaxUint64)
+	for i, s := range cm.seeds {
+		if c := cm.rows[i][hashing.Hash64Uint(key, s)%cm.width]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// Total returns the sum of all added deltas.
+func (cm *CountMin) Total() uint64 { return cm.total }
+
+// Halve divides every counter by two (aging). TinyLFU uses periodic
+// halving to keep the sketch responsive to popularity shifts.
+func (cm *CountMin) Halve() {
+	for _, row := range cm.rows {
+		for i := range row {
+			row[i] >>= 1
+		}
+	}
+	cm.total >>= 1
+}
+
+// Reset zeroes the sketch.
+func (cm *CountMin) Reset() {
+	for _, row := range cm.rows {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	cm.total = 0
+}

@@ -1,0 +1,210 @@
+package sketch
+
+import (
+	"testing"
+
+	"securecache/internal/xrand"
+)
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	cm := NewCountMin(256, 4, 1)
+	truth := map[uint64]uint64{}
+	rng := xrand.New(2)
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(500))
+		cm.AddUint(k, 1)
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := cm.EstimateUint(k); got < want {
+			t.Fatalf("key %d: estimate %d < true count %d", k, got, want)
+		}
+	}
+	if cm.Total() != 20000 {
+		t.Errorf("Total = %d, want 20000", cm.Total())
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// With width 2000 over 20000 additions, expected overestimation per
+	// row cell is 10; the min over 4 rows should be well under 100.
+	cm := NewCountMin(2000, 4, 3)
+	rng := xrand.New(4)
+	const adds = 20000
+	for i := 0; i < adds; i++ {
+		cm.AddUint(uint64(rng.Intn(10000)), 1)
+	}
+	// A key never added should estimate close to zero.
+	bad := 0
+	for k := uint64(100000); k < 100100; k++ {
+		if cm.EstimateUint(k) > 40 {
+			bad++
+		}
+	}
+	if bad > 5 {
+		t.Errorf("%d/100 absent keys grossly overestimated", bad)
+	}
+}
+
+func TestCountMinStringAndUintIndependent(t *testing.T) {
+	cm := NewCountMin(64, 3, 7)
+	cm.Add("hello", 5)
+	if got := cm.Estimate("hello"); got < 5 {
+		t.Errorf("Estimate(hello) = %d, want >= 5", got)
+	}
+	if got := cm.Estimate("absent-key-xyz"); got > 5 {
+		t.Errorf("unrelated key estimated %d in a near-empty sketch", got)
+	}
+}
+
+func TestCountMinHalve(t *testing.T) {
+	cm := NewCountMin(64, 2, 1)
+	cm.AddUint(42, 100)
+	cm.Halve()
+	if got := cm.EstimateUint(42); got != 50 {
+		t.Errorf("after Halve, estimate = %d, want 50", got)
+	}
+	if cm.Total() != 50 {
+		t.Errorf("after Halve, total = %d, want 50", cm.Total())
+	}
+}
+
+func TestCountMinReset(t *testing.T) {
+	cm := NewCountMin(64, 2, 1)
+	cm.AddUint(1, 10)
+	cm.Reset()
+	if cm.EstimateUint(1) != 0 || cm.Total() != 0 {
+		t.Error("Reset did not zero the sketch")
+	}
+}
+
+func TestCountMinWithErrorGeometry(t *testing.T) {
+	cm := NewCountMinWithError(0.01, 0.01, 1)
+	if cm.width < 271 { // e/0.01 ≈ 271.8
+		t.Errorf("width = %d, want >= 272", cm.width)
+	}
+	if len(cm.rows) < 5 { // ln(100) ≈ 4.6
+		t.Errorf("depth = %d, want >= 5", len(cm.rows))
+	}
+}
+
+func TestCountMinPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero width": func() { NewCountMin(0, 1, 1) },
+		"zero depth": func() { NewCountMin(1, 0, 1) },
+		"bad eps":    func() { NewCountMinWithError(0, 0.5, 1) },
+		"bad delta":  func() { NewCountMinWithError(0.5, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSpaceSavingFindsHeavyHitters(t *testing.T) {
+	ss := NewSpaceSaving(50)
+	rng := xrand.New(9)
+	// Keys 0..4 are heavy (1000 each); 5..999 light (~5 each).
+	for i := 0; i < 5000; i++ {
+		ss.Add(uint64(i % 5))
+	}
+	for i := 0; i < 5000; i++ {
+		ss.Add(uint64(5 + rng.Intn(995)))
+	}
+	top := ss.TopSet(5)
+	for k := uint64(0); k < 5; k++ {
+		if !top[k] {
+			t.Errorf("heavy hitter %d missing from top-5 %v", k, top)
+		}
+	}
+}
+
+func TestSpaceSavingCapacityBound(t *testing.T) {
+	ss := NewSpaceSaving(10)
+	for k := uint64(0); k < 1000; k++ {
+		ss.Add(k)
+	}
+	if ss.Len() > 10 {
+		t.Errorf("Len = %d, exceeds capacity 10", ss.Len())
+	}
+}
+
+func TestSpaceSavingOverestimatesOnly(t *testing.T) {
+	ss := NewSpaceSaving(20)
+	truth := map[uint64]uint64{}
+	rng := xrand.New(11)
+	for i := 0; i < 10000; i++ {
+		k := uint64(rng.Intn(100))
+		ss.Add(k)
+		truth[k]++
+	}
+	for _, c := range ss.Top(20) {
+		if c.Count < truth[c.Key] {
+			t.Errorf("key %d: count %d < true %d (Space-Saving must overestimate)",
+				c.Key, c.Count, truth[c.Key])
+		}
+		if c.Count-c.Err > truth[c.Key] {
+			t.Errorf("key %d: count-err %d > true %d (error bound violated)",
+				c.Key, c.Count-c.Err, truth[c.Key])
+		}
+	}
+}
+
+func TestSpaceSavingTopOrdering(t *testing.T) {
+	ss := NewSpaceSaving(10)
+	for i := 0; i < 30; i++ {
+		ss.Add(1)
+	}
+	for i := 0; i < 20; i++ {
+		ss.Add(2)
+	}
+	for i := 0; i < 10; i++ {
+		ss.Add(3)
+	}
+	top := ss.Top(3)
+	if len(top) != 3 || top[0].Key != 1 || top[1].Key != 2 || top[2].Key != 3 {
+		t.Errorf("Top(3) = %v, want keys 1,2,3 in order", top)
+	}
+	if c, ok := ss.Estimate(1); !ok || c != 30 {
+		t.Errorf("Estimate(1) = %d,%v, want 30,true", c, ok)
+	}
+	if _, ok := ss.Estimate(99); ok {
+		t.Error("Estimate of untracked key reported tracked")
+	}
+}
+
+func TestSpaceSavingTopKClamped(t *testing.T) {
+	ss := NewSpaceSaving(5)
+	ss.Add(1)
+	if got := len(ss.Top(100)); got != 1 {
+		t.Errorf("Top(100) with 1 tracked key returned %d entries", got)
+	}
+}
+
+func TestSpaceSavingPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSpaceSaving(0) did not panic")
+		}
+	}()
+	NewSpaceSaving(0)
+}
+
+func BenchmarkCountMinAdd(b *testing.B) {
+	cm := NewCountMin(4096, 4, 1)
+	for i := 0; i < b.N; i++ {
+		cm.AddUint(uint64(i%100000), 1)
+	}
+}
+
+func BenchmarkSpaceSavingAdd(b *testing.B) {
+	ss := NewSpaceSaving(1000)
+	for i := 0; i < b.N; i++ {
+		ss.Add(uint64(i % 100000))
+	}
+}

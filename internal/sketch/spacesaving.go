@@ -1,0 +1,135 @@
+package sketch
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// SpaceSaving maintains the approximate top-k most frequent keys of a
+// stream using the Space-Saving algorithm (Metwally, Agrawal, El Abbadi,
+// 2005) with at most capacity counters. Every key whose true frequency
+// exceeds N/capacity is guaranteed to be tracked, and each reported count
+// overestimates the true count by at most the minimum tracked count.
+//
+// SpaceSaving is not safe for concurrent use.
+type SpaceSaving struct {
+	capacity int
+	entries  map[uint64]*ssEntry
+	heap     ssHeap // min-heap by count
+}
+
+type ssEntry struct {
+	key   uint64
+	count uint64
+	err   uint64 // overestimation bound inherited on replacement
+	index int    // position in heap
+}
+
+// Counted is one tracked key with its estimated count and error bound.
+type Counted struct {
+	Key   uint64
+	Count uint64
+	Err   uint64
+}
+
+// NewSpaceSaving returns a summary tracking at most capacity keys.
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sketch: NewSpaceSaving(%d): capacity must be positive", capacity))
+	}
+	return &SpaceSaving{
+		capacity: capacity,
+		entries:  make(map[uint64]*ssEntry, capacity),
+	}
+}
+
+// Add records one occurrence of key.
+func (s *SpaceSaving) Add(key uint64) {
+	if e, ok := s.entries[key]; ok {
+		e.count++
+		heap.Fix(&s.heap, e.index)
+		return
+	}
+	if len(s.entries) < s.capacity {
+		e := &ssEntry{key: key, count: 1}
+		s.entries[key] = e
+		heap.Push(&s.heap, e)
+		return
+	}
+	// Replace the minimum-count entry, inheriting its count as error.
+	min := s.heap[0]
+	delete(s.entries, min.key)
+	min.err = min.count
+	min.count++
+	min.key = key
+	s.entries[key] = min
+	heap.Fix(&s.heap, 0)
+}
+
+// Len returns the number of tracked keys.
+func (s *SpaceSaving) Len() int { return len(s.entries) }
+
+// Estimate returns the estimated count of key and whether it is tracked.
+func (s *SpaceSaving) Estimate(key uint64) (uint64, bool) {
+	e, ok := s.entries[key]
+	if !ok {
+		return 0, false
+	}
+	return e.count, true
+}
+
+// Top returns the k highest-count tracked keys in decreasing count order
+// (all tracked keys if k exceeds the tracked count).
+func (s *SpaceSaving) Top(k int) []Counted {
+	out := make([]Counted, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, Counted{Key: e.key, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key // deterministic tie-break
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// TopSet returns the keys of Top(k) as a set, the shape cache admission
+// code wants.
+func (s *SpaceSaving) TopSet(k int) map[uint64]bool {
+	top := s.Top(k)
+	set := make(map[uint64]bool, len(top))
+	for _, c := range top {
+		set[c.Key] = true
+	}
+	return set
+}
+
+// ssHeap implements heap.Interface as a min-heap on count.
+type ssHeap []*ssEntry
+
+func (h ssHeap) Len() int           { return len(h) }
+func (h ssHeap) Less(i, j int) bool { return h[i].count < h[j].count }
+func (h ssHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *ssHeap) Push(x interface{}) {
+	e := x.(*ssEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *ssHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

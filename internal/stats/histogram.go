@@ -1,0 +1,249 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram over [Lo, Hi) with equal-width
+// buckets, plus underflow and overflow buckets. It records counts only;
+// use Summary alongside it for moments.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	counts    []int64
+	underflow int64
+	overflow  int64
+	total     int64
+}
+
+// NewHistogram returns a histogram over [lo, hi) with buckets equal-width
+// bins. It panics if hi <= lo or buckets <= 0.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: NewHistogram with hi %v <= lo %v", hi, lo))
+	}
+	if buckets <= 0 {
+		panic("stats: NewHistogram with non-positive bucket count")
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(buckets),
+		counts: make([]int64, buckets),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.counts) { // guard against float rounding at hi
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Total returns the number of observations, including under/overflow.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Count returns the count in bucket i.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// Buckets returns the number of regular buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// BucketBounds returns the [lo, hi) range of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	return h.lo + float64(i)*h.width, h.lo + float64(i+1)*h.width
+}
+
+// Underflow and Overflow return out-of-range counts.
+func (h *Histogram) Underflow() int64 { return h.underflow }
+
+// Overflow returns the count of observations >= Hi.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// Merge adds another histogram's counts into h. The two histograms must
+// have identical geometry.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h.lo != o.lo || h.hi != o.hi || len(h.counts) != len(o.counts) {
+		return fmt.Errorf("stats: merging histograms with different geometry ([%v,%v)x%d vs [%v,%v)x%d)",
+			h.lo, h.hi, len(h.counts), o.lo, o.hi, len(o.counts))
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.underflow += o.underflow
+	h.overflow += o.overflow
+	h.total += o.total
+	return nil
+}
+
+// QuantileEstimate returns an estimate of the q-quantile assuming uniform
+// density within each bucket. Out-of-range mass is attributed to the
+// boundary values. It panics on an empty histogram.
+func (h *Histogram) QuantileEstimate(q float64) float64 {
+	if h.total == 0 {
+		panic("stats: QuantileEstimate of empty histogram")
+	}
+	target := q * float64(h.total)
+	cum := float64(h.underflow)
+	if target <= cum {
+		return h.lo
+	}
+	for i, c := range h.counts {
+		if cum+float64(c) >= target && c > 0 {
+			lo, _ := h.BucketBounds(i)
+			frac := (target - cum) / float64(c)
+			return lo + frac*h.width
+		}
+		cum += float64(c)
+	}
+	return h.hi
+}
+
+// String renders a compact ASCII bar chart, for experiment logs.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := int64(1)
+	for _, c := range h.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.counts {
+		lo, hi := h.BucketBounds(i)
+		bar := strings.Repeat("#", int(math.Round(40*float64(c)/float64(maxC))))
+		fmt.Fprintf(&b, "[%10.4g,%10.4g) %8d %s\n", lo, hi, c, bar)
+	}
+	if h.underflow > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.underflow)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.overflow)
+	}
+	return b.String()
+}
+
+// P2Quantile estimates a single quantile online with O(1) memory using the
+// P² algorithm (Jain & Chlamtac, 1985). It is used where the harness cannot
+// afford to retain all samples (e.g. per-request latencies in the kvstore).
+type P2Quantile struct {
+	q       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64
+	desired [5]float64
+	inc     [5]float64
+	initial []float64
+}
+
+// NewP2Quantile returns an estimator for the q-quantile, 0 < q < 1.
+func NewP2Quantile(q float64) *P2Quantile {
+	if q <= 0 || q >= 1 {
+		panic(fmt.Sprintf("stats: NewP2Quantile with q=%v", q))
+	}
+	p := &P2Quantile{q: q, initial: make([]float64, 0, 5)}
+	p.desired = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Add records one observation.
+func (p *P2Quantile) Add(x float64) {
+	if p.n < 5 {
+		p.initial = append(p.initial, x)
+		p.n++
+		if p.n == 5 {
+			sortFive(p.initial)
+			copy(p.heights[:], p.initial)
+			p.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+	p.n++
+	// Find cell k such that heights[k] <= x < heights[k+1].
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.desired {
+		p.desired[i] += p.inc[i]
+	}
+	// Adjust the three middle markers if needed.
+	for i := 1; i <= 3; i++ {
+		d := p.desired[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+func (p *P2Quantile) parabolic(i int, d float64) float64 {
+	return p.heights[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+func (p *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.heights[i] + d*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// N returns the number of observations so far.
+func (p *P2Quantile) N() int { return p.n }
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact sample quantile.
+func (p *P2Quantile) Value() float64 {
+	if p.n == 0 {
+		return math.NaN()
+	}
+	if p.n < 5 {
+		tmp := make([]float64, len(p.initial))
+		copy(tmp, p.initial)
+		return Quantile(tmp, p.q)
+	}
+	return p.heights[2]
+}
+
+func sortFive(s []float64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"securecache/internal/xrand"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{0, 0.5, 1, 5.5, 9.999, -1, 10, 11} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	if h.Underflow() != 1 {
+		t.Errorf("Underflow = %d, want 1", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("Overflow = %d, want 2", h.Overflow())
+	}
+	if h.Count(0) != 2 { // 0 and 0.5
+		t.Errorf("bucket 0 count = %d, want 2", h.Count(0))
+	}
+	if h.Count(1) != 1 || h.Count(5) != 1 || h.Count(9) != 1 {
+		t.Error("mid buckets miscounted")
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	h := NewHistogram(2, 12, 5)
+	lo, hi := h.BucketBounds(0)
+	if lo != 2 || hi != 4 {
+		t.Errorf("bucket 0 bounds = [%v,%v), want [2,4)", lo, hi)
+	}
+	lo, hi = h.BucketBounds(4)
+	if lo != 10 || hi != 12 {
+		t.Errorf("bucket 4 bounds = [%v,%v), want [10,12)", lo, hi)
+	}
+	if h.Buckets() != 5 {
+		t.Errorf("Buckets = %d, want 5", h.Buckets())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 1, 4)
+	b := NewHistogram(0, 1, 4)
+	a.Add(0.1)
+	b.Add(0.1)
+	b.Add(0.9)
+	b.Add(2) // overflow
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 4 || a.Count(0) != 2 || a.Count(3) != 1 || a.Overflow() != 1 {
+		t.Errorf("merge result wrong: total=%d c0=%d c3=%d over=%d",
+			a.Total(), a.Count(0), a.Count(3), a.Overflow())
+	}
+}
+
+func TestHistogramMergeGeometryMismatch(t *testing.T) {
+	a := NewHistogram(0, 1, 4)
+	b := NewHistogram(0, 2, 4)
+	if err := a.Merge(b); err == nil {
+		t.Error("merge of mismatched histograms did not error")
+	}
+}
+
+func TestHistogramQuantileEstimate(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	rng := xrand.New(3)
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		x := rng.Float64() * 100
+		h.Add(x)
+		samples = append(samples, x)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		est := h.QuantileEstimate(q)
+		exact := Quantile(samples, q)
+		if math.Abs(est-exact) > 2 { // within 2 bucket widths
+			t.Errorf("q=%v: histogram estimate %v, exact %v", q, est, exact)
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"hi<=lo":       func() { NewHistogram(1, 1, 4) },
+		"zero buckets": func() { NewHistogram(0, 1, 0) },
+		"empty q":      func() { NewHistogram(0, 1, 2).QuantileEstimate(0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(-3)
+	h.Add(99)
+	s := h.String()
+	if !strings.Contains(s, "underflow 1") || !strings.Contains(s, "overflow 1") {
+		t.Errorf("String() missing under/overflow lines:\n%s", s)
+	}
+}
+
+func TestP2QuantileAgainstExact(t *testing.T) {
+	rng := xrand.New(5)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		p := NewP2Quantile(q)
+		samples := make([]float64, 0, 50000)
+		for i := 0; i < 50000; i++ {
+			x := rng.Float64()
+			p.Add(x)
+			samples = append(samples, x)
+		}
+		exact := Quantile(samples, q)
+		if math.Abs(p.Value()-exact) > 0.01 {
+			t.Errorf("P2(%v) = %v, exact %v", q, p.Value(), exact)
+		}
+		if p.N() != 50000 {
+			t.Errorf("P2 N = %d, want 50000", p.N())
+		}
+	}
+}
+
+func TestP2QuantileSmallN(t *testing.T) {
+	p := NewP2Quantile(0.5)
+	if !math.IsNaN(p.Value()) {
+		t.Error("empty P2 estimator should return NaN")
+	}
+	p.Add(3)
+	p.Add(1)
+	p.Add(2)
+	if got := p.Value(); got != 2 {
+		t.Errorf("P2 median of {1,2,3} = %v, want 2", got)
+	}
+}
+
+func TestP2QuantilePanicsOnBadQ(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2Quantile(%v) did not panic", q)
+				}
+			}()
+			NewP2Quantile(q)
+		}()
+	}
+}
+
+func BenchmarkSummaryAdd(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i % 1000))
+	}
+}
+
+func BenchmarkP2Add(b *testing.B) {
+	p := NewP2Quantile(0.99)
+	for i := 0; i < b.N; i++ {
+		p.Add(float64(i % 1000))
+	}
+}

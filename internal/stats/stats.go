@@ -1,0 +1,204 @@
+// Package stats provides the streaming statistics used by the simulation
+// harness: numerically stable moment accumulation (Welford), histograms,
+// P² streaming quantiles, and cross-run aggregation.
+//
+// Everything in this package is allocation-light and deterministic; none of
+// the types are safe for concurrent use (the harness shards work per
+// goroutine and merges afterwards).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates count, mean, variance, min and max of a stream using
+// Welford's online algorithm. The zero value is ready to use.
+type Summary struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the summary.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Merge folds another summary into s (parallel-merge formula of Chan et
+// al.), so per-goroutine summaries can be combined exactly.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += delta * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean, or NaN if empty.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Min returns the minimum observation, or NaN if empty.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the maximum observation, or NaN if empty.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Sum returns n * mean.
+func (s *Summary) Sum() float64 { return float64(s.n) * s.mean }
+
+// Variance returns the unbiased sample variance, or NaN with fewer than
+// two observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean. With the hundreds of runs the harness uses, the
+// normal approximation to the t distribution is accurate to <1%.
+func (s *Summary) CI95() float64 { return 1.96 * s.StdErr() }
+
+// String formats the summary for experiment logs.
+func (s *Summary) String() string {
+	if s.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.StdDev(), s.Min(), s.Max())
+}
+
+// Quantile computes the q-quantile (0 <= q <= 1) of data using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// The input slice is not modified. It panics on empty data or q outside
+// [0,1].
+func Quantile(data []float64, q float64) float64 {
+	if len(data) == 0 {
+		panic("stats: Quantile of empty data")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile with q=%v", q))
+	}
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantiles computes several quantiles with one sort.
+func Quantiles(data []float64, qs ...float64) []float64 {
+	if len(data) == 0 {
+		panic("stats: Quantiles of empty data")
+	}
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 {
+			panic(fmt.Sprintf("stats: Quantiles with q=%v", q))
+		}
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+// MaxOf returns the maximum of data; it panics on empty input.
+func MaxOf(data []float64) float64 {
+	if len(data) == 0 {
+		panic("stats: MaxOf empty data")
+	}
+	m := data[0]
+	for _, v := range data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MeanOf returns the mean of data; it panics on empty input.
+func MeanOf(data []float64) float64 {
+	if len(data) == 0 {
+		panic("stats: MeanOf empty data")
+	}
+	var s float64
+	for _, v := range data {
+		s += v
+	}
+	return s / float64(len(data))
+}

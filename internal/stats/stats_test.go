@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"securecache/internal/xrand"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if !almostEqual(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almostEqual(s.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if !almostEqual(s.Sum(), 40, 1e-12) {
+		t.Errorf("Sum = %v, want 40", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Error("empty summary should return NaN statistics")
+	}
+	if !math.IsNaN(s.Variance()) {
+		t.Error("empty summary variance should be NaN")
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	rng := xrand.New(1)
+	var all, a, b Summary
+	for i := 0; i < 10000; i++ {
+		x := rng.Float64()*100 - 50
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if !almostEqual(a.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged mean %v != sequential %v", a.Mean(), all.Mean())
+	}
+	if !almostEqual(a.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merged variance %v != sequential %v", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Error("merged min/max mismatch")
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	a.Merge(b) // empty into empty
+	if a.N() != 0 {
+		t.Error("merge of empties should stay empty")
+	}
+	b.Add(3)
+	a.Merge(b) // non-empty into empty
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Error("merge into empty lost data")
+	}
+	var c Summary
+	a.Merge(c) // empty into non-empty
+	if a.N() != 1 {
+		t.Error("merging an empty summary changed data")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	rng := xrand.New(2)
+	var small, large Summary
+	for i := 0; i < 100; i++ {
+		small.Add(rng.Float64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Add(rng.Float64())
+	}
+	if small.CI95() <= large.CI95() {
+		t.Errorf("CI95 did not shrink: n=100 gives %v, n=10000 gives %v",
+			small.CI95(), large.CI95())
+	}
+}
+
+func TestQuantileExactValues(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(data, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	data := []float64{5, 1, 3}
+	Quantile(data, 0.5)
+	if data[0] != 5 || data[1] != 1 || data[2] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileSingleton(t *testing.T) {
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("Quantile of singleton = %v, want 7", got)
+	}
+}
+
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	data := []float64{9, 1, 4, 4, 7, 2, 8}
+	qs := []float64{0, 0.3, 0.5, 0.9, 1}
+	multi := Quantiles(data, qs...)
+	for i, q := range qs {
+		if single := Quantile(data, q); !almostEqual(multi[i], single, 1e-12) {
+			t.Errorf("Quantiles[%v] = %v, Quantile = %v", q, multi[i], single)
+		}
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaxOfMeanOf(t *testing.T) {
+	data := []float64{3, -1, 4, 1, 5}
+	if MaxOf(data) != 5 {
+		t.Errorf("MaxOf = %v, want 5", MaxOf(data))
+	}
+	if !almostEqual(MeanOf(data), 2.4, 1e-12) {
+		t.Errorf("MeanOf = %v, want 2.4", MeanOf(data))
+	}
+}
+
+func TestSummaryQuickProperty(t *testing.T) {
+	// Mean is always within [min, max].
+	f := func(xs []float64) bool {
+		var s Summary
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.Abs(x) > 1e150 {
+				continue
+			}
+			s.Add(x)
+		}
+		if s.N() > 0 {
+			// Welford's mean can land a few ULPs outside [min, max];
+			// allow a relative slack proportional to the range.
+			slack := 1e-9 * (1 + s.Max() - s.Min())
+			ok = s.Mean() >= s.Min()-slack && s.Mean() <= s.Max()+slack
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"securecache/internal/workload"
+)
+
+// FuzzRead hammers the trace decoder with arbitrary bytes: it must never
+// panic or allocate unboundedly, and accepted traces must round-trip.
+func FuzzRead(f *testing.F) {
+	var good bytes.Buffer
+	if err := Record(workload.NewUniform(20, 20), 50, 1).Write(&good); err != nil {
+		f.Fatal(err)
+	}
+	var empty bytes.Buffer
+	if err := (&Trace{M: 1}).Write(&empty); err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range [][]byte{good.Bytes(), empty.Bytes(), []byte("SCTR"), {}, []byte("garbage")} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr, err := Read(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("accepted trace fails to write: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded trace fails to read: %v", err)
+		}
+		if back.M != tr.M || len(back.Keys) != len(tr.Keys) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", tr.M, len(tr.Keys), back.M, len(back.Keys))
+		}
+		for i := range tr.Keys {
+			if back.Keys[i] != tr.Keys[i] {
+				t.Fatalf("round trip changed key %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"securecache/internal/workload"
+)
+
+func TestRecordAndRoundTrip(t *testing.T) {
+	dist := workload.NewZipf(1000, 1.01)
+	tr := Record(dist, 5000, 42)
+	if tr.M != 1000 || len(tr.Keys) != 5000 {
+		t.Fatalf("trace shape %d/%d", tr.M, len(tr.Keys))
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M != tr.M || len(got.Keys) != len(tr.Keys) {
+		t.Fatalf("round trip shape %d/%d", got.M, len(got.Keys))
+	}
+	for i := range tr.Keys {
+		if got.Keys[i] != tr.Keys[i] {
+			t.Fatalf("key %d differs", i)
+		}
+	}
+}
+
+func TestRecordDeterministic(t *testing.T) {
+	dist := workload.NewUniform(100, 100)
+	a := Record(dist, 100, 7)
+	b := Record(dist, 100, 7)
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			t.Fatal("same-seed traces differ")
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := &Trace{M: 10}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M != 10 || len(got.Keys) != 0 {
+		t.Errorf("empty trace round trip: %+v", got)
+	}
+	if _, err := got.Distribution(); err == nil {
+		t.Error("empty trace produced a distribution")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	bad := &Trace{M: 5, Keys: []int{7}}
+	if err := bad.Write(io.Discard); err == nil {
+		t.Error("out-of-range key written")
+	}
+	if err := (&Trace{M: 0}).Write(io.Discard); err == nil {
+		t.Error("zero key space written")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file at all"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("garbage read error %v, want ErrBadMagic", err)
+	}
+	// Right magic, wrong version.
+	raw := append([]byte("SCTR"), 0, 99)
+	raw = append(raw, make([]byte, 16)...)
+	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version error %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	tr := Record(workload.NewUniform(50, 50), 100, 1)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestReadImplausibleHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("SCTR")
+	hdr := make([]byte, 18)
+	hdr[1] = 1 // version 1
+	// m = 0
+	buf.Write(hdr)
+	if _, err := Read(&buf); err == nil {
+		t.Error("m=0 header accepted")
+	}
+}
+
+func TestFrequenciesMatchDistribution(t *testing.T) {
+	dist := workload.NewAdversarial(100, 10, 0)
+	tr := Record(dist, 100000, 3)
+	freq := tr.Frequencies()
+	for k := 0; k < 100; k++ {
+		if math.Abs(freq[k]-dist.Prob(k)) > 0.01 {
+			t.Errorf("key %d: empirical %v vs true %v", k, freq[k], dist.Prob(k))
+		}
+	}
+}
+
+func TestTraceDistributionDrivesSimulator(t *testing.T) {
+	src := workload.NewAdversarial(200, 21, 0)
+	tr := Record(src, 50000, 9)
+	pmf, err := tr.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pmf.NumKeys() != 200 {
+		t.Errorf("PMF keys = %d", pmf.NumKeys())
+	}
+	// The recorded distribution should have close to the source's support.
+	if pmf.Support() < 20 || pmf.Support() > 21 {
+		t.Errorf("support = %d, want ~21", pmf.Support())
+	}
+}
+
+func TestRecordPanicsOnNegativeCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative count did not panic")
+		}
+	}()
+	Record(workload.NewUniform(10, 10), -1, 1)
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+
+	"securecache/internal/xrand"
+)
+
+// Generator turns a Distribution into a concrete query stream. The
+// analytical experiments work directly on rates and never need it; the
+// kvstore load tester and the trace recorder replay discrete queries and
+// do.
+type Generator struct {
+	dist Distribution
+	rng  *xrand.Xoshiro256
+}
+
+// NewGenerator returns a generator drawing from dist with the given seed.
+func NewGenerator(dist Distribution, seed uint64) *Generator {
+	return &Generator{dist: dist, rng: xrand.New(seed)}
+}
+
+// Next returns the next query key.
+func (g *Generator) Next() int { return g.dist.Sample(g.rng) }
+
+// Batch appends n query keys to dst and returns it.
+func (g *Generator) Batch(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, g.Next())
+	}
+	return dst
+}
+
+// KeyName formats an integer key as the canonical wire key used by the
+// kvstore binaries and examples, e.g. key 42 -> "k00000042". The fixed
+// width keeps keys sortable and parseable.
+func KeyName(key int) string { return fmt.Sprintf("k%08d", key) }
+
+// ParseKeyName inverts KeyName.
+func ParseKeyName(name string) (int, error) {
+	if len(name) != 9 || name[0] != 'k' {
+		return 0, fmt.Errorf("workload: %q is not a canonical key name", name)
+	}
+	var k int
+	for i := 1; i < len(name); i++ {
+		d := name[i]
+		if d < '0' || d > '9' {
+			return 0, fmt.Errorf("workload: %q is not a canonical key name", name)
+		}
+		k = k*10 + int(d-'0')
+	}
+	return k, nil
+}
+
+// Rates converts a distribution and a total client rate R into absolute
+// per-key rates, visiting only the support. The callback receives each
+// queried key and its rate in queries/second.
+func Rates(dist Distribution, totalRate float64, fn func(key int, rate float64)) {
+	if totalRate < 0 {
+		panic(fmt.Sprintf("workload: Rates with negative total rate %v", totalRate))
+	}
+	dist.EachNonzero(func(key int, p float64) bool {
+		fn(key, p*totalRate)
+		return true
+	})
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"securecache/internal/xrand"
+)
+
+func benchRNG() *xrand.Xoshiro256 { return xrand.New(1) }
+
+func TestGeneratorDeterministic(t *testing.T) {
+	d := NewZipf(1000, 1.01)
+	a := NewGenerator(d, 7)
+	b := NewGenerator(d, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same-seed generators diverged at query %d", i)
+		}
+	}
+}
+
+func TestGeneratorBatch(t *testing.T) {
+	d := NewUniform(100, 100)
+	g := NewGenerator(d, 3)
+	batch := g.Batch(nil, 500)
+	if len(batch) != 500 {
+		t.Fatalf("Batch returned %d keys", len(batch))
+	}
+	for _, k := range batch {
+		if k < 0 || k >= 100 {
+			t.Fatalf("batch contains out-of-range key %d", k)
+		}
+	}
+	// Appending semantics.
+	batch2 := g.Batch(batch, 10)
+	if len(batch2) != 510 {
+		t.Errorf("Batch append returned %d keys, want 510", len(batch2))
+	}
+}
+
+func TestKeyNameRoundTrip(t *testing.T) {
+	for _, k := range []int{0, 1, 42, 99999999} {
+		name := KeyName(k)
+		if len(name) != 9 {
+			t.Errorf("KeyName(%d) = %q, want 9 chars", k, name)
+		}
+		got, err := ParseKeyName(name)
+		if err != nil || got != k {
+			t.Errorf("ParseKeyName(%q) = %d, %v; want %d", name, got, err, k)
+		}
+	}
+}
+
+func TestParseKeyNameErrors(t *testing.T) {
+	for _, bad := range []string{"", "k", "x00000001", "k0000000a", "k123", "k123456789"} {
+		if _, err := ParseKeyName(bad); err == nil {
+			t.Errorf("ParseKeyName(%q) did not error", bad)
+		}
+	}
+}
+
+func TestRates(t *testing.T) {
+	d := NewAdversarial(100, 4, 0) // 4 keys at 0.25 each
+	var total float64
+	visits := 0
+	Rates(d, 2000, func(key int, rate float64) {
+		visits++
+		if math.Abs(rate-500) > 1e-9 {
+			t.Errorf("key %d rate = %v, want 500", key, rate)
+		}
+		total += rate
+	})
+	if visits != 4 {
+		t.Errorf("Rates visited %d keys, want 4", visits)
+	}
+	if math.Abs(total-2000) > 1e-6 {
+		t.Errorf("total rate %v, want 2000", total)
+	}
+}
+
+func TestRatesPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Rates with negative rate did not panic")
+		}
+	}()
+	Rates(NewUniform(2, 2), -1, func(int, float64) {})
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"securecache/internal/xrand"
+)
+
+// Mixture blends several distributions over the same key space: with
+// probability Weights[i] a query is drawn from Components[i]. The guard
+// experiments use it to model an attack hidden inside benign traffic
+// (e.g. 0.8·Zipf + 0.2·Adversarial), and it composes arbitrarily for
+// richer synthetic workloads.
+type Mixture struct {
+	components []Distribution
+	weights    []float64 // normalized
+	cum        []float64 // cumulative weights for sampling
+	support    int
+}
+
+var _ Distribution = (*Mixture)(nil)
+
+// NewMixture returns the weighted blend of the given distributions. All
+// components must share the same NumKeys. Weights must be positive; they
+// are normalized to sum to 1. It panics on invalid input.
+func NewMixture(components []Distribution, weights []float64) *Mixture {
+	if len(components) == 0 {
+		panic("workload: NewMixture with no components")
+	}
+	if len(components) != len(weights) {
+		panic(fmt.Sprintf("workload: NewMixture with %d components and %d weights",
+			len(components), len(weights)))
+	}
+	m := components[0].NumKeys()
+	var sum float64
+	for i, c := range components {
+		if c.NumKeys() != m {
+			panic(fmt.Sprintf("workload: NewMixture: component %d has %d keys, component 0 has %d",
+				i, c.NumKeys(), m))
+		}
+		if weights[i] <= 0 || math.IsNaN(weights[i]) || math.IsInf(weights[i], 0) {
+			panic(fmt.Sprintf("workload: NewMixture: weight %d = %v invalid", i, weights[i]))
+		}
+		sum += weights[i]
+	}
+	norm := make([]float64, len(weights))
+	cum := make([]float64, len(weights))
+	running := 0.0
+	for i, w := range weights {
+		norm[i] = w / sum
+		running += norm[i]
+		cum[i] = running
+	}
+	mix := &Mixture{components: components, weights: norm, cum: cum}
+	// Support: count keys with non-zero blended probability.
+	for k := 0; k < m; k++ {
+		if mix.Prob(k) > 0 {
+			mix.support++
+		}
+	}
+	return mix
+}
+
+// NumKeys returns the shared key-space size.
+func (x *Mixture) NumKeys() int { return x.components[0].NumKeys() }
+
+// Support returns the number of keys with non-zero blended probability.
+func (x *Mixture) Support() int { return x.support }
+
+// Weights returns the normalized component weights (copy).
+func (x *Mixture) Weights() []float64 {
+	return append([]float64(nil), x.weights...)
+}
+
+// Prob returns the blended probability of key.
+func (x *Mixture) Prob(key int) float64 {
+	var p float64
+	for i, c := range x.components {
+		p += x.weights[i] * c.Prob(key)
+	}
+	return p
+}
+
+// EachNonzero visits keys with non-zero blended probability in order.
+func (x *Mixture) EachNonzero(fn func(key int, p float64) bool) {
+	m := x.NumKeys()
+	for k := 0; k < m; k++ {
+		p := x.Prob(k)
+		if p == 0 {
+			continue
+		}
+		if !fn(k, p) {
+			return
+		}
+	}
+}
+
+// Sample picks a component by weight, then samples from it.
+func (x *Mixture) Sample(rng *xrand.Xoshiro256) int {
+	u := rng.Float64()
+	for i, c := range x.cum {
+		if u < c {
+			return x.components[i].Sample(rng)
+		}
+	}
+	return x.components[len(x.components)-1].Sample(rng)
+}

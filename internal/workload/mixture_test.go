@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"securecache/internal/xrand"
+)
+
+func TestMixtureSumsToOne(t *testing.T) {
+	mix := NewMixture(
+		[]Distribution{NewZipf(100, 1.01), NewAdversarial(100, 11, 0)},
+		[]float64{0.8, 0.2},
+	)
+	if s := sumProbs(t, mix); math.Abs(s-1) > 1e-9 {
+		t.Errorf("mixture sums to %v", s)
+	}
+}
+
+func TestMixtureBlending(t *testing.T) {
+	// 50/50 blend of uniform-over-2 and uniform-over-4 on a 4-key space:
+	// keys 0,1: 0.5*0.5 + 0.5*0.25 = 0.375; keys 2,3: 0.5*0.25 = 0.125.
+	mix := NewMixture(
+		[]Distribution{NewUniform(4, 2), NewUniform(4, 4)},
+		[]float64{1, 1},
+	)
+	want := []float64{0.375, 0.375, 0.125, 0.125}
+	for k, w := range want {
+		if math.Abs(mix.Prob(k)-w) > 1e-12 {
+			t.Errorf("Prob(%d) = %v, want %v", k, mix.Prob(k), w)
+		}
+	}
+	if mix.Support() != 4 {
+		t.Errorf("Support = %d, want 4", mix.Support())
+	}
+	ws := mix.Weights()
+	if math.Abs(ws[0]-0.5) > 1e-12 || math.Abs(ws[1]-0.5) > 1e-12 {
+		t.Errorf("Weights = %v, want normalized to 0.5/0.5", ws)
+	}
+}
+
+func TestMixtureWeightNormalization(t *testing.T) {
+	a := NewMixture([]Distribution{NewUniform(4, 2), NewUniform(4, 4)}, []float64{2, 2})
+	b := NewMixture([]Distribution{NewUniform(4, 2), NewUniform(4, 4)}, []float64{0.5, 0.5})
+	for k := 0; k < 4; k++ {
+		if a.Prob(k) != b.Prob(k) {
+			t.Fatal("weight scaling changed the blend")
+		}
+	}
+}
+
+func TestMixtureSampleFrequencies(t *testing.T) {
+	mix := NewMixture(
+		[]Distribution{NewUniform(10, 2), NewUniform(10, 10)},
+		[]float64{0.7, 0.3},
+	)
+	rng := xrand.New(4)
+	const trials = 200000
+	counts := make([]int, 10)
+	for i := 0; i < trials; i++ {
+		counts[mix.Sample(rng)]++
+	}
+	for k, c := range counts {
+		want := mix.Prob(k) * trials
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want+1)+1 {
+			t.Errorf("key %d sampled %d, want ~%.0f", k, c, want)
+		}
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	u := NewUniform(4, 4)
+	for name, f := range map[string]func(){
+		"no components":   func() { NewMixture(nil, nil) },
+		"weight mismatch": func() { NewMixture([]Distribution{u}, []float64{1, 2}) },
+		"keyspace clash":  func() { NewMixture([]Distribution{u, NewUniform(5, 5)}, []float64{1, 1}) },
+		"zero weight":     func() { NewMixture([]Distribution{u}, []float64{0}) },
+		"negative weight": func() { NewMixture([]Distribution{u, u}, []float64{1, -1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMixtureAttackInBenignTraffic(t *testing.T) {
+	// An 80% Zipf + 20% adversarial blend must concentrate the attack's
+	// share on the residual key while keeping the Zipf head hot — the
+	// guard-evasion scenario.
+	const m, c = 1000, 20
+	benign := NewZipf(m, 1.01)
+	attack := NewAdversarial(m, c+1, 0)
+	mix := NewMixture([]Distribution{benign, attack}, []float64{0.8, 0.2})
+	// The attack keys get ~0.2/21 ≈ 0.0095 extra each.
+	extra := mix.Prob(c) - 0.8*benign.Prob(c)
+	if math.Abs(extra-0.2/21) > 1e-9 {
+		t.Errorf("attack share per key = %v, want %v", extra, 0.2/21)
+	}
+}

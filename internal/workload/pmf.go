@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"securecache/internal/xrand"
+)
+
+// PMF is an arbitrary explicit probability mass function over an m-key
+// space, used for hand-crafted distributions (tests, Theorem-1 stepwise
+// constructions, trace-derived popularity profiles). Sampling is O(1) via
+// an alias table built at construction.
+type PMF struct {
+	probs   []float64
+	support int
+	alias   *aliasTable
+}
+
+// NewPMF returns a distribution with the given probabilities. The slice is
+// copied. It panics if probs is empty, contains a negative or non-finite
+// value, or does not sum to 1 within 1e-9.
+func NewPMF(probs []float64) *PMF {
+	if len(probs) == 0 {
+		panic("workload: NewPMF with empty probability vector")
+	}
+	var sum float64
+	support := 0
+	for i, p := range probs {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			panic(fmt.Sprintf("workload: NewPMF: probs[%d] = %v is invalid", i, p))
+		}
+		if p > 0 {
+			support++
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		panic(fmt.Sprintf("workload: NewPMF: probabilities sum to %v, want 1", sum))
+	}
+	cp := make([]float64, len(probs))
+	copy(cp, probs)
+	return &PMF{probs: cp, support: support, alias: newAliasTable(cp)}
+}
+
+// NumKeys returns the key-space size.
+func (p *PMF) NumKeys() int { return len(p.probs) }
+
+// Support returns the number of keys with non-zero probability.
+func (p *PMF) Support() int { return p.support }
+
+// Prob returns key's probability.
+func (p *PMF) Prob(key int) float64 {
+	if key < 0 || key >= len(p.probs) {
+		return 0
+	}
+	return p.probs[key]
+}
+
+// EachNonzero visits all keys with non-zero probability in order.
+func (p *PMF) EachNonzero(fn func(key int, prob float64) bool) {
+	for k, pr := range p.probs {
+		if pr == 0 {
+			continue
+		}
+		if !fn(k, pr) {
+			return
+		}
+	}
+}
+
+// Sample draws a key in O(1).
+func (p *PMF) Sample(rng *xrand.Xoshiro256) int { return p.alias.sample(rng) }
+
+// aliasTable implements Walker/Vose alias sampling: O(n) construction,
+// O(1) exact sampling from a discrete distribution.
+type aliasTable struct {
+	prob  []float64 // acceptance threshold per column
+	alias []int     // fallback key per column
+}
+
+func newAliasTable(probs []float64) *aliasTable {
+	n := len(probs)
+	t := &aliasTable{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, p := range probs {
+		scaled[i] = p * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are exactly 1 up to rounding.
+	for _, i := range large {
+		t.prob[i] = 1
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+	}
+	return t
+}
+
+func (t *aliasTable) sample(rng *xrand.Xoshiro256) int {
+	col := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[col] {
+		return col
+	}
+	return t.alias[col]
+}

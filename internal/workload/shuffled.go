@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"securecache/internal/xrand"
+)
+
+// Shuffled wraps a distribution with a pseudo-random permutation of the
+// key space: key k of the wrapped view has the probability the base
+// distribution assigns to perm(k).
+//
+// The package's built-in distributions put the most popular key at index
+// 0 by convention, but real key spaces have no such alignment — "user:42"
+// is not hotter than "user:41" by construction. Shuffled breaks the
+// alignment so that code paths which must not rely on it (TopC, perfect
+// caches, partitioners) are exercised honestly; the permutation is
+// deterministic in the seed so experiments stay reproducible.
+type Shuffled struct {
+	base Distribution
+	perm []int // view key -> base key
+	inv  []int // base key -> view key
+}
+
+var _ Distribution = (*Shuffled)(nil)
+
+// NewShuffled returns dist viewed through a seed-derived permutation.
+func NewShuffled(dist Distribution, seed uint64) *Shuffled {
+	m := dist.NumKeys()
+	rng := xrand.New(xrand.Derive(seed, 0x5A4F)) // "SHUF" tag
+	perm := rng.Perm(m)
+	inv := make([]int, m)
+	for view, base := range perm {
+		inv[base] = view
+	}
+	return &Shuffled{base: dist, perm: perm, inv: inv}
+}
+
+// NumKeys returns the key-space size.
+func (s *Shuffled) NumKeys() int { return s.base.NumKeys() }
+
+// Support returns the support size (permutation-invariant).
+func (s *Shuffled) Support() int { return s.base.Support() }
+
+// Prob returns the permuted probability of key.
+func (s *Shuffled) Prob(key int) float64 {
+	if key < 0 || key >= len(s.perm) {
+		return 0
+	}
+	return s.base.Prob(s.perm[key])
+}
+
+// EachNonzero visits the support in increasing (view) key order.
+func (s *Shuffled) EachNonzero(fn func(key int, p float64) bool) {
+	for view, base := range s.perm {
+		p := s.base.Prob(base)
+		if p == 0 {
+			continue
+		}
+		if !fn(view, p) {
+			return
+		}
+	}
+}
+
+// Sample draws a base key and maps it through the permutation.
+func (s *Shuffled) Sample(rng *xrand.Xoshiro256) int {
+	return s.inv[s.base.Sample(rng)]
+}

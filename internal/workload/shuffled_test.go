@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"securecache/internal/xrand"
+)
+
+func TestShuffledPreservesMass(t *testing.T) {
+	base := NewZipf(500, 1.01)
+	sh := NewShuffled(base, 42)
+	if s := sumProbs(t, sh); math.Abs(s-1) > 1e-9 {
+		t.Errorf("shuffled mass = %v", s)
+	}
+	if sh.NumKeys() != 500 || sh.Support() != 500 {
+		t.Error("shape changed by shuffling")
+	}
+}
+
+func TestShuffledIsAPermutation(t *testing.T) {
+	base := NewZipf(200, 1.2)
+	sh := NewShuffled(base, 7)
+	baseProbs := make([]float64, 200)
+	viewProbs := make([]float64, 200)
+	for k := 0; k < 200; k++ {
+		baseProbs[k] = base.Prob(k)
+		viewProbs[k] = sh.Prob(k)
+	}
+	sort.Float64s(baseProbs)
+	sort.Float64s(viewProbs)
+	for i := range baseProbs {
+		if baseProbs[i] != viewProbs[i] {
+			t.Fatal("shuffled probabilities are not a permutation of the base")
+		}
+	}
+}
+
+func TestShuffledActuallyShuffles(t *testing.T) {
+	base := NewZipf(1000, 1.01)
+	sh := NewShuffled(base, 3)
+	same := 0
+	for k := 0; k < 1000; k++ {
+		if sh.Prob(k) == base.Prob(k) {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Errorf("%d/1000 keys kept their probability; permutation too lazy", same)
+	}
+}
+
+func TestShuffledDeterministic(t *testing.T) {
+	base := NewUniform(100, 30)
+	a, b := NewShuffled(base, 9), NewShuffled(base, 9)
+	for k := 0; k < 100; k++ {
+		if a.Prob(k) != b.Prob(k) {
+			t.Fatal("same-seed shuffles differ")
+		}
+	}
+	c := NewShuffled(base, 10)
+	diff := 0
+	for k := 0; k < 100; k++ {
+		if a.Prob(k) != c.Prob(k) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical shuffles")
+	}
+}
+
+func TestShuffledSampleMatchesProb(t *testing.T) {
+	base := NewZipf(50, 1.01)
+	sh := NewShuffled(base, 5)
+	rng := xrand.New(1)
+	const trials = 200000
+	counts := make([]int, 50)
+	for i := 0; i < trials; i++ {
+		counts[sh.Sample(rng)]++
+	}
+	for k, c := range counts {
+		want := sh.Prob(k) * trials
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want+1)+1 {
+			t.Errorf("key %d sampled %d, want ~%.0f", k, c, want)
+		}
+	}
+}
+
+func TestShuffledTopCMatchesHeadMass(t *testing.T) {
+	// TopC over a shuffled Zipf must select keys carrying the same total
+	// mass as the unshuffled head.
+	base := NewZipf(300, 1.3)
+	sh := NewShuffled(base, 11)
+	top := TopC(sh, 30)
+	var mass float64
+	for k := range top {
+		mass += sh.Prob(k)
+	}
+	if math.Abs(mass-base.HeadMass(30)) > 1e-9 {
+		t.Errorf("shuffled top-30 mass %v, want %v", mass, base.HeadMass(30))
+	}
+}
+
+func TestShuffledOutOfRange(t *testing.T) {
+	sh := NewShuffled(NewUniform(10, 10), 1)
+	if sh.Prob(-1) != 0 || sh.Prob(10) != 0 {
+		t.Error("out-of-range Prob non-zero")
+	}
+}

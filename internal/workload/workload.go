@@ -1,0 +1,197 @@
+// Package workload models query popularity distributions over a key space
+// and generates query streams from them.
+//
+// Keys are integers in [0, m), ordered by decreasing popularity: key 0 is
+// the most popular. This matches the paper's convention (p_1 >= p_2 >= ...
+// >= p_m) and makes "the c most popular items" simply keys [0, c).
+//
+// Three distributions matter for the paper's evaluation:
+//
+//   - Uniform over the whole key space: the good-case baseline of Fig. 4.
+//   - Zipf(1.01): the realistic skewed workload of Fig. 4.
+//   - Adversarial: the provably-worst access pattern of Theorem 1 — the
+//     first x−1 keys at equal probability h and key x−1 at the residual
+//     1−(x−1)h, all other keys at zero.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"securecache/internal/xrand"
+)
+
+// Distribution is a query popularity distribution over keys [0, NumKeys()).
+// Probabilities sum to 1 (within floating-point error). Implementations
+// must be immutable after construction and safe for concurrent readers.
+type Distribution interface {
+	// NumKeys returns m, the size of the key space.
+	NumKeys() int
+	// Prob returns the fraction of queries targeting key. Keys outside
+	// [0, NumKeys()) have probability 0.
+	Prob(key int) float64
+	// Support returns the number of keys with non-zero probability.
+	Support() int
+	// EachNonzero calls fn for every key with non-zero probability, in
+	// increasing key order, until fn returns false.
+	EachNonzero(fn func(key int, p float64) bool)
+	// Sample draws one key according to the distribution.
+	Sample(rng *xrand.Xoshiro256) int
+}
+
+// Uniform is the uniform distribution over the first Queried keys of an
+// m-key space. With Queried == m it is the paper's "uniform access
+// pattern"; with Queried < m it models a client restricted to a subset.
+type Uniform struct {
+	m       int
+	queried int
+}
+
+// NewUniform returns a uniform distribution over the first queried keys of
+// an m-key space. It panics unless 0 < queried <= m.
+func NewUniform(m, queried int) *Uniform {
+	if queried <= 0 || queried > m {
+		panic(fmt.Sprintf("workload: NewUniform(m=%d, queried=%d): need 0 < queried <= m", m, queried))
+	}
+	return &Uniform{m: m, queried: queried}
+}
+
+// NumKeys returns the key-space size m.
+func (u *Uniform) NumKeys() int { return u.m }
+
+// Support returns the number of queried keys.
+func (u *Uniform) Support() int { return u.queried }
+
+// Prob returns 1/queried for queried keys and 0 otherwise.
+func (u *Uniform) Prob(key int) float64 {
+	if key < 0 || key >= u.queried {
+		return 0
+	}
+	return 1 / float64(u.queried)
+}
+
+// EachNonzero visits the queried keys in order.
+func (u *Uniform) EachNonzero(fn func(key int, p float64) bool) {
+	p := 1 / float64(u.queried)
+	for k := 0; k < u.queried; k++ {
+		if !fn(k, p) {
+			return
+		}
+	}
+}
+
+// Sample draws a key uniformly from the queried set.
+func (u *Uniform) Sample(rng *xrand.Xoshiro256) int { return rng.Intn(u.queried) }
+
+// Adversarial is the optimal attack distribution from Theorem 1 of the
+// paper: x keys are queried, the first x−1 at probability h each and the
+// last at the residual 1−(x−1)·h. The cached keys [0, c) are among the
+// first x−1, queried just often enough to stay the most popular (and so
+// pinned in the perfect cache) while wasting as little attack budget on
+// them as possible.
+//
+// With h = 1/x (the default and the infimum of valid choices) the
+// distribution degenerates to uniform over the x keys, which is exactly
+// what the paper's simulations replay.
+type Adversarial struct {
+	m, x int
+	h    float64
+}
+
+// NewAdversarial returns the Theorem-1 distribution querying x keys of an
+// m-key space with per-key probability h for the first x−1 keys. Passing
+// h <= 0 selects the canonical h = 1/x. It panics unless 0 < x <= m and
+// the residual probability 1−(x−1)h lies in (0, h].
+func NewAdversarial(m, x int, h float64) *Adversarial {
+	if x <= 0 || x > m {
+		panic(fmt.Sprintf("workload: NewAdversarial(m=%d, x=%d): need 0 < x <= m", m, x))
+	}
+	if h <= 0 {
+		h = 1 / float64(x)
+	}
+	residual := 1 - float64(x-1)*h
+	// The residual key must carry positive probability no greater than h,
+	// otherwise the keys are not in decreasing-popularity order.
+	if residual <= 0 || residual > h+1e-12 {
+		panic(fmt.Sprintf("workload: NewAdversarial(x=%d, h=%v): residual %v not in (0, h]", x, h, residual))
+	}
+	return &Adversarial{m: m, x: x, h: h}
+}
+
+// NumKeys returns the key-space size m.
+func (a *Adversarial) NumKeys() int { return a.m }
+
+// Support returns x, the number of queried keys.
+func (a *Adversarial) Support() int { return a.x }
+
+// QueriedKeys returns x (alias of Support, for reporting code).
+func (a *Adversarial) QueriedKeys() int { return a.x }
+
+// Prob returns h for keys [0, x−1), the residual for key x−1, 0 otherwise.
+func (a *Adversarial) Prob(key int) float64 {
+	switch {
+	case key < 0 || key >= a.x:
+		return 0
+	case key == a.x-1:
+		return 1 - float64(a.x-1)*a.h
+	default:
+		return a.h
+	}
+}
+
+// EachNonzero visits the x queried keys in order.
+func (a *Adversarial) EachNonzero(fn func(key int, p float64) bool) {
+	for k := 0; k < a.x-1; k++ {
+		if !fn(k, a.h) {
+			return
+		}
+	}
+	fn(a.x-1, 1-float64(a.x-1)*a.h)
+}
+
+// Sample draws a key: one of the first x−1 with probability (x−1)h, else
+// the residual key.
+func (a *Adversarial) Sample(rng *xrand.Xoshiro256) int {
+	if rng.Float64() < float64(a.x-1)*a.h {
+		return rng.Intn(a.x - 1)
+	}
+	return a.x - 1
+}
+
+// TopC returns the set of the c most popular keys of dist, breaking
+// probability ties toward lower key indices (consistent with the package's
+// decreasing-popularity ordering). This is the set a perfect front-end
+// cache holds.
+func TopC(dist Distribution, c int) map[int]bool {
+	if c < 0 {
+		panic(fmt.Sprintf("workload: TopC with c=%d", c))
+	}
+	if c == 0 {
+		return map[int]bool{}
+	}
+	type keyProb struct {
+		k int
+		p float64
+	}
+	// Collect the support; for the package's monotone distributions the
+	// first c support keys are the answer, but handle general PMFs too.
+	var all []keyProb
+	dist.EachNonzero(func(k int, p float64) bool {
+		all = append(all, keyProb{k, p})
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].p != all[j].p {
+			return all[i].p > all[j].p
+		}
+		return all[i].k < all[j].k
+	})
+	if c > len(all) {
+		c = len(all)
+	}
+	set := make(map[int]bool, c)
+	for _, e := range all[:c] {
+		set[e.k] = true
+	}
+	return set
+}

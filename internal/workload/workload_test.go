@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"securecache/internal/xrand"
+)
+
+// sumProbs sums Prob over the whole key space, cross-checking EachNonzero.
+func sumProbs(t *testing.T, d Distribution) float64 {
+	t.Helper()
+	var viaProb, viaEach float64
+	for k := 0; k < d.NumKeys(); k++ {
+		viaProb += d.Prob(k)
+	}
+	count := 0
+	d.EachNonzero(func(k int, p float64) bool {
+		viaEach += p
+		count++
+		if d.Prob(k) != p {
+			t.Fatalf("EachNonzero reported p=%v for key %d but Prob says %v", p, k, d.Prob(k))
+		}
+		return true
+	})
+	if count != d.Support() {
+		t.Fatalf("EachNonzero visited %d keys, Support() = %d", count, d.Support())
+	}
+	if math.Abs(viaProb-viaEach) > 1e-9 {
+		t.Fatalf("Prob sum %v != EachNonzero sum %v", viaProb, viaEach)
+	}
+	return viaProb
+}
+
+func TestUniformSumsToOne(t *testing.T) {
+	for _, tc := range []struct{ m, q int }{{10, 10}, {100, 7}, {1, 1}} {
+		u := NewUniform(tc.m, tc.q)
+		if s := sumProbs(t, u); math.Abs(s-1) > 1e-9 {
+			t.Errorf("Uniform(%d,%d) sums to %v", tc.m, tc.q, s)
+		}
+		if u.Support() != tc.q || u.NumKeys() != tc.m {
+			t.Errorf("Uniform(%d,%d) support/keys wrong", tc.m, tc.q)
+		}
+	}
+}
+
+func TestUniformOutOfRangeProb(t *testing.T) {
+	u := NewUniform(10, 5)
+	for _, k := range []int{-1, 5, 9, 10, 100} {
+		if u.Prob(k) != 0 {
+			t.Errorf("Prob(%d) = %v, want 0", k, u.Prob(k))
+		}
+	}
+}
+
+func TestUniformPanics(t *testing.T) {
+	for _, tc := range []struct{ m, q int }{{10, 0}, {10, 11}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewUniform(%d,%d) did not panic", tc.m, tc.q)
+				}
+			}()
+			NewUniform(tc.m, tc.q)
+		}()
+	}
+}
+
+func TestAdversarialShape(t *testing.T) {
+	a := NewAdversarial(100, 10, 0) // canonical h = 1/10
+	if s := sumProbs(t, a); math.Abs(s-1) > 1e-9 {
+		t.Errorf("Adversarial sums to %v", s)
+	}
+	if a.Support() != 10 || a.QueriedKeys() != 10 {
+		t.Errorf("Support = %d, want 10", a.Support())
+	}
+	// Canonical h: all 10 keys equal.
+	for k := 0; k < 10; k++ {
+		if math.Abs(a.Prob(k)-0.1) > 1e-12 {
+			t.Errorf("Prob(%d) = %v, want 0.1", k, a.Prob(k))
+		}
+	}
+	if a.Prob(10) != 0 || a.Prob(-1) != 0 {
+		t.Error("keys outside the support have non-zero probability")
+	}
+}
+
+func TestAdversarialExplicitH(t *testing.T) {
+	// x = 4 keys, h = 0.3: probs 0.3, 0.3, 0.3, 0.1.
+	a := NewAdversarial(10, 4, 0.3)
+	want := []float64{0.3, 0.3, 0.3, 0.1}
+	for k, w := range want {
+		if math.Abs(a.Prob(k)-w) > 1e-12 {
+			t.Errorf("Prob(%d) = %v, want %v", k, a.Prob(k), w)
+		}
+	}
+	// Decreasing popularity order must hold: residual <= h.
+	if a.Prob(3) > a.Prob(2) {
+		t.Error("residual key more popular than plateau keys")
+	}
+}
+
+func TestAdversarialMonotoneNonIncreasing(t *testing.T) {
+	// Property: probabilities never increase with key index.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		m := 2 + rng.Intn(500)
+		x := 1 + rng.Intn(m)
+		a := NewAdversarial(m, x, 0)
+		prev := math.Inf(1)
+		for k := 0; k < m; k++ {
+			p := a.Prob(k)
+			if p > prev+1e-12 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdversarialPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"x=0":        func() { NewAdversarial(10, 0, 0) },
+		"x>m":        func() { NewAdversarial(10, 11, 0) },
+		"h too big":  func() { NewAdversarial(10, 5, 0.3) },  // residual -0.2
+		"h too tiny": func() { NewAdversarial(10, 5, 0.01) }, // residual 0.96 > h
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAdversarialSingleKey(t *testing.T) {
+	a := NewAdversarial(5, 1, 0)
+	if a.Prob(0) != 1 {
+		t.Errorf("x=1: Prob(0) = %v, want 1", a.Prob(0))
+	}
+	rng := xrand.New(1)
+	for i := 0; i < 100; i++ {
+		if a.Sample(rng) != 0 {
+			t.Fatal("x=1 sampled a key other than 0")
+		}
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	dists := map[string]Distribution{
+		"uniform":     NewUniform(50, 20),
+		"adversarial": NewAdversarial(50, 11, 0),
+		"zipf":        NewZipf(50, 1.01),
+		"pmf":         NewPMF([]float64{0.5, 0.25, 0.125, 0.125}),
+	}
+	for name, d := range dists {
+		rng := xrand.New(42)
+		const trials = 200000
+		counts := make([]int, d.NumKeys())
+		for i := 0; i < trials; i++ {
+			k := d.Sample(rng)
+			if k < 0 || k >= d.NumKeys() {
+				t.Fatalf("%s: sampled out-of-range key %d", name, k)
+			}
+			counts[k]++
+		}
+		for k, c := range counts {
+			want := d.Prob(k) * trials
+			tol := 5*math.Sqrt(want+1) + 1
+			if math.Abs(float64(c)-want) > tol {
+				t.Errorf("%s: key %d sampled %d times, want %.0f±%.0f", name, k, c, want, tol)
+			}
+		}
+	}
+}
+
+func TestTopCMonotoneDistributions(t *testing.T) {
+	// For decreasing-popularity distributions TopC must be [0, c).
+	for name, d := range map[string]Distribution{
+		"zipf":        NewZipf(100, 1.2),
+		"adversarial": NewAdversarial(100, 30, 0),
+		"uniform":     NewUniform(100, 100),
+	} {
+		top := TopC(d, 10)
+		if len(top) != 10 {
+			t.Fatalf("%s: TopC returned %d keys, want 10", name, len(top))
+		}
+		for k := 0; k < 10; k++ {
+			if !top[k] {
+				t.Errorf("%s: key %d missing from top-10", name, k)
+			}
+		}
+	}
+}
+
+func TestTopCGeneralPMF(t *testing.T) {
+	p := NewPMF([]float64{0.1, 0.4, 0.1, 0.35, 0.05})
+	top := TopC(p, 2)
+	if !top[1] || !top[3] || len(top) != 2 {
+		t.Errorf("TopC = %v, want {1,3}", top)
+	}
+}
+
+func TestTopCEdgeCases(t *testing.T) {
+	d := NewUniform(10, 5)
+	if got := TopC(d, 0); len(got) != 0 {
+		t.Error("TopC(0) not empty")
+	}
+	if got := TopC(d, 100); len(got) != 5 { // clamped to support
+		t.Errorf("TopC beyond support returned %d keys, want 5", len(got))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("TopC(-1) did not panic")
+			}
+		}()
+		TopC(d, -1)
+	}()
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"securecache/internal/xrand"
+)
+
+// Zipf is the Zipf distribution over an m-key space: key i (0-based) has
+// probability proportional to 1/(i+1)^s. The paper's Fig. 4 uses s = 1.01,
+// under which roughly 80% of queries concentrate on 20% of the keys.
+//
+// Probabilities are precomputed exactly (O(m) memory) so that Prob,
+// EachNonzero, and Sample are all exact rather than asymptotic
+// approximations. Sampling uses the alias method: O(1) per draw.
+type Zipf struct {
+	m     int
+	s     float64
+	probs []float64
+	alias *aliasTable
+}
+
+// NewZipf returns a Zipf(s) distribution over m keys. It panics unless
+// m > 0 and s > 0.
+func NewZipf(m int, s float64) *Zipf {
+	if m <= 0 {
+		panic(fmt.Sprintf("workload: NewZipf(m=%d): m must be positive", m))
+	}
+	if s <= 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("workload: NewZipf(s=%v): exponent must be positive", s))
+	}
+	probs := make([]float64, m)
+	var norm float64
+	for i := range probs {
+		probs[i] = math.Pow(float64(i+1), -s)
+		norm += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= norm
+	}
+	return &Zipf{m: m, s: s, probs: probs, alias: newAliasTable(probs)}
+}
+
+// NumKeys returns the key-space size m.
+func (z *Zipf) NumKeys() int { return z.m }
+
+// Exponent returns the Zipf parameter s.
+func (z *Zipf) Exponent() float64 { return z.s }
+
+// Support returns m: every key has non-zero probability.
+func (z *Zipf) Support() int { return z.m }
+
+// Prob returns key's probability.
+func (z *Zipf) Prob(key int) float64 {
+	if key < 0 || key >= z.m {
+		return 0
+	}
+	return z.probs[key]
+}
+
+// EachNonzero visits all m keys in order.
+func (z *Zipf) EachNonzero(fn func(key int, p float64) bool) {
+	for k, p := range z.probs {
+		if !fn(k, p) {
+			return
+		}
+	}
+}
+
+// Sample draws a key in O(1) via the alias table.
+func (z *Zipf) Sample(rng *xrand.Xoshiro256) int { return z.alias.sample(rng) }
+
+// HeadMass returns the total probability of the c most popular keys — the
+// hit ratio a perfect cache of size c achieves under this distribution.
+func (z *Zipf) HeadMass(c int) float64 {
+	if c <= 0 {
+		return 0
+	}
+	if c > z.m {
+		c = z.m
+	}
+	var mass float64
+	for _, p := range z.probs[:c] {
+		mass += p
+	}
+	return mass
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfSumsToOne(t *testing.T) {
+	for _, tc := range []struct {
+		m int
+		s float64
+	}{{1, 1}, {10, 0.8}, {1000, 1.01}, {5000, 2}} {
+		z := NewZipf(tc.m, tc.s)
+		if sum := sumProbs(t, z); math.Abs(sum-1) > 1e-9 {
+			t.Errorf("Zipf(%d, %v) sums to %v", tc.m, tc.s, sum)
+		}
+	}
+}
+
+func TestZipfDecreasing(t *testing.T) {
+	z := NewZipf(1000, 1.01)
+	for k := 1; k < 1000; k++ {
+		if z.Prob(k) > z.Prob(k-1) {
+			t.Fatalf("Zipf not decreasing at key %d", k)
+		}
+	}
+}
+
+func TestZipfRatios(t *testing.T) {
+	// p_1/p_2 must equal 2^s exactly (up to normalization rounding).
+	z := NewZipf(100, 1.5)
+	got := z.Prob(0) / z.Prob(1)
+	want := math.Pow(2, 1.5)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("p0/p1 = %v, want %v", got, want)
+	}
+}
+
+func TestZipfHeadMass(t *testing.T) {
+	z := NewZipf(100000, 1.01)
+	// The paper: "near 80% workloads are concentrated on 20% items".
+	mass := z.HeadMass(20000)
+	if mass < 0.70 || mass > 0.92 {
+		t.Errorf("Zipf(1.01): top-20%% mass = %v, want ~0.8", mass)
+	}
+	if z.HeadMass(0) != 0 {
+		t.Error("HeadMass(0) != 0")
+	}
+	if math.Abs(z.HeadMass(100000)-1) > 1e-9 {
+		t.Error("HeadMass(m) != 1")
+	}
+	if math.Abs(z.HeadMass(200000)-1) > 1e-9 { // clamped
+		t.Error("HeadMass beyond m != 1")
+	}
+}
+
+func TestZipfAccessors(t *testing.T) {
+	z := NewZipf(42, 1.25)
+	if z.NumKeys() != 42 || z.Support() != 42 || z.Exponent() != 1.25 {
+		t.Error("accessors wrong")
+	}
+	if z.Prob(-1) != 0 || z.Prob(42) != 0 {
+		t.Error("out-of-range Prob non-zero")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"m=0":   func() { NewZipf(0, 1) },
+		"s=0":   func() { NewZipf(10, 0) },
+		"s<0":   func() { NewZipf(10, -1) },
+		"s=NaN": func() { NewZipf(10, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPMFValidation(t *testing.T) {
+	for name, probs := range map[string][]float64{
+		"empty":    {},
+		"negative": {0.5, -0.1, 0.6},
+		"nan":      {math.NaN(), 1},
+		"sum!=1":   {0.5, 0.4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPMF(%s) did not panic", name)
+				}
+			}()
+			NewPMF(probs)
+		}()
+	}
+}
+
+func TestPMFBasics(t *testing.T) {
+	p := NewPMF([]float64{0.25, 0, 0.75})
+	if p.NumKeys() != 3 || p.Support() != 2 {
+		t.Errorf("NumKeys/Support = %d/%d, want 3/2", p.NumKeys(), p.Support())
+	}
+	if sum := sumProbs(t, p); math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF sums to %v", sum)
+	}
+	// EachNonzero must skip the zero key.
+	p.EachNonzero(func(k int, _ float64) bool {
+		if k == 1 {
+			t.Error("EachNonzero visited zero-probability key")
+		}
+		return true
+	})
+}
+
+func TestPMFDoesNotAliasInput(t *testing.T) {
+	in := []float64{0.5, 0.5}
+	p := NewPMF(in)
+	in[0] = 0.9
+	if p.Prob(0) != 0.5 {
+		t.Error("NewPMF aliased its input slice")
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(100000, 1.01)
+	rng := benchRNG()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += z.Sample(rng)
+	}
+	_ = sink
+}
+
+func BenchmarkZipfConstruct(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewZipf(100000, 1.01)
+	}
+}

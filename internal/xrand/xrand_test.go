@@ -1,0 +1,292 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the canonical C implementation.
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b,
+	}
+	s := NewSplitMix64(0)
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Errorf("SplitMix64(0) output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestMix64MatchesSplitMixStep(t *testing.T) {
+	// Mix64(x) must equal the first output of a SplitMix64 seeded with x.
+	for _, seed := range []uint64{0, 1, 42, math.MaxUint64, 0xdeadbeef} {
+		s := NewSplitMix64(seed)
+		if got, want := s.Uint64(), Mix64(seed); got != want {
+			t.Errorf("Mix64(%#x) = %#x, want %#x", seed, want, got)
+		}
+	}
+}
+
+func TestXoshiroDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestXoshiroDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("generators with different seeds agreed on %d/1000 outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := New(7)
+	for i := 0; i < 100000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v, want in [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	x := New(99)
+	const trials = 200000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += x.Float64()
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	x := New(3)
+	for _, n := range []int{1, 2, 3, 10, 1000, 1 << 30} {
+		for i := 0; i < 1000; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d, out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared style check: each of 10 buckets should get ~10% of draws.
+	x := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[x.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d deviates too far from %v", b, c, want)
+		}
+	}
+}
+
+func TestUint64nSmallBiasCheck(t *testing.T) {
+	// n = 3 exercises the rejection path of Lemire's algorithm.
+	x := New(5)
+	counts := make([]int, 3)
+	const trials = 300000
+	for i := 0; i < trials; i++ {
+		counts[x.Uint64n(3)]++
+	}
+	for v, c := range counts {
+		frac := float64(c) / trials
+		if math.Abs(frac-1.0/3) > 0.01 {
+			t.Errorf("Uint64n(3): value %d frequency %v, want ~1/3", v, frac)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	x := New(17)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := x.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	x := New(23)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	x.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Errorf("Shuffle changed element multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func TestDeriveProperties(t *testing.T) {
+	// Distinct paths must (essentially always) give distinct seeds.
+	seen := make(map[uint64][2]uint64)
+	for e := uint64(0); e < 50; e++ {
+		for r := uint64(0); r < 50; r++ {
+			s := Derive(42, e, r)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("Derive collision: (%d,%d) and (%d,%d) -> %#x", e, r, prev[0], prev[1], s)
+			}
+			seen[s] = [2]uint64{e, r}
+		}
+	}
+}
+
+func TestDeriveOrderSensitive(t *testing.T) {
+	if Derive(1, 2, 3) == Derive(1, 3, 2) {
+		t.Error("Derive is not order-sensitive")
+	}
+	if Derive(1, 2) == Derive(1, 2, 0) {
+		t.Error("Derive is not length-sensitive")
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	f := func(root, a, b uint64) bool {
+		return Derive(root, a, b) == Derive(root, a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMul64AgainstBigComputation(t *testing.T) {
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%#x, %#x) = (%#x, %#x), want (%#x, %#x)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestRandAdapter(t *testing.T) {
+	r := New(31).Rand()
+	v := r.Intn(10)
+	if v < 0 || v >= 10 {
+		t.Errorf("adapter Intn out of range: %d", v)
+	}
+	z := r.NormFloat64()
+	if math.IsNaN(z) {
+		t.Error("NormFloat64 returned NaN")
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	x := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	x := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += x.Intn(1000)
+	}
+	_ = sink
+}
+
+func TestSeedResetsStream(t *testing.T) {
+	a := New(5)
+	a.Uint64()
+	a.Uint64()
+	a.Seed(9)
+	b := New(9)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Seed did not reset the stream to match a fresh generator")
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	x := New(2)
+	for i := 0; i < 10000; i++ {
+		if v := x.Int63(); v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+	}
+}
+
+func TestUint64nPowerOfTwoAndLargeBounds(t *testing.T) {
+	x := New(3)
+	// Power-of-two bound: thresh == 0, no rejection loop entered.
+	for i := 0; i < 1000; i++ {
+		if v := x.Uint64n(1 << 32); v >= 1<<32 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+	// Near-max bound exercises the rejection path heavily.
+	const bound = math.MaxUint64 - 3
+	for i := 0; i < 1000; i++ {
+		if v := x.Uint64n(bound); v >= bound {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
