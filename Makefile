@@ -1,0 +1,28 @@
+# Developer targets. `make verify` is the tier-1 gate; `make race`
+# runs the race-enabled loopback-TCP network tests (kvstore) that every
+# resilience PR should keep green.
+
+GO ?= go
+
+.PHONY: all build test verify vet race bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+verify: build test
+
+vet:
+	$(GO) vet ./...
+
+# Race-detect the networked kvstore package: failover, retries, breaker
+# transitions, and the probe loop all run real goroutines over loopback.
+race:
+	$(GO) vet ./... && $(GO) test -race ./internal/kvstore/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

@@ -39,6 +39,13 @@ func main() {
 		cacheSize = flag.Int("cache-size", 0, "cache entries; 0 = auto-provision c* from n and d")
 		selection = flag.String("selection", "least-inflight", "replica selection: least-inflight | random | round-robin")
 		admin     = flag.String("admin", "", "optional HTTP admin address (/healthz, /metrics, /info)")
+
+		dialTimeout  = flag.Duration("dial-timeout", kvstore.DefaultDialTimeout, "backend dial timeout (negative = none)")
+		readTimeout  = flag.Duration("read-timeout", kvstore.DefaultReadTimeout, "backend per-request read deadline (negative = none)")
+		writeTimeout = flag.Duration("write-timeout", kvstore.DefaultWriteTimeout, "backend per-request write deadline (negative = none)")
+		retries      = flag.Int("retries", kvstore.DefaultMaxRetries, "budgeted transport retries per backend request (negative = none)")
+		breakerFails = flag.Int("breaker-threshold", kvstore.DefaultFailureThreshold, "consecutive failures opening a backend breaker (negative = breaker off)")
+		probeEvery   = flag.Duration("probe-interval", kvstore.DefaultProbeInterval, "health-probe cadence for open backends")
 	)
 	flag.Parse()
 
@@ -76,6 +83,16 @@ func main() {
 		PartitionSeed: *seed,
 		Cache:         fc,
 		Selection:     kvstore.Selection(*selection),
+		Client: kvstore.ClientConfig{
+			DialTimeout:  *dialTimeout,
+			ReadTimeout:  *readTimeout,
+			WriteTimeout: *writeTimeout,
+			MaxRetries:   *retries,
+		},
+		Health: kvstore.HealthConfig{
+			FailureThreshold: *breakerFails,
+			ProbeInterval:    *probeEvery,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kvfront:", err)

@@ -40,8 +40,12 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		tracePath = flag.String("trace", "", "replay this trace file instead of sampling")
 		preload   = flag.Bool("preload", true, "SET every key before the run")
+		timeout   = flag.Duration("timeout", kvstore.DefaultReadTimeout, "per-request response deadline (negative = none)")
+		retries   = flag.Int("retries", kvstore.DefaultMaxRetries, "budgeted transport retries per request (negative = none)")
 	)
 	flag.Parse()
+
+	clientCfg := kvstore.ClientConfig{ReadTimeout: *timeout, MaxRetries: *retries}
 
 	keys, err := buildKeys(*tracePath, *kind, *m, *x, *zipfS, *queries, *seed)
 	if err != nil {
@@ -49,7 +53,7 @@ func main() {
 	}
 
 	if *preload {
-		if err := preloadKeys(*frontend, keys); err != nil {
+		if err := preloadKeys(*frontend, clientCfg, keys); err != nil {
 			fatal(err)
 		}
 	}
@@ -77,7 +81,7 @@ func main() {
 		wg.Add(1)
 		go func(slice []int) {
 			defer wg.Done()
-			client := kvstore.NewClient(*frontend)
+			client := kvstore.NewClientWithConfig(*frontend, clientCfg)
 			defer client.Close()
 			var local stats.Summary
 			localP99 := stats.NewP2Quantile(0.99)
@@ -132,6 +136,20 @@ func main() {
 		queriesSent/elapsed.Seconds(), *workers, *batch, errors)
 	fmt.Printf("per-request latency: mean %.0fµs  p99≈%.0fµs  max %.0fµs\n", lat.Mean(), p99.Value(), lat.Max())
 
+	// The frontend's STATS snapshot carries the resilience counters; show
+	// them whenever any failover machinery fired during the run.
+	if fc := kvstore.NewClientWithConfig(*frontend, clientCfg); fc != nil {
+		if st, err := fc.Stats(); err == nil {
+			r := kvstore.StatCounter(st, "retries_total")
+			b := kvstore.StatCounter(st, "breaker_open_total")
+			e := kvstore.StatCounter(st, "backend_errors_total")
+			if r+b+e > 0 {
+				fmt.Printf("frontend resilience: %d retries, %d breaker opens, %d backend errors\n", r, b, e)
+			}
+		}
+		fc.Close()
+	}
+
 	if addrs := splitNonEmpty(*backends); len(addrs) > 0 {
 		after := backendCounts(addrs)
 		fmt.Println("per-backend request deltas:")
@@ -184,9 +202,9 @@ func buildKeys(tracePath, kind string, m, x int, zipfS float64, queries int, see
 	return workload.NewGenerator(dist, seed).Batch(make([]int, 0, queries), queries), nil
 }
 
-func preloadKeys(frontend string, keys []int) error {
+func preloadKeys(frontend string, cfg kvstore.ClientConfig, keys []int) error {
 	seen := make(map[int]bool)
-	client := kvstore.NewClient(frontend)
+	client := kvstore.NewClientWithConfig(frontend, cfg)
 	defer client.Close()
 	for _, k := range keys {
 		if seen[k] {

@@ -26,6 +26,7 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:7001", "listen address")
 		admin    = flag.String("admin", "", "optional HTTP admin address (/healthz, /metrics, /info)")
 		snapshot = flag.String("snapshot", "", "snapshot file: restored at startup if present, written on shutdown")
+		idle     = flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = keep forever)")
 	)
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 		os.Exit(2)
 	}
 	node := kvstore.NewBackend(*id)
+	node.SetIdleTimeout(*idle)
 	log.Printf("kvnode %d listening on %s", *id, l.Addr())
 
 	if *snapshot != "" {

@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"securecache/internal/cache"
 	"securecache/internal/kvstore"
@@ -41,6 +42,61 @@ func main() {
 	fmt.Println("== conclusion ==")
 	fmt.Printf("backend requests: %d (small cache) vs %d (provisioned cache)\n", small, big)
 	fmt.Println("a front-end cache sized past the provisioning threshold absorbs the entire attack.")
+	fmt.Println()
+
+	runResilienceScenario(dist)
+}
+
+// runResilienceScenario kills one backend mid-attack and shows that the
+// deadline/retry/breaker layer keeps the front end serving: the dead
+// node's breaker opens, its replicas absorb the traffic, and the STATS
+// counters record what happened.
+func runResilienceScenario(dist workload.Distribution) {
+	lc, err := kvstore.StartLocalCluster(kvstore.LocalConfig{
+		Nodes:         nodes,
+		Replication:   replication,
+		PartitionSeed: 0xDEADBEEF,
+		Cache:         nil, // uncached: every query exercises the replica path
+		Client:        kvstore.ClientConfig{ReadTimeout: 500 * time.Millisecond},
+		Health:        kvstore.HealthConfig{FailureThreshold: 3, ProbeInterval: 100 * time.Millisecond},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lc.Close()
+
+	front := lc.Frontend
+	for k := 0; k < dist.NumKeys(); k++ {
+		if dist.Prob(k) == 0 {
+			continue
+		}
+		if err := front.Set(workload.KeyName(k), []byte("value")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("== node failure under attack (deadlines + breaker) ==")
+	gen := workload.NewGenerator(dist, 42)
+	victim := 0
+	failed := 0
+	for i := 0; i < queries; i++ {
+		if i == queries/4 {
+			fmt.Printf("  killing node %d a quarter into the attack...\n", victim)
+			lc.Backends[victim].Close()
+		}
+		if _, err := front.Get(workload.KeyName(gen.Next())); err != nil {
+			failed++
+		}
+	}
+	m := front.Metrics()
+	fmt.Printf("  %d/%d queries failed after losing node %d\n", failed, queries, victim)
+	fmt.Printf("  retries_total=%d breaker_open_total=%d backend_errors_total=%d\n",
+		m.Counter("retries_total").Value(),
+		m.Counter("breaker_open_total").Value(),
+		m.Counter("backend_errors_total").Value())
+	fmt.Printf("  node %d unhealthy gauge: %d\n", victim,
+		m.Gauge(fmt.Sprintf("backend_unhealthy_%d", victim)).Value())
+	fmt.Println("  the breaker demotes the dead node, so reads fail over without paying its dial cost each time.")
 }
 
 // runScenario boots a cluster with the given front-end cache, replays the

@@ -8,6 +8,8 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"securecache/internal/metrics"
 	"securecache/internal/proto"
@@ -17,9 +19,10 @@ import (
 // the proto wire format. Create with NewBackend, then Serve (or use
 // StartBackend which does both on a goroutine).
 type Backend struct {
-	id      int
-	store   *Store
-	metrics *metrics.Registry
+	id          int
+	store       *Store
+	metrics     *metrics.Registry
+	idleTimeout atomic.Int64 // ns; 0 = no limit
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -45,6 +48,11 @@ func (b *Backend) Metrics() *metrics.Registry { return b.metrics }
 
 // Store exposes the underlying storage engine (tests seed data directly).
 func (b *Backend) Store() *Store { return b.store }
+
+// SetIdleTimeout bounds how long a connection may sit between requests
+// before the backend drops it (0 = forever, the default). Clients with a
+// pooled conn that gets dropped recover via their reused-conn retry.
+func (b *Backend) SetIdleTimeout(d time.Duration) { b.idleTimeout.Store(int64(d)) }
 
 // Serve accepts connections on l until Close. It always returns a non-nil
 // error (net.ErrClosed after a clean Close).
@@ -85,9 +93,12 @@ func (b *Backend) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		if d := time.Duration(b.idleTimeout.Load()); d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
 		req, err := proto.ReadRequest(r)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !isTimeout(err) {
 				// Malformed input or mid-frame disconnect: drop the
 				// connection (the protocol has no resync point).
 				log.Printf("kvstore: backend %d: read: %v", b.id, err)

@@ -3,21 +3,94 @@ package kvstore
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"securecache/internal/proto"
 )
 
+// Default transport parameters for ClientConfig. A zero field in the
+// config takes the corresponding default; a negative field disables the
+// mechanism entirely.
+const (
+	DefaultDialTimeout     = 5 * time.Second
+	DefaultReadTimeout     = 2 * time.Second
+	DefaultWriteTimeout    = 2 * time.Second
+	DefaultMaxRetries      = 2
+	DefaultRetryBackoff    = 5 * time.Millisecond
+	DefaultMaxRetryBackoff = 250 * time.Millisecond
+)
+
+// ClientConfig bounds how long a single request may hold the caller and
+// how transient transport failures are retried. The zero value means
+// "all defaults"; set a field negative to disable it (no deadline, no
+// retries).
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// ReadTimeout bounds waiting for a response after the request is
+	// written. This is what keeps a hung (accepting but unresponsive)
+	// server from blocking the caller forever.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one request.
+	WriteTimeout time.Duration
+	// MaxRetries bounds budgeted retries per Do call: fresh-dial
+	// failures (any op) and post-dial failures of idempotent ops.
+	// Failures on a reused pooled connection are retried outside this
+	// budget (at most once per pooled conn, see Do). Timeouts are never
+	// retried — a slow server stays slow; the caller should fail over.
+	MaxRetries int
+	// RetryBackoff is the base for exponential backoff between retries;
+	// the actual sleep is jittered in [base/2, base) per attempt.
+	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the exponential growth.
+	MaxRetryBackoff time.Duration
+	// OnRetry, when non-nil, is invoked once per retry (both budgeted
+	// and reused-conn retries). The frontend hooks its retries_total
+	// counter here.
+	OnRetry func()
+}
+
+func defDur(v, def time.Duration) time.Duration {
+	if v < 0 {
+		return 0
+	}
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// withDefaults resolves the zero/negative conventions into literal values
+// (0 = disabled from here on).
+func (cfg ClientConfig) withDefaults() ClientConfig {
+	cfg.DialTimeout = defDur(cfg.DialTimeout, DefaultDialTimeout)
+	cfg.ReadTimeout = defDur(cfg.ReadTimeout, DefaultReadTimeout)
+	cfg.WriteTimeout = defDur(cfg.WriteTimeout, DefaultWriteTimeout)
+	switch {
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	cfg.RetryBackoff = defDur(cfg.RetryBackoff, DefaultRetryBackoff)
+	cfg.MaxRetryBackoff = defDur(cfg.MaxRetryBackoff, DefaultMaxRetryBackoff)
+	return cfg
+}
+
 // Client talks the proto wire format to one server (a backend or a
 // frontend — the protocol is the same). It maintains a small pool of
 // connections so concurrent callers do not serialize on one socket.
 // Client is safe for concurrent use.
 type Client struct {
-	addr        string
-	dialTimeout time.Duration
+	addr string
+	cfg  ClientConfig
 
 	mu     sync.Mutex
 	idle   []*clientConn
@@ -25,17 +98,25 @@ type Client struct {
 }
 
 type clientConn struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	reused bool // came from the idle pool (the peer may have dropped it)
 }
 
 // maxIdleConns bounds the per-client idle pool.
 const maxIdleConns = 8
 
-// NewClient returns a client for addr. Connections are dialed lazily.
+// NewClient returns a client for addr with default deadlines and retry
+// policy. Connections are dialed lazily.
 func NewClient(addr string) *Client {
-	return &Client{addr: addr, dialTimeout: 5 * time.Second}
+	return NewClientWithConfig(addr, ClientConfig{})
+}
+
+// NewClientWithConfig returns a client for addr with the given transport
+// configuration (zero fields take defaults, negative fields disable).
+func NewClientWithConfig(addr string, cfg ClientConfig) *Client {
+	return &Client{addr: addr, cfg: cfg.withDefaults()}
 }
 
 // Addr returns the target address.
@@ -51,10 +132,11 @@ func (c *Client) getConn() (*clientConn, error) {
 		cc := c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
+		cc.reused = true
 		return cc, nil
 	}
 	c.mu.Unlock()
-	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: dial %s: %w", c.addr, err)
 	}
@@ -76,28 +158,133 @@ func (c *Client) putConn(cc *clientConn) {
 	cc.conn.Close()
 }
 
-// Do sends one request and reads its response. Transport errors close the
-// connection (the protocol cannot resync mid-stream).
-func (c *Client) Do(req *proto.Request) (*proto.Response, error) {
+// tryError carries enough context for Do's retry policy: where in the
+// request lifecycle the failure happened and whether the connection came
+// from the idle pool.
+type tryError struct {
+	stage  string // "dial" | "write" | "read"
+	reused bool
+	err    error
+}
+
+func (e *tryError) Error() string { return e.err.Error() }
+func (e *tryError) Unwrap() error { return e.err }
+
+// try performs one request/response exchange on one connection.
+func (c *Client) try(req *proto.Request) (*proto.Response, *tryError) {
 	cc, err := c.getConn()
 	if err != nil {
-		return nil, err
+		return nil, &tryError{stage: "dial", err: err}
 	}
-	if err := proto.WriteRequest(cc.w, req); err != nil {
-		cc.conn.Close()
-		return nil, err
+	if d := c.cfg.WriteTimeout; d > 0 {
+		cc.conn.SetWriteDeadline(time.Now().Add(d))
 	}
-	if err := cc.w.Flush(); err != nil {
+	if err := proto.WriteRequest(cc.w, req); err == nil {
+		err = cc.w.Flush()
+	}
+	if err != nil {
 		cc.conn.Close()
-		return nil, err
+		return nil, &tryError{stage: "write", reused: cc.reused, err: err}
+	}
+	if d := c.cfg.ReadTimeout; d > 0 {
+		cc.conn.SetReadDeadline(time.Now().Add(d))
 	}
 	resp, err := proto.ReadResponse(cc.r)
 	if err != nil {
+		// Transport errors close the connection (the protocol cannot
+		// resync mid-stream).
 		cc.conn.Close()
-		return nil, fmt.Errorf("kvstore: %s %s: %w", req.Op, c.addr, err)
+		return nil, &tryError{stage: "read", reused: cc.reused,
+			err: fmt.Errorf("kvstore: %s %s: %w", req.Op, c.addr, err)}
 	}
+	cc.conn.SetDeadline(time.Time{})
 	c.putConn(cc)
 	return resp, nil
+}
+
+// isIdempotentOp reports whether re-sending op after an ambiguous failure
+// (the server may or may not have processed it) is safe. Reads and Del
+// (documented idempotent) are; Set is re-sent only when the failure
+// guarantees the server never saw it (dial failure, stale pooled conn).
+func isIdempotentOp(op proto.Op) bool {
+	switch op {
+	case proto.OpGet, proto.OpMGet, proto.OpPing, proto.OpStats, proto.OpDel:
+		return true
+	default:
+		return false
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Do sends one request and reads its response, retrying transient
+// transport failures:
+//
+//   - A failure on a reused pooled connection is retried transparently on
+//     a fresh connection, regardless of op: the peer dropping an idle
+//     conn (restart, idle-timeout) is indistinguishable from it never
+//     having seen the request. These retries are bounded by the pool
+//     size, not MaxRetries.
+//   - Dial failures (request provably unsent) and post-dial failures of
+//     idempotent ops are retried up to MaxRetries times with jittered
+//     exponential backoff.
+//   - Deadline expiries are never retried: a saturated server stays
+//     saturated, and the caller (the frontend) should fail over to
+//     another replica instead of burning its latency budget here.
+func (c *Client) Do(req *proto.Request) (*proto.Response, error) {
+	budget := c.cfg.MaxRetries
+	for attempt := 0; ; attempt++ {
+		resp, terr := c.try(req)
+		if terr == nil {
+			return resp, nil
+		}
+		if errors.Is(terr.err, net.ErrClosed) || isTimeout(terr.err) {
+			return nil, terr.err
+		}
+		if terr.reused {
+			// Free retry: a request that dies on a pooled conn almost
+			// surely raced the peer closing it. Each such retry burns
+			// one pooled conn, so this terminates after ≤ maxIdleConns
+			// rounds even with a poisoned pool.
+			c.noteRetry()
+			continue
+		}
+		retryable := terr.stage == "dial" || isIdempotentOp(req.Op)
+		if !retryable || budget <= 0 {
+			return nil, terr.err
+		}
+		budget--
+		c.noteRetry()
+		c.backoff(attempt)
+	}
+}
+
+func (c *Client) noteRetry() {
+	if c.cfg.OnRetry != nil {
+		c.cfg.OnRetry()
+	}
+}
+
+// backoff sleeps for a jittered exponential delay: uniformly in
+// [base·2ⁿ/2, base·2ⁿ), capped at MaxRetryBackoff.
+func (c *Client) backoff(attempt int) {
+	if c.cfg.RetryBackoff <= 0 {
+		return
+	}
+	if attempt > 16 {
+		attempt = 16
+	}
+	d := c.cfg.RetryBackoff << uint(attempt)
+	if max := c.cfg.MaxRetryBackoff; max > 0 && d > max {
+		d = max
+	}
+	if d > 1 {
+		d = d/2 + rand.N(d/2) // jitter
+	}
+	time.Sleep(d)
 }
 
 // ErrNotFound reports a missing key.
@@ -182,6 +369,8 @@ func (c *Client) Ping() error {
 }
 
 // Stats fetches the server's metric snapshot as a decoded JSON object.
+// Numbers are decoded as json.Number so 64-bit counters survive intact
+// (float64 silently loses precision above 2^53).
 func (c *Client) Stats() (map[string]interface{}, error) {
 	resp, err := c.Do(&proto.Request{Op: proto.OpStats})
 	if err != nil {
@@ -190,20 +379,42 @@ func (c *Client) Stats() (map[string]interface{}, error) {
 	if err := resp.Err(); err != nil {
 		return nil, err
 	}
+	dec := json.NewDecoder(strings.NewReader(string(resp.Payload)))
+	dec.UseNumber()
 	var m map[string]interface{}
-	if err := json.Unmarshal(resp.Payload, &m); err != nil {
+	if err := dec.Decode(&m); err != nil {
 		return nil, fmt.Errorf("kvstore: decoding stats: %w", err)
 	}
 	return m, nil
 }
 
-// StatCounter extracts a numeric counter from a Stats result, 0 if absent.
+// StatCounter extracts a numeric counter from a Stats result, 0 if
+// absent or negative. Values are parsed as exact uint64 where possible.
 func StatCounter(stats map[string]interface{}, name string) uint64 {
-	v, ok := stats[name].(float64)
-	if !ok {
-		return 0
+	switch v := stats[name].(type) {
+	case json.Number:
+		if u, err := strconv.ParseUint(v.String(), 10, 64); err == nil {
+			return u
+		}
+		if f, err := v.Float64(); err == nil && f > 0 {
+			return uint64(f)
+		}
+	case float64:
+		if v > 0 {
+			return uint64(v)
+		}
+	case uint64:
+		return v
+	case int64:
+		if v > 0 {
+			return uint64(v)
+		}
+	case int:
+		if v > 0 {
+			return uint64(v)
+		}
 	}
-	return uint64(v)
+	return 0
 }
 
 // Close closes all pooled connections. In-flight requests on checked-out

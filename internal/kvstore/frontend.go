@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"securecache/internal/cache"
 	"securecache/internal/hashing"
@@ -57,6 +58,13 @@ type FrontendConfig struct {
 	Cache cache.Cache
 	// Selection picks the GET replica policy (default least-inflight).
 	Selection Selection
+	// Client configures per-request deadlines and retry policy for the
+	// backend connections (zero value = defaults). The frontend chains
+	// its retries_total counter onto Client.OnRetry.
+	Client ClientConfig
+	// Health configures the per-backend circuit breaker (zero value =
+	// defaults; FailureThreshold < 0 disables gating).
+	Health HealthConfig
 }
 
 // Frontend is the paper's front end: it owns the cache and the secret
@@ -71,6 +79,9 @@ type Frontend struct {
 	rrState   atomic.Uint64
 	randState atomic.Uint64
 	metrics   *metrics.Registry
+	health    *healthTracker
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
 
 	cacheMu sync.Mutex // guards cfg.Cache (cache impls are not concurrent-safe)
 
@@ -99,18 +110,53 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		cfg.Selection = SelectLeastInflight
 	}
 	f := &Frontend{
-		cfg:      cfg,
-		part:     partition.NewHash(n, cfg.Replication, cfg.PartitionSeed),
-		backends: make([]*Client, n),
-		inflight: make([]atomic.Int64, n),
-		metrics:  metrics.NewRegistry(),
-		conns:    make(map[net.Conn]bool),
+		cfg:       cfg,
+		part:      partition.NewHash(n, cfg.Replication, cfg.PartitionSeed),
+		backends:  make([]*Client, n),
+		inflight:  make([]atomic.Int64, n),
+		metrics:   metrics.NewRegistry(),
+		conns:     make(map[net.Conn]bool),
+		probeStop: make(chan struct{}),
 	}
 	f.randState.Store(cfg.PartitionSeed ^ 0x9e3779b97f4a7c15)
+	f.health = newHealthTracker(n, cfg.Health, f.metrics)
+	ccfg := cfg.Client
+	retries := f.metrics.Counter("retries_total")
+	userOnRetry := ccfg.OnRetry
+	ccfg.OnRetry = func() {
+		retries.Inc()
+		if userOnRetry != nil {
+			userOnRetry()
+		}
+	}
 	for i, addr := range cfg.BackendAddrs {
-		f.backends[i] = NewClient(addr)
+		f.backends[i] = NewClientWithConfig(addr, ccfg)
+	}
+	if f.health != nil {
+		f.probeWG.Add(1)
+		go f.probeLoop()
 	}
 	return f, nil
+}
+
+// probeLoop pings open backends at the configured cadence; a successful
+// ping half-opens the breaker so the next real request can close it.
+func (f *Frontend) probeLoop() {
+	defer f.probeWG.Done()
+	ticker := time.NewTicker(f.health.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.probeStop:
+			return
+		case <-ticker.C:
+			for _, node := range f.health.openNodes() {
+				if f.backends[node].Ping() == nil {
+					f.health.onProbeSuccess(node)
+				}
+			}
+		}
+	}
 }
 
 // Metrics exposes the frontend's registry ("requests_total",
@@ -206,6 +252,21 @@ func (f *Frontend) orderedReplicas(key string) []int {
 			ordered[i], ordered[best] = ordered[best], ordered[i]
 		}
 	}
+	// Health gating: backends with an open breaker are demoted to last
+	// resort (stable within each partition, so the policy order is kept
+	// among healthy replicas — and among open ones if all are down).
+	if f.health != nil {
+		gated := make([]int, 0, len(ordered))
+		var demoted []int
+		for _, node := range ordered {
+			if f.health.healthy(node) {
+				gated = append(gated, node)
+			} else {
+				demoted = append(demoted, node)
+			}
+		}
+		ordered = append(gated, demoted...)
+	}
 	return ordered
 }
 
@@ -231,6 +292,15 @@ func (f *Frontend) Get(key string) ([]byte, error) {
 		return v, nil
 	}
 	f.metrics.Counter("cache_misses_total").Inc()
+	return f.fetchFromReplicas(key)
+}
+
+// fetchFromReplicas is the failover read loop shared by Get and the MGet
+// per-key fallback. It carries no request-level instrumentation (no
+// requests_total, no cache hit/miss counts) — callers have already
+// accounted for the request — but does fill the cache and feed the
+// health tracker.
+func (f *Frontend) fetchFromReplicas(key string) ([]byte, error) {
 	var lastErr error
 	for _, node := range f.orderedReplicas(key) {
 		f.inflight[node].Add(1)
@@ -238,11 +308,14 @@ func (f *Frontend) Get(key string) ([]byte, error) {
 		f.inflight[node].Add(-1)
 		switch {
 		case err == nil:
+			f.health.onSuccess(node)
 			f.cachePut(key, v)
 			return v, nil
 		case errors.Is(err, ErrNotFound):
+			f.health.onSuccess(node)
 			return nil, ErrNotFound
 		default:
+			f.health.onFailure(node)
 			f.metrics.Counter("backend_errors_total").Inc()
 			lastErr = err
 		}
@@ -263,11 +336,18 @@ func (f *Frontend) Set(key string, value []byte) error {
 		err := f.backends[node].Set(key, value)
 		f.inflight[node].Add(-1)
 		if err != nil {
+			f.health.onFailure(node)
 			f.metrics.Counter("backend_errors_total").Inc()
 			failures = append(failures, fmt.Sprintf("node %d: %v", node, err))
+		} else {
+			f.health.onSuccess(node)
 		}
 	}
 	if len(failures) > 0 {
+		// Surviving replicas hold the new value while failed ones keep
+		// the old: serving the cached (old) value would contradict the
+		// replicas a subsequent read will reach. Drop it.
+		f.cacheRemove(key)
 		return fmt.Errorf("kvstore: set %q: %s", key, strings.Join(failures, "; "))
 	}
 	// Refresh the cache only if the key is already cached — a write must
@@ -311,10 +391,14 @@ func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 		f.inflight[node].Add(-int64(len(batch)))
 		if err != nil {
 			// Batch path failed (node down mid-flight): recover per key
-			// through the failover-aware Get.
+			// through the shared failover loop. Not through f.Get — the
+			// batch already counted requests_total and the per-key cache
+			// misses; re-entering the instrumented path would double
+			// them on exactly the counters secguard watches.
+			f.health.onFailure(node)
 			f.metrics.Counter("backend_errors_total").Inc()
 			for _, i := range idxs {
-				v, gerr := f.Get(keys[i])
+				v, gerr := f.fetchFromReplicas(keys[i])
 				switch {
 				case gerr == nil:
 					results[i] = proto.MGetResult{Found: true, Value: v}
@@ -326,6 +410,7 @@ func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 			}
 			continue
 		}
+		f.health.onSuccess(node)
 		for j, i := range idxs {
 			results[i] = fetched[j]
 			if fetched[j].Found {
@@ -344,8 +429,11 @@ func (f *Frontend) Del(key string) error {
 	var failures []string
 	for _, node := range f.part.Group(KeyID(key)) {
 		if err := f.backends[node].Del(key); err != nil {
+			f.health.onFailure(node)
 			f.metrics.Counter("backend_errors_total").Inc()
 			failures = append(failures, fmt.Sprintf("node %d: %v", node, err))
+		} else {
+			f.health.onSuccess(node)
 		}
 	}
 	if len(failures) > 0 {
@@ -478,6 +566,8 @@ func (f *Frontend) Close() error {
 		conn.Close()
 	}
 	f.mu.Unlock()
+	close(f.probeStop)
+	f.probeWG.Wait()
 	var err error
 	if l != nil {
 		err = l.Close()

@@ -28,6 +28,12 @@ type LocalConfig struct {
 	Cache cache.Cache
 	// Selection is the frontend replica policy (default least-inflight).
 	Selection Selection
+	// Client configures the frontend's backend-client transport (zero
+	// value = defaults).
+	Client ClientConfig
+	// Health configures the frontend's per-backend circuit breaker
+	// (zero value = defaults).
+	Health HealthConfig
 }
 
 // StartLocalCluster boots the backends and frontend on ephemeral loopback
@@ -52,6 +58,8 @@ func StartLocalCluster(cfg LocalConfig) (*LocalCluster, error) {
 		PartitionSeed: cfg.PartitionSeed,
 		Cache:         cfg.Cache,
 		Selection:     cfg.Selection,
+		Client:        cfg.Client,
+		Health:        cfg.Health,
 	}, "127.0.0.1:0")
 	if err != nil {
 		lc.Close()

@@ -1,0 +1,152 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"securecache/internal/metrics"
+)
+
+// Default health-gating parameters for HealthConfig.
+const (
+	DefaultFailureThreshold = 3
+	DefaultProbeInterval    = 500 * time.Millisecond
+)
+
+// HealthConfig configures the frontend's per-backend circuit breaker.
+// The zero value means "all defaults"; set FailureThreshold negative to
+// disable health gating entirely.
+type HealthConfig struct {
+	// FailureThreshold is the number of consecutive transport failures
+	// that opens a backend's breaker. 0 = default, negative = disabled.
+	FailureThreshold int
+	// ProbeInterval is the cadence of the background liveness probe
+	// (Ping) against open backends. A successful probe half-opens the
+	// breaker so real traffic can confirm recovery.
+	ProbeInterval time.Duration
+}
+
+func (cfg HealthConfig) withDefaults() HealthConfig {
+	if cfg.FailureThreshold == 0 {
+		cfg.FailureThreshold = DefaultFailureThreshold
+	}
+	cfg.ProbeInterval = defDur(cfg.ProbeInterval, DefaultProbeInterval)
+	return cfg
+}
+
+// Disabled reports whether health gating is switched off.
+func (cfg HealthConfig) Disabled() bool { return cfg.FailureThreshold < 0 }
+
+// Breaker states. Closed = healthy; open = demoted to last resort and
+// probed in the background; half-open = a probe succeeded, the next real
+// request decides (success closes, failure re-opens).
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// healthTracker is the frontend's per-backend circuit breaker. All
+// methods are safe for concurrent use; the hot-path cost of a healthy
+// lookup is one atomic load.
+type healthTracker struct {
+	cfg       HealthConfig
+	states    []atomic.Int32
+	fails     []atomic.Int32 // consecutive transport failures
+	openTotal *metrics.Counter
+	unhealthy []*metrics.Gauge // backend_unhealthy_<i>: 1 while open
+}
+
+// newHealthTracker returns a tracker for n backends, registering its
+// instruments in reg. Returns nil when cfg disables gating — the
+// frontend treats a nil tracker as "everything healthy".
+func newHealthTracker(n int, cfg HealthConfig, reg *metrics.Registry) *healthTracker {
+	cfg = cfg.withDefaults()
+	if cfg.Disabled() {
+		return nil
+	}
+	h := &healthTracker{
+		cfg:       cfg,
+		states:    make([]atomic.Int32, n),
+		fails:     make([]atomic.Int32, n),
+		openTotal: reg.Counter("breaker_open_total"),
+		unhealthy: make([]*metrics.Gauge, n),
+	}
+	for i := range h.unhealthy {
+		h.unhealthy[i] = reg.Gauge(fmt.Sprintf("backend_unhealthy_%d", i))
+	}
+	return h
+}
+
+// healthy reports whether node should be tried in normal order. Open
+// backends are demoted (not excluded): if every replica of a key is
+// open, the frontend still tries them as a last resort.
+func (h *healthTracker) healthy(node int) bool {
+	if h == nil {
+		return true
+	}
+	return h.states[node].Load() != breakerOpen
+}
+
+// onSuccess records a successful exchange with node (including
+// NotFound — the backend responded). It closes a half-open or open
+// breaker: any proof of life readmits the node.
+func (h *healthTracker) onSuccess(node int) {
+	if h == nil {
+		return
+	}
+	h.fails[node].Store(0)
+	if h.states[node].Swap(breakerClosed) != breakerClosed {
+		h.unhealthy[node].Set(0)
+	}
+}
+
+// onFailure records a transport failure against node. Reaching the
+// consecutive-failure threshold (or failing while half-open) opens the
+// breaker.
+func (h *healthTracker) onFailure(node int) {
+	if h == nil {
+		return
+	}
+	n := h.fails[node].Add(1)
+	st := h.states[node].Load()
+	if st == breakerOpen {
+		return
+	}
+	if st == breakerHalfOpen || int(n) >= h.cfg.FailureThreshold {
+		if h.states[node].CompareAndSwap(st, breakerOpen) {
+			h.openTotal.Inc()
+			h.unhealthy[node].Set(1)
+		}
+	}
+}
+
+// onProbeSuccess half-opens an open breaker: the node answers pings, so
+// let real traffic through to confirm. The unhealthy gauge drops now —
+// the node is back in normal selection order.
+func (h *healthTracker) onProbeSuccess(node int) {
+	if h.states[node].CompareAndSwap(breakerOpen, breakerHalfOpen) {
+		h.fails[node].Store(0)
+		h.unhealthy[node].Set(0)
+	}
+}
+
+// openNodes returns the indices currently open (the probe targets).
+func (h *healthTracker) openNodes() []int {
+	var out []int
+	for i := range h.states {
+		if h.states[i].Load() == breakerOpen {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// state returns the breaker state of node (for tests).
+func (h *healthTracker) state(node int) int32 {
+	if h == nil {
+		return breakerClosed
+	}
+	return h.states[node].Load()
+}
