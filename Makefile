@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet race bench
+.PHONY: all build test verify vet race chaos bench
 
 all: verify
 
@@ -23,6 +23,13 @@ vet:
 # transitions, and the probe loop all run real goroutines over loopback.
 race:
 	$(GO) vet ./... && $(GO) test -race ./internal/kvstore/...
+
+# Chaos suite: the cluster driven through faultnet fault schedules
+# (floods, latency, truncation, flapping partitions) under -race, plus
+# the fault proxy's own tests.
+chaos:
+	$(GO) test -race -v -run 'TestChaos' ./internal/kvstore/... && \
+	$(GO) test -race ./internal/faultnet/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

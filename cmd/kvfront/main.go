@@ -27,6 +27,7 @@ import (
 	"securecache/internal/cache"
 	"securecache/internal/core"
 	"securecache/internal/kvstore"
+	"securecache/internal/overload"
 )
 
 func main() {
@@ -46,6 +47,15 @@ func main() {
 		retries      = flag.Int("retries", kvstore.DefaultMaxRetries, "budgeted transport retries per backend request (negative = none)")
 		breakerFails = flag.Int("breaker-threshold", kvstore.DefaultFailureThreshold, "consecutive failures opening a backend breaker (negative = breaker off)")
 		probeEvery   = flag.Duration("probe-interval", kvstore.DefaultProbeInterval, "health-probe cadence for open backends")
+
+		maxInflight = flag.Int("max-inflight", 0, "shed client requests beyond this many in flight with BUSY (0 = unlimited)")
+		maxConns    = flag.Int("max-conns", 0, "reject client connections beyond this many at accept (0 = unlimited)")
+		rateLimit   = flag.Float64("rate-limit", 0, "shed client requests beyond this many per second (0 = unlimited)")
+		rateBurst   = flag.Float64("rate-burst", 0, "rate-limit burst size (0 = derived from the rate)")
+		admitWait   = flag.Duration("admission-wait", 0, "how long a request may wait for an in-flight slot before being shed (0 = default, negative = none)")
+		retryBudget = flag.Float64("retry-budget", 0, "shared backend retry-budget tokens (0 = default, negative = no budget)")
+		budgetRatio = flag.Float64("retry-budget-ratio", 0, "retry-budget refill per successful backend exchange (0 = default)")
+		idleTimeout = flag.Duration("idle-timeout", 0, "drop client connections idle longer than this (0 = keep forever)")
 	)
 	flag.Parse()
 
@@ -93,6 +103,16 @@ func main() {
 			FailureThreshold: *breakerFails,
 			ProbeInterval:    *probeEvery,
 		},
+		Overload: overload.Limits{
+			MaxInflight:   *maxInflight,
+			MaxConns:      *maxConns,
+			RateLimit:     *rateLimit,
+			RateBurst:     *rateBurst,
+			AdmissionWait: *admitWait,
+		},
+		RetryBudgetMax:   *retryBudget,
+		RetryBudgetRatio: *budgetRatio,
+		IdleTimeout:      *idleTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kvfront:", err)

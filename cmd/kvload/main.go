@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -61,12 +62,13 @@ func main() {
 	before := backendCounts(splitNonEmpty(*backends))
 
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		lat     stats.Summary
-		p99     = stats.NewP2Quantile(0.99)
-		errors  int
-		perWork = (len(keys) + *workers - 1) / *workers
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lat      stats.Summary
+		p99      = stats.NewP2Quantile(0.99)
+		errCount int
+		shed     int
+		perWork  = (len(keys) + *workers - 1) / *workers
 	)
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
@@ -85,7 +87,7 @@ func main() {
 			defer client.Close()
 			var local stats.Summary
 			localP99 := stats.NewP2Quantile(0.99)
-			localErrs := 0
+			localErrs, localShed := 0, 0
 			step := *batch
 			if step < 1 {
 				step = 1
@@ -108,7 +110,13 @@ func main() {
 				}
 				us := float64(time.Since(t0).Microseconds())
 				if err != nil && err != kvstore.ErrNotFound {
-					localErrs++
+					// Shed requests are the overload machinery working as
+					// designed; report them apart from hard errors.
+					if errors.Is(err, kvstore.ErrBusy) {
+						localShed++
+					} else {
+						localErrs++
+					}
 					continue
 				}
 				// Record one latency sample per request (batched or not).
@@ -120,7 +128,8 @@ func main() {
 			if localP99.N() > 0 {
 				p99.Add(localP99.Value()) // approximate merge: p99 of worker p99s
 			}
-			errors += localErrs
+			errCount += localErrs
+			shed += localShed
 			mu.Unlock()
 		}(keys[lo:hi])
 	}
@@ -131,9 +140,9 @@ func main() {
 	if *batch <= 1 {
 		queriesSent = float64(lat.N())
 	}
-	fmt.Printf("sent ~%.0f queries in %d requests over %v (%.0f qps, %d workers, batch %d, %d errors)\n",
+	fmt.Printf("sent ~%.0f queries in %d requests over %v (%.0f qps, %d workers, batch %d, %d errors, %d shed)\n",
 		queriesSent, lat.N(), elapsed.Round(time.Millisecond),
-		queriesSent/elapsed.Seconds(), *workers, *batch, errors)
+		queriesSent/elapsed.Seconds(), *workers, *batch, errCount, shed)
 	fmt.Printf("per-request latency: mean %.0fµs  p99≈%.0fµs  max %.0fµs\n", lat.Mean(), p99.Value(), lat.Max())
 
 	// The frontend's STATS snapshot carries the resilience counters; show
@@ -145,6 +154,14 @@ func main() {
 			e := kvstore.StatCounter(st, "backend_errors_total")
 			if r+b+e > 0 {
 				fmt.Printf("frontend resilience: %d retries, %d breaker opens, %d backend errors\n", r, b, e)
+			}
+			fs := kvstore.StatCounter(st, "shed_total")
+			bb := kvstore.StatCounter(st, "backend_busy_total")
+			rs := kvstore.StatCounter(st, "retry_budget_exhausted_total")
+			cr := kvstore.StatCounter(st, "busy_conns_rejected_total")
+			if fs+bb+rs+cr > 0 {
+				fmt.Printf("frontend overload: %d requests shed, %d conns rejected, %d backend busies, %d retries suppressed\n",
+					fs, cr, bb, rs)
 			}
 		}
 		fc.Close()
@@ -211,7 +228,16 @@ func preloadKeys(frontend string, cfg kvstore.ClientConfig, keys []int) error {
 			continue
 		}
 		seen[k] = true
-		if err := client.Set(workload.KeyName(k), []byte("payload")); err != nil {
+		// Warm-up must not outpace an admission-limited cluster: back off
+		// and re-send when the store sheds the SET instead of aborting.
+		var err error
+		for attempt := 0; attempt < 50; attempt++ {
+			if err = client.Set(workload.KeyName(k), []byte("payload")); !errors.Is(err, kvstore.ErrBusy) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err != nil {
 			return fmt.Errorf("preload key %d: %w", k, err)
 		}
 	}

@@ -18,6 +18,7 @@ import (
 	"syscall"
 
 	"securecache/internal/kvstore"
+	"securecache/internal/overload"
 )
 
 func main() {
@@ -27,6 +28,12 @@ func main() {
 		admin    = flag.String("admin", "", "optional HTTP admin address (/healthz, /metrics, /info)")
 		snapshot = flag.String("snapshot", "", "snapshot file: restored at startup if present, written on shutdown")
 		idle     = flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = keep forever)")
+
+		maxInflight = flag.Int("max-inflight", 0, "shed requests beyond this many in flight with BUSY (0 = unlimited)")
+		maxConns    = flag.Int("max-conns", 0, "reject connections beyond this many at accept (0 = unlimited)")
+		rateLimit   = flag.Float64("rate-limit", 0, "shed requests beyond this many per second (0 = unlimited)")
+		rateBurst   = flag.Float64("rate-burst", 0, "rate-limit burst size (0 = derived from the rate)")
+		admitWait   = flag.Duration("admission-wait", 0, "how long a request may wait for an in-flight slot before being shed (0 = default, negative = none)")
 	)
 	flag.Parse()
 
@@ -35,7 +42,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kvnode:", err)
 		os.Exit(2)
 	}
-	node := kvstore.NewBackend(*id)
+	node := kvstore.NewBackendWithLimits(*id, overload.Limits{
+		MaxInflight:   *maxInflight,
+		MaxConns:      *maxConns,
+		RateLimit:     *rateLimit,
+		RateBurst:     *rateBurst,
+		AdmissionWait: *admitWait,
+	})
 	node.SetIdleTimeout(*idle)
 	log.Printf("kvnode %d listening on %s", *id, l.Addr())
 

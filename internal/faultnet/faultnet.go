@@ -1,0 +1,279 @@
+// Package faultnet is an in-process TCP fault-injection proxy for chaos
+// testing the kvstore over real sockets.
+//
+// A Proxy listens on loopback and forwards byte streams to a fixed
+// target address. The faults active at any moment are a plain value
+// (Faults) swapped atomically with SetFaults, so a test can script a
+// deterministic schedule — add latency, throttle bandwidth, truncate a
+// response mid-frame, blackhole the link, flap it up and down — while
+// clients and servers run unmodified. Faults apply per forwarded chunk,
+// so a change takes effect on in-flight connections, not only new ones.
+//
+// The proxy itself never fabricates protocol bytes: every failure mode
+// it produces (stalls, partial frames, connection resets) is one a real
+// network can produce, which is exactly what the chaos suite asserts the
+// stack survives.
+package faultnet
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults describes the failure modes currently injected. The zero value
+// is a transparent proxy.
+type Faults struct {
+	// Latency is added before each forwarded chunk, in each direction
+	// (so one request/response round trip pays roughly 2×Latency).
+	Latency time.Duration
+	// BandwidthBps throttles each connection direction to this many
+	// bytes per second (0 = unlimited).
+	BandwidthBps int
+	// Blackhole swallows all bytes in both directions: connections stay
+	// open but nothing is delivered — the shape of a silent partition
+	// or a switch eating packets.
+	Blackhole bool
+	// RejectConns closes new client connections immediately (the shape
+	// of a hard partition / refused route). Existing connections are
+	// unaffected; combine with CloseExisting for a full partition.
+	RejectConns bool
+	// TruncateAfterBytes, when > 0, closes both sides of a connection
+	// after that many server→client bytes have been forwarded on it —
+	// with a value smaller than a response frame, the client observes a
+	// mid-frame truncation.
+	TruncateAfterBytes int64
+}
+
+// Step is one entry of a fault schedule: apply Faults, hold for Dur.
+type Step struct {
+	Faults Faults
+	Dur    time.Duration
+}
+
+// Proxy is the fault-injecting TCP forwarder. Start one per backend (or
+// in front of the frontend) and point the client at Addr().
+type Proxy struct {
+	target string
+	l      net.Listener
+	faults atomic.Value // Faults
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	connsTotal    atomic.Uint64
+	connsRejected atomic.Uint64
+	bytesForward  atomic.Uint64
+}
+
+// Start listens on an ephemeral loopback port and forwards to target.
+func Start(target string) (*Proxy, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, l: l, conns: make(map[net.Conn]struct{})}
+	p.faults.Store(Faults{})
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (give this to clients).
+func (p *Proxy) Addr() string { return p.l.Addr().String() }
+
+// Target returns the upstream address the proxy forwards to.
+func (p *Proxy) Target() string { return p.target }
+
+// SetFaults atomically replaces the active fault set.
+func (p *Proxy) SetFaults(f Faults) { p.faults.Store(f) }
+
+// Clear removes all faults (transparent proxying).
+func (p *Proxy) Clear() { p.SetFaults(Faults{}) }
+
+// CurrentFaults returns the active fault set.
+func (p *Proxy) CurrentFaults() Faults { return p.faults.Load().(Faults) }
+
+// CloseExisting drops every live proxied connection (both directions),
+// simulating a reset of all flows. New connections are still accepted
+// unless RejectConns is set.
+func (p *Proxy) CloseExisting() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// RunSchedule applies each step in order, holding it for its duration,
+// then clears all faults. It blocks for the schedule's total length;
+// run it on a goroutine for concurrent traffic.
+func (p *Proxy) RunSchedule(steps []Step) {
+	for _, s := range steps {
+		p.SetFaults(s.Faults)
+		if s.Faults.RejectConns || s.Faults.Blackhole {
+			// A partition severs existing flows too.
+			p.CloseExisting()
+		}
+		time.Sleep(s.Dur)
+	}
+	p.Clear()
+}
+
+// Stats returns (connections accepted, connections rejected, bytes
+// forwarded) so tests can assert the proxy actually carried traffic.
+func (p *Proxy) Stats() (accepted, rejected, bytes uint64) {
+	return p.connsTotal.Load(), p.connsRejected.Load(), p.bytesForward.Load()
+}
+
+// Close stops the listener and tears down all connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.l.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		if p.CurrentFaults().RejectConns {
+			p.connsRejected.Add(1)
+			conn.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go p.serve(conn)
+	}
+}
+
+// track registers c for teardown and returns false if the proxy already
+// closed.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		client.Close()
+		return
+	}
+	if !p.track(client) || !p.track(server) {
+		client.Close()
+		server.Close()
+		p.untrack(client)
+		return
+	}
+	p.connsTotal.Add(1)
+	// truncBudget is this connection's remaining server→client bytes
+	// before a scheduled truncation (loaded lazily on first use so the
+	// fault can be installed after the conn exists).
+	var truncBudget atomic.Int64
+	truncBudget.Store(-1)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	closeBoth := func() {
+		client.Close()
+		server.Close()
+	}
+	go func() {
+		defer wg.Done()
+		p.pipe(server, client, nil, closeBoth) // client → server
+	}()
+	go func() {
+		defer wg.Done()
+		p.pipe(client, server, &truncBudget, closeBoth) // server → client
+	}()
+	wg.Wait()
+	closeBoth()
+	p.untrack(client)
+	p.untrack(server)
+}
+
+// pipe forwards src→dst applying the active faults per chunk. trunc is
+// non-nil only for the server→client direction.
+func (p *Proxy) pipe(dst, src net.Conn, trunc *atomic.Int64, closeBoth func()) {
+	// Small chunks keep latency/bandwidth shaping and truncation points
+	// fine-grained (a response frame spans several chunks).
+	buf := make([]byte, 512)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			f := p.CurrentFaults()
+			if f.Latency > 0 {
+				time.Sleep(f.Latency)
+				f = p.CurrentFaults() // faults may have changed mid-sleep
+			}
+			if f.Blackhole {
+				continue // swallow silently; connection stays open
+			}
+			if f.BandwidthBps > 0 {
+				time.Sleep(time.Duration(float64(n) / float64(f.BandwidthBps) * float64(time.Second)))
+			}
+			out := buf[:n]
+			if trunc != nil && f.TruncateAfterBytes > 0 {
+				if trunc.Load() < 0 {
+					trunc.Store(f.TruncateAfterBytes)
+				}
+				rem := trunc.Load()
+				if int64(len(out)) >= rem {
+					out = out[:rem]
+					if len(out) > 0 {
+						dst.Write(out)
+						p.bytesForward.Add(uint64(len(out)))
+					}
+					closeBoth()
+					return
+				}
+				trunc.Store(rem - int64(len(out)))
+			}
+			if _, werr := dst.Write(out); werr != nil {
+				closeBoth()
+				return
+			}
+			p.bytesForward.Add(uint64(n))
+		}
+		if err != nil {
+			closeBoth()
+			return
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// startEcho returns the address of a TCP echo server that lives until
+// the test ends.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(conn)
+		}
+	}()
+	return l.Addr().String()
+}
+
+func startProxy(t *testing.T, target string) *Proxy {
+	t.Helper()
+	p, err := Start(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func roundTrip(t *testing.T, addr string, msg []byte, timeout time.Duration) ([]byte, error) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(msg); err != nil {
+		return nil, err
+	}
+	got := make([]byte, len(msg))
+	_, err = io.ReadFull(conn, got)
+	return got, err
+}
+
+func TestTransparentForwarding(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	msg := []byte("hello through the proxy")
+	got, err := roundTrip(t, p.Addr(), msg, 2*time.Second)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("echo through clear proxy = %q, %v", got, err)
+	}
+	if acc, _, fwd := statsOf(p); acc != 1 || fwd < uint64(2*len(msg)) {
+		t.Fatalf("stats: accepted %d, forwarded %d bytes", acc, fwd)
+	}
+}
+
+func statsOf(p *Proxy) (uint64, uint64, uint64) { return p.Stats() }
+
+func TestLatencyInjection(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	p.SetFaults(Faults{Latency: 100 * time.Millisecond})
+	start := time.Now()
+	msg := []byte("slow")
+	got, err := roundTrip(t, p.Addr(), msg, 3*time.Second)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("echo with latency = %q, %v", got, err)
+	}
+	// One chunk each way: at least 2×100ms.
+	if elapsed := time.Since(start); elapsed < 180*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= ~200ms of injected latency", elapsed)
+	}
+}
+
+func TestBlackholeStallsThenRecovers(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	p.SetFaults(Faults{Blackhole: true})
+	if _, err := roundTrip(t, p.Addr(), []byte("void"), 200*time.Millisecond); err == nil {
+		t.Fatal("read through a blackhole succeeded")
+	}
+	p.Clear()
+	msg := []byte("back")
+	got, err := roundTrip(t, p.Addr(), msg, 2*time.Second)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("echo after clearing blackhole = %q, %v", got, err)
+	}
+}
+
+func TestRejectConns(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	p.SetFaults(Faults{RejectConns: true})
+	// The dial itself may succeed (the listener accepts then closes), but
+	// no data ever comes back.
+	if _, err := roundTrip(t, p.Addr(), []byte("x"), 300*time.Millisecond); err == nil {
+		t.Fatal("round trip through rejecting proxy succeeded")
+	}
+	_, rejected, _ := p.Stats()
+	if rejected == 0 {
+		t.Fatal("no connection counted as rejected")
+	}
+	p.Clear()
+	if _, err := roundTrip(t, p.Addr(), []byte("y"), 2*time.Second); err != nil {
+		t.Fatalf("round trip after clearing rejection: %v", err)
+	}
+}
+
+func TestTruncateMidStream(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	p.SetFaults(Faults{TruncateAfterBytes: 3})
+	conn, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(conn)
+	if err != nil && !isClosedNetErr(err) {
+		t.Fatalf("read after truncation: %v", err)
+	}
+	if string(got) != "012" {
+		t.Fatalf("received %q, want exactly the 3 pre-truncation bytes", got)
+	}
+}
+
+func isClosedNetErr(err error) bool {
+	_, ok := err.(net.Error)
+	return ok
+}
+
+func TestCloseExistingSeversFlows(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	conn, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 1)
+	if _, err := io.ReadFull(conn, one); err != nil {
+		t.Fatal(err)
+	}
+	p.CloseExisting()
+	if _, err := conn.Read(one); err == nil {
+		t.Fatal("read on a severed flow succeeded")
+	}
+}
+
+func TestRunScheduleAppliesAndClears(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.RunSchedule([]Step{
+			{Faults: Faults{Blackhole: true}, Dur: 80 * time.Millisecond},
+			{Faults: Faults{Latency: time.Millisecond}, Dur: 80 * time.Millisecond},
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if !p.CurrentFaults().Blackhole {
+		t.Fatal("schedule step 1 not active")
+	}
+	<-done
+	if f := p.CurrentFaults(); f != (Faults{}) {
+		t.Fatalf("faults after schedule = %+v, want cleared", f)
+	}
+	msg := []byte("post-schedule")
+	got, err := roundTrip(t, p.Addr(), msg, 2*time.Second)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("echo after schedule = %q, %v", got, err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"securecache/internal/metrics"
+	"securecache/internal/overload"
 	"securecache/internal/proto"
 )
 
@@ -24,6 +25,11 @@ type Backend struct {
 	metrics     *metrics.Registry
 	idleTimeout atomic.Int64 // ns; 0 = no limit
 
+	// Overload control: nil gate = unlimited (the seed behavior).
+	gate      *overload.Gate
+	shedTotal *metrics.Counter // requests answered StatusBusy
+	connsShed *metrics.Counter // connections rejected at accept
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
@@ -32,13 +38,28 @@ type Backend struct {
 }
 
 // NewBackend returns a backend node with the given ID (used only for
-// logging and stats).
+// logging and stats) and no admission limits.
 func NewBackend(id int) *Backend {
+	return NewBackendWithLimits(id, overload.Limits{})
+}
+
+// NewBackendWithLimits returns a backend with server-side overload
+// control: requests beyond lim.RateLimit or lim.MaxInflight are shed
+// with StatusBusy (counted in shed_total), and connections beyond
+// lim.MaxConns are closed at accept (busy_conns_rejected_total). A zero
+// lim disables all gating. OpPing and OpStats are exempt from admission
+// so health probes and monitoring still work on a saturated node —
+// that is exactly when they matter.
+func NewBackendWithLimits(id int, lim overload.Limits) *Backend {
+	reg := metrics.NewRegistry()
 	return &Backend{
-		id:      id,
-		store:   NewStore(),
-		metrics: metrics.NewRegistry(),
-		conns:   make(map[net.Conn]bool),
+		id:        id,
+		store:     NewStore(),
+		metrics:   reg,
+		gate:      overload.NewGate(lim),
+		shedTotal: reg.Counter("shed_total"),
+		connsShed: reg.Counter("busy_conns_rejected_total"),
+		conns:     make(map[net.Conn]bool),
 	}
 }
 
@@ -69,10 +90,18 @@ func (b *Backend) Serve(l net.Listener) error {
 		if err != nil {
 			return err
 		}
+		// Shed excess connections before they can hold a goroutine: a
+		// connection flood must not starve established clients.
+		if !b.gate.AdmitConn() {
+			b.connsShed.Inc()
+			conn.Close()
+			continue
+		}
 		b.mu.Lock()
 		if b.closed {
 			b.mu.Unlock()
 			conn.Close()
+			b.gate.ReleaseConn()
 			return net.ErrClosed
 		}
 		b.conns[conn] = true
@@ -88,6 +117,7 @@ func (b *Backend) serveConn(conn net.Conn) {
 		b.mu.Lock()
 		delete(b.conns, conn)
 		b.mu.Unlock()
+		b.gate.ReleaseConn()
 		b.wg.Done()
 	}()
 	r := bufio.NewReader(conn)
@@ -105,11 +135,31 @@ func (b *Backend) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		resp := b.handle(req)
-		if err := proto.WriteResponse(w, resp); err != nil {
-			return
+		// Admission control. Ping/Stats bypass the gate: probes and
+		// monitoring must keep working on a saturated node. The
+		// in-flight slot is held until the response is flushed, so a
+		// peer draining responses slowly occupies capacity honestly
+		// instead of letting the node over-admit.
+		var resp *proto.Response
+		holding := false
+		switch {
+		case req.Op == proto.OpPing || req.Op == proto.OpStats:
+			resp = b.handle(req)
+		case b.gate.Admit():
+			holding = true
+			resp = b.handle(req)
+		default:
+			b.shedTotal.Inc()
+			resp = &proto.Response{Status: proto.StatusBusy}
 		}
-		if err := w.Flush(); err != nil {
+		err = proto.WriteResponse(w, resp)
+		if err == nil {
+			err = w.Flush()
+		}
+		if holding {
+			b.gate.Release()
+		}
+		if err != nil {
 			return
 		}
 	}
@@ -149,24 +199,32 @@ func (b *Backend) handle(req *proto.Request) *proto.Response {
 		}
 		payload, err := proto.EncodeMGetPayload(results)
 		if err != nil {
-			return errResponse(err)
+			return errResponse(fmt.Sprintf("backend %d", b.id), req.Op, err)
 		}
 		return &proto.Response{Status: proto.StatusOK, Payload: payload}
 	case proto.OpStats:
 		blob, err := b.metrics.Snapshot()
 		if err != nil {
-			return errResponse(fmt.Errorf("snapshot: %w", err))
+			return errResponse(fmt.Sprintf("backend %d", b.id), req.Op, fmt.Errorf("snapshot: %w", err))
 		}
 		return &proto.Response{Status: proto.StatusOK, Payload: blob}
 	case proto.OpPing:
 		return &proto.Response{Status: proto.StatusOK}
 	default:
-		return errResponse(fmt.Errorf("unsupported op %s", req.Op))
+		return errResponse(fmt.Sprintf("backend %d", b.id), req.Op, errors.New("unsupported op"))
 	}
 }
 
-func errResponse(err error) *proto.Response {
-	return &proto.Response{Status: proto.StatusError, Payload: []byte(err.Error())}
+// errResponse logs the detailed error server-side and puts only a
+// sanitized message on the wire: internal errors carry backend
+// addresses, dial targets, and wrapped OS error strings, none of which
+// belong in the hands of an (adversarial) wire client.
+func errResponse(role string, op proto.Op, err error) *proto.Response {
+	log.Printf("kvstore: %s: %s failed: %v", role, op, err)
+	return &proto.Response{
+		Status:  proto.StatusError,
+		Payload: []byte(fmt.Sprintf("%s failed: internal error", op)),
+	}
 }
 
 // Close stops accepting, closes all connections, and waits for handler
@@ -195,11 +253,17 @@ func (b *Backend) Close() error {
 // and serves on a background goroutine. It returns the backend and the
 // bound address.
 func StartBackend(id int, addr string) (*Backend, string, error) {
+	return StartBackendWithLimits(id, addr, overload.Limits{})
+}
+
+// StartBackendWithLimits is StartBackend with server-side overload
+// control (see NewBackendWithLimits).
+func StartBackendWithLimits(id int, addr string, lim overload.Limits) (*Backend, string, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("kvstore: backend %d listen: %w", id, err)
 	}
-	b := NewBackend(id)
+	b := NewBackendWithLimits(id, lim)
 	go func() {
 		if serr := b.Serve(l); serr != nil && !errors.Is(serr, net.ErrClosed) {
 			log.Printf("kvstore: backend %d serve: %v", id, serr)

@@ -1,0 +1,446 @@
+package kvstore
+
+// Chaos suite: the full cluster driven through faultnet fault schedules
+// under -race. The invariants each scenario asserts:
+//
+//   - no goroutine leaks after teardown (checkGoroutineLeaks on every test)
+//   - no request hangs past its deadline budget
+//   - shed or fault-broken requests never corrupt the cache or serve a
+//     wrong value
+//   - the cluster returns to baseline behavior once faults clear
+//
+// Run standalone with `make chaos`.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securecache/internal/cache"
+	"securecache/internal/faultnet"
+	"securecache/internal/overload"
+)
+
+// chaosValue is the ground-truth value for a key: corruption checks
+// compare against it.
+func chaosValue(i int) []byte { return []byte("value-of-" + testKeyName(i)) }
+
+// seedStores writes n keys into every backend's store directly — the
+// tests control exactly which wire paths carry faults, so seeding must
+// not touch the network.
+func seedStores(backends []*Backend, n int) {
+	for i := 0; i < n; i++ {
+		for _, b := range backends {
+			b.Store().Set(testKeyName(i), chaosValue(i))
+		}
+	}
+}
+
+// meanGetLatency runs n sequential Gets over the key space and returns
+// the mean per-op latency and the number of failures.
+func meanGetLatency(f *Frontend, keys, n int) (time.Duration, int) {
+	start := time.Now()
+	fails := 0
+	for i := 0; i < n; i++ {
+		if _, err := f.Get(testKeyName(i % keys)); err != nil {
+			fails++
+		}
+	}
+	return time.Since(start) / time.Duration(n), fails
+}
+
+// latencyBudget converts a measured baseline into the acceptance bound:
+// 2× baseline with an absolute floor, so a sub-millisecond loopback
+// baseline does not turn scheduler jitter into flakes.
+func latencyBudget(baseline time.Duration) time.Duration {
+	budget := 2 * baseline
+	if floor := 50 * time.Millisecond; budget < floor {
+		budget = floor
+	}
+	return budget
+}
+
+// TestChaosFloodShedsWithoutTrippingBreaker is the headline acceptance
+// scenario: one backend has admission limits, an attack flood is driven
+// at the cluster through a faultnet proxy, and the overload machinery
+// must (a) shed on the limited node, (b) keep that node's breaker
+// closed — busy is not failure — (c) keep in-budget traffic inside its
+// latency budget via failover, and (d) return to baseline once the
+// flood and fault schedule end.
+func TestChaosFloodShedsWithoutTrippingBreaker(t *testing.T) {
+	checkGoroutineLeaks(t)
+	const keys = 48
+
+	// Victim node 0 is capacity-limited; nodes 1 and 2 are open.
+	victim, vaddr, err := StartBackendWithLimits(0, "127.0.0.1:0",
+		overload.Limits{RateLimit: 500, RateBurst: 32, MaxInflight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	backends := []*Backend{victim}
+	addrs := []string{vaddr}
+	for i := 1; i < 3; i++ {
+		b, addr, err := StartBackend(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		backends = append(backends, b)
+		addrs = append(addrs, addr)
+	}
+	seedStores(backends, keys)
+
+	f, faddr, err := StartFrontend(FrontendConfig{
+		BackendAddrs: addrs,
+		Replication:  2, PartitionSeed: 97,
+		Client: ClientConfig{MaxRetries: -1},
+		Health: HealthConfig{FailureThreshold: 2, ProbeInterval: time.Hour},
+	}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	baseline, fails := meanGetLatency(f, keys, 200)
+	if fails != 0 {
+		t.Fatalf("%d baseline Gets failed", fails)
+	}
+	budget := latencyBudget(baseline)
+
+	// The attack flood arrives through a faultnet proxy in front of the
+	// frontend, so the schedule can shape it mid-flight.
+	proxy, err := faultnet.Start(faddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	var wg sync.WaitGroup
+	var floodBusy, floodErrs atomic.Uint64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClientWithConfig(proxy.Addr(), ClientConfig{MaxRetries: -1})
+			defer c.Close()
+			for i := 0; i < 300; i++ {
+				switch _, err := c.Get(testKeyName((w*300 + i) % keys)); {
+				case err == nil:
+				case isBusyErr(err):
+					floodBusy.Add(1)
+				default:
+					floodErrs.Add(1)
+				}
+			}
+		}(w)
+	}
+	// Shape the attack path mid-flood (exercises the schedule runner),
+	// then let it end while the in-budget prober is still measuring.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		proxy.RunSchedule([]faultnet.Step{
+			{Faults: faultnet.Faults{Latency: 500 * time.Microsecond}, Dur: 200 * time.Millisecond},
+			{Faults: faultnet.Faults{}, Dur: 100 * time.Millisecond},
+		})
+	}()
+
+	// In-budget traffic goes straight to the frontend (not through the
+	// attack proxy): the victim sheds, failover absorbs, and latency
+	// must stay inside the budget while the flood rages.
+	underAttack, fails := meanGetLatency(f, keys, 200)
+	if fails != 0 {
+		t.Errorf("%d in-budget Gets failed during the flood", fails)
+	}
+	if underAttack > budget {
+		t.Errorf("in-budget latency under flood = %v, budget %v (baseline %v)", underAttack, budget, baseline)
+	}
+	wg.Wait()
+
+	if shed := victim.Metrics().Counter("shed_total").Value(); shed == 0 {
+		t.Error("victim shed_total = 0 — the flood never hit the admission gate")
+	}
+	if got := f.health.state(0); got != breakerClosed {
+		t.Errorf("victim breaker state = %d, want closed: shedding must not trip the breaker", got)
+	}
+	if got := f.Metrics().Counter("breaker_open_total").Value(); got != 0 {
+		t.Errorf("breaker_open_total = %d, want 0", got)
+	}
+	if errs := floodErrs.Load(); errs != 0 {
+		t.Errorf("flood saw %d hard errors (busy is fine, errors are not)", errs)
+	}
+
+	// Recovery: with the flood gone and the schedule cleared, the
+	// cluster is back inside the same budget, values intact.
+	recovered, fails := meanGetLatency(f, keys, 200)
+	if fails != 0 {
+		t.Errorf("%d Gets failed after recovery", fails)
+	}
+	if recovered > budget {
+		t.Errorf("post-fault latency = %v, budget %v (baseline %v)", recovered, budget, baseline)
+	}
+	checkValues(t, f, keys)
+}
+
+// isBusyErr matches both a direct ErrBusy and the all-replicas-shed
+// wrapper the frontend returns.
+func isBusyErr(err error) bool {
+	return errors.Is(err, ErrBusy)
+}
+
+// checkValues asserts every key reads back its ground-truth value.
+func checkValues(t *testing.T, f *Frontend, keys int) {
+	t.Helper()
+	for i := 0; i < keys; i++ {
+		v, err := f.Get(testKeyName(i))
+		if err != nil {
+			t.Fatalf("Get(%s) after faults: %v", testKeyName(i), err)
+		}
+		if string(v) != string(chaosValue(i)) {
+			t.Fatalf("Get(%s) = %q, want %q — fault corrupted a value", testKeyName(i), v, chaosValue(i))
+		}
+	}
+}
+
+// TestChaosLatencyFailoverThenRecover injects latency above the read
+// deadline on one backend's path: every read must still complete within
+// the deadline budget (timeout + failover), the breaker must open (a
+// node slower than the deadline IS failed from the caller's view), and
+// once the fault clears the probe loop must readmit the node.
+func TestChaosLatencyFailoverThenRecover(t *testing.T) {
+	checkGoroutineLeaks(t)
+	const keys = 24
+	backends := make([]*Backend, 0, 3)
+	addrs := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		b, addr, err := StartBackend(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		backends = append(backends, b)
+		addrs = append(addrs, addr)
+	}
+	seedStores(backends, keys)
+
+	// Node 0's traffic flows through the fault proxy.
+	proxy, err := faultnet.Start(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	addrs[0] = proxy.Addr()
+
+	const readTimeout = 100 * time.Millisecond
+	f, err := NewFrontend(FrontendConfig{
+		BackendAddrs: addrs,
+		Replication:  2, PartitionSeed: 53,
+		Client: ClientConfig{ReadTimeout: readTimeout, MaxRetries: -1},
+		Health: HealthConfig{FailureThreshold: 2, ProbeInterval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	proxy.SetFaults(faultnet.Faults{Latency: 3 * readTimeout})
+	// Deadline budget per Get: one timed-out replica plus fast failover,
+	// with scheduler slack. Nothing may hang past it.
+	deadlineBudget := 2*readTimeout + 500*time.Millisecond
+	for i := 0; i < 3*keys; i++ {
+		start := time.Now()
+		v, err := f.Get(testKeyName(i % keys))
+		if took := time.Since(start); took > deadlineBudget {
+			t.Fatalf("Get took %v under latency fault, budget %v", took, deadlineBudget)
+		}
+		if err != nil || string(v) != string(chaosValue(i%keys)) {
+			t.Fatalf("Get(%s) under latency fault = %q, %v", testKeyName(i%keys), v, err)
+		}
+	}
+	if got := f.health.state(0); got == breakerClosed {
+		t.Error("breaker still closed for a node consistently slower than the read deadline")
+	}
+	// With the slow node demoted, reads are fast again.
+	demoted, fails := meanGetLatency(f, keys, 100)
+	if fails != 0 || demoted > 50*time.Millisecond {
+		t.Errorf("post-demotion reads: mean %v, %d failures", demoted, fails)
+	}
+
+	// Clear the fault: the probe loop half-opens the breaker and real
+	// traffic closes it.
+	proxy.Clear()
+	if !waitBreakerClosed(f, 0, keys, 5*time.Second) {
+		t.Fatal("breaker never closed after the latency fault cleared")
+	}
+	checkValues(t, f, keys)
+}
+
+// waitBreakerClosed drives reads across the whole key space until the
+// probe loop has half-opened node's breaker and real traffic has closed
+// it. Sweeping every key matters: only keys whose replica group leads
+// with the node actually send it the confirming request.
+func waitBreakerClosed(f *Frontend, node, keys int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for i := 0; i < keys; i++ {
+			f.Get(testKeyName(i))
+		}
+		if f.health.state(node) == breakerClosed {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return f.health.state(node) == breakerClosed
+}
+
+// TestChaosTruncationNoCorruption cuts node 0's responses mid-frame:
+// the client must treat the torn frame as a transport failure and fail
+// over, and neither the frontend cache nor any read may ever surface a
+// corrupted value.
+func TestChaosTruncationNoCorruption(t *testing.T) {
+	checkGoroutineLeaks(t)
+	const keys = 24
+	backends := make([]*Backend, 0, 2)
+	addrs := make([]string, 0, 2)
+	for i := 0; i < 2; i++ {
+		b, addr, err := StartBackend(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		backends = append(backends, b)
+		addrs = append(addrs, addr)
+	}
+	seedStores(backends, keys)
+
+	proxy, err := faultnet.Start(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	addrs[0] = proxy.Addr()
+
+	f, err := NewFrontend(FrontendConfig{
+		BackendAddrs: addrs,
+		Replication:  2, PartitionSeed: 71,
+		Cache:  cache.NewLRU(keys),
+		Client: ClientConfig{MaxRetries: -1, ReadTimeout: 500 * time.Millisecond},
+		Health: HealthConfig{FailureThreshold: 3, ProbeInterval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Every new connection's response stream is cut 20 bytes in — mid
+	// frame for all of this test's values.
+	proxy.SetFaults(faultnet.Faults{TruncateAfterBytes: 20})
+	for round := 0; round < 2; round++ {
+		for i := 0; i < keys; i++ {
+			v, err := f.Get(testKeyName(i))
+			if err != nil {
+				t.Fatalf("round %d Get(%s) under truncation: %v", round, testKeyName(i), err)
+			}
+			if string(v) != string(chaosValue(i)) {
+				t.Fatalf("round %d Get(%s) = %q, want %q — truncated frame surfaced as data",
+					round, testKeyName(i), v, chaosValue(i))
+			}
+		}
+	}
+	// The second round was served from cache; the cache must hold only
+	// verified whole values.
+	if hits := f.Metrics().Counter("cache_hits_total").Value(); hits == 0 {
+		t.Error("no cache hits — the corruption check never exercised the cache path")
+	}
+	proxy.Clear()
+	checkValues(t, f, keys)
+}
+
+// TestChaosFlappingPartitionRecovery flaps node 0 between fully
+// partitioned (blackhole + connection rejection, existing flows
+// severed) and healthy, while a client reads continuously. No read may
+// fail — failover covers every fault window — and after the schedule
+// ends the breaker must close again.
+func TestChaosFlappingPartitionRecovery(t *testing.T) {
+	checkGoroutineLeaks(t)
+	const keys = 24
+	backends := make([]*Backend, 0, 3)
+	addrs := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		b, addr, err := StartBackend(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		backends = append(backends, b)
+		addrs = append(addrs, addr)
+	}
+	seedStores(backends, keys)
+
+	proxy, err := faultnet.Start(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	addrs[0] = proxy.Addr()
+
+	f, err := NewFrontend(FrontendConfig{
+		BackendAddrs: addrs,
+		Replication:  2, PartitionSeed: 13,
+		Client: ClientConfig{ReadTimeout: 100 * time.Millisecond, DialTimeout: 100 * time.Millisecond, MaxRetries: -1},
+		Health: HealthConfig{FailureThreshold: 2, ProbeInterval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	stop := make(chan struct{})
+	var reads, readErrs atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := f.Get(testKeyName(i % keys)); err != nil {
+				readErrs.Add(1)
+			}
+			reads.Add(1)
+		}
+	}()
+
+	down := faultnet.Faults{Blackhole: true, RejectConns: true}
+	proxy.RunSchedule([]faultnet.Step{
+		{Faults: down, Dur: 150 * time.Millisecond},
+		{Faults: faultnet.Faults{}, Dur: 150 * time.Millisecond},
+		{Faults: down, Dur: 150 * time.Millisecond},
+		{Faults: faultnet.Faults{}, Dur: 150 * time.Millisecond},
+		{Faults: down, Dur: 150 * time.Millisecond},
+	})
+	close(stop)
+	wg.Wait()
+
+	if reads.Load() == 0 {
+		t.Fatal("reader made no progress during the flap schedule")
+	}
+	if errs := readErrs.Load(); errs != 0 {
+		t.Errorf("%d/%d reads failed during flapping — failover left a gap", errs, reads.Load())
+	}
+
+	// RunSchedule cleared the faults; the probe readmits node 0.
+	if !waitBreakerClosed(f, 0, keys, 5*time.Second) {
+		t.Fatal("breaker never closed after the flap schedule ended")
+	}
+	checkValues(t, f, keys)
+	if reads.Load() < uint64(keys) {
+		t.Errorf("only %d reads during the whole schedule", reads.Load())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"securecache/internal/overload"
 	"securecache/internal/proto"
 )
 
@@ -55,6 +56,17 @@ type ClientConfig struct {
 	// and reused-conn retries). The frontend hooks its retries_total
 	// counter here.
 	OnRetry func()
+	// RetryBudget, when non-nil, caps budgeted retries as a fraction of
+	// successes: each retry spends one token, each success refills a
+	// fraction. Shared across clients it bounds a fleet's aggregate
+	// retry amplification — a retry storm against an overloaded cluster
+	// drains the budget and the storm stops. Reused-conn retries are
+	// exempt (they are bounded by the pool size and recover from benign
+	// idle drops, not from overload).
+	RetryBudget *overload.RetryBudget
+	// OnRetrySuppressed, when non-nil, is invoked each time the retry
+	// budget refuses a retry the MaxRetries policy would have allowed.
+	OnRetrySuppressed func()
 }
 
 func defDur(v, def time.Duration) time.Duration {
@@ -239,6 +251,11 @@ func (c *Client) Do(req *proto.Request) (*proto.Response, error) {
 	for attempt := 0; ; attempt++ {
 		resp, terr := c.try(req)
 		if terr == nil {
+			// A completed exchange (other than a shed) earns the retry
+			// budget back a fraction of a token.
+			if resp.Status != proto.StatusBusy {
+				c.cfg.RetryBudget.OnSuccess()
+			}
 			return resp, nil
 		}
 		if errors.Is(terr.err, net.ErrClosed) || isTimeout(terr.err) {
@@ -254,6 +271,16 @@ func (c *Client) Do(req *proto.Request) (*proto.Response, error) {
 		}
 		retryable := terr.stage == "dial" || isIdempotentOp(req.Op)
 		if !retryable || budget <= 0 {
+			return nil, terr.err
+		}
+		if !c.cfg.RetryBudget.Spend() {
+			// The fleet-wide retry budget is dry: surfacing the error
+			// now is what keeps a mass failure from amplifying into a
+			// retry storm (each caller still fails over across
+			// replicas; it just stops hammering this one).
+			if c.cfg.OnRetrySuppressed != nil {
+				c.cfg.OnRetrySuppressed()
+			}
 			return nil, terr.err
 		}
 		budget--
@@ -290,7 +317,13 @@ func (c *Client) backoff(attempt int) {
 // ErrNotFound reports a missing key.
 var ErrNotFound = fmt.Errorf("kvstore: key not found")
 
-// Get fetches key's value. It returns ErrNotFound for missing keys.
+// ErrBusy reports that the server shed the request under overload
+// control (StatusBusy on the wire). The node is alive — callers should
+// fail over to another replica, not open a circuit breaker against it.
+var ErrBusy = proto.ErrBusy
+
+// Get fetches key's value. It returns ErrNotFound for missing keys and
+// ErrBusy when the server shed the request.
 func (c *Client) Get(key string) ([]byte, error) {
 	resp, err := c.Do(&proto.Request{Op: proto.OpGet, Key: key})
 	if err != nil {

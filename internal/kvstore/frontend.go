@@ -16,6 +16,7 @@ import (
 	"securecache/internal/cache"
 	"securecache/internal/hashing"
 	"securecache/internal/metrics"
+	"securecache/internal/overload"
 	"securecache/internal/partition"
 	"securecache/internal/proto"
 )
@@ -65,6 +66,25 @@ type FrontendConfig struct {
 	// Health configures the per-backend circuit breaker (zero value =
 	// defaults; FailureThreshold < 0 disables gating).
 	Health HealthConfig
+	// Overload configures admission control for the frontend's OWN
+	// listener: excess client requests are shed with StatusBusy
+	// (shed_total) and excess connections closed at accept
+	// (busy_conns_rejected_total). The zero value disables gating.
+	Overload overload.Limits
+	// RetryBudgetMax caps the shared retry budget gating budgeted
+	// backend retries across all backends: each retry spends one token,
+	// each success refills RetryBudgetRatio. 0 = the overload package
+	// default (10); negative = no budget (seed behavior). Suppressed
+	// retries are counted in retry_budget_exhausted_total.
+	RetryBudgetMax float64
+	// RetryBudgetRatio is the per-success refill fraction (0 = default
+	// 0.1).
+	RetryBudgetRatio float64
+	// IdleTimeout drops client connections that sit between requests
+	// longer than this (0 = keep forever). The backend-side analogue is
+	// Backend.SetIdleTimeout; without this a slow-loris client pins a
+	// frontend goroutine per connection indefinitely.
+	IdleTimeout time.Duration
 }
 
 // Frontend is the paper's front end: it owns the cache and the secret
@@ -82,6 +102,14 @@ type Frontend struct {
 	health    *healthTracker
 	probeStop chan struct{}
 	probeWG   sync.WaitGroup
+
+	// Overload control for the frontend's own listener plus the shared
+	// retry budget for its backend clients.
+	gate        *overload.Gate
+	retryBudget *overload.RetryBudget
+	shedTotal   *metrics.Counter
+	connsShed   *metrics.Counter
+	idleTimeout atomic.Int64 // ns; 0 = no limit
 
 	cacheMu sync.Mutex // guards cfg.Cache (cache impls are not concurrent-safe)
 
@@ -120,6 +148,10 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	}
 	f.randState.Store(cfg.PartitionSeed ^ 0x9e3779b97f4a7c15)
 	f.health = newHealthTracker(n, cfg.Health, f.metrics)
+	f.gate = overload.NewGate(cfg.Overload)
+	f.shedTotal = f.metrics.Counter("shed_total")
+	f.connsShed = f.metrics.Counter("busy_conns_rejected_total")
+	f.idleTimeout.Store(int64(cfg.IdleTimeout))
 	ccfg := cfg.Client
 	retries := f.metrics.Counter("retries_total")
 	userOnRetry := ccfg.OnRetry
@@ -127,6 +159,20 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		retries.Inc()
 		if userOnRetry != nil {
 			userOnRetry()
+		}
+	}
+	// One retry budget shared by every backend client: overload is a
+	// cluster-level condition, so the damping must be cluster-level too.
+	if ccfg.RetryBudget == nil && cfg.RetryBudgetMax >= 0 {
+		ccfg.RetryBudget = overload.NewRetryBudget(cfg.RetryBudgetMax, cfg.RetryBudgetRatio)
+	}
+	f.retryBudget = ccfg.RetryBudget
+	suppressed := f.metrics.Counter("retry_budget_exhausted_total")
+	userOnSuppressed := ccfg.OnRetrySuppressed
+	ccfg.OnRetrySuppressed = func() {
+		suppressed.Inc()
+		if userOnSuppressed != nil {
+			userOnSuppressed()
 		}
 	}
 	for i, addr := range cfg.BackendAddrs {
@@ -162,6 +208,11 @@ func (f *Frontend) probeLoop() {
 // Metrics exposes the frontend's registry ("requests_total",
 // "cache_hits_total", "cache_misses_total", "backend_errors_total", ...).
 func (f *Frontend) Metrics() *metrics.Registry { return f.metrics }
+
+// SetIdleTimeout bounds how long a client connection may sit between
+// requests before the frontend drops it (0 = forever). Takes effect on
+// each connection's next read.
+func (f *Frontend) SetIdleTimeout(d time.Duration) { f.idleTimeout.Store(int64(d)) }
 
 // Group returns the replica group of a wire key (exposed for tests and
 // the livecluster example, which needs ground truth).
@@ -315,12 +366,26 @@ func (f *Frontend) fetchFromReplicas(key string) ([]byte, error) {
 			f.health.onSuccess(node)
 			return nil, ErrNotFound
 		default:
-			f.health.onFailure(node)
-			f.metrics.Counter("backend_errors_total").Inc()
+			f.noteBackendError(node, err)
 			lastErr = err
 		}
 	}
 	return nil, fmt.Errorf("kvstore: all replicas failed for %q: %w", key, lastErr)
+}
+
+// noteBackendError records a failed backend exchange. A StatusBusy shed
+// is a fail-over signal, NOT a breaker failure: the node is alive and
+// protecting itself, and tripping its breaker would take capacity away
+// exactly when the cluster is short of it — busy even counts as proof of
+// life. Transport failures feed the breaker as before.
+func (f *Frontend) noteBackendError(node int, err error) {
+	if errors.Is(err, ErrBusy) {
+		f.health.onSuccess(node)
+		f.metrics.Counter("backend_busy_total").Inc()
+		return
+	}
+	f.health.onFailure(node)
+	f.metrics.Counter("backend_errors_total").Inc()
 }
 
 // Set writes to every replica of the key's group (write-all). If any
@@ -331,13 +396,16 @@ func (f *Frontend) Set(key string, value []byte) error {
 	f.metrics.Counter("requests_total").Inc()
 	f.metrics.Counter("sets_total").Inc()
 	var failures []string
+	busies := 0
 	for _, node := range f.part.Group(KeyID(key)) {
 		f.inflight[node].Add(1)
 		err := f.backends[node].Set(key, value)
 		f.inflight[node].Add(-1)
 		if err != nil {
-			f.health.onFailure(node)
-			f.metrics.Counter("backend_errors_total").Inc()
+			f.noteBackendError(node, err)
+			if errors.Is(err, ErrBusy) {
+				busies++
+			}
 			failures = append(failures, fmt.Sprintf("node %d: %v", node, err))
 		} else {
 			f.health.onSuccess(node)
@@ -348,6 +416,11 @@ func (f *Frontend) Set(key string, value []byte) error {
 		// the old: serving the cached (old) value would contradict the
 		// replicas a subsequent read will reach. Drop it.
 		f.cacheRemove(key)
+		if busies == len(failures) {
+			// Every failure was a shed: keep the busy classification so
+			// callers back off instead of treating the node as broken.
+			return fmt.Errorf("kvstore: set %q: %s: %w", key, strings.Join(failures, "; "), ErrBusy)
+		}
 		return fmt.Errorf("kvstore: set %q: %s", key, strings.Join(failures, "; "))
 	}
 	// Refresh the cache only if the key is already cached — a write must
@@ -390,13 +463,13 @@ func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 		fetched, err := f.backends[node].MGet(batch)
 		f.inflight[node].Add(-int64(len(batch)))
 		if err != nil {
-			// Batch path failed (node down mid-flight): recover per key
-			// through the shared failover loop. Not through f.Get — the
-			// batch already counted requests_total and the per-key cache
-			// misses; re-entering the instrumented path would double
-			// them on exactly the counters secguard watches.
-			f.health.onFailure(node)
-			f.metrics.Counter("backend_errors_total").Inc()
+			// Batch path failed (node down mid-flight, or the node shed
+			// the batch): recover per key through the shared failover
+			// loop. Not through f.Get — the batch already counted
+			// requests_total and the per-key cache misses; re-entering
+			// the instrumented path would double them on exactly the
+			// counters secguard watches.
+			f.noteBackendError(node, err)
 			for _, i := range idxs {
 				v, gerr := f.fetchFromReplicas(keys[i])
 				switch {
@@ -427,16 +500,27 @@ func (f *Frontend) Del(key string) error {
 	f.metrics.Counter("dels_total").Inc()
 	f.cacheRemove(key)
 	var failures []string
+	busies := 0
 	for _, node := range f.part.Group(KeyID(key)) {
-		if err := f.backends[node].Del(key); err != nil {
-			f.health.onFailure(node)
-			f.metrics.Counter("backend_errors_total").Inc()
+		// Track inflight like Get/Set do: least-inflight selection that
+		// cannot see delete load under-counts busy nodes.
+		f.inflight[node].Add(1)
+		err := f.backends[node].Del(key)
+		f.inflight[node].Add(-1)
+		if err != nil {
+			f.noteBackendError(node, err)
+			if errors.Is(err, ErrBusy) {
+				busies++
+			}
 			failures = append(failures, fmt.Sprintf("node %d: %v", node, err))
 		} else {
 			f.health.onSuccess(node)
 		}
 	}
 	if len(failures) > 0 {
+		if busies == len(failures) {
+			return fmt.Errorf("kvstore: del %q: %s: %w", key, strings.Join(failures, "; "), ErrBusy)
+		}
 		return fmt.Errorf("kvstore: del %q: %s", key, strings.Join(failures, "; "))
 	}
 	return nil
@@ -463,39 +547,52 @@ func (f *Frontend) handle(req *proto.Request) *proto.Response {
 			return &proto.Response{Status: proto.StatusOK, Payload: v}
 		case errors.Is(err, ErrNotFound):
 			return &proto.Response{Status: proto.StatusNotFound}
+		case errors.Is(err, ErrBusy):
+			// Every replica shed: propagate busy so the client backs
+			// off instead of retrying into a saturated cluster.
+			return &proto.Response{Status: proto.StatusBusy}
 		default:
-			return errResponse(err)
+			return errResponse("frontend", req.Op, err)
 		}
 	case proto.OpSet:
 		if err := f.Set(req.Key, req.Value); err != nil {
-			return errResponse(err)
+			if errors.Is(err, ErrBusy) {
+				return &proto.Response{Status: proto.StatusBusy}
+			}
+			return errResponse("frontend", req.Op, err)
 		}
 		return &proto.Response{Status: proto.StatusOK}
 	case proto.OpDel:
 		if err := f.Del(req.Key); err != nil {
-			return errResponse(err)
+			if errors.Is(err, ErrBusy) {
+				return &proto.Response{Status: proto.StatusBusy}
+			}
+			return errResponse("frontend", req.Op, err)
 		}
 		return &proto.Response{Status: proto.StatusOK}
 	case proto.OpMGet:
 		results, err := f.MGet(req.Keys)
 		if err != nil {
-			return errResponse(err)
+			if errors.Is(err, ErrBusy) {
+				return &proto.Response{Status: proto.StatusBusy}
+			}
+			return errResponse("frontend", req.Op, err)
 		}
 		payload, err := proto.EncodeMGetPayload(results)
 		if err != nil {
-			return errResponse(err)
+			return errResponse("frontend", req.Op, err)
 		}
 		return &proto.Response{Status: proto.StatusOK, Payload: payload}
 	case proto.OpStats:
 		blob, err := f.metrics.Snapshot()
 		if err != nil {
-			return errResponse(err)
+			return errResponse("frontend", req.Op, err)
 		}
 		return &proto.Response{Status: proto.StatusOK, Payload: blob}
 	case proto.OpPing:
 		return &proto.Response{Status: proto.StatusOK}
 	default:
-		return errResponse(fmt.Errorf("unsupported op %s", req.Op))
+		return errResponse("frontend", req.Op, errors.New("unsupported op"))
 	}
 }
 
@@ -513,10 +610,19 @@ func (f *Frontend) Serve(l net.Listener) error {
 		if err != nil {
 			return err
 		}
+		// The frontend applies the same connection cap as backends: a
+		// connection flood is shed at accept, before it can pin a
+		// goroutine.
+		if !f.gate.AdmitConn() {
+			f.connsShed.Inc()
+			conn.Close()
+			continue
+		}
 		f.mu.Lock()
 		if f.closed {
 			f.mu.Unlock()
 			conn.Close()
+			f.gate.ReleaseConn()
 			return net.ErrClosed
 		}
 		f.conns[conn] = true
@@ -532,22 +638,50 @@ func (f *Frontend) serveConn(conn net.Conn) {
 		f.mu.Lock()
 		delete(f.conns, conn)
 		f.mu.Unlock()
+		f.gate.ReleaseConn()
 		f.wg.Done()
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		// Idle/read deadline: without it a slow-loris client (connect,
+		// send nothing) holds this goroutine and connection forever —
+		// the backend has had this guard since PR 1; the frontend is
+		// the more exposed listener.
+		if d := time.Duration(f.idleTimeout.Load()); d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
 		req, err := proto.ReadRequest(r)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !isTimeout(err) {
 				log.Printf("kvstore: frontend read: %v", err)
 			}
 			return
 		}
-		if err := proto.WriteResponse(w, f.handle(req)); err != nil {
-			return
+		// Admission control mirrors the backend: Ping/Stats bypass the
+		// gate, everything else is shed with StatusBusy when the
+		// frontend itself is past its limits. The slot is held until
+		// the response is flushed.
+		var resp *proto.Response
+		holding := false
+		switch {
+		case req.Op == proto.OpPing || req.Op == proto.OpStats:
+			resp = f.handle(req)
+		case f.gate.Admit():
+			holding = true
+			resp = f.handle(req)
+		default:
+			f.shedTotal.Inc()
+			resp = &proto.Response{Status: proto.StatusBusy}
 		}
-		if err := w.Flush(); err != nil {
+		err = proto.WriteResponse(w, resp)
+		if err == nil {
+			err = w.Flush()
+		}
+		if holding {
+			f.gate.Release()
+		}
+		if err != nil {
 			return
 		}
 	}

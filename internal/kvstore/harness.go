@@ -2,8 +2,10 @@ package kvstore
 
 import (
 	"fmt"
+	"time"
 
 	"securecache/internal/cache"
+	"securecache/internal/overload"
 )
 
 // LocalCluster is an in-process deployment of the full architecture on
@@ -34,6 +36,19 @@ type LocalConfig struct {
 	// Health configures the frontend's per-backend circuit breaker
 	// (zero value = defaults).
 	Health HealthConfig
+	// BackendLimits applies server-side overload control to every
+	// backend (zero value = unlimited).
+	BackendLimits overload.Limits
+	// FrontendLimits applies admission control to the frontend's own
+	// listener (zero value = unlimited).
+	FrontendLimits overload.Limits
+	// RetryBudgetMax / RetryBudgetRatio configure the frontend's shared
+	// retry budget (0 = defaults, RetryBudgetMax < 0 = no budget).
+	RetryBudgetMax   float64
+	RetryBudgetRatio float64
+	// FrontendIdleTimeout drops idle frontend client connections
+	// (0 = keep forever).
+	FrontendIdleTimeout time.Duration
 }
 
 // StartLocalCluster boots the backends and frontend on ephemeral loopback
@@ -44,7 +59,7 @@ func StartLocalCluster(cfg LocalConfig) (*LocalCluster, error) {
 	}
 	lc := &LocalCluster{}
 	for i := 0; i < cfg.Nodes; i++ {
-		b, addr, err := StartBackend(i, "127.0.0.1:0")
+		b, addr, err := StartBackendWithLimits(i, "127.0.0.1:0", cfg.BackendLimits)
 		if err != nil {
 			lc.Close()
 			return nil, err
@@ -53,13 +68,17 @@ func StartLocalCluster(cfg LocalConfig) (*LocalCluster, error) {
 		lc.BackendAddrs = append(lc.BackendAddrs, addr)
 	}
 	f, addr, err := StartFrontend(FrontendConfig{
-		BackendAddrs:  lc.BackendAddrs,
-		Replication:   cfg.Replication,
-		PartitionSeed: cfg.PartitionSeed,
-		Cache:         cfg.Cache,
-		Selection:     cfg.Selection,
-		Client:        cfg.Client,
-		Health:        cfg.Health,
+		BackendAddrs:     lc.BackendAddrs,
+		Replication:      cfg.Replication,
+		PartitionSeed:    cfg.PartitionSeed,
+		Cache:            cfg.Cache,
+		Selection:        cfg.Selection,
+		Client:           cfg.Client,
+		Health:           cfg.Health,
+		Overload:         cfg.FrontendLimits,
+		RetryBudgetMax:   cfg.RetryBudgetMax,
+		RetryBudgetRatio: cfg.RetryBudgetRatio,
+		IdleTimeout:      cfg.FrontendIdleTimeout,
 	}, "127.0.0.1:0")
 	if err != nil {
 		lc.Close()
@@ -76,6 +95,16 @@ func (lc *LocalCluster) BackendRequestCounts() []uint64 {
 	counts := make([]uint64, len(lc.Backends))
 	for i, b := range lc.Backends {
 		counts[i] = b.Metrics().Counter("requests_total").Value()
+	}
+	return counts
+}
+
+// BackendShedCounts returns each backend's shed_total counter — how
+// many requests its overload gate answered with StatusBusy.
+func (lc *LocalCluster) BackendShedCounts() []uint64 {
+	counts := make([]uint64, len(lc.Backends))
+	for i, b := range lc.Backends {
+		counts[i] = b.Metrics().Counter("shed_total").Value()
 	}
 	return counts
 }

@@ -1,0 +1,211 @@
+package overload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurstThenRate(t *testing.T) {
+	tb := NewTokenBucket(10, 5) // 10/s sustained, burst 5
+	admitted := 0
+	for i := 0; i < 20; i++ {
+		if tb.Allow() {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("burst admitted %d, want 5", admitted)
+	}
+	// ~10/s: after 150ms at least one token has accrued.
+	time.Sleep(150 * time.Millisecond)
+	if !tb.Allow() {
+		t.Fatal("bucket did not refill at the sustained rate")
+	}
+}
+
+func TestTokenBucketNilAndDisabled(t *testing.T) {
+	var tb *TokenBucket
+	if !tb.Allow() {
+		t.Fatal("nil bucket must admit")
+	}
+	if NewTokenBucket(0, 5) != nil || NewTokenBucket(-1, 5) != nil {
+		t.Fatal("rate <= 0 must build a nil (unlimited) bucket")
+	}
+}
+
+func TestSemaphoreBoundsAndWait(t *testing.T) {
+	s := NewSemaphore(2)
+	if !s.TryAcquire(0) || !s.TryAcquire(0) {
+		t.Fatal("first two acquisitions must succeed")
+	}
+	if s.TryAcquire(0) {
+		t.Fatal("third immediate acquisition must fail")
+	}
+	if got := s.Inflight(); got != 2 {
+		t.Fatalf("Inflight = %d, want 2", got)
+	}
+	// A waiter succeeds when a slot frees within its wait.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		s.Release()
+	}()
+	if !s.TryAcquire(500 * time.Millisecond) {
+		t.Fatal("waiter did not get the freed slot")
+	}
+	// And times out when nothing frees.
+	start := time.Now()
+	if s.TryAcquire(30 * time.Millisecond) {
+		t.Fatal("acquisition succeeded with no free slot")
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("TryAcquire returned before its wait elapsed")
+	}
+}
+
+func TestGateNilAndDisabled(t *testing.T) {
+	var g *Gate
+	if !g.Admit() || !g.AdmitConn() {
+		t.Fatal("nil gate must admit")
+	}
+	g.Release()
+	g.ReleaseConn()
+	if NewGate(Limits{}) != nil {
+		t.Fatal("zero Limits must build a nil gate")
+	}
+	if (Limits{}).Enabled() {
+		t.Fatal("zero Limits reports Enabled")
+	}
+	if !(Limits{MaxInflight: 1}).Enabled() {
+		t.Fatal("MaxInflight alone must enable the gate")
+	}
+}
+
+func TestGateMaxConns(t *testing.T) {
+	g := NewGate(Limits{MaxConns: 2})
+	if !g.AdmitConn() || !g.AdmitConn() {
+		t.Fatal("conn slots under the cap must admit")
+	}
+	if g.AdmitConn() {
+		t.Fatal("conn over the cap admitted")
+	}
+	g.ReleaseConn()
+	if !g.AdmitConn() {
+		t.Fatal("freed conn slot not reusable")
+	}
+}
+
+func TestGateInflightShedsConcurrently(t *testing.T) {
+	g := NewGate(Limits{MaxInflight: 4, AdmissionWait: -1})
+	var mu sync.Mutex
+	admitted, shed := 0, 0
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if g.Admit() {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+				<-release
+				g.Release()
+			} else {
+				mu.Lock()
+				shed++
+				mu.Unlock()
+			}
+		}()
+	}
+	// Wait until the gate saturates, then let the holders go.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Inflight() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if admitted < 4 || admitted+shed != 32 {
+		t.Fatalf("admitted %d, shed %d", admitted, shed)
+	}
+	if shed == 0 {
+		t.Fatal("no request was shed past MaxInflight")
+	}
+	if g.Inflight() != 0 {
+		t.Fatalf("Inflight after release = %d", g.Inflight())
+	}
+}
+
+func TestGateRateLimitSheds(t *testing.T) {
+	g := NewGate(Limits{RateLimit: 5, RateBurst: 2})
+	admitted := 0
+	for i := 0; i < 50; i++ {
+		if g.Admit() {
+			g.Release()
+			admitted++
+		}
+	}
+	// Burst 2 plus whatever trickled in during the loop; far below 50.
+	if admitted < 2 || admitted > 10 {
+		t.Fatalf("rate-limited gate admitted %d of 50", admitted)
+	}
+}
+
+func TestRetryBudgetDrainsAndRefills(t *testing.T) {
+	b := NewRetryBudget(3, 0.5)
+	for i := 0; i < 3; i++ {
+		if !b.Spend() {
+			t.Fatalf("spend %d refused with a full budget", i)
+		}
+	}
+	if b.Spend() {
+		t.Fatal("spend succeeded on an empty budget")
+	}
+	if got := b.Exhausted(); got != 1 {
+		t.Fatalf("Exhausted = %d, want 1", got)
+	}
+	// Two successes refill one whole token.
+	b.OnSuccess()
+	b.OnSuccess()
+	if !b.Spend() {
+		t.Fatal("refilled budget refused a retry")
+	}
+	// Refill is capped at max.
+	for i := 0; i < 100; i++ {
+		b.OnSuccess()
+	}
+	if got := b.Tokens(); got != 3 {
+		t.Fatalf("Tokens after saturation = %v, want 3", got)
+	}
+}
+
+func TestRetryBudgetNilAndDefaults(t *testing.T) {
+	var b *RetryBudget
+	if !b.Spend() {
+		t.Fatal("nil budget must allow retries")
+	}
+	b.OnSuccess()
+	if b.Exhausted() != 0 {
+		t.Fatal("nil budget counted an exhaustion")
+	}
+	if NewRetryBudget(-1, 0) != nil {
+		t.Fatal("max < 0 must build a nil (unlimited) budget")
+	}
+	d := NewRetryBudget(0, 0)
+	if d.max != DefaultRetryBudgetMax || d.ratio != DefaultRetryBudgetRatio {
+		t.Fatalf("defaults = max %v ratio %v", d.max, d.ratio)
+	}
+}
+
+func TestLimitsWithDefaults(t *testing.T) {
+	l := Limits{RateLimit: 0.5, MaxInflight: 1}.withDefaults()
+	if l.RateBurst != 1 {
+		t.Fatalf("sub-1 rate burst = %v, want 1", l.RateBurst)
+	}
+	if l.AdmissionWait != DefaultAdmissionWait {
+		t.Fatalf("AdmissionWait = %v, want default", l.AdmissionWait)
+	}
+	if w := (Limits{MaxInflight: 1, AdmissionWait: -1}).withDefaults().AdmissionWait; w != 0 {
+		t.Fatalf("negative AdmissionWait resolved to %v, want 0", w)
+	}
+}

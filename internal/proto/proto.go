@@ -14,7 +14,7 @@
 //
 // Response body:
 //
-//	byte    status (StatusOK, StatusNotFound, StatusError)
+//	byte    status (StatusOK, StatusNotFound, StatusError, StatusBusy)
 //	uint32  payload length, then payload bytes
 //	        (the value for GET, JSON metrics for STATS, the error
 //	        message for StatusError)
@@ -77,6 +77,12 @@ const (
 	StatusOK Status = iota + 1
 	StatusNotFound
 	StatusError
+	// StatusBusy means the server shed the request under overload
+	// control: it is alive and healthy but refuses to queue more work.
+	// Clients should fail over to another replica (or back off) rather
+	// than treat the node as failed — a shedding node must not trip
+	// circuit breakers.
+	StatusBusy
 )
 
 // String names the status.
@@ -88,12 +94,14 @@ func (s Status) String() string {
 		return "NOT_FOUND"
 	case StatusError:
 		return "ERROR"
+	case StatusBusy:
+		return "BUSY"
 	default:
 		return fmt.Sprintf("Status(%d)", byte(s))
 	}
 }
 
-func (s Status) valid() bool { return s >= StatusOK && s <= StatusError }
+func (s Status) valid() bool { return s >= StatusOK && s <= StatusBusy }
 
 // Size limits. Oversized frames are rejected before allocation.
 const (
@@ -106,6 +114,10 @@ const (
 var (
 	ErrFrameTooLarge = errors.New("proto: frame exceeds size limit")
 	ErrMalformed     = errors.New("proto: malformed message")
+	// ErrBusy is returned for StatusBusy responses: the server shed the
+	// request under overload control. Retrying the same node immediately
+	// only feeds the overload; fail over or back off instead.
+	ErrBusy = errors.New("proto: server busy, request shed")
 )
 
 // Request is a client -> server message. Key/Value apply to the
@@ -124,12 +136,17 @@ type Response struct {
 	Payload []byte
 }
 
-// Err returns the response's error, or nil unless StatusError.
+// Err returns the response's error: ErrBusy for StatusBusy, the remote
+// message for StatusError, nil otherwise.
 func (r *Response) Err() error {
-	if r.Status != StatusError {
+	switch r.Status {
+	case StatusBusy:
+		return ErrBusy
+	case StatusError:
+		return fmt.Errorf("proto: remote error: %s", r.Payload)
+	default:
 		return nil
 	}
-	return fmt.Errorf("proto: remote error: %s", r.Payload)
 }
 
 // AppendRequest encodes req into dst (after the 4-byte frame prefix) and
