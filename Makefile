@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet race chaos bench
+.PHONY: all build test verify vet race chaos bench fuzz
 
 all: verify
 
@@ -33,3 +33,14 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Fuzz smoke: a short budget per wire-format fuzz target. `go test -fuzz`
+# accepts exactly one matching target per invocation, so each target gets
+# its own anchored run.
+FUZZTIME ?= 20s
+
+fuzz:
+	$(GO) test -fuzz='^FuzzReadRequest$$' -fuzztime=$(FUZZTIME) ./internal/proto/
+	$(GO) test -fuzz='^FuzzReadResponse$$' -fuzztime=$(FUZZTIME) ./internal/proto/
+	$(GO) test -fuzz='^FuzzScanPayload$$' -fuzztime=$(FUZZTIME) ./internal/proto/
+	$(GO) test -fuzz='^FuzzRead$$' -fuzztime=$(FUZZTIME) ./internal/trace/

@@ -127,11 +127,14 @@ func main() {
 		l.Addr(), len(addrs), *repl, *cacheKind, size)
 
 	if *admin != "" {
-		adminSrv, adminAddr, err := kvstore.StartAdmin(*admin, front.Metrics(), map[string]interface{}{
+		// StartAdminWith mounts the rotation control verbs (POST /rotate,
+		// GET /rotation) next to the scrape surface — bind -admin to
+		// loopback or an internal interface only.
+		adminSrv, adminAddr, err := kvstore.StartAdminWith(*admin, front.Metrics(), map[string]interface{}{
 			"role": "frontend", "addr": l.Addr().String(),
 			"backends": addrs, "replication": *repl,
 			"cache": *cacheKind, "cache_size": size,
-		})
+		}, front.AdminHandlers())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kvfront:", err)
 			os.Exit(2)

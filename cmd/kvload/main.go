@@ -61,11 +61,12 @@ func main() {
 
 	before := backendCounts(splitNonEmpty(*backends))
 
+	quantiles := []float64{0.50, 0.95, 0.99}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		lat      stats.Summary
-		p99      = stats.NewP2Quantile(0.99)
+		merged   = newQuantileSet(quantiles)
 		errCount int
 		shed     int
 		perWork  = (len(keys) + *workers - 1) / *workers
@@ -86,7 +87,7 @@ func main() {
 			client := kvstore.NewClientWithConfig(*frontend, clientCfg)
 			defer client.Close()
 			var local stats.Summary
-			localP99 := stats.NewP2Quantile(0.99)
+			localQ := newQuantileSet(quantiles)
 			localErrs, localShed := 0, 0
 			step := *batch
 			if step < 1 {
@@ -121,13 +122,11 @@ func main() {
 				}
 				// Record one latency sample per request (batched or not).
 				local.Add(us)
-				localP99.Add(us)
+				localQ.add(us)
 			}
 			mu.Lock()
 			lat.Merge(local)
-			if localP99.N() > 0 {
-				p99.Add(localP99.Value()) // approximate merge: p99 of worker p99s
-			}
+			merged.mergeWorker(localQ)
 			errCount += localErrs
 			shed += localShed
 			mu.Unlock()
@@ -143,7 +142,8 @@ func main() {
 	fmt.Printf("sent ~%.0f queries in %d requests over %v (%.0f qps, %d workers, batch %d, %d errors, %d shed)\n",
 		queriesSent, lat.N(), elapsed.Round(time.Millisecond),
 		queriesSent/elapsed.Seconds(), *workers, *batch, errCount, shed)
-	fmt.Printf("per-request latency: mean %.0fµs  p99≈%.0fµs  max %.0fµs\n", lat.Mean(), p99.Value(), lat.Max())
+	fmt.Printf("per-request latency: mean %.0fµs  p50≈%.0fµs  p95≈%.0fµs  p99≈%.0fµs  max %.0fµs\n",
+		lat.Mean(), merged.value(0.50), merged.value(0.95), merged.value(0.99), lat.Max())
 
 	// The frontend's STATS snapshot carries the resilience counters; show
 	// them whenever any failover machinery fired during the run.
@@ -187,6 +187,47 @@ func main() {
 			fmt.Println("backends saw no traffic (cache absorbed the attack)")
 		}
 	}
+}
+
+// quantileSet tracks several latency quantiles with one P² estimator
+// each (constant memory, no sample buffer). Workers keep a local set;
+// the run merges them by feeding each worker's estimate into the global
+// estimator — the "quantile of worker quantiles" approximation, same as
+// the original single-p99 report.
+type quantileSet struct {
+	qs  []float64
+	est []*stats.P2Quantile
+}
+
+func newQuantileSet(qs []float64) *quantileSet {
+	s := &quantileSet{qs: qs, est: make([]*stats.P2Quantile, len(qs))}
+	for i, q := range qs {
+		s.est[i] = stats.NewP2Quantile(q)
+	}
+	return s
+}
+
+func (s *quantileSet) add(v float64) {
+	for _, e := range s.est {
+		e.Add(v)
+	}
+}
+
+func (s *quantileSet) mergeWorker(w *quantileSet) {
+	for i, e := range w.est {
+		if e.N() > 0 {
+			s.est[i].Add(e.Value())
+		}
+	}
+}
+
+func (s *quantileSet) value(q float64) float64 {
+	for i, have := range s.qs {
+		if have == q {
+			return s.est[i].Value()
+		}
+	}
+	return 0
 }
 
 func buildKeys(tracePath, kind string, m, x int, zipfS float64, queries int, seed uint64) ([]int, error) {

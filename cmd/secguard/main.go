@@ -4,10 +4,17 @@
 // printing a verdict per window and the provisioning recommendation when
 // the cluster is configured below the paper's threshold.
 //
+// With -respond it closes the loop: when the detector holds at the
+// trigger verdict for enough consecutive windows, secguard POSTs the
+// frontend admin's /rotate verb and the cluster re-keys its partition
+// mapping live, invalidating whatever the attacker learned.
+//
 // Usage:
 //
 //	secguard -admins 127.0.0.1:8001,127.0.0.1:8002,127.0.0.1:8003 \
 //	         -d 3 -m 100000 -c 16 -interval 5s -windows 12
+//	secguard -admins ... -respond 127.0.0.1:8000 -respond-windows 2 \
+//	         -respond-cooldown 5m
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 
 	"securecache/internal/core"
 	"securecache/internal/guard"
+	"securecache/internal/rotation"
 )
 
 func main() {
@@ -35,6 +43,11 @@ func main() {
 		windows  = flag.Int("windows", 0, "number of windows to observe (0 = forever)")
 		alert    = flag.Float64("alert", 1.2, "normalized max load alert level")
 		critical = flag.Float64("critical", 2.0, "normalized max load critical level")
+
+		respond         = flag.String("respond", "", "frontend admin address: POST /rotate when the trigger verdict holds (empty = monitor only)")
+		respondTrigger  = flag.String("respond-trigger", "critical", "verdict that counts toward firing: critical | skewed")
+		respondWindows  = flag.Int("respond-windows", 2, "consecutive triggering windows before rotating")
+		respondCooldown = flag.Duration("respond-cooldown", 5*time.Minute, "minimum spacing between triggered rotations")
 	)
 	flag.Parse()
 
@@ -61,6 +74,30 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: 3 * time.Second}
+
+	var responder *rotation.Responder
+	if *respond != "" {
+		trigger := guard.VerdictCritical
+		switch *respondTrigger {
+		case "critical":
+		case "skewed":
+			trigger = guard.VerdictSkewed
+		default:
+			fmt.Fprintf(os.Stderr, "secguard: unknown -respond-trigger %q\n", *respondTrigger)
+			os.Exit(2)
+		}
+		responder, err = rotation.NewResponder(rotation.ResponderConfig{
+			Trigger:  trigger,
+			Windows:  *respondWindows,
+			Cooldown: *respondCooldown,
+			Rotate:   func() error { return triggerRotate(client, *respond) },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secguard:", err)
+			os.Exit(2)
+		}
+	}
+
 	prev, err := pollAll(client, addrs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "secguard:", err)
@@ -88,7 +125,44 @@ func main() {
 			continue
 		}
 		fmt.Printf("[%s] %s\n", time.Now().Format(time.TimeOnly), obs)
+		if responder != nil {
+			fired, rerr := responder.Observe(obs)
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, "secguard: rotate:", rerr)
+			} else if fired {
+				fmt.Printf("[%s] rotation triggered (total %d)\n",
+					time.Now().Format(time.TimeOnly), responder.Fired())
+			}
+		}
 	}
+}
+
+// triggerRotate POSTs the frontend admin's /rotate verb (no seed: the
+// frontend draws its own) and logs the reported epoch and expected
+// migration volume.
+func triggerRotate(client *http.Client, admin string) error {
+	resp, err := client.Post("http://"+admin+"/rotate", "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("rotate: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var report struct {
+		Epoch                 uint32  `json:"epoch"`
+		ExpectedMovedFraction float64 `json:"expected_moved_fraction"`
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		return fmt.Errorf("rotate: bad report: %w", err)
+	}
+	fmt.Printf("secguard: rotation started: epoch %d, ~%.0f%% of keys will move\n",
+		report.Epoch, 100*report.ExpectedMovedFraction)
+	return nil
 }
 
 // pollAll fetches requests_total from every admin endpoint.

@@ -1,0 +1,268 @@
+// Command secrotate is the operator tool for live mapping rotation.
+//
+// Remote mode triggers (and optionally watches) a rotation on a running
+// frontend through its admin surface:
+//
+//	secrotate -admin 127.0.0.1:8000            # rotate to a fresh random seed
+//	secrotate -admin 127.0.0.1:8000 -wait      # ...and block until it commits
+//	secrotate -admin 127.0.0.1:8000 -status    # just print rotation status
+//
+// Local mode benchmarks the rotation machinery on an in-process cluster
+// and reports migration throughput and the read-latency cost of the
+// dual-epoch window — the baseline EXPERIMENTS.md records:
+//
+//	secrotate -local -n 8 -d 3 -m 5000 -json BENCH_rotation.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"securecache/internal/kvstore"
+	"securecache/internal/stats"
+	"securecache/internal/workload"
+)
+
+func main() {
+	var (
+		admin  = flag.String("admin", "", "frontend admin address (remote mode)")
+		seed   = flag.String("seed", "", "explicit new partition seed (default: frontend draws a random one)")
+		wait   = flag.Bool("wait", false, "block until the triggered rotation commits")
+		status = flag.Bool("status", false, "print rotation status instead of rotating")
+
+		local    = flag.Bool("local", false, "benchmark rotation on an in-process cluster")
+		n        = flag.Int("n", 8, "local: number of backends")
+		d        = flag.Int("d", 3, "local: replication factor")
+		m        = flag.Int("m", 5000, "local: number of keys")
+		rate     = flag.Float64("rate", -1, "local: migration rate limit in keys/sec (negative = unlimited)")
+		jsonPath = flag.String("json", "", "local: also write the bench report to this file")
+	)
+	flag.Parse()
+
+	switch {
+	case *local:
+		report, err := runLocalBench(localBenchConfig{
+			Nodes: *n, Replication: *d, Keys: *m, Rate: *rate,
+		}, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonPath != "" {
+			blob, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+	case *admin != "":
+		client := &http.Client{Timeout: 5 * time.Second}
+		if *status {
+			st, err := fetchStatus(client, *admin)
+			if err != nil {
+				fatal(err)
+			}
+			printStatus(st)
+			return
+		}
+		if err := rotateRemote(client, *admin, *seed, *wait); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "secrotate: need -admin (remote) or -local (bench); see -h")
+		os.Exit(2)
+	}
+}
+
+// rotateRemote POSTs /rotate and, with wait, polls /rotation until the
+// migration commits.
+func rotateRemote(client *http.Client, admin, seed string, wait bool) error {
+	url := "http://" + admin + "/rotate"
+	if seed != "" {
+		url += "?seed=" + seed
+	}
+	resp, err := client.Post(url, "", nil)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("rotate: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var report kvstore.RotationReport
+	if err := json.Unmarshal(body, &report); err != nil {
+		return fmt.Errorf("rotate: bad report: %w", err)
+	}
+	fmt.Printf("rotation started: epoch %d, ~%.0f%% of keys expected to move\n",
+		report.Epoch, 100*report.ExpectedMovedFraction)
+	if !wait {
+		return nil
+	}
+	for {
+		time.Sleep(200 * time.Millisecond)
+		st, err := fetchStatus(client, admin)
+		if err != nil {
+			return err
+		}
+		if !st.Rotating && st.Epoch >= report.Epoch {
+			fmt.Printf("rotation committed: epoch %d, %d keys migrated\n", st.Epoch, st.Moved)
+			return nil
+		}
+		fmt.Printf("  migrating... %d keys moved\n", st.Moved)
+	}
+}
+
+func fetchStatus(client *http.Client, admin string) (kvstore.RotationStatus, error) {
+	var st kvstore.RotationStatus
+	resp, err := client.Get("http://" + admin + "/rotation")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("rotation status: status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st)
+	return st, err
+}
+
+func printStatus(st kvstore.RotationStatus) {
+	state := "idle"
+	if st.Rotating {
+		state = "rotating"
+	}
+	fmt.Printf("epoch %d (%s): %d keys moved, %d rotations completed\n",
+		st.Epoch, state, st.Moved, st.Completed)
+}
+
+// localBenchConfig parameterizes runLocalBench.
+type localBenchConfig struct {
+	Nodes       int
+	Replication int
+	Keys        int
+	// Rate limits migration moves/sec (negative = unlimited — measures the
+	// machinery's raw throughput rather than the limiter).
+	Rate float64
+}
+
+// benchReport is the recorded baseline: migration throughput plus what
+// the dual-epoch read window costs a concurrent reader.
+type benchReport struct {
+	Nodes             int     `json:"nodes"`
+	Replication       int     `json:"replication"`
+	Keys              int     `json:"keys"`
+	Moved             uint64  `json:"keys_moved"`
+	MigrationSeconds  float64 `json:"migration_seconds"`
+	KeysPerSecond     float64 `json:"keys_per_second"`
+	BaselineReadMean  float64 `json:"baseline_read_micros_mean"`
+	BaselineReadP99   float64 `json:"baseline_read_micros_p99"`
+	RotationReadMean  float64 `json:"rotation_read_micros_mean"`
+	RotationReadP99   float64 `json:"rotation_read_micros_p99"`
+	AddedReadMean     float64 `json:"added_read_micros_mean"`
+	RotationReadCount int64   `json:"rotation_read_count"`
+}
+
+// runLocalBench boots a cluster, loads the key space, measures steady-state
+// read latency, then rotates the mapping while a reader keeps hammering the
+// keys — recording how fast keys migrate and how much the dual-epoch window
+// adds to reads. Progress goes to w.
+func runLocalBench(cfg localBenchConfig, w io.Writer) (benchReport, error) {
+	report := benchReport{Nodes: cfg.Nodes, Replication: cfg.Replication, Keys: cfg.Keys}
+	lc, err := kvstore.StartLocalCluster(kvstore.LocalConfig{
+		Nodes:         cfg.Nodes,
+		Replication:   cfg.Replication,
+		PartitionSeed: 0x5EED0001,
+		Rotation:      kvstore.RotationConfig{Rate: cfg.Rate},
+	})
+	if err != nil {
+		return report, err
+	}
+	defer lc.Close()
+	front := lc.Frontend
+
+	fmt.Fprintf(w, "loading %d keys into %d nodes (d=%d)...\n", cfg.Keys, cfg.Nodes, cfg.Replication)
+	for k := 0; k < cfg.Keys; k++ {
+		if err := front.Set(workload.KeyName(k), []byte("payload")); err != nil {
+			return report, fmt.Errorf("preload key %d: %w", k, err)
+		}
+	}
+
+	// Steady-state read latency: one uniform pass over the key space.
+	base, baseP99 := measureReads(front, cfg.Keys, cfg.Keys)
+	report.BaselineReadMean = base.Mean()
+	report.BaselineReadP99 = baseP99.Value()
+	fmt.Fprintf(w, "baseline reads: mean %.0fµs p99≈%.0fµs\n", report.BaselineReadMean, report.BaselineReadP99)
+
+	// Rotate and keep reading until the migration commits; every read in
+	// this window pays whatever the dual-epoch path costs.
+	start := time.Now()
+	if _, err := front.Rotate(0xD00D5EED); err != nil {
+		return report, err
+	}
+	var (
+		rot    stats.Summary
+		rotP99 = stats.NewP2Quantile(0.99)
+		gen    = workload.NewGenerator(workload.NewUniform(cfg.Keys, cfg.Keys), 7)
+	)
+	for front.RotationStatus().Rotating {
+		key := workload.KeyName(gen.Next())
+		t0 := time.Now()
+		if _, err := front.Get(key); err != nil {
+			return report, fmt.Errorf("read during rotation: %w", err)
+		}
+		us := float64(time.Since(t0).Microseconds())
+		rot.Add(us)
+		rotP99.Add(us)
+	}
+	elapsed := time.Since(start)
+
+	st := front.RotationStatus()
+	report.Moved = st.Moved
+	report.MigrationSeconds = elapsed.Seconds()
+	if elapsed > 0 {
+		report.KeysPerSecond = float64(st.Moved) / elapsed.Seconds()
+	}
+	report.RotationReadMean = rot.Mean()
+	report.RotationReadP99 = rotP99.Value()
+	report.AddedReadMean = rot.Mean() - base.Mean()
+	report.RotationReadCount = rot.N()
+
+	fmt.Fprintf(w, "rotation committed in %v: %d keys migrated (%.0f keys/sec)\n",
+		elapsed.Round(time.Millisecond), st.Moved, report.KeysPerSecond)
+	fmt.Fprintf(w, "reads during rotation: mean %.0fµs p99≈%.0fµs (added mean %.0fµs over %d reads)\n",
+		report.RotationReadMean, report.RotationReadP99, report.AddedReadMean, report.RotationReadCount)
+	return report, nil
+}
+
+// measureReads runs count uniform reads over keys keys and returns the
+// latency summary plus a p99 estimate.
+func measureReads(front *kvstore.Frontend, keys, count int) (stats.Summary, *stats.P2Quantile) {
+	var sum stats.Summary
+	p99 := stats.NewP2Quantile(0.99)
+	gen := workload.NewGenerator(workload.NewUniform(keys, keys), 3)
+	for i := 0; i < count; i++ {
+		t0 := time.Now()
+		front.Get(workload.KeyName(gen.Next()))
+		us := float64(time.Since(t0).Microseconds())
+		sum.Add(us)
+		p99.Add(us)
+	}
+	return sum, p99
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "secrotate:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestLocalBench runs the bench end-to-end on a tiny cluster and checks
+// the report is internally consistent: the rotation commits, keys
+// actually migrate, and the latency fields are populated.
+func TestLocalBench(t *testing.T) {
+	report, err := runLocalBench(localBenchConfig{
+		Nodes:       4,
+		Replication: 2,
+		Keys:        200,
+		Rate:        -1,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Moved == 0 {
+		t.Fatal("no keys migrated")
+	}
+	if report.Moved > uint64(report.Keys) {
+		t.Fatalf("moved %d keys out of %d", report.Moved, report.Keys)
+	}
+	if report.KeysPerSecond <= 0 {
+		t.Fatalf("keys_per_second = %v", report.KeysPerSecond)
+	}
+	if report.MigrationSeconds <= 0 {
+		t.Fatalf("migration_seconds = %v", report.MigrationSeconds)
+	}
+	if report.BaselineReadMean <= 0 {
+		t.Fatalf("baseline_read_micros_mean = %v", report.BaselineReadMean)
+	}
+	if report.RotationReadCount > 0 && report.RotationReadMean <= 0 {
+		t.Fatalf("rotation_read_micros_mean = %v with %d reads",
+			report.RotationReadMean, report.RotationReadCount)
+	}
+}

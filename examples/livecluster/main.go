@@ -15,8 +15,10 @@ import (
 	"time"
 
 	"securecache/internal/cache"
+	"securecache/internal/core"
 	"securecache/internal/kvstore"
 	"securecache/internal/overload"
+	"securecache/internal/partition"
 	"securecache/internal/workload"
 )
 
@@ -49,6 +51,94 @@ func main() {
 	runResilienceScenario(dist)
 	fmt.Println()
 	runOverloadScenario(dist)
+	fmt.Println()
+	runRotationScenario()
+}
+
+// runRotationScenario leaks the partition seed to the attacker — the
+// worst case the paper's randomization defends against — and shows the
+// response: the attacker concentrates load on one replica group, then a
+// live rotation to a fresh secret seed re-randomizes the mapping and the
+// same attack stream spreads back out, all without a restart or a
+// dropped key.
+func runRotationScenario() {
+	const (
+		leakedSeed = uint64(0x5EC12E7)
+		items      = 600
+		attackKeys = 300 // the attacker's reconnaissance covers half the key space
+	)
+	lc, err := kvstore.StartLocalCluster(kvstore.LocalConfig{
+		Nodes:         nodes,
+		Replication:   replication,
+		PartitionSeed: leakedSeed,
+		Rotation:      kvstore.RotationConfig{Rate: -1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lc.Close()
+
+	front := lc.Frontend
+	for k := 0; k < items; k++ {
+		if err := front.Set(workload.KeyName(k), []byte("value")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// With the seed in hand the attacker rebuilds the mapping offline and
+	// picks keys that share one replica group: every query for them can
+	// only land on those d nodes.
+	leaked := partition.NewHash(nodes, replication, leakedSeed)
+	groups := make(map[string][]int)
+	var bestKeys []int
+	for k := 0; k < attackKeys; k++ {
+		g := fmt.Sprint(leaked.Group(kvstore.KeyID(workload.KeyName(k))))
+		groups[g] = append(groups[g], k)
+		if len(groups[g]) > len(bestKeys) {
+			bestKeys = groups[g]
+		}
+	}
+	x := len(bestKeys)
+	params := core.Params{Nodes: nodes, Replication: replication, Items: items, KOverride: 1.2}
+	fmt.Println("== leaked seed -> targeted attack -> live rotation ==")
+	fmt.Printf("  attacker found %d keys sharing one replica group (paper bound for x=%d: %.2f)\n",
+		x, x, params.BoundNormalizedMaxLoad(x))
+
+	attack := func(label string) float64 {
+		base := lc.BackendRequestCounts()
+		for i := 0; i < queries; i++ {
+			if _, err := front.Get(workload.KeyName(bestKeys[i%x])); err != nil {
+				log.Fatal(err)
+			}
+		}
+		counts := lc.BackendRequestCounts()
+		var total, maxDelta uint64
+		for i := range counts {
+			delta := counts[i] - base[i]
+			total += delta
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+		}
+		norm := float64(maxDelta) / (float64(total) / float64(nodes))
+		fmt.Printf("  %s: normalized max backend load %.2f\n", label, norm)
+		return norm
+	}
+
+	before := attack("with leaked seed")
+	report, err := front.Rotate(0xF4E5117)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  rotating to epoch %d (~%.0f%% of keys will move)...\n",
+		report.Epoch, 100*report.ExpectedMovedFraction)
+	for front.RotationStatus().Rotating {
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := front.RotationStatus()
+	fmt.Printf("  rotation committed: %d keys migrated\n", st.Moved)
+	after := attack("same attack, fresh secret")
+	fmt.Printf("  the rotation invalidated the attacker's reconnaissance: %.2f -> %.2f\n", before, after)
 }
 
 // runOverloadScenario gives every backend admission limits and floods the

@@ -13,13 +13,19 @@ import (
 
 // AdminServer exposes a node's operational surface over HTTP:
 //
-//	GET /healthz  -> 200 "ok"
-//	GET /metrics  -> the metrics registry as JSON
-//	GET /info     -> static node info (JSON)
+//	GET /healthz               -> 200 "ok"
+//	GET /metrics               -> the metrics registry as JSON
+//	GET /metrics?format=prom   -> the same registry in Prometheus text
+//	                              exposition format
+//	GET /info                  -> static node info (JSON)
 //
-// It exists so a deployment can be scraped by ordinary monitoring tooling
-// without speaking the binary protocol; the guard package's load vectors
-// come from exactly these metrics.
+// plus any extra handlers the owner mounts (the frontend adds its
+// rotation verbs — see Frontend.AdminHandlers). It exists so a
+// deployment can be scraped by ordinary monitoring tooling without
+// speaking the binary protocol; the guard package's load vectors come
+// from exactly these metrics. The surface is operator-facing and
+// unauthenticated: bind it to loopback or an internal interface, never
+// the client-facing one — /rotate in particular is a control verb.
 type AdminServer struct {
 	server   *http.Server
 	listener net.Listener
@@ -28,6 +34,17 @@ type AdminServer struct {
 // StartAdmin serves the admin surface for the given registry on addr
 // (use "127.0.0.1:0" for ephemeral). info is embedded verbatim in /info.
 func StartAdmin(addr string, reg *metrics.Registry, info map[string]interface{}) (*AdminServer, string, error) {
+	return StartAdminWith(addr, reg, info, nil)
+}
+
+// StartAdminWith is StartAdmin plus extra path -> handler mounts (which
+// may not shadow the built-in paths).
+func StartAdminWith(addr string, reg *metrics.Registry, info map[string]interface{}, extra map[string]http.HandlerFunc) (*AdminServer, string, error) {
+	for _, builtin := range []string{"/healthz", "/metrics", "/info"} {
+		if _, clash := extra[builtin]; clash {
+			return nil, "", fmt.Errorf("kvstore: admin handler %s shadows a built-in", builtin)
+		}
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("kvstore: admin listen: %w", err)
@@ -38,6 +55,14 @@ func StartAdmin(addr string, reg *metrics.Registry, info map[string]interface{})
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if werr := reg.WritePrometheus(w); werr != nil {
+				// Headers are gone; all we can do is drop the conn.
+				_ = werr
+			}
+			return
+		}
 		blob, err := reg.Snapshot()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -46,6 +71,9 @@ func StartAdmin(addr string, reg *metrics.Registry, info map[string]interface{})
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(blob)
 	})
+	for path, h := range extra {
+		mux.HandleFunc(path, h)
+	}
 	infoBlob, err := json.Marshal(info)
 	if err != nil {
 		l.Close()

@@ -16,6 +16,10 @@ import (
 	"securecache/internal/proto"
 )
 
+// scanPageBytes bounds the value bytes one OpScan page may carry, well
+// inside proto.MaxValueLen so the encoded payload always fits a frame.
+const scanPageBytes = 1 << 20
+
 // Backend is one back-end node: a Store behind a TCP listener speaking
 // the proto wire format. Create with NewBackend, then Serve (or use
 // StartBackend which does both on a goroutine).
@@ -178,7 +182,14 @@ func (b *Backend) handle(req *proto.Request) *proto.Response {
 		return &proto.Response{Status: proto.StatusOK, Payload: v}
 	case proto.OpSet:
 		b.metrics.Counter("sets_total").Inc()
-		b.store.Set(req.Key, req.Value)
+		if req.EpochGuard {
+			// Migration copy: apply only over absent or older-epoch
+			// entries. A skipped copy is still StatusOK — the migrator
+			// only needs to know the key is settled at the new epoch.
+			b.store.SetGuarded(req.Key, req.Value, req.Epoch)
+		} else {
+			b.store.SetEpoch(req.Key, req.Value, req.Epoch)
+		}
 		return &proto.Response{Status: proto.StatusOK}
 	case proto.OpDel:
 		b.metrics.Counter("dels_total").Inc()
@@ -198,6 +209,14 @@ func (b *Backend) handle(req *proto.Request) *proto.Response {
 			}
 		}
 		payload, err := proto.EncodeMGetPayload(results)
+		if err != nil {
+			return errResponse(fmt.Sprintf("backend %d", b.id), req.Op, err)
+		}
+		return &proto.Response{Status: proto.StatusOK, Payload: payload}
+	case proto.OpScan:
+		b.metrics.Counter("scans_total").Inc()
+		entries, next := b.store.Scan(req.ScanCursor, int(req.ScanLimit), req.Epoch, scanPageBytes)
+		payload, err := proto.EncodeScanPayload(next, entries)
 		if err != nil {
 			return errResponse(fmt.Sprintf("backend %d", b.id), req.Op, err)
 		}

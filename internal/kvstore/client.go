@@ -220,7 +220,7 @@ func (c *Client) try(req *proto.Request) (*proto.Response, *tryError) {
 // guarantees the server never saw it (dial failure, stale pooled conn).
 func isIdempotentOp(op proto.Op) bool {
 	switch op {
-	case proto.OpGet, proto.OpMGet, proto.OpPing, proto.OpStats, proto.OpDel:
+	case proto.OpGet, proto.OpMGet, proto.OpPing, proto.OpStats, proto.OpDel, proto.OpScan:
 		return true
 	default:
 		return false
@@ -346,6 +346,52 @@ func (c *Client) Set(key string, value []byte) error {
 		return err
 	}
 	return resp.Err()
+}
+
+// SetEpoch stores value under key stamped with a partition epoch: the
+// frontend's write path during (and after) a rotation. Epoch 0 is the
+// pre-rotation tag and encodes identically to a plain Set.
+func (c *Client) SetEpoch(key string, value []byte, epoch uint32) error {
+	resp, err := c.Do(&proto.Request{Op: proto.OpSet, Key: key, Value: value, Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// CopyEpoch applies an epoch-guarded migration copy: the server stores
+// the value only if the key is absent or held under a strictly older
+// epoch, so a concurrent client write at the target epoch always wins.
+func (c *Client) CopyEpoch(key string, value []byte, epoch uint32) error {
+	resp, err := c.Do(&proto.Request{Op: proto.OpSet, Key: key, Value: value, Epoch: epoch, EpochGuard: true})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Scan fetches one page of the server's store in key-ID order, resuming
+// after cursor (0 = from the start). belowEpoch filters to entries
+// stored under a strictly older epoch (0 = all). It returns the page,
+// the next cursor (0 = scan complete), and ErrBusy when the server shed
+// the request.
+func (c *Client) Scan(cursor uint64, limit int, belowEpoch uint32) ([]proto.ScanEntry, uint64, error) {
+	if limit < 1 || limit > proto.MaxBatchKeys {
+		return nil, 0, fmt.Errorf("kvstore: scan limit %d outside [1, %d]", limit, proto.MaxBatchKeys)
+	}
+	resp, err := c.Do(&proto.Request{
+		Op:         proto.OpScan,
+		ScanCursor: cursor,
+		ScanLimit:  uint16(limit),
+		Epoch:      belowEpoch,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, 0, err
+	}
+	return proto.DecodeScanPayload(resp.Payload)
 }
 
 // Del removes key. Deleting a missing key is not an error (idempotent).

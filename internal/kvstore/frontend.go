@@ -19,6 +19,7 @@ import (
 	"securecache/internal/overload"
 	"securecache/internal/partition"
 	"securecache/internal/proto"
+	"securecache/internal/rotation"
 )
 
 // Selection chooses how the frontend picks a replica for a GET.
@@ -85,6 +86,9 @@ type FrontendConfig struct {
 	// Backend.SetIdleTimeout; without this a slow-loris client pins a
 	// frontend goroutine per connection indefinitely.
 	IdleTimeout time.Duration
+	// Rotation configures live mapping rotation (zero value = defaults;
+	// see RotationConfig in rotate.go).
+	Rotation RotationConfig
 }
 
 // Frontend is the paper's front end: it owns the cache and the secret
@@ -93,7 +97,7 @@ type FrontendConfig struct {
 // so clients are oblivious.
 type Frontend struct {
 	cfg       FrontendConfig
-	part      partition.Partitioner
+	part      *rotation.EpochPartitioner
 	backends  []*Client
 	inflight  []atomic.Int64
 	rrState   atomic.Uint64
@@ -112,6 +116,21 @@ type Frontend struct {
 	idleTimeout atomic.Int64 // ns; 0 = no limit
 
 	cacheMu sync.Mutex // guards cfg.Cache (cache impls are not concurrent-safe)
+
+	// Rotation state (see rotate.go). rotMu is the epoch write barrier:
+	// Set/Del hold it shared across their backend I/O, Rotate takes it
+	// exclusively around the epoch flip, so no write can span the old and
+	// new mapping. tombs records keys deleted while a rotation is open so
+	// a migration copy cannot resurrect them; tombMu is deliberately held
+	// across moveEntry's backend I/O (a Del blocks until the in-flight
+	// copy lands, then removes it everywhere).
+	rotMu    sync.RWMutex
+	tombMu   sync.Mutex
+	tombs    map[string]struct{}
+	rotateMu sync.Mutex // serializes Rotate calls; guards migrator
+	migrator *rotation.Migrator
+	rotStop  chan struct{}
+	rotWG    sync.WaitGroup
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -139,13 +158,16 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	}
 	f := &Frontend{
 		cfg:       cfg,
-		part:      partition.NewHash(n, cfg.Replication, cfg.PartitionSeed),
+		part:      rotation.NewEpochPartitioner(partition.NewHash(n, cfg.Replication, cfg.PartitionSeed)),
 		backends:  make([]*Client, n),
 		inflight:  make([]atomic.Int64, n),
 		metrics:   metrics.NewRegistry(),
+		tombs:     make(map[string]struct{}),
+		rotStop:   make(chan struct{}),
 		conns:     make(map[net.Conn]bool),
 		probeStop: make(chan struct{}),
 	}
+	f.metrics.Gauge("partition_epoch").Set(1)
 	f.randState.Store(cfg.PartitionSeed ^ 0x9e3779b97f4a7c15)
 	f.health = newHealthTracker(n, cfg.Health, f.metrics)
 	f.gate = overload.NewGate(cfg.Overload)
@@ -273,10 +295,17 @@ func (f *Frontend) cacheRemove(key string) {
 	f.cacheMu.Unlock()
 }
 
-// orderedReplicas returns the key's replica group ordered by the
-// configured selection policy (first entry = first choice).
+// orderedReplicas returns the key's current-epoch replica group ordered
+// by the configured selection policy (first entry = first choice).
 func (f *Frontend) orderedReplicas(key string) []int {
-	group := f.part.Group(KeyID(key))
+	return f.orderedGroup(f.part.Group(KeyID(key)))
+}
+
+// orderedGroup orders one replica group by the configured selection
+// policy. Factored out of orderedReplicas so the dual-epoch read path
+// (rotate.go) can apply the same policy to the previous generation's
+// group.
+func (f *Frontend) orderedGroup(group []int) []int {
 	ordered := append([]int(nil), group...)
 	switch f.cfg.Selection {
 	case SelectRandom:
@@ -346,14 +375,15 @@ func (f *Frontend) Get(key string) ([]byte, error) {
 	return f.fetchFromReplicas(key)
 }
 
-// fetchFromReplicas is the failover read loop shared by Get and the MGet
-// per-key fallback. It carries no request-level instrumentation (no
+// fetchFromGroup is the failover read loop over one ordered replica
+// list, shared by the single- and dual-epoch read paths (fetchFromReplicas
+// in rotate.go). It carries no request-level instrumentation (no
 // requests_total, no cache hit/miss counts) — callers have already
 // accounted for the request — but does fill the cache and feed the
 // health tracker.
-func (f *Frontend) fetchFromReplicas(key string) ([]byte, error) {
+func (f *Frontend) fetchFromGroup(key string, ordered []int) ([]byte, error) {
 	var lastErr error
-	for _, node := range f.orderedReplicas(key) {
+	for _, node := range ordered {
 		f.inflight[node].Add(1)
 		v, err := f.backends[node].Get(key)
 		f.inflight[node].Add(-1)
@@ -395,11 +425,24 @@ func (f *Frontend) noteBackendError(node int, err error) {
 func (f *Frontend) Set(key string, value []byte) error {
 	f.metrics.Counter("requests_total").Inc()
 	f.metrics.Counter("sets_total").Inc()
+	// Epoch write barrier: the group and the epoch stamp must come from
+	// one generation — Rotate's flip waits for writes in flight here.
+	f.rotMu.RLock()
+	defer f.rotMu.RUnlock()
+	epoch, cur, prev := f.part.Snapshot()
+	id := KeyID(key)
+	if prev != nil {
+		// The key legitimately exists again: drop any tombstone a
+		// rotation-era Del left, or the migrator would skip it.
+		f.tombMu.Lock()
+		delete(f.tombs, key)
+		f.tombMu.Unlock()
+	}
 	var failures []string
 	busies := 0
-	for _, node := range f.part.Group(KeyID(key)) {
+	for _, node := range cur.Group(id) {
 		f.inflight[node].Add(1)
-		err := f.backends[node].Set(key, value)
+		err := f.backends[node].SetEpoch(key, value, epoch)
 		f.inflight[node].Add(-1)
 		if err != nil {
 			f.noteBackendError(node, err)
@@ -410,6 +453,12 @@ func (f *Frontend) Set(key string, value []byte) error {
 		} else {
 			f.health.onSuccess(node)
 		}
+	}
+	if len(failures) == 0 && prev != nil {
+		// Every replica of the NEW group holds the value at the new
+		// epoch: readers may skip the old-generation fallback for this
+		// key from now on.
+		f.part.MarkMigrated(id)
 	}
 	if len(failures) > 0 {
 		// Surviving replicas hold the new value while failed ones keep
@@ -443,7 +492,7 @@ func (f *Frontend) Set(key string, value []byte) error {
 func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 	f.metrics.Counter("requests_total").Inc()
 	results := make([]proto.MGetResult, len(keys))
-	missIdx := make(map[int][]int) // backend node -> indices into keys
+	var misses []int // indices into keys not answered by the cache
 	for i, key := range keys {
 		if v, ok := f.cacheGet(key); ok {
 			f.metrics.Counter("cache_hits_total").Inc()
@@ -451,7 +500,31 @@ func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 			continue
 		}
 		f.metrics.Counter("cache_misses_total").Inc()
-		node := f.orderedReplicas(key)[0]
+		misses = append(misses, i)
+	}
+	// During a rotation the batch fast path cannot be trusted: an
+	// un-migrated key is absent from its new group, and OpMGet has no
+	// old-generation fallback (Found == false is a valid batch answer,
+	// not an error to fail over on). Route misses through the dual-epoch
+	// single-key path instead; the batch optimization returns when the
+	// rotation commits.
+	if f.part.Rotating() {
+		for _, i := range misses {
+			v, gerr := f.fetchFromReplicas(keys[i])
+			switch {
+			case gerr == nil:
+				results[i] = proto.MGetResult{Found: true, Value: v}
+			case errors.Is(gerr, ErrNotFound):
+				results[i] = proto.MGetResult{}
+			default:
+				return nil, gerr
+			}
+		}
+		return results, nil
+	}
+	missIdx := make(map[int][]int) // backend node -> indices into keys
+	for _, i := range misses {
+		node := f.orderedReplicas(keys[i])[0]
 		missIdx[node] = append(missIdx[node], i)
 	}
 	for node, idxs := range missIdx {
@@ -499,9 +572,27 @@ func (f *Frontend) Del(key string) error {
 	f.metrics.Counter("requests_total").Inc()
 	f.metrics.Counter("dels_total").Inc()
 	f.cacheRemove(key)
+	f.rotMu.RLock()
+	defer f.rotMu.RUnlock()
+	_, cur, prev := f.part.Snapshot()
+	id := KeyID(key)
+	nodes := cur.Group(id)
+	if prev != nil {
+		// Tombstone FIRST: once the stone is down, a migration copy that
+		// already scanned the old value cannot re-create the key
+		// (moveEntry checks under tombMu before any I/O) — and taking
+		// tombMu here also waits out any copy already in flight, whose
+		// result the deletes below then remove. The delete must cover
+		// both generations' homes or the old copy would resurface through
+		// the fallback read path.
+		f.tombMu.Lock()
+		f.tombs[key] = struct{}{}
+		f.tombMu.Unlock()
+		nodes = unionNodes(cur.Group(id), prev.Group(id))
+	}
 	var failures []string
 	busies := 0
-	for _, node := range f.part.Group(KeyID(key)) {
+	for _, node := range nodes {
 		// Track inflight like Get/Set do: least-inflight selection that
 		// cannot see delete load under-counts busy nodes.
 		f.inflight[node].Add(1)
@@ -702,6 +793,11 @@ func (f *Frontend) Close() error {
 	f.mu.Unlock()
 	close(f.probeStop)
 	f.probeWG.Wait()
+	// Stop any in-flight migration before the backend clients close. An
+	// interrupted rotation stays open (dual-epoch state is durable in the
+	// stores' epoch tags); a restart re-observes the skew and re-rotates.
+	close(f.rotStop)
+	f.rotWG.Wait()
 	var err error
 	if l != nil {
 		err = l.Close()

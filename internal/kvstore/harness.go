@@ -16,6 +16,10 @@ type LocalCluster struct {
 	BackendAddrs []string
 	Frontend     *Frontend
 	FrontendAddr string
+	// Admin is the frontend's admin HTTP server (nil unless
+	// LocalConfig.Admin was set); AdminAddr is its host:port.
+	Admin     *AdminServer
+	AdminAddr string
 }
 
 // LocalConfig configures StartLocalCluster.
@@ -49,6 +53,13 @@ type LocalConfig struct {
 	// FrontendIdleTimeout drops idle frontend client connections
 	// (0 = keep forever).
 	FrontendIdleTimeout time.Duration
+	// Rotation configures the frontend's live mapping rotation (zero
+	// value = defaults).
+	Rotation RotationConfig
+	// Admin, when true, also starts the frontend's admin HTTP surface
+	// (with the rotation verbs mounted) on loopback; its address is in
+	// AdminAddr.
+	Admin bool
 }
 
 // StartLocalCluster boots the backends and frontend on ephemeral loopback
@@ -79,6 +90,7 @@ func StartLocalCluster(cfg LocalConfig) (*LocalCluster, error) {
 		RetryBudgetMax:   cfg.RetryBudgetMax,
 		RetryBudgetRatio: cfg.RetryBudgetRatio,
 		IdleTimeout:      cfg.FrontendIdleTimeout,
+		Rotation:         cfg.Rotation,
 	}, "127.0.0.1:0")
 	if err != nil {
 		lc.Close()
@@ -86,6 +98,17 @@ func StartLocalCluster(cfg LocalConfig) (*LocalCluster, error) {
 	}
 	lc.Frontend = f
 	lc.FrontendAddr = addr
+	if cfg.Admin {
+		admin, adminAddr, err := StartAdminWith("127.0.0.1:0", f.Metrics(),
+			map[string]interface{}{"role": "frontend", "nodes": cfg.Nodes, "replication": cfg.Replication},
+			f.AdminHandlers())
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
+		lc.Admin = admin
+		lc.AdminAddr = adminAddr
+	}
 	return lc, nil
 }
 
@@ -111,6 +134,9 @@ func (lc *LocalCluster) BackendShedCounts() []uint64 {
 
 // Close shuts everything down (frontend first, then backends).
 func (lc *LocalCluster) Close() {
+	if lc.Admin != nil {
+		lc.Admin.Close()
+	}
 	if lc.Frontend != nil {
 		lc.Frontend.Close()
 	}

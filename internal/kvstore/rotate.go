@@ -1,0 +1,404 @@
+package kvstore
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"securecache/internal/overload"
+	"securecache/internal/partition"
+	"securecache/internal/rotation"
+)
+
+// This file is the frontend half of epoch-based secret remapping (the
+// mechanism lives in internal/rotation; the storage side is the epoch
+// tags and SCAN support in store.go/backend.go). A rotation swaps the
+// secret partition seed while the cluster keeps serving:
+//
+//   1. Rotate() builds the next-generation mapping, reports the expected
+//      migration volume (partition.MovedFraction), and flips the epoch
+//      under the rotMu write barrier.
+//   2. Reads run dual-epoch (fetchFromReplicas below): new group first,
+//      then — only on a clean NotFound — the previous generation's
+//      group, with read-repair so a key touched once never falls back
+//      again. Writes go to the new group only, stamped with the new
+//      epoch.
+//   3. A background rotation.Migrator streams every old-epoch entry out
+//      of each node (OpScan) and re-places it under the new mapping,
+//      rate-limited so migration cannot become its own overload. When a
+//      full pass finds nothing left, the rotation commits and the old
+//      generation is forgotten.
+//
+// Deletes during a rotation leave tombstones so a concurrent migration
+// copy cannot resurrect a removed key; tombstones die with the rotation.
+
+// Default rotation parameters (RotationConfig zero values).
+const (
+	// DefaultRotationRate caps migration at this many moved keys per
+	// second. Deliberately modest: a rotation is damage control, and
+	// finishing a little later is cheaper than stealing capacity from
+	// the very cluster the rotation is trying to relieve.
+	DefaultRotationRate = 2048.0
+	// DefaultRotationBurst is the token-bucket burst for the above.
+	DefaultRotationBurst = 256
+	// DefaultMovedFractionSamples is how many keys Rotate samples to
+	// estimate the migration volume it reports.
+	DefaultMovedFractionSamples = 4096
+)
+
+// RotationConfig tunes live mapping rotation. The zero value uses the
+// defaults above.
+type RotationConfig struct {
+	// Rate caps migration moves per second (0 = DefaultRotationRate;
+	// negative = unlimited, for tests and offline bulk moves).
+	Rate float64
+	// Burst is the migration token-bucket burst (0 = DefaultRotationBurst).
+	Burst int
+	// Batch is the SCAN page size (0 = the migrator default).
+	Batch int
+	// MovedFractionSamples sizes the pre-rotation MovedFraction estimate
+	// (0 = DefaultMovedFractionSamples).
+	MovedFractionSamples int
+}
+
+// ErrRotationInProgress reports a Rotate while one is already running.
+var ErrRotationInProgress = errors.New("kvstore: rotation already in progress")
+
+// RotationReport is what Rotate returns to the operator before the
+// migration has finished: the new epoch and how much data is expected to
+// move. The new seed itself is deliberately NOT echoed anywhere — it is
+// the secret the rotation exists to re-establish.
+type RotationReport struct {
+	Epoch uint32 `json:"epoch"`
+	// ExpectedMovedFraction is the sampled fraction of keys whose replica
+	// group changes under the new seed (~1 for a seed rotation of a plain
+	// hash partitioner — the full reshuffle is the point).
+	ExpectedMovedFraction float64 `json:"expected_moved_fraction"`
+}
+
+// RotationStatus is the observable state of the rotation subsystem.
+type RotationStatus struct {
+	Epoch    uint32 `json:"epoch"`
+	Rotating bool   `json:"rotating"`
+	// Moved counts keys migrated in the current (or last) rotation.
+	Moved uint64 `json:"moved"`
+	// Completed counts rotations that have committed since boot.
+	Completed uint64 `json:"completed"`
+}
+
+// Rotate re-keys the secret mapping: it opens a rotation to a fresh
+// partitioner seeded with newSeed, starts the background migration, and
+// returns immediately with the new epoch and the expected migration
+// volume. The dual-epoch read path keeps every key readable throughout;
+// RotationStatus (or the rotation metrics) report progress.
+func (f *Frontend) Rotate(newSeed uint64) (RotationReport, error) {
+	f.rotateMu.Lock()
+	defer f.rotateMu.Unlock()
+	if f.part.Rotating() {
+		return RotationReport{}, ErrRotationInProgress
+	}
+	_, cur, _ := f.part.Snapshot()
+	next := partition.NewHash(len(f.backends), f.cfg.Replication, newSeed)
+	samples := f.cfg.Rotation.MovedFractionSamples
+	if samples <= 0 {
+		samples = DefaultMovedFractionSamples
+	}
+	frac, err := partition.MovedFraction(cur, next, samples)
+	if err != nil {
+		return RotationReport{}, err
+	}
+
+	var limiter *overload.TokenBucket
+	if rate := f.cfg.Rotation.Rate; rate >= 0 {
+		if rate == 0 {
+			rate = DefaultRotationRate
+		}
+		burst := f.cfg.Rotation.Burst
+		if burst <= 0 {
+			burst = DefaultRotationBurst
+		}
+		limiter = overload.NewTokenBucket(rate, float64(burst))
+	}
+	movedCtr := f.metrics.Counter("rotation_keys_moved_total")
+	inflight := f.metrics.Gauge("rotation_inflight")
+	mig, err := rotation.NewMigrator(rotation.MigratorConfig{
+		Nodes:      len(f.backends),
+		Batch:      f.cfg.Rotation.Batch,
+		Limiter:    limiter,
+		OnMoved:    movedCtr.Inc,
+		OnInflight: func(delta int) { inflight.Add(int64(delta)) },
+	}, &migrationTransport{f: f})
+	if err != nil {
+		return RotationReport{}, err
+	}
+
+	// The write barrier: once Begin returns, every Set/Del routes and
+	// stamps against the new generation — no write spans the flip.
+	f.rotMu.Lock()
+	epoch, err := f.part.Begin(next)
+	f.rotMu.Unlock()
+	if err != nil {
+		return RotationReport{}, err
+	}
+	f.metrics.Counter("rotations_total").Inc()
+	f.metrics.Gauge("partition_epoch").Set(int64(epoch))
+	f.migrator = mig
+	f.rotWG.Add(1)
+	go f.runMigration(mig, epoch)
+	return RotationReport{Epoch: epoch, ExpectedMovedFraction: frac}, nil
+}
+
+// runMigration drives the migrator to completion and commits the
+// rotation. A migration error does NOT abort the rotation — keys already
+// moved live only under the new mapping, so reverting would lose them.
+// Instead the rotation stays open (the dual-epoch read path keeps every
+// key reachable at fallback cost) and the migration retries until it
+// drains or the frontend closes.
+func (f *Frontend) runMigration(mig *rotation.Migrator, epoch uint32) {
+	defer f.rotWG.Done()
+	for {
+		_, err := mig.Run(f.rotStop)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, rotation.ErrStopped) {
+			return
+		}
+		f.metrics.Counter("rotation_failed_total").Inc()
+		log.Printf("kvstore: rotation to epoch %d: migration: %v (will retry)", epoch, err)
+		select {
+		case <-f.rotStop:
+			return
+		case <-time.After(time.Second):
+		}
+	}
+	// Drained: every entry a scan can see is at the new epoch. Commit
+	// under the write barrier so no Set/Del observes a half-closed
+	// rotation, then drop the tombstones (they only guard against
+	// resurrection by migration copies, and there are none left).
+	f.rotMu.Lock()
+	f.part.Commit()
+	f.rotMu.Unlock()
+	f.tombMu.Lock()
+	f.tombs = make(map[string]struct{})
+	f.tombMu.Unlock()
+	f.metrics.Counter("rotations_completed_total").Inc()
+	log.Printf("kvstore: rotation to epoch %d committed: %d keys migrated", epoch, mig.Moved())
+}
+
+// RotationStatus reports the current epoch and migration progress.
+func (f *Frontend) RotationStatus() RotationStatus {
+	f.rotateMu.Lock()
+	mig := f.migrator
+	f.rotateMu.Unlock()
+	var moved uint64
+	if mig != nil {
+		moved = mig.Moved()
+	}
+	epoch, _, prev := f.part.Snapshot()
+	return RotationStatus{
+		Epoch:     epoch,
+		Rotating:  prev != nil,
+		Moved:     moved,
+		Completed: f.metrics.Counter("rotations_completed_total").Value(),
+	}
+}
+
+// fetchFromReplicas routes one read through the epoch-aware path: the
+// current generation's group first; only a clean NotFound may consult
+// the previous generation (a transport failure must not — absence was
+// never established, and the old copy may predate a successful write to
+// the new group, so serving it would be a stale read).
+func (f *Frontend) fetchFromReplicas(key string) ([]byte, error) {
+	id := KeyID(key)
+	_, cur, prev := f.part.Snapshot()
+	if prev == nil || f.part.Migrated(id) {
+		return f.fetchFromGroup(key, f.orderedGroup(cur.Group(id)))
+	}
+	v, err := f.fetchFromGroup(key, f.orderedGroup(cur.Group(id)))
+	if err == nil || !errors.Is(err, ErrNotFound) {
+		return v, err
+	}
+	f.metrics.Counter("rotation_fallback_reads_total").Inc()
+	v, err = f.fetchFromGroup(key, f.orderedGroup(prev.Group(id)))
+	switch {
+	case err == nil:
+		if f.part.Migrated(id) {
+			// A write or migration landed between our two reads, so the
+			// new group is authoritative now and the old value may be
+			// stale — re-read rather than return it.
+			return f.fetchFromGroup(key, f.orderedGroup(cur.Group(id)))
+		}
+		f.readRepair(key, v)
+		return v, nil
+	case errors.Is(err, ErrNotFound):
+		// In neither generation — unless a migration purged the old copy
+		// between our two reads. One second look at the new group settles
+		// it (migration copies land before the purge).
+		return f.fetchFromGroup(key, f.orderedGroup(cur.Group(id)))
+	default:
+		return nil, err
+	}
+}
+
+// readRepair migrates a key the moment a read had to fall back to the
+// old generation, so each key pays the dual-read cost at most once. Hot
+// keys — exactly the ones an attack concentrates on — therefore move
+// within one request of the rotation starting, without waiting for the
+// background scan to reach them. Best-effort: on error the migrator
+// will reach the key anyway.
+func (f *Frontend) readRepair(key string, value []byte) {
+	if err := f.moveEntry(key, value); err == nil {
+		f.metrics.Counter("rotation_read_repair_total").Inc()
+	}
+}
+
+// moveEntry re-places one entry under the current mapping: epoch-guarded
+// copies to every node of the new group, the migration watermark, then a
+// purge from old-only nodes. It is idempotent and safe against every
+// concurrent writer:
+//
+//   - A client Set at the current epoch wins over the guarded copies
+//     (stored epoch >= copy epoch -> the copy is a no-op), and its own
+//     writes re-tag shared nodes so scans stop seeing them.
+//   - A client Del is excluded by tombMu for the duration of the I/O: if
+//     the stone is already down we never copy; if Del arrives mid-move
+//     it blocks here, then deletes from both generations' homes,
+//     removing whatever this call placed.
+//
+// Note it does NOT short-circuit on Migrated(id): a key marked migrated
+// by a client Set still has stale copies on old-only nodes, and the
+// purge below is what retires them from the scan.
+func (f *Frontend) moveEntry(key string, value []byte) error {
+	id := KeyID(key)
+	f.tombMu.Lock()
+	defer f.tombMu.Unlock()
+	if _, dead := f.tombs[key]; dead {
+		return nil
+	}
+	epoch, cur, prev := f.part.Snapshot()
+	if prev == nil {
+		return nil // rotation closed under us; nothing left to place
+	}
+	newGroup := cur.Group(id)
+	for _, node := range newGroup {
+		if err := f.backends[node].CopyEpoch(key, value, epoch); err != nil {
+			return err
+		}
+	}
+	// Mark before purging: a reader that sees the watermark skips the old
+	// generation entirely, which is only sound once every new-group
+	// replica holds the entry (it does, as of the loop above).
+	f.part.MarkMigrated(id)
+	for _, node := range prev.Group(id) {
+		if !containsNode(newGroup, node) {
+			if err := f.backends[node].Del(key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// migrationTransport adapts the frontend's backend clients to the
+// rotation.Transport interface.
+type migrationTransport struct {
+	f *Frontend
+}
+
+func (t *migrationTransport) Scan(node int, cursor uint64, limit int) ([]rotation.Entry, uint64, error) {
+	// Filter server-side to entries below the rotation's epoch: entries
+	// already moved (or written fresh) are invisible to the scan, which
+	// is what makes repeated passes converge.
+	entries, next, err := t.f.backends[node].Scan(cursor, limit, t.f.part.Epoch())
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]rotation.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = rotation.Entry{Key: e.Key, Value: e.Value, Epoch: e.Epoch}
+	}
+	return out, next, nil
+}
+
+func (t *migrationTransport) Move(e rotation.Entry) error {
+	return t.f.moveEntry(e.Key, e.Value)
+}
+
+// AdminHandlers returns the frontend's rotation control verbs for
+// mounting on its admin server (StartAdminWith):
+//
+//	POST /rotate          rotate to a fresh random secret seed
+//	POST /rotate?seed=N   rotate to an explicit seed (tests; accepts
+//	                      0x-prefixed hex)
+//	GET  /rotation        rotation status as JSON
+//
+// /rotate answers 200 with a RotationReport, 409 while a rotation is
+// already running. The seed never appears in the response or the logs.
+func (f *Frontend) AdminHandlers() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"/rotate": func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			var seed uint64
+			if s := r.URL.Query().Get("seed"); s != "" {
+				var err error
+				seed, err = strconv.ParseUint(s, 0, 64)
+				if err != nil {
+					http.Error(w, "bad seed: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+			} else {
+				var buf [8]byte
+				if _, err := rand.Read(buf[:]); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				seed = binary.LittleEndian.Uint64(buf[:])
+			}
+			report, err := f.Rotate(seed)
+			switch {
+			case errors.Is(err, ErrRotationInProgress):
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			case err != nil:
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(report)
+		},
+		"/rotation": func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(f.RotationStatus())
+		},
+	}
+}
+
+// unionNodes returns a ∪ b preserving a's order then b's novel entries
+// (groups are tiny; quadratic is fine).
+func unionNodes(a, b []int) []int {
+	out := append([]int(nil), a...)
+	for _, n := range b {
+		if !containsNode(out, n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func containsNode(nodes []int, n int) bool {
+	for _, x := range nodes {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}

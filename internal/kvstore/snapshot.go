@@ -40,8 +40,12 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		for k, v := range sh.m {
-			entries = append(entries, kv{k, append([]byte(nil), v...)})
+		// Epoch tags are deliberately not persisted (format v1): a
+		// restored store is all epoch-0 ("old") data, which is exactly
+		// right — a rotation started after a restore must re-migrate
+		// everything.
+		for k, e := range sh.m {
+			entries = append(entries, kv{k, append([]byte(nil), e.val...)})
 		}
 		sh.mu.RUnlock()
 	}

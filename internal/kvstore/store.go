@@ -11,9 +11,11 @@
 package kvstore
 
 import (
+	"sort"
 	"sync"
 
 	"securecache/internal/hashing"
+	"securecache/internal/proto"
 )
 
 // storeShards is the number of independently locked shards in a Store.
@@ -22,21 +24,29 @@ import (
 const storeShards = 16
 
 // Store is a sharded in-memory key-value storage engine: the "disk" of a
-// back-end node. It is safe for concurrent use.
+// back-end node. Each entry is tagged with the partition epoch it was
+// written under (0 for pre-rotation data), which is what lets the
+// rotation migrator find un-migrated entries and apply guarded copies
+// without a read-modify-write race. Store is safe for concurrent use.
 type Store struct {
 	shards [storeShards]storeShard
 }
 
+type entry struct {
+	val   []byte
+	epoch uint32
+}
+
 type storeShard struct {
 	mu sync.RWMutex
-	m  map[string][]byte
+	m  map[string]entry
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
 	s := &Store{}
 	for i := range s.shards {
-		s.shards[i].m = make(map[string][]byte)
+		s.shards[i].m = make(map[string]entry)
 	}
 	return s
 }
@@ -49,21 +59,54 @@ func (s *Store) shard(key string) *storeShard {
 func (s *Store) Get(key string) ([]byte, bool) {
 	sh := s.shard(key)
 	sh.mu.RLock()
-	v, ok := sh.m[key]
+	e, ok := sh.m[key]
 	sh.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
-	return append([]byte(nil), v...), true
+	return append([]byte(nil), e.val...), true
 }
 
-// Set stores a copy of value under key.
+// GetEpoch returns the epoch a key was stored under.
+func (s *Store) GetEpoch(key string) (uint32, bool) {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return e.epoch, ok
+}
+
+// Set stores a copy of value under key at epoch 0 (pre-rotation data).
 func (s *Store) Set(key string, value []byte) {
+	s.SetEpoch(key, value, 0)
+}
+
+// SetEpoch stores a copy of value under key, stamped with epoch. The
+// write is unconditional: a client write always wins over whatever was
+// there.
+func (s *Store) SetEpoch(key string, value []byte, epoch uint32) {
 	sh := s.shard(key)
 	cp := append([]byte(nil), value...)
 	sh.mu.Lock()
-	sh.m[key] = cp
+	sh.m[key] = entry{val: cp, epoch: epoch}
 	sh.mu.Unlock()
+}
+
+// SetGuarded applies a migration copy: the value is stored only if the
+// key is absent or its current entry carries a strictly older epoch.
+// It reports whether the write was applied. The check-and-write is
+// atomic under the shard lock, so a concurrent client SetEpoch at the
+// new epoch can never be overwritten by migrated (stale) data.
+func (s *Store) SetGuarded(key string, value []byte, epoch uint32) bool {
+	sh := s.shard(key)
+	cp := append([]byte(nil), value...)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.m[key]; ok && cur.epoch >= epoch {
+		return false
+	}
+	sh.m[key] = entry{val: cp, epoch: epoch}
+	return true
 }
 
 // Delete removes key, reporting whether it existed.
@@ -74,6 +117,73 @@ func (s *Store) Delete(key string) bool {
 	delete(sh.m, key)
 	sh.mu.Unlock()
 	return ok
+}
+
+// Scan returns up to limit entries whose key ID (KeyID) is strictly
+// greater than afterID, ordered by key ID, plus the cursor for the next
+// page (0 when the scan is complete). belowEpoch filters to entries
+// stored under a strictly older epoch (0 = no filter); maxBytes bounds
+// the page's value bytes (<= 0 = unbounded) so one page cannot exceed a
+// wire frame. Ordering by hashed key ID makes the cursor stable under
+// concurrent inserts and deletes — a key's ID never changes, so a
+// resumed scan never re-walks territory it already covered. (Two keys
+// colliding on a 64-bit ID would shadow each other in a page boundary;
+// with 2^64 IDs that is not a practical concern.)
+func (s *Store) Scan(afterID uint64, limit int, belowEpoch uint32, maxBytes int) ([]proto.ScanEntry, uint64) {
+	if limit <= 0 {
+		return nil, 0
+	}
+	type cand struct {
+		id  uint64
+		key string
+	}
+	var cands []cand
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for key, e := range sh.m {
+			if belowEpoch != 0 && e.epoch >= belowEpoch {
+				continue
+			}
+			if id := KeyID(key); id > afterID {
+				cands = append(cands, cand{id: id, key: key})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+	var out []proto.ScanEntry
+	bytes := 0
+	lastID := afterID
+	for _, c := range cands {
+		if len(out) >= limit {
+			return out, lastID
+		}
+		// Re-read under the shard lock: the entry may have been deleted
+		// or rewritten (possibly past the epoch filter) since the
+		// collection pass.
+		sh := s.shard(c.key)
+		sh.mu.RLock()
+		e, ok := sh.m[c.key]
+		sh.mu.RUnlock()
+		if !ok || (belowEpoch != 0 && e.epoch >= belowEpoch) {
+			continue
+		}
+		// The byte budget stops the page *before* an entry that would
+		// blow it — except the first, so a single oversized value still
+		// makes progress instead of wedging the scan.
+		if maxBytes > 0 && len(out) > 0 && bytes+len(e.val) > maxBytes {
+			return out, lastID
+		}
+		out = append(out, proto.ScanEntry{
+			Key:   c.key,
+			Value: append([]byte(nil), e.val...),
+			Epoch: e.epoch,
+		})
+		bytes += len(e.val)
+		lastID = c.id
+	}
+	return out, 0
 }
 
 // Len returns the number of stored keys.

@@ -1,0 +1,127 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestStoreEpochTagging(t *testing.T) {
+	s := NewStore()
+	s.Set("a", []byte("v0"))
+	if ep, ok := s.GetEpoch("a"); !ok || ep != 0 {
+		t.Fatalf("plain Set stored epoch %d (ok=%v), want 0", ep, ok)
+	}
+	s.SetEpoch("a", []byte("v2"), 2)
+	if ep, _ := s.GetEpoch("a"); ep != 2 {
+		t.Fatalf("SetEpoch stored epoch %d, want 2", ep)
+	}
+	if v, _ := s.Get("a"); !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("value %q after SetEpoch", v)
+	}
+}
+
+func TestStoreSetGuarded(t *testing.T) {
+	s := NewStore()
+	// Absent key: guarded write applies.
+	if !s.SetGuarded("k", []byte("migrated"), 2) {
+		t.Fatal("guarded write to absent key not applied")
+	}
+	// Same epoch: a second guarded copy must not clobber.
+	if s.SetGuarded("k", []byte("stale"), 2) {
+		t.Fatal("guarded write applied over equal epoch")
+	}
+	// Newer client write wins; a later guarded copy at the same epoch
+	// must not resurrect the migrated value.
+	s.SetEpoch("k", []byte("client"), 2)
+	if s.SetGuarded("k", []byte("migrated"), 2) {
+		t.Fatal("guarded write clobbered a client write at the same epoch")
+	}
+	if v, _ := s.Get("k"); !bytes.Equal(v, []byte("client")) {
+		t.Fatalf("value %q, want client write preserved", v)
+	}
+	// Older entry: guarded write upgrades it.
+	s.SetEpoch("old", []byte("v1"), 1)
+	if !s.SetGuarded("old", []byte("v1"), 3) {
+		t.Fatal("guarded write over older epoch not applied")
+	}
+	if ep, _ := s.GetEpoch("old"); ep != 3 {
+		t.Fatalf("epoch %d after guarded upgrade, want 3", ep)
+	}
+}
+
+func TestStoreScanPagination(t *testing.T) {
+	s := NewStore()
+	const n = 100
+	for i := 0; i < n; i++ {
+		s.Set(fmt.Sprintf("key-%03d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	seen := make(map[string]bool)
+	cursor := uint64(0)
+	pages := 0
+	for {
+		entries, next := s.Scan(cursor, 7, 0, 0)
+		pages++
+		prev := cursor
+		for _, e := range entries {
+			if seen[e.Key] {
+				t.Fatalf("key %q returned twice", e.Key)
+			}
+			seen[e.Key] = true
+			if id := KeyID(e.Key); id <= prev {
+				t.Fatalf("key %q out of id order", e.Key)
+			} else {
+				prev = id
+			}
+		}
+		if next == 0 {
+			break
+		}
+		cursor = next
+		if pages > n {
+			t.Fatal("scan did not terminate")
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("scan returned %d/%d keys", len(seen), n)
+	}
+}
+
+func TestStoreScanEpochFilter(t *testing.T) {
+	s := NewStore()
+	s.SetEpoch("old1", []byte("a"), 0)
+	s.SetEpoch("old2", []byte("b"), 1)
+	s.SetEpoch("new1", []byte("c"), 2)
+	entries, next := s.Scan(0, 100, 2, 0)
+	if next != 0 {
+		t.Fatalf("next cursor %d, want 0", next)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("filtered scan returned %d entries, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if e.Epoch >= 2 {
+			t.Errorf("entry %q at epoch %d leaked past filter", e.Key, e.Epoch)
+		}
+	}
+}
+
+func TestStoreScanByteBudget(t *testing.T) {
+	s := NewStore()
+	big := make([]byte, 600)
+	for i := 0; i < 10; i++ {
+		s.Set(fmt.Sprintf("k%d", i), big)
+	}
+	entries, next := s.Scan(0, 100, 0, 1000)
+	// 600-byte values against a 1000-byte budget: exactly one fits, the
+	// second would blow the budget.
+	if len(entries) != 1 || next == 0 {
+		t.Fatalf("budgeted scan returned %d entries, next %d", len(entries), next)
+	}
+	// An oversized first entry must still be returned (progress beats
+	// the budget) rather than wedging the scan.
+	entries, _ = s.Scan(0, 100, 0, 10)
+	if len(entries) != 1 {
+		t.Fatalf("oversized first entry: %d entries, want 1", len(entries))
+	}
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4), so a standard Prometheus scraper
+// can consume the same registry the JSON snapshot serves:
+//
+//	# TYPE requests_total counter
+//	requests_total 1027
+//	# TYPE rtt_seconds histogram
+//	rtt_seconds_bucket{le="0.001"} 95
+//	rtt_seconds_bucket{le="+Inf"} 100
+//	rtt_seconds_sum 0.0123
+//	rtt_seconds_count 100
+//
+// Counters map to counter, gauges to gauge, histograms to histogram with
+// cumulative buckets (the internal representation is already cumulative).
+// Names are sanitized to the Prometheus grammar; output is sorted by name
+// so scrapes are diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.items))
+	for name := range r.items {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	items := make(map[string]interface{}, len(names))
+	for _, name := range names {
+		items[name] = r.items[name]
+	}
+	r.mu.Unlock()
+
+	for _, name := range names {
+		pn := sanitizeMetricName(name)
+		var err error
+		switch v := items[name].(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, v.Value())
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, v.Value())
+		case *Histogram:
+			bounds, cum := v.Snapshot()
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+				return err
+			}
+			for i, b := range bounds {
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatBound(b), cum[i]); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				pn, cum[len(cum)-1], pn, formatFloat(v.Sum()), pn, v.Total())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatBound renders a histogram upper bound the way Prometheus does
+// (shortest round-trippable representation; +Inf never appears here —
+// the implicit bucket is emitted separately).
+func formatBound(b float64) string { return formatFloat(b) }
+
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*, replacing anything else with
+// '_'. Registry names in this repo already conform; this is a guard, not
+// a feature.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	out := []byte(name)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out[i] = '_'
+			}
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

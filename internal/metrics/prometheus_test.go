@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseProm parses the text exposition back into a flat map of
+// "name" / "name_bucket{le=...}" / "name_sum" / "name_count" -> value,
+// plus a map of declared types. A minimal scrape-side parser: enough to
+// prove the round trip, not a full OpenMetrics implementation.
+func parseProm(t *testing.T, blob []byte) (values map[string]float64, types map[string]string) {
+	t.Helper()
+	values = make(map[string]float64)
+	types = make(map[string]string)
+	sc := bufio.NewScanner(bytes.NewReader(blob))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndex(line, " ")
+		if idx < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		values[line[:idx]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return values, types
+}
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Add(1027)
+	g := r.Gauge("partition_epoch")
+	g.Set(2)
+	neg := r.Gauge("drift")
+	neg.Set(-5)
+	h := r.Histogram("latency_seconds", 0.001, 0.01, 0.1)
+	for _, v := range []float64{0.0005, 0.0007, 0.005, 0.05, 0.5} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	values, types := parseProm(t, buf.Bytes())
+
+	if types["requests_total"] != "counter" || values["requests_total"] != 1027 {
+		t.Errorf("counter: type %q value %v", types["requests_total"], values["requests_total"])
+	}
+	if types["partition_epoch"] != "gauge" || values["partition_epoch"] != 2 {
+		t.Errorf("gauge: type %q value %v", types["partition_epoch"], values["partition_epoch"])
+	}
+	if values["drift"] != -5 {
+		t.Errorf("negative gauge: %v", values["drift"])
+	}
+	if types["latency_seconds"] != "histogram" {
+		t.Errorf("histogram type %q", types["latency_seconds"])
+	}
+	wantBuckets := map[string]float64{
+		`latency_seconds_bucket{le="0.001"}`: 2,
+		`latency_seconds_bucket{le="0.01"}`:  3,
+		`latency_seconds_bucket{le="0.1"}`:   4,
+		`latency_seconds_bucket{le="+Inf"}`:  5,
+	}
+	for k, want := range wantBuckets {
+		if values[k] != want {
+			t.Errorf("%s = %v, want %v", k, values[k], want)
+		}
+	}
+	if values["latency_seconds_count"] != 5 {
+		t.Errorf("count %v", values["latency_seconds_count"])
+	}
+	wantSum := 0.0005 + 0.0007 + 0.005 + 0.05 + 0.5
+	if got := values["latency_seconds_sum"]; got < wantSum*0.999 || got > wantSum*1.001 {
+		t.Errorf("sum %v, want ~%v", got, wantSum)
+	}
+}
+
+func TestWritePrometheusSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Inc()
+	r.Counter("alpha").Inc()
+	r.Gauge("mid").Set(1)
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of an unchanged registry differ")
+	}
+	za, zm := strings.Index(a.String(), "zeta"), strings.Index(a.String(), "alpha")
+	if za < zm {
+		t.Error("output not sorted by name")
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"requests_total": "requests_total",
+		"weird-name.9":   "weird_name_9",
+		"9starts_digit":  "_starts_digit",
+		"":               "_",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package partition
 
+import "fmt"
+
 // Stability quantifies Assumption 4 of the paper ("costly to shift
 // results: the partitioning is relatively stable"): when cluster
 // membership changes, how many keys move?
@@ -15,10 +17,13 @@ package partition
 // MovedFraction samples keys 0..samples-1 and returns the fraction whose
 // replica group differs between a and b. Group order is ignored: a key
 // "moves" only if the *set* of nodes serving it changes (a reordering
-// costs nothing — the data is already on all group members).
-func MovedFraction(a, b Partitioner, samples int) float64 {
+// costs nothing — the data is already on all group members). A
+// non-positive sample count is an error, not a panic: the count now
+// arrives from operator-facing surfaces (the rotation admin verb), and a
+// bad request must not take the frontend down.
+func MovedFraction(a, b Partitioner, samples int) (float64, error) {
 	if samples <= 0 {
-		panic("partition: MovedFraction with non-positive sample count")
+		return 0, fmt.Errorf("partition: MovedFraction sample count %d, want > 0", samples)
 	}
 	moved := 0
 	ga := make([]int, 0, a.Replicas())
@@ -30,7 +35,7 @@ func MovedFraction(a, b Partitioner, samples int) float64 {
 			moved++
 		}
 	}
-	return float64(moved) / float64(samples)
+	return float64(moved) / float64(samples), nil
 }
 
 // sameSet reports whether two small int slices contain the same elements

@@ -2,10 +2,20 @@ package partition
 
 import "testing"
 
+// mustMovedFraction is the test shorthand for the well-formed-input case.
+func mustMovedFraction(t *testing.T, a, b Partitioner, samples int) float64 {
+	t.Helper()
+	f, err := MovedFraction(a, b, samples)
+	if err != nil {
+		t.Fatalf("MovedFraction: %v", err)
+	}
+	return f
+}
+
 func TestMovedFractionIdentical(t *testing.T) {
 	a := NewRing(20, 3, 5, 0)
 	b := NewRing(20, 3, 5, 0)
-	if f := MovedFraction(a, b, 2000); f != 0 {
+	if f := mustMovedFraction(t, a, b, 2000); f != 0 {
 		t.Errorf("identical partitioners moved %v of keys", f)
 	}
 }
@@ -16,7 +26,7 @@ func TestMovedFractionRingGrowth(t *testing.T) {
 	const d = 3
 	a := NewRing(20, d, 5, 256)
 	b := NewRing(21, d, 5, 256)
-	f := MovedFraction(a, b, 20000)
+	f := mustMovedFraction(t, a, b, 20000)
 	// Expected ≈ 1 - (1 - 1/21)^d ≈ 0.136; allow generous noise.
 	if f > 0.30 {
 		t.Errorf("ring growth moved %v of keys, want ~0.14", f)
@@ -30,7 +40,7 @@ func TestMovedFractionRendezvousGrowth(t *testing.T) {
 	const d = 3
 	a := NewRendezvous(20, d, 5)
 	b := NewRendezvous(21, d, 5)
-	f := MovedFraction(a, b, 20000)
+	f := mustMovedFraction(t, a, b, 20000)
 	if f > 0.25 {
 		t.Errorf("rendezvous growth moved %v of keys, want ~d/(n+1)", f)
 	}
@@ -45,7 +55,7 @@ func TestMovedFractionHashGrowthIsDisruptive(t *testing.T) {
 	// real systems (and the ring/rendezvous options here) exist.
 	a := NewHash(20, 3, 5)
 	b := NewHash(21, 3, 5)
-	f := MovedFraction(a, b, 20000)
+	f := mustMovedFraction(t, a, b, 20000)
 	if f < 0.5 {
 		t.Errorf("hash partitioner growth moved only %v of keys; expected heavy reshuffle", f)
 	}
@@ -56,7 +66,7 @@ func TestMovedFractionSeedChangeMovesEverything(t *testing.T) {
 	// who learned the mapping — and costs a full reshuffle.
 	a := NewRendezvous(20, 3, 5)
 	b := NewRendezvous(20, 3, 6)
-	f := MovedFraction(a, b, 5000)
+	f := mustMovedFraction(t, a, b, 5000)
 	if f < 0.9 {
 		t.Errorf("seed rotation moved only %v of keys", f)
 	}
@@ -76,11 +86,15 @@ func TestMovedFractionIgnoresOrder(t *testing.T) {
 	}
 }
 
-func TestMovedFractionPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("non-positive samples did not panic")
+func TestMovedFractionBadSamples(t *testing.T) {
+	a := NewHash(5, 2, 1)
+	for _, samples := range []int{0, -1} {
+		if _, err := MovedFraction(a, a, samples); err == nil {
+			t.Errorf("samples=%d accepted", samples)
 		}
-	}()
-	MovedFraction(NewHash(5, 2, 1), NewHash(5, 2, 1), 0)
+	}
+	// The same call with a positive count must succeed.
+	if _, err := MovedFraction(a, a, 1); err != nil {
+		t.Errorf("samples=1 rejected: %v", err)
+	}
 }

@@ -16,6 +16,9 @@ func FuzzReadRequest(f *testing.F) {
 		mustReq(&Request{Op: OpGet, Key: "k"}),
 		mustReq(&Request{Op: OpSet, Key: "key", Value: []byte("value")}),
 		mustReq(&Request{Op: OpDel, Key: ""}),
+		mustReq(&Request{Op: OpGet, Key: "k", Epoch: 7}),
+		mustReq(&Request{Op: OpSet, Key: "key", Value: []byte("v"), Epoch: 3, EpochGuard: true}),
+		mustReq(&Request{Op: OpScan, ScanCursor: 12345, ScanLimit: 64, Epoch: 2}),
 		{0xff, 0xff, 0xff, 0xff, 1, 2, 3},
 	}
 	for _, s := range seed {
@@ -35,8 +38,45 @@ func FuzzReadRequest(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encoded request fails to decode: %v", err)
 		}
-		if back.Op != req.Op || back.Key != req.Key || !bytes.Equal(back.Value, req.Value) {
+		if back.Op != req.Op || back.Key != req.Key || !bytes.Equal(back.Value, req.Value) ||
+			back.Epoch != req.Epoch || back.EpochGuard != req.EpochGuard ||
+			back.ScanCursor != req.ScanCursor || back.ScanLimit != req.ScanLimit {
 			t.Fatalf("round trip changed the message: %+v vs %+v", req, back)
+		}
+	})
+}
+
+// FuzzScanPayload hammers the scan-page decoder: anything it accepts
+// must re-encode to an identical page.
+func FuzzScanPayload(f *testing.F) {
+	one, _ := EncodeScanPayload(99, []ScanEntry{{Key: "k", Value: []byte("v"), Epoch: 2}})
+	empty, _ := EncodeScanPayload(0, nil)
+	seed := [][]byte{{}, one, empty, {0, 0, 0, 0, 0, 0, 0, 0, 0, 3}}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		entries, next, err := DecodeScanPayload(raw)
+		if err != nil {
+			return
+		}
+		re, err := EncodeScanPayload(next, entries)
+		if err != nil {
+			t.Fatalf("accepted scan page fails to encode: %v", err)
+		}
+		back, backNext, err := DecodeScanPayload(re)
+		if err != nil {
+			t.Fatalf("re-encoded scan page fails to decode: %v", err)
+		}
+		if backNext != next || len(back) != len(entries) {
+			t.Fatalf("round trip changed the page: %d/%d entries, cursor %d/%d",
+				len(back), len(entries), backNext, next)
+		}
+		for i := range entries {
+			if back[i].Key != entries[i].Key || !bytes.Equal(back[i].Value, entries[i].Value) ||
+				back[i].Epoch != entries[i].Epoch {
+				t.Fatalf("round trip changed entry %d: %+v vs %+v", i, entries[i], back[i])
+			}
 		}
 	})
 }

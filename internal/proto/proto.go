@@ -11,6 +11,19 @@
 //	byte    op (OpGet, OpSet, OpDel, OpStats, OpPing)
 //	uint16  key length, then key bytes (absent for OpStats/OpPing)
 //	uint32  value length, then value bytes (OpSet only)
+//	[ext]   optional epoch extension (see below)
+//
+// Single-key requests (and OpScan) may carry one trailing extension
+// block tagging the request with a partition epoch:
+//
+//	byte    0xE1 (extension tag)
+//	uint32  epoch
+//	byte    flags (bit 0: epoch-guarded write)
+//
+// The block is emitted only when the epoch or a flag is non-zero, so
+// pre-rotation peers and pre-extension frames stay byte-identical.
+// Unknown tags or flags are rejected as malformed — the extension is a
+// versioning escape hatch, not a skip-what-you-don't-know channel.
 //
 // Response body:
 //
@@ -59,12 +72,14 @@ func (o Op) String() string {
 		return "PING"
 	case OpMGet:
 		return "MGET"
+	case OpScan:
+		return "SCAN"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
 }
 
-func (o Op) valid() bool { return (o >= OpGet && o <= OpPing) || o == OpMGet }
+func (o Op) valid() bool { return (o >= OpGet && o <= OpPing) || o == OpMGet || o == OpScan }
 
 // hasKey reports whether the op carries a key.
 func (o Op) hasKey() bool { return o == OpGet || o == OpSet || o == OpDel }
@@ -108,6 +123,10 @@ const (
 	MaxKeyLen   = 1 << 10 // 1 KiB keys
 	MaxValueLen = 1 << 22 // 4 MiB values
 	maxFrame    = MaxValueLen + MaxKeyLen + 16
+	// MaxPayloadLen bounds a response payload: a max-size value plus
+	// per-entry framing (key, lengths, epoch) must fit, so a scan page
+	// carrying one maximal entry is still deliverable.
+	MaxPayloadLen = maxFrame - 5
 )
 
 // Protocol errors.
@@ -120,14 +139,44 @@ var (
 	ErrBusy = errors.New("proto: server busy, request shed")
 )
 
+// Epoch extension encoding: tag byte, uint32 epoch, flag byte.
+const (
+	extEpochTag    = 0xE1
+	extEpochLen    = 6
+	flagEpochGuard = 1 << 0
+)
+
 // Request is a client -> server message. Key/Value apply to the
-// single-key ops; Keys applies to OpMGet.
+// single-key ops; Keys applies to OpMGet; ScanCursor/ScanLimit apply to
+// OpScan.
 type Request struct {
 	Op    Op
 	Key   string
 	Value []byte
 	Keys  []string
+
+	// Epoch tags the request with a partition epoch. For OpSet it is
+	// the epoch the stored entry is stamped with; for OpScan it is an
+	// exclusive filter (only entries below this epoch are returned,
+	// 0 = all). Zero epoch with no flags is encoded as no extension at
+	// all, keeping pre-rotation frames unchanged.
+	Epoch uint32
+	// EpochGuard marks an OpSet as a migration copy: the store applies
+	// it only if the key is absent or stored under a strictly older
+	// epoch, so a racing client write (stamped with the current epoch)
+	// can never be clobbered by stale migrated data.
+	EpochGuard bool
+
+	// ScanCursor resumes an OpScan after the entry with this key ID
+	// (0 starts from the beginning).
+	ScanCursor uint64
+	// ScanLimit caps the entries per OpScan response, in
+	// [1, MaxBatchKeys].
+	ScanLimit uint16
 }
+
+// hasEpochExt reports whether the request carries the epoch extension.
+func (req *Request) hasEpochExt() bool { return req.Epoch != 0 || req.EpochGuard }
 
 // Response is a server -> client message. For StatusError, Payload holds
 // the UTF-8 error message.
@@ -156,6 +205,9 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 		return dst, fmt.Errorf("%w: bad op %d", ErrMalformed, req.Op)
 	}
 	if req.Op == OpMGet {
+		if req.hasEpochExt() {
+			return dst, fmt.Errorf("%w: batch requests cannot carry an epoch extension", ErrMalformed)
+		}
 		return AppendMGetRequest(dst, req.Keys)
 	}
 	if len(req.Key) > MaxKeyLen {
@@ -164,12 +216,21 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	if len(req.Value) > MaxValueLen {
 		return dst, fmt.Errorf("%w: value length %d", ErrFrameTooLarge, len(req.Value))
 	}
+	if req.Op == OpScan && (req.ScanLimit == 0 || req.ScanLimit > MaxBatchKeys) {
+		return dst, fmt.Errorf("%w: scan limit %d outside [1, %d]", ErrMalformed, req.ScanLimit, MaxBatchKeys)
+	}
 	body := 1
 	if req.Op.hasKey() {
 		body += 2 + len(req.Key)
 	}
 	if req.Op == OpSet {
 		body += 4 + len(req.Value)
+	}
+	if req.Op == OpScan {
+		body += 8 + 2
+	}
+	if req.hasEpochExt() {
+		body += extEpochLen
 	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
 	dst = append(dst, byte(req.Op))
@@ -180,6 +241,19 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	if req.Op == OpSet {
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(req.Value)))
 		dst = append(dst, req.Value...)
+	}
+	if req.Op == OpScan {
+		dst = binary.BigEndian.AppendUint64(dst, req.ScanCursor)
+		dst = binary.BigEndian.AppendUint16(dst, req.ScanLimit)
+	}
+	if req.hasEpochExt() {
+		dst = append(dst, extEpochTag)
+		dst = binary.BigEndian.AppendUint32(dst, req.Epoch)
+		var flags byte
+		if req.EpochGuard {
+			flags |= flagEpochGuard
+		}
+		dst = append(dst, flags)
 	}
 	return dst, nil
 }
@@ -240,6 +314,29 @@ func ReadRequest(r io.Reader) (*Request, error) {
 		req.Value = append([]byte(nil), body[:vlen]...)
 		body = body[vlen:]
 	}
+	if req.Op == OpScan {
+		if len(body) < 10 {
+			return nil, fmt.Errorf("%w: truncated scan body", ErrMalformed)
+		}
+		req.ScanCursor = binary.BigEndian.Uint64(body)
+		req.ScanLimit = binary.BigEndian.Uint16(body[8:])
+		body = body[10:]
+		if req.ScanLimit == 0 || req.ScanLimit > MaxBatchKeys {
+			return nil, fmt.Errorf("%w: scan limit %d outside [1, %d]", ErrMalformed, req.ScanLimit, MaxBatchKeys)
+		}
+	}
+	if len(body) > 0 {
+		if body[0] != extEpochTag || len(body) < extEpochLen {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(body))
+		}
+		req.Epoch = binary.BigEndian.Uint32(body[1:])
+		flags := body[5]
+		if flags&^byte(flagEpochGuard) != 0 {
+			return nil, fmt.Errorf("%w: unknown epoch flags %#x", ErrMalformed, flags)
+		}
+		req.EpochGuard = flags&flagEpochGuard != 0
+		body = body[extEpochLen:]
+	}
 	if len(body) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(body))
 	}
@@ -251,7 +348,7 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 	if !resp.Status.valid() {
 		return dst, fmt.Errorf("%w: bad status %d", ErrMalformed, resp.Status)
 	}
-	if len(resp.Payload) > MaxValueLen {
+	if len(resp.Payload) > MaxPayloadLen {
 		return dst, fmt.Errorf("%w: payload length %d", ErrFrameTooLarge, len(resp.Payload))
 	}
 	body := 1 + 4 + len(resp.Payload)
@@ -287,7 +384,7 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	}
 	plen := int(binary.BigEndian.Uint32(body[1:]))
 	body = body[5:]
-	if plen > MaxValueLen || len(body) != plen {
+	if plen > MaxPayloadLen || len(body) != plen {
 		return nil, fmt.Errorf("%w: payload length %d vs body %d", ErrMalformed, plen, len(body))
 	}
 	if plen > 0 {

@@ -1,0 +1,110 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Key migration: OpScan pages through a backend's store in key-ID order
+// so a frontend-driven migrator can stream every entry during an epoch
+// rotation without the backend holding iterator state. The request body
+// (after the op byte) is a resume cursor plus a page limit; an epoch
+// extension on the request filters to entries stored under a strictly
+// older epoch, so completed passes shrink as migration progresses.
+//
+// Response payload (StatusOK):
+//
+//	uint64  next cursor (0 = scan complete)
+//	uint16  entry count (may be 0)
+//	count × [uint16 key length][key][uint32 value length][value][uint32 epoch]
+
+// OpScan is the migration page-read operation.
+const OpScan Op = 7
+
+// ScanEntry is one stored record in a scan page.
+type ScanEntry struct {
+	Key   string
+	Value []byte
+	Epoch uint32
+}
+
+// EncodeScanPayload packs a scan page into a response payload. A page
+// with zero entries is valid (the filter excluded everything in range).
+func EncodeScanPayload(next uint64, entries []ScanEntry) ([]byte, error) {
+	if len(entries) > MaxBatchKeys {
+		return nil, fmt.Errorf("%w: %d scan entries (limit %d)", ErrMalformed, len(entries), MaxBatchKeys)
+	}
+	size := 8 + 2
+	for _, e := range entries {
+		if len(e.Key) > MaxKeyLen {
+			return nil, fmt.Errorf("%w: key length %d", ErrFrameTooLarge, len(e.Key))
+		}
+		if len(e.Value) > MaxValueLen {
+			return nil, fmt.Errorf("%w: value length %d", ErrFrameTooLarge, len(e.Value))
+		}
+		size += 2 + len(e.Key) + 4 + len(e.Value) + 4
+	}
+	if size > MaxPayloadLen {
+		return nil, fmt.Errorf("%w: scan payload %d bytes", ErrFrameTooLarge, size)
+	}
+	out := make([]byte, 0, size)
+	out = binary.BigEndian.AppendUint64(out, next)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(entries)))
+	for _, e := range entries {
+		out = binary.BigEndian.AppendUint16(out, uint16(len(e.Key)))
+		out = append(out, e.Key...)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(e.Value)))
+		out = append(out, e.Value...)
+		out = binary.BigEndian.AppendUint32(out, e.Epoch)
+	}
+	return out, nil
+}
+
+// DecodeScanPayload unpacks a scan response payload.
+func DecodeScanPayload(payload []byte) (entries []ScanEntry, next uint64, err error) {
+	if len(payload) < 10 {
+		return nil, 0, fmt.Errorf("%w: truncated scan payload", ErrMalformed)
+	}
+	next = binary.BigEndian.Uint64(payload)
+	count := int(binary.BigEndian.Uint16(payload[8:]))
+	payload = payload[10:]
+	if count > MaxBatchKeys {
+		return nil, 0, fmt.Errorf("%w: scan page of %d entries", ErrMalformed, count)
+	}
+	entries = make([]ScanEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(payload) < 2 {
+			return nil, 0, fmt.Errorf("%w: truncated scan entry %d key length", ErrMalformed, i)
+		}
+		klen := int(binary.BigEndian.Uint16(payload))
+		payload = payload[2:]
+		if klen > MaxKeyLen || len(payload) < klen {
+			return nil, 0, fmt.Errorf("%w: scan entry %d key length %d vs body %d", ErrMalformed, i, klen, len(payload))
+		}
+		key := string(payload[:klen])
+		payload = payload[klen:]
+		if len(payload) < 4 {
+			return nil, 0, fmt.Errorf("%w: truncated scan entry %d value length", ErrMalformed, i)
+		}
+		vlen := int(binary.BigEndian.Uint32(payload))
+		payload = payload[4:]
+		if vlen > MaxValueLen || len(payload) < vlen {
+			return nil, 0, fmt.Errorf("%w: scan entry %d value length %d vs body %d", ErrMalformed, i, vlen, len(payload))
+		}
+		e := ScanEntry{Key: key}
+		if vlen > 0 {
+			e.Value = append([]byte(nil), payload[:vlen]...)
+		}
+		payload = payload[vlen:]
+		if len(payload) < 4 {
+			return nil, 0, fmt.Errorf("%w: truncated scan entry %d epoch", ErrMalformed, i)
+		}
+		e.Epoch = binary.BigEndian.Uint32(payload)
+		payload = payload[4:]
+		entries = append(entries, e)
+	}
+	if len(payload) != 0 {
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes after scan payload", ErrMalformed, len(payload))
+	}
+	return entries, next, nil
+}

@@ -1,0 +1,128 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestEpochExtensionRoundTrip(t *testing.T) {
+	cases := []*Request{
+		{Op: OpGet, Key: "k", Epoch: 1},
+		{Op: OpSet, Key: "k", Value: []byte("v"), Epoch: 42},
+		{Op: OpSet, Key: "k", Value: []byte("v"), Epoch: 42, EpochGuard: true},
+		{Op: OpDel, Key: "k", Epoch: 9},
+		{Op: OpScan, ScanCursor: 1 << 40, ScanLimit: MaxBatchKeys, Epoch: 3},
+		{Op: OpScan, ScanCursor: 0, ScanLimit: 1},
+	}
+	for _, req := range cases {
+		got := roundTripRequest(t, req)
+		if got.Op != req.Op || got.Key != req.Key || !bytes.Equal(got.Value, req.Value) ||
+			got.Epoch != req.Epoch || got.EpochGuard != req.EpochGuard ||
+			got.ScanCursor != req.ScanCursor || got.ScanLimit != req.ScanLimit {
+			t.Errorf("%s: round trip %+v -> %+v", req.Op, req, got)
+		}
+	}
+}
+
+func TestEpochExtensionWireCompatible(t *testing.T) {
+	// A request without epoch data must encode byte-identically to the
+	// pre-extension format: rolling upgrades depend on it.
+	plain, err := AppendRequest(nil, &Request{Op: OpGet, Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 0, 0, 4, byte(OpGet), 0, 1, 'k'}
+	if !bytes.Equal(plain, want) {
+		t.Fatalf("zero-epoch GET encodes as % x, want % x", plain, want)
+	}
+}
+
+func TestEpochExtensionMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"unknown tag":    {0, 0, 0, 10, byte(OpGet), 0, 1, 'k', 0xE2, 0, 0, 0, 1, 0},
+		"truncated ext":  {0, 0, 0, 7, byte(OpGet), 0, 1, 'k', 0xE1, 0, 0},
+		"unknown flags":  {0, 0, 0, 10, byte(OpGet), 0, 1, 'k', 0xE1, 0, 0, 0, 1, 0x80},
+		"bytes past ext": {0, 0, 0, 11, byte(OpGet), 0, 1, 'k', 0xE1, 0, 0, 0, 1, 0, 'z'},
+		"scan zero lim":  {0, 0, 0, 11, byte(OpScan), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"scan truncated": {0, 0, 0, 5, byte(OpScan), 0, 0, 0, 0},
+	}
+	for name, raw := range cases {
+		if _, err := ReadRequest(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: error %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestMGetRejectsEpoch(t *testing.T) {
+	_, err := AppendRequest(nil, &Request{Op: OpMGet, Keys: []string{"a"}, Epoch: 1})
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("MGet with epoch: error %v, want ErrMalformed", err)
+	}
+}
+
+func TestScanPayloadRoundTrip(t *testing.T) {
+	entries := []ScanEntry{
+		{Key: "a", Value: []byte("one"), Epoch: 1},
+		{Key: "b", Value: nil, Epoch: 0},
+		{Key: "c", Value: []byte{0, 1, 2}, Epoch: 1<<32 - 1},
+	}
+	payload, err := EncodeScanPayload(777, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, next, err := DecodeScanPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 777 || len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, cursor %d", len(got), next)
+	}
+	for i := range entries {
+		if got[i].Key != entries[i].Key || !bytes.Equal(got[i].Value, entries[i].Value) ||
+			got[i].Epoch != entries[i].Epoch {
+			t.Errorf("entry %d: %+v -> %+v", i, entries[i], got[i])
+		}
+	}
+}
+
+func TestScanPayloadEmptyPage(t *testing.T) {
+	payload, err := EncodeScanPayload(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, next, err := DecodeScanPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 0 || len(entries) != 0 {
+		t.Fatalf("empty page decoded as %d entries, cursor %d", len(entries), next)
+	}
+}
+
+func TestScanPayloadMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated header": {0, 0, 0},
+		"count overrun":    {0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 0, 1, 'a'},
+		"trailing bytes": func() []byte {
+			p, _ := EncodeScanPayload(0, nil)
+			return append(p, 'z')
+		}(),
+	}
+	for name, raw := range cases {
+		if _, _, err := DecodeScanPayload(raw); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: error %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestScanLimitValidation(t *testing.T) {
+	if _, err := AppendRequest(nil, &Request{Op: OpScan, ScanLimit: 0}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("zero scan limit: error %v, want ErrMalformed", err)
+	}
+	if OpScan.String() != "SCAN" {
+		t.Errorf("OpScan.String() = %q", OpScan.String())
+	}
+}

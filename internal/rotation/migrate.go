@@ -1,0 +1,220 @@
+package rotation
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"securecache/internal/overload"
+)
+
+// Entry is one record streamed out of a node during migration.
+type Entry struct {
+	Key   string
+	Value []byte
+	Epoch uint32
+}
+
+// Transport is how the Migrator talks to the cluster. In production it
+// is the frontend's backend clients (SCAN pages + epoch-guarded
+// copies); tests plug in an in-memory fake.
+type Transport interface {
+	// Scan returns one page of node's un-migrated entries after cursor,
+	// plus the next cursor (0 = node drained for this pass).
+	Scan(node int, cursor uint64, limit int) ([]Entry, uint64, error)
+	// Move re-places one entry under the new mapping. It must be
+	// idempotent and guarded: a concurrent client write at the new
+	// epoch wins, and re-moving an already-moved entry is a no-op.
+	Move(e Entry) error
+}
+
+// ErrStopped reports that migration was cancelled via the stop channel.
+var ErrStopped = errors.New("rotation: migration stopped")
+
+// MigratorConfig parameterizes a Migrator.
+type MigratorConfig struct {
+	// Nodes is the number of backend nodes to drain. Required.
+	Nodes int
+	// Batch is the SCAN page size (default 256).
+	Batch int
+	// Limiter rate-limits Move calls; nil = unlimited. This is the
+	// knob that keeps migration from becoming its own overload: size
+	// it below the cluster's spare capacity.
+	Limiter *overload.TokenBucket
+	// MaxAttempts bounds retries of one failing scan or move before
+	// the migration aborts (default 50). Busy responses count here —
+	// an overloaded cluster stalls migration rather than failing it
+	// instantly, but a wedged node cannot stall it forever.
+	MaxAttempts int
+	// Backoff is the base retry backoff, doubling up to 100x
+	// (default 5ms).
+	Backoff time.Duration
+	// OnMoved, when non-nil, is called after each successful move (the
+	// frontend hooks rotation_keys_moved_total here).
+	OnMoved func()
+	// OnInflight, when non-nil, is called with +1/-1 around each move
+	// (the rotation_inflight gauge).
+	OnInflight func(delta int)
+}
+
+// Migrator drains every node's un-migrated entries through a Transport
+// until a full pass over the cluster finds nothing left to move.
+type Migrator struct {
+	cfg   MigratorConfig
+	t     Transport
+	moved atomic.Uint64
+}
+
+// NewMigrator validates cfg and returns a Migrator.
+func NewMigrator(cfg MigratorConfig, t Transport) (*Migrator, error) {
+	if t == nil {
+		return nil, errors.New("rotation: nil transport")
+	}
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("rotation: %d nodes", cfg.Nodes)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 256
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 50
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 5 * time.Millisecond
+	}
+	return &Migrator{cfg: cfg, t: t}, nil
+}
+
+// Moved returns the number of entries moved so far (readable while Run
+// is in flight).
+func (m *Migrator) Moved() uint64 { return m.moved.Load() }
+
+// Run migrates until a full pass over all nodes moves nothing (the
+// cluster is drained: every entry a scan can see is at the new epoch),
+// returning the total moved. Closing stop cancels with ErrStopped.
+//
+// Sources are scanned repeatedly rather than tracked: a client write
+// landing mid-pass re-tags its key at the new epoch, so it simply
+// stops appearing in later scans. Convergence needs only that moves
+// retire entries faster than rotation-era writes create old-epoch ones
+// — and nothing writes old-epoch entries once the rotation has begun.
+func (m *Migrator) Run(stop <-chan struct{}) (uint64, error) {
+	for {
+		n, err := m.pass(stop)
+		if err != nil {
+			return m.moved.Load(), err
+		}
+		if n == 0 {
+			return m.moved.Load(), nil
+		}
+	}
+}
+
+// pass drains each node once, returning how many entries it moved.
+func (m *Migrator) pass(stop <-chan struct{}) (int, error) {
+	total := 0
+	for node := 0; node < m.cfg.Nodes; node++ {
+		cursor := uint64(0)
+		for {
+			entries, next, err := m.scanRetry(node, cursor, stop)
+			if err != nil {
+				return total, err
+			}
+			for _, e := range entries {
+				if err := m.wait(stop); err != nil {
+					return total, err
+				}
+				if m.cfg.OnInflight != nil {
+					m.cfg.OnInflight(1)
+				}
+				err := m.moveRetry(e, stop)
+				if m.cfg.OnInflight != nil {
+					m.cfg.OnInflight(-1)
+				}
+				if err != nil {
+					return total, err
+				}
+				m.moved.Add(1)
+				total++
+				if m.cfg.OnMoved != nil {
+					m.cfg.OnMoved()
+				}
+			}
+			if next == 0 {
+				break
+			}
+			cursor = next
+		}
+	}
+	return total, nil
+}
+
+// wait blocks until the rate limiter admits one move (or stop closes).
+func (m *Migrator) wait(stop <-chan struct{}) error {
+	for !m.cfg.Limiter.Allow() {
+		select {
+		case <-stop:
+			return ErrStopped
+		case <-time.After(time.Millisecond):
+		}
+	}
+	select {
+	case <-stop:
+		return ErrStopped
+	default:
+		return nil
+	}
+}
+
+func (m *Migrator) scanRetry(node int, cursor uint64, stop <-chan struct{}) ([]Entry, uint64, error) {
+	var lastErr error
+	for attempt := 0; attempt < m.cfg.MaxAttempts; attempt++ {
+		if err := m.sleep(attempt, stop); err != nil {
+			return nil, 0, err
+		}
+		entries, next, err := m.t.Scan(node, cursor, m.cfg.Batch)
+		if err == nil {
+			return entries, next, nil
+		}
+		lastErr = err
+	}
+	return nil, 0, fmt.Errorf("rotation: scan node %d: %w", node, lastErr)
+}
+
+func (m *Migrator) moveRetry(e Entry, stop <-chan struct{}) error {
+	var lastErr error
+	for attempt := 0; attempt < m.cfg.MaxAttempts; attempt++ {
+		if err := m.sleep(attempt, stop); err != nil {
+			return err
+		}
+		if err := m.t.Move(e); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	return fmt.Errorf("rotation: move %q: %w", e.Key, lastErr)
+}
+
+// sleep backs off before retry attempt n (attempt 0 is free).
+func (m *Migrator) sleep(attempt int, stop <-chan struct{}) error {
+	if attempt == 0 {
+		select {
+		case <-stop:
+			return ErrStopped
+		default:
+			return nil
+		}
+	}
+	d := m.cfg.Backoff
+	for i := 1; i < attempt && d < 100*m.cfg.Backoff; i++ {
+		d *= 2
+	}
+	select {
+	case <-stop:
+		return ErrStopped
+	case <-time.After(d):
+		return nil
+	}
+}

@@ -1,0 +1,186 @@
+package rotation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"securecache/internal/overload"
+)
+
+// fakeTransport is an in-memory cluster: per-node sorted entry lists
+// plus a "moved" sink. Moves retire entries from their source node,
+// which is what makes a repeated pass come up dry.
+type fakeTransport struct {
+	mu       sync.Mutex
+	nodes    [][]Entry
+	moved    []Entry
+	scanErrs int // inject this many scan failures first
+	moveErrs int // inject this many move failures first
+}
+
+func (f *fakeTransport) Scan(node int, cursor uint64, limit int) ([]Entry, uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.scanErrs > 0 {
+		f.scanErrs--
+		return nil, 0, errors.New("injected scan failure")
+	}
+	var page []Entry
+	// Entries are keyed by index: cursor is the 1-based position of the
+	// last returned entry so deletions behind the cursor are harmless.
+	entries := f.nodes[node]
+	start := int(cursor)
+	for i := start; i < len(entries) && len(page) < limit; i++ {
+		page = append(page, entries[i])
+	}
+	next := uint64(start + len(page))
+	if int(next) >= len(entries) {
+		next = 0
+	}
+	return page, next, nil
+}
+
+func (f *fakeTransport) Move(e Entry) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.moveErrs > 0 {
+		f.moveErrs--
+		return errors.New("injected move failure")
+	}
+	f.moved = append(f.moved, e)
+	// Retire the entry from every node (a real Move re-tags or purges
+	// the source copies, so later scans no longer see it).
+	for n := range f.nodes {
+		kept := f.nodes[n][:0]
+		for _, cur := range f.nodes[n] {
+			if cur.Key != e.Key {
+				kept = append(kept, cur)
+			}
+		}
+		f.nodes[n] = kept
+	}
+	return nil
+}
+
+func seedTransport(nodes, perNode int) *fakeTransport {
+	f := &fakeTransport{nodes: make([][]Entry, nodes)}
+	for n := 0; n < nodes; n++ {
+		for i := 0; i < perNode; i++ {
+			f.nodes[n] = append(f.nodes[n], Entry{
+				Key:   fmt.Sprintf("n%d-k%d", n, i),
+				Value: []byte("v"),
+				Epoch: 0,
+			})
+		}
+	}
+	return f
+}
+
+func TestMigratorDrainsAllNodes(t *testing.T) {
+	ft := seedTransport(4, 30)
+	moves := 0
+	m, err := NewMigrator(MigratorConfig{
+		Nodes:   4,
+		Batch:   7,
+		OnMoved: func() { moves++ },
+	}, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 120 || moves != 120 || m.Moved() != 120 {
+		t.Fatalf("moved %d (hook %d, Moved %d), want 120", moved, moves, m.Moved())
+	}
+	if len(ft.moved) != 120 {
+		t.Fatalf("transport saw %d moves", len(ft.moved))
+	}
+}
+
+func TestMigratorRetriesTransientErrors(t *testing.T) {
+	ft := seedTransport(2, 5)
+	ft.scanErrs = 3
+	ft.moveErrs = 2
+	m, err := NewMigrator(MigratorConfig{Nodes: 2, Backoff: time.Microsecond}, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := m.Run(nil)
+	if err != nil || moved != 10 {
+		t.Fatalf("moved %d, err %v", moved, err)
+	}
+}
+
+func TestMigratorGivesUpAfterMaxAttempts(t *testing.T) {
+	ft := seedTransport(1, 3)
+	ft.moveErrs = 1000
+	m, err := NewMigrator(MigratorConfig{Nodes: 1, MaxAttempts: 3, Backoff: time.Microsecond}, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(nil); err == nil {
+		t.Fatal("permanently failing move did not abort the migration")
+	}
+}
+
+func TestMigratorStop(t *testing.T) {
+	ft := seedTransport(1, 1000)
+	stop := make(chan struct{})
+	// Throttle hard so the run is guaranteed to still be in flight when
+	// stop closes.
+	m, err := NewMigrator(MigratorConfig{
+		Nodes:   1,
+		Limiter: overload.NewTokenBucket(50, 1),
+	}, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Run(stop)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("stop returned %v, want ErrStopped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("migrator did not stop")
+	}
+	if m.Moved() >= 1000 {
+		t.Fatal("migration finished despite the throttle; stop was never exercised")
+	}
+}
+
+func TestMigratorHonorsRateLimit(t *testing.T) {
+	const keys = 60
+	ft := seedTransport(1, keys)
+	rate := 1000.0
+	m, err := NewMigrator(MigratorConfig{
+		Nodes:   1,
+		Limiter: overload.NewTokenBucket(rate, 1),
+	}, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	moved, err := m.Run(nil)
+	elapsed := time.Since(start)
+	if err != nil || moved != keys {
+		t.Fatalf("moved %d, err %v", moved, err)
+	}
+	// 60 keys at 1000/s with burst 1 needs >= ~59ms; allow generous
+	// scheduling slack below that floor.
+	if min := time.Duration(float64(keys-1) / rate * 0.7 * float64(time.Second)); elapsed < min {
+		t.Fatalf("migration of %d keys at %v/s finished in %v (< %v): limiter not applied",
+			keys, rate, elapsed, min)
+	}
+}

@@ -1,0 +1,109 @@
+package rotation
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"securecache/internal/guard"
+)
+
+// ResponderConfig parameterizes a Responder.
+type ResponderConfig struct {
+	// Trigger is the minimum guard verdict that counts toward firing
+	// (default guard.VerdictCritical; guard.VerdictSkewed responds
+	// earlier at the cost of reacting to organic skew).
+	Trigger guard.Verdict
+	// Windows is how many consecutive triggering observations are
+	// required before rotating (default 2). This is the hysteresis: a
+	// single noisy window — one hot scrape interval — must not move
+	// the whole key space.
+	Windows int
+	// Cooldown is the minimum spacing between rotations (default 1m).
+	// A rotation leaves the detector hot until the attacker's learned
+	// keys stop concentrating, so without a cooldown the responder
+	// would fire again on its own wake.
+	Cooldown time.Duration
+	// Rotate triggers the rotation (required). In production it POSTs
+	// the frontend's /rotate admin verb.
+	Rotate func() error
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Responder turns guard observations into rotation triggers with
+// hysteresis and cooldown. Like the guard itself it is not safe for
+// concurrent use: feed it from the single observation loop.
+type Responder struct {
+	cfg    ResponderConfig
+	streak int
+	last   time.Time
+	fired  int
+}
+
+// NewResponder validates cfg and returns a Responder.
+func NewResponder(cfg ResponderConfig) (*Responder, error) {
+	if cfg.Rotate == nil {
+		return nil, errors.New("rotation: ResponderConfig.Rotate is required")
+	}
+	if cfg.Trigger == "" {
+		cfg.Trigger = guard.VerdictCritical
+	}
+	if verdictRank(cfg.Trigger) <= verdictRank(guard.VerdictBalanced) {
+		return nil, fmt.Errorf("rotation: trigger verdict %q would fire on balanced load", cfg.Trigger)
+	}
+	if cfg.Windows <= 0 {
+		cfg.Windows = 2
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Minute
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Responder{cfg: cfg}, nil
+}
+
+// Observe ingests one guard observation and fires the rotation once the
+// trigger verdict has held for the configured number of consecutive
+// windows and the cooldown has elapsed. It returns whether a rotation
+// was triggered; a Rotate error is returned as-is (the cooldown still
+// starts, so a failing trigger is not hammered every window).
+func (r *Responder) Observe(obs guard.Observation) (bool, error) {
+	if verdictRank(obs.Verdict) < verdictRank(r.cfg.Trigger) {
+		r.streak = 0
+		return false, nil
+	}
+	r.streak++
+	if r.streak < r.cfg.Windows {
+		return false, nil
+	}
+	now := r.cfg.Now()
+	if !r.last.IsZero() && now.Sub(r.last) < r.cfg.Cooldown {
+		return false, nil
+	}
+	r.last = now
+	r.streak = 0
+	if err := r.cfg.Rotate(); err != nil {
+		return false, err
+	}
+	r.fired++
+	return true, nil
+}
+
+// Fired returns how many rotations this responder has triggered.
+func (r *Responder) Fired() int { return r.fired }
+
+// verdictRank orders verdicts by severity.
+func verdictRank(v guard.Verdict) int {
+	switch v {
+	case guard.VerdictBalanced:
+		return 0
+	case guard.VerdictSkewed:
+		return 1
+	case guard.VerdictCritical:
+		return 2
+	default:
+		return -1
+	}
+}

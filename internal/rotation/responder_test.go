@@ -1,0 +1,129 @@
+package rotation
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"securecache/internal/guard"
+)
+
+func obsWith(v guard.Verdict) guard.Observation {
+	return guard.Observation{Verdict: v}
+}
+
+func TestResponderRequiresConsecutiveWindows(t *testing.T) {
+	fired := 0
+	r, err := NewResponder(ResponderConfig{
+		Windows: 3,
+		Rotate:  func() error { fired++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []guard.Verdict{
+		guard.VerdictCritical,
+		guard.VerdictCritical,
+		guard.VerdictBalanced, // streak broken
+		guard.VerdictCritical,
+		guard.VerdictCritical,
+	}
+	for _, v := range seq {
+		if ok, err := r.Observe(obsWith(v)); err != nil || ok {
+			t.Fatalf("premature fire on %s", v)
+		}
+	}
+	ok, err := r.Observe(obsWith(guard.VerdictCritical))
+	if err != nil || !ok || fired != 1 {
+		t.Fatalf("third consecutive critical: fired=%v err=%v count=%d", ok, err, fired)
+	}
+}
+
+func TestResponderCooldown(t *testing.T) {
+	now := time.Unix(1000, 0)
+	fired := 0
+	r, err := NewResponder(ResponderConfig{
+		Windows:  1,
+		Cooldown: time.Minute,
+		Rotate:   func() error { fired++; return nil },
+		Now:      func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := r.Observe(obsWith(guard.VerdictCritical)); !ok {
+		t.Fatal("first critical did not fire")
+	}
+	// The detector stays hot right after a rotation (migration is still
+	// draining) — the cooldown must absorb that.
+	for i := 0; i < 10; i++ {
+		now = now.Add(5 * time.Second)
+		if ok, _ := r.Observe(obsWith(guard.VerdictCritical)); ok {
+			t.Fatal("fired inside cooldown")
+		}
+	}
+	now = now.Add(time.Minute)
+	if ok, _ := r.Observe(obsWith(guard.VerdictCritical)); !ok || fired != 2 {
+		t.Fatalf("post-cooldown fire: ok=%v fired=%d", ok, fired)
+	}
+}
+
+func TestResponderTriggerLevel(t *testing.T) {
+	fired := 0
+	r, err := NewResponder(ResponderConfig{
+		Trigger: guard.VerdictSkewed,
+		Windows: 1,
+		Rotate:  func() error { fired++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical outranks the skewed trigger; balanced does not reach it.
+	if ok, _ := r.Observe(obsWith(guard.VerdictBalanced)); ok {
+		t.Fatal("fired on balanced")
+	}
+	if ok, _ := r.Observe(obsWith(guard.VerdictCritical)); !ok {
+		t.Fatal("critical did not satisfy a skewed trigger")
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d", fired)
+	}
+}
+
+func TestResponderRotateErrorStartsCooldown(t *testing.T) {
+	now := time.Unix(0, 0)
+	boom := errors.New("rotation already in progress")
+	calls := 0
+	r, err := NewResponder(ResponderConfig{
+		Windows:  1,
+		Cooldown: time.Minute,
+		Rotate:   func() error { calls++; return boom },
+		Now:      func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := r.Observe(obsWith(guard.VerdictCritical)); ok || !errors.Is(err, boom) {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// The failed trigger must not be hammered every window.
+	now = now.Add(time.Second)
+	if _, err := r.Observe(obsWith(guard.VerdictCritical)); err != nil {
+		t.Fatal("re-fired during cooldown after a failed trigger")
+	}
+	if calls != 1 || r.Fired() != 0 {
+		t.Fatalf("calls=%d fired=%d", calls, r.Fired())
+	}
+}
+
+func TestResponderConfigValidation(t *testing.T) {
+	if _, err := NewResponder(ResponderConfig{}); err == nil {
+		t.Fatal("nil Rotate accepted")
+	}
+	if _, err := NewResponder(ResponderConfig{
+		Trigger: guard.VerdictBalanced,
+		Rotate:  func() error { return nil },
+	}); err == nil {
+		t.Fatal("balanced trigger accepted")
+	}
+}
