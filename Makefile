@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet race chaos bench fuzz
+.PHONY: all build test verify vet lint race chaos bench fuzz
 
 all: verify
 
@@ -18,6 +18,16 @@ verify: build test
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet always; staticcheck when installed (CI
+# installs it — see .github/workflows/ci.yml — but it is not a local
+# build prerequisite, so its absence only prints a notice).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # Race-detect the networked kvstore package: failover, retries, breaker
 # transitions, and the probe loop all run real goroutines over loopback.
@@ -44,3 +54,4 @@ fuzz:
 	$(GO) test -fuzz='^FuzzReadResponse$$' -fuzztime=$(FUZZTIME) ./internal/proto/
 	$(GO) test -fuzz='^FuzzScanPayload$$' -fuzztime=$(FUZZTIME) ./internal/proto/
 	$(GO) test -fuzz='^FuzzRead$$' -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -fuzz='^FuzzReadSnapshot$$' -fuzztime=$(FUZZTIME) ./internal/kvstore/

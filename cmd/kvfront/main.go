@@ -56,6 +56,12 @@ func main() {
 		retryBudget = flag.Float64("retry-budget", 0, "shared backend retry-budget tokens (0 = default, negative = no budget)")
 		budgetRatio = flag.Float64("retry-budget-ratio", 0, "retry-budget refill per successful backend exchange (0 = default)")
 		idleTimeout = flag.Duration("idle-timeout", 0, "drop client connections idle longer than this (0 = keep forever)")
+
+		writeQuorum = flag.Int("write-quorum", 0, "replica acks a Set/Del needs to succeed, W in [1, d] (0 = majority)")
+		hintDir     = flag.String("hint-dir", "", "persist hinted-handoff queues to this directory (empty = memory only)")
+		hintLimit   = flag.Int("hint-limit", 0, "max queued hints per backend (0 = default)")
+		repairEvery = flag.Duration("repair-interval", 0, "anti-entropy pass cadence (0 = default, negative = off)")
+		repairRate  = flag.Float64("repair-rate", 0, "max anti-entropy repair writes per second (0 = default, negative = unlimited)")
 	)
 	flag.Parse()
 
@@ -113,6 +119,11 @@ func main() {
 		RetryBudgetMax:   *retryBudget,
 		RetryBudgetRatio: *budgetRatio,
 		IdleTimeout:      *idleTimeout,
+		WriteQuorum:      *writeQuorum,
+		HintDir:          *hintDir,
+		HintLimit:        *hintLimit,
+		RepairInterval:   *repairEvery,
+		RepairRate:       *repairRate,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kvfront:", err)

@@ -139,7 +139,11 @@ func main() {
 	if *batch <= 1 {
 		queriesSent = float64(lat.N())
 	}
-	fmt.Printf("sent ~%.0f queries in %d requests over %v (%.0f qps, %d workers, batch %d, %d errors, %d shed)\n",
+	// Hard failures (transport errors, dead replicas) and busy sheds
+	// (the overload machinery working as designed) are different outcomes
+	// and are reported apart: a chaos run wants to see sheds climb while
+	// hard failures stay at zero.
+	fmt.Printf("sent ~%.0f queries in %d requests over %v (%.0f qps, %d workers, batch %d, %d hard failures, %d busy-shed)\n",
 		queriesSent, lat.N(), elapsed.Round(time.Millisecond),
 		queriesSent/elapsed.Seconds(), *workers, *batch, errCount, shed)
 	fmt.Printf("per-request latency: mean %.0fµs  p50≈%.0fµs  p95≈%.0fµs  p99≈%.0fµs  max %.0fµs\n",
@@ -162,6 +166,14 @@ func main() {
 			if fs+bb+rs+cr > 0 {
 				fmt.Printf("frontend overload: %d requests shed, %d conns rejected, %d backend busies, %d retries suppressed\n",
 					fs, cr, bb, rs)
+			}
+			hq := kvstore.StatCounter(st, "hints_queued_total")
+			hr := kvstore.StatCounter(st, "hints_replayed_total")
+			rr := kvstore.StatCounter(st, "read_repair_total")
+			ae := kvstore.StatCounter(st, "repair_keys_repaired_total")
+			if hq+hr+rr+ae > 0 {
+				fmt.Printf("frontend durability: %d hints queued, %d replayed, %d read repairs, %d anti-entropy repairs\n",
+					hq, hr, rr, ae)
 			}
 		}
 		fc.Close()

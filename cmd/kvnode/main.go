@@ -27,6 +27,7 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:7001", "listen address")
 		admin    = flag.String("admin", "", "optional HTTP admin address (/healthz, /metrics, /info)")
 		snapshot = flag.String("snapshot", "", "snapshot file: restored at startup if present, written on shutdown")
+		snapEach = flag.Duration("snapshot-interval", 0, "also write the snapshot periodically at this interval (0 = shutdown only; needs -snapshot)")
 		idle     = flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = keep forever)")
 
 		maxInflight = flag.Int("max-inflight", 0, "shed requests beyond this many in flight with BUSY (0 = unlimited)")
@@ -59,9 +60,19 @@ func main() {
 		case os.IsNotExist(err):
 			log.Printf("kvnode %d: no snapshot at %s, starting empty", *id, *snapshot)
 		default:
-			fmt.Fprintln(os.Stderr, "kvnode:", err)
-			os.Exit(2)
+			// A corrupt or truncated snapshot must not keep the node down:
+			// an empty replica rejoins and is refilled by hinted handoff
+			// and anti-entropy, while a crash-looping one serves nobody.
+			log.Printf("kvnode %d: snapshot %s unreadable (%v), starting empty", *id, *snapshot, err)
 		}
+		if *snapEach > 0 {
+			stop := node.StartSnapshots(*snapshot, *snapEach)
+			defer stop()
+			log.Printf("kvnode %d: snapshotting to %s every %s", *id, *snapshot, *snapEach)
+		}
+	} else if *snapEach > 0 {
+		fmt.Fprintln(os.Stderr, "kvnode: -snapshot-interval needs -snapshot")
+		os.Exit(2)
 	}
 
 	if *admin != "" {

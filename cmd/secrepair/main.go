@@ -1,0 +1,252 @@
+// Command secrepair benchmarks the replica repair machinery on an
+// in-process cluster: it crashes one backend mid-workload, keeps
+// writing at quorum, restarts the node with an empty store, and
+// measures what rebuilding it costs — hinted-handoff replay rate,
+// anti-entropy repair rate, and the read/write latency the cluster
+// pays while degraded. This is the baseline EXPERIMENTS.md records:
+//
+//	secrepair -n 5 -d 3 -m 5000 -json BENCH_repair.json
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"securecache/internal/faultnet"
+	"securecache/internal/kvstore"
+	"securecache/internal/stats"
+	"securecache/internal/workload"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 5, "number of backends")
+		d        = flag.Int("d", 3, "replication factor")
+		m        = flag.Int("m", 5000, "number of keys")
+		jsonPath = flag.String("json", "", "also write the bench report to this file")
+	)
+	flag.Parse()
+
+	report, err := runBench(benchConfig{Nodes: *n, Replication: *d, Keys: *m}, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secrepair:", err)
+		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secrepair:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "secrepair:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+type benchConfig struct {
+	Nodes       int
+	Replication int
+	Keys        int
+}
+
+// benchReport is the recorded baseline: what a crashed-and-wiped
+// replica costs to rebuild, and what the cluster pays while degraded.
+type benchReport struct {
+	Nodes            int     `json:"nodes"`
+	Replication      int     `json:"replication"`
+	WriteQuorum      int     `json:"write_quorum"`
+	Keys             int     `json:"keys"`
+	BaselineSetMean  float64 `json:"baseline_set_micros_mean"`
+	BaselineSetP99   float64 `json:"baseline_set_micros_p99"`
+	OutageSetMean    float64 `json:"outage_set_micros_mean"`
+	OutageSetP99     float64 `json:"outage_set_micros_p99"`
+	OutageSetFails   int     `json:"outage_set_failures"`
+	HintsQueued      uint64  `json:"hints_queued"`
+	HintReplaySecs   float64 `json:"hint_replay_seconds"`
+	HintsPerSecond   float64 `json:"hints_per_second"`
+	RepairKeys       uint64  `json:"repair_keys_repaired"`
+	RepairSecs       float64 `json:"repair_seconds"`
+	RepairPerSecond  float64 `json:"repair_keys_per_second"`
+	StaleReads       int     `json:"post_repair_stale_reads"`
+	ResurrectedDels  int     `json:"post_repair_resurrected_deletes"`
+	ConvergedSeconds float64 `json:"crash_to_converged_seconds"`
+}
+
+// runBench boots the cluster with one backend behind a fault proxy,
+// preloads the key space, crashes the node, overwrites half the keys
+// (and deletes a tenth) during the outage, then restarts the node
+// empty and times hint replay plus anti-entropy until convergence.
+func runBench(cfg benchConfig, w io.Writer) (benchReport, error) {
+	report := benchReport{Nodes: cfg.Nodes, Replication: cfg.Replication, Keys: cfg.Keys}
+
+	var (
+		backends []*kvstore.Backend
+		addrs    []string
+	)
+	for i := 0; i < cfg.Nodes; i++ {
+		b, addr, err := kvstore.StartBackend(i, "127.0.0.1:0")
+		if err != nil {
+			return report, err
+		}
+		backends = append(backends, b)
+		addrs = append(addrs, addr)
+	}
+	defer func() {
+		for _, b := range backends {
+			b.Close()
+		}
+	}()
+
+	// The crash node sits behind a fault proxy so the frontend has a live
+	// address to be refused by while the node is down, and the node's own
+	// port stays free for the restart.
+	crashAddr := addrs[1]
+	proxy, err := faultnet.Start(crashAddr)
+	if err != nil {
+		return report, err
+	}
+	defer proxy.Close()
+	addrs[1] = proxy.Addr()
+
+	front, err := kvstore.NewFrontend(kvstore.FrontendConfig{
+		BackendAddrs:   addrs,
+		Replication:    cfg.Replication,
+		Client:         kvstore.ClientConfig{MaxRetries: -1, DialTimeout: 200 * time.Millisecond},
+		Health:         kvstore.HealthConfig{FailureThreshold: 2, ProbeInterval: 50 * time.Millisecond},
+		RepairInterval: -1, // the bench drives repair passes itself, timed
+	})
+	if err != nil {
+		return report, err
+	}
+	defer front.Close()
+	report.WriteQuorum = (cfg.Replication + 2) / 2
+
+	fmt.Fprintf(w, "loading %d keys into %d nodes (d=%d, W=%d)...\n",
+		cfg.Keys, cfg.Nodes, cfg.Replication, report.WriteQuorum)
+	var baseSet stats.Summary
+	baseP99 := stats.NewP2Quantile(0.99)
+	for k := 0; k < cfg.Keys; k++ {
+		t0 := time.Now()
+		if err := front.Set(workload.KeyName(k), []byte("gen0")); err != nil {
+			return report, fmt.Errorf("preload key %d: %w", k, err)
+		}
+		us := float64(time.Since(t0).Microseconds())
+		baseSet.Add(us)
+		baseP99.Add(us)
+	}
+	report.BaselineSetMean = baseSet.Mean()
+	report.BaselineSetP99 = baseP99.Value()
+	fmt.Fprintf(w, "baseline sets: mean %.0fµs p99≈%.0fµs\n", report.BaselineSetMean, report.BaselineSetP99)
+
+	fmt.Fprintln(w, "crashing node 1...")
+	proxy.SetFaults(faultnet.Faults{Blackhole: true, RejectConns: true})
+	proxy.CloseExisting()
+	backends[1].Close()
+	crashed := time.Now()
+
+	// Outage workload: overwrite the even keys, delete every tenth. The
+	// odd keys are untouched — no hint exists for them, so the restarted
+	// replica can only recover them through anti-entropy.
+	var outSet stats.Summary
+	outP99 := stats.NewP2Quantile(0.99)
+	for k := 0; k < cfg.Keys; k++ {
+		name := workload.KeyName(k)
+		if k%10 == 9 {
+			if err := front.Del(name); err != nil {
+				report.OutageSetFails++
+			}
+			continue
+		}
+		if k%2 != 0 {
+			continue
+		}
+		t0 := time.Now()
+		if err := front.Set(name, []byte("gen1")); err != nil {
+			report.OutageSetFails++
+			continue
+		}
+		us := float64(time.Since(t0).Microseconds())
+		outSet.Add(us)
+		outP99.Add(us)
+	}
+	m := front.Metrics()
+	report.OutageSetMean = outSet.Mean()
+	report.OutageSetP99 = outP99.Value()
+	report.HintsQueued = m.Counter("hints_queued_total").Value()
+	fmt.Fprintf(w, "outage sets: mean %.0fµs p99≈%.0fµs, %d failures, %d hints queued\n",
+		report.OutageSetMean, report.OutageSetP99, report.OutageSetFails, report.HintsQueued)
+
+	fmt.Fprintln(w, "restarting node 1 with an empty store...")
+	b1, _, err := kvstore.StartBackend(1, crashAddr)
+	if err != nil {
+		return report, err
+	}
+	backends[1] = b1
+	proxy.Clear()
+	replayStart := time.Now()
+	deadline := replayStart.Add(60 * time.Second)
+	for m.Gauge("hints_pending").Value() > 0 {
+		if time.Now().After(deadline) {
+			return report, errors.New("hints never drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	report.HintReplaySecs = time.Since(replayStart).Seconds()
+	replayed := m.Counter("hints_replayed_total").Value()
+	if report.HintReplaySecs > 0 {
+		report.HintsPerSecond = float64(replayed) / report.HintReplaySecs
+	}
+	fmt.Fprintf(w, "hint replay: %d hints in %.2fs (%.0f hints/sec)\n",
+		replayed, report.HintReplaySecs, report.HintsPerSecond)
+
+	repairStart := time.Now()
+	for {
+		nrep, err := front.RunRepairPass()
+		if err != nil {
+			return report, err
+		}
+		if nrep == 0 {
+			break
+		}
+	}
+	report.RepairSecs = time.Since(repairStart).Seconds()
+	report.RepairKeys = m.Counter("repair_keys_repaired_total").Value()
+	if report.RepairSecs > 0 {
+		report.RepairPerSecond = float64(report.RepairKeys) / report.RepairSecs
+	}
+	report.ConvergedSeconds = time.Since(crashed).Seconds()
+	fmt.Fprintf(w, "anti-entropy: %d keys repaired in %.2fs (%.0f keys/sec)\n",
+		report.RepairKeys, report.RepairSecs, report.RepairPerSecond)
+
+	// Full verification sweep through the public read path.
+	for k := 0; k < cfg.Keys; k++ {
+		v, err := front.Get(workload.KeyName(k))
+		if k%10 == 9 {
+			if !errors.Is(err, kvstore.ErrNotFound) {
+				report.ResurrectedDels++
+			}
+			continue
+		}
+		want := "gen0"
+		if k%2 == 0 {
+			want = "gen1"
+		}
+		if err != nil || string(v) != want {
+			report.StaleReads++
+		}
+	}
+	fmt.Fprintf(w, "converged %.2fs after crash: %d stale reads, %d resurrected deletes\n",
+		report.ConvergedSeconds, report.StaleReads, report.ResurrectedDels)
+	if report.StaleReads > 0 || report.ResurrectedDels > 0 {
+		return report, errors.New("post-repair sweep found divergence")
+	}
+	return report, nil
+}

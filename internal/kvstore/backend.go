@@ -34,6 +34,8 @@ type Backend struct {
 	shedTotal *metrics.Counter // requests answered StatusBusy
 	connsShed *metrics.Counter // connections rejected at accept
 
+	snapMu sync.Mutex // serializes SaveSnapshot (periodic loop vs shutdown save)
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
@@ -85,6 +87,10 @@ func (b *Backend) Serve(l net.Listener) error {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
+		// Close raced ahead of this goroutine and never saw l: close it
+		// here or the port stays bound with nobody accepting (a crashed
+		// node could then never restart on its own address).
+		l.Close()
 		return net.ErrClosed
 	}
 	b.listener = l
@@ -180,19 +186,47 @@ func (b *Backend) handle(req *proto.Request) *proto.Response {
 		}
 		b.metrics.Counter("hits_total").Inc()
 		return &proto.Response{Status: proto.StatusOK, Payload: v}
+	case proto.OpGetV:
+		b.metrics.Counter("gets_total").Inc()
+		v, _, ver, tomb, ok := b.store.GetVersioned(req.Key)
+		if !ok {
+			return &proto.Response{Status: proto.StatusNotFound}
+		}
+		if tomb {
+			// A tombstone is an authoritative miss: NotFound, but the
+			// version rides along so the frontend can tell "never heard
+			// of it" from "deleted at version v".
+			payload, _ := proto.EncodeGetVPayload(ver, nil)
+			return &proto.Response{Status: proto.StatusNotFound, Payload: payload}
+		}
+		b.metrics.Counter("hits_total").Inc()
+		payload, err := proto.EncodeGetVPayload(ver, v)
+		if err != nil {
+			return errResponse(fmt.Sprintf("backend %d", b.id), req.Op, err)
+		}
+		return &proto.Response{Status: proto.StatusOK, Payload: payload}
 	case proto.OpSet:
 		b.metrics.Counter("sets_total").Inc()
 		if req.EpochGuard {
 			// Migration copy: apply only over absent or older-epoch
 			// entries. A skipped copy is still StatusOK — the migrator
 			// only needs to know the key is settled at the new epoch.
-			b.store.SetGuarded(req.Key, req.Value, req.Epoch)
+			b.store.SetGuarded(req.Key, req.Value, req.Epoch, req.Ver)
 		} else {
-			b.store.SetEpoch(req.Key, req.Value, req.Epoch)
+			// Versioned writes apply highest-version-wins; Ver 0 is the
+			// unconditional legacy path. A version-skipped write is
+			// still StatusOK — the stored state is at least as new.
+			b.store.SetVersioned(req.Key, req.Value, req.Epoch, req.Ver)
 		}
 		return &proto.Response{Status: proto.StatusOK}
 	case proto.OpDel:
 		b.metrics.Counter("dels_total").Inc()
+		if req.Ver != 0 {
+			// Versioned delete writes a tombstone (even over an absent
+			// key — the replica that DID have it may be down right now).
+			b.store.DeleteVersioned(req.Key, req.Epoch, req.Ver)
+			return &proto.Response{Status: proto.StatusOK}
+		}
 		if !b.store.Delete(req.Key) {
 			return &proto.Response{Status: proto.StatusNotFound}
 		}
@@ -215,7 +249,8 @@ func (b *Backend) handle(req *proto.Request) *proto.Response {
 		return &proto.Response{Status: proto.StatusOK, Payload: payload}
 	case proto.OpScan:
 		b.metrics.Counter("scans_total").Inc()
-		entries, next := b.store.Scan(req.ScanCursor, int(req.ScanLimit), req.Epoch, scanPageBytes)
+		entries, next := b.store.Scan(req.ScanCursor, int(req.ScanLimit), req.Epoch, scanPageBytes,
+			ScanOptions{Tombs: req.ScanTombs, Digest: req.ScanDigest})
 		payload, err := proto.EncodeScanPayload(next, entries)
 		if err != nil {
 			return errResponse(fmt.Sprintf("backend %d", b.id), req.Op, err)

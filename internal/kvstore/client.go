@@ -214,14 +214,19 @@ func (c *Client) try(req *proto.Request) (*proto.Response, *tryError) {
 	return resp, nil
 }
 
-// isIdempotentOp reports whether re-sending op after an ambiguous failure
-// (the server may or may not have processed it) is safe. Reads and Del
-// (documented idempotent) are; Set is re-sent only when the failure
-// guarantees the server never saw it (dial failure, stale pooled conn).
-func isIdempotentOp(op proto.Op) bool {
-	switch op {
-	case proto.OpGet, proto.OpMGet, proto.OpPing, proto.OpStats, proto.OpDel, proto.OpScan:
+// isIdempotentReq reports whether re-sending req after an ambiguous
+// failure (the server may or may not have processed it) is safe. Reads
+// and Del (documented idempotent) are; an unversioned Set is re-sent
+// only when the failure guarantees the server never saw it (dial
+// failure, stale pooled conn). A versioned Set IS idempotent: the store
+// applies it highest-version-wins, so a duplicate delivery is a no-op
+// and a reordered duplicate can never clobber a newer write.
+func isIdempotentReq(req *proto.Request) bool {
+	switch req.Op {
+	case proto.OpGet, proto.OpGetV, proto.OpMGet, proto.OpPing, proto.OpStats, proto.OpDel, proto.OpScan:
 		return true
+	case proto.OpSet:
+		return req.Ver != 0
 	default:
 		return false
 	}
@@ -269,7 +274,7 @@ func (c *Client) Do(req *proto.Request) (*proto.Response, error) {
 			c.noteRetry()
 			continue
 		}
-		retryable := terr.stage == "dial" || isIdempotentOp(req.Op)
+		retryable := terr.stage == "dial" || isIdempotentReq(req)
 		if !retryable || budget <= 0 {
 			return nil, terr.err
 		}
@@ -339,6 +344,60 @@ func (c *Client) Get(key string) ([]byte, error) {
 	}
 }
 
+// GetV fetches key's value with its logical version. A live hit returns
+// (value, ver, false, nil); a tombstone returns (nil, ver, true,
+// ErrNotFound) — the version distinguishes "deleted at ver" from "never
+// heard of it" (ver 0, tomb false).
+func (c *Client) GetV(key string) (value []byte, ver uint64, tomb bool, err error) {
+	resp, err := c.Do(&proto.Request{Op: proto.OpGetV, Key: key})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	switch resp.Status {
+	case proto.StatusOK:
+		ver, value, err = proto.DecodeGetVPayload(resp.Payload)
+		return value, ver, false, err
+	case proto.StatusNotFound:
+		if len(resp.Payload) >= 8 {
+			ver, _, err = proto.DecodeGetVPayload(resp.Payload)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			return nil, ver, true, ErrNotFound
+		}
+		return nil, 0, false, ErrNotFound
+	default:
+		return nil, 0, false, resp.Err()
+	}
+}
+
+// SetVersioned stores value under key with a logical version: the server
+// applies it only over an absent entry or a strictly older version, so
+// the call is idempotent and safe to replay (hinted handoff, read
+// repair, anti-entropy all ride this path).
+func (c *Client) SetVersioned(key string, value []byte, epoch uint32, ver uint64) error {
+	resp, err := c.Do(&proto.Request{Op: proto.OpSet, Key: key, Value: value, Epoch: epoch, Ver: ver})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// DelVersioned deletes key by writing a versioned tombstone: replicas
+// that missed the delete converge to it through repair instead of
+// resurrecting the key. Deleting an absent key still records the
+// tombstone (idempotent, and the replica holding the value may be down).
+func (c *Client) DelVersioned(key string, epoch uint32, ver uint64) error {
+	resp, err := c.Do(&proto.Request{Op: proto.OpDel, Key: key, Epoch: epoch, Ver: ver})
+	if err != nil {
+		return err
+	}
+	if resp.Status == proto.StatusNotFound {
+		return nil
+	}
+	return resp.Err()
+}
+
 // Set stores value under key.
 func (c *Client) Set(key string, value []byte) error {
 	resp, err := c.Do(&proto.Request{Op: proto.OpSet, Key: key, Value: value})
@@ -362,8 +421,10 @@ func (c *Client) SetEpoch(key string, value []byte, epoch uint32) error {
 // CopyEpoch applies an epoch-guarded migration copy: the server stores
 // the value only if the key is absent or held under a strictly older
 // epoch, so a concurrent client write at the target epoch always wins.
-func (c *Client) CopyEpoch(key string, value []byte, epoch uint32) error {
-	resp, err := c.Do(&proto.Request{Op: proto.OpSet, Key: key, Value: value, Epoch: epoch, EpochGuard: true})
+// The copied entry keeps its origin's logical version ver (0 for
+// unversioned data).
+func (c *Client) CopyEpoch(key string, value []byte, epoch uint32, ver uint64) error {
+	resp, err := c.Do(&proto.Request{Op: proto.OpSet, Key: key, Value: value, Epoch: epoch, Ver: ver, EpochGuard: true})
 	if err != nil {
 		return err
 	}
@@ -376,6 +437,13 @@ func (c *Client) CopyEpoch(key string, value []byte, epoch uint32) error {
 // the next cursor (0 = scan complete), and ErrBusy when the server shed
 // the request.
 func (c *Client) Scan(cursor uint64, limit int, belowEpoch uint32) ([]proto.ScanEntry, uint64, error) {
+	return c.ScanPage(cursor, limit, belowEpoch, ScanOptions{})
+}
+
+// ScanPage is Scan with per-page options: opts.Tombs includes tombstones
+// (valueless entries with Tomb set) and opts.Digest elides live values to
+// 64-bit content hashes — the anti-entropy repairer's comparison mode.
+func (c *Client) ScanPage(cursor uint64, limit int, belowEpoch uint32, opts ScanOptions) ([]proto.ScanEntry, uint64, error) {
 	if limit < 1 || limit > proto.MaxBatchKeys {
 		return nil, 0, fmt.Errorf("kvstore: scan limit %d outside [1, %d]", limit, proto.MaxBatchKeys)
 	}
@@ -384,6 +452,8 @@ func (c *Client) Scan(cursor uint64, limit int, belowEpoch uint32) ([]proto.Scan
 		ScanCursor: cursor,
 		ScanLimit:  uint16(limit),
 		Epoch:      belowEpoch,
+		ScanTombs:  opts.Tombs,
+		ScanDigest: opts.Digest,
 	})
 	if err != nil {
 		return nil, 0, err

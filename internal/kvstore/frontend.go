@@ -19,6 +19,7 @@ import (
 	"securecache/internal/overload"
 	"securecache/internal/partition"
 	"securecache/internal/proto"
+	"securecache/internal/repair"
 	"securecache/internal/rotation"
 )
 
@@ -89,6 +90,26 @@ type FrontendConfig struct {
 	// Rotation configures live mapping rotation (zero value = defaults;
 	// see RotationConfig in rotate.go).
 	Rotation RotationConfig
+	// WriteQuorum is W: how many replicas of the d-sized group must ack a
+	// Set/Del before it succeeds. 0 picks the majority default ⌈(d+1)/2⌉;
+	// explicit values must be in [1, Replication]. Replicas that miss a
+	// quorum-successful write are caught up by hinted handoff and
+	// anti-entropy (durability.go).
+	WriteQuorum int
+	// HintLimit caps queued handoff hints per node (0 =
+	// repair.DefaultHintLimit). Overflow is dropped and left to
+	// anti-entropy.
+	HintLimit int
+	// HintDir, when non-empty, persists hint queues to this directory so
+	// buffered writes survive a frontend restart.
+	HintDir string
+	// RepairInterval is the anti-entropy pass cadence (0 =
+	// DefaultRepairInterval; negative disables the background repairer —
+	// RunRepairPass still works on demand).
+	RepairInterval time.Duration
+	// RepairRate caps anti-entropy repair writes per second (0 =
+	// DefaultRepairRate; negative = unlimited, for tests).
+	RepairRate float64
 }
 
 // Frontend is the paper's front end: it owns the cache and the secret
@@ -132,6 +153,17 @@ type Frontend struct {
 	rotStop  chan struct{}
 	rotWG    sync.WaitGroup
 
+	// Durability state (durability.go): the logical-version clock behind
+	// every replicated write, the resolved write quorum, hinted handoff,
+	// the anti-entropy repairer, and the async read-repair machinery.
+	verClock    atomic.Uint64
+	writeQuorum int
+	hints       *repair.HintQueue
+	repairer    *repair.Repairer
+	repairedMu  sync.Mutex
+	repaired    map[string]struct{}
+	repairJobs  chan readRepairJob
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
@@ -156,16 +188,28 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	if cfg.Selection == "" {
 		cfg.Selection = SelectLeastInflight
 	}
+	quorum, err := writeQuorumFor(cfg.WriteQuorum, cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+	hints, err := repair.NewHintQueue(cfg.HintLimit, cfg.HintDir)
+	if err != nil {
+		return nil, err
+	}
 	f := &Frontend{
-		cfg:       cfg,
-		part:      rotation.NewEpochPartitioner(partition.NewHash(n, cfg.Replication, cfg.PartitionSeed)),
-		backends:  make([]*Client, n),
-		inflight:  make([]atomic.Int64, n),
-		metrics:   metrics.NewRegistry(),
-		tombs:     make(map[string]struct{}),
-		rotStop:   make(chan struct{}),
-		conns:     make(map[net.Conn]bool),
-		probeStop: make(chan struct{}),
+		cfg:         cfg,
+		part:        rotation.NewEpochPartitioner(partition.NewHash(n, cfg.Replication, cfg.PartitionSeed)),
+		backends:    make([]*Client, n),
+		inflight:    make([]atomic.Int64, n),
+		metrics:     metrics.NewRegistry(),
+		tombs:       make(map[string]struct{}),
+		rotStop:     make(chan struct{}),
+		conns:       make(map[net.Conn]bool),
+		probeStop:   make(chan struct{}),
+		writeQuorum: quorum,
+		hints:       hints,
+		repaired:    make(map[string]struct{}),
+		repairJobs:  make(chan readRepairJob, readRepairQueueCap),
 	}
 	f.metrics.Gauge("partition_epoch").Set(1)
 	f.randState.Store(cfg.PartitionSeed ^ 0x9e3779b97f4a7c15)
@@ -200,9 +244,22 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	for i, addr := range cfg.BackendAddrs {
 		f.backends[i] = NewClientWithConfig(addr, ccfg)
 	}
+	if f.repairer, err = f.newRepairer(); err != nil {
+		return nil, err
+	}
 	if f.health != nil {
 		f.probeWG.Add(1)
 		go f.probeLoop()
+	}
+	f.rotWG.Add(2)
+	go f.hintDrainLoop()
+	go f.readRepairWorker()
+	if interval := cfg.RepairInterval; interval >= 0 && f.repairer != nil {
+		if interval == 0 {
+			interval = DefaultRepairInterval
+		}
+		f.rotWG.Add(1)
+		go f.repairLoop(interval)
 	}
 	return f, nil
 }
@@ -382,25 +439,52 @@ func (f *Frontend) Get(key string) ([]byte, error) {
 // accounted for the request — but does fill the cache and feed the
 // health tracker.
 func (f *Frontend) fetchFromGroup(key string, ordered []int) ([]byte, error) {
+	v, _, err := f.fetchGroupVersioned(key, ordered)
+	return v, err
+}
+
+// fetchGroupVersioned is fetchFromGroup with the replica's version
+// exposed (the dual-epoch path threads it into rotation read-repair).
+// The read stays O(1) in the common case — the first replica holding a
+// live value answers — but a clean miss no longer short-circuits:
+//
+//   - A live value wins immediately. Replicas earlier in the order that
+//     answered a clean miss were divergent (e.g. restarted empty); they
+//     are queued for async read repair so the next read finds them whole.
+//   - A tombstone is an authoritative miss (errDeleted): the key was
+//     deleted at that version, and siblings cannot override it.
+//   - A clean miss only counts once every replica has been consulted —
+//     one empty replica must not mask the key held by its siblings.
+//   - Transport failures fail over as before, and only when NO replica
+//     gave a definite answer does the read fail.
+func (f *Frontend) fetchGroupVersioned(key string, ordered []int) ([]byte, uint64, error) {
 	var lastErr error
+	var empty []int // replicas that answered a clean miss before a hit
 	for _, node := range ordered {
 		f.inflight[node].Add(1)
-		v, err := f.backends[node].Get(key)
+		v, ver, tomb, err := f.backends[node].GetV(key)
 		f.inflight[node].Add(-1)
 		switch {
 		case err == nil:
 			f.health.onSuccess(node)
 			f.cachePut(key, v)
-			return v, nil
+			f.scheduleReadRepair(key, empty, v, ver)
+			return v, ver, nil
 		case errors.Is(err, ErrNotFound):
 			f.health.onSuccess(node)
-			return nil, ErrNotFound
+			if tomb {
+				return nil, ver, errDeleted
+			}
+			empty = append(empty, node)
 		default:
 			f.noteBackendError(node, err)
 			lastErr = err
 		}
 	}
-	return nil, fmt.Errorf("kvstore: all replicas failed for %q: %w", key, lastErr)
+	if len(empty) > 0 {
+		return nil, 0, ErrNotFound
+	}
+	return nil, 0, fmt.Errorf("kvstore: all replicas failed for %q: %w", key, lastErr)
 }
 
 // noteBackendError records a failed backend exchange. A StatusBusy shed
@@ -418,10 +502,15 @@ func (f *Frontend) noteBackendError(node int, err error) {
 	f.metrics.Counter("backend_errors_total").Inc()
 }
 
-// Set writes to every replica of the key's group (write-all). If any
-// replica fails the error is returned, but surviving replicas keep the
-// write (the system favors availability of reads over strict atomicity,
-// like the Dynamo-style systems the paper cites).
+// Set writes the key's group with a fresh logical version and succeeds
+// once W (FrontendConfig.WriteQuorum) replicas ack. Replicas that miss
+// the write are queued for hinted handoff; because every replica applies
+// writes highest-version-wins, the replay is idempotent and the group
+// converges to this value (or a newer one) regardless of delivery order.
+// Below W the error is returned, but surviving replicas keep the write —
+// the system favors availability over strict atomicity, like the
+// Dynamo-style systems the paper cites, and the version ordering keeps
+// the partial write from ever rolling back a newer one.
 func (f *Frontend) Set(key string, value []byte) error {
 	f.metrics.Counter("requests_total").Inc()
 	f.metrics.Counter("sets_total").Inc()
@@ -438,11 +527,13 @@ func (f *Frontend) Set(key string, value []byte) error {
 		delete(f.tombs, key)
 		f.tombMu.Unlock()
 	}
+	ver := f.nextVer()
+	acks := 0
 	var failures []string
 	busies := 0
 	for _, node := range cur.Group(id) {
 		f.inflight[node].Add(1)
-		err := f.backends[node].SetEpoch(key, value, epoch)
+		err := f.backends[node].SetVersioned(key, value, epoch, ver)
 		f.inflight[node].Add(-1)
 		if err != nil {
 			f.noteBackendError(node, err)
@@ -450,30 +541,37 @@ func (f *Frontend) Set(key string, value []byte) error {
 				busies++
 			}
 			failures = append(failures, fmt.Sprintf("node %d: %v", node, err))
+			f.enqueueHint(repair.Hint{Node: node, Key: key, Value: value, Epoch: epoch, Ver: ver})
 		} else {
 			f.health.onSuccess(node)
+			acks++
 		}
 	}
 	if len(failures) == 0 && prev != nil {
 		// Every replica of the NEW group holds the value at the new
 		// epoch: readers may skip the old-generation fallback for this
-		// key from now on.
+		// key from now on. (Quorum success is NOT enough — a replica that
+		// missed the write may only hold the old-generation copy.)
 		f.part.MarkMigrated(id)
 	}
-	if len(failures) > 0 {
-		// Surviving replicas hold the new value while failed ones keep
-		// the old: serving the cached (old) value would contradict the
-		// replicas a subsequent read will reach. Drop it.
+	if acks < f.writeQuorum {
+		// Below quorum the write's fate is ambiguous: some replicas hold
+		// the new value, and the cached (old) entry would contradict
+		// them. Drop it.
 		f.cacheRemove(key)
 		if busies == len(failures) {
 			// Every failure was a shed: keep the busy classification so
 			// callers back off instead of treating the node as broken.
-			return fmt.Errorf("kvstore: set %q: %s: %w", key, strings.Join(failures, "; "), ErrBusy)
+			return fmt.Errorf("kvstore: set %q: %d/%d acks (need %d): %s: %w",
+				key, acks, acks+len(failures), f.writeQuorum, strings.Join(failures, "; "), ErrBusy)
 		}
-		return fmt.Errorf("kvstore: set %q: %s", key, strings.Join(failures, "; "))
+		return fmt.Errorf("kvstore: set %q: %d/%d acks (need %d): %s",
+			key, acks, acks+len(failures), f.writeQuorum, strings.Join(failures, "; "))
 	}
 	// Refresh the cache only if the key is already cached — a write must
-	// not evict a popular entry for a cold key.
+	// not evict a popular entry for a cold key. (With quorum met the new
+	// value is the winning version cluster-wide, so caching it is sound
+	// even while hinted replicas lag.)
 	if f.cfg.Cache != nil {
 		id := KeyID(key)
 		f.cacheMu.Lock()
@@ -558,45 +656,64 @@ func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 		}
 		f.health.onSuccess(node)
 		for j, i := range idxs {
-			results[i] = fetched[j]
-			if fetched[j].Found {
-				f.cachePut(keys[i], fetched[j].Value)
+			if !fetched[j].Found {
+				// A batch miss is one replica's opinion: the node may have
+				// restarted empty while its siblings still hold the key.
+				// Confirm absence through the failover read (which also
+				// schedules read repair for the empty replica) before
+				// reporting it.
+				v, gerr := f.fetchFromReplicas(keys[i])
+				switch {
+				case gerr == nil:
+					results[i] = proto.MGetResult{Found: true, Value: v}
+				case errors.Is(gerr, ErrNotFound):
+					results[i] = proto.MGetResult{}
+				default:
+					return nil, gerr
+				}
+				continue
 			}
+			results[i] = fetched[j]
+			f.cachePut(keys[i], fetched[j].Value)
 		}
 	}
 	return results, nil
 }
 
-// Del removes the key from every replica and invalidates the cache.
+// Del writes a versioned tombstone to the key's group and invalidates
+// the cache, succeeding once W replicas ack. The tombstone (not a bare
+// delete) is what makes a partial Del safe: a replica that missed it
+// still holds the old value, but the tombstone's higher version beats
+// that value in every read, hint replay, and anti-entropy comparison —
+// the key cannot be resurrected by the lagging replica.
 func (f *Frontend) Del(key string) error {
 	f.metrics.Counter("requests_total").Inc()
 	f.metrics.Counter("dels_total").Inc()
 	f.cacheRemove(key)
 	f.rotMu.RLock()
 	defer f.rotMu.RUnlock()
-	_, cur, prev := f.part.Snapshot()
+	epoch, cur, prev := f.part.Snapshot()
 	id := KeyID(key)
-	nodes := cur.Group(id)
+	group := cur.Group(id)
 	if prev != nil {
-		// Tombstone FIRST: once the stone is down, a migration copy that
-		// already scanned the old value cannot re-create the key
-		// (moveEntry checks under tombMu before any I/O) — and taking
-		// tombMu here also waits out any copy already in flight, whose
-		// result the deletes below then remove. The delete must cover
-		// both generations' homes or the old copy would resurface through
-		// the fallback read path.
+		// Tombstone the rotation map FIRST: once the stone is down, a
+		// migration copy that already scanned the old value cannot
+		// re-create the key (moveEntry checks under tombMu before any
+		// I/O) — and taking tombMu here also waits out any copy already
+		// in flight, whose result the writes below then supersede.
 		f.tombMu.Lock()
 		f.tombs[key] = struct{}{}
 		f.tombMu.Unlock()
-		nodes = unionNodes(cur.Group(id), prev.Group(id))
 	}
+	ver := f.nextVer()
+	acks := 0
 	var failures []string
 	busies := 0
-	for _, node := range nodes {
+	for _, node := range group {
 		// Track inflight like Get/Set do: least-inflight selection that
 		// cannot see delete load under-counts busy nodes.
 		f.inflight[node].Add(1)
-		err := f.backends[node].Del(key)
+		err := f.backends[node].DelVersioned(key, epoch, ver)
 		f.inflight[node].Add(-1)
 		if err != nil {
 			f.noteBackendError(node, err)
@@ -604,15 +721,44 @@ func (f *Frontend) Del(key string) error {
 				busies++
 			}
 			failures = append(failures, fmt.Sprintf("node %d: %v", node, err))
+			f.enqueueHint(repair.Hint{Node: node, Key: key, Epoch: epoch, Ver: ver, Del: true})
 		} else {
 			f.health.onSuccess(node)
+			acks++
 		}
 	}
-	if len(failures) > 0 {
-		if busies == len(failures) {
-			return fmt.Errorf("kvstore: del %q: %s: %w", key, strings.Join(failures, "; "), ErrBusy)
+	// Old-generation homes are purged with a hard delete: they are not
+	// part of the quorum (the current group's tombstone already blocks
+	// the fallback read path), but a failed purge is still reported —
+	// the leftover entry would keep the migration scan from draining.
+	purgeFailed := 0
+	if prev != nil {
+		for _, node := range prev.Group(id) {
+			if containsNode(group, node) {
+				continue
+			}
+			f.inflight[node].Add(1)
+			err := f.backends[node].Del(key)
+			f.inflight[node].Add(-1)
+			if err != nil {
+				f.noteBackendError(node, err)
+				if errors.Is(err, ErrBusy) {
+					busies++
+				}
+				failures = append(failures, fmt.Sprintf("node %d (old generation): %v", node, err))
+				purgeFailed++
+			} else {
+				f.health.onSuccess(node)
+			}
 		}
-		return fmt.Errorf("kvstore: del %q: %s", key, strings.Join(failures, "; "))
+	}
+	if acks < f.writeQuorum || purgeFailed > 0 {
+		if busies == len(failures) {
+			return fmt.Errorf("kvstore: del %q: %d/%d acks (need %d): %s: %w",
+				key, acks, len(group), f.writeQuorum, strings.Join(failures, "; "), ErrBusy)
+		}
+		return fmt.Errorf("kvstore: del %q: %d/%d acks (need %d): %s",
+			key, acks, len(group), f.writeQuorum, strings.Join(failures, "; "))
 	}
 	return nil
 }
@@ -692,6 +838,9 @@ func (f *Frontend) Serve(l net.Listener) error {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
+		// Close raced ahead of this goroutine and never saw l: close it
+		// here so the port is not left bound with nobody accepting.
+		l.Close()
 		return net.ErrClosed
 	}
 	f.listener = l

@@ -56,6 +56,13 @@ type LocalConfig struct {
 	// Rotation configures the frontend's live mapping rotation (zero
 	// value = defaults).
 	Rotation RotationConfig
+	// WriteQuorum, HintLimit, HintDir, RepairInterval and RepairRate
+	// configure the frontend's durability layer (see FrontendConfig).
+	WriteQuorum    int
+	HintLimit      int
+	HintDir        string
+	RepairInterval time.Duration
+	RepairRate     float64
 	// Admin, when true, also starts the frontend's admin HTTP surface
 	// (with the rotation verbs mounted) on loopback; its address is in
 	// AdminAddr.
@@ -91,6 +98,11 @@ func StartLocalCluster(cfg LocalConfig) (*LocalCluster, error) {
 		RetryBudgetRatio: cfg.RetryBudgetRatio,
 		IdleTimeout:      cfg.FrontendIdleTimeout,
 		Rotation:         cfg.Rotation,
+		WriteQuorum:      cfg.WriteQuorum,
+		HintLimit:        cfg.HintLimit,
+		HintDir:          cfg.HintDir,
+		RepairInterval:   cfg.RepairInterval,
+		RepairRate:       cfg.RepairRate,
 	}, "127.0.0.1:0")
 	if err != nil {
 		lc.Close()

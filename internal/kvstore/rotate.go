@@ -211,9 +211,9 @@ func (f *Frontend) RotationStatus() RotationStatus {
 
 // fetchFromReplicas routes one read through the epoch-aware path: the
 // current generation's group first; only a clean NotFound may consult
-// the previous generation (a transport failure must not — absence was
-// never established, and the old copy may predate a successful write to
-// the new group, so serving it would be a stale read).
+// the previous generation. Neither a transport failure (absence was
+// never established) nor a tombstone (absence is authoritative — the
+// old copy is precisely the deleted value) may fall back.
 func (f *Frontend) fetchFromReplicas(key string) ([]byte, error) {
 	id := KeyID(key)
 	_, cur, prev := f.part.Snapshot()
@@ -221,11 +221,14 @@ func (f *Frontend) fetchFromReplicas(key string) ([]byte, error) {
 		return f.fetchFromGroup(key, f.orderedGroup(cur.Group(id)))
 	}
 	v, err := f.fetchFromGroup(key, f.orderedGroup(cur.Group(id)))
+	if errors.Is(err, errDeleted) {
+		return nil, ErrNotFound
+	}
 	if err == nil || !errors.Is(err, ErrNotFound) {
 		return v, err
 	}
 	f.metrics.Counter("rotation_fallback_reads_total").Inc()
-	v, err = f.fetchFromGroup(key, f.orderedGroup(prev.Group(id)))
+	v, ver, err := f.fetchGroupVersioned(key, f.orderedGroup(prev.Group(id)))
 	switch {
 	case err == nil:
 		if f.part.Migrated(id) {
@@ -234,13 +237,18 @@ func (f *Frontend) fetchFromReplicas(key string) ([]byte, error) {
 			// stale — re-read rather than return it.
 			return f.fetchFromGroup(key, f.orderedGroup(cur.Group(id)))
 		}
-		f.readRepair(key, v)
+		f.readRepair(key, v, ver)
 		return v, nil
 	case errors.Is(err, ErrNotFound):
-		// In neither generation — unless a migration purged the old copy
-		// between our two reads. One second look at the new group settles
-		// it (migration copies land before the purge).
-		return f.fetchFromGroup(key, f.orderedGroup(cur.Group(id)))
+		// In neither generation (a tombstone in the old one counts — the
+		// value is gone either way) — unless a migration purged the old
+		// copy between our two reads. One second look at the new group
+		// settles it (migration copies land before the purge).
+		v, err = f.fetchFromGroup(key, f.orderedGroup(cur.Group(id)))
+		if errors.Is(err, errDeleted) {
+			return nil, ErrNotFound
+		}
+		return v, err
 	default:
 		return nil, err
 	}
@@ -252,8 +260,8 @@ func (f *Frontend) fetchFromReplicas(key string) ([]byte, error) {
 // within one request of the rotation starting, without waiting for the
 // background scan to reach them. Best-effort: on error the migrator
 // will reach the key anyway.
-func (f *Frontend) readRepair(key string, value []byte) {
-	if err := f.moveEntry(key, value); err == nil {
+func (f *Frontend) readRepair(key string, value []byte, ver uint64) {
+	if err := f.moveEntry(key, value, ver); err == nil {
 		f.metrics.Counter("rotation_read_repair_total").Inc()
 	}
 }
@@ -274,7 +282,7 @@ func (f *Frontend) readRepair(key string, value []byte) {
 // Note it does NOT short-circuit on Migrated(id): a key marked migrated
 // by a client Set still has stale copies on old-only nodes, and the
 // purge below is what retires them from the scan.
-func (f *Frontend) moveEntry(key string, value []byte) error {
+func (f *Frontend) moveEntry(key string, value []byte, ver uint64) error {
 	id := KeyID(key)
 	f.tombMu.Lock()
 	defer f.tombMu.Unlock()
@@ -287,7 +295,7 @@ func (f *Frontend) moveEntry(key string, value []byte) error {
 	}
 	newGroup := cur.Group(id)
 	for _, node := range newGroup {
-		if err := f.backends[node].CopyEpoch(key, value, epoch); err != nil {
+		if err := f.backends[node].CopyEpoch(key, value, epoch, ver); err != nil {
 			return err
 		}
 	}
@@ -321,13 +329,13 @@ func (t *migrationTransport) Scan(node int, cursor uint64, limit int) ([]rotatio
 	}
 	out := make([]rotation.Entry, len(entries))
 	for i, e := range entries {
-		out[i] = rotation.Entry{Key: e.Key, Value: e.Value, Epoch: e.Epoch}
+		out[i] = rotation.Entry{Key: e.Key, Value: e.Value, Epoch: e.Epoch, Ver: e.Ver}
 	}
 	return out, next, nil
 }
 
 func (t *migrationTransport) Move(e rotation.Entry) error {
-	return t.f.moveEntry(e.Key, e.Value)
+	return t.f.moveEntry(e.Key, e.Value, e.Ver)
 }
 
 // AdminHandlers returns the frontend's rotation control verbs for

@@ -6,46 +6,65 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"sort"
+	"sync"
+	"time"
+
+	"securecache/internal/proto"
 )
 
 // Snapshot format:
 //
 //	magic   "SCKV" (4 bytes)
-//	version uint16 (currently 1)
+//	version uint16 (currently 2)
 //	count   uint64
-//	count × [uint32 key length][key][uint32 value length][value]
+//	count × entries
+//
+// v1 entry: [uint32 key length][key][uint32 value length][value]
+// v2 entry: [uint32 key length][key][uint8 flags][uint64 ver][uint32 epoch]
+//           then, for live entries (flags bit 0 clear):
+//           [uint32 value length][value]
+//
+// v2 persists each entry's logical version, epoch tag, and tombstone
+// flag so a crash-restart cannot silently shed delete markers (which
+// would let anti-entropy resurrect deleted keys) or version history
+// (which would let hint replay clobber newer values). v1 snapshots are
+// still readable: they restore as unversioned epoch-0 data, exactly what
+// that format encoded.
 //
 // Keys are written in sorted order so snapshots of equal content are
 // byte-identical — replicas can be compared with a plain checksum.
 
 var snapMagic = [4]byte{'S', 'C', 'K', 'V'}
 
-const snapVersion = 1
+const (
+	snapV1 = 1
+	snapV2 = 2
+
+	snapEntryTomb = 1 << 0
+)
 
 // ErrBadSnapshot reports a corrupt or foreign snapshot stream.
 var ErrBadSnapshot = errors.New("kvstore: bad snapshot")
 
-// WriteSnapshot serializes the store's full contents. Concurrent writes
-// during the snapshot are permitted; each shard is captured atomically
-// but the snapshot as a whole is a fuzzy point-in-time picture (the same
-// guarantee Redis' BGSAVE gives).
+// WriteSnapshot serializes the store's full contents (format v2).
+// Concurrent writes during the snapshot are permitted; each shard is
+// captured atomically but the snapshot as a whole is a fuzzy
+// point-in-time picture (the same guarantee Redis' BGSAVE gives).
 func (s *Store) WriteSnapshot(w io.Writer) error {
 	type kv struct {
 		k string
-		v []byte
+		e entry
 	}
 	var entries []kv
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		// Epoch tags are deliberately not persisted (format v1): a
-		// restored store is all epoch-0 ("old") data, which is exactly
-		// right — a rotation started after a restore must re-migrate
-		// everything.
 		for k, e := range sh.m {
-			entries = append(entries, kv{k, append([]byte(nil), e.val...)})
+			e.val = append([]byte(nil), e.val...)
+			entries = append(entries, kv{k, e})
 		}
 		sh.mu.RUnlock()
 	}
@@ -56,38 +75,51 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 	var hdr [10]byte
-	binary.BigEndian.PutUint16(hdr[0:], snapVersion)
+	binary.BigEndian.PutUint16(hdr[0:], snapV2)
 	binary.BigEndian.PutUint64(hdr[2:], uint64(len(entries)))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	var lenBuf [4]byte
-	for _, e := range entries {
-		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(e.k)))
-		if _, err := bw.Write(lenBuf[:]); err != nil {
+	var buf [13]byte
+	for _, kv := range entries {
+		binary.BigEndian.PutUint32(buf[:4], uint32(len(kv.k)))
+		if _, err := bw.Write(buf[:4]); err != nil {
 			return err
 		}
-		if _, err := bw.WriteString(e.k); err != nil {
+		if _, err := bw.WriteString(kv.k); err != nil {
 			return err
 		}
-		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(e.v)))
-		if _, err := bw.Write(lenBuf[:]); err != nil {
+		var flags byte
+		if kv.e.tomb {
+			flags = snapEntryTomb
+		}
+		buf[0] = flags
+		binary.BigEndian.PutUint64(buf[1:9], kv.e.ver)
+		binary.BigEndian.PutUint32(buf[9:13], kv.e.epoch)
+		if _, err := bw.Write(buf[:13]); err != nil {
 			return err
 		}
-		if _, err := bw.Write(e.v); err != nil {
+		if kv.e.tomb {
+			continue
+		}
+		binary.BigEndian.PutUint32(buf[:4], uint32(len(kv.e.val)))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(kv.e.val); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// maxSnapshotEntry bounds single-entry allocations from untrusted
-// snapshot streams.
-const maxSnapshotEntry = 1 << 26 // 64 MiB
-
 // ReadSnapshot loads entries from a snapshot stream into the store,
 // overwriting keys that already exist and keeping others — call it on an
-// empty store for an exact restore.
+// empty store for an exact restore. The reader treats the stream as
+// untrusted: length fields are bounded by the wire-format limits
+// (proto.MaxKeyLen / proto.MaxValueLen) and allocations grow with bytes
+// actually read, so a hostile header claiming 2^32-byte chunks or 2^64
+// entries costs the attacker bandwidth, not the node memory.
 func (s *Store) ReadSnapshot(r io.Reader) error {
 	br := bufio.NewReader(r)
 	var m4 [4]byte
@@ -101,49 +133,98 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	if v := binary.BigEndian.Uint16(hdr[0:]); v != snapVersion {
-		return fmt.Errorf("%w: version %d", ErrBadSnapshot, v)
+	ver := binary.BigEndian.Uint16(hdr[0:])
+	if ver != snapV1 && ver != snapV2 {
+		return fmt.Errorf("%w: version %d", ErrBadSnapshot, ver)
 	}
 	count := binary.BigEndian.Uint64(hdr[2:])
 	var lenBuf [4]byte
+	var meta [13]byte
 	for i := uint64(0); i < count; i++ {
-		key, err := readChunk(br, lenBuf[:])
+		key, err := readChunk(br, lenBuf[:], proto.MaxKeyLen)
 		if err != nil {
 			return fmt.Errorf("%w: entry %d key: %v", ErrBadSnapshot, i, err)
 		}
-		value, err := readChunk(br, lenBuf[:])
+		if ver == snapV1 {
+			value, err := readChunk(br, lenBuf[:], proto.MaxValueLen)
+			if err != nil {
+				return fmt.Errorf("%w: entry %d value: %v", ErrBadSnapshot, i, err)
+			}
+			s.Set(string(key), value)
+			continue
+		}
+		if _, err := io.ReadFull(br, meta[:]); err != nil {
+			return fmt.Errorf("%w: entry %d meta: %v", ErrBadSnapshot, i, err)
+		}
+		flags := meta[0]
+		if flags&^byte(snapEntryTomb) != 0 {
+			return fmt.Errorf("%w: entry %d flags %#x", ErrBadSnapshot, i, flags)
+		}
+		entVer := binary.BigEndian.Uint64(meta[1:9])
+		entEpoch := binary.BigEndian.Uint32(meta[9:13])
+		if flags&snapEntryTomb != 0 {
+			if entVer == 0 {
+				return fmt.Errorf("%w: entry %d tombstone with version 0", ErrBadSnapshot, i)
+			}
+			s.DeleteVersioned(string(key), entEpoch, entVer)
+			continue
+		}
+		value, err := readChunk(br, lenBuf[:], proto.MaxValueLen)
 		if err != nil {
 			return fmt.Errorf("%w: entry %d value: %v", ErrBadSnapshot, i, err)
 		}
-		s.Set(string(key), value)
+		s.SetVersioned(string(key), value, entEpoch, entVer)
 	}
 	return nil
 }
 
-func readChunk(r io.Reader, lenBuf []byte) ([]byte, error) {
+// readChunk reads a length-prefixed chunk, rejecting lengths over max.
+// The buffer grows in bounded steps as bytes arrive rather than being
+// allocated up front from the (attacker-controlled) length field.
+func readChunk(r io.Reader, lenBuf []byte, max int) ([]byte, error) {
 	if _, err := io.ReadFull(r, lenBuf); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(lenBuf)
-	if n > maxSnapshotEntry {
-		return nil, fmt.Errorf("chunk of %d bytes exceeds limit", n)
+	n := int(binary.BigEndian.Uint32(lenBuf))
+	if n > max {
+		return nil, fmt.Errorf("chunk of %d bytes exceeds limit %d", n, max)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+	if n == 0 {
+		return nil, nil
+	}
+	const step = 64 << 10
+	buf := make([]byte, 0, min(n, step))
+	for len(buf) < n {
+		chunk := min(n-len(buf), step)
+		start := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
 	}
 	return buf, nil
 }
 
-// SaveSnapshot writes the backend's store to path atomically (temp file +
-// rename).
+// SaveSnapshot writes the backend's store to path atomically: temp file,
+// fsync, rename. A crash mid-write leaves the previous snapshot intact;
+// a crash after rename leaves the new one durable.
 func (b *Backend) SaveSnapshot(path string) error {
+	// Serialize saves: the periodic loop and an explicit shutdown save
+	// share the temp path, and interleaved writes would rename garbage
+	// over the good snapshot.
+	b.snapMu.Lock()
+	defer b.snapMu.Unlock()
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := b.store.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -163,4 +244,37 @@ func (b *Backend) LoadSnapshot(path string) error {
 	}
 	defer f.Close()
 	return b.store.ReadSnapshot(f)
+}
+
+// StartSnapshots saves the store to path every interval on a background
+// goroutine until the returned stop function is called. Each save is
+// atomic (SaveSnapshot), so a crash between ticks loses at most one
+// interval of writes and never corrupts the previous snapshot. A failed
+// save is logged and retried at the next tick — a full disk must not
+// kill a serving node. stop blocks until the loop exits; it does not
+// write a final snapshot (callers wanting shutdown durability save
+// explicitly, as cmd/kvnode does on SIGTERM).
+func (b *Backend) StartSnapshots(path string, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := b.SaveSnapshot(path); err != nil {
+					log.Printf("kvstore: backend %d: snapshot %s: %v", b.id, path, err)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
 }

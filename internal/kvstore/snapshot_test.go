@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestSnapshotRoundTrip(t *testing.T) {
@@ -130,5 +132,122 @@ func TestLoadSnapshotMissingFile(t *testing.T) {
 	defer b.Close()
 	if err := b.LoadSnapshot(filepath.Join(t.TempDir(), "absent.snap")); err == nil {
 		t.Error("missing snapshot file accepted")
+	}
+}
+
+func TestSnapshotV2PersistsVersionsAndTombstones(t *testing.T) {
+	src := NewStore()
+	src.SetVersioned("live", []byte("v"), 3, 10)
+	src.SetVersioned("gone", []byte("x"), 3, 4)
+	src.DeleteVersioned("gone", 3, 7)
+	src.Set("legacy", []byte("old")) // unversioned, epoch 0
+
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewStore()
+	if err := dst.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v, epoch, ver, tomb, ok := dst.GetVersioned("live"); !ok || tomb || ver != 10 || epoch != 3 || string(v) != "v" {
+		t.Errorf("live: v=%q epoch=%d ver=%d tomb=%v ok=%v", v, epoch, ver, tomb, ok)
+	}
+	if _, _, ver, tomb, ok := dst.GetVersioned("gone"); !ok || !tomb || ver != 7 {
+		t.Errorf("tombstone lost across snapshot: ver=%d tomb=%v ok=%v", ver, tomb, ok)
+	}
+	// The restored tombstone must still block stale replays.
+	if dst.SetVersioned("gone", []byte("zombie"), 3, 5) {
+		t.Error("restored tombstone failed to block a stale write")
+	}
+	if v, ok := dst.Get("legacy"); !ok || string(v) != "old" {
+		t.Errorf("legacy entry: %q, %v", v, ok)
+	}
+}
+
+func TestSnapshotReadsV1Format(t *testing.T) {
+	// Hand-build a v1 stream: restored entries are unversioned epoch-0.
+	var buf bytes.Buffer
+	buf.WriteString("SCKV")
+	buf.Write([]byte{0, 1})                   // version 1
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 1}) // count 1
+	buf.Write([]byte{0, 0, 0, 1, 'k'})        // key "k"
+	buf.Write([]byte{0, 0, 0, 2, 'v', '1'})   // value "v1"
+	s := NewStore()
+	if err := s.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v, epoch, ver, tomb, ok := s.GetVersioned("k")
+	if !ok || tomb || ver != 0 || epoch != 0 || string(v) != "v1" {
+		t.Fatalf("v1 restore: v=%q epoch=%d ver=%d tomb=%v ok=%v", v, epoch, ver, tomb, ok)
+	}
+}
+
+func TestSnapshotRejectsHostileLengths(t *testing.T) {
+	// A header claiming a huge key must be rejected by the bound check,
+	// not answered with a giant allocation.
+	var buf bytes.Buffer
+	buf.WriteString("SCKV")
+	buf.Write([]byte{0, 2})                   // version 2
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 1}) // count 1
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // key length 2^32-1
+	if err := NewStore().ReadSnapshot(&buf); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("hostile key length: %v, want ErrBadSnapshot", err)
+	}
+
+	// Same for a value length past the wire bound.
+	buf.Reset()
+	buf.WriteString("SCKV")
+	buf.Write([]byte{0, 2})
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 1})
+	buf.Write([]byte{0, 0, 0, 1, 'k'})
+	buf.Write([]byte{0})                      // flags: live
+	buf.Write(make([]byte, 12))               // ver + epoch
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // value length 2^32-1
+	if err := NewStore().ReadSnapshot(&buf); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("hostile value length: %v, want ErrBadSnapshot", err)
+	}
+
+	// A count far past the bytes actually present must fail on read, not
+	// pre-allocate count entries.
+	buf.Reset()
+	buf.WriteString("SCKV")
+	buf.Write([]byte{0, 2})
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // count 2^64-1
+	if err := NewStore().ReadSnapshot(&buf); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("hostile count: %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestBackendPeriodicSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "periodic.snap")
+	b := NewBackend(0)
+	defer b.Close()
+	b.Store().Set("k", []byte("v"))
+	stop := b.StartSnapshots(snap, 10*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(snap); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no snapshot written within deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	s2 := NewStore()
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := s2.ReadSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s2.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("periodic snapshot content: %q, %v", v, ok)
 	}
 }

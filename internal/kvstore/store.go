@@ -27,7 +27,12 @@ const storeShards = 16
 // back-end node. Each entry is tagged with the partition epoch it was
 // written under (0 for pre-rotation data), which is what lets the
 // rotation migrator find un-migrated entries and apply guarded copies
-// without a read-modify-write race. Store is safe for concurrent use.
+// without a read-modify-write race, and with a logical version (0 for
+// unversioned writes), which is what lets diverged replica copies be
+// reconciled highest-version-wins. Deletes carrying a version leave a
+// tombstone — a versioned "this key is dead" record — so a replica that
+// missed the delete can never resurrect the key through repair. Store is
+// safe for concurrent use.
 type Store struct {
 	shards [storeShards]storeShard
 }
@@ -35,6 +40,8 @@ type Store struct {
 type entry struct {
 	val   []byte
 	epoch uint32
+	ver   uint64
+	tomb  bool
 }
 
 type storeShard struct {
@@ -55,16 +62,34 @@ func (s *Store) shard(key string) *storeShard {
 	return &s.shards[hashing.Hash64(key, 0x5709)%storeShards]
 }
 
-// Get returns a copy of the value and whether the key exists.
+// Get returns a copy of the value and whether the key exists (tombstones
+// read as absent).
 func (s *Store) Get(key string) ([]byte, bool) {
 	sh := s.shard(key)
 	sh.mu.RLock()
 	e, ok := sh.m[key]
 	sh.mu.RUnlock()
-	if !ok {
+	if !ok || e.tomb {
 		return nil, false
 	}
 	return append([]byte(nil), e.val...), true
+}
+
+// GetVersioned returns a copy of the entry with its epoch, logical
+// version, and tombstone flag. ok is false only for keys the store has
+// never heard of — a tombstone returns ok with tomb set and a nil value.
+func (s *Store) GetVersioned(key string) (value []byte, epoch uint32, ver uint64, tomb, ok bool) {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, 0, 0, false, false
+	}
+	if e.tomb {
+		return nil, e.epoch, e.ver, true, true
+	}
+	return append([]byte(nil), e.val...), e.epoch, e.ver, false, true
 }
 
 // GetEpoch returns the epoch a key was stored under.
@@ -83,21 +108,40 @@ func (s *Store) Set(key string, value []byte) {
 
 // SetEpoch stores a copy of value under key, stamped with epoch. The
 // write is unconditional: a client write always wins over whatever was
-// there.
+// there (seed semantics, version 0).
 func (s *Store) SetEpoch(key string, value []byte, epoch uint32) {
+	s.SetVersioned(key, value, epoch, 0)
+}
+
+// SetVersioned stores a copy of value under key, stamped with epoch and
+// logical version ver, reporting whether the write was applied. Version
+// 0 is the unversioned last-write-wins path and always applies. A
+// non-zero version applies only over an absent entry or a strictly older
+// stored version — the highest-version-wins rule that makes replica
+// repair and hint replay idempotent and safe against reordering (a
+// replayed old write can never clobber a newer value or resurrect a
+// tombstoned key).
+func (s *Store) SetVersioned(key string, value []byte, epoch uint32, ver uint64) bool {
 	sh := s.shard(key)
 	cp := append([]byte(nil), value...)
 	sh.mu.Lock()
-	sh.m[key] = entry{val: cp, epoch: epoch}
-	sh.mu.Unlock()
+	defer sh.mu.Unlock()
+	if ver != 0 {
+		if cur, ok := sh.m[key]; ok && cur.ver >= ver {
+			return false
+		}
+	}
+	sh.m[key] = entry{val: cp, epoch: epoch, ver: ver}
+	return true
 }
 
 // SetGuarded applies a migration copy: the value is stored only if the
 // key is absent or its current entry carries a strictly older epoch.
 // It reports whether the write was applied. The check-and-write is
 // atomic under the shard lock, so a concurrent client SetEpoch at the
-// new epoch can never be overwritten by migrated (stale) data.
-func (s *Store) SetGuarded(key string, value []byte, epoch uint32) bool {
+// new epoch can never be overwritten by migrated (stale) data. The
+// copied entry keeps its origin's logical version ver.
+func (s *Store) SetGuarded(key string, value []byte, epoch uint32, ver uint64) bool {
 	sh := s.shard(key)
 	cp := append([]byte(nil), value...)
 	sh.mu.Lock()
@@ -105,11 +149,14 @@ func (s *Store) SetGuarded(key string, value []byte, epoch uint32) bool {
 	if cur, ok := sh.m[key]; ok && cur.epoch >= epoch {
 		return false
 	}
-	sh.m[key] = entry{val: cp, epoch: epoch}
+	sh.m[key] = entry{val: cp, epoch: epoch, ver: ver}
 	return true
 }
 
-// Delete removes key, reporting whether it existed.
+// Delete removes key outright, reporting whether it existed (including
+// as a tombstone). This is the unversioned hard delete: rotation purges
+// and tombstone GC use it; replicated client deletes should use
+// DeleteVersioned so the removal survives repair.
 func (s *Store) Delete(key string) bool {
 	sh := s.shard(key)
 	sh.mu.Lock()
@@ -117,6 +164,74 @@ func (s *Store) Delete(key string) bool {
 	delete(sh.m, key)
 	sh.mu.Unlock()
 	return ok
+}
+
+// DeleteVersioned records a tombstone for key at the given epoch and
+// version: the key reads as absent, and the tombstone's version blocks
+// any older write (a missed Set replayed by a hint, a stale replica copy
+// pushed by repair) from resurrecting it. Applied only over an absent
+// entry or a strictly older version; reports whether the tombstone (or
+// an equal-or-newer one) is in place after the call — false means a
+// NEWER write beat the delete.
+func (s *Store) DeleteVersioned(key string, epoch uint32, ver uint64) bool {
+	if ver == 0 {
+		return s.Delete(key)
+	}
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.m[key]; ok {
+		if cur.ver > ver {
+			return false
+		}
+		if cur.ver == ver {
+			return cur.tomb
+		}
+	}
+	sh.m[key] = entry{epoch: epoch, ver: ver, tomb: true}
+	return true
+}
+
+// SweepTombstones removes tombstones with versions strictly below
+// before, returning how many were dropped. Tombstones must outlive the
+// window in which a missed write could still be replayed (hints,
+// anti-entropy rounds); the caller picks that horizon.
+func (s *Store) SweepTombstones(before uint64) int {
+	swept := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			if e.tomb && e.ver < before {
+				delete(sh.m, k)
+				swept++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return swept
+}
+
+// ScanOptions selects what a Scan page carries beyond live values.
+type ScanOptions struct {
+	// Tombs includes tombstones in the page (as valueless entries with
+	// Tomb set). Without it, tombstoned keys are skipped — the
+	// migration scanner predates tombstones and must not see them.
+	Tombs bool
+	// Digest replaces each live value with its 64-bit content hash in
+	// ScanEntry.Sum. Anti-entropy compares replicas by digest pages and
+	// fetches full values only for keys that actually differ.
+	Digest bool
+}
+
+// valueSumSeed keys the digest-mode content hash. Both sides of an
+// anti-entropy comparison run this same code, so any fixed seed works.
+const valueSumSeed = 0x5ca9
+
+// ValueSum is the 64-bit content hash carried by digest-mode scan
+// entries.
+func ValueSum(value []byte) uint64 {
+	return hashing.Hash64(string(value), valueSumSeed)
 }
 
 // Scan returns up to limit entries whose key ID (KeyID) is strictly
@@ -129,7 +244,7 @@ func (s *Store) Delete(key string) bool {
 // resumed scan never re-walks territory it already covered. (Two keys
 // colliding on a 64-bit ID would shadow each other in a page boundary;
 // with 2^64 IDs that is not a practical concern.)
-func (s *Store) Scan(afterID uint64, limit int, belowEpoch uint32, maxBytes int) ([]proto.ScanEntry, uint64) {
+func (s *Store) Scan(afterID uint64, limit int, belowEpoch uint32, maxBytes int, opts ScanOptions) ([]proto.ScanEntry, uint64) {
 	if limit <= 0 {
 		return nil, 0
 	}
@@ -143,6 +258,9 @@ func (s *Store) Scan(afterID uint64, limit int, belowEpoch uint32, maxBytes int)
 		sh.mu.RLock()
 		for key, e := range sh.m {
 			if belowEpoch != 0 && e.epoch >= belowEpoch {
+				continue
+			}
+			if e.tomb && !opts.Tombs {
 				continue
 			}
 			if id := KeyID(key); id > afterID {
@@ -166,33 +284,63 @@ func (s *Store) Scan(afterID uint64, limit int, belowEpoch uint32, maxBytes int)
 		sh.mu.RLock()
 		e, ok := sh.m[c.key]
 		sh.mu.RUnlock()
-		if !ok || (belowEpoch != 0 && e.epoch >= belowEpoch) {
+		if !ok || (belowEpoch != 0 && e.epoch >= belowEpoch) || (e.tomb && !opts.Tombs) {
 			continue
+		}
+		se := proto.ScanEntry{Key: c.key, Epoch: e.epoch, Ver: e.ver}
+		cost := 0
+		switch {
+		case e.tomb:
+			se.Tomb = true
+		case opts.Digest:
+			se.Digest = true
+			se.Sum = ValueSum(e.val)
+		default:
+			se.Value = append([]byte(nil), e.val...)
+			cost = len(e.val)
 		}
 		// The byte budget stops the page *before* an entry that would
 		// blow it — except the first, so a single oversized value still
 		// makes progress instead of wedging the scan.
-		if maxBytes > 0 && len(out) > 0 && bytes+len(e.val) > maxBytes {
+		if maxBytes > 0 && len(out) > 0 && bytes+cost > maxBytes {
 			return out, lastID
 		}
-		out = append(out, proto.ScanEntry{
-			Key:   c.key,
-			Value: append([]byte(nil), e.val...),
-			Epoch: e.epoch,
-		})
-		bytes += len(e.val)
+		out = append(out, se)
+		bytes += cost
 		lastID = c.id
 	}
 	return out, 0
 }
 
-// Len returns the number of stored keys.
+// Len returns the number of live stored keys (tombstones excluded).
 func (s *Store) Len() int {
 	total := 0
 	for i := range s.shards {
-		s.shards[i].mu.RLock()
-		total += len(s.shards[i].m)
-		s.shards[i].mu.RUnlock()
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += len(sh.m)
+		for _, e := range sh.m {
+			if e.tomb {
+				total--
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// TombCount returns the number of tombstones currently held.
+func (s *Store) TombCount() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.m {
+			if e.tomb {
+				total++
+			}
+		}
+		sh.mu.RUnlock()
 	}
 	return total
 }

@@ -24,17 +24,17 @@ func TestStoreEpochTagging(t *testing.T) {
 func TestStoreSetGuarded(t *testing.T) {
 	s := NewStore()
 	// Absent key: guarded write applies.
-	if !s.SetGuarded("k", []byte("migrated"), 2) {
+	if !s.SetGuarded("k", []byte("migrated"), 2, 0) {
 		t.Fatal("guarded write to absent key not applied")
 	}
 	// Same epoch: a second guarded copy must not clobber.
-	if s.SetGuarded("k", []byte("stale"), 2) {
+	if s.SetGuarded("k", []byte("stale"), 2, 0) {
 		t.Fatal("guarded write applied over equal epoch")
 	}
 	// Newer client write wins; a later guarded copy at the same epoch
 	// must not resurrect the migrated value.
 	s.SetEpoch("k", []byte("client"), 2)
-	if s.SetGuarded("k", []byte("migrated"), 2) {
+	if s.SetGuarded("k", []byte("migrated"), 2, 0) {
 		t.Fatal("guarded write clobbered a client write at the same epoch")
 	}
 	if v, _ := s.Get("k"); !bytes.Equal(v, []byte("client")) {
@@ -42,7 +42,7 @@ func TestStoreSetGuarded(t *testing.T) {
 	}
 	// Older entry: guarded write upgrades it.
 	s.SetEpoch("old", []byte("v1"), 1)
-	if !s.SetGuarded("old", []byte("v1"), 3) {
+	if !s.SetGuarded("old", []byte("v1"), 3, 0) {
 		t.Fatal("guarded write over older epoch not applied")
 	}
 	if ep, _ := s.GetEpoch("old"); ep != 3 {
@@ -60,7 +60,7 @@ func TestStoreScanPagination(t *testing.T) {
 	cursor := uint64(0)
 	pages := 0
 	for {
-		entries, next := s.Scan(cursor, 7, 0, 0)
+		entries, next := s.Scan(cursor, 7, 0, 0, ScanOptions{})
 		pages++
 		prev := cursor
 		for _, e := range entries {
@@ -92,7 +92,7 @@ func TestStoreScanEpochFilter(t *testing.T) {
 	s.SetEpoch("old1", []byte("a"), 0)
 	s.SetEpoch("old2", []byte("b"), 1)
 	s.SetEpoch("new1", []byte("c"), 2)
-	entries, next := s.Scan(0, 100, 2, 0)
+	entries, next := s.Scan(0, 100, 2, 0, ScanOptions{})
 	if next != 0 {
 		t.Fatalf("next cursor %d, want 0", next)
 	}
@@ -112,7 +112,7 @@ func TestStoreScanByteBudget(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		s.Set(fmt.Sprintf("k%d", i), big)
 	}
-	entries, next := s.Scan(0, 100, 0, 1000)
+	entries, next := s.Scan(0, 100, 0, 1000, ScanOptions{})
 	// 600-byte values against a 1000-byte budget: exactly one fits, the
 	// second would blow the budget.
 	if len(entries) != 1 || next == 0 {
@@ -120,7 +120,7 @@ func TestStoreScanByteBudget(t *testing.T) {
 	}
 	// An oversized first entry must still be returned (progress beats
 	// the budget) rather than wedging the scan.
-	entries, _ = s.Scan(0, 100, 0, 10)
+	entries, _ = s.Scan(0, 100, 0, 10, ScanOptions{})
 	if len(entries) != 1 {
 		t.Fatalf("oversized first entry: %d entries, want 1", len(entries))
 	}

@@ -1,0 +1,78 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestVersionedOpsOverWire exercises GetV/SetVersioned/DelVersioned and
+// digest/tombstone scans through a real backend over TCP.
+func TestVersionedOpsOverWire(t *testing.T) {
+	_, addr, err := StartBackend(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(addr)
+	defer c.Close()
+
+	// Unknown key: plain NotFound, no version.
+	if _, ver, tomb, err := c.GetV("nope"); !errors.Is(err, ErrNotFound) || ver != 0 || tomb {
+		t.Fatalf("GetV(absent): ver=%d tomb=%v err=%v", ver, tomb, err)
+	}
+
+	if err := c.SetVersioned("k", []byte("v1"), 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	v, ver, tomb, err := c.GetV("k")
+	if err != nil || tomb || ver != 10 || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("GetV(live): %q ver=%d tomb=%v err=%v", v, ver, tomb, err)
+	}
+
+	// A stale write must not apply (and must not error — the stored
+	// state is newer, which is success for an idempotent write).
+	if err := c.SetVersioned("k", []byte("old"), 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _, _ := c.GetV("k"); !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("stale write applied: %q", v)
+	}
+
+	// Versioned delete leaves a readable-as-tombstone marker.
+	if err := c.DelVersioned("k", 2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, ver, tomb, err := c.GetV("k"); !errors.Is(err, ErrNotFound) || !tomb || ver != 20 {
+		t.Fatalf("GetV(tombstone): ver=%d tomb=%v err=%v", ver, tomb, err)
+	}
+	// Plain Get agrees the key is gone.
+	if _, err := c.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after versioned delete: %v", err)
+	}
+
+	// Scans: default hides the tombstone, ScanPage with Tombs shows it,
+	// Digest elides values.
+	if err := c.SetVersioned("live", []byte("data"), 2, 30); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := c.Scan(0, 100, 0)
+	if err != nil || len(entries) != 1 || entries[0].Key != "live" {
+		t.Fatalf("plain scan: %+v err=%v", entries, err)
+	}
+	entries, _, err = c.ScanPage(0, 100, 0, ScanOptions{Tombs: true, Digest: true})
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("tombs+digest scan: %+v err=%v", entries, err)
+	}
+	for _, e := range entries {
+		switch e.Key {
+		case "k":
+			if !e.Tomb || e.Ver != 20 {
+				t.Errorf("tombstone entry: %+v", e)
+			}
+		case "live":
+			if !e.Digest || e.Value != nil || e.Sum != ValueSum([]byte("data")) || e.Ver != 30 {
+				t.Errorf("digest entry: %+v", e)
+			}
+		}
+	}
+}

@@ -19,6 +19,10 @@ func FuzzReadRequest(f *testing.F) {
 		mustReq(&Request{Op: OpGet, Key: "k", Epoch: 7}),
 		mustReq(&Request{Op: OpSet, Key: "key", Value: []byte("v"), Epoch: 3, EpochGuard: true}),
 		mustReq(&Request{Op: OpScan, ScanCursor: 12345, ScanLimit: 64, Epoch: 2}),
+		mustReq(&Request{Op: OpSet, Key: "key", Value: []byte("v"), Ver: 42}),
+		mustReq(&Request{Op: OpDel, Key: "key", Epoch: 1, Ver: 42}),
+		mustReq(&Request{Op: OpScan, ScanCursor: 1, ScanLimit: 8, ScanTombs: true, ScanDigest: true}),
+		mustReq(&Request{Op: OpGetV, Key: "k"}),
 		{0xff, 0xff, 0xff, 0xff, 1, 2, 3},
 	}
 	for _, s := range seed {
@@ -40,6 +44,7 @@ func FuzzReadRequest(f *testing.F) {
 		}
 		if back.Op != req.Op || back.Key != req.Key || !bytes.Equal(back.Value, req.Value) ||
 			back.Epoch != req.Epoch || back.EpochGuard != req.EpochGuard ||
+			back.Ver != req.Ver || back.ScanTombs != req.ScanTombs || back.ScanDigest != req.ScanDigest ||
 			back.ScanCursor != req.ScanCursor || back.ScanLimit != req.ScanLimit {
 			t.Fatalf("round trip changed the message: %+v vs %+v", req, back)
 		}
@@ -50,8 +55,12 @@ func FuzzReadRequest(f *testing.F) {
 // must re-encode to an identical page.
 func FuzzScanPayload(f *testing.F) {
 	one, _ := EncodeScanPayload(99, []ScanEntry{{Key: "k", Value: []byte("v"), Epoch: 2}})
+	versioned, _ := EncodeScanPayload(7, []ScanEntry{
+		{Key: "t", Tomb: true, Ver: 5, Epoch: 1},
+		{Key: "d", Digest: true, Sum: 42, Ver: 6},
+	})
 	empty, _ := EncodeScanPayload(0, nil)
-	seed := [][]byte{{}, one, empty, {0, 0, 0, 0, 0, 0, 0, 0, 0, 3}}
+	seed := [][]byte{{}, one, versioned, empty, {0, 0, 0, 0, 0, 0, 0, 0, 0, 3}}
 	for _, s := range seed {
 		f.Add(s)
 	}
@@ -74,7 +83,9 @@ func FuzzScanPayload(f *testing.F) {
 		}
 		for i := range entries {
 			if back[i].Key != entries[i].Key || !bytes.Equal(back[i].Value, entries[i].Value) ||
-				back[i].Epoch != entries[i].Epoch {
+				back[i].Epoch != entries[i].Epoch || back[i].Ver != entries[i].Ver ||
+				back[i].Tomb != entries[i].Tomb || back[i].Digest != entries[i].Digest ||
+				back[i].Sum != entries[i].Sum {
 				t.Fatalf("round trip changed entry %d: %+v vs %+v", i, entries[i], back[i])
 			}
 		}

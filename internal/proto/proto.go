@@ -57,6 +57,14 @@ const (
 	OpPing
 )
 
+// OpGetV is the versioned read: like OpGet, but the response carries the
+// entry's logical version so replica copies are comparable. StatusOK
+// payload is [uint64 version][value bytes]; StatusNotFound payload is
+// either empty (key unknown) or [uint64 version] (a tombstone — the key
+// was deleted at that version, which is authoritative against any older
+// live copy). See EncodeGetVPayload.
+const OpGetV Op = 8
+
 // String names the op for logs and errors.
 func (o Op) String() string {
 	switch o {
@@ -74,15 +82,19 @@ func (o Op) String() string {
 		return "MGET"
 	case OpScan:
 		return "SCAN"
+	case OpGetV:
+		return "GETV"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
 }
 
-func (o Op) valid() bool { return (o >= OpGet && o <= OpPing) || o == OpMGet || o == OpScan }
+func (o Op) valid() bool {
+	return (o >= OpGet && o <= OpPing) || o == OpMGet || o == OpScan || o == OpGetV
+}
 
 // hasKey reports whether the op carries a key.
-func (o Op) hasKey() bool { return o == OpGet || o == OpSet || o == OpDel }
+func (o Op) hasKey() bool { return o == OpGet || o == OpSet || o == OpDel || o == OpGetV }
 
 // Status identifies a response outcome.
 type Status byte
@@ -144,6 +156,22 @@ const (
 	extEpochTag    = 0xE1
 	extEpochLen    = 6
 	flagEpochGuard = 1 << 0
+	// flagScanTombs (OpScan only) includes tombstones in the page so
+	// anti-entropy can propagate deletes; migration scans omit them.
+	flagScanTombs = 1 << 1
+	// flagScanDigest (OpScan only) elides value bytes from the page,
+	// substituting a 64-bit content hash — the cheap mode the anti-entropy
+	// repairer diffs replica pairs with.
+	flagScanDigest = 1 << 2
+)
+
+// Version extension encoding: tag byte, uint64 logical version. Valid on
+// OpSet (the write applies only over strictly older versions) and OpDel
+// (delete becomes a versioned tombstone write). Version 0 encodes as no
+// extension — the unversioned last-write-wins semantics of the seed.
+const (
+	extVerTag = 0xE2
+	extVerLen = 9
 )
 
 // Request is a client -> server message. Key/Value apply to the
@@ -167,16 +195,33 @@ type Request struct {
 	// can never be clobbered by stale migrated data.
 	EpochGuard bool
 
+	// Ver is the entry's logical version (0 = unversioned). On OpSet the
+	// store applies the write only over a strictly older stored version;
+	// on OpDel it turns the delete into a tombstone write at this
+	// version, so replicas that missed the delete can be reconciled
+	// without resurrecting the key.
+	Ver uint64
+
 	// ScanCursor resumes an OpScan after the entry with this key ID
 	// (0 starts from the beginning).
 	ScanCursor uint64
 	// ScanLimit caps the entries per OpScan response, in
 	// [1, MaxBatchKeys].
 	ScanLimit uint16
+	// ScanTombs includes tombstones in an OpScan page.
+	ScanTombs bool
+	// ScanDigest replaces value bytes with 64-bit content hashes in an
+	// OpScan page.
+	ScanDigest bool
 }
 
 // hasEpochExt reports whether the request carries the epoch extension.
-func (req *Request) hasEpochExt() bool { return req.Epoch != 0 || req.EpochGuard }
+func (req *Request) hasEpochExt() bool {
+	return req.Epoch != 0 || req.EpochGuard || req.ScanTombs || req.ScanDigest
+}
+
+// hasVerExt reports whether the request carries the version extension.
+func (req *Request) hasVerExt() bool { return req.Ver != 0 }
 
 // Response is a server -> client message. For StatusError, Payload holds
 // the UTF-8 error message.
@@ -219,6 +264,12 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	if req.Op == OpScan && (req.ScanLimit == 0 || req.ScanLimit > MaxBatchKeys) {
 		return dst, fmt.Errorf("%w: scan limit %d outside [1, %d]", ErrMalformed, req.ScanLimit, MaxBatchKeys)
 	}
+	if (req.ScanTombs || req.ScanDigest) && req.Op != OpScan {
+		return dst, fmt.Errorf("%w: scan flags on %s", ErrMalformed, req.Op)
+	}
+	if req.hasVerExt() && req.Op != OpSet && req.Op != OpDel {
+		return dst, fmt.Errorf("%w: version extension on %s", ErrMalformed, req.Op)
+	}
 	body := 1
 	if req.Op.hasKey() {
 		body += 2 + len(req.Key)
@@ -231,6 +282,9 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	}
 	if req.hasEpochExt() {
 		body += extEpochLen
+	}
+	if req.hasVerExt() {
+		body += extVerLen
 	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
 	dst = append(dst, byte(req.Op))
@@ -253,7 +307,17 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 		if req.EpochGuard {
 			flags |= flagEpochGuard
 		}
+		if req.ScanTombs {
+			flags |= flagScanTombs
+		}
+		if req.ScanDigest {
+			flags |= flagScanDigest
+		}
 		dst = append(dst, flags)
+	}
+	if req.hasVerExt() {
+		dst = append(dst, extVerTag)
+		dst = binary.BigEndian.AppendUint64(dst, req.Ver)
 	}
 	return dst, nil
 }
@@ -325,22 +389,65 @@ func ReadRequest(r io.Reader) (*Request, error) {
 			return nil, fmt.Errorf("%w: scan limit %d outside [1, %d]", ErrMalformed, req.ScanLimit, MaxBatchKeys)
 		}
 	}
-	if len(body) > 0 {
-		if body[0] != extEpochTag || len(body) < extEpochLen {
+	sawEpoch, sawVer := false, false
+	for len(body) > 0 {
+		switch body[0] {
+		case extEpochTag:
+			if sawEpoch || len(body) < extEpochLen {
+				return nil, fmt.Errorf("%w: bad epoch extension (%d bytes)", ErrMalformed, len(body))
+			}
+			sawEpoch = true
+			req.Epoch = binary.BigEndian.Uint32(body[1:])
+			flags := body[5]
+			if flags&^byte(flagEpochGuard|flagScanTombs|flagScanDigest) != 0 {
+				return nil, fmt.Errorf("%w: unknown epoch flags %#x", ErrMalformed, flags)
+			}
+			req.EpochGuard = flags&flagEpochGuard != 0
+			req.ScanTombs = flags&flagScanTombs != 0
+			req.ScanDigest = flags&flagScanDigest != 0
+			if (req.ScanTombs || req.ScanDigest) && req.Op != OpScan {
+				return nil, fmt.Errorf("%w: scan flags on %s", ErrMalformed, req.Op)
+			}
+			body = body[extEpochLen:]
+		case extVerTag:
+			if sawVer || len(body) < extVerLen {
+				return nil, fmt.Errorf("%w: bad version extension (%d bytes)", ErrMalformed, len(body))
+			}
+			if req.Op != OpSet && req.Op != OpDel {
+				return nil, fmt.Errorf("%w: version extension on %s", ErrMalformed, req.Op)
+			}
+			sawVer = true
+			req.Ver = binary.BigEndian.Uint64(body[1:])
+			body = body[extVerLen:]
+		default:
 			return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(body))
 		}
-		req.Epoch = binary.BigEndian.Uint32(body[1:])
-		flags := body[5]
-		if flags&^byte(flagEpochGuard) != 0 {
-			return nil, fmt.Errorf("%w: unknown epoch flags %#x", ErrMalformed, flags)
-		}
-		req.EpochGuard = flags&flagEpochGuard != 0
-		body = body[extEpochLen:]
-	}
-	if len(body) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(body))
 	}
 	return req, nil
+}
+
+// EncodeGetVPayload packs a versioned-read result: [uint64 version] then
+// the value bytes (tombstone responses carry the version alone on a
+// StatusNotFound — see OpGetV).
+func EncodeGetVPayload(ver uint64, value []byte) ([]byte, error) {
+	if len(value) > MaxValueLen {
+		return nil, fmt.Errorf("%w: value length %d", ErrFrameTooLarge, len(value))
+	}
+	out := make([]byte, 0, 8+len(value))
+	out = binary.BigEndian.AppendUint64(out, ver)
+	return append(out, value...), nil
+}
+
+// DecodeGetVPayload unpacks an OpGetV StatusOK payload.
+func DecodeGetVPayload(payload []byte) (ver uint64, value []byte, err error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("%w: GETV payload %d bytes", ErrMalformed, len(payload))
+	}
+	ver = binary.BigEndian.Uint64(payload)
+	if len(payload) > 8 {
+		value = append([]byte(nil), payload[8:]...)
+	}
+	return ver, value, nil
 }
 
 // AppendResponse encodes resp into dst and returns the grown slice.

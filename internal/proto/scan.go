@@ -5,27 +5,49 @@ import (
 	"fmt"
 )
 
-// Key migration: OpScan pages through a backend's store in key-ID order
-// so a frontend-driven migrator can stream every entry during an epoch
-// rotation without the backend holding iterator state. The request body
-// (after the op byte) is a resume cursor plus a page limit; an epoch
-// extension on the request filters to entries stored under a strictly
-// older epoch, so completed passes shrink as migration progresses.
+// Key migration and anti-entropy: OpScan pages through a backend's store
+// in key-ID order so a frontend-driven migrator or repairer can stream
+// every entry without the backend holding iterator state. The request
+// body (after the op byte) is a resume cursor plus a page limit; an
+// epoch extension on the request filters to entries stored under a
+// strictly older epoch, and its flags select tombstone inclusion and
+// digest mode (values replaced by 64-bit content hashes).
 //
 // Response payload (StatusOK):
 //
 //	uint64  next cursor (0 = scan complete)
 //	uint16  entry count (may be 0)
-//	count × [uint16 key length][key][uint32 value length][value][uint32 epoch]
+//	count × [uint16 key length][key][byte flags][uint64 version][uint32 epoch]
+//	        then, per flags: value entries carry [uint32 value length][value];
+//	        digest and tombstone entries carry [uint64 content hash] instead
+//
+// Entry flags: bit 0 = tombstone, bit 1 = value present. A tombstone
+// never carries a value; an entry with neither bit is a digest (the value
+// exists server-side but only its hash travels).
 
-// OpScan is the migration page-read operation.
+// OpScan is the migration/anti-entropy page-read operation.
 const OpScan Op = 7
+
+// Scan-entry flags.
+const (
+	scanEntryTomb     = 1 << 0
+	scanEntryHasValue = 1 << 1
+)
 
 // ScanEntry is one stored record in a scan page.
 type ScanEntry struct {
 	Key   string
 	Value []byte
 	Epoch uint32
+	// Ver is the entry's logical version (0 for unversioned writes).
+	Ver uint64
+	// Tomb marks a tombstone: the key was deleted at Ver and holds no
+	// value.
+	Tomb bool
+	// Digest marks a value elided by digest mode; Sum is its 64-bit
+	// content hash.
+	Digest bool
+	Sum    uint64
 }
 
 // EncodeScanPayload packs a scan page into a response payload. A page
@@ -39,10 +61,18 @@ func EncodeScanPayload(next uint64, entries []ScanEntry) ([]byte, error) {
 		if len(e.Key) > MaxKeyLen {
 			return nil, fmt.Errorf("%w: key length %d", ErrFrameTooLarge, len(e.Key))
 		}
+		if e.Tomb && (len(e.Value) > 0 || e.Digest) {
+			return nil, fmt.Errorf("%w: tombstone scan entry with a value", ErrMalformed)
+		}
 		if len(e.Value) > MaxValueLen {
 			return nil, fmt.Errorf("%w: value length %d", ErrFrameTooLarge, len(e.Value))
 		}
-		size += 2 + len(e.Key) + 4 + len(e.Value) + 4
+		size += 2 + len(e.Key) + 1 + 8 + 4
+		if e.hasValue() {
+			size += 4 + len(e.Value)
+		} else {
+			size += 8
+		}
 	}
 	if size > MaxPayloadLen {
 		return nil, fmt.Errorf("%w: scan payload %d bytes", ErrFrameTooLarge, size)
@@ -53,12 +83,29 @@ func EncodeScanPayload(next uint64, entries []ScanEntry) ([]byte, error) {
 	for _, e := range entries {
 		out = binary.BigEndian.AppendUint16(out, uint16(len(e.Key)))
 		out = append(out, e.Key...)
-		out = binary.BigEndian.AppendUint32(out, uint32(len(e.Value)))
-		out = append(out, e.Value...)
+		var flags byte
+		if e.Tomb {
+			flags |= scanEntryTomb
+		}
+		if e.hasValue() {
+			flags |= scanEntryHasValue
+		}
+		out = append(out, flags)
+		out = binary.BigEndian.AppendUint64(out, e.Ver)
 		out = binary.BigEndian.AppendUint32(out, e.Epoch)
+		if e.hasValue() {
+			out = binary.BigEndian.AppendUint32(out, uint32(len(e.Value)))
+			out = append(out, e.Value...)
+		} else {
+			out = binary.BigEndian.AppendUint64(out, e.Sum)
+		}
 	}
 	return out, nil
 }
+
+// hasValue reports whether the entry travels with its value bytes (live,
+// not digest-elided).
+func (e *ScanEntry) hasValue() bool { return !e.Tomb && !e.Digest }
 
 // DecodeScanPayload unpacks a scan response payload.
 func DecodeScanPayload(payload []byte) (entries []ScanEntry, next uint64, err error) {
@@ -81,26 +128,43 @@ func DecodeScanPayload(payload []byte) (entries []ScanEntry, next uint64, err er
 		if klen > MaxKeyLen || len(payload) < klen {
 			return nil, 0, fmt.Errorf("%w: scan entry %d key length %d vs body %d", ErrMalformed, i, klen, len(payload))
 		}
-		key := string(payload[:klen])
+		e := ScanEntry{Key: string(payload[:klen])}
 		payload = payload[klen:]
-		if len(payload) < 4 {
-			return nil, 0, fmt.Errorf("%w: truncated scan entry %d value length", ErrMalformed, i)
+		if len(payload) < 1+8+4 {
+			return nil, 0, fmt.Errorf("%w: truncated scan entry %d header", ErrMalformed, i)
 		}
-		vlen := int(binary.BigEndian.Uint32(payload))
-		payload = payload[4:]
-		if vlen > MaxValueLen || len(payload) < vlen {
-			return nil, 0, fmt.Errorf("%w: scan entry %d value length %d vs body %d", ErrMalformed, i, vlen, len(payload))
+		flags := payload[0]
+		if flags&^byte(scanEntryTomb|scanEntryHasValue) != 0 {
+			return nil, 0, fmt.Errorf("%w: scan entry %d flags %#x", ErrMalformed, i, flags)
 		}
-		e := ScanEntry{Key: key}
-		if vlen > 0 {
-			e.Value = append([]byte(nil), payload[:vlen]...)
+		if flags&scanEntryTomb != 0 && flags&scanEntryHasValue != 0 {
+			return nil, 0, fmt.Errorf("%w: scan entry %d tombstone with value", ErrMalformed, i)
 		}
-		payload = payload[vlen:]
-		if len(payload) < 4 {
-			return nil, 0, fmt.Errorf("%w: truncated scan entry %d epoch", ErrMalformed, i)
+		e.Tomb = flags&scanEntryTomb != 0
+		e.Ver = binary.BigEndian.Uint64(payload[1:])
+		e.Epoch = binary.BigEndian.Uint32(payload[9:])
+		payload = payload[13:]
+		if flags&scanEntryHasValue != 0 {
+			if len(payload) < 4 {
+				return nil, 0, fmt.Errorf("%w: truncated scan entry %d value length", ErrMalformed, i)
+			}
+			vlen := int(binary.BigEndian.Uint32(payload))
+			payload = payload[4:]
+			if vlen > MaxValueLen || len(payload) < vlen {
+				return nil, 0, fmt.Errorf("%w: scan entry %d value length %d vs body %d", ErrMalformed, i, vlen, len(payload))
+			}
+			if vlen > 0 {
+				e.Value = append([]byte(nil), payload[:vlen]...)
+			}
+			payload = payload[vlen:]
+		} else {
+			if len(payload) < 8 {
+				return nil, 0, fmt.Errorf("%w: truncated scan entry %d digest", ErrMalformed, i)
+			}
+			e.Digest = !e.Tomb
+			e.Sum = binary.BigEndian.Uint64(payload)
+			payload = payload[8:]
 		}
-		e.Epoch = binary.BigEndian.Uint32(payload)
-		payload = payload[4:]
 		entries = append(entries, e)
 	}
 	if len(payload) != 0 {

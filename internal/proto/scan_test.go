@@ -14,14 +14,32 @@ func TestEpochExtensionRoundTrip(t *testing.T) {
 		{Op: OpDel, Key: "k", Epoch: 9},
 		{Op: OpScan, ScanCursor: 1 << 40, ScanLimit: MaxBatchKeys, Epoch: 3},
 		{Op: OpScan, ScanCursor: 0, ScanLimit: 1},
+		{Op: OpSet, Key: "k", Value: []byte("v"), Ver: 77},
+		{Op: OpSet, Key: "k", Value: []byte("v"), Epoch: 2, Ver: 1 << 60},
+		{Op: OpDel, Key: "k", Epoch: 2, Ver: 12345},
+		{Op: OpScan, ScanCursor: 9, ScanLimit: 8, ScanTombs: true},
+		{Op: OpScan, ScanCursor: 9, ScanLimit: 8, ScanTombs: true, ScanDigest: true},
+		{Op: OpGetV, Key: "k"},
 	}
 	for _, req := range cases {
 		got := roundTripRequest(t, req)
 		if got.Op != req.Op || got.Key != req.Key || !bytes.Equal(got.Value, req.Value) ||
 			got.Epoch != req.Epoch || got.EpochGuard != req.EpochGuard ||
+			got.Ver != req.Ver || got.ScanTombs != req.ScanTombs || got.ScanDigest != req.ScanDigest ||
 			got.ScanCursor != req.ScanCursor || got.ScanLimit != req.ScanLimit {
 			t.Errorf("%s: round trip %+v -> %+v", req.Op, req, got)
 		}
+	}
+}
+
+func TestVersionExtensionValidation(t *testing.T) {
+	// The version extension is a write-path concept: reads must not carry
+	// it (a versioned read is OpGetV, whose version rides the response).
+	if _, err := AppendRequest(nil, &Request{Op: OpGet, Key: "k", Ver: 1}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("versioned GET: error %v, want ErrMalformed", err)
+	}
+	if _, err := AppendRequest(nil, &Request{Op: OpGet, Key: "k", ScanTombs: true}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("scan flags on GET: error %v, want ErrMalformed", err)
 	}
 }
 
@@ -40,12 +58,16 @@ func TestEpochExtensionWireCompatible(t *testing.T) {
 
 func TestEpochExtensionMalformed(t *testing.T) {
 	cases := map[string][]byte{
-		"unknown tag":    {0, 0, 0, 10, byte(OpGet), 0, 1, 'k', 0xE2, 0, 0, 0, 1, 0},
-		"truncated ext":  {0, 0, 0, 7, byte(OpGet), 0, 1, 'k', 0xE1, 0, 0},
-		"unknown flags":  {0, 0, 0, 10, byte(OpGet), 0, 1, 'k', 0xE1, 0, 0, 0, 1, 0x80},
-		"bytes past ext": {0, 0, 0, 11, byte(OpGet), 0, 1, 'k', 0xE1, 0, 0, 0, 1, 0, 'z'},
-		"scan zero lim":  {0, 0, 0, 11, byte(OpScan), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
-		"scan truncated": {0, 0, 0, 5, byte(OpScan), 0, 0, 0, 0},
+		"unknown tag":      {0, 0, 0, 10, byte(OpGet), 0, 1, 'k', 0xE3, 0, 0, 0, 1, 0},
+		"truncated ext":    {0, 0, 0, 7, byte(OpGet), 0, 1, 'k', 0xE1, 0, 0},
+		"unknown flags":    {0, 0, 0, 10, byte(OpGet), 0, 1, 'k', 0xE1, 0, 0, 0, 1, 0x80},
+		"bytes past ext":   {0, 0, 0, 11, byte(OpGet), 0, 1, 'k', 0xE1, 0, 0, 0, 1, 0, 'z'},
+		"scan zero lim":    {0, 0, 0, 11, byte(OpScan), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"scan truncated":   {0, 0, 0, 5, byte(OpScan), 0, 0, 0, 0},
+		"ver ext on GET":   {0, 0, 0, 13, byte(OpGet), 0, 1, 'k', 0xE2, 0, 0, 0, 0, 0, 0, 0, 1},
+		"ver ext cut":      {0, 0, 0, 8, byte(OpDel), 0, 1, 'k', 0xE2, 0, 0, 0},
+		"dup epoch ext":    {0, 0, 0, 16, byte(OpGet), 0, 1, 'k', 0xE1, 0, 0, 0, 1, 0, 0xE1, 0, 0, 0, 2, 0},
+		"scan flag on GET": {0, 0, 0, 10, byte(OpGet), 0, 1, 'k', 0xE1, 0, 0, 0, 1, 0x02},
 	}
 	for name, raw := range cases {
 		if _, err := ReadRequest(bytes.NewReader(raw)); err == nil {
@@ -68,6 +90,9 @@ func TestScanPayloadRoundTrip(t *testing.T) {
 		{Key: "a", Value: []byte("one"), Epoch: 1},
 		{Key: "b", Value: nil, Epoch: 0},
 		{Key: "c", Value: []byte{0, 1, 2}, Epoch: 1<<32 - 1},
+		{Key: "d", Value: []byte("versioned"), Epoch: 2, Ver: 1 << 50},
+		{Key: "e", Tomb: true, Ver: 99, Epoch: 2},
+		{Key: "f", Digest: true, Sum: 0xDEADBEEF, Ver: 7, Epoch: 1},
 	}
 	payload, err := EncodeScanPayload(777, entries)
 	if err != nil {
@@ -82,9 +107,17 @@ func TestScanPayloadRoundTrip(t *testing.T) {
 	}
 	for i := range entries {
 		if got[i].Key != entries[i].Key || !bytes.Equal(got[i].Value, entries[i].Value) ||
-			got[i].Epoch != entries[i].Epoch {
+			got[i].Epoch != entries[i].Epoch || got[i].Ver != entries[i].Ver ||
+			got[i].Tomb != entries[i].Tomb || got[i].Digest != entries[i].Digest ||
+			got[i].Sum != entries[i].Sum {
 			t.Errorf("entry %d: %+v -> %+v", i, entries[i], got[i])
 		}
+	}
+}
+
+func TestScanPayloadRejectsTombWithValue(t *testing.T) {
+	if _, err := EncodeScanPayload(0, []ScanEntry{{Key: "k", Tomb: true, Value: []byte("v")}}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("tombstone with value: error %v, want ErrMalformed", err)
 	}
 }
 

@@ -1,0 +1,250 @@
+// Package repair is the write-durability and replica-convergence layer:
+// hinted handoff queues that buffer writes a down replica missed, and a
+// background anti-entropy repairer that walks replica pairs comparing
+// digest scans and re-converges divergent copies highest-version-wins.
+// Both lean on the store's versioned write semantics — every repair
+// action is an idempotent versioned Set or tombstone, so replays and
+// races are harmless by construction.
+package repair
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// DefaultHintLimit bounds buffered hints per node. A node that stays
+// down long enough to overflow its queue is repaired by anti-entropy
+// instead — the queue is a fast path, not the correctness backstop.
+const DefaultHintLimit = 4096
+
+// Hint is one write a replica missed: replay it as a versioned Set (or
+// tombstone when Del) once the node is reachable again.
+type Hint struct {
+	Node  int    `json:"node"`
+	Key   string `json:"key"`
+	Value []byte `json:"value,omitempty"`
+	Epoch uint32 `json:"epoch"`
+	Ver   uint64 `json:"ver"`
+	Del   bool   `json:"del,omitempty"`
+}
+
+// HintQueue buffers missed writes per node, deduplicating by key
+// (highest version wins — replaying only the newest write per key is
+// correct because versioned writes are order-free). Optionally persists
+// to a directory so hints survive a frontend restart. Safe for
+// concurrent use.
+type HintQueue struct {
+	limit int
+	dir   string // "" = memory only
+
+	mu      sync.Mutex
+	nodes   map[int]map[string]Hint
+	dirty   map[int]bool
+	dropped uint64
+}
+
+// NewHintQueue returns a queue holding at most limit hints per node
+// (<= 0 = DefaultHintLimit). If dir is non-empty, per-node hint files
+// are loaded from it now and written back on Sync.
+func NewHintQueue(limit int, dir string) (*HintQueue, error) {
+	if limit <= 0 {
+		limit = DefaultHintLimit
+	}
+	q := &HintQueue{
+		limit: limit,
+		dir:   dir,
+		nodes: make(map[int]map[string]Hint),
+		dirty: make(map[int]bool),
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("repair: hint dir: %w", err)
+		}
+		if err := q.load(); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// Add buffers a missed write, reporting whether it was kept. A hint for
+// a key already queued replaces it only if at least as new; a full queue
+// drops the hint (counted in Dropped) — anti-entropy will carry it.
+func (q *HintQueue) Add(h Hint) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	m := q.nodes[h.Node]
+	if m == nil {
+		m = make(map[string]Hint)
+		q.nodes[h.Node] = m
+	}
+	if old, ok := m[h.Key]; ok {
+		if old.Ver > h.Ver {
+			return true // queue already carries something newer
+		}
+	} else if len(m) >= q.limit {
+		q.dropped++
+		return false
+	}
+	m[h.Key] = h
+	q.dirty[h.Node] = true
+	return true
+}
+
+// Pending returns how many hints are queued for node.
+func (q *HintQueue) Pending(node int) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.nodes[node])
+}
+
+// Total returns the queued hint count across all nodes.
+func (q *HintQueue) Total() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, m := range q.nodes {
+		n += len(m)
+	}
+	return n
+}
+
+// Dropped returns how many hints were discarded to full queues.
+func (q *HintQueue) Dropped() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
+}
+
+// Nodes returns the nodes with pending hints, ascending.
+func (q *HintQueue) Nodes() []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]int, 0, len(q.nodes))
+	for n, m := range q.nodes {
+		if len(m) > 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Drain replays node's hints through apply, stopping at the first
+// failure (the hint stays queued for the next drain). A hint re-queued
+// at a newer version while its old version is in flight is kept — only
+// the exact hint handed to apply is removed. Returns how many hints
+// apply accepted.
+func (q *HintQueue) Drain(node int, apply func(Hint) error) (int, error) {
+	applied := 0
+	for {
+		q.mu.Lock()
+		m := q.nodes[node]
+		var h Hint
+		found := false
+		for _, cand := range m {
+			h = cand
+			found = true
+			break
+		}
+		q.mu.Unlock()
+		if !found {
+			return applied, nil
+		}
+		if err := apply(h); err != nil {
+			return applied, err
+		}
+		q.mu.Lock()
+		if cur, ok := m[h.Key]; ok && cur.Ver == h.Ver && cur.Del == h.Del {
+			delete(m, h.Key)
+			q.dirty[node] = true
+		}
+		q.mu.Unlock()
+		applied++
+	}
+}
+
+// Sync writes changed per-node hint files (atomic temp+rename). No-op
+// without a persistence directory.
+func (q *HintQueue) Sync() error {
+	if q.dir == "" {
+		return nil
+	}
+	q.mu.Lock()
+	type fileState struct {
+		node  int
+		hints []Hint
+	}
+	var work []fileState
+	for node := range q.dirty {
+		hints := make([]Hint, 0, len(q.nodes[node]))
+		for _, h := range q.nodes[node] {
+			hints = append(hints, h)
+		}
+		sort.Slice(hints, func(i, j int) bool { return hints[i].Key < hints[j].Key })
+		work = append(work, fileState{node, hints})
+		delete(q.dirty, node)
+	}
+	q.mu.Unlock()
+	for _, fs := range work {
+		if err := q.writeNodeFile(fs.node, fs.hints); err != nil {
+			q.mu.Lock()
+			q.dirty[fs.node] = true // retry next Sync
+			q.mu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+func (q *HintQueue) nodePath(node int) string {
+	return filepath.Join(q.dir, fmt.Sprintf("hints-%d.json", node))
+}
+
+func (q *HintQueue) writeNodeFile(node int, hints []Hint) error {
+	path := q.nodePath(node)
+	if len(hints) == 0 {
+		err := os.Remove(path)
+		if err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		return nil
+	}
+	blob, err := json.Marshal(hints)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// load restores hint files written by a previous process. A corrupt file
+// is skipped (and removed at the next Sync), not fatal: hints are an
+// optimization and anti-entropy covers the loss.
+func (q *HintQueue) load() error {
+	matches, err := filepath.Glob(filepath.Join(q.dir, "hints-*.json"))
+	if err != nil {
+		return err
+	}
+	for _, path := range matches {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var hints []Hint
+		if json.Unmarshal(blob, &hints) != nil {
+			continue
+		}
+		for _, h := range hints {
+			q.Add(h)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package repair
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestHintQueueDedupHighestVersionWins(t *testing.T) {
+	q, err := NewHintQueue(10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Add(Hint{Node: 1, Key: "k", Ver: 5, Value: []byte("v5")})
+	q.Add(Hint{Node: 1, Key: "k", Ver: 3, Value: []byte("v3")}) // older: ignored
+	q.Add(Hint{Node: 1, Key: "k", Ver: 9, Value: []byte("v9")}) // newer: replaces
+	if got := q.Pending(1); got != 1 {
+		t.Fatalf("Pending = %d, want 1 (dedup by key)", got)
+	}
+	var drained []Hint
+	if _, err := q.Drain(1, func(h Hint) error {
+		drained = append(drained, h)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(drained) != 1 || drained[0].Ver != 9 || string(drained[0].Value) != "v9" {
+		t.Fatalf("drained %+v, want single ver-9 hint", drained)
+	}
+	if q.Total() != 0 {
+		t.Errorf("Total after drain = %d", q.Total())
+	}
+}
+
+func TestHintQueueBounded(t *testing.T) {
+	q, _ := NewHintQueue(3, "")
+	for i := 0; i < 5; i++ {
+		q.Add(Hint{Node: 0, Key: fmt.Sprintf("k%d", i), Ver: uint64(i + 1)})
+	}
+	if got := q.Pending(0); got != 3 {
+		t.Errorf("Pending = %d, want limit 3", got)
+	}
+	if got := q.Dropped(); got != 2 {
+		t.Errorf("Dropped = %d, want 2", got)
+	}
+	// Updating an already-queued key is not a drop even at the limit.
+	if !q.Add(Hint{Node: 0, Key: "k0", Ver: 100}) {
+		t.Error("update of queued key rejected at full queue")
+	}
+}
+
+func TestHintQueueDrainStopsOnError(t *testing.T) {
+	q, _ := NewHintQueue(10, "")
+	q.Add(Hint{Node: 2, Key: "a", Ver: 1})
+	q.Add(Hint{Node: 2, Key: "b", Ver: 2})
+	boom := errors.New("node still down")
+	calls := 0
+	applied, err := q.Drain(2, func(Hint) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || applied != 0 || calls != 1 {
+		t.Fatalf("applied=%d calls=%d err=%v", applied, calls, err)
+	}
+	if q.Pending(2) != 2 {
+		t.Errorf("failed drain lost hints: pending=%d", q.Pending(2))
+	}
+}
+
+func TestHintQueueKeepsNewerHintQueuedDuringDrain(t *testing.T) {
+	q, _ := NewHintQueue(10, "")
+	q.Add(Hint{Node: 0, Key: "k", Ver: 1})
+	raced := false
+	if _, err := q.Drain(0, func(h Hint) error {
+		if !raced {
+			raced = true
+			// A newer write lands while ver 1 is in flight: it must
+			// survive this drain iteration's removal.
+			q.Add(Hint{Node: 0, Key: "k", Ver: 2})
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if q.Pending(0) != 0 {
+		t.Errorf("pending=%d after full drain", q.Pending(0))
+	}
+	if !raced {
+		t.Fatal("apply never ran")
+	}
+}
+
+func TestHintQueuePersistence(t *testing.T) {
+	dir := t.TempDir()
+	q1, err := NewHintQueue(10, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1.Add(Hint{Node: 1, Key: "a", Ver: 7, Value: []byte("v"), Epoch: 2})
+	q1.Add(Hint{Node: 1, Key: "b", Ver: 8, Del: true})
+	q1.Add(Hint{Node: 3, Key: "c", Ver: 9})
+	if err := q1.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh queue over the same directory.
+	q2, err := NewHintQueue(10, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q2.Total(); got != 3 {
+		t.Fatalf("restored %d hints, want 3", got)
+	}
+	if !reflect.DeepEqual(q2.Nodes(), []int{1, 3}) {
+		t.Errorf("Nodes = %v", q2.Nodes())
+	}
+	var got []Hint
+	q2.Drain(1, func(h Hint) error { got = append(got, h); return nil })
+	if len(got) != 2 {
+		t.Fatalf("drained %d hints from node 1", len(got))
+	}
+	// Draining must clear the file on Sync so a second restart doesn't
+	// resurrect applied hints.
+	if err := q2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	q3, err := NewHintQueue(10, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.Pending(1) != 0 || q3.Pending(3) != 1 {
+		t.Errorf("after drain+sync restart: node1=%d node3=%d", q3.Pending(1), q3.Pending(3))
+	}
+}
+
+func TestHintQueueCorruptFileSkipped(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeFile(filepath.Join(dir, "hints-0.json"), []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewHintQueue(10, dir)
+	if err != nil {
+		t.Fatalf("corrupt hint file fatal: %v", err)
+	}
+	if q.Total() != 0 {
+		t.Errorf("Total = %d", q.Total())
+	}
+}

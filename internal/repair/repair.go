@@ -1,0 +1,277 @@
+package repair
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"securecache/internal/overload"
+	"securecache/internal/proto"
+)
+
+// Entry is one repair action: place this state on a node. Del means the
+// state is a tombstone (Value empty).
+type Entry struct {
+	Key   string
+	Value []byte
+	Epoch uint32
+	Ver   uint64
+	Del   bool
+}
+
+// Transport is how the Repairer talks to the cluster. In production it
+// is the frontend's backend clients; tests plug in an in-memory fake.
+type Transport interface {
+	// ScanDigest returns one page of node's store in key-ID order with
+	// tombstones included and live values elided to content hashes
+	// (ScanEntry.Sum), plus the next cursor (0 = node drained).
+	ScanDigest(node int, cursor uint64, limit int) ([]proto.ScanEntry, uint64, error)
+	// Fetch reads one key's full current state from node. ok is false
+	// when the node no longer holds the key at all.
+	Fetch(node int, key string) (value []byte, ver uint64, tomb, ok bool, err error)
+	// Apply places e on node as a versioned write (or tombstone): the
+	// node keeps whatever it holds if that is at least as new.
+	Apply(node int, e Entry) error
+	// Group returns the key's current replica group. Repair touches a
+	// key only when the pair under comparison are both members — other
+	// divergence (old-generation leftovers mid-rotation) belongs to the
+	// migrator, not the repairer.
+	Group(key string) []int
+}
+
+// ErrStopped reports that a repair pass was cancelled via the stop
+// channel.
+var ErrStopped = errors.New("repair: stopped")
+
+// Config parameterizes a Repairer.
+type Config struct {
+	// Nodes is the number of backend nodes. Required (>= 2 to have any
+	// pairs to compare).
+	Nodes int
+	// Batch is the digest scan page size (default 256).
+	Batch int
+	// Limiter rate-limits repair Apply calls; nil = unlimited. Repair
+	// traffic competes with client traffic for backend capacity — size
+	// this below the cluster's spare headroom.
+	Limiter *overload.TokenBucket
+	// KeyID maps a key to the 64-bit ID that orders scans. Required:
+	// the pairwise merge walks both scans in ID order.
+	KeyID func(string) uint64
+	// OnDiff, when non-nil, is called once per divergent key found.
+	OnDiff func()
+	// OnRepair, when non-nil, is called once per repair applied.
+	OnRepair func()
+}
+
+// Repairer walks every replica pair comparing digest scans and
+// re-converges divergent copies: the higher version wins, tombstones
+// propagate, and version-0 (legacy unversioned) splits are settled
+// deterministically by copying the lower-numbered node's state. One
+// Pass touches every pair once; drive it on an interval.
+type Repairer struct {
+	cfg Config
+	t   Transport
+}
+
+// NewRepairer validates cfg and returns a Repairer.
+func NewRepairer(cfg Config, t Transport) (*Repairer, error) {
+	if t == nil {
+		return nil, errors.New("repair: nil transport")
+	}
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("repair: %d nodes (need >= 2)", cfg.Nodes)
+	}
+	if cfg.KeyID == nil {
+		return nil, errors.New("repair: nil KeyID")
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 256
+	}
+	return &Repairer{cfg: cfg, t: t}, nil
+}
+
+// Pass compares every node pair once and applies repairs, returning how
+// many repairs were applied. A transport error aborts the pass (the
+// next interval retries); closing stop aborts with ErrStopped.
+func (r *Repairer) Pass(stop <-chan struct{}) (int, error) {
+	repaired := 0
+	for i := 0; i < r.cfg.Nodes; i++ {
+		for j := i + 1; j < r.cfg.Nodes; j++ {
+			n, err := r.repairPair(i, j, stop)
+			repaired += n
+			if err != nil {
+				return repaired, err
+			}
+		}
+	}
+	return repaired, nil
+}
+
+// stream pages one node's digest scan in key-ID order.
+type stream struct {
+	r      *Repairer
+	node   int
+	buf    []proto.ScanEntry
+	idx    int
+	cursor uint64
+	done   bool
+}
+
+// peek returns the stream's current entry, nil when drained.
+func (s *stream) peek() (*proto.ScanEntry, error) {
+	for s.idx >= len(s.buf) {
+		if s.done {
+			return nil, nil
+		}
+		entries, next, err := s.r.t.ScanDigest(s.node, s.cursor, s.r.cfg.Batch)
+		if err != nil {
+			return nil, err
+		}
+		s.buf, s.idx = entries, 0
+		if next == 0 {
+			s.done = true
+		} else {
+			s.cursor = next
+		}
+	}
+	return &s.buf[s.idx], nil
+}
+
+func (s *stream) pop() { s.idx++ }
+
+// repairPair merge-walks nodes a and b's digest scans and converges
+// every shared-group key they disagree on.
+func (r *Repairer) repairPair(a, b int, stop <-chan struct{}) (int, error) {
+	sa := &stream{r: r, node: a}
+	sb := &stream{r: r, node: b}
+	repaired := 0
+	for {
+		select {
+		case <-stop:
+			return repaired, ErrStopped
+		default:
+		}
+		ea, err := sa.peek()
+		if err != nil {
+			return repaired, err
+		}
+		eb, err := sb.peek()
+		if err != nil {
+			return repaired, err
+		}
+		if ea == nil && eb == nil {
+			return repaired, nil
+		}
+		var key string
+		var onA, onB *proto.ScanEntry
+		switch {
+		case eb == nil || (ea != nil && r.cfg.KeyID(ea.Key) < r.cfg.KeyID(eb.Key)):
+			key, onA = ea.Key, ea
+			sa.pop()
+		case ea == nil || r.cfg.KeyID(eb.Key) < r.cfg.KeyID(ea.Key):
+			key, onB = eb.Key, eb
+			sb.pop()
+		default:
+			// Equal IDs. Distinct keys colliding on a 64-bit ID would
+			// break the merge invariant; treat them as unordered and
+			// skip (astronomically rare, self-heals next pass).
+			if ea.Key != eb.Key {
+				sa.pop()
+				sb.pop()
+				continue
+			}
+			key, onA, onB = ea.Key, ea, eb
+			sa.pop()
+			sb.pop()
+		}
+		n, err := r.repairKey(key, a, b, onA, onB, stop)
+		repaired += n
+		if err != nil {
+			return repaired, err
+		}
+	}
+}
+
+// repairKey converges one key across the pair. onA/onB are the digest
+// entries (nil = the node's scan did not show the key).
+func (r *Repairer) repairKey(key string, a, b int, onA, onB *proto.ScanEntry, stop <-chan struct{}) (int, error) {
+	if !bothInGroup(r.t.Group(key), a, b) {
+		return 0, nil
+	}
+	var src, dst int
+	switch {
+	case onB == nil:
+		src, dst = a, b
+	case onA == nil:
+		src, dst = b, a
+	case onA.Ver == onB.Ver && onA.Tomb == onB.Tomb && (onA.Tomb || onA.Sum == onB.Sum):
+		return 0, nil // in sync
+	case onA.Ver > onB.Ver:
+		src, dst = a, b
+	case onB.Ver > onA.Ver:
+		src, dst = b, a
+	default:
+		// Same version, different content: legacy version-0 divergence
+		// (versioned writes can't reach this state). Copy the
+		// lower-numbered node's state — arbitrary but deterministic, so
+		// repeated passes converge instead of flip-flopping.
+		src, dst = a, b
+	}
+	if r.cfg.OnDiff != nil {
+		r.cfg.OnDiff()
+	}
+	if err := r.wait(stop); err != nil {
+		return 0, err
+	}
+	// Fetch the source's full current state: the digest may be stale by
+	// now, and Apply must carry real bytes, not a hash.
+	value, ver, tomb, ok, err := r.t.Fetch(src, key)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil // vanished under us; next pass settles it
+	}
+	var srcEpoch uint32
+	if src == a && onA != nil {
+		srcEpoch = onA.Epoch
+	} else if src == b && onB != nil {
+		srcEpoch = onB.Epoch
+	}
+	e := Entry{Key: key, Epoch: srcEpoch, Ver: ver, Del: tomb}
+	if !tomb {
+		e.Value = value
+	}
+	if err := r.t.Apply(dst, e); err != nil {
+		return 0, err
+	}
+	if r.cfg.OnRepair != nil {
+		r.cfg.OnRepair()
+	}
+	return 1, nil
+}
+
+// wait blocks until the rate limiter admits one repair (or stop closes).
+func (r *Repairer) wait(stop <-chan struct{}) error {
+	for !r.cfg.Limiter.Allow() {
+		select {
+		case <-stop:
+			return ErrStopped
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+func bothInGroup(group []int, a, b int) bool {
+	foundA, foundB := false, false
+	for _, n := range group {
+		if n == a {
+			foundA = true
+		}
+		if n == b {
+			foundB = true
+		}
+	}
+	return foundA && foundB
+}

@@ -1,0 +1,294 @@
+package repair
+
+import (
+	"errors"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"securecache/internal/hashing"
+	"securecache/internal/proto"
+)
+
+func writeFile(path string, blob []byte) error { return os.WriteFile(path, blob, 0o644) }
+
+func testKeyID(key string) uint64 { return hashing.Hash64(key, 0xfeed5eed) }
+
+// fakeEntry mirrors a store entry for the fake cluster.
+type fakeEntry struct {
+	value []byte
+	epoch uint32
+	ver   uint64
+	tomb  bool
+}
+
+// fakeCluster is an in-memory Transport: nodes hold maps, groups come
+// from a fixed assignment.
+type fakeCluster struct {
+	mu     sync.Mutex
+	nodes  []map[string]fakeEntry
+	groups map[string][]int // default: all nodes
+}
+
+func newFakeCluster(n int) *fakeCluster {
+	c := &fakeCluster{groups: map[string][]int{}}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, map[string]fakeEntry{})
+	}
+	return c
+}
+
+func (c *fakeCluster) set(node int, key string, e fakeEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes[node][key] = e
+}
+
+func (c *fakeCluster) ScanDigest(node int, cursor uint64, limit int) ([]proto.ScanEntry, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type pair struct {
+		id  uint64
+		key string
+	}
+	var ids []pair
+	for k := range c.nodes[node] {
+		if id := testKeyID(k); id > cursor {
+			ids = append(ids, pair{id, k})
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].id < ids[j].id })
+	var out []proto.ScanEntry
+	lastID := cursor
+	for _, p := range ids {
+		if len(out) >= limit {
+			return out, lastID, nil
+		}
+		e := c.nodes[node][p.key]
+		se := proto.ScanEntry{Key: p.key, Epoch: e.epoch, Ver: e.ver}
+		if e.tomb {
+			se.Tomb = true
+		} else {
+			se.Digest = true
+			se.Sum = hashing.Hash64(string(e.value), 0x5ca9)
+		}
+		out = append(out, se)
+		lastID = p.id
+	}
+	return out, 0, nil
+}
+
+func (c *fakeCluster) Fetch(node int, key string) ([]byte, uint64, bool, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.nodes[node][key]
+	if !ok {
+		return nil, 0, false, false, nil
+	}
+	return append([]byte(nil), e.value...), e.ver, e.tomb, true, nil
+}
+
+func (c *fakeCluster) Apply(node int, e Entry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur, ok := c.nodes[node][e.Key]
+	if e.Ver != 0 && ok && cur.ver >= e.Ver {
+		return nil
+	}
+	c.nodes[node][e.Key] = fakeEntry{
+		value: append([]byte(nil), e.Value...),
+		epoch: e.Epoch,
+		ver:   e.Ver,
+		tomb:  e.Del,
+	}
+	return nil
+}
+
+func (c *fakeCluster) Group(key string) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.groups[key]; ok {
+		return g
+	}
+	all := make([]int, len(c.nodes))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+func newTestRepairer(t *testing.T, c *fakeCluster, nodes int) *Repairer {
+	t.Helper()
+	r, err := NewRepairer(Config{Nodes: nodes, KeyID: testKeyID, Batch: 4}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRepairerFillsMissingReplica(t *testing.T) {
+	c := newFakeCluster(2)
+	c.set(0, "k", fakeEntry{value: []byte("v"), ver: 5, epoch: 1})
+	r := newTestRepairer(t, c, 2)
+	n, err := r.Pass(nil)
+	if err != nil || n != 1 {
+		t.Fatalf("Pass = %d, %v", n, err)
+	}
+	e := c.nodes[1]["k"]
+	if string(e.value) != "v" || e.ver != 5 || e.epoch != 1 || e.tomb {
+		t.Fatalf("node 1 after repair: %+v", e)
+	}
+	// A second pass finds nothing to do.
+	if n, _ := r.Pass(nil); n != 0 {
+		t.Errorf("second pass repaired %d", n)
+	}
+}
+
+func TestRepairerHigherVersionWins(t *testing.T) {
+	c := newFakeCluster(2)
+	c.set(0, "k", fakeEntry{value: []byte("old"), ver: 3})
+	c.set(1, "k", fakeEntry{value: []byte("new"), ver: 7})
+	r := newTestRepairer(t, c, 2)
+	if _, err := r.Pass(nil); err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < 2; node++ {
+		e := c.nodes[node]["k"]
+		if string(e.value) != "new" || e.ver != 7 {
+			t.Errorf("node %d: %+v", node, e)
+		}
+	}
+}
+
+func TestRepairerPropagatesTombstone(t *testing.T) {
+	c := newFakeCluster(2)
+	c.set(0, "k", fakeEntry{value: []byte("stale"), ver: 3})
+	c.set(1, "k", fakeEntry{ver: 8, tomb: true})
+	r := newTestRepairer(t, c, 2)
+	if _, err := r.Pass(nil); err != nil {
+		t.Fatal(err)
+	}
+	e := c.nodes[0]["k"]
+	if !e.tomb || e.ver != 8 {
+		t.Fatalf("tombstone did not propagate: %+v", e)
+	}
+}
+
+func TestRepairerSettlesLegacySplit(t *testing.T) {
+	// Version-0 divergence (pre-versioning data): deterministic winner,
+	// and repeated passes converge.
+	c := newFakeCluster(2)
+	c.set(0, "k", fakeEntry{value: []byte("alpha")})
+	c.set(1, "k", fakeEntry{value: []byte("beta")})
+	r := newTestRepairer(t, c, 2)
+	if _, err := r.Pass(nil); err != nil {
+		t.Fatal(err)
+	}
+	if string(c.nodes[0]["k"].value) != string(c.nodes[1]["k"].value) {
+		t.Fatalf("still split: %q vs %q", c.nodes[0]["k"].value, c.nodes[1]["k"].value)
+	}
+	if n, _ := r.Pass(nil); n != 0 {
+		t.Errorf("pass after convergence repaired %d", n)
+	}
+}
+
+func TestRepairerRespectsGroupMembership(t *testing.T) {
+	// Key homed on nodes {0, 2}: the (0,1) comparison must not copy it
+	// to node 1.
+	c := newFakeCluster(3)
+	c.groups["k"] = []int{0, 2}
+	c.set(0, "k", fakeEntry{value: []byte("v"), ver: 5})
+	r := newTestRepairer(t, c, 3)
+	if _, err := r.Pass(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.nodes[1]["k"]; ok {
+		t.Error("key copied to a node outside its group")
+	}
+	if e := c.nodes[2]["k"]; string(e.value) != "v" || e.ver != 5 {
+		t.Errorf("in-group replica not repaired: %+v", e)
+	}
+}
+
+func TestRepairerManyKeysBothDirections(t *testing.T) {
+	c := newFakeCluster(2)
+	// 50 keys only on node 0, 50 only on node 1, 20 diverged, 30 synced.
+	keys := func(prefix string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = prefix + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		}
+		return out
+	}
+	for _, k := range keys("only0-", 50) {
+		c.set(0, k, fakeEntry{value: []byte("x"), ver: 2})
+	}
+	for _, k := range keys("only1-", 50) {
+		c.set(1, k, fakeEntry{value: []byte("y"), ver: 2})
+	}
+	for i, k := range keys("split-", 20) {
+		c.set(0, k, fakeEntry{value: []byte("old"), ver: uint64(10 + i)})
+		c.set(1, k, fakeEntry{value: []byte("new"), ver: uint64(100 + i)})
+	}
+	for _, k := range keys("sync-", 30) {
+		c.set(0, k, fakeEntry{value: []byte("same"), ver: 4})
+		c.set(1, k, fakeEntry{value: []byte("same"), ver: 4})
+	}
+	diffs, repairs := 0, 0
+	r, err := NewRepairer(Config{
+		Nodes: 2, KeyID: testKeyID, Batch: 7,
+		OnDiff:   func() { diffs++ },
+		OnRepair: func() { repairs++ },
+	}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Pass(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 120 || repairs != 120 || diffs != 120 {
+		t.Fatalf("repaired %d (hooks: diff=%d repair=%d), want 120", n, diffs, repairs)
+	}
+	if len(c.nodes[0]) != len(c.nodes[1]) {
+		t.Fatalf("store sizes differ: %d vs %d", len(c.nodes[0]), len(c.nodes[1]))
+	}
+	for k, e0 := range c.nodes[0] {
+		e1 := c.nodes[1][k]
+		if string(e0.value) != string(e1.value) || e0.ver != e1.ver {
+			t.Fatalf("key %s still split: %+v vs %+v", k, e0, e1)
+		}
+	}
+	if n, _ := r.Pass(nil); n != 0 {
+		t.Errorf("second pass repaired %d", n)
+	}
+}
+
+func TestRepairerStops(t *testing.T) {
+	c := newFakeCluster(2)
+	for i := 0; i < 50; i++ {
+		c.set(0, keyN(i), fakeEntry{value: []byte("v"), ver: 1})
+	}
+	stop := make(chan struct{})
+	close(stop)
+	r := newTestRepairer(t, c, 2)
+	if _, err := r.Pass(stop); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Pass with closed stop: %v", err)
+	}
+}
+
+func keyN(i int) string { return string(rune('a'+i%26)) + string(rune('A'+i/26)) }
+
+func TestRepairerConfigValidation(t *testing.T) {
+	c := newFakeCluster(2)
+	if _, err := NewRepairer(Config{Nodes: 2, KeyID: testKeyID}, nil); err == nil {
+		t.Error("nil transport accepted")
+	}
+	if _, err := NewRepairer(Config{Nodes: 1, KeyID: testKeyID}, c); err == nil {
+		t.Error("single node accepted")
+	}
+	if _, err := NewRepairer(Config{Nodes: 2}, c); err == nil {
+		t.Error("nil KeyID accepted")
+	}
+}

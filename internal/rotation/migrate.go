@@ -9,11 +9,14 @@ import (
 	"securecache/internal/overload"
 )
 
-// Entry is one record streamed out of a node during migration.
+// Entry is one record streamed out of a node during migration. Ver is
+// the entry's logical version (0 for unversioned data); guarded copies
+// carry it so a migrated entry keeps its place in the version order.
 type Entry struct {
 	Key   string
 	Value []byte
 	Epoch uint32
+	Ver   uint64
 }
 
 // Transport is how the Migrator talks to the cluster. In production it
