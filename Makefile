@@ -41,8 +41,13 @@ chaos:
 	$(GO) test -race -v -run 'TestChaos' ./internal/kvstore/... && \
 	$(GO) test -race ./internal/faultnet/...
 
+# Micro-benchmarks with allocation counts. -benchtime=1x is the smoke
+# setting (CI runs it to keep the benchmarks compiling and honest);
+# real measurements want `make bench BENCHTIME=2s`.
+BENCHTIME ?= 1x
+
 bench:
-	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem ./...
 
 # Fuzz smoke: a short budget per wire-format fuzz target. `go test -fuzz`
 # accepts exactly one matching target per invocation, so each target gets

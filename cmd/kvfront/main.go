@@ -32,14 +32,15 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7000", "listen address")
-		backends  = flag.String("backends", "", "comma-separated backend addresses (node order matters)")
-		repl      = flag.Int("replication", 3, "replication factor d")
-		seed      = flag.Uint64("seed", 0, "SECRET partition seed (keep it out of client hands)")
-		cacheKind = flag.String("cache", "lfu", "cache policy: lru | lfu | slru | tinylfu | arc | none")
-		cacheSize = flag.Int("cache-size", 0, "cache entries; 0 = auto-provision c* from n and d")
-		selection = flag.String("selection", "least-inflight", "replica selection: least-inflight | random | round-robin")
-		admin     = flag.String("admin", "", "optional HTTP admin address (/healthz, /metrics, /info)")
+		listen      = flag.String("listen", "127.0.0.1:7000", "listen address")
+		backends    = flag.String("backends", "", "comma-separated backend addresses (node order matters)")
+		repl        = flag.Int("replication", 3, "replication factor d")
+		seed        = flag.Uint64("seed", 0, "SECRET partition seed (keep it out of client hands)")
+		cacheKind   = flag.String("cache", "lfu", "cache policy: lru | lfu | slru | tinylfu | arc | none")
+		cacheSize   = flag.Int("cache-size", 0, "cache entries; 0 = auto-provision c* from n and d")
+		cacheShards = flag.Int("cache-shards", -1, "cache shard count (power of two): -1 = auto-size for the machine, 1 = unsharded")
+		selection   = flag.String("selection", "least-inflight", "replica selection: least-inflight | random | round-robin")
+		admin       = flag.String("admin", "", "optional HTTP admin address (/healthz, /metrics, /info)")
 
 		dialTimeout  = flag.Duration("dial-timeout", kvstore.DefaultDialTimeout, "backend dial timeout (negative = none)")
 		readTimeout  = flag.Duration("read-timeout", kvstore.DefaultReadTimeout, "backend per-request read deadline (negative = none)")
@@ -53,6 +54,7 @@ func main() {
 		rateLimit   = flag.Float64("rate-limit", 0, "shed client requests beyond this many per second (0 = unlimited)")
 		rateBurst   = flag.Float64("rate-burst", 0, "rate-limit burst size (0 = derived from the rate)")
 		admitWait   = flag.Duration("admission-wait", 0, "how long a request may wait for an in-flight slot before being shed (0 = default, negative = none)")
+		poolSize    = flag.Int("pool-size", 0, "idle connections pooled per backend (0 = default, negative = no pooling)")
 		retryBudget = flag.Float64("retry-budget", 0, "shared backend retry-budget tokens (0 = default, negative = no budget)")
 		budgetRatio = flag.Float64("retry-budget-ratio", 0, "retry-budget refill per successful backend exchange (0 = default)")
 		idleTimeout = flag.Duration("idle-timeout", 0, "drop client connections idle longer than this (0 = keep forever)")
@@ -84,9 +86,25 @@ func main() {
 	}
 
 	var fc cache.Cache
+	shards := 0
 	if *cacheKind != "none" {
 		var err error
-		fc, err = cache.New(cache.Kind(*cacheKind), size)
+		switch {
+		case *cacheShards == 1:
+			fc, err = cache.New(cache.Kind(*cacheKind), size)
+			shards = 1
+		default:
+			n := *cacheShards
+			if n < 0 {
+				n = 0 // auto: NewSharded picks DefaultShards()
+			}
+			var sc *cache.Sharded
+			sc, err = cache.NewSharded(cache.Kind(*cacheKind), size, n)
+			if err == nil {
+				fc = sc
+				shards = sc.Shards()
+			}
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kvfront:", err)
 			os.Exit(2)
@@ -104,6 +122,7 @@ func main() {
 			ReadTimeout:  *readTimeout,
 			WriteTimeout: *writeTimeout,
 			MaxRetries:   *retries,
+			MaxIdleConns: *poolSize,
 		},
 		Health: kvstore.HealthConfig{
 			FailureThreshold: *breakerFails,
@@ -134,8 +153,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kvfront:", err)
 		os.Exit(2)
 	}
-	log.Printf("kvfront listening on %s, %d backends, d=%d, cache=%s/%d",
-		l.Addr(), len(addrs), *repl, *cacheKind, size)
+	log.Printf("kvfront listening on %s, %d backends, d=%d, cache=%s/%d (%d shard(s))",
+		l.Addr(), len(addrs), *repl, *cacheKind, size, shards)
 
 	if *admin != "" {
 		// StartAdminWith mounts the rotation control verbs (POST /rotate,
@@ -144,7 +163,7 @@ func main() {
 		adminSrv, adminAddr, err := kvstore.StartAdminWith(*admin, front.Metrics(), map[string]interface{}{
 			"role": "frontend", "addr": l.Addr().String(),
 			"backends": addrs, "replication": *repl,
-			"cache": *cacheKind, "cache_size": size,
+			"cache": *cacheKind, "cache_size": size, "cache_shards": shards,
 		}, front.AdminHandlers())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kvfront:", err)

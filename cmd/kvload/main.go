@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -43,10 +44,11 @@ func main() {
 		preload   = flag.Bool("preload", true, "SET every key before the run")
 		timeout   = flag.Duration("timeout", kvstore.DefaultReadTimeout, "per-request response deadline (negative = none)")
 		retries   = flag.Int("retries", kvstore.DefaultMaxRetries, "budgeted transport retries per request (negative = none)")
+		poolSize  = flag.Int("pool-size", 0, "idle connections pooled per worker client (0 = default, negative = no pooling)")
 	)
 	flag.Parse()
 
-	clientCfg := kvstore.ClientConfig{ReadTimeout: *timeout, MaxRetries: *retries}
+	clientCfg := kvstore.ClientConfig{ReadTimeout: *timeout, MaxRetries: *retries, MaxIdleConns: *poolSize}
 
 	keys, err := buildKeys(*tracePath, *kind, *m, *x, *zipfS, *queries, *seed)
 	if err != nil {
@@ -54,9 +56,14 @@ func main() {
 	}
 
 	if *preload {
-		if err := preloadKeys(*frontend, clientCfg, keys); err != nil {
+		mem := startMemDelta()
+		n, took, err := preloadKeys(*frontend, clientCfg, keys)
+		if err != nil {
 			fatal(err)
 		}
+		allocs, bytes := mem.perOp(uint64(n))
+		fmt.Printf("op SET (preload): %d ops in %v (%.0f ops/s, %d allocs/op, %d B/op client-side)\n",
+			n, took.Round(time.Millisecond), float64(n)/took.Seconds(), allocs, bytes)
 	}
 
 	before := backendCounts(splitNonEmpty(*backends))
@@ -71,6 +78,7 @@ func main() {
 		shed     int
 		perWork  = (len(keys) + *workers - 1) / *workers
 	)
+	mem := startMemDelta()
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
 		lo := w * perWork
@@ -148,6 +156,21 @@ func main() {
 		queriesSent/elapsed.Seconds(), *workers, *batch, errCount, shed)
 	fmt.Printf("per-request latency: mean %.0fµs  p50≈%.0fµs  p95≈%.0fµs  p99≈%.0fµs  max %.0fµs\n",
 		lat.Mean(), merged.value(0.50), merged.value(0.95), merged.value(0.99), lat.Max())
+
+	// Per-op-type breakdown: the timed loop sends exactly one op type
+	// (GET at batch 1, MGET above), so its MemStats delta is that op's
+	// client-side allocation cost. The delta is process-wide — workload
+	// generation and bookkeeping are counted too — which makes it an
+	// upper bound, comparable across runs of the same shape.
+	if n := uint64(lat.N()); n > 0 {
+		op := "GET"
+		if *batch > 1 {
+			op = "MGET"
+		}
+		allocs, bytes := mem.perOp(n)
+		fmt.Printf("op %s: %d ops in %v (%.0f ops/s, %d allocs/op, %d B/op client-side)\n",
+			op, n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), allocs, bytes)
+	}
 
 	// The frontend's STATS snapshot carries the resilience counters; show
 	// them whenever any failover machinery fired during the run.
@@ -272,10 +295,11 @@ func buildKeys(tracePath, kind string, m, x int, zipfS float64, queries int, see
 	return workload.NewGenerator(dist, seed).Batch(make([]int, 0, queries), queries), nil
 }
 
-func preloadKeys(frontend string, cfg kvstore.ClientConfig, keys []int) error {
+func preloadKeys(frontend string, cfg kvstore.ClientConfig, keys []int) (int, time.Duration, error) {
 	seen := make(map[int]bool)
 	client := kvstore.NewClientWithConfig(frontend, cfg)
 	defer client.Close()
+	start := time.Now()
 	for _, k := range keys {
 		if seen[k] {
 			continue
@@ -291,11 +315,30 @@ func preloadKeys(frontend string, cfg kvstore.ClientConfig, keys []int) error {
 			time.Sleep(20 * time.Millisecond)
 		}
 		if err != nil {
-			return fmt.Errorf("preload key %d: %w", k, err)
+			return 0, 0, fmt.Errorf("preload key %d: %w", k, err)
 		}
 	}
-	fmt.Printf("preloaded %d distinct keys\n", len(seen))
-	return nil
+	return len(seen), time.Since(start), nil
+}
+
+// memDelta measures the process-wide allocation cost of a phase via
+// runtime.MemStats: Mallocs and TotalAlloc are monotonic, so two reads
+// bracket the phase without caring what the GC did in between.
+type memDelta struct{ before runtime.MemStats }
+
+func startMemDelta() *memDelta {
+	m := &memDelta{}
+	runtime.ReadMemStats(&m.before)
+	return m
+}
+
+func (m *memDelta) perOp(ops uint64) (allocs, bytes uint64) {
+	if ops == 0 {
+		return 0, 0
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	return (after.Mallocs - m.before.Mallocs) / ops, (after.TotalAlloc - m.before.TotalAlloc) / ops
 }
 
 func backendCounts(addrs []string) []uint64 {

@@ -1,0 +1,254 @@
+// Command sechotpath benchmarks the frontend hot path end to end on an
+// in-process cluster: it boots n backends plus a frontend, warms the
+// cache with a zipf-skewed key stream, then measures read throughput,
+// latency quantiles, and client-visible allocation cost for every
+// combination the PR's tentpole cares about — in-process calls vs the
+// wire protocol, and the serialized (locked) cache vs the sharded one.
+// This is the number BENCH_hotpath.json records:
+//
+//	sechotpath -n 3 -d 2 -m 2000 -ops 200000 -json BENCH_hotpath.json
+//
+// Caveat for reading the locked-vs-sharded delta: sharding removes a
+// global lock, so its win only appears with GOMAXPROCS > 1. On a single
+// core the sharded variant pays the shard-mix overhead with nothing to
+// parallelize and can come out slightly behind; the report includes
+// gomaxprocs so the numbers are interpreted against the machine that
+// produced them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"securecache/internal/cache"
+	"securecache/internal/kvstore"
+	"securecache/internal/stats"
+	"securecache/internal/workload"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 3, "number of backends")
+		d         = flag.Int("d", 2, "replication factor")
+		m         = flag.Int("m", 2000, "key-space size")
+		ops       = flag.Int("ops", 200000, "timed GET ops per scenario")
+		workers   = flag.Int("workers", 2*runtime.GOMAXPROCS(0), "concurrent readers")
+		cacheKind = flag.String("cache", "lfu", "cache policy under test")
+		cacheSize = flag.Int("cache-size", 0, "cache entries (0 = the whole key space)")
+		zipfS     = flag.Float64("zipf-s", 1.01, "zipf exponent of the read stream")
+		jsonPath  = flag.String("json", "", "also write the bench report to this file")
+	)
+	flag.Parse()
+
+	size := *cacheSize
+	if size == 0 {
+		size = *m
+	}
+	cfg := benchConfig{
+		Nodes: *n, Replication: *d, Keys: *m, Ops: *ops,
+		Workers: *workers, CacheKind: *cacheKind, CacheSize: size, ZipfS: *zipfS,
+	}
+
+	report := map[string]interface{}{
+		"nodes":       cfg.Nodes,
+		"replication": cfg.Replication,
+		"keys":        cfg.Keys,
+		"ops":         cfg.Ops,
+		"workers":     cfg.Workers,
+		"cache":       cfg.CacheKind,
+		"cache_size":  cfg.CacheSize,
+		"zipf_s":      cfg.ZipfS,
+		"gomaxprocs":  runtime.GOMAXPROCS(0),
+	}
+	for _, sc := range []scenario{
+		{"direct_locked", false, false},
+		{"direct_sharded", false, true},
+		{"wire_locked", true, false},
+		{"wire_sharded", true, true},
+	} {
+		res, err := runScenario(cfg, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sechotpath:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("%-15s %9.0f ops/s  p50≈%.0fµs p99≈%.0fµs  %d allocs/op %d B/op  hit-rate %.3f\n",
+			sc.name, res.opsPerSec, res.p50, res.p99, res.allocsPerOp, res.bytesPerOp, res.hitRate)
+		report[sc.name+"_ops_per_sec"] = res.opsPerSec
+		report[sc.name+"_p50_micros"] = res.p50
+		report[sc.name+"_p99_micros"] = res.p99
+		report[sc.name+"_allocs_per_op"] = res.allocsPerOp
+		report[sc.name+"_bytes_per_op"] = res.bytesPerOp
+		report[sc.name+"_cache_hit_rate"] = res.hitRate
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sechotpath:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sechotpath:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+type benchConfig struct {
+	Nodes, Replication, Keys, Ops, Workers int
+	CacheKind                              string
+	CacheSize                              int
+	ZipfS                                  float64
+}
+
+type scenario struct {
+	name    string
+	wire    bool // through loopback TCP vs in-process Frontend calls
+	sharded bool // cache.Sharded vs the frontend's serializing mutex
+}
+
+type result struct {
+	opsPerSec, p50, p99     float64
+	allocsPerOp, bytesPerOp uint64
+	hitRate                 float64
+}
+
+func runScenario(cfg benchConfig, sc scenario) (result, error) {
+	var (
+		fc  cache.Cache
+		err error
+	)
+	if sc.sharded {
+		fc, err = cache.NewSharded(cache.Kind(cfg.CacheKind), cfg.CacheSize, 0)
+	} else {
+		fc, err = cache.New(cache.Kind(cfg.CacheKind), cfg.CacheSize)
+	}
+	if err != nil {
+		return result{}, err
+	}
+	lc, err := kvstore.StartLocalCluster(kvstore.LocalConfig{
+		Nodes:       cfg.Nodes,
+		Replication: cfg.Replication,
+		Cache:       fc,
+		// The hot path is the subject; keep the repair machinery quiet.
+		RepairInterval: -1,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	defer lc.Close()
+
+	for k := 0; k < cfg.Keys; k++ {
+		if err := lc.Frontend.Set(workload.KeyName(k), []byte("hotpath-payload")); err != nil {
+			return result{}, fmt.Errorf("preload key %d: %w", k, err)
+		}
+	}
+
+	// Pre-generate each worker's key stream so the timed loop measures the
+	// read path, not the zipf sampler.
+	perWorker := (cfg.Ops + cfg.Workers - 1) / cfg.Workers
+	streams := make([][]int, cfg.Workers)
+	for w := range streams {
+		gen := workload.NewGenerator(workload.NewZipf(cfg.Keys, cfg.ZipfS), uint64(w)+1)
+		streams[w] = gen.Batch(make([]int, 0, perWorker), perWorker)
+	}
+
+	// Warm pass: one untimed sweep of the stream heads so the cache holds
+	// the hot set before measurement starts.
+	warm := cfg.Keys
+	if warm > perWorker {
+		warm = perWorker
+	}
+	for _, k := range streams[0][:warm] {
+		if _, err := lc.Frontend.Get(workload.KeyName(k)); err != nil {
+			return result{}, err
+		}
+	}
+	statsBefore := lc.Frontend.CacheStats()
+
+	getter := func() (func(string) error, func()) {
+		if !sc.wire {
+			return func(key string) error {
+				_, err := lc.Frontend.Get(key)
+				return err
+			}, func() {}
+		}
+		c := kvstore.NewClient(lc.FrontendAddr)
+		return func(key string) error {
+			_, err := c.Get(key)
+			return err
+		}, func() { c.Close() }
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		total    int
+		firstErr error
+		p50      = stats.NewP2Quantile(0.50)
+		p99      = stats.NewP2Quantile(0.99)
+	)
+	runtime.GC()
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(keys []int) {
+			defer wg.Done()
+			get, done := getter()
+			defer done()
+			localP50 := stats.NewP2Quantile(0.50)
+			localP99 := stats.NewP2Quantile(0.99)
+			for _, k := range keys {
+				t0 := time.Now()
+				if err := get(workload.KeyName(k)); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				us := float64(time.Since(t0).Microseconds())
+				localP50.Add(us)
+				localP99.Add(us)
+			}
+			// Quantile-of-worker-quantiles merge, same approximation the
+			// kvload report uses.
+			mu.Lock()
+			total += len(keys)
+			if localP50.N() > 0 {
+				p50.Add(localP50.Value())
+				p99.Add(localP99.Value())
+			}
+			mu.Unlock()
+		}(streams[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
+	if firstErr != nil {
+		return result{}, firstErr
+	}
+	statsAfter := lc.Frontend.CacheStats()
+	res := result{
+		opsPerSec:   float64(total) / elapsed.Seconds(),
+		p50:         p50.Value(),
+		p99:         p99.Value(),
+		allocsPerOp: (msAfter.Mallocs - msBefore.Mallocs) / uint64(total),
+		bytesPerOp:  (msAfter.TotalAlloc - msBefore.TotalAlloc) / uint64(total),
+	}
+	if lookups := float64(statsAfter.Hits+statsAfter.Misses) - float64(statsBefore.Hits+statsBefore.Misses); lookups > 0 {
+		res.hitRate = (float64(statsAfter.Hits) - float64(statsBefore.Hits)) / lookups
+	}
+	return res, nil
+}

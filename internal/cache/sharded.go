@@ -1,0 +1,184 @@
+package cache
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Sharded is a concurrency-safe cache built from 2^k independently
+// locked shards, each wrapping one single-threaded Cache (LRU, LFU,
+// SLRU, TinyLFU, ARC — the policies stay oblivious). Keys are already
+// 64-bit hashes (the frontend's KeyID), so a fixed multiplicative mix of
+// the key picks the shard; concurrent operations on different shards
+// never touch the same lock, which is what lets the front-end serve
+// cache hits from all cores instead of serializing them on one mutex.
+//
+// Capacity is split evenly: each shard holds ceil(capacity/shards)
+// entries, so the total is never below the requested capacity. The split
+// is static — the c hottest keys spread over the shards like balls into
+// bins, so a shard can overflow its quota while another has room. With
+// the ceil rounding plus the paper's own slack in c* this is negligible
+// for realistic shard counts (see DESIGN.md "Performance"); provision
+// headroom if c is within a few entries of the working set.
+type Sharded struct {
+	shards []cacheShard
+	mask   uint64
+	shift  uint
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	c  Cache
+	// Pad to a cache line so adjacent shard locks do not false-share.
+	_ [40]byte
+}
+
+var _ Cache = (*Sharded)(nil)
+
+// DefaultShards picks a shard count for this machine: the smallest power
+// of two >= 2*GOMAXPROCS, clamped to [1, 64]. More shards than that buys
+// nothing — the goal is that two running cores rarely collide on a lock.
+func DefaultShards() int {
+	want := 2 * runtime.GOMAXPROCS(0)
+	n := 1
+	for n < want && n < 64 {
+		n <<= 1
+	}
+	return n
+}
+
+// NewShardedWith builds a sharded cache from a per-shard constructor.
+// shards must be a power of two (0 = DefaultShards()); capacity is the
+// total entry budget, split as ceil(capacity/shards) per shard.
+func NewShardedWith(shards, capacity int, newShard func(capacity int) (Cache, error)) (*Sharded, error) {
+	if shards == 0 {
+		shards = DefaultShards()
+	}
+	if shards < 1 || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("cache: shard count %d is not a power of two", shards)
+	}
+	validateCapacity(capacity)
+	perShard := (capacity + shards - 1) / shards
+	s := &Sharded{shards: make([]cacheShard, shards), mask: uint64(shards - 1)}
+	for shards>>s.shift != 1 {
+		s.shift++
+	}
+	for i := range s.shards {
+		c, err := newShard(perShard)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].c = c
+	}
+	return s, nil
+}
+
+// NewSharded builds a sharded cache of the given policy kind (see New).
+// shards must be a power of two, or 0 for DefaultShards().
+func NewSharded(kind Kind, capacity, shards int) (*Sharded, error) {
+	return NewShardedWith(shards, capacity, func(capacity int) (Cache, error) {
+		return New(kind, capacity)
+	})
+}
+
+// ConcurrentSafe marks Sharded as safe for concurrent use: the kvstore
+// frontend skips its own serializing mutex for caches carrying this
+// method.
+func (s *Sharded) ConcurrentSafe() {}
+
+// shard maps a key to its shard. Keys are hashes already, but their low
+// bits also index the inner caches' maps; a multiplicative mix of the
+// HIGH bits keeps shard choice independent of those.
+func (s *Sharded) shard(key uint64) *cacheShard {
+	return &s.shards[(key*0x9e3779b97f4a7c15)>>(64-s.shift)&s.mask]
+}
+
+// Get returns the cached value and whether the key was present.
+func (s *Sharded) Get(key uint64) ([]byte, bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	v, ok := sh.c.Get(key)
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// Put inserts or updates a key, reporting whether it is cached afterwards.
+func (s *Sharded) Put(key uint64, value []byte) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	ok := sh.c.Put(key, value)
+	sh.mu.Unlock()
+	return ok
+}
+
+// PutIfPresent updates key only if it is already cached, atomically with
+// respect to the shard — the frontend's write path uses it so a Set
+// refresh can never evict a popular entry to admit a cold key.
+func (s *Sharded) PutIfPresent(key uint64, value []byte) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	ok := sh.c.Contains(key) && sh.c.Put(key, value)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Contains reports presence without updating policy state.
+func (s *Sharded) Contains(key uint64) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	ok := sh.c.Contains(key)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Remove invalidates key, reporting whether it was present.
+func (s *Sharded) Remove(key uint64) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	ok := sh.c.Remove(key)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of cached keys across all shards.
+func (s *Sharded) Len() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.c.Len()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Cap returns the total capacity across all shards (>= the requested
+// capacity, by the ceil split).
+func (s *Sharded) Cap() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.c.Cap()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Shards returns the shard count (for logs and tests).
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Stats sums the per-shard hit/miss counters.
+func (s *Sharded) Stats() Stats {
+	var out Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st := sh.c.Stats()
+		sh.mu.Unlock()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"securecache/internal/metrics"
@@ -18,6 +19,8 @@ import (
 //	GET /metrics?format=prom   -> the same registry in Prometheus text
 //	                              exposition format
 //	GET /info                  -> static node info (JSON)
+//	GET /debug/pprof/...       -> the standard Go profiling endpoints
+//	                              (profile, heap, goroutine, trace, ...)
 //
 // plus any extra handlers the owner mounts (the frontend adds its
 // rotation verbs — see Frontend.AdminHandlers). It exists so a
@@ -71,6 +74,15 @@ func StartAdminWith(addr string, reg *metrics.Registry, info map[string]interfac
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(blob)
 	})
+	// Profiling endpoints, mounted explicitly (the admin mux is not
+	// http.DefaultServeMux, so the net/http/pprof side-effect imports
+	// alone would not expose them here). Same trust model as the rest of
+	// the surface: operator-facing, loopback/internal only.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	for path, h := range extra {
 		mux.HandleFunc(path, h)
 	}

@@ -39,6 +39,14 @@ func TestAdminEndpoints(t *testing.T) {
 		t.Errorf("/healthz = %d %q", code, body)
 	}
 
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d (want the pprof index)", code)
+		_ = body
+	}
+	if code, _ := get("/debug/pprof/goroutine?debug=1"); code != 200 {
+		t.Errorf("/debug/pprof/goroutine = %d", code)
+	}
+
 	// Drive some traffic so metrics are non-trivial.
 	c := NewClient(addr)
 	defer c.Close()

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -34,6 +35,16 @@ type Backend struct {
 	shedTotal *metrics.Counter // requests answered StatusBusy
 	connsShed *metrics.Counter // connections rejected at accept
 
+	// Hot-path counters, resolved once: registry lookups (mutex + name
+	// hash) are too expensive to repeat on every request.
+	requestsTotal *metrics.Counter
+	getsTotal     *metrics.Counter
+	hitsTotal     *metrics.Counter
+	setsTotal     *metrics.Counter
+	delsTotal     *metrics.Counter
+	mgetsTotal    *metrics.Counter
+	scansTotal    *metrics.Counter
+
 	snapMu sync.Mutex // serializes SaveSnapshot (periodic loop vs shutdown save)
 
 	mu       sync.Mutex
@@ -59,13 +70,20 @@ func NewBackend(id int) *Backend {
 func NewBackendWithLimits(id int, lim overload.Limits) *Backend {
 	reg := metrics.NewRegistry()
 	return &Backend{
-		id:        id,
-		store:     NewStore(),
-		metrics:   reg,
-		gate:      overload.NewGate(lim),
-		shedTotal: reg.Counter("shed_total"),
-		connsShed: reg.Counter("busy_conns_rejected_total"),
-		conns:     make(map[net.Conn]bool),
+		id:            id,
+		store:         NewStore(),
+		metrics:       reg,
+		gate:          overload.NewGate(lim),
+		shedTotal:     reg.Counter("shed_total"),
+		connsShed:     reg.Counter("busy_conns_rejected_total"),
+		requestsTotal: reg.Counter("requests_total"),
+		getsTotal:     reg.Counter("gets_total"),
+		hitsTotal:     reg.Counter("hits_total"),
+		setsTotal:     reg.Counter("sets_total"),
+		delsTotal:     reg.Counter("dels_total"),
+		mgetsTotal:    reg.Counter("mgets_total"),
+		scansTotal:    reg.Counter("scans_total"),
+		conns:         make(map[net.Conn]bool),
 	}
 }
 
@@ -132,6 +150,13 @@ func (b *Backend) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	// Per-connection scratch for single-key read payloads: the store
+	// copies value bytes straight into it (Store.AppendValue), so a GET
+	// costs zero allocations instead of one value copy per request. The
+	// response aliasing it is safe because this loop is strictly
+	// sequential — the response is framed and flushed before the next
+	// request is read.
+	scratch := make([]byte, 0, 512)
 	for {
 		if d := time.Duration(b.idleTimeout.Load()); d > 0 {
 			conn.SetReadDeadline(time.Now().Add(d))
@@ -154,10 +179,10 @@ func (b *Backend) serveConn(conn net.Conn) {
 		holding := false
 		switch {
 		case req.Op == proto.OpPing || req.Op == proto.OpStats:
-			resp = b.handle(req)
+			resp = b.handle(req, &scratch)
 		case b.gate.Admit():
 			holding = true
-			resp = b.handle(req)
+			resp = b.handle(req, &scratch)
 		default:
 			b.shedTotal.Inc()
 			resp = &proto.Response{Status: proto.StatusBusy}
@@ -175,38 +200,47 @@ func (b *Backend) serveConn(conn net.Conn) {
 	}
 }
 
-func (b *Backend) handle(req *proto.Request) *proto.Response {
-	b.metrics.Counter("requests_total").Inc()
+// handle serves one request. scratch is the connection's reusable
+// payload buffer: responses may alias it, so the caller must finish
+// writing the response before handling the next request (serveConn's
+// loop guarantees this).
+func (b *Backend) handle(req *proto.Request, scratch *[]byte) *proto.Response {
+	b.requestsTotal.Inc()
 	switch req.Op {
 	case proto.OpGet:
-		b.metrics.Counter("gets_total").Inc()
-		v, ok := b.store.Get(req.Key)
-		if !ok {
+		b.getsTotal.Inc()
+		buf, _, tomb, ok := b.store.AppendValue((*scratch)[:0], req.Key)
+		*scratch = buf
+		if !ok || tomb {
 			return &proto.Response{Status: proto.StatusNotFound}
 		}
-		b.metrics.Counter("hits_total").Inc()
-		return &proto.Response{Status: proto.StatusOK, Payload: v}
+		b.hitsTotal.Inc()
+		return &proto.Response{Status: proto.StatusOK, Payload: buf}
 	case proto.OpGetV:
-		b.metrics.Counter("gets_total").Inc()
-		v, _, ver, tomb, ok := b.store.GetVersioned(req.Key)
+		b.getsTotal.Inc()
+		// Reserve the 8-byte version header, copy the value in under the
+		// store lock, then patch the version in place.
+		buf := append((*scratch)[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+		buf, ver, tomb, ok := b.store.AppendValue(buf, req.Key)
+		*scratch = buf
 		if !ok {
 			return &proto.Response{Status: proto.StatusNotFound}
 		}
+		binary.BigEndian.PutUint64(buf, ver)
 		if tomb {
 			// A tombstone is an authoritative miss: NotFound, but the
 			// version rides along so the frontend can tell "never heard
 			// of it" from "deleted at version v".
-			payload, _ := proto.EncodeGetVPayload(ver, nil)
-			return &proto.Response{Status: proto.StatusNotFound, Payload: payload}
+			return &proto.Response{Status: proto.StatusNotFound, Payload: buf[:8]}
 		}
-		b.metrics.Counter("hits_total").Inc()
-		payload, err := proto.EncodeGetVPayload(ver, v)
-		if err != nil {
-			return errResponse(fmt.Sprintf("backend %d", b.id), req.Op, err)
+		if len(buf)-8 > proto.MaxValueLen {
+			return errResponse(fmt.Sprintf("backend %d", b.id), req.Op,
+				fmt.Errorf("stored value exceeds %d bytes", proto.MaxValueLen))
 		}
-		return &proto.Response{Status: proto.StatusOK, Payload: payload}
+		b.hitsTotal.Inc()
+		return &proto.Response{Status: proto.StatusOK, Payload: buf}
 	case proto.OpSet:
-		b.metrics.Counter("sets_total").Inc()
+		b.setsTotal.Inc()
 		if req.EpochGuard {
 			// Migration copy: apply only over absent or older-epoch
 			// entries. A skipped copy is still StatusOK — the migrator
@@ -220,7 +254,7 @@ func (b *Backend) handle(req *proto.Request) *proto.Response {
 		}
 		return &proto.Response{Status: proto.StatusOK}
 	case proto.OpDel:
-		b.metrics.Counter("dels_total").Inc()
+		b.delsTotal.Inc()
 		if req.Ver != 0 {
 			// Versioned delete writes a tombstone (even over an absent
 			// key — the replica that DID have it may be down right now).
@@ -232,14 +266,14 @@ func (b *Backend) handle(req *proto.Request) *proto.Response {
 		}
 		return &proto.Response{Status: proto.StatusOK}
 	case proto.OpMGet:
-		b.metrics.Counter("mgets_total").Inc()
-		b.metrics.Counter("gets_total").Add(uint64(len(req.Keys)))
+		b.mgetsTotal.Inc()
+		b.getsTotal.Add(uint64(len(req.Keys)))
 		results := make([]proto.MGetResult, len(req.Keys))
 		for i, key := range req.Keys {
 			v, ok := b.store.Get(key)
 			results[i] = proto.MGetResult{Found: ok, Value: v}
 			if ok {
-				b.metrics.Counter("hits_total").Inc()
+				b.hitsTotal.Inc()
 			}
 		}
 		payload, err := proto.EncodeMGetPayload(results)
@@ -248,7 +282,7 @@ func (b *Backend) handle(req *proto.Request) *proto.Response {
 		}
 		return &proto.Response{Status: proto.StatusOK, Payload: payload}
 	case proto.OpScan:
-		b.metrics.Counter("scans_total").Inc()
+		b.scansTotal.Inc()
 		entries, next := b.store.Scan(req.ScanCursor, int(req.ScanLimit), req.Epoch, scanPageBytes,
 			ScanOptions{Tombs: req.ScanTombs, Digest: req.ScanDigest})
 		payload, err := proto.EncodeScanPayload(next, entries)

@@ -67,6 +67,11 @@ type ClientConfig struct {
 	// OnRetrySuppressed, when non-nil, is invoked each time the retry
 	// budget refuses a retry the MaxRetries policy would have allowed.
 	OnRetrySuppressed func()
+	// MaxIdleConns bounds the idle connection pool (0 =
+	// DefaultMaxIdleConns, negative = no pooling: every request dials).
+	// Size it to the caller's concurrency — each concurrent request
+	// beyond the pool pays a fresh dial once the pool is empty.
+	MaxIdleConns int
 }
 
 func defDur(v, def time.Duration) time.Duration {
@@ -93,6 +98,12 @@ func (cfg ClientConfig) withDefaults() ClientConfig {
 	}
 	cfg.RetryBackoff = defDur(cfg.RetryBackoff, DefaultRetryBackoff)
 	cfg.MaxRetryBackoff = defDur(cfg.MaxRetryBackoff, DefaultMaxRetryBackoff)
+	switch {
+	case cfg.MaxIdleConns < 0:
+		cfg.MaxIdleConns = 0
+	case cfg.MaxIdleConns == 0:
+		cfg.MaxIdleConns = DefaultMaxIdleConns
+	}
 	return cfg
 }
 
@@ -116,8 +127,9 @@ type clientConn struct {
 	reused bool // came from the idle pool (the peer may have dropped it)
 }
 
-// maxIdleConns bounds the per-client idle pool.
-const maxIdleConns = 8
+// DefaultMaxIdleConns is the default per-client idle pool bound
+// (ClientConfig.MaxIdleConns).
+const DefaultMaxIdleConns = 8
 
 // NewClient returns a client for addr with default deadlines and retry
 // policy. Connections are dialed lazily.
@@ -161,7 +173,7 @@ func (c *Client) getConn() (*clientConn, error) {
 
 func (c *Client) putConn(cc *clientConn) {
 	c.mu.Lock()
-	if !c.closed && len(c.idle) < maxIdleConns {
+	if !c.closed && len(c.idle) < c.cfg.MaxIdleConns {
 		c.idle = append(c.idle, cc)
 		c.mu.Unlock()
 		return
@@ -269,7 +281,7 @@ func (c *Client) Do(req *proto.Request) (*proto.Response, error) {
 		if terr.reused {
 			// Free retry: a request that dies on a pooled conn almost
 			// surely raced the peer closing it. Each such retry burns
-			// one pooled conn, so this terminates after ≤ maxIdleConns
+			// one pooled conn, so this terminates after ≤ MaxIdleConns
 			// rounds even with a poisoned pool.
 			c.noteRetry()
 			continue

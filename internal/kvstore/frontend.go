@@ -136,7 +136,24 @@ type Frontend struct {
 	connsShed   *metrics.Counter
 	idleTimeout atomic.Int64 // ns; 0 = no limit
 
-	cacheMu sync.Mutex // guards cfg.Cache (cache impls are not concurrent-safe)
+	// cache is the concurrency-safe view of cfg.Cache (nil when caching
+	// is disabled): sharded caches are used directly, single-threaded
+	// policies get wrapped behind one mutex. flights coalesces concurrent
+	// misses on the same key into one backend fetch.
+	cache   syncCache
+	flights flightGroup
+
+	// Hot-path counters, resolved once at construction. Registry lookups
+	// take a mutex and hash the name; at cache-hit rates that lookup was
+	// a measurable fraction of the entire request.
+	requestsTotal *metrics.Counter
+	cacheHits     *metrics.Counter
+	cacheMisses   *metrics.Counter
+	setsTotal     *metrics.Counter
+	delsTotal     *metrics.Counter
+	backendErrs   *metrics.Counter
+	backendBusy   *metrics.Counter
+	coalesced     *metrics.Counter
 
 	// Rotation state (see rotate.go). rotMu is the epoch write barrier:
 	// Set/Del hold it shared across their backend I/O, Rotate takes it
@@ -212,6 +229,15 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		repairJobs:  make(chan readRepairJob, readRepairQueueCap),
 	}
 	f.metrics.Gauge("partition_epoch").Set(1)
+	f.cache = newSyncCache(cfg.Cache)
+	f.requestsTotal = f.metrics.Counter("requests_total")
+	f.cacheHits = f.metrics.Counter("cache_hits_total")
+	f.cacheMisses = f.metrics.Counter("cache_misses_total")
+	f.setsTotal = f.metrics.Counter("sets_total")
+	f.delsTotal = f.metrics.Counter("dels_total")
+	f.backendErrs = f.metrics.Counter("backend_errors_total")
+	f.backendBusy = f.metrics.Counter("backend_busy_total")
+	f.coalesced = f.metrics.Counter("coalesced_misses_total")
 	f.randState.Store(cfg.PartitionSeed ^ 0x9e3779b97f4a7c15)
 	f.health = newHealthTracker(n, cfg.Health, f.metrics)
 	f.gate = overload.NewGate(cfg.Overload)
@@ -319,13 +345,10 @@ func decodeEntry(key string, blob []byte) ([]byte, bool) {
 }
 
 func (f *Frontend) cacheGet(key string) ([]byte, bool) {
-	if f.cfg.Cache == nil {
+	if f.cache == nil {
 		return nil, false
 	}
-	id := KeyID(key)
-	f.cacheMu.Lock()
-	blob, ok := f.cfg.Cache.Get(id)
-	f.cacheMu.Unlock()
+	blob, ok := f.cache.Get(KeyID(key))
 	if !ok {
 		return nil, false
 	}
@@ -333,23 +356,17 @@ func (f *Frontend) cacheGet(key string) ([]byte, bool) {
 }
 
 func (f *Frontend) cachePut(key string, value []byte) {
-	if f.cfg.Cache == nil {
+	if f.cache == nil {
 		return
 	}
-	id := KeyID(key)
-	f.cacheMu.Lock()
-	f.cfg.Cache.Put(id, encodeEntry(key, value))
-	f.cacheMu.Unlock()
+	f.cache.Put(KeyID(key), encodeEntry(key, value))
 }
 
 func (f *Frontend) cacheRemove(key string) {
-	if f.cfg.Cache == nil {
+	if f.cache == nil {
 		return
 	}
-	id := KeyID(key)
-	f.cacheMu.Lock()
-	f.cfg.Cache.Remove(id)
-	f.cacheMu.Unlock()
+	f.cache.Remove(KeyID(key))
 }
 
 // orderedReplicas returns the key's current-epoch replica group ordered
@@ -423,13 +440,41 @@ func (f *Frontend) nextRand() uint64 {
 // Get serves a read: cache first, then the replica group in policy order,
 // failing over across replicas on transport errors.
 func (f *Frontend) Get(key string) ([]byte, error) {
-	f.metrics.Counter("requests_total").Inc()
+	f.requestsTotal.Inc()
 	if v, ok := f.cacheGet(key); ok {
-		f.metrics.Counter("cache_hits_total").Inc()
+		f.cacheHits.Inc()
 		return v, nil
 	}
-	f.metrics.Counter("cache_misses_total").Inc()
-	return f.fetchFromReplicas(key)
+	f.cacheMisses.Inc()
+	return f.coalescedFetch(key)
+}
+
+// coalescedFetch routes a cache miss through the singleflight group:
+// concurrent misses on one key become one replica fetch whose result
+// (value, not-found, or tombstone miss) every waiter shares. The leader
+// runs the full fetchFromReplicas path, so dual-epoch fallback, cache
+// fill, and read-repair scheduling all still happen — once per flight
+// instead of once per caller.
+//
+// Coalescing applies only when a cache is configured. A cacheless
+// frontend is the pure partition router of the paper's analysis — every
+// read reaches a backend, and the Eq. 10 experiments measure that
+// realized per-backend load directly. Collapsing simultaneous same-key
+// reads there would thin out exactly the independent samples
+// least-inflight spreading and the load-bound measurements rely on. With
+// a cache, a repeated-miss storm on one key is the cache-stampede case,
+// and one fetch per storm is the behavior that protects the backends.
+func (f *Frontend) coalescedFetch(key string) ([]byte, error) {
+	if f.cache == nil {
+		return f.fetchFromReplicas(key)
+	}
+	v, err, shared := f.flights.Do(key, func() ([]byte, error) {
+		return f.fetchFromReplicas(key)
+	})
+	if shared {
+		f.coalesced.Inc()
+	}
+	return v, err
 }
 
 // fetchFromGroup is the failover read loop over one ordered replica
@@ -495,11 +540,11 @@ func (f *Frontend) fetchGroupVersioned(key string, ordered []int) ([]byte, uint6
 func (f *Frontend) noteBackendError(node int, err error) {
 	if errors.Is(err, ErrBusy) {
 		f.health.onSuccess(node)
-		f.metrics.Counter("backend_busy_total").Inc()
+		f.backendBusy.Inc()
 		return
 	}
 	f.health.onFailure(node)
-	f.metrics.Counter("backend_errors_total").Inc()
+	f.backendErrs.Inc()
 }
 
 // Set writes the key's group with a fresh logical version and succeeds
@@ -512,8 +557,12 @@ func (f *Frontend) noteBackendError(node int, err error) {
 // Dynamo-style systems the paper cites, and the version ordering keeps
 // the partial write from ever rolling back a newer one.
 func (f *Frontend) Set(key string, value []byte) error {
-	f.metrics.Counter("requests_total").Inc()
-	f.metrics.Counter("sets_total").Inc()
+	f.requestsTotal.Inc()
+	f.setsTotal.Inc()
+	// Detach any in-flight miss fetch for this key once the write is
+	// done: a miss arriving after the write must fetch post-write state,
+	// not join a flight whose backend reads predate it.
+	defer f.flights.Forget(key)
 	// Epoch write barrier: the group and the epoch stamp must come from
 	// one generation — Rotate's flip waits for writes in flight here.
 	f.rotMu.RLock()
@@ -572,13 +621,8 @@ func (f *Frontend) Set(key string, value []byte) error {
 	// not evict a popular entry for a cold key. (With quorum met the new
 	// value is the winning version cluster-wide, so caching it is sound
 	// even while hinted replicas lag.)
-	if f.cfg.Cache != nil {
-		id := KeyID(key)
-		f.cacheMu.Lock()
-		if f.cfg.Cache.Contains(id) {
-			f.cfg.Cache.Put(id, encodeEntry(key, value))
-		}
-		f.cacheMu.Unlock()
+	if f.cache != nil {
+		f.cache.PutIfPresent(KeyID(key), encodeEntry(key, value))
 	}
 	return nil
 }
@@ -588,16 +632,16 @@ func (f *Frontend) Set(key string, value []byte) error {
 // per backend. Per-node failures fall back to single-key Gets (which
 // fail over across replicas). Results are parallel to keys.
 func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
-	f.metrics.Counter("requests_total").Inc()
+	f.requestsTotal.Inc()
 	results := make([]proto.MGetResult, len(keys))
 	var misses []int // indices into keys not answered by the cache
 	for i, key := range keys {
 		if v, ok := f.cacheGet(key); ok {
-			f.metrics.Counter("cache_hits_total").Inc()
+			f.cacheHits.Inc()
 			results[i] = proto.MGetResult{Found: true, Value: v}
 			continue
 		}
-		f.metrics.Counter("cache_misses_total").Inc()
+		f.cacheMisses.Inc()
 		misses = append(misses, i)
 	}
 	// During a rotation the batch fast path cannot be trusted: an
@@ -608,7 +652,7 @@ func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 	// rotation commits.
 	if f.part.Rotating() {
 		for _, i := range misses {
-			v, gerr := f.fetchFromReplicas(keys[i])
+			v, gerr := f.coalescedFetch(keys[i])
 			switch {
 			case gerr == nil:
 				results[i] = proto.MGetResult{Found: true, Value: v}
@@ -642,7 +686,7 @@ func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 			// counters secguard watches.
 			f.noteBackendError(node, err)
 			for _, i := range idxs {
-				v, gerr := f.fetchFromReplicas(keys[i])
+				v, gerr := f.coalescedFetch(keys[i])
 				switch {
 				case gerr == nil:
 					results[i] = proto.MGetResult{Found: true, Value: v}
@@ -662,7 +706,7 @@ func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 				// Confirm absence through the failover read (which also
 				// schedules read repair for the empty replica) before
 				// reporting it.
-				v, gerr := f.fetchFromReplicas(keys[i])
+				v, gerr := f.coalescedFetch(keys[i])
 				switch {
 				case gerr == nil:
 					results[i] = proto.MGetResult{Found: true, Value: v}
@@ -687,8 +731,11 @@ func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 // that value in every read, hint replay, and anti-entropy comparison —
 // the key cannot be resurrected by the lagging replica.
 func (f *Frontend) Del(key string) error {
-	f.metrics.Counter("requests_total").Inc()
-	f.metrics.Counter("dels_total").Inc()
+	f.requestsTotal.Inc()
+	f.delsTotal.Inc()
+	// As in Set: once the tombstones are down, no later miss may join a
+	// fetch that started before them.
+	defer f.flights.Forget(key)
 	f.cacheRemove(key)
 	f.rotMu.RLock()
 	defer f.rotMu.RUnlock()
@@ -766,12 +813,10 @@ func (f *Frontend) Del(key string) error {
 // CacheStats returns the cache's hit/miss counters (zero Stats when no
 // cache is configured).
 func (f *Frontend) CacheStats() cache.Stats {
-	if f.cfg.Cache == nil {
+	if f.cache == nil {
 		return cache.Stats{}
 	}
-	f.cacheMu.Lock()
-	defer f.cacheMu.Unlock()
-	return f.cfg.Cache.Stats()
+	return f.cache.Stats()
 }
 
 // handle dispatches one wire request.

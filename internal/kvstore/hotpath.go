@@ -1,0 +1,147 @@
+package kvstore
+
+import (
+	"sync"
+
+	"securecache/internal/cache"
+)
+
+// This file holds the frontend's hot-path plumbing: the concurrency-safe
+// cache view and the miss-coalescing singleflight group.
+
+// syncCache is the frontend's concurrency-safe view of the configured
+// cache. Cache policies themselves are single-threaded; the frontend
+// either wraps one behind a mutex (lockedCache, the seed behavior) or —
+// when the configured cache declares itself concurrency-safe, like
+// cache.Sharded — uses it directly and lets hits proceed in parallel.
+type syncCache interface {
+	Get(id uint64) ([]byte, bool)
+	Put(id uint64, blob []byte) bool
+	// PutIfPresent refreshes id only if it is already cached, atomically,
+	// so the write path can never evict a popular entry for a cold key.
+	PutIfPresent(id uint64, blob []byte) bool
+	Remove(id uint64) bool
+	Stats() cache.Stats
+}
+
+// concurrentCache is what a cache must provide for the frontend to skip
+// its serializing mutex: the base interface, the atomic write-path
+// refresh, and the ConcurrentSafe marker (cache.Sharded carries all
+// three).
+type concurrentCache interface {
+	cache.Cache
+	PutIfPresent(id uint64, blob []byte) bool
+	ConcurrentSafe()
+}
+
+// newSyncCache wraps c for concurrent use (nil for a nil cache).
+func newSyncCache(c cache.Cache) syncCache {
+	switch c := c.(type) {
+	case nil:
+		return nil
+	case concurrentCache:
+		return c
+	default:
+		return &lockedCache{c: c}
+	}
+}
+
+// lockedCache serializes a single-threaded cache policy behind one
+// mutex.
+type lockedCache struct {
+	mu sync.Mutex
+	c  cache.Cache
+}
+
+func (l *lockedCache) Get(id uint64) ([]byte, bool) {
+	l.mu.Lock()
+	v, ok := l.c.Get(id)
+	l.mu.Unlock()
+	return v, ok
+}
+
+func (l *lockedCache) Put(id uint64, blob []byte) bool {
+	l.mu.Lock()
+	ok := l.c.Put(id, blob)
+	l.mu.Unlock()
+	return ok
+}
+
+func (l *lockedCache) PutIfPresent(id uint64, blob []byte) bool {
+	l.mu.Lock()
+	ok := l.c.Contains(id) && l.c.Put(id, blob)
+	l.mu.Unlock()
+	return ok
+}
+
+func (l *lockedCache) Remove(id uint64) bool {
+	l.mu.Lock()
+	ok := l.c.Remove(id)
+	l.mu.Unlock()
+	return ok
+}
+
+func (l *lockedCache) Stats() cache.Stats {
+	l.mu.Lock()
+	st := l.c.Stats()
+	l.mu.Unlock()
+	return st
+}
+
+// flightGroup coalesces concurrent fetches of the same key: the first
+// caller (the leader) runs the fetch, everyone else arriving before it
+// finishes waits and shares the result. Under a miss storm on a hot key
+// — exactly the adversarial pattern the paper's provisioning rule feeds
+// the backends — the replica group sees ONE read instead of one per
+// client. Hand-rolled because the repo carries no external dependencies.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Do runs fn for key, coalescing concurrent calls. shared reports that
+// this caller joined an existing flight instead of running fn. The
+// returned value may alias other callers' — the same rule as cache
+// reads, whose returned slices alias the cached blob.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (v []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if fl, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-fl.done
+		return fl.val, fl.err, true
+	}
+	fl := &flight{done: make(chan struct{})}
+	g.m[key] = fl
+	g.mu.Unlock()
+
+	fl.val, fl.err = fn()
+	close(fl.done)
+
+	g.mu.Lock()
+	// Forget may already have replaced or removed the entry; only the
+	// leader's own flight is cleared.
+	if g.m[key] == fl {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	return fl.val, fl.err, false
+}
+
+// Forget detaches any in-progress flight for key: callers already
+// waiting still get its result, but the next Do starts fresh. The write
+// path calls this after mutating a key so a post-write miss can never
+// join a fetch that began before the write.
+func (g *flightGroup) Forget(key string) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+}

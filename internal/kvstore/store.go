@@ -47,6 +47,10 @@ type entry struct {
 type storeShard struct {
 	mu sync.RWMutex
 	m  map[string]entry
+	// tombs counts the tombstoned entries in m, maintained by every
+	// mutation, so Len and TombCount are O(shards) instead of a full
+	// walk of the keyspace under the locks.
+	tombs int
 }
 
 // NewStore returns an empty store.
@@ -126,10 +130,12 @@ func (s *Store) SetVersioned(key string, value []byte, epoch uint32, ver uint64)
 	cp := append([]byte(nil), value...)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if ver != 0 {
-		if cur, ok := sh.m[key]; ok && cur.ver >= ver {
-			return false
-		}
+	cur, ok := sh.m[key]
+	if ver != 0 && ok && cur.ver >= ver {
+		return false
+	}
+	if ok && cur.tomb {
+		sh.tombs--
 	}
 	sh.m[key] = entry{val: cp, epoch: epoch, ver: ver}
 	return true
@@ -146,8 +152,12 @@ func (s *Store) SetGuarded(key string, value []byte, epoch uint32, ver uint64) b
 	cp := append([]byte(nil), value...)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if cur, ok := sh.m[key]; ok && cur.epoch >= epoch {
+	cur, ok := sh.m[key]
+	if ok && cur.epoch >= epoch {
 		return false
+	}
+	if ok && cur.tomb {
+		sh.tombs--
 	}
 	sh.m[key] = entry{val: cp, epoch: epoch, ver: ver}
 	return true
@@ -160,7 +170,10 @@ func (s *Store) SetGuarded(key string, value []byte, epoch uint32, ver uint64) b
 func (s *Store) Delete(key string) bool {
 	sh := s.shard(key)
 	sh.mu.Lock()
-	_, ok := sh.m[key]
+	cur, ok := sh.m[key]
+	if ok && cur.tomb {
+		sh.tombs--
+	}
 	delete(sh.m, key)
 	sh.mu.Unlock()
 	return ok
@@ -187,6 +200,11 @@ func (s *Store) DeleteVersioned(key string, epoch uint32, ver uint64) bool {
 		if cur.ver == ver {
 			return cur.tomb
 		}
+		if !cur.tomb {
+			sh.tombs++
+		}
+	} else {
+		sh.tombs++
 	}
 	sh.m[key] = entry{epoch: epoch, ver: ver, tomb: true}
 	return true
@@ -204,6 +222,7 @@ func (s *Store) SweepTombstones(before uint64) int {
 		for k, e := range sh.m {
 			if e.tomb && e.ver < before {
 				delete(sh.m, k)
+				sh.tombs--
 				swept++
 			}
 		}
@@ -312,34 +331,44 @@ func (s *Store) Scan(afterID uint64, limit int, belowEpoch uint32, maxBytes int,
 	return out, 0
 }
 
+// AppendValue appends the stored value for key to dst, returning the
+// grown slice plus the entry's logical version, tombstone flag, and
+// whether the store holds the key at all. Nothing is appended for a
+// tombstone or an unknown key. The copy happens under the shard lock
+// straight into the caller's buffer, so read-heavy callers (the backend
+// GET path) can reuse one scratch buffer per connection instead of
+// allocating a value copy per request.
+func (s *Store) AppendValue(dst []byte, key string) (out []byte, ver uint64, tomb, ok bool) {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	if ok && !e.tomb {
+		dst = append(dst, e.val...)
+	}
+	sh.mu.RUnlock()
+	return dst, e.ver, e.tomb, ok
+}
+
 // Len returns the number of live stored keys (tombstones excluded).
+// O(shards): each shard tracks its tombstone count as it mutates.
 func (s *Store) Len() int {
 	total := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		total += len(sh.m)
-		for _, e := range sh.m {
-			if e.tomb {
-				total--
-			}
-		}
+		total += len(sh.m) - sh.tombs
 		sh.mu.RUnlock()
 	}
 	return total
 }
 
-// TombCount returns the number of tombstones currently held.
+// TombCount returns the number of tombstones currently held. O(shards).
 func (s *Store) TombCount() int {
 	total := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		for _, e := range sh.m {
-			if e.tomb {
-				total++
-			}
-		}
+		total += sh.tombs
 		sh.mu.RUnlock()
 	}
 	return total

@@ -1,0 +1,124 @@
+package proto
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// BenchmarkWire measures the wire codec hot path: what one request or
+// response costs to frame and parse. Run with -benchmem — the point of
+// the frame buffer pool is the allocs/op column.
+
+type rewinder struct {
+	data []byte
+	r    bytes.Reader
+}
+
+func (rw *rewinder) next() io.Reader {
+	rw.r.Reset(rw.data)
+	return &rw.r
+}
+
+func BenchmarkWire(b *testing.B) {
+	getReq := &Request{Op: OpGet, Key: "hot-key-0042"}
+	setReq := &Request{Op: OpSet, Key: "hot-key-0042", Value: bytes.Repeat([]byte("v"), 128), Ver: 7}
+	okResp := &Response{Status: StatusOK, Payload: bytes.Repeat([]byte("p"), 128)}
+
+	b.Run("WriteRequestGet", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := WriteRequest(io.Discard, getReq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("WriteRequestSet", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := WriteRequest(io.Discard, setReq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("WriteResponse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := WriteResponse(io.Discard, okResp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("ReadRequestGet", func(b *testing.B) {
+		frame, err := AppendRequest(nil, getReq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rw := &rewinder{data: frame}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadRequest(rw.next()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("ReadRequestSet", func(b *testing.B) {
+		frame, err := AppendRequest(nil, setReq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rw := &rewinder{data: frame}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadRequest(rw.next()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("ReadResponse", func(b *testing.B) {
+		frame, err := AppendResponse(nil, okResp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rw := &rewinder{data: frame}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadResponse(rw.next()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// One full GET exchange as the frontend's backend clients see it:
+	// request framed and parsed, response framed and parsed.
+	b.Run("GetExchange", func(b *testing.B) {
+		reqFrame, _ := AppendRequest(nil, getReq)
+		respFrame, _ := AppendResponse(nil, okResp)
+		reqRW := &rewinder{data: reqFrame}
+		respRW := &rewinder{data: respFrame}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := WriteRequest(io.Discard, getReq); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ReadRequest(reqRW.next()); err != nil {
+				b.Fatal(err)
+			}
+			if err := WriteResponse(io.Discard, okResp); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ReadResponse(respRW.next()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

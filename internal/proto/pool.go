@@ -1,0 +1,74 @@
+package proto
+
+import "sync"
+
+// Frame buffer pool. Every request/response used to pay two transient
+// allocations per side — the encode buffer on write and the frame body on
+// read — which at hot-path rates turns straight into GC pressure. Both
+// now come from one sync.Pool.
+//
+// Ownership rule (the only one): a pooled buffer NEVER escapes the
+// function that took it. WriteRequest/WriteResponse hand the buffer to
+// w.Write and release it before returning, so the io.Writer must not
+// retain the slice past the call (bufio.Writer and net.Conn both copy or
+// complete synchronously). ReadRequest/ReadResponse parse the body into
+// freshly owned memory (string conversions and explicit copies) and
+// release the frame before returning. Anything that must outlive the
+// call — req.Value, resp.Payload — is copied out first.
+const (
+	// minPooledBuf sizes fresh pool buffers: big enough for typical
+	// single-key frames so the first use rarely grows.
+	minPooledBuf = 1 << 9
+	// maxPooledBuf caps what the pool retains. Oversized frames (bulk
+	// MGET/SCAN pages, multi-MiB values) are left to the GC rather than
+	// pinning megabytes per idle pool slot.
+	maxPooledBuf = 64 << 10
+	// frameChunk is the incremental read granularity in readFrame: a
+	// hostile length prefix claiming maxFrame bytes costs at most one
+	// chunk of memory until the peer actually delivers that much data.
+	frameChunk = 64 << 10
+)
+
+// frameBuf is the pooled unit. Pooling the struct (not the slice) keeps
+// Put from re-boxing the slice header on every release.
+type frameBuf struct {
+	b []byte
+}
+
+var bufPool = sync.Pool{
+	New: func() interface{} { return &frameBuf{b: make([]byte, 0, minPooledBuf)} },
+}
+
+func getBuf() *frameBuf {
+	fb := bufPool.Get().(*frameBuf)
+	fb.b = fb.b[:0]
+	return fb
+}
+
+// release returns the buffer to the pool unless it grew past the
+// retention cap.
+func (fb *frameBuf) release() {
+	if cap(fb.b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(fb)
+}
+
+// grow ensures room for total bytes of content, preserving fb.b's
+// current contents. Growth doubles but never exceeds total, so a frame
+// that trickles in converges without over-reserving.
+func (fb *frameBuf) grow(total int) {
+	if cap(fb.b) >= total {
+		return
+	}
+	newCap := 2 * cap(fb.b)
+	if newCap < minPooledBuf {
+		newCap = minPooledBuf
+	}
+	if newCap < total {
+		newCap = total
+	}
+	nb := make([]byte, len(fb.b), newCap)
+	copy(nb, fb.b)
+	fb.b = nb
+}

@@ -322,22 +322,29 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	return dst, nil
 }
 
-// WriteRequest frames and writes req to w.
+// WriteRequest frames and writes req to w. The encode buffer is pooled;
+// w must not retain the slice past the Write call.
 func WriteRequest(w io.Writer, req *Request) error {
-	buf, err := AppendRequest(nil, req)
-	if err != nil {
-		return err
+	fb := getBuf()
+	buf, err := AppendRequest(fb.b, req)
+	fb.b = buf
+	if err == nil {
+		_, err = w.Write(buf)
 	}
-	_, err = w.Write(buf)
+	fb.release()
 	return err
 }
 
 // ReadRequest reads one framed request from r.
 func ReadRequest(r io.Reader) (*Request, error) {
-	body, err := readFrame(r)
+	fb, err := readFrame(r)
 	if err != nil {
 		return nil, err
 	}
+	// The frame is pooled: every field parsed below is copied out of it
+	// (string conversions, explicit value copies) before release.
+	defer fb.release()
+	body := fb.b
 	if len(body) < 1 {
 		return nil, fmt.Errorf("%w: empty body", ErrMalformed)
 	}
@@ -466,22 +473,28 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 	return dst, nil
 }
 
-// WriteResponse frames and writes resp to w.
+// WriteResponse frames and writes resp to w. The encode buffer is
+// pooled; w must not retain the slice past the Write call.
 func WriteResponse(w io.Writer, resp *Response) error {
-	buf, err := AppendResponse(nil, resp)
-	if err != nil {
-		return err
+	fb := getBuf()
+	buf, err := AppendResponse(fb.b, resp)
+	fb.b = buf
+	if err == nil {
+		_, err = w.Write(buf)
 	}
-	_, err = w.Write(buf)
+	fb.release()
 	return err
 }
 
 // ReadResponse reads one framed response from r.
 func ReadResponse(r io.Reader) (*Response, error) {
-	body, err := readFrame(r)
+	fb, err := readFrame(r)
 	if err != nil {
 		return nil, err
 	}
+	// Pooled frame: the payload is copied out below before release.
+	defer fb.release()
+	body := fb.b
 	if len(body) < 5 {
 		return nil, fmt.Errorf("%w: response body %d bytes", ErrMalformed, len(body))
 	}
@@ -500,22 +513,39 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	return resp, nil
 }
 
-// readFrame reads the 4-byte prefix and then the body.
-func readFrame(r io.Reader) ([]byte, error) {
+// readFrame reads the 4-byte prefix and then the body into a pooled
+// buffer (fb.b). The caller must release it once done parsing; nothing
+// that outlives the call may alias fb.b.
+//
+// The body is read in frameChunk pieces, growing the buffer only as
+// bytes actually arrive: a hostile peer claiming a maxFrame-sized body
+// costs at most one chunk of memory until it delivers real data, instead
+// of a multi-megabyte up-front allocation per connection.
+func readFrame(r io.Reader) (*frameBuf, error) {
 	var prefix [4]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
 		return nil, err // io.EOF passes through for clean closes
 	}
-	n := binary.BigEndian.Uint32(prefix[:])
+	n := int(binary.BigEndian.Uint32(prefix[:]))
 	if n > maxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+	fb := getBuf()
+	for len(fb.b) < n {
+		chunk := n - len(fb.b)
+		if chunk > frameChunk {
+			chunk = frameChunk
 		}
-		return nil, err
+		start := len(fb.b)
+		fb.grow(start + chunk)
+		fb.b = fb.b[:start+chunk]
+		if _, err := io.ReadFull(r, fb.b[start:]); err != nil {
+			fb.release()
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
 	}
-	return body, nil
+	return fb, nil
 }
