@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet lint race chaos bench fuzz
+.PHONY: all build test verify vet lint race chaos wal bench fuzz
 
 all: verify
 
@@ -41,6 +41,14 @@ chaos:
 	$(GO) test -race -v -run 'TestChaos' ./internal/kvstore/... && \
 	$(GO) test -race ./internal/faultnet/...
 
+# WAL crash matrix: the storage engine's own tests (torn tails,
+# mid-segment corruption, hint fallback, merge interruption) plus the
+# kvstore crash-point suite (kill -9 torn tail, quarantine-and-refill,
+# warm restart with zero repair traffic), all under -race.
+wal:
+	$(GO) test -race ./internal/wal/... && \
+	$(GO) test -race -v -run 'TestChaosWarmRestart|TestChaosKill9|TestChaosCorruptionQuarantine|TestChaosTruncatedHint' ./internal/kvstore/
+
 # Micro-benchmarks with allocation counts. -benchtime=1x is the smoke
 # setting (CI runs it to keep the benchmarks compiling and honest);
 # real measurements want `make bench BENCHTIME=2s`.
@@ -60,3 +68,4 @@ fuzz:
 	$(GO) test -fuzz='^FuzzScanPayload$$' -fuzztime=$(FUZZTIME) ./internal/proto/
 	$(GO) test -fuzz='^FuzzRead$$' -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz='^FuzzReadSnapshot$$' -fuzztime=$(FUZZTIME) ./internal/kvstore/
+	$(GO) test -fuzz='^FuzzReplaySegment$$' -fuzztime=$(FUZZTIME) ./internal/wal/

@@ -1,10 +1,12 @@
-// Command kvnode runs one back-end node of the kvstore: an in-memory
+// Command kvnode runs one back-end node of the kvstore: a
 // replicated-partition storage server speaking the securecache wire
-// protocol.
+// protocol. By default state lives in memory only; -data-dir attaches a
+// write-ahead log so a crashed node replays back to its exact pre-crash
+// keyset instead of rejoining empty and being refilled over the network.
 //
 // Usage:
 //
-//	kvnode -id 0 -listen 127.0.0.1:7001
+//	kvnode -id 0 -listen 127.0.0.1:7001 -data-dir /var/lib/kvnode0
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"securecache/internal/kvstore"
 	"securecache/internal/overload"
+	"securecache/internal/wal"
 )
 
 func main() {
@@ -29,6 +32,11 @@ func main() {
 		snapshot = flag.String("snapshot", "", "snapshot file: restored at startup if present, written on shutdown")
 		snapEach = flag.Duration("snapshot-interval", 0, "also write the snapshot periodically at this interval (0 = shutdown only; needs -snapshot)")
 		idle     = flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = keep forever)")
+
+		dataDir  = flag.String("data-dir", "", "write-ahead log directory: replayed at startup, every write logged (empty = memory-only)")
+		walSeg   = flag.Int64("wal-segment-bytes", 0, "seal WAL segments at this size (0 = default 64MiB)")
+		walSync  = flag.Duration("wal-sync-interval", 0, "background WAL fsync cadence (0 = default 500ms)")
+		walFsync = flag.Bool("wal-sync-every-append", false, "fsync the WAL after every write (power-loss-proof, slow)")
 
 		maxInflight = flag.Int("max-inflight", 0, "shed requests beyond this many in flight with BUSY (0 = unlimited)")
 		maxConns    = flag.Int("max-conns", 0, "reject connections beyond this many at accept (0 = unlimited)")
@@ -53,7 +61,44 @@ func main() {
 	node.SetIdleTimeout(*idle)
 	log.Printf("kvnode %d listening on %s", *id, l.Addr())
 
-	if *snapshot != "" {
+	walReplayed := false
+	if *dataDir != "" {
+		recovered, err := node.OpenData(*dataDir, wal.Options{
+			SegmentBytes:    *walSeg,
+			SyncInterval:    *walSync,
+			SyncEveryAppend: *walFsync,
+		})
+		if err != nil {
+			// Unlike a corrupt directory (quarantined inside OpenData), an
+			// open failure means the node cannot honor -data-dir at all:
+			// refuse to run rather than silently serve without durability.
+			fmt.Fprintln(os.Stderr, "kvnode:", err)
+			os.Exit(2)
+		}
+		st := node.WAL().Stats()
+		switch {
+		case recovered:
+			log.Printf("kvnode %d: data dir %s was corrupt — quarantined to %s.corrupt, starting empty for repair",
+				*id, *dataDir, *dataDir)
+		case st.Replayed > 0:
+			walReplayed = true
+			log.Printf("kvnode %d: replayed %d keys from %s (%d torn records truncated, %d hint loads, %d hint fallbacks)",
+				*id, st.Replayed, *dataDir, st.TornTruncations, st.HintLoads, st.HintFallbacks)
+		default:
+			log.Printf("kvnode %d: opened empty data dir %s", *id, *dataDir)
+		}
+	}
+
+	if *snapshot != "" && walReplayed {
+		// The WAL holds every write the snapshot does and more (it sees
+		// each mutation, the snapshot only period boundaries): the log is
+		// the source of truth once it has content. The snapshot file keeps
+		// being written (shutdown/periodic) as an operator artifact.
+		log.Printf("kvnode %d: WAL replayed; skipping snapshot restore from %s", *id, *snapshot)
+	} else if *snapshot != "" {
+		// With an attached (empty) WAL this load is also the migration
+		// path: restored entries write through into the log, so the next
+		// boot replays them without the snapshot.
 		switch err := node.LoadSnapshot(*snapshot); {
 		case err == nil:
 			log.Printf("kvnode %d restored %d keys from %s", *id, node.Store().Len(), *snapshot)
@@ -65,14 +110,15 @@ func main() {
 			// and anti-entropy, while a crash-looping one serves nobody.
 			log.Printf("kvnode %d: snapshot %s unreadable (%v), starting empty", *id, *snapshot, err)
 		}
-		if *snapEach > 0 {
-			stop := node.StartSnapshots(*snapshot, *snapEach)
-			defer stop()
-			log.Printf("kvnode %d: snapshotting to %s every %s", *id, *snapshot, *snapEach)
+	}
+	if *snapEach > 0 {
+		if *snapshot == "" {
+			fmt.Fprintln(os.Stderr, "kvnode: -snapshot-interval needs -snapshot")
+			os.Exit(2)
 		}
-	} else if *snapEach > 0 {
-		fmt.Fprintln(os.Stderr, "kvnode: -snapshot-interval needs -snapshot")
-		os.Exit(2)
+		stop := node.StartSnapshots(*snapshot, *snapEach)
+		defer stop()
+		log.Printf("kvnode %d: snapshotting to %s every %s", *id, *snapshot, *snapEach)
 	}
 
 	if *admin != "" {

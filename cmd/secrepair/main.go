@@ -6,6 +6,13 @@
 // pays while degraded. This is the baseline EXPERIMENTS.md records:
 //
 //	secrepair -n 5 -d 3 -m 5000 -json BENCH_repair.json
+//
+// With -wal it instead benchmarks the local durability path those
+// network mechanisms compete with: write-ahead-log append throughput
+// and crash→serving restart time (replay from segments + hint files),
+// for comparison against the network rebuild baseline above:
+//
+//	secrepair -wal -m 5000 -json BENCH_wal.json
 package main
 
 import (
@@ -28,11 +35,20 @@ func main() {
 		n        = flag.Int("n", 5, "number of backends")
 		d        = flag.Int("d", 3, "replication factor")
 		m        = flag.Int("m", 5000, "number of keys")
+		walMode  = flag.Bool("wal", false, "benchmark the WAL durability path instead of network repair")
+		valBytes = flag.Int("val", 256, "value size in bytes (WAL mode)")
+		baseline = flag.String("baseline", "BENCH_repair.json", "network-repair baseline to embed for comparison (WAL mode; missing file = omitted)")
 		jsonPath = flag.String("json", "", "also write the bench report to this file")
 	)
 	flag.Parse()
 
-	report, err := runBench(benchConfig{Nodes: *n, Replication: *d, Keys: *m}, os.Stdout)
+	var report any
+	var err error
+	if *walMode {
+		report, err = runWALBench(walBenchConfig{Keys: *m, ValueBytes: *valBytes, BaselinePath: *baseline}, os.Stdout)
+	} else {
+		report, err = runBench(benchConfig{Nodes: *n, Replication: *d, Keys: *m}, os.Stdout)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "secrepair:", err)
 		os.Exit(2)

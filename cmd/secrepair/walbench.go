@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"securecache/internal/kvstore"
+	"securecache/internal/wal"
+	"securecache/internal/workload"
+)
+
+type walBenchConfig struct {
+	Keys         int
+	ValueBytes   int
+	BaselinePath string
+}
+
+// walBenchReport records what crash recovery costs when the node keeps
+// a local write-ahead log, against the network-rebuild numbers in
+// benchReport. crash_to_serving_seconds is the headline: the time from
+// "process restarts on the old data dir" to "exact pre-crash keyset in
+// memory, ready to serve" — the durable-node alternative to the
+// crash_to_converged_seconds a wiped replica pays for hinted handoff
+// plus anti-entropy.
+type walBenchReport struct {
+	Keys             int     `json:"keys"`
+	ValueBytes       int     `json:"value_bytes"`
+	Appends          uint64  `json:"wal_appends"`
+	AppendSecs       float64 `json:"append_seconds"`
+	AppendsPerSec    float64 `json:"appends_per_second"`
+	LogBytes         int64   `json:"log_bytes"`
+	Segments         int     `json:"segments"`
+	ReplayedKeys     uint64  `json:"replayed_keys"`
+	TornTruncations  uint64  `json:"torn_truncations"`
+	HintLoads        uint64  `json:"hint_loads"`
+	ReplaySecs       float64 `json:"replay_seconds"`
+	ReplayKeysPerSec float64 `json:"replay_keys_per_second"`
+	CrashToServing   float64 `json:"crash_to_serving_seconds"`
+	StaleReads       int     `json:"post_replay_stale_reads"`
+	ResurrectedDels  int     `json:"post_replay_resurrected_deletes"`
+
+	// Comparison against the recorded network-rebuild baseline
+	// (BENCH_repair.json), when present.
+	RebuildBaselineSecs float64 `json:"network_rebuild_baseline_seconds,omitempty"`
+	SpeedupVsRebuild    float64 `json:"speedup_vs_network_rebuild,omitempty"`
+}
+
+// runWALBench writes a churned keyset through a durable backend,
+// abandons the process state without a clean shutdown (the in-process
+// equivalent of kill -9: the log is never closed, its final segment may
+// end in a torn record), then times a cold open of the same data
+// directory — segment replay with hint-file acceleration — and sweeps
+// the rebuilt store for divergence.
+func runWALBench(cfg walBenchConfig, w io.Writer) (walBenchReport, error) {
+	report := walBenchReport{Keys: cfg.Keys, ValueBytes: cfg.ValueBytes}
+
+	dir, err := os.MkdirTemp("", "secrepair-wal-")
+	if err != nil {
+		return report, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Small segments force rotations so replay exercises hint files, and
+	// SyncInterval -1 leaves no background goroutine holding the log —
+	// abandoning it un-Closed is then a faithful crash image (appends
+	// are one write(2) each; only fsync is skipped, which the kernel has
+	// already absorbed for an in-process "crash").
+	opts := wal.Options{SegmentBytes: 512 << 10, SyncInterval: -1}
+	b1 := kvstore.NewBackend(0)
+	if _, err := b1.OpenData(dir, opts); err != nil {
+		return report, err
+	}
+
+	// Workload mirrors the repair bench: gen0 everywhere, gen1 over the
+	// even keys, every tenth key deleted — so the log carries
+	// overwrites and tombstones, not just fresh inserts.
+	val0 := make([]byte, cfg.ValueBytes)
+	val1 := make([]byte, cfg.ValueBytes)
+	copy(val0, "gen0")
+	copy(val1, "gen1")
+	fmt.Fprintf(w, "writing %d keys (x%dB, with overwrites and deletes) through the WAL...\n",
+		cfg.Keys, cfg.ValueBytes)
+	st1 := b1.Store()
+	appendStart := time.Now()
+	for k := 0; k < cfg.Keys; k++ {
+		st1.SetVersioned(workload.KeyName(k), val0, 1, 1)
+	}
+	for k := 0; k < cfg.Keys; k += 2 {
+		st1.SetVersioned(workload.KeyName(k), val1, 1, 2)
+	}
+	for k := 9; k < cfg.Keys; k += 10 {
+		st1.DeleteVersioned(workload.KeyName(k), 1, 3)
+	}
+	report.AppendSecs = time.Since(appendStart).Seconds()
+	report.Appends = b1.WAL().Stats().Appends
+	if report.AppendSecs > 0 {
+		report.AppendsPerSec = float64(report.Appends) / report.AppendSecs
+	}
+	report.LogBytes, report.Segments = duSegments(dir)
+	fmt.Fprintf(w, "appended %d records in %.2fs (%.0f appends/sec), log %d bytes in %d segments\n",
+		report.Appends, report.AppendSecs, report.AppendsPerSec, report.LogBytes, report.Segments)
+
+	// Crash: b1 is simply abandoned — no Close, no final fsync.
+	fmt.Fprintln(w, "crashing (log abandoned un-closed) and cold-opening the data dir...")
+	bootStart := time.Now()
+	b2 := kvstore.NewBackend(0)
+	replayStart := time.Now()
+	recovered, err := b2.OpenData(dir, opts)
+	if err != nil {
+		return report, err
+	}
+	report.ReplaySecs = time.Since(replayStart).Seconds()
+	report.CrashToServing = time.Since(bootStart).Seconds()
+	defer b2.Close()
+	if recovered {
+		return report, fmt.Errorf("data dir quarantined as corrupt on replay")
+	}
+	st := b2.WAL().Stats()
+	report.ReplayedKeys = st.Replayed
+	report.TornTruncations = st.TornTruncations
+	report.HintLoads = st.HintLoads
+	if report.ReplaySecs > 0 {
+		report.ReplayKeysPerSec = float64(st.Replayed) / report.ReplaySecs
+	}
+	fmt.Fprintf(w, "replayed %d keys in %.3fs (%.0f keys/sec, %d hint loads, %d torn records truncated)\n",
+		st.Replayed, report.ReplaySecs, report.ReplayKeysPerSec, st.HintLoads, st.TornTruncations)
+
+	// Divergence sweep: every key must read back exactly as before the
+	// crash — deletes stay deleted, overwrites stay overwritten.
+	st2 := b2.Store()
+	for k := 0; k < cfg.Keys; k++ {
+		v, ok := st2.Get(workload.KeyName(k))
+		if k%10 == 9 {
+			if ok {
+				report.ResurrectedDels++
+			}
+			continue
+		}
+		want := val0
+		if k%2 == 0 {
+			want = val1
+		}
+		if !ok || string(v) != string(want) {
+			report.StaleReads++
+		}
+	}
+	fmt.Fprintf(w, "serving %.3fs after restart: %d stale reads, %d resurrected deletes\n",
+		report.CrashToServing, report.StaleReads, report.ResurrectedDels)
+	if report.StaleReads > 0 || report.ResurrectedDels > 0 {
+		return report, fmt.Errorf("post-replay sweep found divergence")
+	}
+
+	if cfg.BaselinePath != "" {
+		if blob, err := os.ReadFile(cfg.BaselinePath); err == nil {
+			var base benchReport
+			if json.Unmarshal(blob, &base) == nil && base.ConvergedSeconds > 0 {
+				report.RebuildBaselineSecs = base.ConvergedSeconds
+				if report.CrashToServing > 0 {
+					report.SpeedupVsRebuild = base.ConvergedSeconds / report.CrashToServing
+				}
+				fmt.Fprintf(w, "vs network rebuild baseline (%s): %.2fs -> %.3fs, %.0fx faster\n",
+					cfg.BaselinePath, base.ConvergedSeconds, report.CrashToServing, report.SpeedupVsRebuild)
+			}
+		} else {
+			fmt.Fprintf(w, "no baseline at %s, skipping comparison\n", cfg.BaselinePath)
+		}
+	}
+	return report, nil
+}
+
+// duSegments totals the on-disk size of the log's segment files.
+func duSegments(dir string) (bytes int64, segments int) {
+	matches, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	for _, m := range matches {
+		if fi, err := os.Stat(m); err == nil {
+			bytes += fi.Size()
+			segments++
+		}
+	}
+	return bytes, segments
+}

@@ -15,6 +15,7 @@ import (
 	"securecache/internal/metrics"
 	"securecache/internal/overload"
 	"securecache/internal/proto"
+	"securecache/internal/wal"
 )
 
 // scanPageBytes bounds the value bytes one OpScan page may carry, well
@@ -46,6 +47,11 @@ type Backend struct {
 	scansTotal    *metrics.Counter
 
 	snapMu sync.Mutex // serializes SaveSnapshot (periodic loop vs shutdown save)
+
+	// wal is the node's write-ahead log when it runs durable (OpenData);
+	// nil for memory-only nodes. Closed by Close after handlers drain,
+	// so every logged mutation gets its final fsync.
+	wal *wal.Log
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -334,6 +340,13 @@ func (b *Backend) Close() error {
 		err = l.Close()
 	}
 	b.wg.Wait()
+	// All handlers are drained: no more appends. Close the log last so
+	// the final records get their fsync before the process exits.
+	if b.wal != nil {
+		if werr := b.wal.Close(); err == nil {
+			err = werr
+		}
+	}
 	return err
 }
 

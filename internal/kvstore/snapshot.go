@@ -8,6 +8,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -145,6 +146,12 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("%w: entry %d key: %v", ErrBadSnapshot, i, err)
 		}
+		if len(key) == 0 {
+			// No client can write an empty key through the wire, so the
+			// stream cannot be a snapshot this node ever produced: corrupt.
+			// (Accepting it would plant a key unreachable by the protocol.)
+			return fmt.Errorf("%w: entry %d: empty key", ErrBadSnapshot, i)
+		}
 		if ver == snapV1 {
 			value, err := readChunk(br, lenBuf[:], proto.MaxValueLen)
 			if err != nil {
@@ -206,8 +213,11 @@ func readChunk(r io.Reader, lenBuf []byte, max int) ([]byte, error) {
 }
 
 // SaveSnapshot writes the backend's store to path atomically: temp file,
-// fsync, rename. A crash mid-write leaves the previous snapshot intact;
-// a crash after rename leaves the new one durable.
+// fsync, rename, directory fsync. A crash mid-write leaves the previous
+// snapshot intact; a crash after the rename leaves the new one durable —
+// the directory fsync is what makes that second half true, since without
+// it the rename itself can be lost on power failure and the path would
+// quietly point at the old (or no) snapshot.
 func (b *Backend) SaveSnapshot(path string) error {
 	// Serialize saves: the periodic loop and an explicit shutdown save
 	// share the temp path, and interleaved writes would rename garbage
@@ -233,7 +243,25 @@ func (b *Backend) SaveSnapshot(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncParentDir(path)
+}
+
+// syncParentDir fsyncs the directory containing path, making a rename
+// into it durable.
+func syncParentDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // LoadSnapshot restores the backend's store from path.

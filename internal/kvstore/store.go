@@ -16,6 +16,7 @@ import (
 
 	"securecache/internal/hashing"
 	"securecache/internal/proto"
+	"securecache/internal/wal"
 )
 
 // storeShards is the number of independently locked shards in a Store.
@@ -35,6 +36,14 @@ const storeShards = 16
 // safe for concurrent use.
 type Store struct {
 	shards [storeShards]storeShard
+	// log, when attached, makes the store write-through durable: every
+	// applied mutation is appended to the write-ahead log under the shard
+	// lock, *after* its guard checks pass and *before* the map changes.
+	// Logging only applied writes is what keeps replay trivial — the log
+	// holds exactly the mutations that won their guard race, in the order
+	// they won it, so replay is unconditional last-wins with no version
+	// arithmetic re-run.
+	log *wal.Log
 }
 
 type entry struct {
@@ -134,6 +143,7 @@ func (s *Store) SetVersioned(key string, value []byte, epoch uint32, ver uint64)
 	if ver != 0 && ok && cur.ver >= ver {
 		return false
 	}
+	s.logAppend(key, cp, epoch, ver, false)
 	if ok && cur.tomb {
 		sh.tombs--
 	}
@@ -156,6 +166,7 @@ func (s *Store) SetGuarded(key string, value []byte, epoch uint32, ver uint64) b
 	if ok && cur.epoch >= epoch {
 		return false
 	}
+	s.logAppend(key, cp, epoch, ver, false)
 	if ok && cur.tomb {
 		sh.tombs--
 	}
@@ -171,6 +182,12 @@ func (s *Store) Delete(key string) bool {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	cur, ok := sh.m[key]
+	if ok {
+		// An unversioned tombstone in the log is the hard-delete record:
+		// replay drops the key entirely. Deleting an absent key logs
+		// nothing — there is no state change to make durable.
+		s.logAppend(key, nil, cur.epoch, 0, true)
+	}
 	if ok && cur.tomb {
 		sh.tombs--
 	}
@@ -206,6 +223,7 @@ func (s *Store) DeleteVersioned(key string, epoch uint32, ver uint64) bool {
 	} else {
 		sh.tombs++
 	}
+	s.logAppend(key, nil, epoch, ver, true)
 	sh.m[key] = entry{epoch: epoch, ver: ver, tomb: true}
 	return true
 }
@@ -213,7 +231,11 @@ func (s *Store) DeleteVersioned(key string, epoch uint32, ver uint64) bool {
 // SweepTombstones removes tombstones with versions strictly below
 // before, returning how many were dropped. Tombstones must outlive the
 // window in which a missed write could still be replayed (hints,
-// anti-entropy rounds); the caller picks that horizon.
+// anti-entropy rounds); the caller picks that horizon. The sweep is not
+// logged to an attached WAL: a swept tombstone reappearing at replay is
+// harmless (it still reads as absent), and the log forgets it through
+// merge GC at the same horizon (Backend.CompactData keeps the two in
+// lockstep).
 func (s *Store) SweepTombstones(before uint64) int {
 	swept := 0
 	for i := range s.shards {
@@ -267,11 +289,13 @@ func (s *Store) Scan(afterID uint64, limit int, belowEpoch uint32, maxBytes int,
 	if limit <= 0 {
 		return nil, 0
 	}
-	type cand struct {
-		id  uint64
-		key string
-	}
-	var cands []cand
+	// Collect only the page's candidates: a bounded max-heap of the
+	// `limit` smallest key IDs above the cursor. The walk is still O(N)
+	// per page — unavoidable, keys are hash-ordered — but the working set
+	// is O(limit) instead of O(N), and the ordering cost is
+	// O(N log limit) instead of the O(N log N) full sort that made a
+	// complete scan of a large store quadratic-with-log in page count.
+	h := scanHeap{cands: make([]scanCand, 0, limit)}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
@@ -283,19 +307,17 @@ func (s *Store) Scan(afterID uint64, limit int, belowEpoch uint32, maxBytes int,
 				continue
 			}
 			if id := KeyID(key); id > afterID {
-				cands = append(cands, cand{id: id, key: key})
+				h.offer(id, key, limit)
 			}
 		}
 		sh.mu.RUnlock()
 	}
+	cands := h.cands
 	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
 	var out []proto.ScanEntry
 	bytes := 0
 	lastID := afterID
 	for _, c := range cands {
-		if len(out) >= limit {
-			return out, lastID
-		}
 		// Re-read under the shard lock: the entry may have been deleted
 		// or rewritten (possibly past the epoch filter) since the
 		// collection pass.
@@ -328,7 +350,66 @@ func (s *Store) Scan(afterID uint64, limit int, belowEpoch uint32, maxBytes int,
 		bytes += cost
 		lastID = c.id
 	}
+	if h.overflow {
+		// Keys beyond the heap's reach exist; resume after the largest ID
+		// this page considered (not just emitted — candidates filtered at
+		// re-read should not be re-walked forever).
+		return out, cands[len(cands)-1].id
+	}
 	return out, 0
+}
+
+// scanCand is one bounded-heap candidate: a key and its scan ID.
+type scanCand struct {
+	id  uint64
+	key string
+}
+
+// scanHeap is a max-heap (largest ID at the root) holding the smallest
+// `limit` candidate IDs seen so far.
+type scanHeap struct {
+	cands    []scanCand
+	overflow bool // a candidate was discarded: more pages remain
+}
+
+func (h *scanHeap) offer(id uint64, key string, limit int) {
+	if len(h.cands) < limit {
+		h.cands = append(h.cands, scanCand{id: id, key: key})
+		// Sift up.
+		i := len(h.cands) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h.cands[p].id >= h.cands[i].id {
+				break
+			}
+			h.cands[p], h.cands[i] = h.cands[i], h.cands[p]
+			i = p
+		}
+		return
+	}
+	if id >= h.cands[0].id {
+		h.overflow = true
+		return
+	}
+	// Replace the root (current largest) and sift down.
+	h.overflow = true
+	h.cands[0] = scanCand{id: id, key: key}
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.cands) && h.cands[l].id > h.cands[big].id {
+			big = l
+		}
+		if r < len(h.cands) && h.cands[r].id > h.cands[big].id {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.cands[i], h.cands[big] = h.cands[big], h.cands[i]
+		i = big
+	}
 }
 
 // AppendValue appends the stored value for key to dst, returning the

@@ -125,3 +125,77 @@ func TestStoreScanByteBudget(t *testing.T) {
 		t.Fatalf("oversized first entry: %d entries, want 1", len(entries))
 	}
 }
+
+func TestStoreScanCompleteOverManyPages(t *testing.T) {
+	// The per-page candidate set is bounded (a limit-sized heap); this
+	// pins that the continuation cursor still walks the entire keyspace
+	// exactly once, including keys whose IDs land beyond the heap on
+	// early pages.
+	s := NewStore()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		s.SetVersioned(fmt.Sprintf("key-%04d", i), []byte("v"), 1, uint64(i+1))
+	}
+	seen := make(map[string]int, n)
+	var cursor uint64
+	pages := 0
+	for {
+		entries, next := s.Scan(cursor, 64, 0, 0, ScanOptions{})
+		pages++
+		if pages > 2*n {
+			t.Fatal("scan did not terminate")
+		}
+		for _, e := range entries {
+			seen[e.Key]++
+		}
+		if next == 0 {
+			break
+		}
+		if next <= cursor {
+			t.Fatalf("cursor did not advance: %d -> %d", cursor, next)
+		}
+		cursor = next
+	}
+	if len(seen) != n {
+		t.Fatalf("scan saw %d distinct keys, want %d", len(seen), n)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("key %q seen %d times", k, c)
+		}
+	}
+	if want := (n + 63) / 64; pages < want {
+		t.Fatalf("scan finished in %d pages, expected at least %d", pages, want)
+	}
+}
+
+func TestStoreScanCursorSkipsDeletedCandidates(t *testing.T) {
+	// A page whose trailing candidates are deleted between collection
+	// and re-read must still advance past them instead of re-walking
+	// (and re-filtering) the same territory forever.
+	s := NewStore()
+	for i := 0; i < 200; i++ {
+		s.Set(fmt.Sprintf("k%03d", i), []byte("v"))
+	}
+	var cursor uint64
+	total := 0
+	for rounds := 0; ; rounds++ {
+		if rounds > 400 {
+			t.Fatal("scan did not terminate")
+		}
+		entries, next := s.Scan(cursor, 10, 0, 0, ScanOptions{})
+		total += len(entries)
+		// Adversarial churn: delete every key the page just returned, so
+		// the next collection pass sees none of them.
+		for _, e := range entries {
+			s.Delete(e.Key)
+		}
+		if next == 0 {
+			break
+		}
+		cursor = next
+	}
+	if total != 200 {
+		t.Fatalf("scan returned %d entries across pages, want 200", total)
+	}
+}

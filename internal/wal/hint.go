@@ -1,0 +1,170 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Hint files make keydir rebuild cheap: when a segment seals, the engine
+// writes a sidecar listing the segment's records that are still live
+// (key, version, tombstone flag, offset, size) — everything replay needs
+// to know about the segment except the value bytes. At Open, a sealed
+// segment with a valid hint contributes its keydir entries without the
+// segment being read at all; only the records that are still live after
+// the whole keydir is assembled get their values loaded. A hint that is
+// missing, truncated, or fails its CRCs is silently discarded and the
+// segment takes the slow path (a full scan) — hints are an
+// acceleration, never a correctness input, which is also why the hint
+// write at rotation is allowed to fail without failing the rotation.
+//
+// Format:
+//
+//	magic  "SCWH" (4 bytes)
+//	ver    uint16 (currently 1)
+//	count  uint64
+//	count × entries:
+//	  crc   uint32  — CRC32 (IEEE) over the rest of the entry
+//	  flags uint8   — bit 0: tombstone
+//	  ver   uint64
+//	  off   uint64  — record offset in the segment
+//	  size  uint32  — full encoded record size
+//	  klen  uint16
+//	  key   [klen]byte
+
+var hintMagic = [4]byte{'S', 'C', 'W', 'H'}
+
+const (
+	hintVersion = 1
+	hintEntHdr  = 27 // crc(4) + flags(1) + ver(8) + off(8) + size(4) + klen(2)
+)
+
+// hintEnt is one parsed hint entry.
+type hintEnt struct {
+	key  string
+	off  int64
+	size uint32
+	ver  uint64
+	tomb bool
+}
+
+// writeHintLocked writes the hint file for the (just sealed) segment
+// seq from the current keydir. Caller holds mu.
+func (l *Log) writeHintLocked(seq uint64) error {
+	var ents []hintEnt
+	for k, e := range l.keydir {
+		if e.seq == seq {
+			ents = append(ents, hintEnt{key: k, off: e.off, size: e.size, ver: e.ver, tomb: e.tomb})
+		}
+	}
+	buf := make([]byte, 0, 14+len(ents)*(hintEntHdr+16))
+	buf = append(buf, hintMagic[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, hintVersion)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(ents)))
+	for _, e := range ents {
+		buf = appendHintEnt(buf, e)
+	}
+	return writeFileAtomic(l.dir, hintName(seq), buf)
+}
+
+func appendHintEnt(buf []byte, e hintEnt) []byte {
+	start := len(buf)
+	var flags byte
+	if e.tomb {
+		flags = recFlagTomb
+	}
+	buf = append(buf, 0, 0, 0, 0) // crc, patched below
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint64(buf, e.ver)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.off))
+	buf = binary.BigEndian.AppendUint32(buf, e.size)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.key)))
+	buf = append(buf, e.key...)
+	binary.BigEndian.PutUint32(buf[start:], crc32.ChecksumIEEE(buf[start+4:]))
+	return buf
+}
+
+// writeFileAtomic writes name under dir with the temp+fsync+rename+dir
+// fsync discipline.
+func writeFileAtomic(dir, name string, blob []byte) error {
+	path := filepath.Join(dir, name)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadHint parses the hint file for segment seq, validating every entry
+// against the segment's actual size and the configured key limit. Any
+// anomaly returns an error and the caller falls back to scanning the
+// segment itself — a lying hint must never become state.
+func loadHint(dir string, seq uint64, segSize int64, maxKey int) ([]hintEnt, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, hintName(seq)))
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < 14 || [4]byte(blob[:4]) != hintMagic {
+		return nil, fmt.Errorf("wal: hint %d: bad header", seq)
+	}
+	if v := binary.BigEndian.Uint16(blob[4:]); v != hintVersion {
+		return nil, fmt.Errorf("wal: hint %d: version %d", seq, v)
+	}
+	count := binary.BigEndian.Uint64(blob[6:])
+	body := blob[14:]
+	ents := make([]hintEnt, 0, min(count, 1<<16))
+	for i := uint64(0); i < count; i++ {
+		if len(body) < hintEntHdr {
+			return nil, fmt.Errorf("wal: hint %d: truncated entry %d", seq, i)
+		}
+		klen := int(binary.BigEndian.Uint16(body[25:]))
+		if klen == 0 || klen > maxKey || len(body) < hintEntHdr+klen {
+			return nil, fmt.Errorf("wal: hint %d: entry %d key length %d", seq, i, klen)
+		}
+		ent := body[:hintEntHdr+klen]
+		if crc32.ChecksumIEEE(ent[4:]) != binary.BigEndian.Uint32(ent) {
+			return nil, fmt.Errorf("wal: hint %d: entry %d crc", seq, i)
+		}
+		flags := ent[4]
+		if flags&^byte(recAllFlags) != 0 {
+			return nil, fmt.Errorf("wal: hint %d: entry %d flags %#x", seq, i, flags)
+		}
+		e := hintEnt{
+			key:  string(ent[hintEntHdr:]),
+			ver:  binary.BigEndian.Uint64(ent[5:]),
+			off:  int64(binary.BigEndian.Uint64(ent[13:])),
+			size: binary.BigEndian.Uint32(ent[21:]),
+			tomb: flags&recFlagTomb != 0,
+		}
+		if e.off < 0 || int64(e.size) < int64(recordSize(klen, 0)) || e.off+int64(e.size) > segSize {
+			return nil, fmt.Errorf("wal: hint %d: entry %d out of bounds", seq, i)
+		}
+		ents = append(ents, e)
+		body = body[hintEntHdr+klen:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("wal: hint %d: %d trailing bytes", seq, len(body))
+	}
+	return ents, nil
+}

@@ -1,0 +1,87 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The MANIFEST is the log's commit record: an ordered list of the
+// segment files that are the truth, rewritten atomically on every
+// rotation and merge. Replay order is manifest order — after a merge
+// the output segments carry higher sequence numbers than the sealed
+// segments that follow them in replay order, so name order must not be
+// trusted once a merge has happened.
+
+const (
+	manifestName  = "MANIFEST"
+	manifestMagic = "walv1"
+)
+
+// readManifest returns the ordered segment list and whether a manifest
+// exists. A malformed manifest is ErrBadSegment: the directory's state
+// can no longer be established.
+func readManifest(dir string) ([]string, bool, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != manifestMagic {
+		return nil, false, fmt.Errorf("%w: manifest header", ErrBadSegment)
+	}
+	var names []string
+	for _, ln := range lines[1:] {
+		ln = strings.TrimSpace(ln)
+		if ln == "" {
+			continue
+		}
+		if _, ok := seqOf(ln); !ok {
+			return nil, false, fmt.Errorf("%w: manifest entry %q", ErrBadSegment, ln)
+		}
+		names = append(names, ln)
+	}
+	return names, true, nil
+}
+
+// writeManifest atomically replaces the manifest: temp file, fsync,
+// rename, directory fsync. Either the old list or the new one is what a
+// crash leaves behind — never a torn hybrid.
+func writeManifest(dir string, names []string) error {
+	var sb strings.Builder
+	sb.WriteString(manifestMagic)
+	sb.WriteByte('\n')
+	for _, n := range names {
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(sb.String()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}

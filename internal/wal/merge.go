@@ -1,0 +1,283 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// MergeStats reports what one merge pass did.
+type MergeStats struct {
+	SegmentsIn  int
+	SegmentsOut int
+	// RecordsKept were copied into the output; RecordsDropped counts
+	// superseded records plus tombstones past the horizon.
+	RecordsKept    uint64
+	RecordsDropped uint64
+	BytesIn        int64
+	BytesOut       int64
+}
+
+// Merge compacts all sealed segments into fresh output segments,
+// keeping only each key's newest record and garbage-collecting
+// tombstones: unversioned (hard-delete) tombstones always — nothing
+// older than them exists once the sealed prefix is merged — and
+// versioned tombstones whose version is below horizon, which must match
+// the horizon the caller feeds Store.SweepTombstones so that disk and
+// memory forget a delete at the same moment (a tombstone dropped from
+// the log while the store still guards with it would resurrect on the
+// next restart as a hole anti-entropy can pour old data into). Horizon
+// 0 keeps every versioned tombstone.
+//
+// The merge runs concurrently with appends: sealed segments are
+// immutable, and the commit step re-checks every copied record against
+// the live keydir — a key overwritten mid-merge keeps its new location
+// and its copied record is simply dead weight in the output. The commit
+// point is the manifest rewrite; a crash on either side of it leaves
+// either the old segments or the new ones fully live, never a mix.
+func (l *Log) Merge(horizon uint64) (MergeStats, error) {
+	return l.merge(horizon, false)
+}
+
+type mergeWork struct {
+	key string
+	ent keyEnt
+}
+
+func (l *Log) merge(horizon uint64, auto bool) (MergeStats, error) {
+	var st MergeStats
+
+	// Snapshot the plan under the lock.
+	l.mu.Lock()
+	if l.closed {
+		if auto {
+			l.merging = false
+		}
+		l.mu.Unlock()
+		return st, ErrClosed
+	}
+	if !auto {
+		if l.merging {
+			l.mu.Unlock()
+			return st, fmt.Errorf("wal: merge already running")
+		}
+		l.merging = true
+	}
+	nIn := len(l.segs) - 1 // all sealed segments; the active one stays
+	if nIn < 1 {
+		l.merging = false
+		l.mu.Unlock()
+		return st, nil
+	}
+	inSeqs := make(map[uint64]bool, nIn)
+	for _, s := range l.segs[:nIn] {
+		inSeqs[s.seq] = true
+		st.BytesIn += s.size
+	}
+	var work, drops []mergeWork
+	for k, e := range l.keydir {
+		if !inSeqs[e.seq] {
+			continue
+		}
+		if e.tomb && (e.ver == 0 || e.ver < horizon) {
+			drops = append(drops, mergeWork{key: k, ent: e})
+			continue
+		}
+		work = append(work, mergeWork{key: k, ent: e})
+	}
+	sort.Slice(work, func(i, j int) bool {
+		if work[i].ent.seq != work[j].ent.seq {
+			return work[i].ent.seq < work[j].ent.seq
+		}
+		return work[i].ent.off < work[j].ent.off
+	})
+	// Pack outputs up front so their sequence numbers can be reserved
+	// while the lock is held.
+	outCount := 1
+	var sz int64
+	for _, w := range work {
+		if sz > 0 && sz+int64(w.ent.size) > l.opts.SegmentBytes {
+			outCount++
+			sz = 0
+		}
+		sz += int64(w.ent.size)
+	}
+	if len(work) == 0 {
+		outCount = 0
+	}
+	outStart := l.nextSeq
+	l.nextSeq += uint64(outCount)
+	l.mu.Unlock()
+
+	st.SegmentsIn = nIn
+	st.RecordsDropped = uint64(len(drops))
+
+	// Copy surviving records into the outputs, input by input (work is
+	// sorted, so each input file is read once, sequentially).
+	newLoc := make(map[string]keyEnt, len(work))
+	outSegs := make([]*segment, 0, outCount)
+	var out *os.File
+	var outSeg *segment
+	var curIn uint64
+	var inBuf []byte
+	fail := func(err error) (MergeStats, error) {
+		if out != nil {
+			out.Close()
+		}
+		for _, s := range outSegs {
+			os.Remove(filepath.Join(l.dir, segName(s.seq)))
+			os.Remove(filepath.Join(l.dir, hintName(s.seq)))
+		}
+		l.mu.Lock()
+		l.merging = false
+		l.mu.Unlock()
+		return st, err
+	}
+	openOut := func() error {
+		seq := outStart + uint64(len(outSegs))
+		f, err := os.OpenFile(filepath.Join(l.dir, segName(seq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return err
+		}
+		out = f
+		outSeg = &segment{seq: seq}
+		outSegs = append(outSegs, outSeg)
+		return nil
+	}
+	closeOut := func() error {
+		if out == nil {
+			return nil
+		}
+		if err := out.Sync(); err != nil {
+			out.Close()
+			return err
+		}
+		err := out.Close()
+		out = nil
+		return err
+	}
+	for _, w := range work {
+		if inBuf == nil || curIn != w.ent.seq {
+			buf, err := os.ReadFile(filepath.Join(l.dir, segName(w.ent.seq)))
+			if err != nil {
+				return fail(fmt.Errorf("%w: merge read %s: %v", ErrBadSegment, segName(w.ent.seq), err))
+			}
+			inBuf, curIn = buf, w.ent.seq
+		}
+		end := w.ent.off + int64(w.ent.size)
+		if end > int64(len(inBuf)) {
+			return fail(fmt.Errorf("%w: merge record at %d past end of %s", ErrBadSegment, w.ent.off, segName(w.ent.seq)))
+		}
+		rec := inBuf[w.ent.off:end]
+		if _, _, res := parseRecord(inBuf[:end], int(w.ent.off), l.opts.MaxKeyLen, l.opts.MaxValueLen); res != parseOK {
+			return fail(fmt.Errorf("%w: merge record at %d of %s unreadable", ErrBadSegment, w.ent.off, segName(w.ent.seq)))
+		}
+		if out != nil && outSeg.size > 0 && outSeg.size+int64(len(rec)) > l.opts.SegmentBytes {
+			if err := closeOut(); err != nil {
+				return fail(err)
+			}
+		}
+		if out == nil {
+			if err := openOut(); err != nil {
+				return fail(err)
+			}
+		}
+		if _, err := out.Write(rec); err != nil {
+			return fail(err)
+		}
+		newLoc[w.key] = keyEnt{seq: outSeg.seq, off: outSeg.size, size: w.ent.size, ver: w.ent.ver, tomb: w.ent.tomb}
+		outSeg.size += int64(len(rec))
+		st.RecordsKept++
+		st.BytesOut += int64(len(rec))
+	}
+	if err := closeOut(); err != nil {
+		return fail(err)
+	}
+	if outCount > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return fail(err)
+		}
+	}
+	// Hint files for the outputs — they are born sealed.
+	for _, s := range outSegs {
+		var ents []hintEnt
+		for k, e := range newLoc {
+			if e.seq == s.seq {
+				ents = append(ents, hintEnt{key: k, off: e.off, size: e.size, ver: e.ver, tomb: e.tomb})
+			}
+		}
+		sort.Slice(ents, func(i, j int) bool { return ents[i].off < ents[j].off })
+		buf := make([]byte, 0, 14+len(ents)*(hintEntHdr+16))
+		buf = append(buf, hintMagic[:]...)
+		buf = binary.BigEndian.AppendUint16(buf, hintVersion)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(len(ents)))
+		for _, e := range ents {
+			buf = appendHintEnt(buf, e)
+		}
+		if err := writeFileAtomic(l.dir, hintName(s.seq), buf); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Commit: outputs replace the merged inputs at the head of the
+	// segment list, the manifest makes it real, and the keydir adopts
+	// the new locations for every record that was not overwritten while
+	// the merge ran.
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fail(ErrClosed)
+	}
+	oldInputs := l.segs[:nIn]
+	newSegs := make([]*segment, 0, len(outSegs)+len(l.segs)-nIn)
+	newSegs = append(newSegs, outSegs...)
+	newSegs = append(newSegs, l.segs[nIn:]...)
+	names := make([]string, 0, len(newSegs))
+	for _, s := range newSegs {
+		names = append(names, segName(s.seq))
+	}
+	if err := writeManifest(l.dir, names); err != nil {
+		l.mu.Unlock()
+		return fail(err)
+	}
+	l.segs = newSegs
+	for k, loc := range newLoc {
+		// Adopt the copy only if the key still points at the merged
+		// original; otherwise the key moved on and the copy is dead.
+		if cur, ok := l.keydir[k]; ok && inSeqs[cur.seq] {
+			l.keydir[k] = loc
+		} else if s := segBySeqIn(outSegs, loc.seq); s != nil {
+			s.dead += int64(loc.size)
+		}
+	}
+	for _, d := range drops {
+		if cur, ok := l.keydir[d.key]; ok && inSeqs[cur.seq] && cur.off == d.ent.off {
+			delete(l.keydir, d.key)
+		}
+	}
+	l.merging = false
+	l.merges.Add(1)
+	l.mergeDropped.Add(st.RecordsDropped)
+	st.SegmentsOut = len(outSegs)
+	l.mu.Unlock()
+
+	// The old inputs are no longer referenced; their bytes can go.
+	for _, s := range oldInputs {
+		os.Remove(filepath.Join(l.dir, segName(s.seq)))
+		os.Remove(filepath.Join(l.dir, hintName(s.seq)))
+	}
+	syncDir(l.dir)
+	return st, nil
+}
+
+func segBySeqIn(segs []*segment, seq uint64) *segment {
+	for _, s := range segs {
+		if s.seq == seq {
+			return s
+		}
+	}
+	return nil
+}
+

@@ -1,0 +1,127 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// On-disk record format (big-endian, matching the wire protocol):
+//
+//	crc    uint32  — CRC32 (IEEE) over everything after this field
+//	flags  uint8   — bit 0: tombstone
+//	epoch  uint32  — partition epoch the write was stamped with
+//	ver    uint64  — logical version (0 = unversioned last-write-wins)
+//	klen   uint16  — key length, 1..MaxKeyLen
+//	vlen   uint32  — value length, 0..MaxValueLen (must be 0 for tombstones)
+//	key    [klen]byte
+//	value  [vlen]byte
+//
+// The format deliberately mirrors the store's versioned/epoch/tombstone
+// entry so quorum writes, hint replay, and rotation migration round-trip
+// through a crash without translation. A record is self-delimiting and
+// self-checking: replay walks records forward and the CRC decides
+// whether the bytes it lands on are a record at all.
+
+const (
+	recHdrLen   = 23 // crc(4) + flags(1) + epoch(4) + ver(8) + klen(2) + vlen(4)
+	recFlagTomb = 1 << 0
+	recAllFlags = recFlagTomb
+)
+
+// recordSize returns the encoded size of a record with the given key and
+// value lengths.
+func recordSize(klen, vlen int) int { return recHdrLen + klen + vlen }
+
+// appendRecord encodes one record onto dst and returns the grown slice.
+// The caller has already validated key/value lengths against the limits.
+func appendRecord(dst []byte, key string, value []byte, epoch uint32, ver uint64, tomb bool) []byte {
+	start := len(dst)
+	var flags byte
+	if tomb {
+		flags = recFlagTomb
+	}
+	dst = append(dst, 0, 0, 0, 0) // crc, patched below
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint32(dst, epoch)
+	dst = binary.BigEndian.AppendUint64(dst, ver)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(key)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(value)))
+	dst = append(dst, key...)
+	dst = append(dst, value...)
+	binary.BigEndian.PutUint32(dst[start:], crc32.ChecksumIEEE(dst[start+4:]))
+	return dst
+}
+
+// parsedRec is one decoded record. Key and Value alias the parse buffer
+// and are only valid until it is released.
+type parsedRec struct {
+	key   []byte
+	value []byte
+	epoch uint32
+	ver   uint64
+	tomb  bool
+}
+
+// parse classifications. The distinction drives torn-tail handling: a
+// record the buffer cannot complete (parseShort) or whose header is
+// gibberish (parseInvalid) has no trustworthy end offset, while a CRC
+// failure (parseCRC) sits on a fully delimited record, so the scanner
+// can look past it to tell a torn append from mid-file corruption.
+type parseResult int
+
+const (
+	parseOK parseResult = iota
+	parseShort
+	parseInvalid
+	parseCRC
+)
+
+// parseRecord decodes the record starting at buf[off]. It returns the
+// offset just past the record (meaningful for parseOK and parseCRC) and
+// the classification above.
+func parseRecord(buf []byte, off, maxKey, maxVal int) (rec parsedRec, end int, res parseResult) {
+	b := buf[off:]
+	if len(b) < recHdrLen {
+		return rec, 0, parseShort
+	}
+	flags := b[4]
+	klen := int(binary.BigEndian.Uint16(b[17:]))
+	vlen := int(binary.BigEndian.Uint32(b[19:]))
+	if flags&^byte(recAllFlags) != 0 || klen == 0 || klen > maxKey || vlen > maxVal ||
+		(flags&recFlagTomb != 0 && vlen != 0) {
+		return rec, 0, parseInvalid
+	}
+	total := recordSize(klen, vlen)
+	if len(b) < total {
+		return rec, 0, parseShort
+	}
+	end = off + total
+	if crc32.ChecksumIEEE(b[4:total]) != binary.BigEndian.Uint32(b) {
+		return rec, end, parseCRC
+	}
+	rec = parsedRec{
+		key:   b[recHdrLen : recHdrLen+klen],
+		value: b[recHdrLen+klen : total],
+		epoch: binary.BigEndian.Uint32(b[5:]),
+		ver:   binary.BigEndian.Uint64(b[9:]),
+		tomb:  flags&recFlagTomb != 0,
+	}
+	return rec, end, parseOK
+}
+
+// chainValid reports whether buf parses as a clean sequence of records
+// through to its end. The torn-tail scanner uses it to decide whether a
+// bad record is the tail of an interrupted append (nothing readable
+// follows — safe to truncate) or corruption in the middle of good data
+// (valid records follow — the segment is bad, not torn).
+func chainValid(buf []byte, maxKey, maxVal int) bool {
+	off := 0
+	for off < len(buf) {
+		_, end, res := parseRecord(buf, off, maxKey, maxVal)
+		if res != parseOK {
+			return false
+		}
+		off = end
+	}
+	return true
+}

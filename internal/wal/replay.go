@@ -1,0 +1,151 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Replay is two phases. Phase 1 assembles the keydir — for each key, the
+// location of its newest record — reading as little as possible: a
+// sealed segment with a valid hint file contributes entries without the
+// segment being opened, and only hintless segments (always including the
+// newest, which seals only at rotation) get a full scan. Phase 2 loads
+// the value bytes for exactly the records that survived phase 1 and
+// hands them to the apply callback, one record per key. Superseded
+// records are never CRC-checked, copied, or applied.
+//
+// Torn-tail rule: only the newest segment can legitimately end
+// mid-record (the append that was interrupted by the crash). Such a tail
+// is truncated and counted, and the log loses exactly that record.
+// Anything else — a short or CRC-failing record in a sealed segment, or
+// one mid-file with valid records after it — is ErrBadSegment.
+
+// replaySegments runs both phases over the manifest's segment list.
+func (l *Log) replaySegments(names []string, apply func(Record) error) error {
+	for i, name := range names {
+		seq, _ := seqOf(name)
+		last := i == len(names)-1
+		path := filepath.Join(l.dir, name)
+		st, err := os.Stat(path)
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrBadSegment, name, err)
+		}
+		seg := &segment{seq: seq, size: st.Size()}
+		l.segs = append(l.segs, seg)
+		if !last {
+			if ents, err := loadHint(l.dir, seq, st.Size(), l.opts.MaxKeyLen); err == nil {
+				l.hintLoads.Add(1)
+				var live int64
+				for _, e := range ents {
+					live += int64(e.size)
+					l.keydirPut(e.key, keyEnt{seq: seq, off: e.off, size: e.size, ver: e.ver, tomb: e.tomb})
+				}
+				// Records the hint omits were already superseded when the
+				// segment sealed: dead on arrival.
+				seg.dead += st.Size() - live
+				continue
+			} else if !os.IsNotExist(err) {
+				l.hintFalls.Add(1)
+			}
+		}
+		if err := l.scanSegment(path, seg, last); err != nil {
+			return err
+		}
+	}
+	return l.loadLive(apply)
+}
+
+// scanSegment walks every record of one segment into the keydir,
+// truncating a torn tail when last permits it.
+func (l *Log) scanSegment(path string, seg *segment, last bool) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBadSegment, filepath.Base(path), err)
+	}
+	off := 0
+	for off < len(buf) {
+		rec, end, res := parseRecord(buf, off, l.opts.MaxKeyLen, l.opts.MaxValueLen)
+		switch res {
+		case parseOK:
+			l.keydirPut(string(rec.key), keyEnt{
+				seq: seg.seq, off: int64(off), size: uint32(end - off), ver: rec.ver, tomb: rec.tomb,
+			})
+			off = end
+			continue
+		case parseCRC:
+			// A fully delimited record with a bad checksum: if everything
+			// after it parses cleanly this is mid-file corruption, not a
+			// torn append — even in the newest segment.
+			if !last || chainValid(buf[end:], l.opts.MaxKeyLen, l.opts.MaxValueLen) {
+				return fmt.Errorf("%w: %s: crc mismatch at offset %d", ErrBadSegment, filepath.Base(path), off)
+			}
+		case parseShort, parseInvalid:
+			if !last {
+				return fmt.Errorf("%w: %s: bad record at offset %d", ErrBadSegment, filepath.Base(path), off)
+			}
+		}
+		// Torn tail: drop it from the file so the next append starts on a
+		// clean record boundary.
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return fmt.Errorf("wal: truncate torn tail of %s: %w", filepath.Base(path), err)
+		}
+		seg.size = int64(off)
+		l.torn.Add(1)
+		return nil
+	}
+	return nil
+}
+
+// loadLive is phase 2: deliver each surviving record to apply. Keys
+// whose newest record is an unversioned tombstone (a hard delete) are
+// simply absent and not delivered; versioned tombstones are delivered
+// with Tomb set so the caller's delete markers survive the restart.
+func (l *Log) loadLive(apply func(Record) error) error {
+	type liveEnt struct {
+		key string
+		ent keyEnt
+	}
+	bySeg := make(map[uint64][]liveEnt)
+	for k, e := range l.keydir {
+		if e.tomb && e.ver == 0 {
+			continue
+		}
+		bySeg[e.seq] = append(bySeg[e.seq], liveEnt{key: k, ent: e})
+	}
+	for _, seg := range l.segs {
+		ents := bySeg[seg.seq]
+		if len(ents) == 0 {
+			continue
+		}
+		sort.Slice(ents, func(i, j int) bool { return ents[i].ent.off < ents[j].ent.off })
+		name := segName(seg.seq)
+		buf, err := os.ReadFile(filepath.Join(l.dir, name))
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrBadSegment, name, err)
+		}
+		for _, le := range ents {
+			if le.ent.off+int64(le.ent.size) > int64(len(buf)) {
+				return fmt.Errorf("%w: %s: record at %d past end", ErrBadSegment, name, le.ent.off)
+			}
+			rec, end, res := parseRecord(buf, int(le.ent.off), l.opts.MaxKeyLen, l.opts.MaxValueLen)
+			if res != parseOK || end != int(le.ent.off)+int(le.ent.size) || string(rec.key) != le.key {
+				return fmt.Errorf("%w: %s: record at %d unreadable", ErrBadSegment, name, le.ent.off)
+			}
+			if apply != nil {
+				if err := apply(Record{
+					Key:   le.key,
+					Value: rec.value,
+					Epoch: rec.epoch,
+					Ver:   rec.ver,
+					Tomb:  rec.tomb,
+				}); err != nil {
+					return fmt.Errorf("wal: apply %q: %w", le.key, err)
+				}
+			}
+			l.replayed.Add(1)
+		}
+	}
+	return nil
+}
