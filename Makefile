@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet lint race chaos wal bench fuzz
+.PHONY: all build test verify vet lint race chaos wal membership bench fuzz
 
 all: verify
 
@@ -48,6 +48,15 @@ chaos:
 wal:
 	$(GO) test -race ./internal/wal/... && \
 	$(GO) test -race -v -run 'TestChaosWarmRestart|TestChaosKill9|TestChaosCorruptionQuarantine|TestChaosTruncatedHint' ./internal/kvstore/
+
+# Elastic-membership matrix: live join/drain, breaker-state rebuild on
+# view commit, the moved-fraction regression, join rollback on a dead
+# joiner, crash-during-drain durability, and the scale-under-attack
+# scenario — all under -race. The membership package's own state-machine
+# tests ride along.
+membership:
+	$(GO) test -race -v -run 'TestJoin|TestDrain|TestMembership|TestViewCommit|TestAutoProvision|TestScaleUnderAttack' ./internal/kvstore/ && \
+	$(GO) test -race ./internal/membership/...
 
 # Micro-benchmarks with allocation counts. -benchtime=1x is the smoke
 # setting (CI runs it to keep the benchmarks compiling and honest);

@@ -59,6 +59,11 @@ func main() {
 		budgetRatio = flag.Float64("retry-budget-ratio", 0, "retry-budget refill per successful backend exchange (0 = default)")
 		idleTimeout = flag.Duration("idle-timeout", 0, "drop client connections idle longer than this (0 = keep forever)")
 
+		items      = flag.Int("items", 0, "expected stored item count m: > 0 enables LIVE auto-provisioning — c* is recomputed and the cache resized on every committed join/drain")
+		kprime     = flag.Float64("kprime", 0, "k' additive constant for auto-provisioning (0 = fitted default)")
+		kOverride  = flag.Float64("k", 0, "override k entirely for auto-provisioning (0 = derive from n, d, k')")
+		joinAbort  = flag.Duration("join-abort-after", 0, "roll back a join whose new node stays unreachable this long (0 = default 20s, negative = retry forever)")
+
 		writeQuorum = flag.Int("write-quorum", 0, "replica acks a Set/Del needs to succeed, W in [1, d] (0 = majority)")
 		hintDir     = flag.String("hint-dir", "", "persist hinted-handoff queues to this directory (empty = memory only)")
 		hintLimit   = flag.Int("hint-limit", 0, "max queued hints per backend (0 = default)")
@@ -75,7 +80,7 @@ func main() {
 
 	size := *cacheSize
 	if size == 0 && *cacheKind != "none" {
-		p := core.Params{Nodes: len(addrs), Replication: *repl, Items: 1}
+		p := core.Params{Nodes: len(addrs), Replication: *repl, Items: 1, KPrime: *kprime, KOverride: *kOverride}
 		if len(addrs) >= 2 && *repl >= 2 {
 			size = p.RequiredCacheSize()
 			log.Printf("kvfront: auto-provisioned cache size c* = %d (n=%d, d=%d)", size, len(addrs), *repl)
@@ -143,6 +148,12 @@ func main() {
 		HintLimit:        *hintLimit,
 		RepairInterval:   *repairEvery,
 		RepairRate:       *repairRate,
+		Membership:       kvstore.MembershipConfig{AbortAfter: *joinAbort},
+		Provision: kvstore.ProvisionConfig{
+			Items:     *items,
+			KPrime:    *kprime,
+			KOverride: *kOverride,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kvfront:", err)
@@ -157,9 +168,10 @@ func main() {
 		l.Addr(), len(addrs), *repl, *cacheKind, size, shards)
 
 	if *admin != "" {
-		// StartAdminWith mounts the rotation control verbs (POST /rotate,
-		// GET /rotation) next to the scrape surface — bind -admin to
-		// loopback or an internal interface only.
+		// StartAdminWith mounts the rotation and membership control verbs
+		// (POST /rotate, /join, /drain; GET /rotation, /membership) next
+		// to the scrape surface — bind -admin to loopback or an internal
+		// interface only.
 		adminSrv, adminAddr, err := kvstore.StartAdminWith(*admin, front.Metrics(), map[string]interface{}{
 			"role": "frontend", "addr": l.Addr().String(),
 			"backends": addrs, "replication": *repl,

@@ -45,6 +45,7 @@ func main() {
 		timeout   = flag.Duration("timeout", kvstore.DefaultReadTimeout, "per-request response deadline (negative = none)")
 		retries   = flag.Int("retries", kvstore.DefaultMaxRetries, "budgeted transport retries per request (negative = none)")
 		poolSize  = flag.Int("pool-size", 0, "idle connections pooled per worker client (0 = default, negative = no pooling)")
+		refreshAt = flag.Int("refresh-streak", 8, "consecutive BUSY/error responses before re-reading cluster membership from the frontend (0 = never)")
 	)
 	flag.Parse()
 
@@ -66,7 +67,12 @@ func main() {
 			n, took.Round(time.Millisecond), float64(n)/took.Seconds(), allocs, bytes)
 	}
 
-	before := backendCounts(splitNonEmpty(*backends))
+	// The backend list is LIVE state now that the cluster supports
+	// join/drain: keep it in an addrBook that re-reads membership from
+	// the frontend when workers see sustained trouble, so the final
+	// per-node report covers nodes that joined mid-run.
+	book := newAddrBook(*frontend, clientCfg, splitNonEmpty(*backends))
+	before := backendCounts(book.snapshot())
 
 	quantiles := []float64{0.50, 0.95, 0.99}
 	var (
@@ -97,6 +103,7 @@ func main() {
 			var local stats.Summary
 			localQ := newQuantileSet(quantiles)
 			localErrs, localShed := 0, 0
+			streak := 0
 			step := *batch
 			if step < 1 {
 				step = 1
@@ -126,8 +133,17 @@ func main() {
 					} else {
 						localErrs++
 					}
+					// A sustained streak of BUSY or refused responses can
+					// mean the cluster is mid-view-change (nodes joining or
+					// draining): re-read membership so the report tracks the
+					// cluster the run actually hit.
+					if streak++; *refreshAt > 0 && streak >= *refreshAt {
+						book.maybeRefresh()
+						streak = 0
+					}
 					continue
 				}
+				streak = 0
 				// Record one latency sample per request (batched or not).
 				local.Add(us)
 				localQ.add(us)
@@ -202,17 +218,22 @@ func main() {
 		fc.Close()
 	}
 
-	if addrs := splitNonEmpty(*backends); len(addrs) > 0 {
+	if addrs := book.snapshot(); len(addrs) > 0 {
+		if book.refreshed() {
+			fmt.Printf("membership refreshed during run: now %d backends\n", len(addrs))
+		}
 		after := backendCounts(addrs)
 		fmt.Println("per-backend request deltas:")
 		var total, maxDelta uint64
-		for i := range addrs {
-			delta := after[i] - before[i]
+		for i, addr := range addrs {
+			// A node that joined mid-run has no "before" sample; its full
+			// count is its delta.
+			delta := after[addr] - before[addr]
 			total += delta
 			if delta > maxDelta {
 				maxDelta = delta
 			}
-			fmt.Printf("  node %2d (%s): %d\n", i, addrs[i], delta)
+			fmt.Printf("  node %2d (%s): %d\n", i, addr, delta)
 		}
 		if total > 0 {
 			even := float64(total) / float64(len(addrs))
@@ -341,16 +362,85 @@ func (m *memDelta) perOp(ops uint64) (allocs, bytes uint64) {
 	return (after.Mallocs - m.before.Mallocs) / ops, (after.TotalAlloc - m.before.TotalAlloc) / ops
 }
 
-func backendCounts(addrs []string) []uint64 {
-	counts := make([]uint64, len(addrs))
-	for i, addr := range addrs {
+func backendCounts(addrs []string) map[string]uint64 {
+	counts := make(map[string]uint64, len(addrs))
+	for _, addr := range addrs {
 		c := kvstore.NewClient(addr)
 		if stats, err := c.Stats(); err == nil {
-			counts[i] = kvstore.StatCounter(stats, "requests_total")
+			counts[addr] = kvstore.StatCounter(stats, "requests_total")
 		}
 		c.Close()
 	}
 	return counts
+}
+
+// addrBook holds the backend address list the report is built over. It
+// starts from the -backends flag and can re-read the live list from the
+// frontend's membership surface (OpMembers bypasses the admission gate,
+// so the refresh works even while the frontend is shedding the data
+// plane) — a load run that spans a join/drain then reports the cluster
+// it actually hit instead of the one it was launched against.
+type addrBook struct {
+	frontend string
+	cfg      kvstore.ClientConfig
+
+	mu      sync.Mutex
+	addrs   []string
+	last    time.Time
+	changed bool
+}
+
+func newAddrBook(frontend string, cfg kvstore.ClientConfig, initial []string) *addrBook {
+	return &addrBook{frontend: frontend, cfg: cfg, addrs: initial}
+}
+
+func (b *addrBook) snapshot() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.addrs...)
+}
+
+func (b *addrBook) refreshed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.changed
+}
+
+// maybeRefresh re-reads membership from the frontend, at most once per
+// second across all workers.
+func (b *addrBook) maybeRefresh() {
+	b.mu.Lock()
+	if time.Since(b.last) < time.Second {
+		b.mu.Unlock()
+		return
+	}
+	b.last = time.Now()
+	b.mu.Unlock()
+
+	c := kvstore.NewClientWithConfig(b.frontend, b.cfg)
+	ms, err := c.Members()
+	c.Close()
+	if err != nil || len(ms.MemberAddrs) == 0 {
+		return
+	}
+	b.mu.Lock()
+	if !equalStrings(b.addrs, ms.MemberAddrs) {
+		b.addrs = append([]string(nil), ms.MemberAddrs...)
+		b.changed = true
+	}
+	b.mu.Unlock()
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func splitNonEmpty(s string) []string {

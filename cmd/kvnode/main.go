@@ -13,11 +13,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"securecache/internal/kvstore"
 	"securecache/internal/overload"
@@ -37,6 +42,9 @@ func main() {
 		walSeg   = flag.Int64("wal-segment-bytes", 0, "seal WAL segments at this size (0 = default 64MiB)")
 		walSync  = flag.Duration("wal-sync-interval", 0, "background WAL fsync cadence (0 = default 500ms)")
 		walFsync = flag.Bool("wal-sync-every-append", false, "fsync the WAL after every write (power-loss-proof, slow)")
+
+		joinVia   = flag.String("join-via", "", "frontend ADMIN address (host:port): after the node is serving, POST /join there to enter the cluster live")
+		advertise = flag.String("advertise", "", "address to register with -join-via (default: the bound listen address)")
 
 		maxInflight = flag.Int("max-inflight", 0, "shed requests beyond this many in flight with BUSY (0 = unlimited)")
 		maxConns    = flag.Int("max-conns", 0, "reject connections beyond this many at accept (0 = unlimited)")
@@ -132,6 +140,17 @@ func main() {
 		log.Printf("kvnode %d admin on http://%s", *id, adminAddr)
 	}
 
+	if *joinVia != "" {
+		selfAddr := *advertise
+		if selfAddr == "" {
+			selfAddr = l.Addr().String()
+		}
+		// Join AFTER the listener is up (the frontend pings the node
+		// before staging it) and retry briefly: the frontend may still be
+		// finishing a previous view change (409).
+		go joinCluster(*joinVia, selfAddr, *id)
+	}
+
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -150,4 +169,32 @@ func main() {
 	if err := node.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatalf("kvnode %d: %v", *id, err)
 	}
+}
+
+// joinCluster asks the frontend's admin surface to admit this node,
+// retrying while a previous view change is still migrating (409).
+func joinCluster(adminAddr, selfAddr string, id int) {
+	target := fmt.Sprintf("http://%s/join?addr=%s", adminAddr, url.QueryEscape(selfAddr))
+	client := &http.Client{Timeout: 10 * time.Second}
+	for attempt := 0; attempt < 60; attempt++ {
+		resp, err := client.Post(target, "", nil)
+		if err != nil {
+			log.Printf("kvnode %d: join via %s: %v (will retry)", id, adminAddr, err)
+		} else {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				log.Printf("kvnode %d: joined cluster via %s: %s", id, adminAddr, strings.TrimSpace(string(body)))
+				return
+			case http.StatusConflict:
+				log.Printf("kvnode %d: join via %s: cluster busy with another change (will retry)", id, adminAddr)
+			default:
+				log.Printf("kvnode %d: join via %s: %s: %s", id, adminAddr, resp.Status, strings.TrimSpace(string(body)))
+				return
+			}
+		}
+		time.Sleep(2 * time.Second)
+	}
+	log.Printf("kvnode %d: giving up joining via %s", id, adminAddr)
 }

@@ -29,6 +29,7 @@ import (
 
 	"securecache/internal/core"
 	"securecache/internal/guard"
+	"securecache/internal/kvstore"
 	"securecache/internal/rotation"
 )
 
@@ -48,6 +49,8 @@ func main() {
 		respondTrigger  = flag.String("respond-trigger", "critical", "verdict that counts toward firing: critical | skewed")
 		respondWindows  = flag.Int("respond-windows", 2, "consecutive triggering windows before rotating")
 		respondCooldown = flag.Duration("respond-cooldown", 5*time.Minute, "minimum spacing between triggered rotations")
+
+		frontAdmin = flag.String("frontend-admin", "", "frontend admin address: poll GET /membership and re-derive the detection thresholds and c* when nodes join or drain (empty = static cluster)")
 	)
 	flag.Parse()
 
@@ -56,8 +59,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "secguard: need at least two -admins addresses")
 		os.Exit(2)
 	}
+	client := &http.Client{Timeout: 3 * time.Second}
+
+	// With -frontend-admin the cluster shape is live state: node IDs come
+	// from each backend admin's /info, the member set from the frontend's
+	// /membership, and the detector's n follows committed joins/drains.
+	// Without it the -admins list position IS the node ID (the static
+	// seed-cluster convention).
+	ids := pollIDs(client, addrs)
+	members := append([]int(nil), ids...)
+	if *frontAdmin != "" {
+		ms, err := fetchMembership(client, *frontAdmin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secguard: -frontend-admin:", err)
+			os.Exit(2)
+		}
+		if len(ms.Members) > 0 {
+			members = ms.Members
+		}
+	}
+
 	params := core.Params{
-		Nodes:       len(addrs),
+		Nodes:       len(members),
 		Replication: *d,
 		Items:       *m,
 		CacheSize:   *c,
@@ -72,8 +95,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "secguard:", err)
 		os.Exit(2)
 	}
-
-	client := &http.Client{Timeout: 3 * time.Second}
 
 	var responder *rotation.Responder
 	if *respond != "" {
@@ -98,24 +119,46 @@ func main() {
 		}
 	}
 
-	prev, err := pollAll(client, addrs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "secguard:", err)
+	prev, reachable := pollAll(client, addrs, nil)
+	if reachable == 0 {
+		fmt.Fprintln(os.Stderr, "secguard: no admin endpoint reachable")
 		os.Exit(1)
 	}
 	fmt.Printf("secguard: watching %d nodes every %v (c=%d, required c*=%d)\n",
-		len(addrs), *interval, *c, params.RequiredCacheSize())
+		len(members), *interval, *c, params.RequiredCacheSize())
+	memberIdx := indexMembers(members)
 	for w := 0; *windows == 0 || w < *windows; w++ {
 		time.Sleep(*interval)
-		cur, err := pollAll(client, addrs)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "secguard: poll:", err)
-			continue
+		cur, _ := pollAll(client, addrs, prev)
+		// Track committed view changes: Eq. 10, the vulnerability check,
+		// and the recommended c* all move with n, so a guard still judging
+		// the old member count would mis-size every verdict. Mid-change
+		// (Changing) the old view keeps judging until the commit.
+		if *frontAdmin != "" {
+			if ms, err := fetchMembership(client, *frontAdmin); err == nil &&
+				!ms.Changing && len(ms.Members) > 0 && !equalInts(ms.Members, members) {
+				np := g.Params()
+				np.Nodes = len(ms.Members)
+				if err := g.SetParams(np); err != nil {
+					fmt.Fprintln(os.Stderr, "secguard: resize:", err)
+				} else {
+					members = ms.Members
+					memberIdx = indexMembers(members)
+					fmt.Printf("[%s] membership v%d committed: n=%d, thresholds re-derived (c*=%d)\n",
+						time.Now().Format(time.TimeOnly), ms.Version, np.Nodes, np.RequiredCacheSize())
+				}
+			}
 		}
-		loads := make([]float64, len(addrs))
+		// One load slot per current member; an -admins endpoint whose node
+		// drained is ignored, a member with no polled admin reads as idle.
+		loads := make([]float64, len(members))
 		for i := range addrs {
+			idx, ok := memberIdx[ids[i]]
+			if !ok {
+				continue
+			}
 			if cur[i] >= prev[i] {
-				loads[i] = float64(cur[i] - prev[i])
+				loads[idx] = float64(cur[i] - prev[i])
 			}
 		}
 		prev = cur
@@ -165,17 +208,93 @@ func triggerRotate(client *http.Client, admin string) error {
 	return nil
 }
 
-// pollAll fetches requests_total from every admin endpoint.
-func pollAll(client *http.Client, addrs []string) ([]uint64, error) {
+// pollAll fetches requests_total from every admin endpoint. A node that
+// cannot be polled keeps its previous count (zero delta this window):
+// with live membership a drained node's process goes away mid-run, and
+// monitoring the survivors must not stop with it. Returns the counts and
+// how many endpoints answered.
+func pollAll(client *http.Client, addrs []string, prev []uint64) ([]uint64, int) {
 	out := make([]uint64, len(addrs))
+	reachable := 0
 	for i, addr := range addrs {
 		v, err := pollOne(client, addr)
 		if err != nil {
-			return nil, fmt.Errorf("node %d (%s): %w", i, addr, err)
+			if prev != nil {
+				out[i] = prev[i]
+			}
+			continue
 		}
 		out[i] = v
+		reachable++
 	}
-	return out, nil
+	return out, reachable
+}
+
+// pollIDs resolves each backend admin's global node ID from its /info
+// surface, falling back to list position when the endpoint does not
+// answer or carries no id (the static seed-cluster convention).
+func pollIDs(client *http.Client, addrs []string) []int {
+	ids := make([]int, len(addrs))
+	for i, addr := range addrs {
+		ids[i] = i
+		resp, err := client.Get("http://" + addr + "/info")
+		if err != nil {
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		var info struct {
+			ID *int `json:"id"`
+		}
+		if json.Unmarshal(body, &info) == nil && info.ID != nil {
+			ids[i] = *info.ID
+		}
+	}
+	return ids
+}
+
+// fetchMembership reads the frontend admin's GET /membership surface.
+func fetchMembership(client *http.Client, admin string) (kvstore.MembershipStatus, error) {
+	var ms kvstore.MembershipStatus
+	resp, err := client.Get("http://" + admin + "/membership")
+	if err != nil {
+		return ms, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return ms, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ms, fmt.Errorf("membership: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if err := json.Unmarshal(body, &ms); err != nil {
+		return ms, fmt.Errorf("membership: bad payload: %w", err)
+	}
+	return ms, nil
+}
+
+func indexMembers(members []int) map[int]int {
+	idx := make(map[int]int, len(members))
+	for i, id := range members {
+		idx[id] = i
+	}
+	return idx
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func pollOne(client *http.Client, addr string) (uint64, error) {

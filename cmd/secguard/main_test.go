@@ -75,14 +75,32 @@ func TestPollAllAggregates(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 	client := &http.Client{Timeout: time.Second}
-	got, err := pollAll(client, []string{
+	got, reachable := pollAll(client, []string{
 		strings.TrimPrefix(a.URL, "http://"),
 		strings.TrimPrefix(b.URL, "http://"),
-	})
-	if err != nil {
-		t.Fatal(err)
+	}, nil)
+	if reachable != 2 {
+		t.Fatalf("reachable = %d, want 2", reachable)
 	}
 	if got[0] != 10 || got[1] != 20 {
 		t.Errorf("pollAll = %v", got)
+	}
+}
+
+func TestPollAllToleratesDeadNode(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"requests_total": 42}`))
+	}))
+	defer srv.Close()
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	addrs := []string{strings.TrimPrefix(srv.URL, "http://"), "127.0.0.1:1"}
+	// The dead node keeps its previous count: zero delta, not a lost
+	// window for the survivors.
+	got, reachable := pollAll(client, addrs, []uint64{0, 7})
+	if reachable != 1 {
+		t.Fatalf("reachable = %d, want 1", reachable)
+	}
+	if got[0] != 42 || got[1] != 7 {
+		t.Errorf("pollAll = %v, want [42 7]", got)
 	}
 }

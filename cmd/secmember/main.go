@@ -1,0 +1,372 @@
+// Command secmember is the operator tool for elastic membership.
+//
+// Remote mode drives a running frontend's admin surface — the same
+// verbs kvnode -join-via uses:
+//
+//	secmember -admin 127.0.0.1:8000 -status          # print the membership view
+//	secmember -admin 127.0.0.1:8000 -join  HOST:PORT # add a backend
+//	secmember -admin 127.0.0.1:8000 -drain 3         # drain member 3 out
+//
+// Local mode benchmarks a join + drain episode on an in-process cluster
+// and reports migration selectivity (moved vs re-tagged keys), view
+// change latency, the read cost of the dual-view window, and the
+// re-provisioned c* per view — the baseline EXPERIMENTS.md records:
+//
+//	secmember -local -n 8 -d 3 -m 5000 -json BENCH_membership.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"securecache/internal/kvstore"
+	"securecache/internal/overload"
+	"securecache/internal/stats"
+	"securecache/internal/workload"
+)
+
+func main() {
+	var (
+		admin  = flag.String("admin", "", "frontend admin address (remote mode)")
+		join   = flag.String("join", "", "remote: backend address(es) to join, comma-separated")
+		drain  = flag.String("drain", "", "remote: member id(s) to drain, comma-separated")
+		status = flag.Bool("status", false, "remote: print membership status")
+		wait   = flag.Bool("wait", false, "remote: block until the change commits or aborts")
+
+		local    = flag.Bool("local", false, "benchmark a join+drain episode on an in-process cluster")
+		n        = flag.Int("n", 8, "local: number of backends at boot")
+		d        = flag.Int("d", 3, "local: replication factor")
+		m        = flag.Int("m", 5000, "local: number of keys")
+		rate     = flag.Float64("rate", -1, "local: migration rate limit in keys/sec (negative = unlimited)")
+		jsonPath = flag.String("json", "", "local: also write the bench report to this file")
+	)
+	flag.Parse()
+
+	switch {
+	case *local:
+		report, err := runLocalBench(localBenchConfig{
+			Nodes: *n, Replication: *d, Keys: *m, Rate: *rate,
+		}, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonPath != "" {
+			blob, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+	case *admin != "":
+		client := &http.Client{Timeout: 10 * time.Second}
+		switch {
+		case *status:
+			st, err := fetchStatus(client, *admin)
+			if err != nil {
+				fatal(err)
+			}
+			printStatus(st)
+		case *join != "":
+			if err := change(client, *admin, joinQuery(*join), *wait); err != nil {
+				fatal(err)
+			}
+		case *drain != "":
+			if err := change(client, *admin, drainQuery(*drain), *wait); err != nil {
+				fatal(err)
+			}
+		default:
+			fmt.Fprintln(os.Stderr, "secmember: need -status, -join, or -drain with -admin; see -h")
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "secmember: need -admin (remote) or -local (bench); see -h")
+		os.Exit(2)
+	}
+}
+
+func joinQuery(addrs string) string {
+	q := url.Values{}
+	for _, a := range splitNonEmpty(addrs) {
+		q.Add("addr", a)
+	}
+	return "/join?" + q.Encode()
+}
+
+func drainQuery(ids string) string {
+	q := url.Values{}
+	for _, id := range splitNonEmpty(ids) {
+		q.Add("id", id)
+	}
+	return "/drain?" + q.Encode()
+}
+
+// change POSTs a join or drain verb and prints the staged report; with
+// wait it then polls /membership until the change closes.
+func change(client *http.Client, admin, pathQuery string, wait bool) error {
+	resp, err := client.Post("http://"+admin+pathQuery, "", nil)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var report kvstore.MembershipReport
+	if err := json.Unmarshal(body, &report); err != nil {
+		return fmt.Errorf("bad report: %w", err)
+	}
+	fmt.Printf("view v%d staged at epoch %d (~%.0f%% of keys will move)\n",
+		report.Version, report.Epoch, 100*report.ExpectedMovedFraction)
+	for _, jn := range report.Joined {
+		fmt.Printf("  joining node %d at %s\n", jn.ID, jn.Addr)
+	}
+	for _, id := range report.Drained {
+		fmt.Printf("  draining node %d\n", id)
+	}
+	if !wait {
+		return nil
+	}
+	for {
+		st, err := fetchStatus(client, admin)
+		if err != nil {
+			return err
+		}
+		if !st.Changing && !st.Rotating {
+			printStatus(st)
+			return nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func fetchStatus(client *http.Client, admin string) (kvstore.MembershipStatus, error) {
+	var st kvstore.MembershipStatus
+	resp, err := client.Get("http://" + admin + "/membership")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, fmt.Errorf("bad status: %w", err)
+	}
+	return st, nil
+}
+
+func printStatus(st kvstore.MembershipStatus) {
+	state := "settled"
+	if st.Changing {
+		state = "view change open"
+	} else if st.Rotating {
+		state = "rotation open"
+	}
+	fmt.Printf("view v%d epoch %d (%s): %d members %v\n",
+		st.Version, st.Epoch, state, len(st.Members), st.Members)
+	for _, node := range st.Nodes {
+		fmt.Printf("  node %d %s %s\n", node.ID, node.Addr, node.State)
+	}
+	if st.CStar > 0 {
+		fmt.Printf("  provisioned c*=%d cache capacity=%d\n", st.CStar, st.CacheCapacity)
+	}
+}
+
+// localBenchConfig parameterizes runLocalBench.
+type localBenchConfig struct {
+	Nodes       int
+	Replication int
+	Keys        int
+	// Rate limits migration moves/sec (negative = unlimited — measures
+	// the machinery's raw throughput rather than the limiter).
+	Rate float64
+}
+
+// benchReport records one measured join + drain episode.
+type benchReport struct {
+	Nodes             int     `json:"nodes"`
+	Replication       int     `json:"replication"`
+	Keys              int     `json:"keys"`
+	BaselineReadMean  float64 `json:"baseline_read_micros_mean"`
+	BaselineReadP99   float64 `json:"baseline_read_micros_p99"`
+	CStarBoot         int     `json:"cstar_boot"`
+	CStarAfterJoin    int     `json:"cstar_after_join"`
+	CStarAfterDrain   int     `json:"cstar_after_drain"`
+	JoinSeconds       float64 `json:"join_seconds"`
+	JoinMoved         uint64  `json:"join_keys_moved"`
+	JoinRetagged      uint64  `json:"join_keys_retagged"`
+	JoinMovedFraction float64 `json:"join_moved_fraction"`
+	JoinPredicted     float64 `json:"join_predicted_moved_fraction"`
+	JoinReadMean      float64 `json:"join_read_micros_mean"`
+	JoinReadP99       float64 `json:"join_read_micros_p99"`
+	JoinReadCount     int64   `json:"join_read_count"`
+	DrainSeconds      float64 `json:"drain_seconds"`
+	DrainMoved        uint64  `json:"drain_keys_moved"`
+	DrainRetagged     uint64  `json:"drain_keys_retagged"`
+	DrainReadMean     float64 `json:"drain_read_micros_mean"`
+	DrainReadP99      float64 `json:"drain_read_micros_p99"`
+}
+
+// runLocalBench boots a cluster, loads the key space, joins one node and
+// then drains it back out — a reader hammers the keys through both
+// changes, recording the dual-view window's read cost, while the
+// moved/retagged counters record the migrator's selectivity.
+func runLocalBench(cfg localBenchConfig, w io.Writer) (benchReport, error) {
+	report := benchReport{Nodes: cfg.Nodes, Replication: cfg.Replication, Keys: cfg.Keys}
+	lc, err := kvstore.StartLocalCluster(kvstore.LocalConfig{
+		Nodes:         cfg.Nodes,
+		Replication:   cfg.Replication,
+		PartitionSeed: 0x5EED0002,
+		Rotation:      kvstore.RotationConfig{Rate: cfg.Rate},
+		Provision:     kvstore.ProvisionConfig{Items: cfg.Keys, KOverride: 1.2},
+	})
+	if err != nil {
+		return report, err
+	}
+	defer lc.Close()
+	front := lc.Frontend
+
+	fmt.Fprintf(w, "loading %d keys into %d nodes (d=%d)...\n", cfg.Keys, cfg.Nodes, cfg.Replication)
+	for k := 0; k < cfg.Keys; k++ {
+		if err := front.Set(workload.KeyName(k), []byte("payload")); err != nil {
+			return report, fmt.Errorf("preload key %d: %w", k, err)
+		}
+	}
+	report.CStarBoot = front.MembershipStatus().CStar
+
+	base, baseP99 := measureReads(front, cfg.Keys, cfg.Keys)
+	report.BaselineReadMean = base.Mean()
+	report.BaselineReadP99 = baseP99.Value()
+	fmt.Fprintf(w, "baseline reads: mean %.0fµs p99≈%.0fµs (c*=%d)\n",
+		report.BaselineReadMean, report.BaselineReadP99, report.CStarBoot)
+
+	metrics := front.Metrics()
+	moved := func() uint64 { return metrics.Counter("migration_keys_moved_total").Value() }
+	retagged := func() uint64 { return metrics.Counter("migration_keys_retagged_total").Value() }
+
+	// Join one node; keep reading until the fill commits.
+	addr, err := lc.AddBackend(overload.Limits{})
+	if err != nil {
+		return report, err
+	}
+	moved0, retag0 := moved(), retagged()
+	start := time.Now()
+	joinReport, err := front.Join(addr)
+	if err != nil {
+		return report, err
+	}
+	report.JoinPredicted = joinReport.ExpectedMovedFraction
+	sum, p99, err := readUntilSettled(front, cfg.Keys)
+	if err != nil {
+		return report, fmt.Errorf("read during join: %w", err)
+	}
+	report.JoinSeconds = time.Since(start).Seconds()
+	report.JoinMoved = moved() - moved0
+	report.JoinRetagged = retagged() - retag0
+	if total := report.JoinMoved + report.JoinRetagged; total > 0 {
+		report.JoinMovedFraction = float64(report.JoinMoved) / float64(total)
+	}
+	report.JoinReadMean = sum.Mean()
+	report.JoinReadP99 = p99.Value()
+	report.JoinReadCount = sum.N()
+	report.CStarAfterJoin = front.MembershipStatus().CStar
+	fmt.Fprintf(w, "join committed in %.2fs: %d keys moved, %d re-tagged in place "+
+		"(moved fraction %.2f, predicted %.2f); reads mean %.0fµs p99≈%.0fµs; c* %d -> %d\n",
+		report.JoinSeconds, report.JoinMoved, report.JoinRetagged,
+		report.JoinMovedFraction, report.JoinPredicted,
+		report.JoinReadMean, report.JoinReadP99, report.CStarBoot, report.CStarAfterJoin)
+
+	// Drain the same node back out.
+	drainID := joinReport.Joined[0].ID
+	moved0, retag0 = moved(), retagged()
+	start = time.Now()
+	if _, err := front.Drain(drainID); err != nil {
+		return report, err
+	}
+	sum, p99, err = readUntilSettled(front, cfg.Keys)
+	if err != nil {
+		return report, fmt.Errorf("read during drain: %w", err)
+	}
+	report.DrainSeconds = time.Since(start).Seconds()
+	report.DrainMoved = moved() - moved0
+	report.DrainRetagged = retagged() - retag0
+	report.DrainReadMean = sum.Mean()
+	report.DrainReadP99 = p99.Value()
+	report.CStarAfterDrain = front.MembershipStatus().CStar
+	fmt.Fprintf(w, "drain committed in %.2fs: %d keys moved, %d re-tagged; "+
+		"reads mean %.0fµs p99≈%.0fµs; c* back to %d\n",
+		report.DrainSeconds, report.DrainMoved, report.DrainRetagged,
+		report.DrainReadMean, report.DrainReadP99, report.CStarAfterDrain)
+	return report, nil
+}
+
+// readUntilSettled hammers uniform reads until the open view change
+// commits, returning the latency profile of the dual-view window.
+func readUntilSettled(front *kvstore.Frontend, keys int) (stats.Summary, *stats.P2Quantile, error) {
+	var sum stats.Summary
+	p99 := stats.NewP2Quantile(0.99)
+	gen := workload.NewGenerator(workload.NewUniform(keys, keys), 7)
+	for {
+		st := front.MembershipStatus()
+		if !st.Changing && !st.Rotating {
+			return sum, p99, nil
+		}
+		key := workload.KeyName(gen.Next())
+		t0 := time.Now()
+		if _, err := front.Get(key); err != nil {
+			return sum, p99, err
+		}
+		us := float64(time.Since(t0).Microseconds())
+		sum.Add(us)
+		p99.Add(us)
+	}
+}
+
+// measureReads runs count uniform reads over keys keys and returns the
+// latency summary plus a p99 estimate.
+func measureReads(front *kvstore.Frontend, keys, count int) (stats.Summary, *stats.P2Quantile) {
+	var sum stats.Summary
+	p99 := stats.NewP2Quantile(0.99)
+	gen := workload.NewGenerator(workload.NewUniform(keys, keys), 3)
+	for i := 0; i < count; i++ {
+		t0 := time.Now()
+		front.Get(workload.KeyName(gen.Next()))
+		us := float64(time.Since(t0).Microseconds())
+		sum.Add(us)
+		p99.Add(us)
+	}
+	return sum, p99
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "secmember:", err)
+	os.Exit(2)
+}

@@ -41,6 +41,16 @@ type Cache interface {
 	Stats() Stats
 }
 
+// Resizable is implemented by caches whose capacity can change while
+// serving, reporting whether the resize was applied. The kvstore
+// auto-provisioner resizes the frontend cache to the new c* on every
+// membership change; policies that cannot resize simply return false
+// and keep their capacity (the operator sees the gap in the
+// cache_capacity gauge).
+type Resizable interface {
+	Resize(capacity int) bool
+}
+
 // Stats holds cumulative cache counters.
 type Stats struct {
 	Hits   uint64

@@ -102,5 +102,18 @@ func (c *LRU) Len() int { return c.order.Len() }
 // Cap returns the capacity.
 func (c *LRU) Cap() int { return c.capacity }
 
+// Resize changes the capacity in place, evicting from the LRU end when
+// shrinking. Growing keeps every resident entry. Always applied.
+func (c *LRU) Resize(capacity int) bool {
+	validateCapacity(capacity)
+	c.capacity = capacity
+	for c.order.Len() > c.capacity {
+		c.evictOldest()
+	}
+	return true
+}
+
+var _ Resizable = (*LRU)(nil)
+
 // Stats returns cumulative counters.
 func (c *LRU) Stats() Stats { return c.stats }

@@ -1,0 +1,86 @@
+package cache
+
+import "testing"
+
+func TestLRUResizeShrinkEvictsOldest(t *testing.T) {
+	c := NewLRU(8)
+	for i := uint64(0); i < 8; i++ {
+		c.Put(i, nil)
+	}
+	// Touch 0..3 so they are the most recent.
+	for i := uint64(0); i < 4; i++ {
+		c.Get(i)
+	}
+	if !c.Resize(4) {
+		t.Fatal("LRU resize not applied")
+	}
+	if c.Cap() != 4 || c.Len() != 4 {
+		t.Fatalf("cap/len = %d/%d, want 4/4", c.Cap(), c.Len())
+	}
+	for i := uint64(0); i < 4; i++ {
+		if !c.Contains(i) {
+			t.Fatalf("recent key %d evicted by shrink", i)
+		}
+	}
+	for i := uint64(4); i < 8; i++ {
+		if c.Contains(i) {
+			t.Fatalf("stale key %d survived shrink", i)
+		}
+	}
+}
+
+func TestLRUResizeGrowKeepsEntries(t *testing.T) {
+	c := NewLRU(2)
+	c.Put(1, nil)
+	c.Put(2, nil)
+	c.Resize(10)
+	if c.Cap() != 10 || !c.Contains(1) || !c.Contains(2) {
+		t.Fatalf("grow lost entries: cap=%d", c.Cap())
+	}
+	for i := uint64(3); i < 11; i++ {
+		c.Put(i, nil)
+	}
+	if c.Len() != 10 {
+		t.Fatalf("len = %d after filling grown cache", c.Len())
+	}
+}
+
+func TestShardedResize(t *testing.T) {
+	s, err := NewSharded(KindLRU, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		s.Put(i, nil)
+	}
+	if !s.Resize(16) {
+		t.Fatal("sharded LRU resize not applied")
+	}
+	if got := s.Cap(); got != 16 {
+		t.Fatalf("cap after shrink = %d, want 16", got)
+	}
+	if got := s.Len(); got > 16 {
+		t.Fatalf("len after shrink = %d, want <= 16", got)
+	}
+	if !s.Resize(128) {
+		t.Fatal("grow not applied")
+	}
+	if got := s.Cap(); got != 128 {
+		t.Fatalf("cap after grow = %d, want 128", got)
+	}
+}
+
+func TestShardedResizeUnsupportedPolicy(t *testing.T) {
+	// LFU has no Resize; the sharded wrapper must report that rather
+	// than silently pretending.
+	s, err := NewSharded(KindLFU, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Resize(16) {
+		t.Fatal("sharded LFU reported resize applied")
+	}
+	if got := s.Cap(); got != 64 {
+		t.Fatalf("cap changed to %d despite unsupported policy", got)
+	}
+}

@@ -169,6 +169,33 @@ func (s *Sharded) Cap() int {
 // Shards returns the shard count (for logs and tests).
 func (s *Sharded) Shards() int { return len(s.shards) }
 
+// Resize re-splits a new total capacity over the shards
+// (ceil(capacity/shards) each, matching the constructor's split),
+// reporting whether every shard's policy applied it. Policies that are
+// not Resizable leave their shard untouched — all-or-nothing per shard,
+// best-effort across shards, and the report tells the caller whether
+// Cap now reflects the request.
+func (s *Sharded) Resize(capacity int) bool {
+	validateCapacity(capacity)
+	perShard := (capacity + len(s.shards) - 1) / len(s.shards)
+	applied := true
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if r, ok := sh.c.(Resizable); ok {
+			if !r.Resize(perShard) {
+				applied = false
+			}
+		} else {
+			applied = false
+		}
+		sh.mu.Unlock()
+	}
+	return applied
+}
+
+var _ Resizable = (*Sharded)(nil)
+
 // Stats sums the per-shard hit/miss counters.
 func (s *Sharded) Stats() Stats {
 	var out Stats

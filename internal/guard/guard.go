@@ -156,6 +156,24 @@ func (g *Guard) Observe(loads []float64) (Observation, error) {
 // Windows returns the number of non-empty windows observed.
 func (g *Guard) Windows() int { return g.obs }
 
+// SetParams re-derives the guard's thresholds for a new cluster shape —
+// the elastic-membership hook: when n changes, the Eq. 10 bound, the
+// vulnerability check, and the recommended c* all change with it, and a
+// guard still judging the old n would mis-size every verdict. The EWMA
+// is preserved: normalized max load is scale-free (max/mean), so the
+// smoothed attack-gain history stays meaningful across the resize.
+func (g *Guard) SetParams(p core.Params) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("guard: %w", err)
+	}
+	g.cfg.Params = p
+	return nil
+}
+
+// Params returns the cluster parameters the guard currently judges
+// against.
+func (g *Guard) Params() core.Params { return g.cfg.Params }
+
 // String renders an observation for operator logs.
 func (o Observation) String() string {
 	s := fmt.Sprintf("norm-max=%.3f (ewma %.3f) verdict=%s", o.NormalizedMax, o.Smoothed, o.Verdict)

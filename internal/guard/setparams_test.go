@@ -1,0 +1,80 @@
+package guard
+
+import (
+	"testing"
+
+	"securecache/internal/core"
+)
+
+func TestSetParamsRescalesVerdicts(t *testing.T) {
+	p := core.Params{Nodes: 4, Replication: 3, Items: 1000, CacheSize: 64}
+	g, err := New(Config{Params: p, Smoothing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Observe([]float64{10, 10, 10, 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Grown to 6 nodes: a 4-wide sample must now be rejected and a
+	// 6-wide one accepted; c* recommendations track the new n.
+	grown := p
+	grown.Nodes = 6
+	if err := g.SetParams(grown); err != nil {
+		t.Fatal(err)
+	}
+	if g.Params().Nodes != 6 {
+		t.Fatalf("Params().Nodes = %d", g.Params().Nodes)
+	}
+	if _, err := g.Observe([]float64{10, 10, 10, 10}); err == nil {
+		t.Fatal("stale-width load vector accepted after SetParams")
+	}
+	obs, err := g.Observe([]float64{10, 10, 10, 10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := grown.RequiredCacheSize()
+	if obs.RecommendedCacheSize != want {
+		t.Fatalf("recommended c* = %d, want %d", obs.RecommendedCacheSize, want)
+	}
+	if obs.Verdict != VerdictBalanced {
+		t.Fatalf("balanced load judged %q", obs.Verdict)
+	}
+}
+
+func TestSetParamsPreservesEWMA(t *testing.T) {
+	p := core.Params{Nodes: 4, Replication: 3, Items: 1000, CacheSize: 64}
+	g, err := New(Config{Params: p, Smoothing: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := g.Observe([]float64{100, 0, 0, 0}) // norm-max 4.0
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obs.Smoothed
+	grown := p
+	grown.Nodes = 5
+	if err := g.SetParams(grown); err != nil {
+		t.Fatal(err)
+	}
+	obs, err = g.Observe([]float64{100, 0, 0, 0, 0}) // norm-max 5.0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.5*5.0 + 0.5*before; obs.Smoothed != want {
+		t.Fatalf("smoothed = %v, want %v (EWMA continued across SetParams)", obs.Smoothed, want)
+	}
+}
+
+func TestSetParamsValidates(t *testing.T) {
+	g, err := New(Config{Params: core.Params{Nodes: 4, Replication: 3, Items: 10, CacheSize: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetParams(core.Params{Nodes: 1, Replication: 3, Items: 10}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if g.Params().Nodes != 4 {
+		t.Fatal("failed SetParams mutated state")
+	}
+}

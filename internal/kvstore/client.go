@@ -549,6 +549,25 @@ func (c *Client) Stats() (map[string]interface{}, error) {
 	return m, nil
 }
 
+// Members fetches the frontend's membership view (OpMembers). Only
+// frontends answer it — backends return an error — so clients use it
+// both to discover the live cluster shape and to tell a frontend from a
+// backend.
+func (c *Client) Members() (MembershipStatus, error) {
+	resp, err := c.Do(&proto.Request{Op: proto.OpMembers})
+	if err != nil {
+		return MembershipStatus{}, err
+	}
+	if err := resp.Err(); err != nil {
+		return MembershipStatus{}, err
+	}
+	var st MembershipStatus
+	if err := json.Unmarshal(resp.Payload, &st); err != nil {
+		return MembershipStatus{}, fmt.Errorf("kvstore: decoding membership: %w", err)
+	}
+	return st, nil
+}
+
 // StatCounter extracts a numeric counter from a Stats result, 0 if
 // absent or negative. Values are parsed as exact uint64 where possible.
 func StatCounter(stats map[string]interface{}, name string) uint64 {

@@ -103,10 +103,11 @@ func (f *Frontend) applyHint(h repair.Hint) error {
 	if !containsNode(f.part.Group(KeyID(h.Key)), h.Node) {
 		return nil
 	}
+	ns := f.fleet.Load()
 	if h.Del {
-		return f.backends[h.Node].DelVersioned(h.Key, h.Epoch, h.Ver)
+		return ns.clients[h.Node].DelVersioned(h.Key, h.Epoch, h.Ver)
 	}
-	return f.backends[h.Node].SetVersioned(h.Key, h.Value, h.Epoch, h.Ver)
+	return ns.clients[h.Node].SetVersioned(h.Key, h.Value, h.Epoch, h.Ver)
 }
 
 // hintDrainLoop periodically offers queued hints to their nodes. A node
@@ -128,7 +129,11 @@ func (f *Frontend) hintDrainLoop() {
 			return
 		case <-t.C:
 			for _, node := range f.hints.Nodes() {
-				if !f.health.healthy(node) {
+				// A retired node's hints still drain: applyHint drops each
+				// one as a no-op (the node is in no group now), emptying
+				// the queue instead of pinning it forever. Open-breaker
+				// live nodes wait for the probe loop as before.
+				if !f.health.retiredNode(node) && !f.health.healthy(node) {
 					continue
 				}
 				applied, err := f.hints.Drain(node, f.applyHint)
@@ -207,11 +212,12 @@ func (f *Frontend) readRepairWorker() {
 		case job := <-f.repairJobs:
 			epoch := f.part.Epoch()
 			group := f.part.Group(KeyID(job.key))
+			ns := f.fleet.Load()
 			for _, node := range job.nodes {
 				if !containsNode(group, node) {
 					continue // rotation moved the key while the job sat queued
 				}
-				if err := f.backends[node].SetVersioned(job.key, job.value, epoch, job.ver); err != nil {
+				if err := ns.clients[node].SetVersioned(job.key, job.value, epoch, job.ver); err != nil {
 					failed.Inc()
 					continue
 				}
@@ -228,11 +234,11 @@ type repairTransport struct {
 }
 
 func (t *repairTransport) ScanDigest(node int, cursor uint64, limit int) ([]proto.ScanEntry, uint64, error) {
-	return t.f.backends[node].ScanPage(cursor, limit, 0, ScanOptions{Tombs: true, Digest: true})
+	return t.f.fleet.Load().clients[node].ScanPage(cursor, limit, 0, ScanOptions{Tombs: true, Digest: true})
 }
 
 func (t *repairTransport) Fetch(node int, key string) (value []byte, ver uint64, tomb, ok bool, err error) {
-	v, ver, tomb, err := t.f.backends[node].GetV(key)
+	v, ver, tomb, err := t.f.fleet.Load().clients[node].GetV(key)
 	switch {
 	case err == nil:
 		return v, ver, false, true, nil
@@ -247,20 +253,22 @@ func (t *repairTransport) Fetch(node int, key string) (value []byte, ver uint64,
 }
 
 func (t *repairTransport) Apply(node int, e repair.Entry) error {
+	ns := t.f.fleet.Load()
 	if e.Del {
-		return t.f.backends[node].DelVersioned(e.Key, e.Epoch, e.Ver)
+		return ns.clients[node].DelVersioned(e.Key, e.Epoch, e.Ver)
 	}
-	return t.f.backends[node].SetVersioned(e.Key, e.Value, e.Epoch, e.Ver)
+	return ns.clients[node].SetVersioned(e.Key, e.Value, e.Epoch, e.Ver)
 }
 
 func (t *repairTransport) Group(key string) []int {
 	return t.f.part.Group(KeyID(key))
 }
 
-// newRepairer builds the anti-entropy engine from the frontend config
-// (nil when the cluster has a single node — no pairs to compare).
-func (f *Frontend) newRepairer() (*repair.Repairer, error) {
-	if len(f.backends) < 2 {
+// newRepairer builds the anti-entropy engine over the given member IDs
+// (nil when fewer than two — no pairs to compare). Rebuilt on every
+// committed view change so repair always walks the live member set.
+func (f *Frontend) newRepairer(members []int) (*repair.Repairer, error) {
+	if len(members) < 2 {
 		return nil, nil
 	}
 	rate := f.cfg.RepairRate
@@ -272,7 +280,7 @@ func (f *Frontend) newRepairer() (*repair.Repairer, error) {
 		limiter = overload.NewTokenBucket(rate, DefaultRepairBurst)
 	}
 	return repair.NewRepairer(repair.Config{
-		Nodes:    len(f.backends),
+		NodeIDs:  members,
 		Limiter:  limiter,
 		KeyID:    KeyID,
 		OnDiff:   f.metrics.Counter("repair_diffs_total").Inc,
@@ -285,11 +293,12 @@ func (f *Frontend) newRepairer() (*repair.Repairer, error) {
 // No-op while a rotation is migrating — cross-node movement belongs to
 // the migrator until the epoch commits.
 func (f *Frontend) RunRepairPass() (int, error) {
-	if f.repairer == nil || f.part.Rotating() {
+	rep := f.repairer.Load()
+	if rep == nil || f.part.Rotating() {
 		return 0, nil
 	}
 	f.metrics.Counter("repair_passes_total").Inc()
-	n, err := f.repairer.Pass(f.rotStop)
+	n, err := rep.Pass(f.rotStop)
 	if err != nil && !errors.Is(err, repair.ErrStopped) {
 		f.metrics.Counter("repair_failed_total").Inc()
 	}

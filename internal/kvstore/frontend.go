@@ -3,6 +3,7 @@ package kvstore
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 
 	"securecache/internal/cache"
 	"securecache/internal/hashing"
+	"securecache/internal/membership"
 	"securecache/internal/metrics"
 	"securecache/internal/overload"
 	"securecache/internal/partition"
@@ -22,6 +24,20 @@ import (
 	"securecache/internal/repair"
 	"securecache/internal/rotation"
 )
+
+// nodeSet is the frontend's immutable snapshot of its backend fleet,
+// indexed by GLOBAL node ID (membership IDs are grow-only, so the
+// slices only ever extend; a drained node's slot stays allocated and
+// its client open until the frontend closes — epoch-tagged leftovers
+// may still need purging after it recovers). Readers load the snapshot
+// once per operation; growFleet swaps in a longer one under rotateMu.
+// The inflight counters are shared pointers, so counts survive a swap
+// and writers racing it still hit the same cell.
+type nodeSet struct {
+	clients  []*Client
+	inflight []*atomic.Int64
+	addrs    []string
+}
 
 // Selection chooses how the frontend picks a replica for a GET.
 type Selection string
@@ -110,6 +126,15 @@ type FrontendConfig struct {
 	// RepairRate caps anti-entropy repair writes per second (0 =
 	// DefaultRepairRate; negative = unlimited, for tests).
 	RepairRate float64
+	// Membership tunes live join/drain view changes (zero value =
+	// defaults; see MembershipConfig in membership.go).
+	Membership MembershipConfig
+	// Provision enables automatic cache re-provisioning: on every
+	// committed view change the frontend recomputes the paper's
+	// c* = n·(ln ln n / ln d) + n·k′ + 1 from the new member count and
+	// resizes its cache to it (when the cache supports Resize). Zero
+	// value (Items == 0) disables auto-provisioning.
+	Provision ProvisionConfig
 }
 
 // Frontend is the paper's front end: it owns the cache and the secret
@@ -117,10 +142,14 @@ type FrontendConfig struct {
 // the key's replica group. It speaks the same wire protocol as backends,
 // so clients are oblivious.
 type Frontend struct {
-	cfg       FrontendConfig
-	part      *rotation.EpochPartitioner
-	backends  []*Client
-	inflight  []atomic.Int64
+	cfg  FrontendConfig
+	part *rotation.EpochPartitioner
+	// fleet is the global-ID-indexed backend set; memb is the versioned
+	// membership view it mirrors. ccfg is the resolved client config,
+	// kept so nodes joining later get the same transport policy.
+	fleet     atomic.Pointer[nodeSet]
+	memb      *membership.Tracker
+	ccfg      ClientConfig
 	rrState   atomic.Uint64
 	randState atomic.Uint64
 	metrics   *metrics.Registry
@@ -165,8 +194,9 @@ type Frontend struct {
 	rotMu    sync.RWMutex
 	tombMu   sync.Mutex
 	tombs    map[string]struct{}
-	rotateMu sync.Mutex // serializes Rotate calls; guards migrator
+	rotateMu sync.Mutex // serializes Rotate/Join/Drain; guards migrator, curSeed
 	migrator *rotation.Migrator
+	curSeed  uint64 // the live secret seed; membership changes re-map with it
 	rotStop  chan struct{}
 	rotWG    sync.WaitGroup
 
@@ -176,7 +206,7 @@ type Frontend struct {
 	verClock    atomic.Uint64
 	writeQuorum int
 	hints       *repair.HintQueue
-	repairer    *repair.Repairer
+	repairer    atomic.Pointer[repair.Repairer] // rebuilt on view commit
 	repairedMu  sync.Mutex
 	repaired    map[string]struct{}
 	repairJobs  chan readRepairJob
@@ -213,11 +243,21 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.Provision.validate(); err != nil {
+		return nil, err
+	}
+	// The boot mapping is the dense hash wrapped in an identity Remap so
+	// that Group always speaks global node IDs — the same shape every
+	// post-membership-change mapping has.
+	bootIDs := make([]int, n)
+	for i := range bootIDs {
+		bootIDs[i] = i
+	}
 	f := &Frontend{
 		cfg:         cfg,
-		part:        rotation.NewEpochPartitioner(partition.NewHash(n, cfg.Replication, cfg.PartitionSeed)),
-		backends:    make([]*Client, n),
-		inflight:    make([]atomic.Int64, n),
+		part:        rotation.NewEpochPartitioner(partition.NewRemap(partition.NewHash(n, cfg.Replication, cfg.PartitionSeed), bootIDs)),
+		memb:        membership.NewTracker(cfg.BackendAddrs),
+		curSeed:     cfg.PartitionSeed,
 		metrics:     metrics.NewRegistry(),
 		tombs:       make(map[string]struct{}),
 		rotStop:     make(chan struct{}),
@@ -267,12 +307,27 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 			userOnSuppressed()
 		}
 	}
-	for i, addr := range cfg.BackendAddrs {
-		f.backends[i] = NewClientWithConfig(addr, ccfg)
+	f.ccfg = ccfg
+	ns := &nodeSet{
+		clients:  make([]*Client, n),
+		inflight: make([]*atomic.Int64, n),
+		addrs:    append([]string(nil), cfg.BackendAddrs...),
 	}
-	if f.repairer, err = f.newRepairer(); err != nil {
+	for i, addr := range cfg.BackendAddrs {
+		ns.clients[i] = NewClientWithConfig(addr, ccfg)
+		ns.inflight[i] = new(atomic.Int64)
+	}
+	f.fleet.Store(ns)
+	rep, err := f.newRepairer(bootIDs)
+	if err != nil {
 		return nil, err
 	}
+	if rep != nil {
+		f.repairer.Store(rep)
+	}
+	f.metrics.Gauge("membership_version").Set(1)
+	f.metrics.Gauge("cluster_nodes").Set(int64(n))
+	f.reprovision(n)
 	if f.health != nil {
 		f.probeWG.Add(1)
 		go f.probeLoop()
@@ -280,7 +335,10 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	f.rotWG.Add(2)
 	go f.hintDrainLoop()
 	go f.readRepairWorker()
-	if interval := cfg.RepairInterval; interval >= 0 && f.repairer != nil {
+	// The repair loop starts whenever anti-entropy is enabled, even if
+	// the boot cluster is too small to pair: a later join rebuilds the
+	// repairer and the loop picks it up on its next tick.
+	if interval := cfg.RepairInterval; interval >= 0 {
 		if interval == 0 {
 			interval = DefaultRepairInterval
 		}
@@ -301,8 +359,9 @@ func (f *Frontend) probeLoop() {
 		case <-f.probeStop:
 			return
 		case <-ticker.C:
+			ns := f.fleet.Load()
 			for _, node := range f.health.openNodes() {
-				if f.backends[node].Ping() == nil {
+				if node < len(ns.clients) && ns.clients[node].Ping() == nil {
 					f.health.onProbeSuccess(node)
 				}
 			}
@@ -396,10 +455,11 @@ func (f *Frontend) orderedGroup(group []int) []int {
 		ordered = rotated
 	default: // SelectLeastInflight
 		// Selection sort by inflight count (d is tiny).
+		ns := f.fleet.Load()
 		for i := 0; i < len(ordered); i++ {
 			best := i
 			for j := i + 1; j < len(ordered); j++ {
-				if f.inflight[ordered[j]].Load() < f.inflight[ordered[best]].Load() {
+				if ns.inflight[ordered[j]].Load() < ns.inflight[ordered[best]].Load() {
 					best = j
 				}
 			}
@@ -505,10 +565,11 @@ func (f *Frontend) fetchFromGroup(key string, ordered []int) ([]byte, error) {
 func (f *Frontend) fetchGroupVersioned(key string, ordered []int) ([]byte, uint64, error) {
 	var lastErr error
 	var empty []int // replicas that answered a clean miss before a hit
+	ns := f.fleet.Load()
 	for _, node := range ordered {
-		f.inflight[node].Add(1)
-		v, ver, tomb, err := f.backends[node].GetV(key)
-		f.inflight[node].Add(-1)
+		ns.inflight[node].Add(1)
+		v, ver, tomb, err := ns.clients[node].GetV(key)
+		ns.inflight[node].Add(-1)
 		switch {
 		case err == nil:
 			f.health.onSuccess(node)
@@ -580,10 +641,11 @@ func (f *Frontend) Set(key string, value []byte) error {
 	acks := 0
 	var failures []string
 	busies := 0
+	ns := f.fleet.Load()
 	for _, node := range cur.Group(id) {
-		f.inflight[node].Add(1)
-		err := f.backends[node].SetVersioned(key, value, epoch, ver)
-		f.inflight[node].Add(-1)
+		ns.inflight[node].Add(1)
+		err := ns.clients[node].SetVersioned(key, value, epoch, ver)
+		ns.inflight[node].Add(-1)
 		if err != nil {
 			f.noteBackendError(node, err)
 			if errors.Is(err, ErrBusy) {
@@ -669,14 +731,15 @@ func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 		node := f.orderedReplicas(keys[i])[0]
 		missIdx[node] = append(missIdx[node], i)
 	}
+	ns := f.fleet.Load()
 	for node, idxs := range missIdx {
 		batch := make([]string, len(idxs))
 		for j, i := range idxs {
 			batch[j] = keys[i]
 		}
-		f.inflight[node].Add(int64(len(batch)))
-		fetched, err := f.backends[node].MGet(batch)
-		f.inflight[node].Add(-int64(len(batch)))
+		ns.inflight[node].Add(int64(len(batch)))
+		fetched, err := ns.clients[node].MGet(batch)
+		ns.inflight[node].Add(-int64(len(batch)))
 		if err != nil {
 			// Batch path failed (node down mid-flight, or the node shed
 			// the batch): recover per key through the shared failover
@@ -756,12 +819,13 @@ func (f *Frontend) Del(key string) error {
 	acks := 0
 	var failures []string
 	busies := 0
+	ns := f.fleet.Load()
 	for _, node := range group {
 		// Track inflight like Get/Set do: least-inflight selection that
 		// cannot see delete load under-counts busy nodes.
-		f.inflight[node].Add(1)
-		err := f.backends[node].DelVersioned(key, epoch, ver)
-		f.inflight[node].Add(-1)
+		ns.inflight[node].Add(1)
+		err := ns.clients[node].DelVersioned(key, epoch, ver)
+		ns.inflight[node].Add(-1)
 		if err != nil {
 			f.noteBackendError(node, err)
 			if errors.Is(err, ErrBusy) {
@@ -784,9 +848,9 @@ func (f *Frontend) Del(key string) error {
 			if containsNode(group, node) {
 				continue
 			}
-			f.inflight[node].Add(1)
-			err := f.backends[node].Del(key)
-			f.inflight[node].Add(-1)
+			ns.inflight[node].Add(1)
+			err := ns.clients[node].Del(key)
+			ns.inflight[node].Add(-1)
 			if err != nil {
 				f.noteBackendError(node, err)
 				if errors.Is(err, ErrBusy) {
@@ -871,6 +935,12 @@ func (f *Frontend) handle(req *proto.Request) *proto.Response {
 			return errResponse("frontend", req.Op, err)
 		}
 		return &proto.Response{Status: proto.StatusOK, Payload: blob}
+	case proto.OpMembers:
+		blob, err := json.Marshal(f.MembershipStatus())
+		if err != nil {
+			return errResponse("frontend", req.Op, err)
+		}
+		return &proto.Response{Status: proto.StatusOK, Payload: blob}
 	case proto.OpPing:
 		return &proto.Response{Status: proto.StatusOK}
 	default:
@@ -943,14 +1013,16 @@ func (f *Frontend) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		// Admission control mirrors the backend: Ping/Stats bypass the
-		// gate, everything else is shed with StatusBusy when the
+		// Admission control mirrors the backend: Ping/Stats/Members
+		// bypass the gate (control plane must answer while the data
+		// plane sheds — kvload refreshes its address list on exactly
+		// this path), everything else is shed with StatusBusy when the
 		// frontend itself is past its limits. The slot is held until
 		// the response is flushed.
 		var resp *proto.Response
 		holding := false
 		switch {
-		case req.Op == proto.OpPing || req.Op == proto.OpStats:
+		case req.Op == proto.OpPing || req.Op == proto.OpStats || req.Op == proto.OpMembers:
 			resp = f.handle(req)
 		case f.gate.Admit():
 			holding = true
@@ -997,7 +1069,7 @@ func (f *Frontend) Close() error {
 		err = l.Close()
 	}
 	f.wg.Wait()
-	for _, c := range f.backends {
+	for _, c := range f.fleet.Load().clients {
 		c.Close()
 	}
 	return err

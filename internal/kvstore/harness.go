@@ -63,9 +63,13 @@ type LocalConfig struct {
 	HintDir        string
 	RepairInterval time.Duration
 	RepairRate     float64
+	// Membership and Provision configure the frontend's elastic
+	// membership and auto-provisioning (see FrontendConfig).
+	Membership MembershipConfig
+	Provision  ProvisionConfig
 	// Admin, when true, also starts the frontend's admin HTTP surface
-	// (with the rotation verbs mounted) on loopback; its address is in
-	// AdminAddr.
+	// (with the rotation and membership verbs mounted) on loopback; its
+	// address is in AdminAddr.
 	Admin bool
 }
 
@@ -103,6 +107,8 @@ func StartLocalCluster(cfg LocalConfig) (*LocalCluster, error) {
 		HintDir:          cfg.HintDir,
 		RepairInterval:   cfg.RepairInterval,
 		RepairRate:       cfg.RepairRate,
+		Membership:       cfg.Membership,
+		Provision:        cfg.Provision,
 	}, "127.0.0.1:0")
 	if err != nil {
 		lc.Close()
@@ -122,6 +128,21 @@ func StartLocalCluster(cfg LocalConfig) (*LocalCluster, error) {
 		lc.AdminAddr = adminAddr
 	}
 	return lc, nil
+}
+
+// AddBackend boots one more backend on loopback (global ID = its index
+// in Backends, matching the frontend's grow-only ID allocation when
+// each new backend is joined in boot order) and returns its address.
+// It does NOT join it to the frontend — call Frontend.Join with the
+// returned address.
+func (lc *LocalCluster) AddBackend(limits overload.Limits) (string, error) {
+	b, addr, err := StartBackendWithLimits(len(lc.Backends), "127.0.0.1:0", limits)
+	if err != nil {
+		return "", err
+	}
+	lc.Backends = append(lc.Backends, b)
+	lc.BackendAddrs = append(lc.BackendAddrs, addr)
+	return addr, nil
 }
 
 // BackendRequestCounts returns each backend's requests_total counter —

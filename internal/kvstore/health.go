@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -47,20 +48,32 @@ const (
 	breakerHalfOpen
 )
 
-// healthTracker is the frontend's per-backend circuit breaker. All
-// methods are safe for concurrent use; the hot-path cost of a healthy
-// lookup is one atomic load.
-type healthTracker struct {
-	cfg       HealthConfig
-	states    []atomic.Int32
-	fails     []atomic.Int32 // consecutive transport failures
-	openTotal *metrics.Counter
-	unhealthy []*metrics.Gauge // backend_unhealthy_<i>: 1 while open
+// healthSlots is one immutable-length snapshot of the per-node breaker
+// state. The per-node cells are pointers so a grown snapshot shares them
+// with its predecessor: breaker state survives a grow, and writers
+// racing a grow still hit the same cell.
+type healthSlots struct {
+	states    []*atomic.Int32
+	fails     []*atomic.Int32 // consecutive transport failures
+	retired   []*atomic.Bool  // drained/dead: out of selection and probing forever
+	unhealthy []*metrics.Gauge
 }
 
-// newHealthTracker returns a tracker for n backends, registering its
-// instruments in reg. Returns nil when cfg disables gating — the
-// frontend treats a nil tracker as "everything healthy".
+// healthTracker is the frontend's per-backend circuit breaker, sized by
+// global node ID and growable as membership changes allocate new IDs.
+// All methods are safe for concurrent use; the hot-path cost of a
+// healthy lookup is two atomic loads.
+type healthTracker struct {
+	cfg       HealthConfig
+	reg       *metrics.Registry
+	openTotal *metrics.Counter
+	growMu    sync.Mutex // serializes grow; reads are lock-free
+	slots     atomic.Pointer[healthSlots]
+}
+
+// newHealthTracker returns a tracker covering node IDs [0, n),
+// registering its instruments in reg. Returns nil when cfg disables
+// gating — the frontend treats a nil tracker as "everything healthy".
 func newHealthTracker(n int, cfg HealthConfig, reg *metrics.Registry) *healthTracker {
 	cfg = cfg.withDefaults()
 	if cfg.Disabled() {
@@ -68,25 +81,83 @@ func newHealthTracker(n int, cfg HealthConfig, reg *metrics.Registry) *healthTra
 	}
 	h := &healthTracker{
 		cfg:       cfg,
-		states:    make([]atomic.Int32, n),
-		fails:     make([]atomic.Int32, n),
+		reg:       reg,
 		openTotal: reg.Counter("breaker_open_total"),
-		unhealthy: make([]*metrics.Gauge, n),
 	}
-	for i := range h.unhealthy {
-		h.unhealthy[i] = reg.Gauge(fmt.Sprintf("backend_unhealthy_%d", i))
-	}
+	h.slots.Store(&healthSlots{})
+	h.grow(n)
 	return h
+}
+
+// grow extends the tracker to cover node IDs [0, n). New cells start
+// closed (healthy) and un-retired, so a freshly joined node is
+// immediately eligible for selection and failover. No-op if already
+// large enough; never shrinks (IDs are grow-only).
+func (h *healthTracker) grow(n int) {
+	if h == nil {
+		return
+	}
+	h.growMu.Lock()
+	defer h.growMu.Unlock()
+	old := h.slots.Load()
+	if len(old.states) >= n {
+		return
+	}
+	next := &healthSlots{
+		states:    append([]*atomic.Int32(nil), old.states...),
+		fails:     append([]*atomic.Int32(nil), old.fails...),
+		retired:   append([]*atomic.Bool(nil), old.retired...),
+		unhealthy: append([]*metrics.Gauge(nil), old.unhealthy...),
+	}
+	for i := len(next.states); i < n; i++ {
+		next.states = append(next.states, new(atomic.Int32))
+		next.fails = append(next.fails, new(atomic.Int32))
+		next.retired = append(next.retired, new(atomic.Bool))
+		next.unhealthy = append(next.unhealthy, h.reg.Gauge(fmt.Sprintf("backend_unhealthy_%d", i)))
+	}
+	h.slots.Store(next)
+}
+
+// retire permanently removes node from selection and probing (a drained
+// or dead member). Its breaker cell stays allocated — IDs are never
+// reused, so nothing can half-open it back in.
+func (h *healthTracker) retire(node int) {
+	if h == nil {
+		return
+	}
+	s := h.slots.Load()
+	if node < 0 || node >= len(s.states) {
+		return
+	}
+	s.retired[node].Store(true)
+	s.unhealthy[node].Set(0)
+}
+
+// retiredNode reports whether node has been retired.
+func (h *healthTracker) retiredNode(node int) bool {
+	if h == nil {
+		return false
+	}
+	s := h.slots.Load()
+	return node >= 0 && node < len(s.retired) && s.retired[node].Load()
 }
 
 // healthy reports whether node should be tried in normal order. Open
 // backends are demoted (not excluded): if every replica of a key is
-// open, the frontend still tries them as a last resort.
+// open, the frontend still tries them as a last resort. Retired nodes
+// are never healthy.
 func (h *healthTracker) healthy(node int) bool {
 	if h == nil {
 		return true
 	}
-	return h.states[node].Load() != breakerOpen
+	s := h.slots.Load()
+	if node < 0 || node >= len(s.states) {
+		return true
+	}
+	if s.retired[node].Load() {
+		return false
+	}
+	return s.states[node].Load() != breakerOpen
 }
 
 // onSuccess records a successful exchange with node (including
@@ -96,9 +167,13 @@ func (h *healthTracker) onSuccess(node int) {
 	if h == nil {
 		return
 	}
-	h.fails[node].Store(0)
-	if h.states[node].Swap(breakerClosed) != breakerClosed {
-		h.unhealthy[node].Set(0)
+	s := h.slots.Load()
+	if node < 0 || node >= len(s.states) {
+		return
+	}
+	s.fails[node].Store(0)
+	if s.states[node].Swap(breakerClosed) != breakerClosed {
+		s.unhealthy[node].Set(0)
 	}
 }
 
@@ -109,15 +184,19 @@ func (h *healthTracker) onFailure(node int) {
 	if h == nil {
 		return
 	}
-	n := h.fails[node].Add(1)
-	st := h.states[node].Load()
+	s := h.slots.Load()
+	if node < 0 || node >= len(s.states) {
+		return
+	}
+	n := s.fails[node].Add(1)
+	st := s.states[node].Load()
 	if st == breakerOpen {
 		return
 	}
 	if st == breakerHalfOpen || int(n) >= h.cfg.FailureThreshold {
-		if h.states[node].CompareAndSwap(st, breakerOpen) {
+		if s.states[node].CompareAndSwap(st, breakerOpen) {
 			h.openTotal.Inc()
-			h.unhealthy[node].Set(1)
+			s.unhealthy[node].Set(1)
 		}
 	}
 }
@@ -126,17 +205,26 @@ func (h *healthTracker) onFailure(node int) {
 // let real traffic through to confirm. The unhealthy gauge drops now —
 // the node is back in normal selection order.
 func (h *healthTracker) onProbeSuccess(node int) {
-	if h.states[node].CompareAndSwap(breakerOpen, breakerHalfOpen) {
-		h.fails[node].Store(0)
-		h.unhealthy[node].Set(0)
+	s := h.slots.Load()
+	if node < 0 || node >= len(s.states) || s.retired[node].Load() {
+		return
+	}
+	if s.states[node].CompareAndSwap(breakerOpen, breakerHalfOpen) {
+		s.fails[node].Store(0)
+		s.unhealthy[node].Set(0)
 	}
 }
 
-// openNodes returns the indices currently open (the probe targets).
+// openNodes returns the IDs currently open (the probe targets). Retired
+// nodes are excluded — a drained node must never be probed again.
 func (h *healthTracker) openNodes() []int {
 	var out []int
-	for i := range h.states {
-		if h.states[i].Load() == breakerOpen {
+	s := h.slots.Load()
+	for i := range s.states {
+		if s.retired[i].Load() {
+			continue
+		}
+		if s.states[i].Load() == breakerOpen {
 			out = append(out, i)
 		}
 	}
@@ -148,5 +236,9 @@ func (h *healthTracker) state(node int) int32 {
 	if h == nil {
 		return breakerClosed
 	}
-	return h.states[node].Load()
+	s := h.slots.Load()
+	if node < 0 || node >= len(s.states) {
+		return breakerClosed
+	}
+	return s.states[node].Load()
 }

@@ -24,6 +24,13 @@ type syncCache interface {
 	Stats() cache.Stats
 }
 
+// resizableCache is what the auto-provisioner needs from a syncCache to
+// apply a new c* live (cache.Sharded satisfies it directly; lockedCache
+// forwards under its mutex to any policy implementing cache.Resizable).
+type resizableCache interface {
+	Resize(capacity int) bool
+}
+
 // concurrentCache is what a cache must provide for the frontend to skip
 // its serializing mutex: the base interface, the atomic write-path
 // refresh, and the ConcurrentSafe marker (cache.Sharded carries all
@@ -86,6 +93,19 @@ func (l *lockedCache) Stats() cache.Stats {
 	st := l.c.Stats()
 	l.mu.Unlock()
 	return st
+}
+
+func (l *lockedCache) Resize(capacity int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.c.(cache.Resizable)
+	return ok && r.Resize(capacity)
+}
+
+func (l *lockedCache) Cap() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Cap()
 }
 
 // flightGroup coalesces concurrent fetches of the same key: the first

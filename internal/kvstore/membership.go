@@ -1,0 +1,656 @@
+package kvstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"securecache/internal/core"
+	"securecache/internal/membership"
+	"securecache/internal/metrics"
+	"securecache/internal/overload"
+	"securecache/internal/partition"
+	"securecache/internal/rotation"
+)
+
+// This file is the frontend half of elastic membership: live join and
+// drain of backend nodes, riding on the same epoch machinery as secret
+// rotation (rotate.go). A view change is a rotation whose next-epoch
+// mapping covers a DIFFERENT node set but the SAME secret seed:
+//
+//  1. Join/Drain stages a new membership view (internal/membership),
+//     grows the fleet and breaker state to cover any new node IDs, and
+//     opens an epoch change to the new (n, seed) mapping. Because the
+//     seed is unchanged and the hash is wrapped in partition.Remap,
+//     only keys whose replica group actually changed move — the
+//     expected fraction is reported up front (partition.MovedFraction).
+//  2. While the change is open, the dual-epoch read path (rotate.go)
+//     keeps every key readable, writes go quorum-to-the-new-group with
+//     hinted handoff, and the migrator re-places old-epoch entries,
+//     rate-limited and adaptively slowed when backends shed.
+//  3. On a drained pass the change commits: joining nodes become
+//     active, draining nodes become dead and are retired from probing
+//     and selection, the anti-entropy repairer is rebuilt over the new
+//     member set, and the cache is re-provisioned to the new
+//     c* = n·(ln ln n / ln d) + n·k′ + 1.
+//  4. A join whose new node dies mid-fill cannot ever finish (copies
+//     to it can never land): after MembershipConfig.AbortAfter the
+//     change rolls back — the epoch reverses (rotation.Reverse), a
+//     reverse migration re-homes everything under the old mapping, and
+//     the staged view aborts with the dead joiner's ID burned.
+//
+// A node dying mid-DRAIN needs no rollback: moves target the new
+// group, which excludes it, and its un-scanned keys are covered by its
+// d-1 group siblings — the migrator skips it (breaker-open check) and
+// the change commits as long as fewer than d nodes were unscannable.
+
+// DefaultJoinAbortAfter is how long a view change keeps retrying
+// against a dead joining node before rolling back.
+const DefaultJoinAbortAfter = 20 * time.Second
+
+// defaultViewRetryDelay paces migration retries within a view change.
+const defaultViewRetryDelay = 500 * time.Millisecond
+
+// MembershipConfig tunes live join/drain. The zero value uses the
+// defaults above.
+type MembershipConfig struct {
+	// AbortAfter bounds how long a view change keeps retrying while a
+	// JOINING node is unreachable before rolling the change back
+	// (0 = DefaultJoinAbortAfter; negative = retry forever).
+	AbortAfter time.Duration
+	// RetryDelay is the pause between failed migration passes during a
+	// view change (0 = 500ms).
+	RetryDelay time.Duration
+}
+
+// ProvisionConfig enables automatic cache provisioning from the
+// paper's model: on boot and on every committed view change the
+// frontend computes c* from the live member count and resizes its
+// cache. Zero value (Items == 0) disables it.
+type ProvisionConfig struct {
+	// Items is m, the expected number of stored keys. > 0 enables
+	// auto-provisioning.
+	Items int
+	// KPrime is the Θ(1) additive constant k' (0 = core.DefaultKPrime).
+	KPrime float64
+	// KOverride, if non-zero, uses this k directly (the paper's figures
+	// fix k = 1.2).
+	KOverride float64
+}
+
+func (p ProvisionConfig) validate() error {
+	if p.Items < 0 {
+		return fmt.Errorf("kvstore: Provision.Items = %d, need >= 0", p.Items)
+	}
+	return nil
+}
+
+// MembershipReport is what Join/Drain returns once the view change is
+// staged and migrating.
+type MembershipReport struct {
+	// Version is the staged view's version.
+	Version uint64 `json:"version"`
+	// Epoch is the epoch the change opened.
+	Epoch uint32 `json:"epoch"`
+	// Joined lists the staged joining nodes with their newly allocated
+	// global IDs.
+	Joined []membership.Node `json:"joined,omitempty"`
+	// Drained lists the IDs staged out.
+	Drained []int `json:"drained,omitempty"`
+	// ExpectedMovedFraction is the sampled fraction of keys whose
+	// replica group changes under the new member set. How close it sits
+	// to the minimal consistent-placement cost depends on the
+	// partitioner's stability under an n change (the hash partitioner
+	// reshuffles broadly); either way the migrator verifies per key and
+	// copies nothing for groups that survived the change.
+	ExpectedMovedFraction float64 `json:"expected_moved_fraction"`
+}
+
+// MembershipStatus is the observable membership state (also the
+// payload of the OpMembers wire verb, which is how kvload and secguard
+// discover the live cluster shape).
+type MembershipStatus struct {
+	Version uint64 `json:"version"`
+	Epoch   uint32 `json:"epoch"`
+	// Changing reports a staged, uncommitted view change.
+	Changing bool `json:"changing"`
+	// Rotating reports any open epoch change (seed rotation OR view
+	// change) — while true, reads run dual-epoch.
+	Rotating    bool              `json:"rotating"`
+	Nodes       []membership.Node `json:"nodes"`
+	Members     []int             `json:"members"`
+	MemberAddrs []string          `json:"member_addrs"`
+	// CStar is the auto-provisioned cache size target for the current
+	// member count (0 when auto-provisioning is off).
+	CStar int `json:"cstar,omitempty"`
+	// CacheCapacity is the cache's live capacity (0 when cacheless).
+	CacheCapacity int `json:"cache_capacity,omitempty"`
+}
+
+// Join adds backend nodes at the given addresses to the cluster: each
+// gets a fresh grow-only global ID, joins the staged member set, and
+// is filled by the migration before the view commits. Returns once the
+// change is staged and migrating (progress via MembershipStatus).
+func (f *Frontend) Join(addrs ...string) (MembershipReport, error) {
+	if len(addrs) == 0 {
+		return MembershipReport{}, errors.New("kvstore: join with no addresses")
+	}
+	return f.changeView(addrs, nil)
+}
+
+// Drain removes active members from the cluster: their keys migrate to
+// the remaining members' groups, and on commit they are retired — out
+// of selection, probing, and repair, their IDs never reused.
+func (f *Frontend) Drain(ids ...int) (MembershipReport, error) {
+	if len(ids) == 0 {
+		return MembershipReport{}, errors.New("kvstore: drain with no node IDs")
+	}
+	return f.changeView(nil, ids)
+}
+
+// changeView stages one membership change and opens its epoch change.
+// Serialized with Rotate by rotateMu; only one epoch change of either
+// kind may be open.
+func (f *Frontend) changeView(joinAddrs []string, drainIDs []int) (MembershipReport, error) {
+	f.rotateMu.Lock()
+	defer f.rotateMu.Unlock()
+	if f.part.Rotating() {
+		return MembershipReport{}, ErrRotationInProgress
+	}
+	d := f.cfg.Replication
+	// Fail fast: a joiner that cannot answer a ping now would doom the
+	// fill migration. Build (and keep) its client before staging
+	// anything, so a refusal leaves no trace.
+	joined := make(map[string]*Client, len(joinAddrs))
+	closeJoined := func() {
+		for _, c := range joined {
+			c.Close()
+		}
+	}
+	for _, addr := range joinAddrs {
+		c := NewClientWithConfig(addr, f.ccfg)
+		if err := c.Ping(); err != nil {
+			c.Close()
+			closeJoined()
+			return MembershipReport{}, fmt.Errorf("kvstore: join %s: node unreachable: %w", addr, err)
+		}
+		joined[addr] = c
+	}
+	oldMembers := f.memb.View().Members()
+	staged, err := f.memb.StageChange(joinAddrs, drainIDs)
+	if err != nil {
+		closeJoined()
+		return MembershipReport{}, err
+	}
+	members := staged.Members()
+	if len(members) < d {
+		f.memb.Abort()
+		closeJoined()
+		return MembershipReport{}, fmt.Errorf("kvstore: change leaves %d members, need >= replication %d", len(members), d)
+	}
+	// Grow (never shrink) the fleet and breaker state to cover the new
+	// IDs before any mapping can hand them out.
+	f.growFleet(staged, joined)
+	// Same secret seed, new member set: only keys whose group changed
+	// under the (n, seed) remap move.
+	next := partition.NewRemap(partition.NewHash(len(members), d, f.curSeed), members)
+	_, cur, _ := f.part.Snapshot()
+	samples := f.cfg.Rotation.MovedFractionSamples
+	if samples <= 0 {
+		samples = DefaultMovedFractionSamples
+	}
+	frac, err := partition.MovedFraction(cur, next, samples)
+	if err != nil {
+		f.memb.Abort()
+		return MembershipReport{}, err
+	}
+	limiter, rate := f.newMigrationLimiter()
+	mig, err := rotation.NewMigrator(rotation.MigratorConfig{
+		// Scan the union of the generations: data can only live where
+		// one of them placed it. Draining nodes are scanned (their data
+		// must leave); dead joiners are skipped by the breaker check.
+		NodeIDs:     unionNodes(oldMembers, members),
+		Batch:       f.cfg.Rotation.Batch,
+		MaxAttempts: f.cfg.Rotation.MaxAttempts,
+		Backoff:     f.cfg.Rotation.Backoff,
+		Limiter:     limiter,
+		Unavailable: f.nodeUnavailable,
+		OnSkip:      func(int) { f.metrics.Counter("migration_scan_skipped_total").Inc() },
+		OnMoved:     f.metrics.Counter("rotation_keys_moved_total").Inc,
+		OnInflight:  func(delta int) { f.metrics.Gauge("rotation_inflight").Add(int64(delta)) },
+	}, &migrationTransport{f: f, rate: rate})
+	if err != nil {
+		f.memb.Abort()
+		return MembershipReport{}, err
+	}
+	f.rotMu.Lock()
+	epoch, err := f.part.BeginMembership(next)
+	f.rotMu.Unlock()
+	if err != nil {
+		f.memb.Abort()
+		return MembershipReport{}, err
+	}
+	f.metrics.Counter("membership_changes_total").Inc()
+	f.metrics.Gauge("partition_epoch").Set(int64(epoch))
+	f.metrics.Gauge("membership_version").Set(int64(staged.Version))
+	f.migrator = mig
+	f.rotWG.Add(1)
+	go f.runViewChange(mig, epoch, staged)
+	report := MembershipReport{
+		Version:               staged.Version,
+		Epoch:                 epoch,
+		Drained:               append([]int(nil), drainIDs...),
+		ExpectedMovedFraction: frac,
+	}
+	for _, node := range staged.Nodes {
+		if node.State == membership.StateJoining {
+			report.Joined = append(report.Joined, node)
+		}
+	}
+	return report, nil
+}
+
+// growFleet extends the fleet snapshot and breaker state to cover
+// every ID in the staged view. Called under rotateMu; readers load the
+// old snapshot lock-free until the swap. Inflight cells are shared
+// between snapshots, so counts carry over.
+func (f *Frontend) growFleet(staged membership.View, joined map[string]*Client) {
+	old := f.fleet.Load()
+	maxID := len(old.clients) - 1
+	for _, n := range staged.Nodes {
+		if n.ID > maxID {
+			maxID = n.ID
+		}
+	}
+	if maxID < len(old.clients) {
+		return
+	}
+	ns := &nodeSet{
+		clients:  append([]*Client(nil), old.clients...),
+		inflight: append([]*atomic.Int64(nil), old.inflight...),
+		addrs:    append([]string(nil), old.addrs...),
+	}
+	for len(ns.clients) <= maxID {
+		ns.clients = append(ns.clients, nil)
+		ns.inflight = append(ns.inflight, new(atomic.Int64))
+		ns.addrs = append(ns.addrs, "")
+	}
+	for _, n := range staged.Nodes {
+		if ns.clients[n.ID] == nil {
+			c := joined[n.Addr]
+			if c == nil {
+				c = NewClientWithConfig(n.Addr, f.ccfg)
+			}
+			ns.clients[n.ID] = c
+			ns.addrs[n.ID] = n.Addr
+		}
+	}
+	f.fleet.Store(ns)
+	f.health.grow(maxID + 1)
+}
+
+// runViewChange drives the view-change migration to commit or
+// rollback. Mirrors runMigration (rotate.go) with two differences: the
+// commit also commits the membership view and re-provisions, and a
+// join whose new node is dead past the grace period rolls back instead
+// of retrying forever.
+func (f *Frontend) runViewChange(mig *rotation.Migrator, epoch uint32, staged membership.View) {
+	defer f.rotWG.Done()
+	abortAfter := f.cfg.Membership.AbortAfter
+	if abortAfter == 0 {
+		abortAfter = DefaultJoinAbortAfter
+	}
+	var joinDeadSince time.Time
+	for {
+		_, err := mig.Run(f.rotStop)
+		if err == nil {
+			// Commit-with-skips is sound only below d unscannable nodes:
+			// every key has d replicas, so with < d skipped at least one
+			// scanned node covered it.
+			if len(mig.Skipped()) < f.cfg.Replication {
+				f.commitViewChange(mig, epoch, staged)
+				return
+			}
+			log.Printf("kvstore: view change v%d: %d nodes unscannable (need < %d to commit); will retry",
+				staged.Version, len(mig.Skipped()), f.cfg.Replication)
+		} else {
+			if errors.Is(err, rotation.ErrStopped) {
+				return
+			}
+			f.metrics.Counter("rotation_failed_total").Inc()
+			log.Printf("kvstore: view change v%d: migration: %v (will retry)", staged.Version, err)
+		}
+		// A dead JOINING node makes the fill impossible — its copies can
+		// never land. After the grace period, roll the change back.
+		if dead := f.deadJoiner(staged); dead >= 0 && abortAfter > 0 {
+			if joinDeadSince.IsZero() {
+				joinDeadSince = time.Now()
+			}
+			if time.Since(joinDeadSince) >= abortAfter {
+				log.Printf("kvstore: view change v%d: joining node %d unreachable for %v; rolling back",
+					staged.Version, dead, abortAfter)
+				f.rollbackViewChange(staged)
+				return
+			}
+		} else {
+			joinDeadSince = time.Time{}
+		}
+		select {
+		case <-f.rotStop:
+			return
+		case <-time.After(f.viewRetryDelay()):
+		}
+	}
+}
+
+func (f *Frontend) viewRetryDelay() time.Duration {
+	return defDur(f.cfg.Membership.RetryDelay, defaultViewRetryDelay)
+}
+
+// deadJoiner returns the ID of a staged joining node whose breaker is
+// open (-1 if none). Migration traffic itself feeds the breaker
+// (migrationTransport), so a dead joiner is detected even on an
+// otherwise idle cluster.
+func (f *Frontend) deadJoiner(staged membership.View) int {
+	for _, n := range staged.Nodes {
+		if n.State == membership.StateJoining && f.nodeUnavailable(n.ID) {
+			return n.ID
+		}
+	}
+	return -1
+}
+
+// commitViewChange finalizes a drained view change: epoch commit under
+// the write barrier, membership commit, then re-provisioning — all
+// under rotateMu so no Rotate/Join/Drain interleaves.
+func (f *Frontend) commitViewChange(mig *rotation.Migrator, epoch uint32, staged membership.View) {
+	f.rotateMu.Lock()
+	f.rotMu.Lock()
+	f.part.Commit()
+	f.rotMu.Unlock()
+	view := f.memb.Commit()
+	f.applyCommittedView(view)
+	f.rotateMu.Unlock()
+	f.tombMu.Lock()
+	f.tombs = make(map[string]struct{})
+	f.tombMu.Unlock()
+	f.metrics.Counter("membership_commits_total").Inc()
+	log.Printf("kvstore: view change v%d committed at epoch %d: %d keys re-placed, %d members serving",
+		view.Version, epoch, mig.Moved(), len(view.Members()))
+}
+
+// rollbackViewChange reverses a failed join: the epoch change swaps
+// back toward the OLD mapping (rotation.Reverse — a forward migration
+// in the opposite direction, because entries already purged from their
+// old homes exist only under the new mapping and a plain abort would
+// lose them), the reverse migration re-homes everything, and the
+// staged view aborts. Draining nodes return to active; joining nodes
+// are recorded dead and retired.
+func (f *Frontend) rollbackViewChange(staged membership.View) {
+	f.metrics.Counter("membership_aborts_total").Inc()
+	f.rotMu.Lock()
+	epoch, err := f.part.Reverse()
+	f.rotMu.Unlock()
+	if err != nil {
+		log.Printf("kvstore: view change v%d rollback: %v", staged.Version, err)
+		return
+	}
+	f.metrics.Gauge("partition_epoch").Set(int64(epoch))
+	oldMembers := f.memb.View().Members() // committed (pre-change) members
+	limiter, rate := f.newMigrationLimiter()
+	mig, merr := rotation.NewMigrator(rotation.MigratorConfig{
+		NodeIDs:     unionNodes(oldMembers, staged.Members()),
+		Batch:       f.cfg.Rotation.Batch,
+		MaxAttempts: f.cfg.Rotation.MaxAttempts,
+		Backoff:     f.cfg.Rotation.Backoff,
+		Limiter:     limiter,
+		Unavailable: f.nodeUnavailable,
+		OnSkip:      func(int) { f.metrics.Counter("migration_scan_skipped_total").Inc() },
+		OnMoved:     f.metrics.Counter("rotation_keys_moved_total").Inc,
+		OnInflight:  func(delta int) { f.metrics.Gauge("rotation_inflight").Add(int64(delta)) },
+	}, &migrationTransport{f: f, rate: rate})
+	if merr != nil {
+		log.Printf("kvstore: view change v%d rollback: %v", staged.Version, merr)
+		return
+	}
+	f.rotateMu.Lock()
+	f.migrator = mig
+	f.rotateMu.Unlock()
+	for {
+		_, err := mig.Run(f.rotStop)
+		if err == nil && len(mig.Skipped()) < f.cfg.Replication {
+			break
+		}
+		if errors.Is(err, rotation.ErrStopped) {
+			return
+		}
+		if err != nil {
+			log.Printf("kvstore: view change v%d rollback migration: %v (will retry)", staged.Version, err)
+		}
+		select {
+		case <-f.rotStop:
+			return
+		case <-time.After(f.viewRetryDelay()):
+		}
+	}
+	f.rotateMu.Lock()
+	f.rotMu.Lock()
+	f.part.Commit()
+	f.rotMu.Unlock()
+	view := f.memb.Abort()
+	f.applyCommittedView(view)
+	f.rotateMu.Unlock()
+	f.tombMu.Lock()
+	f.tombs = make(map[string]struct{})
+	f.tombMu.Unlock()
+	log.Printf("kvstore: view change v%d rolled back: %d members serving under the original mapping",
+		staged.Version, len(view.Members()))
+}
+
+// applyCommittedView re-derives everything downstream of the member
+// set: retired breakers for dead nodes, a fresh anti-entropy repairer,
+// membership gauges, and the auto-provisioned cache size. Called under
+// rotateMu.
+func (f *Frontend) applyCommittedView(view membership.View) {
+	members := view.Members()
+	for _, n := range view.Nodes {
+		if n.State == membership.StateDead {
+			f.health.retire(n.ID)
+		}
+	}
+	rep, err := f.newRepairer(members)
+	if err != nil {
+		log.Printf("kvstore: rebuilding repairer for view v%d: %v", view.Version, err)
+	} else {
+		f.repairer.Store(rep)
+	}
+	f.metrics.Gauge("membership_version").Set(int64(view.Version))
+	f.metrics.Gauge("cluster_nodes").Set(int64(len(members)))
+	f.reprovision(len(members))
+}
+
+// reprovision recomputes c* for n members and resizes the cache to it
+// (when auto-provisioning is on and the cache supports Resize).
+func (f *Frontend) reprovision(n int) {
+	p, ok := f.provisionParams(n)
+	if !ok {
+		return
+	}
+	cstar := p.RequiredCacheSize()
+	f.metrics.Gauge("provision_cstar").Set(int64(cstar))
+	if f.cache == nil {
+		return
+	}
+	if rc, ok := f.cache.(resizableCache); ok && rc.Resize(cstar) {
+		f.metrics.Counter("cache_resizes_total").Inc()
+	}
+	if cp, ok := f.cache.(interface{ Cap() int }); ok {
+		f.metrics.Gauge("cache_capacity").Set(int64(cp.Cap()))
+	}
+}
+
+// provisionParams builds the paper's Params for n members, false when
+// auto-provisioning is off or the shape falls outside the model (e.g.
+// n < 2 mid-experiment — the bound needs at least two nodes).
+func (f *Frontend) provisionParams(n int) (core.Params, bool) {
+	if f.cfg.Provision.Items <= 0 {
+		return core.Params{}, false
+	}
+	p := core.Params{
+		Nodes:       n,
+		Replication: f.cfg.Replication,
+		Items:       f.cfg.Provision.Items,
+		KPrime:      f.cfg.Provision.KPrime,
+		KOverride:   f.cfg.Provision.KOverride,
+	}
+	if err := p.Validate(); err != nil {
+		log.Printf("kvstore: auto-provision skipped for n=%d: %v", n, err)
+		return core.Params{}, false
+	}
+	return p, true
+}
+
+// MembershipStatus reports the current membership view and provisioning
+// state.
+func (f *Frontend) MembershipStatus() MembershipStatus {
+	view := f.memb.Current()
+	epoch, _, prev := f.part.Snapshot()
+	st := MembershipStatus{
+		Version:     view.Version,
+		Epoch:       epoch,
+		Changing:    f.memb.Changing(),
+		Rotating:    prev != nil,
+		Nodes:       view.Nodes,
+		Members:     view.Members(),
+		MemberAddrs: view.MemberAddrs(),
+	}
+	if p, ok := f.provisionParams(len(st.Members)); ok {
+		st.CStar = p.RequiredCacheSize()
+	}
+	if cp, ok := f.cache.(interface{ Cap() int }); ok {
+		st.CacheCapacity = cp.Cap()
+	}
+	return st
+}
+
+// membershipHandlers returns the membership admin verbs (merged into
+// AdminHandlers in rotate.go).
+func (f *Frontend) membershipHandlers() map[string]http.HandlerFunc {
+	writeReport := func(w http.ResponseWriter, report MembershipReport, err error) {
+		switch {
+		case errors.Is(err, ErrRotationInProgress) || errors.Is(err, membership.ErrChangeActive):
+			http.Error(w, err.Error(), http.StatusConflict)
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(report)
+		}
+	}
+	return map[string]http.HandlerFunc{
+		"/join": func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			addrs := r.URL.Query()["addr"]
+			if len(addrs) == 0 {
+				http.Error(w, "addr parameter required", http.StatusBadRequest)
+				return
+			}
+			report, err := f.Join(addrs...)
+			writeReport(w, report, err)
+		},
+		"/drain": func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			var ids []int
+			for _, s := range r.URL.Query()["id"] {
+				id, err := strconv.Atoi(s)
+				if err != nil {
+					http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				ids = append(ids, id)
+			}
+			if len(ids) == 0 {
+				http.Error(w, "id parameter required", http.StatusBadRequest)
+				return
+			}
+			report, err := f.Drain(ids...)
+			writeReport(w, report, err)
+		},
+		"/membership": func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(f.MembershipStatus())
+		},
+	}
+}
+
+// migRateController adapts the migration rate to backend pushback: a
+// shed (StatusBusy) move halves the rate (down to 1/16 of the
+// configured base), a sustained run of clean moves doubles it back.
+// Migration pressure is the one load source the frontend fully
+// controls, so it yields first when the cluster is defending itself —
+// "shed during migration" must slow the migration, not the clients.
+type migRateController struct {
+	limiter *overload.TokenBucket
+	base    float64
+	gauge   *metrics.Gauge
+	mu      sync.Mutex
+	cur     float64
+	clean   int
+}
+
+const (
+	migRateMinFraction   = 1.0 / 16
+	migRateCleanUpStreak = 64
+)
+
+func newMigRateController(l *overload.TokenBucket, base float64, g *metrics.Gauge) *migRateController {
+	if l == nil {
+		return nil
+	}
+	g.Set(int64(base))
+	return &migRateController{limiter: l, base: base, gauge: g, cur: base}
+}
+
+func (c *migRateController) onBusy() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	floor := c.base * migRateMinFraction
+	c.cur /= 2
+	if c.cur < floor {
+		c.cur = floor
+	}
+	c.clean = 0
+	c.limiter.SetRate(c.cur)
+	c.gauge.Set(int64(c.cur))
+}
+
+func (c *migRateController) onClean() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur >= c.base {
+		return
+	}
+	c.clean++
+	if c.clean < migRateCleanUpStreak {
+		return
+	}
+	c.clean = 0
+	c.cur *= 2
+	if c.cur > c.base {
+		c.cur = c.base
+	}
+	c.limiter.SetRate(c.cur)
+	c.gauge.Set(int64(c.cur))
+}

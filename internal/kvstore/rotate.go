@@ -64,6 +64,14 @@ type RotationConfig struct {
 	// MovedFractionSamples sizes the pre-rotation MovedFraction estimate
 	// (0 = DefaultMovedFractionSamples).
 	MovedFractionSamples int
+	// MaxAttempts bounds retries of one failing scan or move before the
+	// migration pass surfaces the error (0 = the migrator default). View
+	// changes check for a dead joiner between passes, so a lower value
+	// makes the join-abort grace period more responsive.
+	MaxAttempts int
+	// Backoff is the base per-attempt retry backoff (0 = the migrator
+	// default).
+	Backoff time.Duration
 }
 
 // ErrRotationInProgress reports a Rotate while one is already running.
@@ -103,7 +111,10 @@ func (f *Frontend) Rotate(newSeed uint64) (RotationReport, error) {
 		return RotationReport{}, ErrRotationInProgress
 	}
 	_, cur, _ := f.part.Snapshot()
-	next := partition.NewHash(len(f.backends), f.cfg.Replication, newSeed)
+	// Re-seed over the CURRENT member set (global IDs with holes after
+	// membership changes — the Remap translates).
+	members := f.memb.Current().Members()
+	next := partition.NewRemap(partition.NewHash(len(members), f.cfg.Replication, newSeed), members)
 	samples := f.cfg.Rotation.MovedFractionSamples
 	if samples <= 0 {
 		samples = DefaultMovedFractionSamples
@@ -113,26 +124,20 @@ func (f *Frontend) Rotate(newSeed uint64) (RotationReport, error) {
 		return RotationReport{}, err
 	}
 
-	var limiter *overload.TokenBucket
-	if rate := f.cfg.Rotation.Rate; rate >= 0 {
-		if rate == 0 {
-			rate = DefaultRotationRate
-		}
-		burst := f.cfg.Rotation.Burst
-		if burst <= 0 {
-			burst = DefaultRotationBurst
-		}
-		limiter = overload.NewTokenBucket(rate, float64(burst))
-	}
+	limiter, rate := f.newMigrationLimiter()
 	movedCtr := f.metrics.Counter("rotation_keys_moved_total")
 	inflight := f.metrics.Gauge("rotation_inflight")
 	mig, err := rotation.NewMigrator(rotation.MigratorConfig{
-		Nodes:      len(f.backends),
-		Batch:      f.cfg.Rotation.Batch,
-		Limiter:    limiter,
-		OnMoved:    movedCtr.Inc,
-		OnInflight: func(delta int) { inflight.Add(int64(delta)) },
-	}, &migrationTransport{f: f})
+		NodeIDs:     members,
+		Batch:       f.cfg.Rotation.Batch,
+		MaxAttempts: f.cfg.Rotation.MaxAttempts,
+		Backoff:     f.cfg.Rotation.Backoff,
+		Limiter:     limiter,
+		Unavailable: f.nodeUnavailable,
+		OnSkip:      func(int) { f.metrics.Counter("migration_scan_skipped_total").Inc() },
+		OnMoved:     movedCtr.Inc,
+		OnInflight:  func(delta int) { inflight.Add(int64(delta)) },
+	}, &migrationTransport{f: f, rate: rate})
 	if err != nil {
 		return RotationReport{}, err
 	}
@@ -145,12 +150,32 @@ func (f *Frontend) Rotate(newSeed uint64) (RotationReport, error) {
 	if err != nil {
 		return RotationReport{}, err
 	}
+	f.curSeed = newSeed
 	f.metrics.Counter("rotations_total").Inc()
 	f.metrics.Gauge("partition_epoch").Set(int64(epoch))
 	f.migrator = mig
 	f.rotWG.Add(1)
 	go f.runMigration(mig, epoch)
 	return RotationReport{Epoch: epoch, ExpectedMovedFraction: frac}, nil
+}
+
+// newMigrationLimiter builds the rate limiter for one migration from
+// the rotation config, plus the adaptive controller that retunes it
+// against backend pushback (nil limiter when unlimited).
+func (f *Frontend) newMigrationLimiter() (*overload.TokenBucket, *migRateController) {
+	rate := f.cfg.Rotation.Rate
+	if rate < 0 {
+		return nil, nil
+	}
+	if rate == 0 {
+		rate = DefaultRotationRate
+	}
+	burst := f.cfg.Rotation.Burst
+	if burst <= 0 {
+		burst = DefaultRotationBurst
+	}
+	limiter := overload.NewTokenBucket(rate, float64(burst))
+	return limiter, newMigRateController(limiter, rate, f.metrics.Gauge("migration_rate"))
 }
 
 // runMigration drives the migrator to completion and commits the
@@ -164,13 +189,22 @@ func (f *Frontend) runMigration(mig *rotation.Migrator, epoch uint32) {
 	for {
 		_, err := mig.Run(f.rotStop)
 		if err == nil {
-			break
+			// Unreachable nodes are skipped, not fatal — but committing is
+			// only sound while fewer than d were skipped (every key has d
+			// replicas, so at least one scanned node covered it). At d or
+			// more, a key could live exclusively on the unscanned set.
+			if len(mig.Skipped()) < f.cfg.Replication {
+				break
+			}
+			log.Printf("kvstore: rotation to epoch %d: %d nodes unscannable (need < %d to commit); will retry",
+				epoch, len(mig.Skipped()), f.cfg.Replication)
+		} else {
+			if errors.Is(err, rotation.ErrStopped) {
+				return
+			}
+			f.metrics.Counter("rotation_failed_total").Inc()
+			log.Printf("kvstore: rotation to epoch %d: migration: %v (will retry)", epoch, err)
 		}
-		if errors.Is(err, rotation.ErrStopped) {
-			return
-		}
-		f.metrics.Counter("rotation_failed_total").Inc()
-		log.Printf("kvstore: rotation to epoch %d: migration: %v (will retry)", epoch, err)
 		select {
 		case <-f.rotStop:
 			return
@@ -293,40 +327,86 @@ func (f *Frontend) moveEntry(key string, value []byte, ver uint64) error {
 	if prev == nil {
 		return nil // rotation closed under us; nothing left to place
 	}
+	ns := f.fleet.Load()
 	newGroup := cur.Group(id)
+	oldGroup := prev.Group(id)
 	for _, node := range newGroup {
-		if err := f.backends[node].CopyEpoch(key, value, epoch, ver); err != nil {
+		if err := ns.clients[node].CopyEpoch(key, value, epoch, ver); err != nil {
+			f.noteBackendError(node, err)
 			return err
 		}
+		f.health.onSuccess(node)
 	}
 	// Mark before purging: a reader that sees the watermark skips the old
 	// generation entirely, which is only sound once every new-group
 	// replica holds the entry (it does, as of the loop above).
 	f.part.MarkMigrated(id)
-	for _, node := range prev.Group(id) {
+	if equalNodeSets(newGroup, oldGroup) {
+		f.metrics.Counter("migration_keys_retagged_total").Inc()
+	} else {
+		f.metrics.Counter("migration_keys_moved_total").Inc()
+	}
+	for _, node := range oldGroup {
 		if !containsNode(newGroup, node) {
-			if err := f.backends[node].Del(key); err != nil {
+			if err := ns.clients[node].Del(key); err != nil {
+				f.noteBackendError(node, err)
+				// A purge against a dead node (a drained member that
+				// crashed, say) must not wedge the migration: the entry is
+				// safely re-homed, and the leftover copy is invisible to
+				// reads — the node is out of both groups or demoted. It is
+				// re-purged by the next scan pass if the node recovers.
+				if f.nodeUnavailable(node) {
+					f.metrics.Counter("migration_purge_skipped_total").Inc()
+					continue
+				}
 				return err
 			}
+			f.health.onSuccess(node)
 		}
 	}
 	return nil
 }
 
+// nodeUnavailable reports that node's breaker is open: probes and real
+// traffic are failing, so the migrator should scan around it rather
+// than wedge on it.
+func (f *Frontend) nodeUnavailable(node int) bool {
+	return f.health != nil && f.health.state(node) == breakerOpen
+}
+
+// equalNodeSets reports whether two replica groups contain the same
+// nodes (order-insensitive; groups are tiny).
+func equalNodeSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, n := range a {
+		if !containsNode(b, n) {
+			return false
+		}
+	}
+	return true
+}
+
 // migrationTransport adapts the frontend's backend clients to the
-// rotation.Transport interface.
+// rotation.Transport interface, feeding the health tracker (so a node
+// dying mid-migration is detected by the migration itself, not only by
+// client traffic) and the adaptive rate controller.
 type migrationTransport struct {
-	f *Frontend
+	f    *Frontend
+	rate *migRateController
 }
 
 func (t *migrationTransport) Scan(node int, cursor uint64, limit int) ([]rotation.Entry, uint64, error) {
 	// Filter server-side to entries below the rotation's epoch: entries
 	// already moved (or written fresh) are invisible to the scan, which
 	// is what makes repeated passes converge.
-	entries, next, err := t.f.backends[node].Scan(cursor, limit, t.f.part.Epoch())
+	entries, next, err := t.f.fleet.Load().clients[node].Scan(cursor, limit, t.f.part.Epoch())
 	if err != nil {
+		t.f.noteBackendError(node, err)
 		return nil, 0, err
 	}
+	t.f.health.onSuccess(node)
 	out := make([]rotation.Entry, len(entries))
 	for i, e := range entries {
 		out[i] = rotation.Entry{Key: e.Key, Value: e.Value, Epoch: e.Epoch, Ver: e.Ver}
@@ -335,21 +415,40 @@ func (t *migrationTransport) Scan(node int, cursor uint64, limit int) ([]rotatio
 }
 
 func (t *migrationTransport) Move(e rotation.Entry) error {
-	return t.f.moveEntry(e.Key, e.Value, e.Ver)
+	err := t.f.moveEntry(e.Key, e.Value, e.Ver)
+	if t.rate != nil {
+		if errors.Is(err, ErrBusy) {
+			t.rate.onBusy()
+		} else if err == nil {
+			t.rate.onClean()
+		}
+	}
+	return err
 }
 
-// AdminHandlers returns the frontend's rotation control verbs for
-// mounting on its admin server (StartAdminWith):
+// AdminHandlers returns the frontend's rotation and membership control
+// verbs for mounting on its admin server (StartAdminWith):
 //
 //	POST /rotate          rotate to a fresh random secret seed
 //	POST /rotate?seed=N   rotate to an explicit seed (tests; accepts
 //	                      0x-prefixed hex)
 //	GET  /rotation        rotation status as JSON
+//	POST /join?addr=A     add backend(s) at address(es) A (repeatable)
+//	POST /drain?id=N      drain member(s) N out of the cluster
+//	GET  /membership      membership status as JSON
 //
 // /rotate answers 200 with a RotationReport, 409 while a rotation is
 // already running. The seed never appears in the response or the logs.
+// /join and /drain answer 200 with a MembershipReport, 409 while an
+// epoch change (rotation or view change) is open.
 func (f *Frontend) AdminHandlers() map[string]http.HandlerFunc {
-	return map[string]http.HandlerFunc{
+	h := f.membershipHandlers()
+	h["/rotate"], h["/rotation"] = f.rotationHandlers()
+	return h
+}
+
+func (f *Frontend) rotationHandlers() (rotate, status http.HandlerFunc) {
+	m := map[string]http.HandlerFunc{
 		"/rotate": func(w http.ResponseWriter, r *http.Request) {
 			if r.Method != http.MethodPost {
 				http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -388,6 +487,7 @@ func (f *Frontend) AdminHandlers() map[string]http.HandlerFunc {
 			json.NewEncoder(w).Encode(f.RotationStatus())
 		},
 	}
+	return m["/rotate"], m["/rotation"]
 }
 
 // unionNodes returns a ∪ b preserving a's order then b's novel entries

@@ -1,0 +1,154 @@
+package membership
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBootView(t *testing.T) {
+	tr := NewTracker([]string{"a:1", "b:2", "c:3"})
+	v := tr.View()
+	if v.Version != 1 {
+		t.Fatalf("boot version = %d, want 1", v.Version)
+	}
+	if got := v.Members(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("boot members = %v", got)
+	}
+	if addrs := v.MemberAddrs(); addrs[1] != "b:2" {
+		t.Fatalf("member addrs = %v", addrs)
+	}
+	if tr.Changing() {
+		t.Fatal("boot tracker reports a change in progress")
+	}
+}
+
+func TestStageJoinCommit(t *testing.T) {
+	tr := NewTracker([]string{"a:1", "b:2"})
+	staged, err := tr.StageJoin("c:3")
+	if err != nil {
+		t.Fatalf("StageJoin: %v", err)
+	}
+	if staged.Version != 2 {
+		t.Fatalf("staged version = %d, want 2", staged.Version)
+	}
+	if got := staged.Members(); len(got) != 3 || got[2] != 2 {
+		t.Fatalf("staged members = %v, want [0 1 2]", got)
+	}
+	if n, ok := staged.Node(2); !ok || n.State != StateJoining {
+		t.Fatalf("staged node 2 = %+v ok=%v", n, ok)
+	}
+	// Committed view unchanged until Commit.
+	if got := tr.View().Members(); len(got) != 2 {
+		t.Fatalf("committed members before commit = %v", got)
+	}
+	v := tr.Commit()
+	if n, _ := v.Node(2); n.State != StateActive {
+		t.Fatalf("node 2 after commit = %+v", n)
+	}
+	if tr.Changing() {
+		t.Fatal("still changing after commit")
+	}
+}
+
+func TestStageDrainCommit(t *testing.T) {
+	tr := NewTracker([]string{"a:1", "b:2", "c:3"})
+	staged, err := tr.StageDrain(1)
+	if err != nil {
+		t.Fatalf("StageDrain: %v", err)
+	}
+	if got := staged.Members(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("staged members = %v, want [0 2]", got)
+	}
+	v := tr.Commit()
+	if n, _ := v.Node(1); n.State != StateDead {
+		t.Fatalf("drained node state = %q, want dead", n.State)
+	}
+	if got := v.Members(); len(got) != 2 {
+		t.Fatalf("committed members = %v", got)
+	}
+}
+
+func TestAbortJoinBurnsID(t *testing.T) {
+	tr := NewTracker([]string{"a:1", "b:2"})
+	staged, err := tr.StageJoin("c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinedID := staged.Members()[2]
+	v := tr.Abort()
+	if got := v.Members(); len(got) != 2 {
+		t.Fatalf("members after abort = %v", got)
+	}
+	if n, ok := v.Node(joinedID); !ok || n.State != StateDead {
+		t.Fatalf("aborted joiner = %+v ok=%v, want dead", n, ok)
+	}
+	if v.Version <= staged.Version {
+		t.Fatalf("abort version %d not past staged %d", v.Version, staged.Version)
+	}
+	// The burned ID is never reused.
+	staged2, err := tr.StageJoin("d:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newID := staged2.Members()[2]
+	if newID == joinedID {
+		t.Fatalf("ID %d reused after abort", joinedID)
+	}
+}
+
+func TestAbortDrainRestoresActive(t *testing.T) {
+	tr := NewTracker([]string{"a:1", "b:2", "c:3"})
+	if _, err := tr.StageDrain(2); err != nil {
+		t.Fatal(err)
+	}
+	v := tr.Abort()
+	if n, _ := v.Node(2); n.State != StateActive {
+		t.Fatalf("node 2 after drain abort = %q, want active", n.State)
+	}
+	if got := v.Members(); len(got) != 3 {
+		t.Fatalf("members after drain abort = %v", got)
+	}
+}
+
+func TestStageErrors(t *testing.T) {
+	tr := NewTracker([]string{"a:1", "b:2"})
+	if _, err := tr.StageChange(nil, nil); err == nil {
+		t.Fatal("empty change accepted")
+	}
+	if _, err := tr.StageDrain(7); err == nil {
+		t.Fatal("drain of unknown node accepted")
+	}
+	if _, err := tr.StageJoin("a:1"); err == nil {
+		t.Fatal("duplicate-address join accepted")
+	}
+	if _, err := tr.StageJoin("c:3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.StageJoin("d:4"); !errors.Is(err, ErrChangeActive) {
+		t.Fatalf("second stage = %v, want ErrChangeActive", err)
+	}
+	tr.Commit()
+	// Draining a non-active (dead) node is rejected.
+	if _, err := tr.StageDrain(0); err != nil {
+		t.Fatal(err)
+	}
+	tr.Commit()
+	if _, err := tr.StageDrain(0); err == nil {
+		t.Fatal("drain of dead node accepted")
+	}
+}
+
+func TestCurrentFollowsStaged(t *testing.T) {
+	tr := NewTracker([]string{"a:1", "b:2"})
+	if got := tr.Current(); got.Version != 1 {
+		t.Fatalf("current = v%d", got.Version)
+	}
+	tr.StageJoin("c:3")
+	if got := tr.Current(); got.Version != 2 || len(got.Members()) != 3 {
+		t.Fatalf("current during change = v%d members %v", got.Version, got.Members())
+	}
+	tr.Abort()
+	if got := tr.Current(); len(got.Members()) != 2 {
+		t.Fatalf("current after abort = %v", got.Members())
+	}
+}

@@ -66,6 +66,38 @@ func NewTokenBucket(rate float64, burst float64) *TokenBucket {
 	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
 }
 
+// SetRate changes the bucket's sustained rate in place (tokens already
+// accrued are kept; accrual up to now happens at the old rate). The
+// migration pressure controller uses this to shed migration throughput
+// when backends report busy and ramp it back when they recover. rate <=
+// 0 and nil receivers are no-ops — an unlimited bucket stays unlimited.
+func (tb *TokenBucket) SetRate(rate float64) {
+	if tb == nil || rate <= 0 {
+		return
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := time.Now()
+	if dt := now.Sub(tb.last).Seconds(); dt > 0 {
+		tb.tokens += dt * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+	tb.rate = rate
+}
+
+// Rate returns the current sustained rate (0 for a nil bucket).
+func (tb *TokenBucket) Rate() float64 {
+	if tb == nil {
+		return 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.rate
+}
+
 // Allow takes one token if available. Nil receiver always admits.
 func (tb *TokenBucket) Allow() bool {
 	if tb == nil {

@@ -1,0 +1,43 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketSetRate(t *testing.T) {
+	tb := NewTokenBucket(1000, 10)
+	for i := 0; i < 10; i++ {
+		if !tb.Allow() {
+			t.Fatalf("burst draw %d refused", i)
+		}
+	}
+	// Drop to a crawl: ~1 token per 100ms. An immediate draw fails.
+	tb.SetRate(10)
+	if tb.Rate() != 10 {
+		t.Fatalf("Rate() = %v after SetRate(10)", tb.Rate())
+	}
+	if tb.Allow() {
+		t.Fatal("empty bucket admitted right after rate drop")
+	}
+	// Ramp back up: tokens accrue at the new rate.
+	tb.SetRate(1000)
+	time.Sleep(20 * time.Millisecond)
+	if !tb.Allow() {
+		t.Fatal("no token accrued at restored rate")
+	}
+}
+
+func TestTokenBucketSetRateNoops(t *testing.T) {
+	var nilBucket *TokenBucket
+	nilBucket.SetRate(5) // must not panic
+	if nilBucket.Rate() != 0 {
+		t.Fatal("nil bucket reports a rate")
+	}
+	tb := NewTokenBucket(100, 1)
+	tb.SetRate(0)
+	tb.SetRate(-3)
+	if tb.Rate() != 100 {
+		t.Fatalf("non-positive SetRate changed rate to %v", tb.Rate())
+	}
+}

@@ -1,0 +1,70 @@
+package partition
+
+import "fmt"
+
+// Remap translates an inner partitioner's dense node indices [0, n)
+// into an explicit list of cluster node IDs. It exists for elastic
+// membership: the hash/ring/rendezvous partitioners place keys over a
+// contiguous index space, but a cluster that has joined and drained
+// nodes addresses its members by grow-only global IDs with holes.
+// Wrapping the mapping in a Remap keeps the placement math dense (and
+// identical for equal member sets regardless of history) while Group
+// returns the real node IDs.
+//
+// Remap deliberately relaxes one clause of the Partitioner contract:
+// Group returns IDs drawn from the member list, which need not lie in
+// [0, Nodes()). Nodes() still returns the member COUNT n — that is the
+// n of every formula (c*, Eq. 10, the gap term), which cares how many
+// nodes share the load, not how they are numbered.
+type Remap struct {
+	inner Partitioner
+	ids   []int
+}
+
+// NewRemap wraps inner so that inner's node index i reads as ids[i].
+// len(ids) must equal inner.Nodes() and the IDs must be distinct.
+func NewRemap(inner Partitioner, ids []int) *Remap {
+	if inner == nil {
+		panic("partition: NewRemap with nil inner partitioner")
+	}
+	if len(ids) != inner.Nodes() {
+		panic(fmt.Sprintf("partition: %d ids for %d nodes", len(ids), inner.Nodes()))
+	}
+	seen := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		if id < 0 {
+			panic(fmt.Sprintf("partition: negative node ID %d", id))
+		}
+		if _, dup := seen[id]; dup {
+			panic(fmt.Sprintf("partition: duplicate node ID %d", id))
+		}
+		seen[id] = struct{}{}
+	}
+	return &Remap{inner: inner, ids: append([]int(nil), ids...)}
+}
+
+// Nodes returns the member count n.
+func (r *Remap) Nodes() int { return r.inner.Nodes() }
+
+// Replicas returns d.
+func (r *Remap) Replicas() int { return r.inner.Replicas() }
+
+// IDs returns a copy of the member ID list (index -> ID).
+func (r *Remap) IDs() []int { return append([]int(nil), r.ids...) }
+
+// Group returns the key's replica group as member IDs.
+func (r *Remap) Group(key uint64) []int {
+	return r.GroupAppend(make([]int, 0, r.inner.Replicas()), key)
+}
+
+// GroupAppend appends the key's replica group (as member IDs) to dst.
+func (r *Remap) GroupAppend(dst []int, key uint64) []int {
+	start := len(dst)
+	dst = r.inner.GroupAppend(dst, key)
+	for i := start; i < len(dst); i++ {
+		dst[i] = r.ids[dst[i]]
+	}
+	return dst
+}
+
+var _ Partitioner = (*Remap)(nil)

@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"testing"
+)
+
+func TestRemapTranslatesIDs(t *testing.T) {
+	ids := []int{3, 7, 0, 12}
+	inner := NewHash(4, 2, 42)
+	r := NewRemap(inner, ids)
+	if r.Nodes() != 4 || r.Replicas() != 2 {
+		t.Fatalf("Nodes/Replicas = %d/%d", r.Nodes(), r.Replicas())
+	}
+	allowed := map[int]bool{3: true, 7: true, 0: true, 12: true}
+	for key := uint64(0); key < 2000; key++ {
+		g := r.Group(key)
+		if len(g) != 2 {
+			t.Fatalf("key %d group %v: wrong size", key, g)
+		}
+		if g[0] == g[1] {
+			t.Fatalf("key %d group %v: duplicate member", key, g)
+		}
+		for _, id := range g {
+			if !allowed[id] {
+				t.Fatalf("key %d group %v: %d not a member", key, g, id)
+			}
+		}
+		// The remapped group is the inner group, translated.
+		ig := inner.Group(key)
+		for i := range ig {
+			if g[i] != ids[ig[i]] {
+				t.Fatalf("key %d: remap %v != translate(%v)", key, g, ig)
+			}
+		}
+	}
+}
+
+func TestRemapIdentity(t *testing.T) {
+	// Remapping onto [0..n) is a no-op: boot clusters wrap their initial
+	// mapping for uniformity and must not perturb placement.
+	inner := NewHash(5, 3, 99)
+	r := NewRemap(inner, []int{0, 1, 2, 3, 4})
+	frac, err := MovedFraction(inner, r, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 0 {
+		t.Fatalf("identity remap moved %.3f of keys", frac)
+	}
+}
+
+func TestRemapGroupAppendPreservesPrefix(t *testing.T) {
+	r := NewRemap(NewHash(3, 2, 7), []int{10, 20, 30})
+	dst := []int{-1, -2}
+	dst = r.GroupAppend(dst, 123)
+	if dst[0] != -1 || dst[1] != -2 {
+		t.Fatalf("prefix clobbered: %v", dst)
+	}
+	if len(dst) != 4 {
+		t.Fatalf("appended %d entries, want 2", len(dst)-2)
+	}
+}
+
+func TestRemapValidation(t *testing.T) {
+	inner := NewHash(3, 2, 7)
+	for name, ids := range map[string][]int{
+		"wrong length": {1, 2},
+		"duplicate":    {1, 2, 2},
+		"negative":     {1, -2, 3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRemap(%s) did not panic", name)
+				}
+			}()
+			NewRemap(inner, ids)
+		}()
+	}
+}
+
+func TestRemapMovedFractionOnJoin(t *testing.T) {
+	// Adding one node to an 8-node hash cluster (same seed) moves some —
+	// but far from all — keys: the fraction prediction the kvstore
+	// migration regression pins itself against.
+	const seed = 1234
+	old := NewRemap(NewHash(8, 3, seed), []int{0, 1, 2, 3, 4, 5, 6, 7})
+	next := NewRemap(NewHash(9, 3, seed), []int{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	frac, err := MovedFraction(old, next, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("join moved fraction = %.3f, want in (0, 1)", frac)
+	}
+}

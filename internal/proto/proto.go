@@ -65,6 +65,15 @@ const (
 // live copy). See EncodeGetVPayload.
 const OpGetV Op = 8
 
+// OpMembers asks a frontend for its current membership view. Key-less,
+// like OpStats; the StatusOK payload is a JSON document (the kvstore
+// MembershipStatus: view version, node list with states, the member
+// addresses, and the provisioned cache size). Load generators use it to
+// refresh their address lists when a node they are polling drains, and
+// secguard uses it to re-derive Eq. 10 thresholds when n changes.
+// Backends answer StatusError (they do not own the view).
+const OpMembers Op = 9
+
 // String names the op for logs and errors.
 func (o Op) String() string {
 	switch o {
@@ -84,13 +93,15 @@ func (o Op) String() string {
 		return "SCAN"
 	case OpGetV:
 		return "GETV"
+	case OpMembers:
+		return "MEMBERS"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
 }
 
 func (o Op) valid() bool {
-	return (o >= OpGet && o <= OpPing) || o == OpMGet || o == OpScan || o == OpGetV
+	return (o >= OpGet && o <= OpPing) || o == OpMGet || o == OpScan || o == OpGetV || o == OpMembers
 }
 
 // hasKey reports whether the op carries a key.

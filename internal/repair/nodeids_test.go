@@ -1,0 +1,37 @@
+package repair
+
+import "testing"
+
+func TestPassWithExplicitNodeIDs(t *testing.T) {
+	// Four nodes, but only {0, 2, 3} are members: divergence on node 1
+	// must be left alone (it has drained; the migrator owns its data),
+	// while members converge as usual.
+	c := newFakeCluster(4)
+	c.set(0, "k", fakeEntry{value: []byte("new"), ver: 9})
+	c.set(2, "k", fakeEntry{value: []byte("old"), ver: 3})
+	c.set(1, "k", fakeEntry{value: []byte("stale"), ver: 1})
+	c.groups["k"] = []int{0, 2, 3}
+	r, err := NewRepairer(Config{NodeIDs: []int{0, 2, 3}, KeyID: testKeyID, Batch: 4}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Pass(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.nodes[2]["k"]; string(got.value) != "new" || got.ver != 9 {
+		t.Fatalf("member node 2 not repaired: %+v", got)
+	}
+	if got := c.nodes[1]["k"]; string(got.value) != "stale" {
+		t.Fatalf("non-member node 1 touched by repair: %+v", got)
+	}
+}
+
+func TestNodeIDsValidation(t *testing.T) {
+	c := newFakeCluster(3)
+	if _, err := NewRepairer(Config{NodeIDs: []int{1}, KeyID: testKeyID}, c); err == nil {
+		t.Fatal("single-ID repairer accepted")
+	}
+	if _, err := NewRepairer(Config{NodeIDs: []int{0, 2}, KeyID: testKeyID}, c); err != nil {
+		t.Fatalf("two-ID repairer rejected: %v", err)
+	}
+}

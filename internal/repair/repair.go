@@ -45,9 +45,14 @@ var ErrStopped = errors.New("repair: stopped")
 
 // Config parameterizes a Repairer.
 type Config struct {
-	// Nodes is the number of backend nodes. Required (>= 2 to have any
-	// pairs to compare).
+	// Nodes is the number of backend nodes, compared as IDs 0..Nodes-1.
+	// Required (>= 2 to have any pairs to compare) unless NodeIDs is set.
 	Nodes int
+	// NodeIDs, when non-empty, is the explicit set of node IDs to pair up
+	// (overrides Nodes). Elastic clusters pass the committed membership's
+	// member list — drained IDs must stop being scanned, joined IDs must
+	// start.
+	NodeIDs []int
 	// Batch is the digest scan page size (default 256).
 	Batch int
 	// Limiter rate-limits repair Apply calls; nil = unlimited. Repair
@@ -78,8 +83,17 @@ func NewRepairer(cfg Config, t Transport) (*Repairer, error) {
 	if t == nil {
 		return nil, errors.New("repair: nil transport")
 	}
-	if cfg.Nodes < 2 {
-		return nil, fmt.Errorf("repair: %d nodes (need >= 2)", cfg.Nodes)
+	if len(cfg.NodeIDs) == 0 {
+		if cfg.Nodes < 2 {
+			return nil, fmt.Errorf("repair: %d nodes (need >= 2)", cfg.Nodes)
+		}
+		cfg.NodeIDs = make([]int, cfg.Nodes)
+		for i := range cfg.NodeIDs {
+			cfg.NodeIDs[i] = i
+		}
+	}
+	if len(cfg.NodeIDs) < 2 {
+		return nil, fmt.Errorf("repair: %d nodes (need >= 2)", len(cfg.NodeIDs))
 	}
 	if cfg.KeyID == nil {
 		return nil, errors.New("repair: nil KeyID")
@@ -95,9 +109,10 @@ func NewRepairer(cfg Config, t Transport) (*Repairer, error) {
 // next interval retries); closing stop aborts with ErrStopped.
 func (r *Repairer) Pass(stop <-chan struct{}) (int, error) {
 	repaired := 0
-	for i := 0; i < r.cfg.Nodes; i++ {
-		for j := i + 1; j < r.cfg.Nodes; j++ {
-			n, err := r.repairPair(i, j, stop)
+	ids := r.cfg.NodeIDs
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			n, err := r.repairPair(ids[i], ids[j], stop)
 			repaired += n
 			if err != nil {
 				return repaired, err

@@ -3,6 +3,7 @@ package rotation
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -37,8 +38,26 @@ var ErrStopped = errors.New("rotation: migration stopped")
 
 // MigratorConfig parameterizes a Migrator.
 type MigratorConfig struct {
-	// Nodes is the number of backend nodes to drain. Required.
+	// Nodes is the number of backend nodes to drain, scanned as IDs
+	// 0..Nodes-1. Required unless NodeIDs is set.
 	Nodes int
+	// NodeIDs, when non-empty, is the explicit set of node IDs to scan
+	// (overrides Nodes). Elastic clusters pass the union of the old and
+	// new generations' members: data can only live where a generation
+	// placed it.
+	NodeIDs []int
+	// Unavailable, when non-nil, reports that a node is known to be
+	// unreachable (in practice: its circuit breaker is open). The
+	// migrator skips such a node's scan for the pass instead of burning
+	// MaxAttempts against it, and a scan whose retries exhaust is
+	// demoted to a skip if the node has become unavailable meanwhile.
+	// Skipped nodes are recorded per pass (Skipped); with replication
+	// d >= 2 a dead node's keys remain reachable through its group
+	// siblings' scans, so the caller may still commit when fewer than d
+	// nodes were skipped.
+	Unavailable func(node int) bool
+	// OnSkip, when non-nil, is called once per node skipped in a pass.
+	OnSkip func(node int)
 	// Batch is the SCAN page size (default 256).
 	Batch int
 	// Limiter rate-limits Move calls; nil = unlimited. This is the
@@ -64,9 +83,11 @@ type MigratorConfig struct {
 // Migrator drains every node's un-migrated entries through a Transport
 // until a full pass over the cluster finds nothing left to move.
 type Migrator struct {
-	cfg   MigratorConfig
-	t     Transport
-	moved atomic.Uint64
+	cfg     MigratorConfig
+	t       Transport
+	moved   atomic.Uint64
+	skipMu  sync.Mutex
+	skipped []int // nodes skipped in the most recent completed pass
 }
 
 // NewMigrator validates cfg and returns a Migrator.
@@ -74,8 +95,14 @@ func NewMigrator(cfg MigratorConfig, t Transport) (*Migrator, error) {
 	if t == nil {
 		return nil, errors.New("rotation: nil transport")
 	}
-	if cfg.Nodes < 1 {
-		return nil, fmt.Errorf("rotation: %d nodes", cfg.Nodes)
+	if len(cfg.NodeIDs) == 0 {
+		if cfg.Nodes < 1 {
+			return nil, fmt.Errorf("rotation: %d nodes", cfg.Nodes)
+		}
+		cfg.NodeIDs = make([]int, cfg.Nodes)
+		for i := range cfg.NodeIDs {
+			cfg.NodeIDs[i] = i
+		}
 	}
 	if cfg.Batch <= 0 {
 		cfg.Batch = 256
@@ -92,6 +119,22 @@ func NewMigrator(cfg MigratorConfig, t Transport) (*Migrator, error) {
 // Moved returns the number of entries moved so far (readable while Run
 // is in flight).
 func (m *Migrator) Moved() uint64 { return m.moved.Load() }
+
+// Skipped returns the nodes skipped as unavailable during the most
+// recent completed pass. A drained Run (nil error) with a non-empty
+// skip list means those nodes' own scans were never confirmed empty —
+// the caller decides whether replication makes committing safe.
+func (m *Migrator) Skipped() []int {
+	m.skipMu.Lock()
+	defer m.skipMu.Unlock()
+	return append([]int(nil), m.skipped...)
+}
+
+func (m *Migrator) setSkipped(nodes []int) {
+	m.skipMu.Lock()
+	m.skipped = nodes
+	m.skipMu.Unlock()
+}
 
 // Run migrates until a full pass over all nodes moves nothing (the
 // cluster is drained: every entry a scan can see is at the new epoch),
@@ -117,11 +160,30 @@ func (m *Migrator) Run(stop <-chan struct{}) (uint64, error) {
 // pass drains each node once, returning how many entries it moved.
 func (m *Migrator) pass(stop <-chan struct{}) (int, error) {
 	total := 0
-	for node := 0; node < m.cfg.Nodes; node++ {
+	var skipped []int
+	defer func() { m.setSkipped(skipped) }()
+	for _, node := range m.cfg.NodeIDs {
+		if m.cfg.Unavailable != nil && m.cfg.Unavailable(node) {
+			skipped = append(skipped, node)
+			if m.cfg.OnSkip != nil {
+				m.cfg.OnSkip(node)
+			}
+			continue
+		}
 		cursor := uint64(0)
 		for {
 			entries, next, err := m.scanRetry(node, cursor, stop)
 			if err != nil {
+				if !errors.Is(err, ErrStopped) && m.cfg.Unavailable != nil && m.cfg.Unavailable(node) {
+					// The node died mid-scan: demote to a skip so one dead
+					// node cannot wedge the whole pass. Its surviving
+					// replicas' scans still cover every key it held.
+					skipped = append(skipped, node)
+					if m.cfg.OnSkip != nil {
+						m.cfg.OnSkip(node)
+					}
+					break
+				}
 				return total, err
 			}
 			for _, e := range entries {

@@ -84,9 +84,23 @@ func (e *EpochPartitioner) Snapshot() (epoch uint32, cur, prev partition.Partiti
 
 // Begin opens a rotation to the next generation and returns the new
 // epoch number. The node count must match (the cluster membership is
-// fixed across a seed rotation; resizing is a different operation).
-// Fails with ErrRotationActive if a rotation is already open.
+// fixed across a seed rotation; a node-set change goes through
+// BeginMembership). Fails with ErrRotationActive if a rotation is
+// already open.
 func (e *EpochPartitioner) Begin(next partition.Partitioner) (uint32, error) {
+	return e.begin(next, false)
+}
+
+// BeginMembership opens an epoch change whose new generation may cover
+// a different node set (a join or drain): the same dual-generation
+// machinery as a seed rotation, with the node-count check relaxed. The
+// caller owns the membership bookkeeping — this type only versions the
+// mapping.
+func (e *EpochPartitioner) BeginMembership(next partition.Partitioner) (uint32, error) {
+	return e.begin(next, true)
+}
+
+func (e *EpochPartitioner) begin(next partition.Partitioner, allowResize bool) (uint32, error) {
 	if next == nil {
 		return 0, errors.New("rotation: Begin with nil partitioner")
 	}
@@ -95,11 +109,32 @@ func (e *EpochPartitioner) Begin(next partition.Partitioner) (uint32, error) {
 	if e.prev != nil {
 		return 0, ErrRotationActive
 	}
-	if next.Nodes() != e.cur.Nodes() {
+	if !allowResize && next.Nodes() != e.cur.Nodes() {
 		return 0, fmt.Errorf("rotation: node count %d != current %d", next.Nodes(), e.cur.Nodes())
 	}
 	e.prev = e.cur
 	e.cur = next
+	e.epoch++
+	e.migrated = make(map[uint64]struct{})
+	return e.epoch, nil
+}
+
+// Reverse swaps the open rotation's direction: the previous generation
+// becomes current again (under a fresh epoch number) while the rotation
+// STAYS OPEN, with the abandoned generation now playing the "previous"
+// role. This is how a failed view change rolls back without losing
+// data: entries already moved live only under the abandoned mapping, so
+// a plain Abort would orphan them — instead the caller reverses and
+// runs a forward migration back toward the old mapping, committing once
+// the scans drain. The migration watermark resets (nothing has migrated
+// toward the restored generation yet).
+func (e *EpochPartitioner) Reverse() (uint32, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.prev == nil {
+		return 0, errors.New("rotation: Reverse with no rotation open")
+	}
+	e.cur, e.prev = e.prev, e.cur
 	e.epoch++
 	e.migrated = make(map[uint64]struct{})
 	return e.epoch, nil
