@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet lint race chaos wal membership bench fuzz
+.PHONY: all build test verify vet lint race chaos wal membership disttier bench fuzz
 
 all: verify
 
@@ -57,6 +57,18 @@ wal:
 membership:
 	$(GO) test -race -v -run 'TestJoin|TestDrain|TestMembership|TestViewCommit|TestAutoProvision|TestScaleUnderAttack' ./internal/kvstore/ && \
 	$(GO) test -race ./internal/membership/...
+
+# Distributed frontend tier matrix: the tier unit tests (two-choice
+# routing, candidate-gated cache admission, load-hint piggyback,
+# invalidation, c* split), the tier chaos scenarios (frontend crash
+# mid-attack, secret rotation during the attack), the disttier mapping
+# package, the secguard auto-drain planner, and the two-layer Eq. 10
+# experiment — all under -race.
+disttier:
+	$(GO) test -race -v -run 'TestTier' ./internal/kvstore/ && \
+	$(GO) test -race ./internal/disttier/... && \
+	$(GO) test -race ./cmd/secguard/ && \
+	$(GO) test -race -v -run 'TestTwoLayer' ./internal/experiments/
 
 # Micro-benchmarks with allocation counts. -benchtime=1x is the smoke
 # setting (CI runs it to keep the benchmarks compiling and honest);

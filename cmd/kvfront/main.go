@@ -6,11 +6,20 @@
 // size it with secbound (c* = ceil(n·k + 1)) and no adversarial client
 // can push any backend above the even share.
 //
+// With -tier-id the instance joins a distributed frontend tier: k
+// kvfront processes share the backends and the SECRET partition seed,
+// while a PUBLIC -tier-seed maps each key to two candidate frontends.
+// The instance then only caches keys it is a candidate for, piggybacks
+// its load on every response frame, and honors INVALIDATE — the pieces
+// the power-of-two-choices tier client needs.
+//
 // Usage:
 //
 //	kvfront -listen 127.0.0.1:7000 \
 //	        -backends 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
 //	        -replication 2 -cache lfu -cache-size 16 -seed 0xsecret
+//	kvfront -listen 127.0.0.1:7000 -backends ... -seed 0xsecret \
+//	        -tier-id 0 -tier-members 0,1,2 -tier-seed 42   # tier member 0 of 3
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -28,6 +38,7 @@ import (
 	"securecache/internal/core"
 	"securecache/internal/kvstore"
 	"securecache/internal/overload"
+	"securecache/internal/partition"
 )
 
 func main() {
@@ -59,10 +70,15 @@ func main() {
 		budgetRatio = flag.Float64("retry-budget-ratio", 0, "retry-budget refill per successful backend exchange (0 = default)")
 		idleTimeout = flag.Duration("idle-timeout", 0, "drop client connections idle longer than this (0 = keep forever)")
 
-		items      = flag.Int("items", 0, "expected stored item count m: > 0 enables LIVE auto-provisioning — c* is recomputed and the cache resized on every committed join/drain")
-		kprime     = flag.Float64("kprime", 0, "k' additive constant for auto-provisioning (0 = fitted default)")
-		kOverride  = flag.Float64("k", 0, "override k entirely for auto-provisioning (0 = derive from n, d, k')")
-		joinAbort  = flag.Duration("join-abort-after", 0, "roll back a join whose new node stays unreachable this long (0 = default 20s, negative = retry forever)")
+		items     = flag.Int("items", 0, "expected stored item count m: > 0 enables LIVE auto-provisioning — c* is recomputed and the cache resized on every committed join/drain")
+		kprime    = flag.Float64("kprime", 0, "k' additive constant for auto-provisioning (0 = fitted default)")
+		kOverride = flag.Float64("k", 0, "override k entirely for auto-provisioning (0 = derive from n, d, k')")
+		joinAbort = flag.Duration("join-abort-after", 0, "roll back a join whose new node stays unreachable this long (0 = default 20s, negative = retry forever)")
+
+		partitioner = flag.String("partitioner", "hash", "backend partition family: hash | ring (ring moves ~1/n of keys per joined/drained node)")
+		tierID      = flag.Int("tier-id", -1, "this instance's ID in a distributed frontend tier (-1 = standalone frontend)")
+		tierMembers = flag.String("tier-members", "", "comma-separated tier member IDs, must include -tier-id (empty = just this instance)")
+		tierSeed    = flag.Uint64("tier-seed", 0, "PUBLIC tier mapping seed — same value on every tier member")
 
 		writeQuorum = flag.Int("write-quorum", 0, "replica acks a Set/Del needs to succeed, W in [1, d] (0 = majority)")
 		hintDir     = flag.String("hint-dir", "", "persist hinted-handoff queues to this directory (empty = memory only)")
@@ -116,6 +132,26 @@ func main() {
 		}
 	}
 
+	var tier *kvstore.TierConfig
+	if *tierID >= 0 {
+		members := []int{*tierID}
+		if *tierMembers != "" {
+			members = members[:0]
+			for _, s := range splitNonEmpty(*tierMembers) {
+				id, err := strconv.Atoi(s)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "kvfront: bad -tier-members entry %q: %v\n", s, err)
+					os.Exit(2)
+				}
+				members = append(members, id)
+			}
+		}
+		tier = &kvstore.TierConfig{ID: *tierID, Members: members, Seed: *tierSeed}
+	} else if *tierMembers != "" || *tierSeed != 0 {
+		fmt.Fprintln(os.Stderr, "kvfront: -tier-members/-tier-seed need -tier-id")
+		os.Exit(2)
+	}
+
 	front, err := kvstore.NewFrontend(kvstore.FrontendConfig{
 		BackendAddrs:  addrs,
 		Replication:   *repl,
@@ -154,6 +190,8 @@ func main() {
 			KPrime:    *kprime,
 			KOverride: *kOverride,
 		},
+		Partitioner: partition.Kind(*partitioner),
+		Tier:        tier,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kvfront:", err)
@@ -166,6 +204,9 @@ func main() {
 	}
 	log.Printf("kvfront listening on %s, %d backends, d=%d, cache=%s/%d (%d shard(s))",
 		l.Addr(), len(addrs), *repl, *cacheKind, size, shards)
+	if tier != nil {
+		log.Printf("kvfront: tier member %d of %v (public tier seed %#x)", *tierID, tier.Members, *tierSeed)
+	}
 
 	if *admin != "" {
 		// StartAdminWith mounts the rotation and membership control verbs

@@ -10,6 +10,14 @@
 //	kvload -frontend 127.0.0.1:7000 -trace atk.bin -workers 8
 //	kvload -frontend 127.0.0.1:7000 -m 1000 -workload zipf \
 //	       -backends 127.0.0.1:7001,127.0.0.1:7002   # also report per-node loads
+//
+// Against a distributed frontend tier, -frontends replaces -frontend and
+// every worker drives a power-of-two-choices tier client over the named
+// kvfront instances (IDs must match their -tier-id), reporting the
+// per-frontend load spread next to the per-backend one:
+//
+//	kvload -frontends 0=127.0.0.1:7000,1=127.0.0.1:7010 -tier-seed 42 \
+//	       -m 1000 -workload adversarial
 package main
 
 import (
@@ -18,11 +26,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"securecache/internal/kvstore"
+	"securecache/internal/proto"
 	"securecache/internal/stats"
 	"securecache/internal/trace"
 	"securecache/internal/workload"
@@ -31,6 +42,8 @@ import (
 func main() {
 	var (
 		frontend  = flag.String("frontend", "127.0.0.1:7000", "frontend address")
+		frontends = flag.String("frontends", "", "tier mode: comma-separated id=addr frontend list (replaces -frontend)")
+		tierSeed  = flag.Uint64("tier-seed", 0, "tier mode: the tier's PUBLIC mapping seed")
 		backends  = flag.String("backends", "", "optional comma-separated backend addresses for per-node load")
 		m         = flag.Int("m", 1000, "key-space size")
 		kind      = flag.String("workload", "adversarial", "workload: adversarial | uniform | zipf")
@@ -51,6 +64,33 @@ func main() {
 
 	clientCfg := kvstore.ClientConfig{ReadTimeout: *timeout, MaxRetries: *retries, MaxIdleConns: *poolSize}
 
+	tierMap, err := parseTierFrontends(*frontends)
+	if err != nil {
+		fatal(err)
+	}
+	statsAddr := *frontend
+	newQuerier := func() (querier, func()) {
+		c := kvstore.NewClientWithConfig(statsAddr, clientCfg)
+		return c, c.Close
+	}
+	if len(tierMap) > 0 {
+		ids := make([]int, 0, len(tierMap))
+		for id := range tierMap {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		statsAddr = tierMap[ids[0]]
+		newQuerier = func() (querier, func()) {
+			tc, err := kvstore.NewTierClient(kvstore.TierClientConfig{
+				Frontends: tierMap, Seed: *tierSeed, Client: clientCfg,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			return tc, func() { tc.Close() }
+		}
+	}
+
 	keys, err := buildKeys(*tracePath, *kind, *m, *x, *zipfS, *queries, *seed)
 	if err != nil {
 		fatal(err)
@@ -58,7 +98,7 @@ func main() {
 
 	if *preload {
 		mem := startMemDelta()
-		n, took, err := preloadKeys(*frontend, clientCfg, keys)
+		n, took, err := preloadKeys(newQuerier, keys)
 		if err != nil {
 			fatal(err)
 		}
@@ -71,8 +111,9 @@ func main() {
 	// join/drain: keep it in an addrBook that re-reads membership from
 	// the frontend when workers see sustained trouble, so the final
 	// per-node report covers nodes that joined mid-run.
-	book := newAddrBook(*frontend, clientCfg, splitNonEmpty(*backends))
+	book := newAddrBook(statsAddr, clientCfg, splitNonEmpty(*backends))
 	before := backendCounts(book.snapshot())
+	frontBefore := tierFrontendCounts(tierMap, clientCfg)
 
 	quantiles := []float64{0.50, 0.95, 0.99}
 	var (
@@ -98,8 +139,8 @@ func main() {
 		wg.Add(1)
 		go func(slice []int) {
 			defer wg.Done()
-			client := kvstore.NewClientWithConfig(*frontend, clientCfg)
-			defer client.Close()
+			client, closeClient := newQuerier()
+			defer closeClient()
 			var local stats.Summary
 			localQ := newQuantileSet(quantiles)
 			localErrs, localShed := 0, 0
@@ -190,7 +231,7 @@ func main() {
 
 	// The frontend's STATS snapshot carries the resilience counters; show
 	// them whenever any failover machinery fired during the run.
-	if fc := kvstore.NewClientWithConfig(*frontend, clientCfg); fc != nil {
+	if fc := kvstore.NewClientWithConfig(statsAddr, clientCfg); fc != nil {
 		if st, err := fc.Stats(); err == nil {
 			r := kvstore.StatCounter(st, "retries_total")
 			b := kvstore.StatCounter(st, "breaker_open_total")
@@ -216,6 +257,30 @@ func main() {
 			}
 		}
 		fc.Close()
+	}
+
+	if len(tierMap) > 0 {
+		after := tierFrontendCounts(tierMap, clientCfg)
+		ids := make([]int, 0, len(tierMap))
+		for id := range tierMap {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		fmt.Println("per-frontend request deltas (two-choice spread):")
+		var total, maxDelta uint64
+		for _, id := range ids {
+			delta := after[id] - frontBefore[id]
+			total += delta
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+			fmt.Printf("  frontend %2d (%s): %d\n", id, tierMap[id], delta)
+		}
+		if total > 0 {
+			even := float64(total) / float64(len(ids))
+			fmt.Printf("normalized max frontend load: %.3f (hottest %d / even share %.1f)\n",
+				float64(maxDelta)/even, maxDelta, even)
+		}
 	}
 
 	if addrs := book.snapshot(); len(addrs) > 0 {
@@ -316,10 +381,10 @@ func buildKeys(tracePath, kind string, m, x int, zipfS float64, queries int, see
 	return workload.NewGenerator(dist, seed).Batch(make([]int, 0, queries), queries), nil
 }
 
-func preloadKeys(frontend string, cfg kvstore.ClientConfig, keys []int) (int, time.Duration, error) {
+func preloadKeys(newQuerier func() (querier, func()), keys []int) (int, time.Duration, error) {
 	seen := make(map[int]bool)
-	client := kvstore.NewClientWithConfig(frontend, cfg)
-	defer client.Close()
+	client, closeClient := newQuerier()
+	defer closeClient()
 	start := time.Now()
 	for _, k := range keys {
 		if seen[k] {
@@ -451,6 +516,50 @@ func splitNonEmpty(s string) []string {
 		}
 	}
 	return out
+}
+
+// querier is the request surface the workers drive — satisfied by both
+// the single-frontend Client and the two-choice TierClient.
+type querier interface {
+	Get(key string) ([]byte, error)
+	MGet(keys []string) ([]proto.MGetResult, error)
+	Set(key string, value []byte) error
+}
+
+// parseTierFrontends parses the -frontends "id=addr,id=addr" form.
+func parseTierFrontends(s string) (map[int]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[int]string)
+	for _, part := range splitNonEmpty(s) {
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-frontends entry %q: want id=addr", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil {
+			return nil, fmt.Errorf("-frontends entry %q: %v", part, err)
+		}
+		if _, dup := out[n]; dup {
+			return nil, fmt.Errorf("-frontends: duplicate id %d", n)
+		}
+		out[n] = strings.TrimSpace(addr)
+	}
+	return out, nil
+}
+
+// tierFrontendCounts snapshots requests_total on every tier frontend.
+func tierFrontendCounts(tierMap map[int]string, cfg kvstore.ClientConfig) map[int]uint64 {
+	counts := make(map[int]uint64, len(tierMap))
+	for id, addr := range tierMap {
+		c := kvstore.NewClientWithConfig(addr, cfg)
+		if stats, err := c.Stats(); err == nil {
+			counts[id] = kvstore.StatCounter(stats, "requests_total")
+		}
+		c.Close()
+	}
+	return counts
 }
 
 func fatal(err error) {

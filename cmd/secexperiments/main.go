@@ -9,6 +9,7 @@
 //	secexperiments -small                # scaled-down (fast) parameters
 //	secexperiments -csv results/         # write CSVs instead of text
 //	secexperiments -fig ablations        # replication/policy/partitioner/cache ablations
+//	secexperiments -fig disttier         # two-layer frontend-tier experiment
 package main
 
 import (
@@ -32,7 +33,7 @@ type figure struct {
 
 func main() {
 	var (
-		figFlag = flag.String("fig", "all", "which figure: 3a | 3b | 4 | 5a | 5b | critical | ablations | all")
+		figFlag = flag.String("fig", "all", "which figure: 3a | 3b | 4 | 5a | 5b | disttier | critical | ablations | all")
 		small   = flag.Bool("small", false, "use scaled-down parameters (fast)")
 		csvDir  = flag.String("csv", "", "write CSV files into this directory instead of printing text")
 		runs    = flag.Int("runs", 0, "override runs per point (0 = config default)")
@@ -76,6 +77,7 @@ func main() {
 		{name: "ablation_adaptive", run: func(c experiments.Config) (*sim.Table, error) {
 			return experiments.AdaptiveAttackAblation(c, 200000)
 		}, labels: experiments.AdaptiveAttackNames},
+		{name: "disttier", run: experiments.TwoLayer},
 	}
 
 	var selected []figure
@@ -94,6 +96,8 @@ func main() {
 		selected = figures[3:4]
 	case "5b":
 		selected = figures[4:5]
+	case "disttier":
+		selected = []figure{{name: "disttier", run: experiments.TwoLayer}}
 	case "critical":
 		runCritical(cfg)
 		return

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// drainPlanner decides when a persistently unhealthy backend should be
+// drained out of the membership view. The frontend's circuit breaker
+// already stops SENDING to a dead node; draining goes further and hands
+// its key ranges to the survivors, restoring full replication. That is
+// a heavyweight, data-moving response, so the planner is deliberately
+// conservative:
+//
+//   - hysteresis: a breaker must stay open continuously for the whole
+//     `after` window before its node is a candidate — flapping nodes
+//     (opened, probed, half-opened) reset their clock on every recovery;
+//   - cooldown: drains are spaced at least `cooldown` apart, so one bad
+//     rack does not trigger a migration storm;
+//   - floor: never drain below minNodes members (the replication factor
+//     d — fewer members than d cannot host a replica group at all).
+//
+// One node per call: the oldest-open (ties to the lowest ID), matching
+// the one-change-at-a-time membership pipeline.
+type drainPlanner struct {
+	after     time.Duration
+	cooldown  time.Duration
+	minNodes  int
+	openSince map[int]time.Time
+	lastFired time.Time
+	fired     int
+}
+
+func newDrainPlanner(after, cooldown time.Duration, minNodes int) (*drainPlanner, error) {
+	if after <= 0 {
+		return nil, fmt.Errorf("secguard: -drain-after must be positive, got %v", after)
+	}
+	if cooldown < 0 {
+		return nil, fmt.Errorf("secguard: -drain-cooldown must be >= 0, got %v", cooldown)
+	}
+	if minNodes < 1 {
+		return nil, fmt.Errorf("secguard: drain floor %d, need >= 1", minNodes)
+	}
+	return &drainPlanner{
+		after:     after,
+		cooldown:  cooldown,
+		minNodes:  minNodes,
+		openSince: make(map[int]time.Time),
+	}, nil
+}
+
+// Observe feeds one polling window: the current member set and which of
+// those members currently have an open breaker. It returns the member ID
+// to drain now, or -1. A returned ID counts as fired (the cooldown
+// starts) — the caller must actually POST the drain.
+func (p *drainPlanner) Observe(now time.Time, members []int, open map[int]bool) int {
+	memberSet := make(map[int]bool, len(members))
+	for _, id := range members {
+		memberSet[id] = true
+	}
+	// A node that recovered, or left the view by other means, resets its
+	// clock entirely.
+	for id := range p.openSince {
+		if !open[id] || !memberSet[id] {
+			delete(p.openSince, id)
+		}
+	}
+	for id := range open {
+		if memberSet[id] {
+			if _, ok := p.openSince[id]; !ok {
+				p.openSince[id] = now
+			}
+		}
+	}
+	if len(members)-1 < p.minNodes {
+		return -1
+	}
+	if p.fired > 0 && now.Sub(p.lastFired) < p.cooldown {
+		return -1
+	}
+	best := -1
+	var bestSince time.Time
+	ids := make([]int, 0, len(p.openSince))
+	for id := range p.openSince {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		since := p.openSince[id]
+		if now.Sub(since) < p.after {
+			continue
+		}
+		if best == -1 || since.Before(bestSince) {
+			best, bestSince = id, since
+		}
+	}
+	if best >= 0 {
+		p.fired++
+		p.lastFired = now
+		delete(p.openSince, best)
+	}
+	return best
+}
+
+// Fired returns how many drains the planner has triggered.
+func (p *drainPlanner) Fired() int { return p.fired }
+
+// fetchGauges reads an admin /metrics surface as a flat name -> value
+// map (non-numeric values are dropped).
+func fetchGauges(client *http.Client, admin string) (map[string]float64, error) {
+	resp, err := client.Get("http://" + admin + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]interface{}
+	if err := json.Unmarshal(body, &raw); err != nil {
+		return nil, fmt.Errorf("metrics: bad payload: %w", err)
+	}
+	out := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out, nil
+}
+
+// openMembers extracts which members the frontend currently reports as
+// unhealthy (breaker open) from its metrics gauges.
+func openMembers(gauges map[string]float64, members []int) map[int]bool {
+	open := make(map[int]bool)
+	for _, id := range members {
+		if gauges[fmt.Sprintf("backend_unhealthy_%d", id)] > 0 {
+			open[id] = true
+		}
+	}
+	return open
+}
+
+// triggerDrain POSTs the frontend admin's /drain verb for one node. A
+// 202 means the change was queued behind an in-flight one — still a
+// success; the frontend will run it when the pipeline frees up.
+func triggerDrain(client *http.Client, admin string, id int) error {
+	resp, err := client.Post(fmt.Sprintf("http://%s/drain?id=%d", admin, id), "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("drain %d: status %d: %s", id, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var report struct {
+		Version int  `json:"version"`
+		Queued  bool `json:"queued"`
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		return fmt.Errorf("drain %d: bad report: %w", id, err)
+	}
+	if report.Queued {
+		fmt.Printf("secguard: drain of node %d queued behind an in-flight change\n", id)
+	} else {
+		fmt.Printf("secguard: draining node %d (membership v%d)\n", id, report.Version)
+	}
+	return nil
+}

@@ -9,12 +9,21 @@
 // frontend admin's /rotate verb and the cluster re-keys its partition
 // mapping live, invalidating whatever the attacker learned.
 //
+// With -auto-drain it also watches the frontend's per-backend circuit
+// breaker gauges: a member whose breaker stays open continuously past
+// -drain-after is drained out of the membership view (POST /drain), so
+// its key ranges move to healthy nodes instead of sitting behind an
+// open breaker. Drains are spaced by -drain-cooldown and never shrink
+// the view below d members.
+//
 // Usage:
 //
 //	secguard -admins 127.0.0.1:8001,127.0.0.1:8002,127.0.0.1:8003 \
 //	         -d 3 -m 100000 -c 16 -interval 5s -windows 12
 //	secguard -admins ... -respond 127.0.0.1:8000 -respond-windows 2 \
 //	         -respond-cooldown 5m
+//	secguard -admins ... -frontend-admin 127.0.0.1:8000 -auto-drain \
+//	         -drain-after 30s -drain-cooldown 2m
 package main
 
 import (
@@ -51,6 +60,10 @@ func main() {
 		respondCooldown = flag.Duration("respond-cooldown", 5*time.Minute, "minimum spacing between triggered rotations")
 
 		frontAdmin = flag.String("frontend-admin", "", "frontend admin address: poll GET /membership and re-derive the detection thresholds and c* when nodes join or drain (empty = static cluster)")
+
+		autoDrain     = flag.Bool("auto-drain", false, "POST /drain for a backend whose circuit breaker stays open past -drain-after (requires -frontend-admin)")
+		drainAfter    = flag.Duration("drain-after", 30*time.Second, "continuous breaker-open time before a node is drained")
+		drainCooldown = flag.Duration("drain-cooldown", 2*time.Minute, "minimum spacing between auto-triggered drains")
 	)
 	flag.Parse()
 
@@ -119,6 +132,19 @@ func main() {
 		}
 	}
 
+	var planner *drainPlanner
+	if *autoDrain {
+		if *frontAdmin == "" {
+			fmt.Fprintln(os.Stderr, "secguard: -auto-drain requires -frontend-admin")
+			os.Exit(2)
+		}
+		planner, err = newDrainPlanner(*drainAfter, *drainCooldown, *d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secguard:", err)
+			os.Exit(2)
+		}
+	}
+
 	prev, reachable := pollAll(client, addrs, nil)
 	if reachable == 0 {
 		fmt.Fprintln(os.Stderr, "secguard: no admin endpoint reachable")
@@ -175,6 +201,19 @@ func main() {
 			} else if fired {
 				fmt.Printf("[%s] rotation triggered (total %d)\n",
 					time.Now().Format(time.TimeOnly), responder.Fired())
+			}
+		}
+		// Auto-drain: the frontend's breaker gauges say which members it
+		// has stopped trusting; a member that stays open past the
+		// hysteresis window is drained out of the view entirely.
+		if planner != nil {
+			gauges, gerr := fetchGauges(client, *frontAdmin)
+			if gerr != nil {
+				fmt.Fprintln(os.Stderr, "secguard: auto-drain:", gerr)
+			} else if id := planner.Observe(time.Now(), members, openMembers(gauges, members)); id >= 0 {
+				if derr := triggerDrain(client, *frontAdmin, id); derr != nil {
+					fmt.Fprintln(os.Stderr, "secguard: auto-drain:", derr)
+				}
 			}
 		}
 	}

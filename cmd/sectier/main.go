@@ -1,0 +1,262 @@
+// Command sectier benchmarks the distributed frontend cache tier
+// against the single-frontend baseline on an in-process cluster: the
+// same backends, the same provisioned cache budget, first behind one
+// kvfront and then split across k tier members driven by the
+// power-of-two-choices client.
+//
+// It measures three things the tier design promises:
+//
+//   - read throughput scales with k (the tier members serve hits in
+//     parallel instead of queuing behind one frontend);
+//   - a topology-aware attack — every query aimed at keys that share
+//     one victim frontend as a candidate — still spreads across the
+//     tier (normalized max frontend load near 1, not near k/2);
+//   - the backends stay behind the Eq. 10 bound throughout, because
+//     the tier mapping is independent of the secret backend partition.
+//
+// Usage:
+//
+//	sectier -n 8 -d 3 -k 3 -m 5000 -json BENCH_disttier.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"securecache/internal/cache"
+	"securecache/internal/kvstore"
+	"securecache/internal/workload"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 8, "number of backends")
+		d        = flag.Int("d", 3, "replication factor")
+		k        = flag.Int("k", 3, "tier width (frontends)")
+		m        = flag.Int("m", 5000, "number of keys")
+		reads    = flag.Int("reads", 30000, "reads per measured phase")
+		workers  = flag.Int("workers", 8, "concurrent reader goroutines")
+		jsonPath = flag.String("json", "", "also write the bench report to this file")
+	)
+	flag.Parse()
+
+	report, err := runBench(benchConfig{
+		Nodes: *n, Replication: *d, Frontends: *k, Keys: *m,
+		Reads: *reads, Workers: *workers,
+	}, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sectier:", err)
+		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sectier:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sectier:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+type benchConfig struct {
+	Nodes       int
+	Replication int
+	Frontends   int
+	Keys        int
+	Reads       int
+	Workers     int
+}
+
+type benchReport struct {
+	Nodes       int `json:"nodes"`
+	Replication int `json:"replication"`
+	Frontends   int `json:"frontends"`
+	Keys        int `json:"keys"`
+	CStar       int `json:"cstar"`
+	CacheShare  int `json:"tier_cache_share"`
+
+	SingleReadOps float64 `json:"single_read_ops_per_sec"`
+	TierReadOps   float64 `json:"tier_read_ops_per_sec"`
+	TierSpeedup   float64 `json:"tier_speedup"`
+
+	AttackHotKeys      int     `json:"attack_hot_keys"`
+	AttackReads        int     `json:"attack_reads"`
+	AttackFailures     uint64  `json:"attack_failures"`
+	AttackFrontNormMax float64 `json:"attack_front_norm_max"`
+	AttackBackNormMax  float64 `json:"attack_back_norm_max"`
+}
+
+func runBench(cfg benchConfig, w io.Writer) (benchReport, error) {
+	report := benchReport{
+		Nodes: cfg.Nodes, Replication: cfg.Replication,
+		Frontends: cfg.Frontends, Keys: cfg.Keys,
+	}
+	const (
+		secretSeed = 0x5EED0008
+		tierSeed   = 0x7153
+	)
+	provision := kvstore.ProvisionConfig{Items: cfg.Keys, KOverride: 1.2}
+
+	// Phase 1: single-frontend baseline, same backends and provision.
+	single, err := kvstore.StartLocalCluster(kvstore.LocalConfig{
+		Nodes: cfg.Nodes, Replication: cfg.Replication,
+		PartitionSeed: secretSeed,
+		Cache:         cache.NewLRU(256),
+		Provision:     provision,
+	})
+	if err != nil {
+		return report, err
+	}
+	client := kvstore.NewClient(single.FrontendAddr)
+	for i := 0; i < cfg.Keys; i++ {
+		if err := client.Set(workload.KeyName(i), []byte("payload")); err != nil {
+			client.Close()
+			single.Close()
+			return report, fmt.Errorf("preload (single): %w", err)
+		}
+	}
+	singleOps, _ := measure(cfg, func(key string) error {
+		_, err := client.Get(key)
+		return err
+	})
+	client.Close()
+	single.Close()
+	report.SingleReadOps = singleOps
+	fmt.Fprintf(w, "single frontend: %.0f reads/s (n=%d d=%d m=%d)\n",
+		singleOps, cfg.Nodes, cfg.Replication, cfg.Keys)
+
+	// Phase 2: the tier — same backends-per-key placement (same secret
+	// seed), cache budget split across k members by CacheShare.
+	tcl, err := kvstore.StartTierCluster(kvstore.TierLocalConfig{
+		Nodes: cfg.Nodes, Replication: cfg.Replication, Frontends: cfg.Frontends,
+		PartitionSeed: secretSeed, TierSeed: tierSeed,
+		NewCache:  func() cache.Cache { return cache.NewLRU(256) },
+		Provision: provision,
+	})
+	if err != nil {
+		return report, err
+	}
+	defer tcl.Close()
+	st := tcl.Frontends[0].TierStatus()
+	report.CacheShare = st.CacheShare
+	report.CStar = tcl.Frontends[0].MembershipStatus().CStar
+	for i := 0; i < cfg.Keys; i++ {
+		if err := tcl.Client.Set(workload.KeyName(i), []byte("payload")); err != nil {
+			return report, fmt.Errorf("preload (tier): %w", err)
+		}
+	}
+	tierOps, _ := measure(cfg, func(key string) error {
+		_, err := tcl.Client.Get(key)
+		return err
+	})
+	report.TierReadOps = tierOps
+	if singleOps > 0 {
+		report.TierSpeedup = tierOps / singleOps
+	}
+	fmt.Fprintf(w, "tier of %d:      %.0f reads/s (%.2fx; c*=%d split to %d per member)\n",
+		cfg.Frontends, tierOps, report.TierSpeedup, report.CStar, report.CacheShare)
+
+	// Phase 3: topology-aware attack. The adversary knows the public
+	// tier mapping and aims everything at keys whose candidate set
+	// includes frontend 0.
+	var hot []string
+	for i := 0; i < cfg.Keys && len(hot) < cfg.Keys/2; i++ {
+		key := workload.KeyName(i)
+		if a, b := tcl.Client.Candidates(key); a == 0 || b == 0 {
+			hot = append(hot, key)
+		}
+	}
+	report.AttackHotKeys = len(hot)
+	frontBefore := tcl.FrontendRequestCounts()
+	backBefore := tcl.BackendRequestCounts()
+	var failures atomic.Uint64
+	_, attackReads := measureStream(cfg, hot, func(key string) {
+		if _, err := tcl.Client.Get(key); err != nil {
+			failures.Add(1)
+		}
+	})
+	report.AttackReads = attackReads
+	report.AttackFailures = failures.Load()
+	report.AttackFrontNormMax = normMaxDelta(tcl.FrontendRequestCounts(), frontBefore)
+	report.AttackBackNormMax = normMaxDelta(tcl.BackendRequestCounts(), backBefore)
+	fmt.Fprintf(w, "topology-aware attack: %d reads over %d hot keys, %d failures\n",
+		report.AttackReads, report.AttackHotKeys, report.AttackFailures)
+	fmt.Fprintf(w, "  normalized max frontend load %.3f (one-choice would near %.1f)\n",
+		report.AttackFrontNormMax, float64(cfg.Frontends)/2)
+	fmt.Fprintf(w, "  normalized max backend load  %.3f\n", report.AttackBackNormMax)
+	return report, nil
+}
+
+// measure drives cfg.Reads uniform GETs from cfg.Workers goroutines and
+// returns the aggregate ops/sec plus the issued count.
+func measure(cfg benchConfig, get func(string) error) (float64, int) {
+	perWorker := cfg.Reads / cfg.Workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			gen := workload.NewGenerator(workload.NewUniform(cfg.Keys, cfg.Keys), seed)
+			for i := 0; i < perWorker; i++ {
+				get(workload.KeyName(gen.Next()))
+			}
+		}(uint64(w) + 11)
+	}
+	wg.Wait()
+	total := perWorker * cfg.Workers
+	return float64(total) / time.Since(start).Seconds(), total
+}
+
+// measureStream round-robins the hot set from cfg.Workers goroutines.
+func measureStream(cfg benchConfig, keys []string, hit func(string)) (float64, int) {
+	perWorker := cfg.Reads / cfg.Workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				hit(keys[(off+i)%len(keys)])
+			}
+		}(w * len(keys) / cfg.Workers)
+	}
+	wg.Wait()
+	total := perWorker * cfg.Workers
+	return float64(total) / time.Since(start).Seconds(), total
+}
+
+// normMaxDelta returns the normalized max of after-before deltas over
+// the slots that saw traffic at all (crashed/idle slots excluded from
+// the width would skew the share, so the full width is kept).
+func normMaxDelta(after, before []uint64) float64 {
+	var total, max uint64
+	for i := range after {
+		delta := after[i] - before[i]
+		total += delta
+		if delta > max {
+			max = delta
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) / (float64(total) / float64(len(after)))
+}

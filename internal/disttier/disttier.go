@@ -1,0 +1,112 @@
+// Package disttier is the placement math of the distributed frontend
+// cache tier: k kvfront instances together protect the n backends, each
+// caching hot keys under an independent hash partition of the key space,
+// with clients spreading queries across each key's two candidate
+// frontends by power-of-two-choices on live load hints.
+//
+// This is the DistCache construction ("Provable Load Balancing for
+// Large-Scale Storage Systems with Distributed Caching"): because the
+// frontend-tier partition is INDEPENDENT of the backend partition, the
+// hot keys an adversary can concentrate on one backend group are spread
+// uniformly across the frontend tier, and vice versa — no single access
+// pattern can saturate a node in both layers at once. The two-choice
+// client policy then keeps the realized frontend load within a constant
+// additive term of perfectly balanced (the classic balanced-allocations
+// gap), so the Eq. 10 normalized-max-load bound survives at both layers.
+//
+// The tier mapping is deliberately PUBLIC (unlike the backend partition
+// seed): the proof needs independence and balance, not secrecy — an
+// adversary who knows the tier topology can at best send every query of
+// a key to one of its two candidates, which the load-hint policy
+// absorbs. Keys are mapped by their KeyID, which is fixed across secret
+// rotations, so rotating the backend seed never disturbs tier placement
+// — the two layers rotate independently.
+package disttier
+
+import (
+	"fmt"
+	"sort"
+
+	"securecache/internal/hashing"
+	"securecache/internal/xrand"
+)
+
+// candSalt decorrelates the second candidate draw from the first.
+const candSalt = 0x7469657232 // "tier2"
+
+// Map resolves each key's candidate frontends within one tier view. It
+// is immutable after construction and safe for concurrent use; tier
+// membership changes swap in a new Map.
+type Map struct {
+	seed uint64
+	ids  []int       // tier member IDs, ascending
+	pos  map[int]int // id -> index in ids
+}
+
+// NewMap builds the candidate mapping over the given tier member IDs,
+// keyed by the (public) tier seed. IDs must be distinct and
+// non-negative; order is normalized, so equal member sets give equal
+// mappings regardless of join history.
+func NewMap(ids []int, seed uint64) (*Map, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("disttier: empty tier")
+	}
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	pos := make(map[int]int, len(sorted))
+	for i, id := range sorted {
+		if id < 0 {
+			return nil, fmt.Errorf("disttier: negative frontend ID %d", id)
+		}
+		if _, dup := pos[id]; dup {
+			return nil, fmt.Errorf("disttier: duplicate frontend ID %d", id)
+		}
+		pos[id] = i
+	}
+	return &Map{seed: seed, ids: sorted, pos: pos}, nil
+}
+
+// Size returns k, the number of tier frontends.
+func (m *Map) Size() int { return len(m.ids) }
+
+// Seed returns the tier mapping seed.
+func (m *Map) Seed() uint64 { return m.seed }
+
+// IDs returns a copy of the tier member IDs, ascending.
+func (m *Map) IDs() []int { return append([]int(nil), m.ids...) }
+
+// Contains reports whether id is a tier member.
+func (m *Map) Contains(id int) bool {
+	_, ok := m.pos[id]
+	return ok
+}
+
+// Candidates returns the key's two candidate frontend IDs. The first
+// draw is uniform over the tier; the second is drawn from an
+// independent stream and rejection-sampled to be distinct, so for
+// k >= 2 the pair is always two different frontends (for k == 1 both
+// are the lone member). Each frontend is a candidate for ~2/k of the
+// key space, and the per-frontend key sets are pairwise independent —
+// the property the two-layer bound rests on.
+func (m *Map) Candidates(keyID uint64) (int, int) {
+	k := uint64(len(m.ids))
+	a := int(hashing.Hash64Uint(keyID, m.seed) % k)
+	if k == 1 {
+		return m.ids[0], m.ids[0]
+	}
+	stream := xrand.NewSplitMix64(hashing.Hash64Uint(keyID, m.seed^candSalt))
+	for {
+		b := int(stream.Uint64() % k)
+		if b != a {
+			return m.ids[a], m.ids[b]
+		}
+	}
+}
+
+// IsCandidate reports whether frontend id is one of the key's two
+// candidates. Tier frontends use it as their cache admission filter:
+// caching a key no client would route here would only waste c* budget.
+func (m *Map) IsCandidate(keyID uint64, id int) bool {
+	a, b := m.Candidates(keyID)
+	return id == a || id == b
+}

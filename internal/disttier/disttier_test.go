@@ -1,0 +1,214 @@
+package disttier
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewMapValidation(t *testing.T) {
+	if _, err := NewMap(nil, 1); err == nil {
+		t.Error("empty tier accepted")
+	}
+	if _, err := NewMap([]int{0, 0}, 1); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if _, err := NewMap([]int{-1}, 1); err == nil {
+		t.Error("negative ID accepted")
+	}
+	m, err := NewMap([]int{2, 0, 1}, 1)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	if got := m.IDs(); got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("IDs not normalized: %v", got)
+	}
+}
+
+func TestCandidatesDistinctAndDeterministic(t *testing.T) {
+	m, err := NewMap([]int{0, 1, 2, 3}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 5000; key++ {
+		a, b := m.Candidates(key)
+		if a == b {
+			t.Fatalf("key %d: candidates collide (%d)", key, a)
+		}
+		if !m.Contains(a) || !m.Contains(b) {
+			t.Fatalf("key %d: candidates (%d,%d) outside tier", key, a, b)
+		}
+		a2, b2 := m.Candidates(key)
+		if a != a2 || b != b2 {
+			t.Fatalf("key %d: non-deterministic candidates", key)
+		}
+		if !m.IsCandidate(key, a) || !m.IsCandidate(key, b) {
+			t.Fatalf("key %d: IsCandidate disagrees with Candidates", key)
+		}
+	}
+}
+
+func TestCandidatesSingleFrontend(t *testing.T) {
+	m, _ := NewMap([]int{7}, 1)
+	a, b := m.Candidates(123)
+	if a != 7 || b != 7 {
+		t.Fatalf("k=1 candidates (%d,%d), want (7,7)", a, b)
+	}
+}
+
+// Each frontend should be a candidate for ~2/k of the key space, and
+// the mapping should be spread uniformly.
+func TestCandidateUniformity(t *testing.T) {
+	const k, keys = 8, 40000
+	ids := make([]int, k)
+	for i := range ids {
+		ids[i] = i
+	}
+	m, _ := NewMap(ids, 99)
+	counts := make([]int, k)
+	for key := uint64(0); key < keys; key++ {
+		a, b := m.Candidates(key)
+		counts[a]++
+		counts[b]++
+	}
+	want := float64(2*keys) / k
+	for id, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.10 {
+			t.Errorf("frontend %d candidate for %d keys, want within 10%% of %.0f", id, c, want)
+		}
+	}
+}
+
+// The tier mapping must be independent of the member-ID labels only
+// through the hash: different seeds give different placements (the
+// independence the DistCache bound needs between tier layers is
+// established by seeding the tier and backend partitions differently).
+func TestSeedIndependence(t *testing.T) {
+	ids := []int{0, 1, 2, 3, 4, 5}
+	m1, _ := NewMap(ids, 1)
+	m2, _ := NewMap(ids, 2)
+	same := 0
+	const keys = 10000
+	for key := uint64(0); key < keys; key++ {
+		a1, b1 := m1.Candidates(key)
+		a2, b2 := m2.Candidates(key)
+		if a1 == a2 && b1 == b2 {
+			same++
+		}
+	}
+	// P(same ordered pair) ≈ 1/(6·5) per key under independence.
+	if frac := float64(same) / keys; frac > 0.08 {
+		t.Errorf("%.3f of keys kept identical candidate pairs across seeds", frac)
+	}
+}
+
+func TestCacheShare(t *testing.T) {
+	if got := CacheShare(100, 1); got != 100 {
+		t.Errorf("k=1 share %d, want c* itself", got)
+	}
+	if got := CacheShare(0, 4); got != 0 {
+		t.Errorf("c*=0 share %d, want 0", got)
+	}
+	// k=4, c*=100: mean 50, dev sqrt(2·50·ln4) ≈ 11.8 → 63.
+	got := CacheShare(100, 4)
+	if got < 51 || got > 80 {
+		t.Errorf("k=4 share %d, want mean+dev headroom in (50, 80]", got)
+	}
+	// Aggregate must cover 2c* with headroom.
+	if 4*got < 2*100 {
+		t.Errorf("k=4 aggregate %d < 2c*", 4*got)
+	}
+	// Wide tier: clamped to at least 1.
+	if got := CacheShare(2, 64); got < 1 {
+		t.Errorf("wide tier share %d < 1", got)
+	}
+	// Never exceeds c*.
+	if got := CacheShare(10, 2); got > 10 {
+		t.Errorf("k=2 share %d exceeds c*", got)
+	}
+}
+
+// The share must actually cover the realized max bin of the candidate
+// mapping: drop c* hot keys into a tier and check no frontend's
+// candidate count exceeds its share.
+func TestCacheShareCoversRealizedAssignment(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		const cstar = 200
+		ids := make([]int, k)
+		for i := range ids {
+			ids[i] = i
+		}
+		m, _ := NewMap(ids, 7)
+		counts := make([]int, k)
+		for key := uint64(0); key < cstar; key++ {
+			a, b := m.Candidates(key)
+			counts[a]++
+			if b != a {
+				counts[b]++
+			}
+		}
+		share := CacheShare(cstar, k)
+		for id, c := range counts {
+			if c > share {
+				t.Errorf("k=%d: frontend %d holds %d hot keys > share %d", k, id, c, share)
+			}
+		}
+	}
+}
+
+func TestLoadTablePick(t *testing.T) {
+	lt := NewLoadTable()
+	lt.Observe(0, 10)
+	lt.Observe(1, 3)
+	if got := lt.Pick(0, 1); got != 1 {
+		t.Errorf("Pick = %d, want less-loaded 1", got)
+	}
+	// Local outstanding requests count immediately.
+	for i := 0; i < 20; i++ {
+		lt.Acquire(1)
+	}
+	if got := lt.Pick(0, 1); got != 0 {
+		t.Errorf("Pick = %d after local pile-up on 1, want 0", got)
+	}
+	for i := 0; i < 20; i++ {
+		lt.Release(1)
+	}
+	// Penalty dominates everything until an Observe clears it.
+	lt.Penalize(1)
+	if got := lt.Pick(0, 1); got != 0 {
+		t.Errorf("Pick = %d with 1 penalized, want 0", got)
+	}
+	lt.Observe(1, 0)
+	if got := lt.Pick(0, 1); got != 1 {
+		t.Errorf("Pick = %d after penalty cleared, want 1", got)
+	}
+	// Tie breaks toward a; equal IDs are trivial.
+	if got := lt.Pick(5, 5); got != 5 {
+		t.Errorf("Pick(5,5) = %d", got)
+	}
+}
+
+func TestLoadTableConcurrent(t *testing.T) {
+	lt := NewLoadTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				id := (g + i) % 4
+				lt.Acquire(id)
+				lt.Observe(id, uint32(i))
+				lt.Pick(id, (id+1)%4)
+				lt.Release(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for id := 0; id < 4; id++ {
+		s := lt.slot(id)
+		if s.local.Load() != 0 {
+			t.Errorf("frontend %d: %d outstanding after all released", id, s.local.Load())
+		}
+	}
+}

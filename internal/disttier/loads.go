@@ -1,0 +1,102 @@
+package disttier
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// LoadTable tracks the observed load of each tier frontend on the
+// client side. Two signals combine into the effective load the
+// two-choice policy compares:
+//
+//   - the server-reported hint (in-flight requests at the frontend,
+//     piggybacked on every response frame), which sees ALL clients'
+//     traffic but lags by up to one round trip, and
+//   - this client's own outstanding requests to the frontend, which is
+//     exact but local.
+//
+// Summing them damps the herd effect of stale hints: between hint
+// updates a client that has just fired King requests at the "less
+// loaded" frontend sees its own contribution immediately and stops
+// piling on. A frontend never heard from reports load 0 — new members
+// should attract traffic (and with it their first hint).
+type LoadTable struct {
+	mu    sync.RWMutex
+	slots map[int]*loadSlot
+}
+
+type loadSlot struct {
+	hint  atomic.Uint32 // last server-reported in-flight count
+	local atomic.Int64  // this client's outstanding requests
+	penal atomic.Int64  // failure penalty (decayed by Observe)
+}
+
+// NewLoadTable returns an empty table; slots are created on first use.
+func NewLoadTable() *LoadTable {
+	return &LoadTable{slots: make(map[int]*loadSlot)}
+}
+
+func (t *LoadTable) slot(id int) *loadSlot {
+	t.mu.RLock()
+	s := t.slots[id]
+	t.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	t.mu.Lock()
+	if s = t.slots[id]; s == nil {
+		s = &loadSlot{}
+		t.slots[id] = s
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// Observe records a server-reported load hint for frontend id and
+// clears any failure penalty — a frame arrived, so the frontend is
+// back.
+func (t *LoadTable) Observe(id int, hint uint32) {
+	s := t.slot(id)
+	s.hint.Store(hint)
+	s.penal.Store(0)
+}
+
+// Acquire notes one outstanding request to frontend id; pair with
+// Release.
+func (t *LoadTable) Acquire(id int) { t.slot(id).local.Add(1) }
+
+// Release ends an outstanding request to frontend id.
+func (t *LoadTable) Release(id int) { t.slot(id).local.Add(-1) }
+
+// Penalize marks frontend id as failed: its effective load is raised by
+// a large constant so the two-choice pick avoids it until a successful
+// exchange (Observe) clears the penalty. This is what fails clients
+// over to the surviving candidate when a frontend crashes mid-attack.
+func (t *LoadTable) Penalize(id int) { t.slot(id).penal.Store(1) }
+
+// penaltyLoad dominates any plausible in-flight count without risking
+// overflow in the sum.
+const penaltyLoad = 1 << 40
+
+// Effective returns the load the two-choice policy compares for
+// frontend id.
+func (t *LoadTable) Effective(id int) int64 {
+	s := t.slot(id)
+	load := int64(s.hint.Load()) + s.local.Load()
+	if s.penal.Load() != 0 {
+		load += penaltyLoad
+	}
+	return load
+}
+
+// Pick returns the less-loaded of two frontend IDs, breaking ties
+// toward a. Equal IDs (a k == 1 tier) pick a trivially.
+func (t *LoadTable) Pick(a, b int) int {
+	if a == b {
+		return a
+	}
+	if t.Effective(b) < t.Effective(a) {
+		return b
+	}
+	return a
+}

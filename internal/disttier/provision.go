@@ -1,0 +1,40 @@
+package disttier
+
+import "math"
+
+// CacheShare splits the paper's c* cache provision across a k-frontend
+// tier: the per-frontend capacity that keeps the TIER's coverage of the
+// c* hottest keys intact.
+//
+// Under the two-candidate mapping every hot key must be cacheable at
+// BOTH of its candidates (the two-choice client sends it to either, so
+// a candidate that cannot hold it would leak adversarial queries to the
+// backends). The tier therefore provisions 2·c* cache slots in
+// aggregate. Those slots land on frontends by the candidate hash —
+// throwing 2·c* balls pairwise into k bins — so the loaded frontend
+// holds the mean 2·c*/k plus the usual O(sqrt(mean·ln k)) balls-into-
+// bins deviation. CacheShare returns mean + deviation + 1, clamped to
+// [1, c*]: a 1-frontend tier degenerates to exactly c*, and a very wide
+// tier still caches at least one key per frontend.
+//
+// Compare a naive c*/k split, which has no headroom: the frontend that
+// drew a few extra hot keys evicts some of them, and the adversary
+// queries exactly those.
+func CacheShare(cstar, k int) int {
+	if cstar <= 0 {
+		return cstar
+	}
+	if k <= 1 {
+		return cstar
+	}
+	mean := 2 * float64(cstar) / float64(k)
+	dev := math.Sqrt(2 * mean * math.Log(float64(k)))
+	share := int(math.Ceil(mean+dev)) + 1
+	if share > cstar {
+		share = cstar
+	}
+	if share < 1 {
+		share = 1
+	}
+	return share
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import "testing"
+
+func TestTwoLayerBoundsHold(t *testing.T) {
+	tbl, err := TwoLayer(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := tbl.Column("k")
+	xs := tbl.Column("x")
+	fMax := tbl.Column("front_max")
+	fMean := tbl.Column("front_mean")
+	fBound := tbl.Column("front_bound")
+	fOne := tbl.Column("front_onechoice")
+	bMax := tbl.Column("back_max")
+	bMean := tbl.Column("back_mean")
+	bBound := tbl.Column("back_bound")
+	seen := map[int]bool{}
+	for i := range ks {
+		k, x := int(ks[i]), int(xs[i])
+		seen[k] = true
+		// The bounds are on E[L_max]: the mean-over-runs statistic must
+		// sit below them at every point of both layers. The backend
+		// bound is computed with the paper's FITTED k = 1.2, which at
+		// c = c* collapses to exactly 1.0 while the true expectation
+		// hovers a hair above — the same boundary noise CriticalPoint
+		// tolerates — so allow a few percent of slack.
+		if fMean[i] > 1.05*fBound[i] {
+			t.Errorf("k=%d x=%d: front_mean %.4f exceeds tier bound %.4f", k, x, fMean[i], fBound[i])
+		}
+		if bMean[i] > 1.05*bBound[i] {
+			t.Errorf("k=%d x=%d: back_mean %.4f exceeds Eq. 10 bound %.4f", k, x, bMean[i], bBound[i])
+		}
+		// The max-over-runs tail statistic may poke above an expectation
+		// bound, but only by run-to-run noise — the same factor band the
+		// paper uses when calling the bound tight.
+		if fMax[i] > 1.5*fBound[i] {
+			t.Errorf("k=%d x=%d: front_max %.4f far above tier bound %.4f", k, x, fMax[i], fBound[i])
+		}
+		if bMax[i] > 1.5*bBound[i] {
+			t.Errorf("k=%d x=%d: back_max %.4f far above Eq. 10 bound %.4f", k, x, bMax[i], bBound[i])
+		}
+		if fMax[i] < 1 {
+			t.Errorf("k=%d x=%d: front_max %.4f below 1; normalization broken", k, x, fMax[i])
+		}
+	}
+	for _, k := range TierWidths {
+		if !seen[k] {
+			t.Errorf("tier width %d missing from the sweep", k)
+		}
+	}
+
+	// The two-choice policy must be load-bearing: against the naive
+	// first-candidate client the topology-aware attack concentrates
+	// ~k/2 of the even share on the victim for wide tiers.
+	for i := range ks {
+		if k := int(ks[i]); k >= 4 && fOne[i] < 1.5 {
+			t.Errorf("k=%d x=%d: one-choice client load %.4f; topology-aware attack should overload it", k, int(xs[i]), fOne[i])
+		}
+		if fOne[i] < fMax[i]-1e-9 {
+			t.Errorf("k=%d x=%d: one-choice %.4f beat two-choice %.4f", int(ks[i]), int(xs[i]), fOne[i], fMax[i])
+		}
+	}
+}
+
+func TestTwoLayerValidatesConfig(t *testing.T) {
+	if _, err := TwoLayer(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	// A key space too small for the widest tier's candidate pool must be
+	// rejected, not silently truncated.
+	cfg := tiny()
+	cfg.Items = 200 // c*+1 = 122 > 3*200/16
+	if _, err := TwoLayer(cfg); err == nil {
+		t.Fatal("undersized key space accepted")
+	}
+}

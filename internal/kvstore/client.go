@@ -72,6 +72,12 @@ type ClientConfig struct {
 	// Size it to the caller's concurrency — each concurrent request
 	// beyond the pool pays a fresh dial once the pool is empty.
 	MaxIdleConns int
+	// OnLoadHint, when non-nil, is invoked with the server's load hint
+	// each time a response frame carries one (tier frontends stamp every
+	// frame with their in-flight count). TierClient hooks its per-
+	// frontend load table here; the hint is delivered before Do returns,
+	// so the next pick sees it.
+	OnLoadHint func(load uint32)
 }
 
 func defDur(v, def time.Duration) time.Duration {
@@ -235,7 +241,8 @@ func (c *Client) try(req *proto.Request) (*proto.Response, *tryError) {
 // and a reordered duplicate can never clobber a newer write.
 func isIdempotentReq(req *proto.Request) bool {
 	switch req.Op {
-	case proto.OpGet, proto.OpGetV, proto.OpMGet, proto.OpPing, proto.OpStats, proto.OpDel, proto.OpScan:
+	case proto.OpGet, proto.OpGetV, proto.OpMGet, proto.OpPing, proto.OpStats, proto.OpDel, proto.OpScan,
+		proto.OpInvalidate:
 		return true
 	case proto.OpSet:
 		return req.Ver != 0
@@ -272,6 +279,9 @@ func (c *Client) Do(req *proto.Request) (*proto.Response, error) {
 			// budget back a fraction of a token.
 			if resp.Status != proto.StatusBusy {
 				c.cfg.RetryBudget.OnSuccess()
+			}
+			if resp.LoadHinted && c.cfg.OnLoadHint != nil {
+				c.cfg.OnLoadHint(resp.Load)
 			}
 			return resp, nil
 		}
@@ -406,6 +416,18 @@ func (c *Client) DelVersioned(key string, epoch uint32, ver uint64) error {
 	}
 	if resp.Status == proto.StatusNotFound {
 		return nil
+	}
+	return resp.Err()
+}
+
+// Invalidate asks a (tier) frontend to drop its cached copy of key.
+// Plain frontends and backends treat it as a harmless cache no-op /
+// unsupported op respectively; TierClient sends it to a key's other
+// candidate after a write.
+func (c *Client) Invalidate(key string) error {
+	resp, err := c.Do(&proto.Request{Op: proto.OpInvalidate, Key: key})
+	if err != nil {
+		return err
 	}
 	return resp.Err()
 }

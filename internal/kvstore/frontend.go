@@ -135,6 +135,17 @@ type FrontendConfig struct {
 	// resizes its cache to it (when the cache supports Resize). Zero
 	// value (Items == 0) disables auto-provisioning.
 	Provision ProvisionConfig
+	// Partitioner picks the key->group mapping family for live
+	// membership: partition.KindHash (default) rebuilds the dense hash on
+	// every view change (moves nearly all keys), partition.KindRing hashes
+	// members onto a consistent-hash ring so a ±1-member view change
+	// moves only ~d/n of the key space. Both keep the d-replica draw the
+	// load analysis needs; seed rotation reshuffles ~everything under
+	// either (that is the point of rotating).
+	Partitioner partition.Kind
+	// Tier puts this frontend into distributed-tier mode (see
+	// tierfront.go); nil means solo operation.
+	Tier *TierConfig
 }
 
 // Frontend is the paper's front end: it owns the cache and the secret
@@ -211,11 +222,43 @@ type Frontend struct {
 	repaired    map[string]struct{}
 	repairJobs  chan readRepairJob
 
+	// Tier state (tierfront.go): nil when not in tier mode. pendingViews
+	// is the FIFO of staged membership changes queued behind an in-flight
+	// one (membership.go); guarded by rotateMu.
+	tier         *tierState
+	pendingViews []pendingView
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
 	wg       sync.WaitGroup
+}
+
+// newMemberMapping builds the key->group mapping over a member-ID set
+// under the given seed, honoring the configured partitioner family.
+// Every mapping speaks GLOBAL member IDs (Group returns IDs, Nodes() is
+// the member count), the shape the membership/rotation machinery
+// assumes:
+//
+//   - KindHash (default): the paper's dense hash over len(members)
+//     slots wrapped in a Remap to member IDs. Any view change rebuilds
+//     it from scratch and moves nearly every key.
+//   - KindRing: members hashed onto a consistent-hash ring under their
+//     global IDs, so a join or drain moves only the ~d/n of keys whose
+//     replica sets actually touch the changed member.
+//
+// KindJump is registry-only (dense indices shift on mid-list drains),
+// so it is rejected here along with anything else unknown.
+func newMemberMapping(kind partition.Kind, members []int, d int, seed uint64) (partition.Partitioner, error) {
+	switch kind {
+	case "", partition.KindHash:
+		return partition.NewRemap(partition.NewHash(len(members), d, seed), members), nil
+	case partition.KindRing:
+		return partition.NewMemberRing(members, d, seed, 0), nil
+	default:
+		return nil, fmt.Errorf("kvstore: partitioner kind %q not usable for live membership (want %q or %q)", kind, partition.KindHash, partition.KindRing)
+	}
 }
 
 // NewFrontend validates cfg and returns a Frontend (not yet serving).
@@ -246,16 +289,19 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	if err := cfg.Provision.validate(); err != nil {
 		return nil, err
 	}
-	// The boot mapping is the dense hash wrapped in an identity Remap so
-	// that Group always speaks global node IDs — the same shape every
-	// post-membership-change mapping has.
+	// The boot mapping speaks global node IDs — the same shape every
+	// post-membership-change mapping has (see newMemberMapping).
 	bootIDs := make([]int, n)
 	for i := range bootIDs {
 		bootIDs[i] = i
 	}
+	bootMap, err := newMemberMapping(cfg.Partitioner, bootIDs, cfg.Replication, cfg.PartitionSeed)
+	if err != nil {
+		return nil, err
+	}
 	f := &Frontend{
 		cfg:         cfg,
-		part:        rotation.NewEpochPartitioner(partition.NewRemap(partition.NewHash(n, cfg.Replication, cfg.PartitionSeed), bootIDs)),
+		part:        rotation.NewEpochPartitioner(bootMap),
 		memb:        membership.NewTracker(cfg.BackendAddrs),
 		curSeed:     cfg.PartitionSeed,
 		metrics:     metrics.NewRegistry(),
@@ -269,6 +315,13 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		repairJobs:  make(chan readRepairJob, readRepairQueueCap),
 	}
 	f.metrics.Gauge("partition_epoch").Set(1)
+	if cfg.Tier != nil {
+		ts, err := newTierState(cfg.Tier, f.metrics)
+		if err != nil {
+			return nil, err
+		}
+		f.tier = ts
+	}
 	f.cache = newSyncCache(cfg.Cache)
 	f.requestsTotal = f.metrics.Counter("requests_total")
 	f.cacheHits = f.metrics.Counter("cache_hits_total")
@@ -418,7 +471,15 @@ func (f *Frontend) cachePut(key string, value []byte) {
 	if f.cache == nil {
 		return
 	}
-	f.cache.Put(KeyID(key), encodeEntry(key, value))
+	id := KeyID(key)
+	// Tier admission filter: only cache keys this frontend is a candidate
+	// for — no client routes the others here, so caching them would only
+	// waste the (tier-split) c* budget.
+	if ts := f.tier; ts != nil && !ts.isCandidate(id) {
+		ts.filtered.Inc()
+		return
+	}
+	f.cache.Put(id, encodeEntry(key, value))
 }
 
 func (f *Frontend) cacheRemove(key string) {
@@ -941,6 +1002,9 @@ func (f *Frontend) handle(req *proto.Request) *proto.Response {
 			return errResponse("frontend", req.Op, err)
 		}
 		return &proto.Response{Status: proto.StatusOK, Payload: blob}
+	case proto.OpInvalidate:
+		f.Invalidate(req.Key)
+		return &proto.Response{Status: proto.StatusOK}
 	case proto.OpPing:
 		return &proto.Response{Status: proto.StatusOK}
 	default:
@@ -1021,15 +1085,32 @@ func (f *Frontend) serveConn(conn net.Conn) {
 		// the response is flushed.
 		var resp *proto.Response
 		holding := false
+		ts := f.tier
 		switch {
 		case req.Op == proto.OpPing || req.Op == proto.OpStats || req.Op == proto.OpMembers:
 			resp = f.handle(req)
 		case f.gate.Admit():
 			holding = true
+			if ts != nil {
+				ts.inflight.Add(1)
+			}
 			resp = f.handle(req)
+			if ts != nil {
+				ts.inflight.Add(-1)
+			}
 		default:
 			f.shedTotal.Inc()
 			resp = &proto.Response{Status: proto.StatusBusy}
+		}
+		// Tier mode: piggyback this frontend's in-flight count on every
+		// response frame — the signal TierClient's two-choice pick
+		// compares across a key's candidates. Stamped after the decrement
+		// so a client's own completed request is not still counted.
+		if ts != nil {
+			if n := ts.inflight.Load(); n > 0 {
+				resp.Load = uint32(n)
+			}
+			resp.LoadHinted = true
 		}
 		err = proto.WriteResponse(w, resp)
 		if err == nil {

@@ -6,6 +6,7 @@ import (
 
 	"securecache/internal/cache"
 	"securecache/internal/overload"
+	"securecache/internal/partition"
 )
 
 // LocalCluster is an in-process deployment of the full architecture on
@@ -67,6 +68,8 @@ type LocalConfig struct {
 	// membership and auto-provisioning (see FrontendConfig).
 	Membership MembershipConfig
 	Provision  ProvisionConfig
+	// Partitioner picks the mapping family (see FrontendConfig).
+	Partitioner partition.Kind
 	// Admin, when true, also starts the frontend's admin HTTP surface
 	// (with the rotation and membership verbs mounted) on loopback; its
 	// address is in AdminAddr.
@@ -109,6 +112,7 @@ func StartLocalCluster(cfg LocalConfig) (*LocalCluster, error) {
 		RepairRate:       cfg.RepairRate,
 		Membership:       cfg.Membership,
 		Provision:        cfg.Provision,
+		Partitioner:      cfg.Partitioner,
 	}, "127.0.0.1:0")
 	if err != nil {
 		lc.Close()

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"securecache/internal/core"
+	"securecache/internal/disttier"
 	"securecache/internal/membership"
 	"securecache/internal/metrics"
 	"securecache/internal/overload"
@@ -110,6 +111,19 @@ type MembershipReport struct {
 	// reshuffles broadly); either way the migrator verifies per key and
 	// copies nothing for groups that survived the change.
 	ExpectedMovedFraction float64 `json:"expected_moved_fraction"`
+	// Queued reports the change was accepted while another view change
+	// was in flight: it is staged FIFO and applied automatically after
+	// the in-flight change commits or rolls back. All other fields are
+	// zero for a queued report — the version, epoch, and moved fraction
+	// are only known once the change actually stages.
+	Queued bool `json:"queued,omitempty"`
+}
+
+// pendingView is one membership change queued behind an in-flight view
+// change (guarded by rotateMu, applied FIFO by kickPendingView).
+type pendingView struct {
+	joinAddrs []string
+	drainIDs  []int
 }
 
 // MembershipStatus is the observable membership state (also the
@@ -131,6 +145,9 @@ type MembershipStatus struct {
 	CStar int `json:"cstar,omitempty"`
 	// CacheCapacity is the cache's live capacity (0 when cacheless).
 	CacheCapacity int `json:"cache_capacity,omitempty"`
+	// QueuedChanges counts membership changes staged FIFO behind the
+	// in-flight one.
+	QueuedChanges int `json:"queued_changes,omitempty"`
 }
 
 // Join adds backend nodes at the given addresses to the cluster: each
@@ -156,11 +173,24 @@ func (f *Frontend) Drain(ids ...int) (MembershipReport, error) {
 
 // changeView stages one membership change and opens its epoch change.
 // Serialized with Rotate by rotateMu; only one epoch change of either
-// kind may be open.
+// kind may be open. A change arriving while a VIEW change is in flight
+// is queued FIFO instead of refused — joins and drains issued
+// back-to-back apply in order without the caller polling for 409s.
+// (A change during a seed ROTATION is still refused: rotations are
+// operator-paced and the queue's deferred validation semantics are
+// meant for the membership pipeline, not as a general scheduler.)
 func (f *Frontend) changeView(joinAddrs []string, drainIDs []int) (MembershipReport, error) {
 	f.rotateMu.Lock()
 	defer f.rotateMu.Unlock()
 	if f.part.Rotating() {
+		if f.memb.Changing() {
+			f.pendingViews = append(f.pendingViews, pendingView{
+				joinAddrs: append([]string(nil), joinAddrs...),
+				drainIDs:  append([]int(nil), drainIDs...),
+			})
+			f.metrics.Gauge("membership_queued").Set(int64(len(f.pendingViews)))
+			return MembershipReport{Queued: true}, nil
+		}
 		return MembershipReport{}, ErrRotationInProgress
 	}
 	d := f.cfg.Replication
@@ -198,8 +228,13 @@ func (f *Frontend) changeView(joinAddrs []string, drainIDs []int) (MembershipRep
 	// IDs before any mapping can hand them out.
 	f.growFleet(staged, joined)
 	// Same secret seed, new member set: only keys whose group changed
-	// under the (n, seed) remap move.
-	next := partition.NewRemap(partition.NewHash(len(members), d, f.curSeed), members)
+	// under the new member mapping move (how few that is depends on
+	// cfg.Partitioner — the ring moves ~d/n, the dense hash nearly all).
+	next, err := newMemberMapping(f.cfg.Partitioner, members, d, f.curSeed)
+	if err != nil {
+		f.memb.Abort()
+		return MembershipReport{}, err
+	}
 	_, cur, _ := f.part.Snapshot()
 	samples := f.cfg.Rotation.MovedFractionSamples
 	if samples <= 0 {
@@ -383,6 +418,36 @@ func (f *Frontend) commitViewChange(mig *rotation.Migrator, epoch uint32, staged
 	f.metrics.Counter("membership_commits_total").Inc()
 	log.Printf("kvstore: view change v%d committed at epoch %d: %d keys re-placed, %d members serving",
 		view.Version, epoch, mig.Moved(), len(view.Members()))
+	f.kickPendingView()
+}
+
+// kickPendingView stages the oldest queued membership change, if any.
+// Called after a view change fully resolves (commit or rollback). The
+// dequeued change runs on its own goroutine: changeView re-validates it
+// from scratch (joiner reachability, member-count floor), so a change
+// that was plausible when queued can still fail — that failure is
+// logged and counted, exactly as if the operator had issued it then.
+// If the re-issued change races with yet another in-flight view change
+// it simply re-queues itself through the normal path.
+func (f *Frontend) kickPendingView() {
+	f.rotateMu.Lock()
+	if len(f.pendingViews) == 0 {
+		f.rotateMu.Unlock()
+		return
+	}
+	pv := f.pendingViews[0]
+	f.pendingViews = f.pendingViews[1:]
+	f.metrics.Gauge("membership_queued").Set(int64(len(f.pendingViews)))
+	f.rotateMu.Unlock()
+	f.rotWG.Add(1)
+	go func() {
+		defer f.rotWG.Done()
+		if _, err := f.changeView(pv.joinAddrs, pv.drainIDs); err != nil {
+			f.metrics.Counter("membership_queue_dropped_total").Inc()
+			log.Printf("kvstore: queued membership change (join %v, drain %v) dropped: %v",
+				pv.joinAddrs, pv.drainIDs, err)
+		}
+	}()
 }
 
 // rollbackViewChange reverses a failed join: the epoch change swaps
@@ -451,6 +516,7 @@ func (f *Frontend) rollbackViewChange(staged membership.View) {
 	f.tombMu.Unlock()
 	log.Printf("kvstore: view change v%d rolled back: %d members serving under the original mapping",
 		staged.Version, len(view.Members()))
+	f.kickPendingView()
 }
 
 // applyCommittedView re-derives everything downstream of the member
@@ -476,7 +542,9 @@ func (f *Frontend) applyCommittedView(view membership.View) {
 }
 
 // reprovision recomputes c* for n members and resizes the cache to it
-// (when auto-provisioning is on and the cache supports Resize).
+// (when auto-provisioning is on and the cache supports Resize). In tier
+// mode the target is this frontend's share of the tier's aggregate
+// provision (disttier.CacheShare) rather than the whole c*.
 func (f *Frontend) reprovision(n int) {
 	p, ok := f.provisionParams(n)
 	if !ok {
@@ -484,6 +552,10 @@ func (f *Frontend) reprovision(n int) {
 	}
 	cstar := p.RequiredCacheSize()
 	f.metrics.Gauge("provision_cstar").Set(int64(cstar))
+	if ts := f.tier; ts != nil {
+		cstar = disttier.CacheShare(cstar, ts.size())
+		f.metrics.Gauge("tier_cache_share").Set(int64(cstar))
+	}
 	if f.cache == nil {
 		return
 	}
@@ -536,6 +608,9 @@ func (f *Frontend) MembershipStatus() MembershipStatus {
 	if cp, ok := f.cache.(interface{ Cap() int }); ok {
 		st.CacheCapacity = cp.Cap()
 	}
+	f.rotateMu.Lock()
+	st.QueuedChanges = len(f.pendingViews)
+	f.rotateMu.Unlock()
 	return st
 }
 
@@ -550,6 +625,10 @@ func (f *Frontend) membershipHandlers() map[string]http.HandlerFunc {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 		default:
 			w.Header().Set("Content-Type", "application/json")
+			if report.Queued {
+				// 202: accepted, applied after the in-flight change lands.
+				w.WriteHeader(http.StatusAccepted)
+			}
 			json.NewEncoder(w).Encode(report)
 		}
 	}

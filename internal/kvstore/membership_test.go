@@ -243,7 +243,28 @@ func TestMembershipValidation(t *testing.T) {
 	}
 }
 
-func TestMembershipRejectsConcurrentChange(t *testing.T) {
+// waitMembershipView polls until the frontend's committed view reaches
+// version want with nothing in flight or queued.
+func waitMembershipView(t *testing.T, f *Frontend, want uint64, timeout time.Duration) MembershipStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st := f.MembershipStatus()
+		if st.Version >= want && !st.Changing && !st.Rotating && st.QueuedChanges == 0 {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("view never reached v%d settled: %+v", want, f.MembershipStatus())
+	return MembershipStatus{}
+}
+
+// TestMembershipQueuesConcurrentChange pins the staged-change queue: a
+// join-then-drain issued back-to-back queues the drain FIFO behind the
+// in-flight join instead of refusing it with 409, and applies it
+// automatically once the join commits. Seed rotations still conflict
+// with view changes in both directions.
+func TestMembershipQueuesConcurrentChange(t *testing.T) {
 	lc, err := StartLocalCluster(LocalConfig{
 		Nodes:         4,
 		Replication:   2,
@@ -270,18 +291,43 @@ func TestMembershipRejectsConcurrentChange(t *testing.T) {
 	if _, err := f.Join(addr); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Drain(0); !errors.Is(err, ErrRotationInProgress) {
-		t.Fatalf("drain during join: %v, want ErrRotationInProgress", err)
+	// The drain queues behind the in-flight join: accepted immediately,
+	// no version assigned yet.
+	rep, err := f.Drain(0)
+	if err != nil || !rep.Queued {
+		t.Fatalf("drain during join: %+v, %v, want queued acceptance", rep, err)
 	}
+	if rep.Version != 0 {
+		t.Fatalf("queued report carries version %d, want none until staged", rep.Version)
+	}
+	if st := f.MembershipStatus(); st.QueuedChanges != 1 {
+		t.Fatalf("QueuedChanges = %d with one queued drain", st.QueuedChanges)
+	}
+	// A seed rotation is still refused while a view change is open.
 	if _, err := f.Rotate(99); !errors.Is(err, ErrRotationInProgress) {
 		t.Fatalf("rotate during join: %v, want ErrRotationInProgress", err)
 	}
-	waitViewSettled(t, f, 30*time.Second)
-	// And the other direction: a seed rotation blocks view changes.
+	// Join commits at v2, then the queued drain stages and commits at v3.
+	st := waitMembershipView(t, f, 3, 60*time.Second)
+	if containsNode(st.Members, 0) {
+		t.Fatalf("queued drain never removed node 0: members %v", st.Members)
+	}
+	if len(st.Members) != 4 {
+		t.Fatalf("members after join+queued drain: %v, want 4", st.Members)
+	}
+	// Data survives both changes.
+	for i := 0; i < 40; i++ {
+		v, err := f.Get(rotKey(i))
+		if err != nil || !bytes.Equal(v, rotVal(i, 0)) {
+			t.Fatalf("get %s after queued drain: %v %q", rotKey(i), err, v)
+		}
+	}
+	// The other direction is unchanged: a seed rotation blocks view
+	// changes outright (nothing queues behind a rotation).
 	if _, err := f.Rotate(123); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Drain(0); !errors.Is(err, ErrRotationInProgress) {
+	if _, err := f.Drain(1); !errors.Is(err, ErrRotationInProgress) {
 		t.Fatalf("drain during rotation: %v, want ErrRotationInProgress", err)
 	}
 	waitRotated(t, f, 30*time.Second)
@@ -734,11 +780,17 @@ func TestMembershipAdminEndpoints(t *testing.T) {
 	if err := json.Unmarshal(body, &report); err != nil || report.Version != 2 {
 		t.Fatalf("join report: %v %s", err, body)
 	}
-	// While the fill migrates, a second change is refused with 409.
-	if resp, _ := post("/drain?id=0"); resp.StatusCode != http.StatusConflict {
-		t.Fatalf("POST /drain mid-change: %d, want 409", resp.StatusCode)
+	// A second change while the fill migrates is queued and answered 202.
+	resp, body = post("/drain?id=0")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /drain mid-change: %d, want 202: %s", resp.StatusCode, body)
 	}
-	waitViewSettled(t, f, 30*time.Second)
+	var queued MembershipReport
+	if err := json.Unmarshal(body, &queued); err != nil || !queued.Queued {
+		t.Fatalf("queued drain report: %v %s", err, body)
+	}
+	// Join commits at v2; the queued drain follows automatically at v3.
+	waitMembershipView(t, f, 3, 60*time.Second)
 
 	resp, body = post("/drain?id=4")
 	if resp.StatusCode != http.StatusOK {
@@ -746,8 +798,8 @@ func TestMembershipAdminEndpoints(t *testing.T) {
 	}
 	waitViewSettled(t, f, 30*time.Second)
 	st = f.MembershipStatus()
-	if st.Version != 3 || !equalIntSlices(st.Members, []int{0, 1, 2, 3}) {
-		t.Fatalf("final status v%d members %v, want v3 [0 1 2 3]", st.Version, st.Members)
+	if st.Version != 4 || !equalIntSlices(st.Members, []int{1, 2, 3}) {
+		t.Fatalf("final status v%d members %v, want v4 [1 2 3]", st.Version, st.Members)
 	}
 	for i := 0; i < m; i++ {
 		v, err := f.Get(rotKey(i))
@@ -778,4 +830,83 @@ func fmtMembers(ms []membership.Node) string {
 		fmt.Fprintf(&buf, "%d:%s", n.ID, n.State)
 	}
 	return buf.String()
+}
+
+// TestMembershipRingPartitioner runs the join/drain pipeline under the
+// consistent-hash member ring (FrontendConfig.Partitioner = ring) and
+// pins its point: a ±1-member view change reports a SMALL expected
+// moved fraction (~d/n, not the dense hash's near-total reshuffle)
+// while every key stays readable through both changes.
+func TestMembershipRingPartitioner(t *testing.T) {
+	lc, err := StartLocalCluster(LocalConfig{
+		Nodes:         10,
+		Replication:   3,
+		PartitionSeed: 91,
+		Partitioner:   partition.KindRing,
+		Rotation:      RotationConfig{Rate: -1},
+		Membership:    MembershipConfig{RetryDelay: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	f := lc.Frontend
+	const m = 80
+	for i := 0; i < m; i++ {
+		if err := f.Set(rotKey(i), rotVal(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, err := lc.AddBackend(overload.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.Join(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d=3, n=10->11: the ring moves ~d/(n+1) ≈ 27%; the dense hash
+	// would report >= 90%. The threshold splits those regimes.
+	if rep.ExpectedMovedFraction > 0.55 {
+		t.Fatalf("ring join moved fraction %.2f, want the consistent-hash regime (< 0.55)", rep.ExpectedMovedFraction)
+	}
+	waitViewSettled(t, f, 60*time.Second)
+	rep, err = f.Drain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExpectedMovedFraction > 0.55 {
+		t.Fatalf("ring drain moved fraction %.2f, want < 0.55", rep.ExpectedMovedFraction)
+	}
+	waitViewSettled(t, f, 60*time.Second)
+	for i := 0; i < m; i++ {
+		v, err := f.Get(rotKey(i))
+		if err != nil || !bytes.Equal(v, rotVal(i, 0)) {
+			t.Fatalf("get %s after ring join+drain: %v %q", rotKey(i), err, v)
+		}
+	}
+	// Seed rotation under the ring still reshuffles broadly — rotation
+	// must stay an effective defense regardless of partitioner.
+	rrep, err := f.Rotate(0x5eed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.ExpectedMovedFraction < 0.5 {
+		t.Fatalf("ring seed rotation moved only %.2f, want a broad reshuffle", rrep.ExpectedMovedFraction)
+	}
+	waitRotated(t, f, 60*time.Second)
+}
+
+// TestFrontendRejectsRegistryOnlyPartitioner pins the guard: mapping
+// families whose group identity depends on dense indices (jump) cannot
+// back live membership.
+func TestFrontendRejectsRegistryOnlyPartitioner(t *testing.T) {
+	_, err := NewFrontend(FrontendConfig{
+		BackendAddrs: []string{"127.0.0.1:1", "127.0.0.1:2"},
+		Replication:  2,
+		Partitioner:  partition.KindJump,
+	})
+	if err == nil {
+		t.Fatal("jump partitioner accepted for live membership")
+	}
 }

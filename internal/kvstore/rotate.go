@@ -114,7 +114,10 @@ func (f *Frontend) Rotate(newSeed uint64) (RotationReport, error) {
 	// Re-seed over the CURRENT member set (global IDs with holes after
 	// membership changes — the Remap translates).
 	members := f.memb.Current().Members()
-	next := partition.NewRemap(partition.NewHash(len(members), f.cfg.Replication, newSeed), members)
+	next, err := newMemberMapping(f.cfg.Partitioner, members, f.cfg.Replication, newSeed)
+	if err != nil {
+		return RotationReport{}, err
+	}
 	samples := f.cfg.Rotation.MovedFractionSamples
 	if samples <= 0 {
 		samples = DefaultMovedFractionSamples
@@ -444,6 +447,9 @@ func (t *migrationTransport) Move(e rotation.Entry) error {
 func (f *Frontend) AdminHandlers() map[string]http.HandlerFunc {
 	h := f.membershipHandlers()
 	h["/rotate"], h["/rotation"] = f.rotationHandlers()
+	for path, handler := range f.tierHandlers() {
+		h[path] = handler
+	}
 	return h
 }
 

@@ -1,0 +1,244 @@
+package kvstore
+
+// Tier chaos suite: a frontend crash in the middle of a topology-aware
+// attack. The invariants under test are the tier's whole reason to
+// exist — a dead frontend costs capacity, never availability, and the
+// load that failed over stays inside the two-layer balance bound:
+//
+//   - every request issued across the crash succeeds (the two-choice
+//     client penalizes the dead candidate and fails over to the
+//     survivor within the same call);
+//   - the failed-over attack load spreads over the surviving frontends
+//     and the backends without concentrating on any single node
+//     (normalized max load stays near 1 at both layers — the rigorous
+//     Eq. 10 sweep with the additive tier term is
+//     internal/experiments' two-layer experiment);
+//   - no stale cache entry survives the failover: writes issued after
+//     the crash are observed by every subsequent read, even for keys
+//     whose dead candidate held them cached.
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securecache/internal/cache"
+)
+
+func normalizedMax(counts []uint64, width int) float64 {
+	var total, max uint64
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) / (float64(total) / float64(width))
+}
+
+func TestTierFrontendCrashMidAttack(t *testing.T) {
+	const (
+		kFrontends = 3
+		nBackends  = 5
+		target     = 1 // the frontend the adversary aims at, then loses
+	)
+	tcl, err := StartTierCluster(TierLocalConfig{
+		Nodes: nBackends, Replication: 2, Frontends: kFrontends,
+		PartitionSeed: 81, TierSeed: 8100,
+		NewCache: func() cache.Cache { return cache.NewLRU(64) },
+		// Tight client deadlines so requests racing the crash fail over
+		// fast instead of waiting out long timeouts.
+		TierClient: ClientConfig{ReadTimeout: 250 * time.Millisecond, DialTimeout: 250 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcl.Close()
+
+	// The adversary knows the (public) tier topology: it selects a hot
+	// set of keys that all share the target frontend as a candidate,
+	// concentrating everything the tier mapping allows on one node.
+	const m = 150
+	var hot []string
+	for i := 0; i < m; i++ {
+		key := tierKey(i)
+		if err := tcl.Client.Set(key, tierVal(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if a, b := tcl.Client.Candidates(key); a == target || b == target {
+			hot = append(hot, key)
+		}
+	}
+	if len(hot) < 20 {
+		t.Fatalf("only %d hot keys share candidate %d; need a real hot set", len(hot), target)
+	}
+
+	// Attack stream: several goroutines hammer the hot set through the
+	// two-choice client; halfway through, the target frontend dies.
+	const (
+		attackers = 4
+		rounds    = 60
+	)
+	var (
+		failures atomic.Uint64
+		done     atomic.Uint64
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	for a := 0; a < attackers; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, key := range hot {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					v, err := tcl.Client.Get(key)
+					if err != nil || len(v) == 0 {
+						failures.Add(1)
+					}
+					done.Add(1)
+				}
+			}
+		}()
+	}
+	// Kill the target once the attack is demonstrably established but
+	// well before the stream drains, so requests are in flight against
+	// the dying frontend at the moment it goes.
+	warm := uint64(attackers * len(hot) * 3)
+	for done.Load() < warm {
+		time.Sleep(2 * time.Millisecond)
+	}
+	tcl.CrashFrontend(target)
+	wg.Wait()
+	close(stop)
+
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("%d reads failed across the crash; two-choice failover must absorb a dead candidate", f)
+	}
+
+	// Tier layer: the failed-over load spreads across the survivors.
+	// Normalized against the SURVIVING width — with one frontend gone
+	// each key's traffic lands wholly on its other candidate, which the
+	// tier mapping spreads ~uniformly, so the max should sit near 1
+	// (generous slack for the pre-crash skew toward the target's peers).
+	frontLoads := tcl.FrontendRequestCounts()
+	var surviving []uint64
+	for id, c := range frontLoads {
+		if id == target {
+			continue
+		}
+		if c == 0 {
+			t.Fatalf("surviving frontend %d saw no traffic: %v", id, frontLoads)
+		}
+		surviving = append(surviving, c)
+	}
+	if nm := normalizedMax(surviving, len(surviving)); nm > 1.75 {
+		t.Fatalf("surviving-frontend normalized max load %.2f, want near-balanced (<= 1.75): %v", nm, frontLoads)
+	}
+
+	// Backend layer: the independent backend partition keeps the
+	// (cache-missing) remainder of the attack spread; no backend may
+	// absorb a concentrated share.
+	if nm := normalizedMax(tcl.BackendRequestCounts(), nBackends); nm > 2.5 {
+		t.Fatalf("backend normalized max load %.2f after failover: %v", nm, tcl.BackendRequestCounts())
+	}
+
+	// Staleness: writes issued AFTER the crash must be observed by every
+	// read, including keys the dead frontend had cached — its cache died
+	// with it, and the survivor is invalidated through the write path.
+	for i, key := range hot {
+		if err := tcl.Client.Set(key, tierVal(i, 1)); err != nil {
+			t.Fatalf("post-crash set %s: %v", key, err)
+		}
+	}
+	for i, key := range hot {
+		v, err := tcl.Client.Get(key)
+		if err != nil || !bytes.Equal(v, tierVal(i, 1)) {
+			t.Fatalf("stale read %s after failover: %v %q, want gen1", key, err, v)
+		}
+	}
+
+	// The dead frontend stays penalized in the client's load table (no
+	// frame has been heard from it), so new picks avoid it outright.
+	lt := tcl.Client.Loads()
+	for id := 0; id < kFrontends; id++ {
+		if id == target {
+			continue
+		}
+		if lt.Effective(target) <= lt.Effective(id) {
+			t.Fatalf("dead frontend %d not penalized: effective %d vs survivor %d's %d",
+				target, lt.Effective(target), id, lt.Effective(id))
+		}
+	}
+}
+
+// TestTierSecretRotationDuringAttack pins the rotation-independence
+// half of the design under load: rotating the SECRET backend seed on
+// every tier frontend while an attack stream runs leaves every key
+// readable throughout, converges on all frontends, and never moves tier
+// placement.
+func TestTierSecretRotationDuringAttack(t *testing.T) {
+	tcl, err := StartTierCluster(TierLocalConfig{
+		Nodes: 4, Replication: 2, Frontends: 3,
+		PartitionSeed: 82, TierSeed: 8200,
+		NewCache: func() cache.Cache { return cache.NewLRU(64) },
+		Rotation: RotationConfig{Rate: 400, Burst: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcl.Close()
+	const m = 60
+	for i := 0; i < m; i++ {
+		if err := tcl.Client.Set(tierKey(i), tierVal(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var failures atomic.Uint64
+	var wg sync.WaitGroup
+	for a := 0; a < 3; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				for i := 0; i < m; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					v, err := tcl.Client.Get(tierKey(i))
+					if err != nil || !bytes.Equal(v, tierVal(i, 0)) {
+						failures.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	if err := tcl.RotateAll(0xDEC0DE); err != nil {
+		t.Fatal(err)
+	}
+	if !tcl.WaitSettled(60 * time.Second) {
+		t.Fatal("tier-wide rotation never settled")
+	}
+	close(stop)
+	wg.Wait()
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("%d reads failed or went stale during tier-wide secret rotation", f)
+	}
+	for _, f := range tcl.Frontends {
+		if st := f.RotationStatus(); st.Rotating || st.Completed != 1 {
+			t.Fatalf("frontend rotation state after converge: %+v", st)
+		}
+	}
+}

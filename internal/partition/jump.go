@@ -1,0 +1,80 @@
+package partition
+
+import (
+	"securecache/internal/hashing"
+)
+
+// Jump derives each key's group from d independent jump-consistent-hash
+// draws, one per replica slot, deduplicated by linear probing. Jump hash
+// (Lamping & Veale) has the minimal-disruption property: growing the
+// bucket count n -> n+1 moves each (key, slot) pair with probability
+// exactly 1/(n+1), so a one-node join moves ~d/(n+1) of replica groups
+// instead of reshuffling nearly all of them the way the modular Hash
+// partitioner does.
+//
+// The draw for slot r is keyed by the secret seed (salted per slot), so
+// the mapping stays opaque to clients without the seed, and rotating the
+// seed still reshuffles every group — the stability is with respect to
+// membership changes only, which is exactly what elastic membership
+// wants and exactly what secret rotation must not have.
+//
+// Jump places over the dense index space [0, n): it is stable when the
+// space grows or shrinks at the TOP (append a node, retire the highest
+// node). Member lists with holes (drain of a middle member) should use
+// MemberRing instead, whose placement is keyed by the member IDs
+// themselves.
+type Jump struct {
+	n, d int
+	seed uint64
+}
+
+// NewJump returns a jump-hash partitioner over n nodes with replication
+// d, keyed by seed.
+func NewJump(n, d int, seed uint64) *Jump {
+	validate(n, d)
+	return &Jump{n: n, d: d, seed: seed}
+}
+
+// Nodes returns n.
+func (j *Jump) Nodes() int { return j.n }
+
+// Replicas returns d.
+func (j *Jump) Replicas() int { return j.d }
+
+// Group returns the key's replica group.
+func (j *Jump) Group(key uint64) []int {
+	return j.GroupAppend(make([]int, 0, j.d), key)
+}
+
+// slotSalt decorrelates the per-replica-slot draws. The odd constant is
+// the splitmix64 increment; any odd multiplier works.
+func slotSalt(seed uint64, slot int) uint64 {
+	return seed ^ (uint64(slot+1) * 0x9E3779B97F4A7C15)
+}
+
+// GroupAppend appends the key's replica group to dst.
+func (j *Jump) GroupAppend(dst []int, key uint64) []int {
+	start := len(dst)
+	for r := 0; len(dst)-start < j.d; r++ {
+		cand := hashing.JumpHash(hashing.Hash64Uint(key, slotSalt(j.seed, r)), j.n)
+		// Linear-probe duplicates upward: a collision (prob ~d/n per
+		// slot) shifts load to the next index, which stays uniform
+		// because cand itself is uniform. Probing, unlike re-drawing,
+		// keeps the slot's placement independent of n except through
+		// jump hash itself, preserving the 1/(n+1) movement bound.
+		for probing := true; probing; {
+			probing = false
+			for _, v := range dst[start:] {
+				if v == cand {
+					cand = (cand + 1) % j.n
+					probing = true
+					break
+				}
+			}
+		}
+		dst = append(dst, cand)
+	}
+	return dst
+}
+
+var _ Partitioner = (*Jump)(nil)

@@ -7,10 +7,16 @@ import (
 )
 
 func allKinds(n, d int, seed uint64) map[string]Partitioner {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
 	return map[string]Partitioner{
-		"hash":       NewHash(n, d, seed),
-		"ring":       NewRing(n, d, seed, 0),
-		"rendezvous": NewRendezvous(n, d, seed),
+		"hash":        NewHash(n, d, seed),
+		"ring":        NewRing(n, d, seed, 0),
+		"rendezvous":  NewRendezvous(n, d, seed),
+		"jump":        NewJump(n, d, seed),
+		"member-ring": NewMemberRing(ids, d, seed, 0),
 	}
 }
 

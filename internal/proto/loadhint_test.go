@@ -1,0 +1,83 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestLoadHintRoundTrip(t *testing.T) {
+	cases := []*Response{
+		{Status: StatusOK, Payload: []byte("value"), Load: 17, LoadHinted: true},
+		{Status: StatusOK, Load: 0, LoadHinted: true}, // idle is a meaningful hint
+		{Status: StatusNotFound, Load: 4_000_000_000, LoadHinted: true},
+		{Status: StatusBusy, Payload: nil, Load: 999, LoadHinted: true},
+		{Status: StatusError, Payload: []byte("boom"), Load: 1, LoadHinted: true},
+	}
+	for _, resp := range cases {
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, resp); err != nil {
+			t.Fatalf("WriteResponse(%+v): %v", resp, err)
+		}
+		got, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatalf("ReadResponse(%+v): %v", resp, err)
+		}
+		if got.Status != resp.Status || !bytes.Equal(got.Payload, resp.Payload) {
+			t.Errorf("round trip %+v -> %+v", resp, got)
+		}
+		if !got.LoadHinted || got.Load != resp.Load {
+			t.Errorf("load hint %d lost: got hinted=%v load=%d", resp.Load, got.LoadHinted, got.Load)
+		}
+	}
+}
+
+// Hint-less responses must stay byte-identical to the pre-extension
+// format: a frontend that never opts in is indistinguishable on the wire.
+func TestLoadHintAbsentUnchangedEncoding(t *testing.T) {
+	resp := &Response{Status: StatusOK, Payload: []byte("v")}
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, resp); err != nil {
+		t.Fatalf("WriteResponse: %v", err)
+	}
+	want := []byte{0, 0, 0, 6, byte(StatusOK), 0, 0, 0, 1, 'v'}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("hint-less encoding changed: %v want %v", buf.Bytes(), want)
+	}
+	got, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatalf("ReadResponse: %v", err)
+	}
+	if got.LoadHinted || got.Load != 0 {
+		t.Fatalf("phantom hint: %+v", got)
+	}
+}
+
+func TestLoadHintMalformed(t *testing.T) {
+	frame := func(body []byte) []byte {
+		out := []byte{0, 0, 0, byte(len(body))}
+		return append(out, body...)
+	}
+	cases := map[string][]byte{
+		"truncated ext":   frame([]byte{byte(StatusOK), 0, 0, 0, 0, extLoadTag, 0, 0}),
+		"unknown tag":     frame([]byte{byte(StatusOK), 0, 0, 0, 0, 0x7F, 1, 2, 3, 4}),
+		"duplicate hint":  frame([]byte{byte(StatusOK), 0, 0, 0, 0, extLoadTag, 0, 0, 0, 1, extLoadTag, 0, 0, 0, 2}),
+		"tag after value": frame([]byte{byte(StatusOK), 0, 0, 0, 1, 'v', 0x11, 0, 0, 0, 1}),
+	}
+	for name, raw := range cases {
+		if _, err := ReadResponse(bytes.NewReader(raw)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: want ErrMalformed, got %v", name, err)
+		}
+	}
+}
+
+func TestInvalidateRoundTrip(t *testing.T) {
+	req := &Request{Op: OpInvalidate, Key: "hot:key:1"}
+	got := roundTripRequest(t, req)
+	if got.Op != OpInvalidate || got.Key != req.Key {
+		t.Fatalf("round trip %+v -> %+v", req, got)
+	}
+	if OpInvalidate.String() != "INVALIDATE" {
+		t.Fatalf("String() = %q", OpInvalidate.String())
+	}
+}

@@ -31,6 +31,19 @@
 //	uint32  payload length, then payload bytes
 //	        (the value for GET, JSON metrics for STATS, the error
 //	        message for StatusError)
+//	[ext]   optional load-hint extension (see below)
+//
+// Responses may carry one trailing extension block piggybacking the
+// server's instantaneous load (tier frontends report in-flight
+// requests so power-of-two-choices clients can pick the less-loaded
+// candidate without extra round trips):
+//
+//	byte    0xE3 (load-hint tag)
+//	uint32  load
+//
+// The block is emitted only when the server opts in (LoadHinted), so
+// every pre-extension frame stays byte-identical and old peers are
+// unaffected unless they talk to a hinting frontend.
 //
 // The protocol is deliberately minimal: no pipelining metadata, no
 // versioning negotiation — one request, one response, in order, per
@@ -65,6 +78,15 @@ const (
 // live copy). See EncodeGetVPayload.
 const OpGetV Op = 8
 
+// OpInvalidate asks a tier frontend to drop its cached copy of a key.
+// Power-of-two-choices clients route a write through one of the key's
+// two candidate frontends; the other candidate may still hold the old
+// value, so the client (or the writing frontend) follows up with an
+// OpInvalidate to bound the staleness window to one round trip. The
+// response is StatusOK whether or not the key was cached. Backends
+// answer StatusError (they hold no cache).
+const OpInvalidate Op = 10
+
 // OpMembers asks a frontend for its current membership view. Key-less,
 // like OpStats; the StatusOK payload is a JSON document (the kvstore
 // MembershipStatus: view version, node list with states, the member
@@ -95,17 +117,21 @@ func (o Op) String() string {
 		return "GETV"
 	case OpMembers:
 		return "MEMBERS"
+	case OpInvalidate:
+		return "INVALIDATE"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
 }
 
 func (o Op) valid() bool {
-	return (o >= OpGet && o <= OpPing) || o == OpMGet || o == OpScan || o == OpGetV || o == OpMembers
+	return (o >= OpGet && o <= OpPing) || o == OpMGet || o == OpScan || o == OpGetV || o == OpMembers || o == OpInvalidate
 }
 
 // hasKey reports whether the op carries a key.
-func (o Op) hasKey() bool { return o == OpGet || o == OpSet || o == OpDel || o == OpGetV }
+func (o Op) hasKey() bool {
+	return o == OpGet || o == OpSet || o == OpDel || o == OpGetV || o == OpInvalidate
+}
 
 // Status identifies a response outcome.
 type Status byte
@@ -176,6 +202,14 @@ const (
 	flagScanDigest = 1 << 2
 )
 
+// Load-hint extension encoding (responses only): tag byte, uint32 load.
+// Emitted only when Response.LoadHinted is set, so hint-less frames are
+// byte-identical to the pre-extension format.
+const (
+	extLoadTag = 0xE3
+	extLoadLen = 5
+)
+
 // Version extension encoding: tag byte, uint64 logical version. Valid on
 // OpSet (the write applies only over strictly older versions) and OpDel
 // (delete becomes a versioned tombstone write). Version 0 encodes as no
@@ -239,6 +273,15 @@ func (req *Request) hasVerExt() bool { return req.Ver != 0 }
 type Response struct {
 	Status  Status
 	Payload []byte
+
+	// Load is the server's instantaneous load (in-flight requests) when
+	// LoadHinted is set. Tier frontends piggyback it on every response so
+	// power-of-two-choices clients can balance without polling.
+	Load uint32
+	// LoadHinted reports whether the response carried (or should carry)
+	// the load-hint extension. A zero Load with LoadHinted set is still
+	// encoded — "idle" is a meaningful hint.
+	LoadHinted bool
 }
 
 // Err returns the response's error: ErrBusy for StatusBusy, the remote
@@ -477,10 +520,17 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 		return dst, fmt.Errorf("%w: payload length %d", ErrFrameTooLarge, len(resp.Payload))
 	}
 	body := 1 + 4 + len(resp.Payload)
+	if resp.LoadHinted {
+		body += extLoadLen
+	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
 	dst = append(dst, byte(resp.Status))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Payload)))
 	dst = append(dst, resp.Payload...)
+	if resp.LoadHinted {
+		dst = append(dst, extLoadTag)
+		dst = binary.BigEndian.AppendUint32(dst, resp.Load)
+	}
 	return dst, nil
 }
 
@@ -515,11 +565,25 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	}
 	plen := int(binary.BigEndian.Uint32(body[1:]))
 	body = body[5:]
-	if plen > MaxPayloadLen || len(body) != plen {
+	if plen > MaxPayloadLen || len(body) < plen {
 		return nil, fmt.Errorf("%w: payload length %d vs body %d", ErrMalformed, plen, len(body))
 	}
 	if plen > 0 {
-		resp.Payload = append([]byte(nil), body...)
+		resp.Payload = append([]byte(nil), body[:plen]...)
+	}
+	body = body[plen:]
+	for len(body) > 0 {
+		switch body[0] {
+		case extLoadTag:
+			if resp.LoadHinted || len(body) < extLoadLen {
+				return nil, fmt.Errorf("%w: bad load-hint extension (%d bytes)", ErrMalformed, len(body))
+			}
+			resp.LoadHinted = true
+			resp.Load = binary.BigEndian.Uint32(body[1:])
+			body = body[extLoadLen:]
+		default:
+			return nil, fmt.Errorf("%w: %d trailing response bytes", ErrMalformed, len(body))
+		}
 	}
 	return resp, nil
 }
