@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet lint race chaos wal membership disttier bench fuzz
+.PHONY: all build test verify vet lint race chaos wal membership disttier consistency bench fuzz
 
 all: verify
 
@@ -69,6 +69,21 @@ disttier:
 	$(GO) test -race ./internal/disttier/... && \
 	$(GO) test -race ./cmd/secguard/ && \
 	$(GO) test -race -v -run 'TestTwoLayer' ./internal/experiments/
+
+# Consistency fault matrix: recorded histories through asymmetric
+# partitions, crash-mid-quorum-write, secret rotation, and join/drain,
+# judged by the porcupine-style register checker and the convergence
+# checker, plus the mutation tests that prove the contract is enforced —
+# all under -race. A failing scenario dumps a replayable artifact into
+# CONSISTENCY_ARTIFACT_DIR (CI uploads the directory); replay a capture
+# with the seed it records via -consistency-seed. The checker package's
+# own unit tests ride along.
+CONSISTENCY_ARTIFACT_DIR ?= $(CURDIR)/consistency-artifacts
+
+consistency:
+	CONSISTENCY_ARTIFACT_DIR=$(CONSISTENCY_ARTIFACT_DIR) \
+		$(GO) test -race -v -run 'TestConsistency' ./internal/kvstore/ && \
+	$(GO) test -race ./internal/consistency/...
 
 # Micro-benchmarks with allocation counts. -benchtime=1x is the smoke
 # setting (CI runs it to keep the benchmarks compiling and honest);

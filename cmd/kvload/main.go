@@ -10,6 +10,8 @@
 //	kvload -frontend 127.0.0.1:7000 -trace atk.bin -workers 8
 //	kvload -frontend 127.0.0.1:7000 -m 1000 -workload zipf \
 //	       -backends 127.0.0.1:7001,127.0.0.1:7002   # also report per-node loads
+//	kvload -frontend 127.0.0.1:7000 -m 100 -workload uniform \
+//	       -cas-fraction 0.3   # 30% CAS read-modify-writes; success/conflict breakdown
 //
 // Against a distributed frontend tier, -frontends replaces -frontend and
 // every worker drives a power-of-two-choices tier client over the named
@@ -24,6 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"runtime"
 	"sort"
@@ -59,8 +62,12 @@ func main() {
 		retries   = flag.Int("retries", kvstore.DefaultMaxRetries, "budgeted transport retries per request (negative = none)")
 		poolSize  = flag.Int("pool-size", 0, "idle connections pooled per worker client (0 = default, negative = no pooling)")
 		refreshAt = flag.Int("refresh-streak", 8, "consecutive BUSY/error responses before re-reading cluster membership from the frontend (0 = never)")
+		casFrac   = flag.Float64("cas-fraction", 0, "fraction of timed requests issued as a CAS read-modify-write (GetV + Cas) instead of a GET; conflicts are reported apart from successes")
 	)
 	flag.Parse()
+	if *casFrac < 0 || *casFrac > 1 {
+		fatal(fmt.Errorf("-cas-fraction %g out of range [0,1]", *casFrac))
+	}
 
 	clientCfg := kvstore.ClientConfig{ReadTimeout: *timeout, MaxRetries: *retries, MaxIdleConns: *poolSize}
 
@@ -117,13 +124,16 @@ func main() {
 
 	quantiles := []float64{0.50, 0.95, 0.99}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		lat      stats.Summary
-		merged   = newQuantileSet(quantiles)
-		errCount int
-		shed     int
-		perWork  = (len(keys) + *workers - 1) / *workers
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		lat         stats.Summary
+		casLat      stats.Summary
+		merged      = newQuantileSet(quantiles)
+		errCount    int
+		shed        int
+		casOK       int
+		casConflict int
+		perWork     = (len(keys) + *workers - 1) / *workers
 	)
 	mem := startMemDelta()
 	start := time.Now()
@@ -137,13 +147,15 @@ func main() {
 			break
 		}
 		wg.Add(1)
-		go func(slice []int) {
+		go func(worker int, slice []int) {
 			defer wg.Done()
 			client, closeClient := newQuerier()
 			defer closeClient()
-			var local stats.Summary
+			var local, localCas stats.Summary
 			localQ := newQuantileSet(quantiles)
 			localErrs, localShed := 0, 0
+			localCasOK, localCasConflict := 0, 0
+			rng := rand.New(rand.NewPCG(*seed, uint64(worker)))
 			streak := 0
 			step := *batch
 			if step < 1 {
@@ -154,11 +166,35 @@ func main() {
 				if hi > len(slice) {
 					hi = len(slice)
 				}
+				isCas := *casFrac > 0 && rng.Float64() < *casFrac
 				t0 := time.Now()
 				var err error
-				if step == 1 {
+				switch {
+				case isCas:
+					// Read-modify-write: learn the live version, then swap
+					// against it. A conflict means another writer won the
+					// race — contention evidence, not a failure.
+					key := workload.KeyName(slice[lo])
+					_, ver, _, gerr := client.GetV(key)
+					if gerr != nil && gerr != kvstore.ErrNotFound {
+						err = gerr
+						break
+					}
+					if gerr == kvstore.ErrNotFound {
+						ver = 0 // absent or tombstoned: CAS-create
+					}
+					if _, cerr := client.Cas(key, casValue(worker, lo), ver); cerr != nil {
+						if errors.Is(cerr, kvstore.ErrCasConflict) {
+							localCasConflict++
+						} else {
+							err = cerr
+						}
+					} else {
+						localCasOK++
+					}
+				case step == 1:
 					_, err = client.Get(workload.KeyName(slice[lo]))
-				} else {
+				default:
 					names := make([]string, hi-lo)
 					for j, k := range slice[lo:hi] {
 						names[j] = workload.KeyName(k)
@@ -186,16 +222,23 @@ func main() {
 				}
 				streak = 0
 				// Record one latency sample per request (batched or not).
-				local.Add(us)
+				if isCas {
+					localCas.Add(us)
+				} else {
+					local.Add(us)
+				}
 				localQ.add(us)
 			}
 			mu.Lock()
 			lat.Merge(local)
+			casLat.Merge(localCas)
 			merged.mergeWorker(localQ)
 			errCount += localErrs
 			shed += localShed
+			casOK += localCasOK
+			casConflict += localCasConflict
 			mu.Unlock()
-		}(keys[lo:hi])
+		}(w, keys[lo:hi])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -204,25 +247,43 @@ func main() {
 	if *batch <= 1 {
 		queriesSent = float64(lat.N())
 	}
+	queriesSent += float64(casLat.N())
+	requests := lat.N() + casLat.N()
 	// Hard failures (transport errors, dead replicas) and busy sheds
 	// (the overload machinery working as designed) are different outcomes
 	// and are reported apart: a chaos run wants to see sheds climb while
 	// hard failures stay at zero.
 	fmt.Printf("sent ~%.0f queries in %d requests over %v (%.0f qps, %d workers, batch %d, %d hard failures, %d busy-shed)\n",
-		queriesSent, lat.N(), elapsed.Round(time.Millisecond),
+		queriesSent, requests, elapsed.Round(time.Millisecond),
 		queriesSent/elapsed.Seconds(), *workers, *batch, errCount, shed)
 	fmt.Printf("per-request latency: mean %.0fµs  p50≈%.0fµs  p95≈%.0fµs  p99≈%.0fµs  max %.0fµs\n",
 		lat.Mean(), merged.value(0.50), merged.value(0.95), merged.value(0.99), lat.Max())
+	if *casFrac > 0 {
+		// Success vs conflict is the contention signal: with many workers
+		// hammering a small key space, conflicts should climb while hard
+		// failures stay at zero — every conflict is a correctly refused
+		// stale swap, not a lost write.
+		total := casOK + casConflict
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * float64(casConflict) / float64(total)
+		}
+		fmt.Printf("op CAS (GetV+Cas): %d attempts, %d succeeded, %d conflicts (%.1f%% conflict rate), mean %.0fµs max %.0fµs\n",
+			total, casOK, casConflict, rate, casLat.Mean(), casLat.Max())
+	}
 
 	// Per-op-type breakdown: the timed loop sends exactly one op type
 	// (GET at batch 1, MGET above), so its MemStats delta is that op's
 	// client-side allocation cost. The delta is process-wide — workload
 	// generation and bookkeeping are counted too — which makes it an
 	// upper bound, comparable across runs of the same shape.
-	if n := uint64(lat.N()); n > 0 {
+	if n := uint64(lat.N() + casLat.N()); n > 0 {
 		op := "GET"
 		if *batch > 1 {
 			op = "MGET"
+		}
+		if *casFrac > 0 {
+			op += "+CAS mix"
 		}
 		allocs, bytes := mem.perOp(n)
 		fmt.Printf("op %s: %d ops in %v (%.0f ops/s, %d allocs/op, %d B/op client-side)\n",
@@ -254,6 +315,11 @@ func main() {
 			if hq+hr+rr+ae > 0 {
 				fmt.Printf("frontend durability: %d hints queued, %d replayed, %d read repairs, %d anti-entropy repairs\n",
 					hq, hr, rr, ae)
+			}
+			ct := kvstore.StatCounter(st, "cas_total")
+			cc := kvstore.StatCounter(st, "cas_conflicts_total")
+			if ct > 0 {
+				fmt.Printf("frontend cas: %d swaps, %d conflicts\n", ct, cc)
 			}
 		}
 		fc.Close()
@@ -522,8 +588,16 @@ func splitNonEmpty(s string) []string {
 // the single-frontend Client and the two-choice TierClient.
 type querier interface {
 	Get(key string) ([]byte, error)
+	GetV(key string) (value []byte, ver uint64, tomb bool, err error)
 	MGet(keys []string) ([]proto.MGetResult, error)
 	Set(key string, value []byte) error
+	Cas(key string, value []byte, expect uint64) (uint64, error)
+}
+
+// casValue makes each swap's payload distinct so a CAS-heavy run
+// actually churns the stored bytes instead of rewriting one constant.
+func casValue(worker, i int) []byte {
+	return []byte(fmt.Sprintf("cas-w%d-%d", worker, i))
 }
 
 // parseTierFrontends parses the -frontends "id=addr,id=addr" form.

@@ -1,8 +1,12 @@
 // Command kvnode runs one back-end node of the kvstore: a
 // replicated-partition storage server speaking the securecache wire
-// protocol. By default state lives in memory only; -data-dir attaches a
-// write-ahead log so a crashed node replays back to its exact pre-crash
-// keyset instead of rejoining empty and being refilled over the network.
+// protocol (Get/Set/Del/MGet/Scan plus versioned compare-and-swap —
+// OpCas frames carry an expected version and return the current one on
+// conflict, so read-modify-write cycles stay lost-update-free across
+// the quorum). By default state lives in memory only; -data-dir attaches
+// a write-ahead log so a crashed node replays back to its exact
+// pre-crash keyset instead of rejoining empty and being refilled over
+// the network.
 //
 // Usage:
 //

@@ -28,6 +28,7 @@ import (
 
 	"securecache/internal/kvstore"
 	"securecache/internal/overload"
+	"securecache/internal/partition"
 	"securecache/internal/stats"
 	"securecache/internal/workload"
 )
@@ -45,6 +46,7 @@ func main() {
 		d        = flag.Int("d", 3, "local: replication factor")
 		m        = flag.Int("m", 5000, "local: number of keys")
 		rate     = flag.Float64("rate", -1, "local: migration rate limit in keys/sec (negative = unlimited)")
+		partKind = flag.String("partitioner", "hash", "local: mapping family for the main episode: hash | ring")
 		jsonPath = flag.String("json", "", "local: also write the bench report to this file")
 	)
 	flag.Parse()
@@ -53,6 +55,7 @@ func main() {
 	case *local:
 		report, err := runLocalBench(localBenchConfig{
 			Nodes: *n, Replication: *d, Keys: *m, Rate: *rate,
+			Partitioner: partition.Kind(*partKind),
 		}, os.Stdout)
 		if err != nil {
 			fatal(err)
@@ -198,6 +201,29 @@ type localBenchConfig struct {
 	// Rate limits migration moves/sec (negative = unlimited — measures
 	// the machinery's raw throughput rather than the limiter).
 	Rate float64
+	// Partitioner picks the mapping family for the main episode
+	// (hash = dense full-reshuffle regime, ring = consistent-hash ~d/n
+	// regime). The ring section of the report is measured separately
+	// either way.
+	Partitioner partition.Kind
+}
+
+// ringEpisode records the consistent-hash regression: the same join +
+// drain episode under `-partitioner ring`, where the moved fraction
+// must sit in the ~d/n regime instead of the dense hash's ~100%
+// reshuffle. The realized fractions come from the migrator's own
+// counters, the predicted ones from the staged report's sampling —
+// CI pins both via TestMembershipRingMovedFractionRealized.
+type ringEpisode struct {
+	Nodes              int     `json:"nodes"`
+	Replication        int     `json:"replication"`
+	Keys               int     `json:"keys"`
+	JoinMovedFraction  float64 `json:"join_moved_fraction"`
+	JoinPredicted      float64 `json:"join_predicted_moved_fraction"`
+	JoinSeconds        float64 `json:"join_seconds"`
+	DrainMovedFraction float64 `json:"drain_moved_fraction"`
+	DrainPredicted     float64 `json:"drain_predicted_moved_fraction"`
+	DrainSeconds       float64 `json:"drain_seconds"`
 }
 
 // benchReport records one measured join + drain episode.
@@ -205,6 +231,7 @@ type benchReport struct {
 	Nodes             int     `json:"nodes"`
 	Replication       int     `json:"replication"`
 	Keys              int     `json:"keys"`
+	Partitioner       string  `json:"partitioner"`
 	BaselineReadMean  float64 `json:"baseline_read_micros_mean"`
 	BaselineReadP99   float64 `json:"baseline_read_micros_p99"`
 	CStarBoot         int     `json:"cstar_boot"`
@@ -223,6 +250,8 @@ type benchReport struct {
 	DrainRetagged     uint64  `json:"drain_keys_retagged"`
 	DrainReadMean     float64 `json:"drain_read_micros_mean"`
 	DrainReadP99      float64 `json:"drain_read_micros_p99"`
+
+	Ring *ringEpisode `json:"ring,omitempty"`
 }
 
 // runLocalBench boots a cluster, loads the key space, joins one node and
@@ -230,11 +259,19 @@ type benchReport struct {
 // changes, recording the dual-view window's read cost, while the
 // moved/retagged counters record the migrator's selectivity.
 func runLocalBench(cfg localBenchConfig, w io.Writer) (benchReport, error) {
-	report := benchReport{Nodes: cfg.Nodes, Replication: cfg.Replication, Keys: cfg.Keys}
+	kind := cfg.Partitioner
+	if kind == "" {
+		kind = partition.KindHash
+	}
+	report := benchReport{
+		Nodes: cfg.Nodes, Replication: cfg.Replication, Keys: cfg.Keys,
+		Partitioner: string(kind),
+	}
 	lc, err := kvstore.StartLocalCluster(kvstore.LocalConfig{
 		Nodes:         cfg.Nodes,
 		Replication:   cfg.Replication,
 		PartitionSeed: 0x5EED0002,
+		Partitioner:   kind,
 		Rotation:      kvstore.RotationConfig{Rate: cfg.Rate},
 		Provision:     kvstore.ProvisionConfig{Items: cfg.Keys, KOverride: 1.2},
 	})
@@ -315,7 +352,95 @@ func runLocalBench(cfg localBenchConfig, w io.Writer) (benchReport, error) {
 		"reads mean %.0fµs p99≈%.0fµs; c* back to %d\n",
 		report.DrainSeconds, report.DrainMoved, report.DrainRetagged,
 		report.DrainReadMean, report.DrainReadP99, report.CStarAfterDrain)
+
+	ring, err := runRingEpisode(cfg, w)
+	if err != nil {
+		return report, fmt.Errorf("ring episode: %w", err)
+	}
+	report.Ring = &ring
 	return report, nil
+}
+
+// runRingEpisode measures the ring partitioner's join + drain moved
+// fractions on a fresh cluster — the ~d/n regression the dense hash
+// episode cannot express (its reshuffle is near-total by design).
+func runRingEpisode(cfg localBenchConfig, w io.Writer) (ringEpisode, error) {
+	ep := ringEpisode{Nodes: cfg.Nodes, Replication: cfg.Replication, Keys: cfg.Keys}
+	lc, err := kvstore.StartLocalCluster(kvstore.LocalConfig{
+		Nodes:         cfg.Nodes,
+		Replication:   cfg.Replication,
+		PartitionSeed: 0x5EED0003,
+		Partitioner:   partition.KindRing,
+		Rotation:      kvstore.RotationConfig{Rate: cfg.Rate},
+	})
+	if err != nil {
+		return ep, err
+	}
+	defer lc.Close()
+	front := lc.Frontend
+
+	fmt.Fprintf(w, "ring episode: loading %d keys into %d nodes (d=%d)...\n",
+		cfg.Keys, cfg.Nodes, cfg.Replication)
+	for k := 0; k < cfg.Keys; k++ {
+		if err := front.Set(workload.KeyName(k), []byte("payload")); err != nil {
+			return ep, fmt.Errorf("preload key %d: %w", k, err)
+		}
+	}
+
+	metrics := front.Metrics()
+	moved := func() uint64 { return metrics.Counter("migration_keys_moved_total").Value() }
+	retagged := func() uint64 { return metrics.Counter("migration_keys_retagged_total").Value() }
+	settle := func() error {
+		for {
+			st := front.MembershipStatus()
+			if !st.Changing && !st.Rotating {
+				return nil
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	fraction := func(m0, r0 uint64) float64 {
+		m, r := float64(moved()-m0), float64(retagged()-r0)
+		if m+r == 0 {
+			return 0
+		}
+		return m / (m + r)
+	}
+
+	addr, err := lc.AddBackend(overload.Limits{})
+	if err != nil {
+		return ep, err
+	}
+	m0, r0 := moved(), retagged()
+	start := time.Now()
+	joinReport, err := front.Join(addr)
+	if err != nil {
+		return ep, err
+	}
+	if err := settle(); err != nil {
+		return ep, err
+	}
+	ep.JoinSeconds = time.Since(start).Seconds()
+	ep.JoinPredicted = joinReport.ExpectedMovedFraction
+	ep.JoinMovedFraction = fraction(m0, r0)
+	fmt.Fprintf(w, "ring join committed in %.2fs: moved fraction %.2f (predicted %.2f; dense hash would be ~1.0)\n",
+		ep.JoinSeconds, ep.JoinMovedFraction, ep.JoinPredicted)
+
+	m0, r0 = moved(), retagged()
+	start = time.Now()
+	drainReport, err := front.Drain(joinReport.Joined[0].ID)
+	if err != nil {
+		return ep, err
+	}
+	if err := settle(); err != nil {
+		return ep, err
+	}
+	ep.DrainSeconds = time.Since(start).Seconds()
+	ep.DrainPredicted = drainReport.ExpectedMovedFraction
+	ep.DrainMovedFraction = fraction(m0, r0)
+	fmt.Fprintf(w, "ring drain committed in %.2fs: moved fraction %.2f (predicted %.2f)\n",
+		ep.DrainSeconds, ep.DrainMovedFraction, ep.DrainPredicted)
+	return ep, nil
 }
 
 // readUntilSettled hammers uniform reads until the open view change

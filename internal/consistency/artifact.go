@@ -1,0 +1,71 @@
+package consistency
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Artifact is a replayable failure capture: the scenario's identity and
+// seed, the full recorded history, and which checker rejected it. A
+// dumped artifact re-checks byte-identically — Recheck runs the same
+// checker on the same history, and Save/Load round-trips exactly — so a
+// CI failure travels as one JSON file anyone can rerun locally.
+type Artifact struct {
+	// Scenario names the fault-matrix test that produced the history.
+	Scenario string `json:"scenario"`
+	// Seed reproduces the scenario's randomized schedule (key choice,
+	// op mix, fault timing) via -consistency-seed.
+	Seed uint64 `json:"seed"`
+	// Model is which checker failed: "register" or "convergence".
+	Model string `json:"model"`
+	// Strict records ConvergenceOpts.StrictDeletes for convergence runs.
+	Strict bool `json:"strict,omitempty"`
+	// Failure is the checker's verdict text at capture time.
+	Failure []string `json:"failure"`
+	// History is the complete recorded history.
+	History History `json:"history"`
+}
+
+// Save writes the artifact as indented JSON, creating parent
+// directories. Marshaling is deterministic (fixed field order, sorted
+// ops by Call from Recorder.History), so saving a reloaded artifact
+// reproduces the file byte for byte.
+func (a *Artifact) Save(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads an artifact back.
+func Load(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("consistency: artifact %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// Recheck reruns the checker the artifact names against its recorded
+// history and returns the fresh verdict — the replay path for a
+// CI-captured failure.
+func (a *Artifact) Recheck(budget int) (Result, error) {
+	switch a.Model {
+	case "register":
+		return CheckLinearizable(a.History, RegisterModel{}, budget), nil
+	case "convergence":
+		return CheckConvergence(a.History, ConvergenceOpts{StrictDeletes: a.Strict}), nil
+	default:
+		return Result{}, fmt.Errorf("consistency: artifact names unknown model %q", a.Model)
+	}
+}

@@ -1,0 +1,163 @@
+package consistency
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultBudget bounds the WGL search per key, counted in visited
+// (linearized-set, state) nodes. Recorded histories here are hundreds
+// of ops across tens of keys with little per-key concurrency, so real
+// searches stay tiny; the budget exists so an adversarial history
+// degrades to Exhausted instead of hanging the suite.
+const DefaultBudget = 2_000_000
+
+// Result is a checker verdict. Ok means a linearization was found for
+// every key (or, for the convergence checker, every invariant held).
+// Exhausted means the search hit its budget before deciding some key —
+// the history is reported as passing, but the verdict is advisory, and
+// tests treat Exhausted as a failure of the scenario's sizing rather
+// than of the system.
+type Result struct {
+	Ok        bool
+	Exhausted bool
+	// Failures describes each violated key or invariant, human-first.
+	Failures []string
+}
+
+func (r Result) String() string {
+	if r.Ok {
+		if r.Exhausted {
+			return "ok (search exhausted; advisory)"
+		}
+		return "ok"
+	}
+	return fmt.Sprintf("FAILED: %v", r.Failures)
+}
+
+// CheckLinearizable runs the WGL (Wing & Gong, with memoization per
+// Lowe) search: per key — linearizability is local, a history is
+// linearizable iff each key's subhistory is — it tries to order the
+// overlapping ops into a sequence the model accepts.
+//
+// Ops with Out == OutMaybe are optional: the search may linearize one
+// as an applied write (StepMaybe) or never linearize it, and acceptance
+// only requires every definite op placed.
+func CheckLinearizable(h History, m Model, budget int) Result {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	byKey := make(map[string][]Op)
+	for _, op := range h.Ops {
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	res := Result{Ok: true}
+	for _, key := range keys {
+		ok, exhausted := checkKey(byKey[key], m, budget)
+		if exhausted {
+			res.Exhausted = true
+		}
+		if !ok {
+			res.Ok = false
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("key %q: no linearization of %d ops against model %s", key, len(byKey[key]), m.Name()))
+		}
+	}
+	return res
+}
+
+// node is one WGL search state: which ops are linearized (bitset) plus
+// the model state they produced.
+type node struct {
+	mask  []byte
+	state State
+}
+
+func checkKey(ops []Op, m Model, budget int) (ok, exhausted bool) {
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Call < ops[j].Call })
+	n := len(ops)
+	concrete := 0
+	for _, op := range ops {
+		if op.Out != OutMaybe {
+			concrete++
+		}
+	}
+	if concrete == 0 {
+		return true, false
+	}
+	maskLen := (n + 7) / 8
+	start := node{mask: make([]byte, maskLen), state: m.Init()}
+	visited := map[string]bool{encodeNode(m, start): true}
+	stack := []node{start}
+	steps := 0
+	for len(stack) > 0 {
+		steps++
+		if steps > budget {
+			return true, true // advisory pass; caller sees Exhausted
+		}
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		// Accept when every definite op is linearized.
+		done := 0
+		minRet := RetInfinity
+		for i, op := range ops {
+			if bitSet(cur.mask, i) {
+				if op.Out != OutMaybe {
+					done++
+				}
+				continue
+			}
+			if op.Out != OutMaybe && op.Ret < minRet {
+				minRet = op.Ret
+			}
+		}
+		if done == concrete {
+			return true, false
+		}
+
+		// Candidates: unlinearized ops invoked before the earliest return
+		// among unlinearized definite ops — the op holding minRet must be
+		// placed before anything invoked after it completed.
+		for i, op := range ops {
+			if bitSet(cur.mask, i) || op.Call > minRet {
+				continue
+			}
+			var next State
+			var fits bool
+			if op.Out == OutMaybe {
+				next, fits = m.StepMaybe(cur.state, op)
+			} else {
+				next, fits = m.Step(cur.state, op)
+			}
+			if !fits {
+				continue
+			}
+			child := node{mask: setBit(cur.mask, i), state: next}
+			enc := encodeNode(m, child)
+			if visited[enc] {
+				continue
+			}
+			visited[enc] = true
+			stack = append(stack, child)
+		}
+	}
+	return false, false
+}
+
+func bitSet(mask []byte, i int) bool { return mask[i/8]&(1<<uint(i%8)) != 0 }
+
+func setBit(mask []byte, i int) []byte {
+	out := append([]byte(nil), mask...)
+	out[i/8] |= 1 << uint(i%8)
+	return out
+}
+
+func encodeNode(m Model, nd node) string {
+	return string(nd.mask) + "|" + m.Encode(nd.state)
+}

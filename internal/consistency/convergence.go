@@ -1,0 +1,212 @@
+package consistency
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// ConvergenceOpts tunes CheckConvergence.
+type ConvergenceOpts struct {
+	// StrictDeletes enables the no-resurrection rule. It is SOUND ONLY
+	// when the write quorum covers the whole group (W = d): then an
+	// acked delete placed its tombstone on every replica, and any later
+	// sighting of an older live value is a resurrection bug. With W < d
+	// a replica that legitimately missed the delete can serve the old
+	// value until repair, which is staleness, not resurrection.
+	StrictDeletes bool
+}
+
+// CheckConvergence enforces the contract the system owes under EVERY
+// configuration, including sloppy quorums where the register model is
+// off the table:
+//
+//  1. Provenance: every successful read returns a value some write
+//     (definite or ambiguous) produced for that key — the store never
+//     invents or corrupts bytes.
+//  2. Version binding: a (key, version) pair names ONE value, across
+//     client reads, committed writes, and replica observations alike.
+//     Replicas may lag, but two different values at one version mean
+//     the version-assignment discipline broke.
+//  3. Replica monotonicity: within one replica session, an observed
+//     version never regresses — highest-version-wins forbids it.
+//  4. No resurrection (StrictDeletes): after an acked delete returns,
+//     no read or observation shows the key live at a version below the
+//     tombstone's.
+//  5. Post-barrier agreement: once the harness quiesced (faults healed,
+//     hints drained, repair run — Barrier marks it), every replica
+//     observation of a key agrees on (tomb, version, value), and every
+//     post-barrier client read agrees with the replicas.
+func CheckConvergence(h History, opts ConvergenceOpts) Result {
+	res := Result{Ok: true}
+	fail := func(format string, args ...interface{}) {
+		res.Ok = false
+		res.Failures = append(res.Failures, fmt.Sprintf(format, args...))
+	}
+
+	// 1. Provenance.
+	written := make(map[string]map[string]bool) // key -> value -> written
+	for _, op := range h.Ops {
+		if (op.Kind == KindSet || op.Kind == KindCas) && op.Out != OutConflict {
+			// OK and Maybe writes both count: a Maybe write may have
+			// applied, so reading its value back is legitimate.
+			if written[op.Key] == nil {
+				written[op.Key] = make(map[string]bool)
+			}
+			written[op.Key][string(op.Arg)] = true
+		}
+	}
+	for i, op := range h.Ops {
+		if op.Kind == KindGet && op.Out == OutOK && !written[op.Key][string(op.Val)] {
+			fail("op %d (%s): read value %q never written to key %q", i, op, op.Val, op.Key)
+		}
+	}
+
+	// 2. Version binding. Tombstones bind as a distinct marker.
+	type binding struct {
+		val  string
+		from string
+	}
+	bind := make(map[string]binding) // "key\x00ver" -> value
+	record := func(key string, ver uint64, val string, from string) {
+		if ver == 0 {
+			return
+		}
+		bk := fmt.Sprintf("%s\x00%d", key, ver)
+		if prev, ok := bind[bk]; ok {
+			if prev.val != val {
+				fail("key %q version %d bound to %q (%s) and %q (%s)", key, ver, prev.val, prev.from, val, from)
+			}
+			return
+		}
+		bind[bk] = binding{val: val, from: from}
+	}
+	const tombMarker = "\x00tomb"
+	for i, op := range h.Ops {
+		from := fmt.Sprintf("op %d (%s)", i, op)
+		switch {
+		case op.Kind == KindGet && op.Out == OutOK:
+			record(op.Key, op.Ver, string(op.Val), from)
+		case op.Kind == KindGet && op.Out == OutNotFound && op.Tomb:
+			record(op.Key, op.Ver, tombMarker, from)
+		case op.Kind == KindSet && op.Out == OutOK:
+			record(op.Key, op.Ver, string(op.Arg), from)
+		case op.Kind == KindCas && op.Out == OutOK:
+			record(op.Key, op.Ver, string(op.Arg), from)
+		case op.Kind == KindDel && op.Out == OutOK:
+			record(op.Key, op.Ver, tombMarker, from)
+		}
+	}
+	for i, ob := range h.Replica {
+		if !ob.Present {
+			continue
+		}
+		from := fmt.Sprintf("replica %d obs %d", ob.Replica, i)
+		if ob.Tomb {
+			record(ob.Key, ob.Ver, tombMarker, from)
+		} else {
+			record(ob.Key, ob.Ver, string(ob.Val), from)
+		}
+	}
+
+	// 3. Replica monotonicity per (replica, session, key).
+	type rsk struct {
+		replica, session int
+		key              string
+	}
+	last := make(map[rsk]ReplicaObs)
+	obs := append([]ReplicaObs(nil), h.Replica...)
+	sort.SliceStable(obs, func(i, j int) bool { return obs[i].T < obs[j].T })
+	for _, ob := range obs {
+		k := rsk{ob.Replica, ob.Session, ob.Key}
+		if prev, ok := last[k]; ok && prev.Present && ob.Present && ob.Ver < prev.Ver {
+			fail("replica %d session %d key %q: version regressed %d -> %d", ob.Replica, ob.Session, ob.Key, prev.Ver, ob.Ver)
+		}
+		last[k] = ob
+	}
+
+	// 4. No resurrection.
+	if opts.StrictDeletes {
+		type tombEdge struct {
+			ver uint64
+			ret int64
+		}
+		tombs := make(map[string][]tombEdge)
+		for _, op := range h.Ops {
+			if op.Kind == KindDel && op.Out == OutOK {
+				tombs[op.Key] = append(tombs[op.Key], tombEdge{ver: op.Ver, ret: op.Ret})
+			}
+		}
+		liveBelow := func(key string, ver uint64, t int64) *tombEdge {
+			for i := range tombs[key] {
+				te := &tombs[key][i]
+				if t > te.ret && ver < te.ver {
+					return te
+				}
+			}
+			return nil
+		}
+		for i, op := range h.Ops {
+			if op.Kind == KindGet && op.Out == OutOK {
+				if te := liveBelow(op.Key, op.Ver, op.Call); te != nil {
+					fail("op %d (%s): key %q resurrected — read ver %d after delete at ver %d returned", i, op, op.Key, op.Ver, te.ver)
+				}
+			}
+		}
+		for i, ob := range obs {
+			if ob.Present && !ob.Tomb {
+				if te := liveBelow(ob.Key, ob.Ver, ob.T); te != nil {
+					fail("replica %d obs %d: key %q live at ver %d after delete at ver %d returned", ob.Replica, i, ob.Key, ob.Ver, te.ver)
+				}
+			}
+		}
+	}
+
+	// 5. Post-barrier agreement. An absent observation participates too:
+	// a replica that simply lacks a key its group siblings hold after
+	// quiescence is exactly the divergence repair was supposed to erase.
+	if h.Barrier > 0 {
+		type agreed struct {
+			present bool
+			tomb    bool
+			val     []byte
+			ver     uint64
+			from    string
+		}
+		final := make(map[string]agreed)
+		for i, ob := range obs {
+			if ob.T <= h.Barrier {
+				continue
+			}
+			cur := agreed{present: ob.Present, tomb: ob.Tomb, val: ob.Val, ver: ob.Ver, from: fmt.Sprintf("replica %d obs %d", ob.Replica, i)}
+			if prev, ok := final[ob.Key]; ok {
+				if prev.present != cur.present || prev.tomb != cur.tomb || prev.ver != cur.ver || !bytes.Equal(prev.val, cur.val) {
+					fail("post-barrier disagreement on %q: %s has (present=%v tomb=%v ver=%d val=%q), %s has (present=%v tomb=%v ver=%d val=%q)",
+						ob.Key, prev.from, prev.present, prev.tomb, prev.ver, prev.val, cur.from, cur.present, cur.tomb, cur.ver, cur.val)
+				}
+				continue
+			}
+			final[ob.Key] = cur
+		}
+		for i, op := range h.Ops {
+			if op.Call <= h.Barrier || op.Kind != KindGet {
+				continue
+			}
+			fin, ok := final[op.Key]
+			if !ok {
+				continue
+			}
+			switch op.Out {
+			case OutOK:
+				if !fin.present || fin.tomb || !bytes.Equal(fin.val, op.Val) || (op.Ver != 0 && op.Ver != fin.ver) {
+					fail("op %d (%s): post-barrier read disagrees with replicas (present=%v tomb=%v ver=%d val=%q)", i, op, fin.present, fin.tomb, fin.ver, fin.val)
+				}
+			case OutNotFound:
+				if fin.present && !fin.tomb {
+					fail("op %d (%s): post-barrier miss but replicas hold %q at ver %d", i, op, fin.val, fin.ver)
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,314 @@
+package consistency
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func convPass(t *testing.T, h History, opts ConvergenceOpts) {
+	t.Helper()
+	if res := CheckConvergence(h, opts); !res.Ok {
+		t.Fatalf("history rejected: %v", res)
+	}
+}
+
+func convFail(t *testing.T, h History, opts ConvergenceOpts, wantSubstr string) {
+	t.Helper()
+	res := CheckConvergence(h, opts)
+	if res.Ok {
+		t.Fatal("bad history accepted")
+	}
+	for _, f := range res.Failures {
+		if strings.Contains(f, wantSubstr) {
+			return
+		}
+	}
+	t.Fatalf("failures %v do not mention %q", res.Failures, wantSubstr)
+}
+
+func TestConvergenceProvenance(t *testing.T) {
+	convPass(t, seqHistory([]Op{
+		{Kind: KindSet, Key: "k", Arg: []byte("a"), Out: OutOK, Ver: 10},
+		{Kind: KindSet, Key: "k", Arg: []byte("ghost"), Out: OutMaybe},
+		{Kind: KindGet, Key: "k", Out: OutOK, Val: []byte("ghost"), Ver: 20},
+	}), ConvergenceOpts{})
+	convFail(t, seqHistory([]Op{
+		{Kind: KindSet, Key: "k", Arg: []byte("a"), Out: OutOK, Ver: 10},
+		{Kind: KindGet, Key: "k", Out: OutOK, Val: []byte("invented"), Ver: 10},
+	}), ConvergenceOpts{}, "never written")
+}
+
+func TestConvergenceVersionBinding(t *testing.T) {
+	// Two different values claiming one (key, version) — from a client
+	// read and a replica observation — is a version-assignment bug.
+	h := seqHistory([]Op{
+		{Kind: KindSet, Key: "k", Arg: []byte("a"), Out: OutOK, Ver: 10},
+		{Kind: KindSet, Key: "k", Arg: []byte("b"), Out: OutMaybe},
+	})
+	h.Replica = []ReplicaObs{
+		{Replica: 0, Key: "k", Present: true, Val: []byte("b"), Ver: 10, T: 100},
+	}
+	convFail(t, h, ConvergenceOpts{}, "bound to")
+}
+
+func TestConvergenceReplicaMonotonicity(t *testing.T) {
+	h := History{Replica: []ReplicaObs{
+		{Replica: 0, Session: 0, Key: "k", Present: true, Val: []byte("a"), Ver: 20, T: 1},
+		{Replica: 0, Session: 0, Key: "k", Present: true, Val: []byte("b"), Ver: 10, T: 2},
+	}}
+	// Within one session a version rollback is forbidden...
+	convFail(t, h, ConvergenceOpts{}, "regressed")
+	// ...but a crash that lost unflushed state opens a new session, and
+	// the rewind is legitimate.
+	h.Replica[1].Session = 1
+	h.Replica[1].Val = []byte("a") // distinct ver per value, avoid binding noise
+	h.Replica[1].Ver = 10
+	convPass(t, h, ConvergenceOpts{})
+}
+
+func TestConvergenceNoResurrection(t *testing.T) {
+	h := seqHistory([]Op{
+		{Kind: KindSet, Key: "k", Arg: []byte("a"), Out: OutOK, Ver: 10},
+		{Kind: KindDel, Key: "k", Out: OutOK, Ver: 20},
+		{Kind: KindGet, Key: "k", Out: OutOK, Val: []byte("a"), Ver: 10},
+	})
+	convFail(t, h, ConvergenceOpts{StrictDeletes: true}, "resurrected")
+	// Under a sloppy quorum (StrictDeletes off) the same history is
+	// staleness, not a violation.
+	convPass(t, h, ConvergenceOpts{})
+
+	// A replica still holding the pre-delete value post-delete is the
+	// replica-side flavor (what disabling tombstone authority leaks).
+	h2 := seqHistory([]Op{
+		{Kind: KindSet, Key: "k", Arg: []byte("a"), Out: OutOK, Ver: 10},
+		{Kind: KindDel, Key: "k", Out: OutOK, Ver: 20},
+	})
+	h2.Replica = []ReplicaObs{
+		{Replica: 1, Key: "k", Present: true, Val: []byte("a"), Ver: 10, T: 100},
+	}
+	convFail(t, h2, ConvergenceOpts{StrictDeletes: true}, "live at ver")
+}
+
+func TestConvergencePostBarrierAgreement(t *testing.T) {
+	base := seqHistory([]Op{
+		{Kind: KindSet, Key: "k", Arg: []byte("a"), Out: OutOK, Ver: 10},
+		{Kind: KindSet, Key: "k", Arg: []byte("b"), Out: OutOK, Ver: 20},
+	})
+	base.Barrier = 50
+
+	agree := base
+	agree.Replica = []ReplicaObs{
+		{Replica: 0, Key: "k", Present: true, Val: []byte("b"), Ver: 20, T: 60},
+		{Replica: 1, Key: "k", Present: true, Val: []byte("b"), Ver: 20, T: 61},
+	}
+	convPass(t, agree, ConvergenceOpts{})
+
+	split := base
+	split.Replica = []ReplicaObs{
+		{Replica: 0, Key: "k", Present: true, Val: []byte("b"), Ver: 20, T: 60},
+		{Replica: 1, Key: "k", Present: true, Val: []byte("a"), Ver: 10, T: 61},
+	}
+	convFail(t, split, ConvergenceOpts{}, "disagreement")
+
+	// Pre-barrier divergence is expected mid-fault and must NOT fail.
+	healed := agree
+	healed.Replica = append([]ReplicaObs{
+		{Replica: 1, Key: "k", Present: true, Val: []byte("a"), Ver: 10, T: 30},
+	}, healed.Replica...)
+	convPass(t, healed, ConvergenceOpts{})
+
+	// A replica that simply LACKS the key its sibling holds after the
+	// barrier is divergence too — this is what disabling read repair
+	// leaves behind.
+	hole := base
+	hole.Replica = []ReplicaObs{
+		{Replica: 0, Key: "k", Present: true, Val: []byte("b"), Ver: 20, T: 60},
+		{Replica: 1, Key: "k", Present: false, T: 61},
+	}
+	convFail(t, hole, ConvergenceOpts{}, "disagreement")
+
+	// A post-barrier client read contradicting the replica consensus.
+	clientSplit := agree
+	clientSplit.Ops = append(append([]Op(nil), clientSplit.Ops...), Op{
+		Kind: KindGet, Key: "k", Out: OutOK, Val: []byte("a"), Ver: 10, Call: 70, Ret: 71,
+	})
+	convFail(t, clientSplit, ConvergenceOpts{}, "post-barrier read disagrees")
+}
+
+func TestRecorderBuildsWellFormedHistory(t *testing.T) {
+	r := NewRecorder()
+	p0, p1 := r.NewProc(), r.NewProc()
+
+	a := r.Invoke(p0, KindSet, "k", []byte("a"), 0)
+	b := r.Invoke(p1, KindGet, "k", nil, 0)
+	a.OK(nil, 10)
+	b.Maybe()
+	r.Observe(ReplicaObs{Replica: 0, Key: "k", Present: true, Val: []byte("a"), Ver: 10})
+	r.MarkBarrier()
+	c := r.Invoke(p0, KindGet, "k", nil, 0)
+	c.OK([]byte("a"), 10)
+
+	h := r.History()
+	if len(h.Ops) != 3 || len(h.Replica) != 1 || h.Barrier == 0 {
+		t.Fatalf("history shape: %d ops, %d obs, barrier %d", len(h.Ops), len(h.Replica), h.Barrier)
+	}
+	for i := 1; i < len(h.Ops); i++ {
+		if h.Ops[i].Call <= h.Ops[i-1].Call {
+			t.Fatal("ops not sorted by Call")
+		}
+	}
+	for _, op := range h.Ops {
+		if op.Out == OutMaybe {
+			if op.Ret != RetInfinity {
+				t.Fatalf("maybe op has finite Ret %d", op.Ret)
+			}
+		} else if op.Ret <= op.Call {
+			t.Fatalf("op %v returns before it was called", op)
+		}
+	}
+	if h.Replica[0].T <= h.Ops[0].Call || h.Barrier <= h.Replica[0].T {
+		t.Fatal("observation/barrier timestamps out of order")
+	}
+	if post := h.Ops[2]; post.Call <= h.Barrier {
+		t.Fatal("post-barrier op stamped before the barrier")
+	}
+	mustPass(t, h)
+	convPass(t, h, ConvergenceOpts{StrictDeletes: true})
+}
+
+// fakeKV drives RecordedKV without a cluster.
+type fakeKV struct {
+	getErr, casErr error
+	val            []byte
+	ver            uint64
+}
+
+var errFakeNotFound = errors.New("fake: not found")
+
+type fakeConflict struct {
+	cur     uint64
+	partial bool
+}
+
+func (e *fakeConflict) Error() string { return "fake: conflict" }
+
+func (f *fakeKV) Get(string) ([]byte, error) { return f.val, f.getErr }
+func (f *fakeKV) GetV(string) ([]byte, uint64, bool, error) {
+	return f.val, f.ver, false, f.getErr
+}
+func (f *fakeKV) SetV(string, []byte) (uint64, error) { return f.ver, f.getErr }
+func (f *fakeKV) DelV(string) (uint64, error)         { return f.ver, f.getErr }
+func (f *fakeKV) Cas(string, []byte, uint64) (uint64, error) {
+	if f.casErr != nil {
+		return 0, f.casErr
+	}
+	return f.ver, nil
+}
+
+func fakeErrs() Errs {
+	return Errs{
+		IsNotFound: func(err error) bool { return errors.Is(err, errFakeNotFound) },
+		Conflict: func(err error) (uint64, bool, bool) {
+			var c *fakeConflict
+			if errors.As(err, &c) {
+				return c.cur, c.partial, true
+			}
+			return 0, false, false
+		},
+	}
+}
+
+func TestRecordedKVOutcomeClassification(t *testing.T) {
+	kv := &fakeKV{val: []byte("v"), ver: 10}
+	r := NewRecorder()
+	rk := NewRecordedKV(kv, r, fakeErrs())
+
+	rk.SetV("k", []byte("v")) // OK
+	rk.GetV("k")              // OK
+	kv.getErr = errFakeNotFound
+	rk.GetV("k") // NotFound
+	kv.getErr = errors.New("conn reset")
+	rk.GetV("k") // Maybe
+	kv.getErr = nil
+	kv.casErr = &fakeConflict{cur: 10}
+	rk.Cas("k", []byte("w"), 5) // Conflict (definite)
+	kv.casErr = &fakeConflict{cur: 10, partial: true}
+	rk.Cas("k", []byte("w"), 5) // Maybe (partial conflict)
+	kv.casErr = errors.New("timeout")
+	rk.Cas("k", []byte("w"), 5) // Maybe (transport)
+	kv.casErr = nil
+	rk.Cas("k", []byte("w"), 10) // OK
+
+	want := []Outcome{OutOK, OutOK, OutNotFound, OutMaybe, OutConflict, OutMaybe, OutMaybe, OutOK}
+	h := r.History()
+	if len(h.Ops) != len(want) {
+		t.Fatalf("recorded %d ops, want %d", len(h.Ops), len(want))
+	}
+	for i, op := range h.Ops {
+		if op.Out != want[i] {
+			t.Errorf("op %d (%v): outcome %v, want %v", i, op, op.Out, want[i])
+		}
+	}
+	if h.Ops[4].Ver != 10 {
+		t.Errorf("definite conflict did not record cur: %v", h.Ops[4])
+	}
+	if sib := rk.WithProc(); sib.Proc == rk.Proc {
+		t.Error("WithProc reused the proc ID")
+	}
+}
+
+func TestArtifactRoundTripAndRecheck(t *testing.T) {
+	h := seqHistory([]Op{
+		{Kind: KindSet, Key: "k", Arg: []byte("a"), Out: OutOK, Ver: 10},
+		{Kind: KindGet, Key: "k", Out: OutOK, Val: []byte("z"), Ver: 10},
+	})
+	res := CheckLinearizable(h, RegisterModel{}, 0)
+	if res.Ok {
+		t.Fatal("fixture history unexpectedly linearizable")
+	}
+	art := &Artifact{
+		Scenario: "unit-fixture", Seed: 42, Model: "register",
+		Failure: res.Failures, History: h,
+	}
+	path := filepath.Join(t.TempDir(), "failures", "unit.json")
+	if err := art.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded artifact re-checks to the same verdict...
+	re, err := loaded.Recheck(0)
+	if err != nil || re.Ok {
+		t.Fatalf("recheck = %v, %v; want same failure", re, err)
+	}
+	if len(re.Failures) != len(res.Failures) || re.Failures[0] != res.Failures[0] {
+		t.Fatalf("recheck failures %v != original %v", re.Failures, res.Failures)
+	}
+	// ...and re-saves byte-identically: the replay artifact is stable.
+	path2 := filepath.Join(t.TempDir(), "resaved.json")
+	if err := loaded.Save(path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := mustRead(t, path), mustRead(t, path2)
+	if string(b1) != string(b2) {
+		t.Fatal("artifact did not round-trip byte-identically")
+	}
+
+	if _, err := (&Artifact{Model: "nonsense"}).Recheck(0); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

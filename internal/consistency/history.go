@@ -1,0 +1,286 @@
+// Package consistency turns the kvstore's behavior under faults into a
+// checkable artifact. A Recorder timestamps the invoke and return of
+// every client operation into an append-only History; a porcupine-style
+// checker (checker.go) then searches for a linearization of that
+// history against a versioned-register model (models.go), and a
+// complementary convergence checker (convergence.go) enforces the
+// weaker-but-always-required contract — reads return written values,
+// versions never regress on a replica, deletes don't resurrect, and
+// replicas agree after quiescence.
+//
+// The package is deliberately ignorant of the kvstore: operations
+// arrive through the KV interface (record.go) and error classification
+// is injected, so the checker can be unit-tested on hand-built
+// histories and reused against any client that speaks the same
+// versioned Get/Set/Del/Cas vocabulary.
+package consistency
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Kind is the operation vocabulary the models understand.
+type Kind uint8
+
+const (
+	KindGet Kind = iota
+	KindSet
+	KindDel
+	KindCas
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindGet:
+		return "get"
+	case KindSet:
+		return "set"
+	case KindDel:
+		return "del"
+	case KindCas:
+		return "cas"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Outcome classifies how an operation completed. The three definite
+// outcomes carry full information; OutMaybe is the crucial fourth: the
+// request may or may not have taken effect (connection died mid-call,
+// partial CAS, quorum timeout). A checker that ignored ambiguity would
+// flag correct systems constantly; one that treated ambiguity as
+// success would miss real bugs. Maybe ops get Ret = ∞ and the checker
+// may linearize them as applied or drop them as never-happened.
+type Outcome uint8
+
+const (
+	OutOK Outcome = iota
+	OutNotFound
+	OutConflict
+	OutMaybe
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutOK:
+		return "ok"
+	case OutNotFound:
+		return "notfound"
+	case OutConflict:
+		return "conflict"
+	case OutMaybe:
+		return "maybe"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// RetInfinity is the Ret timestamp of an ambiguous (Maybe) operation:
+// it never "returned" with a definite answer, so nothing is ordered
+// after it.
+const RetInfinity = int64(math.MaxInt64)
+
+// Op is one recorded client operation.
+type Op struct {
+	// Proc identifies the logical client process; ops of one Proc never
+	// overlap in time (the recorder's per-proc discipline).
+	Proc int    `json:"proc"`
+	Kind Kind   `json:"kind"`
+	Key  string `json:"key"`
+	// Arg is the value written (Set/Cas).
+	Arg []byte `json:"arg,omitempty"`
+	// Expect is the CAS expectation (live version, 0 = create).
+	Expect uint64 `json:"expect,omitempty"`
+
+	Out Outcome `json:"out"`
+	// Val is the value read (Get, OutOK).
+	Val []byte `json:"val,omitempty"`
+	// Ver is the version the outcome carried: the committed version for
+	// Set/Del/Cas OK, the read version for Get OK, the tombstone version
+	// for an authoritative miss, the live version evidence for a CAS
+	// conflict. 0 = the operation carried no version (plain Get path,
+	// clean miss).
+	Ver uint64 `json:"ver,omitempty"`
+	// Tomb marks a Get NotFound as an authoritative tombstone miss
+	// (deleted at Ver) rather than a clean never-written miss.
+	Tomb bool `json:"tomb,omitempty"`
+
+	// Call and Ret are logical timestamps from the recorder's global
+	// clock. Ret == RetInfinity for Maybe ops.
+	Call int64 `json:"call"`
+	Ret  int64 `json:"ret"`
+}
+
+func (op Op) String() string {
+	return fmt.Sprintf("p%d %s(%q) -> %s val=%q ver=%d expect=%d [%d,%d]",
+		op.Proc, op.Kind, op.Key, op.Out, op.Val, op.Ver, op.Expect, op.Call, op.Ret)
+}
+
+// ReplicaObs is one direct observation of a replica's stored state,
+// taken by the test harness reading a backend directly (bypassing the
+// frontend). Session increments each time the replica restarts —
+// version monotonicity holds within a session, while a crash that loses
+// unflushed state legitimately rewinds it.
+type ReplicaObs struct {
+	Replica int    `json:"replica"`
+	Session int    `json:"session"`
+	Key     string `json:"key"`
+	// Present reports the key exists at the replica (live value or
+	// tombstone); Tomb distinguishes the two.
+	Present bool   `json:"present"`
+	Tomb    bool   `json:"tomb,omitempty"`
+	Val     []byte `json:"val,omitempty"`
+	Ver     uint64 `json:"ver,omitempty"`
+	// T is when the observation was taken, on the same clock as Op
+	// timestamps.
+	T int64 `json:"t"`
+}
+
+// History is everything one scenario recorded: the client-visible ops,
+// the replica observations, and the barrier timestamp after which the
+// harness had quiesced the cluster (healed faults, drained hints, ran a
+// repair pass). Convergence is only demanded of post-barrier state.
+type History struct {
+	Ops     []Op         `json:"ops"`
+	Replica []ReplicaObs `json:"replica,omitempty"`
+	// Barrier is the quiescence timestamp (0 = never quiesced; the
+	// convergence checker then skips its agreement phase).
+	Barrier int64 `json:"barrier,omitempty"`
+}
+
+// Keys returns the distinct keys appearing in Ops, sorted.
+func (h History) Keys() []string {
+	seen := make(map[string]bool)
+	for _, op := range h.Ops {
+		seen[op.Key] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Recorder builds a History concurrently: Invoke stamps the call edge
+// and returns a handle whose completion method stamps the return edge
+// and appends the finished op. The clock is a single logical counter —
+// real-time ordering between ops is exactly "Ret(a) < Call(b)", which
+// is all linearizability needs, and logical stamps make recorded
+// histories deterministic enough to replay byte-identically.
+type Recorder struct {
+	mu    sync.Mutex
+	clock int64
+	ops   []Op
+	obs   []ReplicaObs
+	bar   int64
+	procs int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewProc allocates a fresh process ID. One proc must never have two
+// ops in flight at once — give each goroutine its own.
+func (r *Recorder) NewProc() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.procs
+	r.procs++
+	return p
+}
+
+func (r *Recorder) tick() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock++
+	return r.clock
+}
+
+// Pending is an invoked-but-uncompleted op. Exactly one completion
+// method must be called.
+type Pending struct {
+	r  *Recorder
+	op Op
+}
+
+// Invoke stamps the call edge of an operation.
+func (r *Recorder) Invoke(proc int, kind Kind, key string, arg []byte, expect uint64) *Pending {
+	return &Pending{r: r, op: Op{
+		Proc: proc, Kind: kind, Key: key,
+		Arg: cloneBytes(arg), Expect: expect,
+		Call: r.tick(),
+	}}
+}
+
+func (p *Pending) complete(out Outcome, val []byte, ver uint64, tomb bool) {
+	p.op.Out = out
+	p.op.Val = cloneBytes(val)
+	p.op.Ver = ver
+	p.op.Tomb = tomb
+	if out == OutMaybe {
+		// Tick the clock anyway so the failure still advances time, but
+		// the op itself never returns.
+		p.r.tick()
+		p.op.Ret = RetInfinity
+	} else {
+		p.op.Ret = p.r.tick()
+	}
+	p.r.mu.Lock()
+	p.r.ops = append(p.r.ops, p.op)
+	p.r.mu.Unlock()
+}
+
+// OK completes the op with a definite success.
+func (p *Pending) OK(val []byte, ver uint64) { p.complete(OutOK, val, ver, false) }
+
+// NotFound completes a read with a definite miss; tomb marks it
+// authoritative (deleted at ver).
+func (p *Pending) NotFound(ver uint64, tomb bool) { p.complete(OutNotFound, nil, ver, tomb) }
+
+// Conflict completes a CAS with a definite precondition miss; cur is
+// the live-version evidence the server returned.
+func (p *Pending) Conflict(cur uint64) { p.complete(OutConflict, nil, cur, false) }
+
+// Maybe completes the op ambiguously: it may have applied, it may not
+// have. The checker owns the doubt from here.
+func (p *Pending) Maybe() { p.complete(OutMaybe, nil, 0, false) }
+
+// Observe appends a replica observation, stamping it now.
+func (r *Recorder) Observe(obs ReplicaObs) {
+	obs.Val = cloneBytes(obs.Val)
+	obs.T = r.tick()
+	r.mu.Lock()
+	r.obs = append(r.obs, obs)
+	r.mu.Unlock()
+}
+
+// MarkBarrier stamps the quiescence point: the harness promises all
+// faults are healed and all repair queues drained BEFORE calling this.
+func (r *Recorder) MarkBarrier() {
+	t := r.tick()
+	r.mu.Lock()
+	r.bar = t
+	r.mu.Unlock()
+}
+
+// History snapshots everything recorded so far, ops sorted by Call.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := History{
+		Ops:     append([]Op(nil), r.ops...),
+		Replica: append([]ReplicaObs(nil), r.obs...),
+		Barrier: r.bar,
+	}
+	sort.SliceStable(h.Ops, func(i, j int) bool { return h.Ops[i].Call < h.Ops[j].Call })
+	return h
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

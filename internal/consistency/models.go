@@ -1,0 +1,190 @@
+package consistency
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Model is the sequential specification the checker linearizes against.
+// States are opaque to the checker; Encode must return a canonical
+// string (two equal states encode equally) because the WGL search
+// memoizes on (linearized-set, state).
+type Model interface {
+	// Init is the state before any operation.
+	Init() State
+	// Step applies a DEFINITE op (OK/NotFound/Conflict) to the state,
+	// returning (next, true) if the op is linearizable there.
+	Step(st State, op Op) (State, bool)
+	// StepMaybe applies an ambiguous op AS IF it succeeded, returning
+	// (next, true) if that is plausible. The checker also always has the
+	// option of never linearizing a Maybe op at all.
+	StepMaybe(st State, op Op) (State, bool)
+	// Encode canonicalizes a state for memoization.
+	Encode(st State) string
+	// Name labels the model in results and artifacts.
+	Name() string
+}
+
+// State is an opaque model state.
+type State interface{}
+
+// regState is the versioned register: one key's linearizable value.
+//
+// verKnown is the model's humility bit. The store assigns versions on
+// the server side, so after a Maybe write the model knows WHAT may have
+// been written but not at WHICH version. A state with verKnown=false
+// accepts any observed version and binds to it — strictness resumes one
+// definite observation later. Soundness leans acceptor-friendly: an
+// unknown version never manufactures a violation, it only delays one.
+type regState struct {
+	present  bool
+	val      []byte
+	ver      uint64
+	verKnown bool
+}
+
+// RegisterModel is the per-key linearizable versioned register.
+//
+// It is the STRONG model: valid only for configurations where every
+// read intersects every committed write (single frontend with d=1, or
+// read paths that consult a write quorum). Under sloppy reads (first
+// live replica answers, W < d) a lagging-but-healthy replica serves
+// stale state that is NOT a bug — use the convergence checker there.
+//
+// Version monotonicity is baked in: the store applies writes
+// highest-version-wins and one frontend's version clock is monotonic,
+// so a committed write always carries a version strictly above the live
+// one. A history violating that is a version-assignment bug even before
+// it is a linearizability bug.
+type RegisterModel struct{}
+
+func (RegisterModel) Name() string { return "register" }
+
+func (RegisterModel) Init() State {
+	// Keys start absent with version 0 — exactly the state CAS-create
+	// (expect 0) tests against.
+	return regState{verKnown: true}
+}
+
+func (RegisterModel) Encode(st State) string {
+	s := st.(regState)
+	return fmt.Sprintf("%t|%x|%d|%t", s.present, s.val, s.ver, s.verKnown)
+}
+
+// liveVer is the version CAS judges: a tombstoned or absent key has
+// live version 0 regardless of the tombstone's own version.
+func (s regState) liveVer() uint64 {
+	if s.present {
+		return s.ver
+	}
+	return 0
+}
+
+// verAdmits reports whether writing at version v is consistent with the
+// state's version knowledge: strictly above the current version
+// (highest-version-wins would silently drop anything else, so a
+// committed write below it could never have been acked by a correct
+// store), or anything when the version is unknown. v 0 means the op
+// carried no version and there is nothing to check.
+func (s regState) verAdmits(v uint64) bool {
+	return v == 0 || !s.verKnown || v > s.ver
+}
+
+func (RegisterModel) Step(st State, op Op) (State, bool) {
+	s := st.(regState)
+	switch op.Kind {
+	case KindGet:
+		switch op.Out {
+		case OutOK:
+			if !s.present || !bytes.Equal(s.val, op.Val) {
+				return nil, false
+			}
+			if op.Ver != 0 {
+				if s.verKnown {
+					if op.Ver != s.ver {
+						return nil, false
+					}
+				} else {
+					// First definite sighting after a Maybe write: bind.
+					s.ver, s.verKnown = op.Ver, true
+				}
+			}
+			return s, true
+		case OutNotFound:
+			if s.present {
+				return nil, false
+			}
+			if op.Tomb && op.Ver != 0 {
+				if s.verKnown {
+					if op.Ver != s.ver {
+						return nil, false
+					}
+				} else {
+					s.ver, s.verKnown = op.Ver, true
+				}
+			}
+			return s, true
+		}
+	case KindSet:
+		if op.Out == OutOK {
+			if !s.verAdmits(op.Ver) {
+				return nil, false
+			}
+			return regState{present: true, val: op.Arg, ver: op.Ver, verKnown: op.Ver != 0}, true
+		}
+	case KindDel:
+		if op.Out == OutOK {
+			if !s.verAdmits(op.Ver) {
+				return nil, false
+			}
+			next := regState{present: false, ver: op.Ver, verKnown: op.Ver != 0}
+			return next, true
+		}
+	case KindCas:
+		switch op.Out {
+		case OutOK:
+			// The precondition must hold at the linearization point —
+			// unless the live version is unknown (Maybe write upstream),
+			// where the model cannot refute it.
+			if s.verKnown && s.liveVer() != op.Expect {
+				return nil, false
+			}
+			if !s.verAdmits(op.Ver) {
+				return nil, false
+			}
+			return regState{present: true, val: op.Arg, ver: op.Ver, verKnown: op.Ver != 0}, true
+		case OutConflict:
+			// A definite conflict asserts the live version was NOT the
+			// expectation. With the version unknown the model can't
+			// falsify that, so it accepts.
+			if s.verKnown && s.liveVer() == op.Expect {
+				return nil, false
+			}
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+func (RegisterModel) StepMaybe(st State, op Op) (State, bool) {
+	s := st.(regState)
+	switch op.Kind {
+	case KindGet:
+		// A read that may have happened changed nothing either way;
+		// linearizing it is a no-op, so the checker never needs to.
+		return s, true
+	case KindSet:
+		return regState{present: true, val: op.Arg}, true
+	case KindDel:
+		return regState{present: false}, true
+	case KindCas:
+		// Linearizable-as-success only if the precondition plausibly
+		// held; afterwards both value and version knowledge degrade to
+		// "whatever the swap stamped".
+		if s.verKnown && s.liveVer() != op.Expect {
+			return nil, false
+		}
+		return regState{present: true, val: op.Arg}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,127 @@
+package consistency
+
+// KV is the versioned client vocabulary the recorder wraps. It is the
+// intersection of kvstore's Frontend, Client, and TierClient APIs —
+// defined here so this package needs no kvstore import and the checker
+// can wrap any of the three (or a test double).
+type KV interface {
+	Get(key string) ([]byte, error)
+	GetV(key string) (value []byte, ver uint64, tomb bool, err error)
+	SetV(key string, value []byte) (uint64, error)
+	DelV(key string) (uint64, error)
+	Cas(key string, value []byte, expect uint64) (uint64, error)
+}
+
+// Errs classifies a KV implementation's errors for recording. Every
+// classifier must be side-effect free.
+type Errs struct {
+	// IsNotFound reports a definite miss (kvstore.ErrNotFound).
+	IsNotFound func(error) bool
+	// Conflict extracts a CAS conflict: (live-version evidence, partial
+	// flag, true) when err is one. A PARTIAL conflict is recorded as
+	// Maybe — the swap landed on some replicas and may yet win.
+	Conflict func(error) (cur uint64, partial bool, ok bool)
+}
+
+// RecordedKV wraps a KV so every call lands in the recorder as a
+// timestamped op with the honest outcome classification:
+//
+//   - definite answers (success, miss, clean conflict) record as
+//     themselves;
+//   - everything else — transport errors, quorum failures, sheds,
+//     partial conflicts — records as Maybe, because the operation may
+//     have taken effect server-side.
+//
+// One RecordedKV is one logical process: never issue concurrent calls
+// through the same instance (clone per goroutine with WithProc).
+type RecordedKV struct {
+	KV   KV
+	R    *Recorder
+	Proc int
+	Errs Errs
+}
+
+// NewRecordedKV wraps kv with a fresh proc ID from r.
+func NewRecordedKV(kv KV, r *Recorder, errs Errs) *RecordedKV {
+	return &RecordedKV{KV: kv, R: r, Proc: r.NewProc(), Errs: errs}
+}
+
+// WithProc returns a sibling recorder sharing kv and history but with
+// its own proc ID — one per concurrent client goroutine.
+func (rk *RecordedKV) WithProc() *RecordedKV {
+	return &RecordedKV{KV: rk.KV, R: rk.R, Proc: rk.R.NewProc(), Errs: rk.Errs}
+}
+
+// Get records an unversioned read.
+func (rk *RecordedKV) Get(key string) ([]byte, error) {
+	p := rk.R.Invoke(rk.Proc, KindGet, key, nil, 0)
+	v, err := rk.KV.Get(key)
+	switch {
+	case err == nil:
+		p.OK(v, 0)
+	case rk.Errs.IsNotFound(err):
+		p.NotFound(0, false)
+	default:
+		p.Maybe()
+	}
+	return v, err
+}
+
+// GetV records a versioned read, the recommended read for histories —
+// it binds values to versions, which is most of the checker's power.
+func (rk *RecordedKV) GetV(key string) ([]byte, uint64, bool, error) {
+	p := rk.R.Invoke(rk.Proc, KindGet, key, nil, 0)
+	v, ver, tomb, err := rk.KV.GetV(key)
+	switch {
+	case err == nil:
+		p.OK(v, ver)
+	case rk.Errs.IsNotFound(err):
+		p.NotFound(ver, tomb)
+	default:
+		p.Maybe()
+	}
+	return v, ver, tomb, err
+}
+
+// SetV records a versioned write.
+func (rk *RecordedKV) SetV(key string, value []byte) (uint64, error) {
+	p := rk.R.Invoke(rk.Proc, KindSet, key, value, 0)
+	ver, err := rk.KV.SetV(key, value)
+	if err == nil {
+		p.OK(nil, ver)
+	} else {
+		p.Maybe()
+	}
+	return ver, err
+}
+
+// DelV records a versioned delete.
+func (rk *RecordedKV) DelV(key string) (uint64, error) {
+	p := rk.R.Invoke(rk.Proc, KindDel, key, nil, 0)
+	ver, err := rk.KV.DelV(key)
+	if err == nil {
+		p.OK(nil, ver)
+	} else {
+		p.Maybe()
+	}
+	return ver, err
+}
+
+// Cas records a compare-and-swap with the full three-valued outcome:
+// success, definite conflict (with the live-version evidence), or Maybe
+// for partial conflicts and transport failures.
+func (rk *RecordedKV) Cas(key string, value []byte, expect uint64) (uint64, error) {
+	p := rk.R.Invoke(rk.Proc, KindCas, key, value, expect)
+	ver, err := rk.KV.Cas(key, value, expect)
+	switch {
+	case err == nil:
+		p.OK(nil, ver)
+	default:
+		if cur, partial, ok := rk.Errs.Conflict(err); ok && !partial {
+			p.Conflict(cur)
+		} else {
+			p.Maybe()
+		}
+	}
+	return ver, err
+}

@@ -35,6 +35,20 @@ type Faults struct {
 	// open but nothing is delivered — the shape of a silent partition
 	// or a switch eating packets.
 	Blackhole bool
+	// DropToServer swallows only client→server bytes; server→client
+	// traffic still flows. Connections stay open, so the client sees its
+	// requests vanish into silence (no reset, no refusal) while anything
+	// the server was still sending arrives fine — the shape of an
+	// ASYMMETRIC (one-way) partition, which distributed systems routinely
+	// mishandle because each side draws a different conclusion about who
+	// is alive.
+	DropToServer bool
+	// DropToClient is the mirror image: requests reach the server and
+	// are processed, but every response is swallowed. This is the
+	// nastiest write-path fault — the server applied the operation, the
+	// client cannot know — and exactly the case consistency histories
+	// must record as an ambiguous ("maybe applied") outcome.
+	DropToClient bool
 	// RejectConns closes new client connections immediately (the shape
 	// of a hard partition / refused route). Existing connections are
 	// unaffected; combine with CloseExisting for a full partition.
@@ -121,6 +135,23 @@ func (p *Proxy) RunSchedule(steps []Step) {
 		time.Sleep(s.Dur)
 	}
 	p.Clear()
+}
+
+// PartitionWindows builds a flapping-fault schedule: cycles repetitions
+// of (fault held for onDur, healthy for offDur). Feed it to RunSchedule
+// to exercise partition/heal churn — the fault matrix uses it with the
+// one-way drops so each window severs a direction and then heals it,
+// repeatedly, while a recorded history is in flight. RunSchedule clears
+// faults at the end, so the link always comes back healed.
+func PartitionWindows(fault Faults, onDur, offDur time.Duration, cycles int) []Step {
+	steps := make([]Step, 0, 2*cycles)
+	for i := 0; i < cycles; i++ {
+		steps = append(steps,
+			Step{Faults: fault, Dur: onDur},
+			Step{Faults: Faults{}, Dur: offDur},
+		)
+	}
+	return steps
 }
 
 // Stats returns (connections accepted, connections rejected, bytes
@@ -216,11 +247,11 @@ func (p *Proxy) serve(client net.Conn) {
 	}
 	go func() {
 		defer wg.Done()
-		p.pipe(server, client, nil, closeBoth) // client → server
+		p.pipe(server, client, false, nil, closeBoth) // client → server
 	}()
 	go func() {
 		defer wg.Done()
-		p.pipe(client, server, &truncBudget, closeBoth) // server → client
+		p.pipe(client, server, true, &truncBudget, closeBoth) // server → client
 	}()
 	wg.Wait()
 	closeBoth()
@@ -228,9 +259,9 @@ func (p *Proxy) serve(client net.Conn) {
 	p.untrack(server)
 }
 
-// pipe forwards src→dst applying the active faults per chunk. trunc is
-// non-nil only for the server→client direction.
-func (p *Proxy) pipe(dst, src net.Conn, trunc *atomic.Int64, closeBoth func()) {
+// pipe forwards src→dst applying the active faults per chunk. toClient
+// marks the server→client direction (the only one trunc applies to).
+func (p *Proxy) pipe(dst, src net.Conn, toClient bool, trunc *atomic.Int64, closeBoth func()) {
 	// Small chunks keep latency/bandwidth shaping and truncation points
 	// fine-grained (a response frame spans several chunks).
 	buf := make([]byte, 512)
@@ -244,6 +275,9 @@ func (p *Proxy) pipe(dst, src net.Conn, trunc *atomic.Int64, closeBoth func()) {
 			}
 			if f.Blackhole {
 				continue // swallow silently; connection stays open
+			}
+			if (toClient && f.DropToClient) || (!toClient && f.DropToServer) {
+				continue // one-way partition: swallow this direction only
 			}
 			if f.BandwidthBps > 0 {
 				time.Sleep(time.Duration(float64(n) / float64(f.BandwidthBps) * float64(time.Second)))

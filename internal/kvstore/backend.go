@@ -45,6 +45,8 @@ type Backend struct {
 	delsTotal     *metrics.Counter
 	mgetsTotal    *metrics.Counter
 	scansTotal    *metrics.Counter
+	casTotal      *metrics.Counter
+	casConflicts  *metrics.Counter
 
 	snapMu sync.Mutex // serializes SaveSnapshot (periodic loop vs shutdown save)
 
@@ -89,6 +91,8 @@ func NewBackendWithLimits(id int, lim overload.Limits) *Backend {
 		delsTotal:     reg.Counter("dels_total"),
 		mgetsTotal:    reg.Counter("mgets_total"),
 		scansTotal:    reg.Counter("scans_total"),
+		casTotal:      reg.Counter("cas_total"),
+		casConflicts:  reg.Counter("cas_conflicts_total"),
 		conns:         make(map[net.Conn]bool),
 	}
 }
@@ -271,6 +275,20 @@ func (b *Backend) handle(req *proto.Request, scratch *[]byte) *proto.Response {
 			return &proto.Response{Status: proto.StatusNotFound}
 		}
 		return &proto.Response{Status: proto.StatusOK}
+	case proto.OpCas:
+		b.casTotal.Inc()
+		// Single-replica compare-and-swap under the shard lock. The
+		// payload always carries a version: the new live one on success,
+		// the conflicting current one on StatusConflict. A backend
+		// conflict is never partial — nothing was written.
+		applied, ver := b.store.CasVersioned(req.Key, req.Value, req.Epoch, req.CasExpect, req.Ver)
+		buf := binary.BigEndian.AppendUint64((*scratch)[:0], ver)
+		*scratch = buf
+		if !applied {
+			b.casConflicts.Inc()
+			return &proto.Response{Status: proto.StatusConflict, Payload: buf}
+		}
+		return &proto.Response{Status: proto.StatusOK, Payload: buf}
 	case proto.OpMGet:
 		b.mgetsTotal.Inc()
 		b.getsTotal.Add(uint64(len(req.Keys)))

@@ -1,0 +1,158 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"securecache/internal/repair"
+)
+
+// Cas performs a replicated compare-and-swap: value replaces the entry
+// only if its live version equals expect (0 = CAS-create over an absent
+// or tombstoned key), succeeding once W replicas applied the swap.
+//
+// Why quorum intersection makes this linearizable per key: the frontend
+// stamps each CAS with a fresh version from its monotonic clock and
+// fans it out to the key's group, where every replica checks the
+// precondition under its shard lock. With W a majority of d, two CAS
+// ops expecting the same version share at least one replica; that
+// replica's shard lock serializes them and the loser fails its check
+// there, so it cannot collect W applied acks. At most one swap per
+// expectation wins.
+//
+// Failure reporting is three-valued, and callers must honor all three:
+//
+//   - nil: the swap committed at the returned version.
+//   - *CasConflictError with Partial false: definitely rejected —
+//     replicas with conflict evidence answered and nothing was written.
+//   - *CasConflictError with Partial true, or any transport/quorum
+//     error: AMBIGUOUS. The value reached some replicas but the quorum
+//     outcome is unknown (a partially applied swap at the highest
+//     version can still win anti-entropy later). Recorded histories
+//     must treat these as "maybe applied" — the consistency checker's
+//     register model does.
+func (f *Frontend) Cas(key string, value []byte, expect uint64) (uint64, error) {
+	f.requestsTotal.Inc()
+	f.casTotal.Inc()
+	// As in Set: once the swap is down, no later miss may join a fetch
+	// that started before it.
+	defer f.flights.Forget(key)
+	f.rotMu.RLock()
+	defer f.rotMu.RUnlock()
+	epoch, cur, prev := f.part.Snapshot()
+	id := KeyID(key)
+	if prev != nil && !f.part.Migrated(id) {
+		// Mid-rotation the new group may not hold the key yet, and a CAS
+		// judged against its emptiness would misfire (an expect-0 create
+		// "succeeding" over a live old-generation value). Pull the key
+		// through the dual-epoch read first: a fallback hit migrates it
+		// into the new group (readRepair -> moveEntry), after which the
+		// precondition is judged against real state. A clean miss in both
+		// generations means live version 0 is the truth.
+		if _, _, err := f.fetchReplicasVersioned(key); err != nil && !errors.Is(err, ErrNotFound) {
+			return 0, fmt.Errorf("kvstore: cas %q: pre-migration read: %w", key, err)
+		}
+	}
+	if prev != nil {
+		// The key may legitimately exist again after the swap: drop any
+		// rotation-era tombstone, as Set does.
+		f.tombMu.Lock()
+		delete(f.tombs, key)
+		f.tombMu.Unlock()
+	}
+	ver := f.nextVer()
+	acks, busies := 0, 0
+	conflictCur := uint64(0) // highest newer-than-expect live version seen
+	laggingCur := uint64(0)  // highest older-than-expect live version seen
+	var lagging []int        // replicas whose live version was older than expect
+	var failed []int         // transport/shed failures
+	var failures []string
+	ns := f.fleet.Load()
+	for _, node := range cur.Group(id) {
+		ns.inflight[node].Add(1)
+		got, err := ns.clients[node].CasVersioned(key, value, epoch, expect, ver)
+		ns.inflight[node].Add(-1)
+		var conflict *CasConflictError
+		switch {
+		case err == nil:
+			f.health.onSuccess(node)
+			acks++
+		case errors.As(err, &conflict):
+			// A conflict answer is a healthy answer. Split it by
+			// direction: a NEWER live version is real evidence the
+			// expectation lost; an OLDER one just means this replica
+			// missed the write the caller read (it is lagging, and the
+			// quorum that holds the newer state decides).
+			f.health.onSuccess(node)
+			if got > expect {
+				if got > conflictCur {
+					conflictCur = got
+				}
+			} else {
+				if got > laggingCur {
+					laggingCur = got
+				}
+				lagging = append(lagging, node)
+			}
+		default:
+			f.noteBackendError(node, err)
+			if errors.Is(err, ErrBusy) {
+				busies++
+			}
+			failed = append(failed, node)
+			failures = append(failures, fmt.Sprintf("node %d: %v", node, err))
+		}
+	}
+	if acks >= f.writeQuorum {
+		// Committed. Converge the stragglers: replicas that failed, were
+		// lagging, or even conflicted (their newer version belonged to a
+		// below-quorum loser) all converge to value@ver through hinted
+		// handoff — ver is the highest version in the group, so the
+		// replay wins everywhere.
+		for _, node := range failed {
+			f.enqueueHint(repair.Hint{Node: node, Key: key, Value: value, Epoch: epoch, Ver: ver})
+		}
+		for _, node := range lagging {
+			f.enqueueHint(repair.Hint{Node: node, Key: key, Value: value, Epoch: epoch, Ver: ver})
+		}
+		if f.cache != nil {
+			f.cache.PutIfPresent(id, encodeEntry(key, ver, value))
+		}
+		return ver, nil
+	}
+	// Below quorum: whatever the cache holds may now contradict some
+	// replicas either way.
+	f.cacheRemove(key)
+	if conflictCur > 0 || (expect > 0 && len(lagging) > 0 && acks == 0 && len(failed) == 0) {
+		// The expectation lost. Partial marks the ambiguous flavor: our
+		// value landed on acks replicas (or its fate is clouded by
+		// transport failures), so the caller cannot treat the swap as
+		// never-happened. No hints here — actively spreading a failed
+		// CAS would manufacture exactly the lost-update CAS exists to
+		// prevent; a partial copy either loses to the conflicting newer
+		// version during anti-entropy or (rarely) wins with this
+		// frontend's highest version, which is why Partial must be
+		// surfaced rather than swallowed.
+		f.casConflicts.Inc()
+		cur := conflictCur
+		if cur == 0 {
+			// Unanimous lagging conflict: the whole group answered with
+			// versions OLDER than the caller's expectation. Report the
+			// highest one as the retry basis — that is the group's live
+			// truth right now.
+			cur = laggingCur
+		}
+		return cur, &CasConflictError{Cur: cur, Partial: acks > 0 || len(failed) > 0}
+	}
+	if len(failures) > 0 && busies == len(failures) && acks == 0 && conflictCur == 0 && len(lagging) == 0 {
+		return 0, fmt.Errorf("kvstore: cas %q: %d/%d acks (need %d): %s: %w",
+			key, acks, len(cur.Group(id)), f.writeQuorum, strings.Join(failures, "; "), ErrBusy)
+	}
+	detail := ""
+	if len(failures) > 0 {
+		detail = ": " + strings.Join(failures, "; ")
+	}
+	return 0, fmt.Errorf("kvstore: cas %q: %d/%d acks (need %d, %d lagging)%s",
+		key, acks, len(cur.Group(id)), f.writeQuorum, len(lagging), detail)
+}

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -246,6 +247,14 @@ func isIdempotentReq(req *proto.Request) bool {
 		return true
 	case proto.OpSet:
 		return req.Ver != 0
+	case proto.OpCas:
+		// A CAS with an explicit new version is safe to re-send: a
+		// replica that already applied it answers success again
+		// (duplicate detection in Store.CasVersioned), and the version
+		// precondition rejects any reordered stale duplicate. Without
+		// one, a retry could double-apply with two different assigned
+		// versions.
+		return req.Ver != 0
 	default:
 		return false
 	}
@@ -349,6 +358,35 @@ var ErrNotFound = fmt.Errorf("kvstore: key not found")
 // fail over to another replica, not open a circuit breaker against it.
 var ErrBusy = proto.ErrBusy
 
+// ErrCasConflict reports that a compare-and-swap found a live version
+// different from the expectation. Match with errors.Is; errors.As a
+// *CasConflictError to get the version the swap lost to.
+var ErrCasConflict = proto.ErrConflict
+
+// CasConflictError carries the details of a failed compare-and-swap
+// precondition. It unwraps to ErrCasConflict.
+type CasConflictError struct {
+	// Cur is the live version the expectation lost to (the highest one
+	// any consulted replica reported; 0 = the key is absent or
+	// tombstoned).
+	Cur uint64
+	// Partial means the losing value still reached at least one replica
+	// (below the write quorum). Anti-entropy may yet spread it, so the
+	// caller must treat the swap's fate as ambiguous rather than
+	// definitely-rejected.
+	Partial bool
+}
+
+func (e *CasConflictError) Error() string {
+	if e.Partial {
+		return fmt.Sprintf("kvstore: cas conflict (live version %d, write partially applied)", e.Cur)
+	}
+	return fmt.Sprintf("kvstore: cas conflict (live version %d)", e.Cur)
+}
+
+// Unwrap makes errors.Is(err, ErrCasConflict) work.
+func (e *CasConflictError) Unwrap() error { return ErrCasConflict }
+
 // Get fetches key's value. It returns ErrNotFound for missing keys and
 // ErrBusy when the server shed the request.
 func (c *Client) Get(key string) ([]byte, error) {
@@ -420,6 +458,44 @@ func (c *Client) DelVersioned(key string, epoch uint32, ver uint64) error {
 	return resp.Err()
 }
 
+// Cas performs a versioned compare-and-swap against a frontend: value
+// replaces the entry only if its current live version equals expect
+// (0 = the key must be absent or tombstoned, i.e. CAS-create). On
+// success it returns the new live version; on a precondition miss it
+// returns a *CasConflictError (errors.Is ErrCasConflict) carrying the
+// version to retry against. Read the current version with GetV.
+func (c *Client) Cas(key string, value []byte, expect uint64) (uint64, error) {
+	return c.CasVersioned(key, value, 0, expect, 0)
+}
+
+// CasVersioned is the full-form compare-and-swap: epoch stamps the
+// stored entry, and newVer fixes the version the value is stored at
+// (0 = the server assigns one). The frontend's quorum write path uses
+// the explicit form so every replica stores the same version; a
+// non-zero newVer also makes the call safe to retry, because a replica
+// that already applied the swap recognizes the duplicate.
+func (c *Client) CasVersioned(key string, value []byte, epoch uint32, expect, newVer uint64) (uint64, error) {
+	resp, err := c.Do(&proto.Request{Op: proto.OpCas, Key: key, Value: value, Epoch: epoch, CasExpect: expect, Ver: newVer})
+	if err != nil {
+		return 0, err
+	}
+	switch resp.Status {
+	case proto.StatusOK:
+		if len(resp.Payload) < 8 {
+			return 0, fmt.Errorf("kvstore: CAS response payload %d bytes: %w", len(resp.Payload), proto.ErrMalformed)
+		}
+		return binary.BigEndian.Uint64(resp.Payload), nil
+	case proto.StatusConflict:
+		cur, partial, derr := proto.DecodeCasConflictPayload(resp.Payload)
+		if derr != nil {
+			return 0, derr
+		}
+		return cur, &CasConflictError{Cur: cur, Partial: partial}
+	default:
+		return 0, resp.Err()
+	}
+}
+
 // Invalidate asks a (tier) frontend to drop its cached copy of key.
 // Plain frontends and backends treat it as a harmless cache no-op /
 // unsupported op respectively; TierClient sends it to a key's other
@@ -439,6 +515,26 @@ func (c *Client) Set(key string, value []byte) error {
 		return err
 	}
 	return resp.Err()
+}
+
+// SetV stores value under key and returns the logical version the write
+// was assigned. Frontends report the version they stamped the quorum
+// write with; servers that predate versioned responses (or a direct
+// backend, which assigns none for an unversioned Set) report 0. The
+// version is what a caller needs to chain a Cas onto its own write
+// without an intervening read.
+func (c *Client) SetV(key string, value []byte) (uint64, error) {
+	resp, err := c.Do(&proto.Request{Op: proto.OpSet, Key: key, Value: value})
+	if err != nil {
+		return 0, err
+	}
+	if err := resp.Err(); err != nil {
+		return 0, err
+	}
+	if len(resp.Payload) >= 8 {
+		return binary.BigEndian.Uint64(resp.Payload), nil
+	}
+	return 0, nil
 }
 
 // SetEpoch stores value under key stamped with a partition epoch: the
@@ -500,14 +596,29 @@ func (c *Client) ScanPage(cursor uint64, limit int, belowEpoch uint32, opts Scan
 
 // Del removes key. Deleting a missing key is not an error (idempotent).
 func (c *Client) Del(key string) error {
+	_, err := c.DelV(key)
+	return err
+}
+
+// DelV removes key and returns the logical version of the tombstone the
+// delete was recorded at (0 from servers that assign none). A reader
+// that later observes a live version below it is seeing resurrected
+// data — the checker's no-resurrection rule keys off exactly this.
+func (c *Client) DelV(key string) (uint64, error) {
 	resp, err := c.Do(&proto.Request{Op: proto.OpDel, Key: key})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if resp.Status == proto.StatusNotFound {
-		return nil
+		return 0, nil
 	}
-	return resp.Err()
+	if err := resp.Err(); err != nil {
+		return 0, err
+	}
+	if len(resp.Payload) >= 8 {
+		return binary.BigEndian.Uint64(resp.Payload), nil
+	}
+	return 0, nil
 }
 
 // MGet fetches several keys in one round trip. The result slice is

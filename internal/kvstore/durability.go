@@ -170,7 +170,7 @@ type readRepairJob struct {
 // version the write would be unconditional and could clobber a
 // concurrent newer write on the target; anti-entropy settles those.
 func (f *Frontend) scheduleReadRepair(key string, nodes []int, value []byte, ver uint64) {
-	if ver == 0 || len(nodes) == 0 {
+	if ver == 0 || len(nodes) == 0 || testHooks.disableReadRepair.Load() {
 		return
 	}
 	f.repairedMu.Lock()

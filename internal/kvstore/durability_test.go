@@ -220,7 +220,7 @@ func TestSetBelowQuorumFails(t *testing.T) {
 	if _, err := f.Get(key); err != nil { // fills the cache
 		t.Fatal(err)
 	}
-	if _, ok := f.cacheGet(key); !ok {
+	if _, _, ok := f.cacheGet(key); !ok {
 		t.Fatal("key not cached after read")
 	}
 
@@ -232,7 +232,7 @@ func TestSetBelowQuorumFails(t *testing.T) {
 	if !strings.Contains(err.Error(), "need 3") {
 		t.Fatalf("quorum error does not carry the ack count: %v", err)
 	}
-	if _, ok := f.cacheGet(key); ok {
+	if _, _, ok := f.cacheGet(key); ok {
 		t.Fatal("below-quorum write left its stale cached entry in place")
 	}
 	// Availability over atomicity: the surviving replicas keep the write

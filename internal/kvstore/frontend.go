@@ -194,6 +194,8 @@ type Frontend struct {
 	backendErrs   *metrics.Counter
 	backendBusy   *metrics.Counter
 	coalesced     *metrics.Counter
+	casTotal      *metrics.Counter
+	casConflicts  *metrics.Counter
 
 	// Rotation state (see rotate.go). rotMu is the epoch write barrier:
 	// Set/Del hold it shared across their backend I/O, Rotate takes it
@@ -331,6 +333,8 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	f.backendErrs = f.metrics.Counter("backend_errors_total")
 	f.backendBusy = f.metrics.Counter("backend_busy_total")
 	f.coalesced = f.metrics.Counter("coalesced_misses_total")
+	f.casTotal = f.metrics.Counter("cas_total")
+	f.casConflicts = f.metrics.Counter("cas_conflicts_total")
 	f.randState.Store(cfg.PartitionSeed ^ 0x9e3779b97f4a7c15)
 	f.health = newHealthTracker(n, cfg.Health, f.metrics)
 	f.gate = overload.NewGate(cfg.Overload)
@@ -435,39 +439,43 @@ func (f *Frontend) SetIdleTimeout(d time.Duration) { f.idleTimeout.Store(int64(d
 // the livecluster example, which needs ground truth).
 func (f *Frontend) Group(key string) []int { return f.part.Group(KeyID(key)) }
 
-// cacheEntry encodes (key, value) so hash collisions on KeyID cannot
-// serve the wrong key's data: [uint16 keylen][key][value].
-func encodeEntry(key string, value []byte) []byte {
-	buf := make([]byte, 2+len(key)+len(value))
+// cacheEntry encodes (key, version, value) so hash collisions on KeyID
+// cannot serve the wrong key's data and versioned reads can answer from
+// cache: [uint16 keylen][key][uint64 ver][value]. Version 0 means the
+// fill path did not learn one (the batch read); plain Gets serve it,
+// versioned reads treat it as a miss.
+func encodeEntry(key string, ver uint64, value []byte) []byte {
+	buf := make([]byte, 2+len(key)+8+len(value))
 	binary.BigEndian.PutUint16(buf, uint16(len(key)))
 	copy(buf[2:], key)
-	copy(buf[2+len(key):], value)
+	binary.BigEndian.PutUint64(buf[2+len(key):], ver)
+	copy(buf[2+len(key)+8:], value)
 	return buf
 }
 
-func decodeEntry(key string, blob []byte) ([]byte, bool) {
+func decodeEntry(key string, blob []byte) ([]byte, uint64, bool) {
 	if len(blob) < 2 {
-		return nil, false
+		return nil, 0, false
 	}
 	klen := int(binary.BigEndian.Uint16(blob))
-	if len(blob) < 2+klen || string(blob[2:2+klen]) != key {
-		return nil, false
+	if len(blob) < 2+klen+8 || string(blob[2:2+klen]) != key {
+		return nil, 0, false
 	}
-	return blob[2+klen:], true
+	return blob[2+klen+8:], binary.BigEndian.Uint64(blob[2+klen:]), true
 }
 
-func (f *Frontend) cacheGet(key string) ([]byte, bool) {
+func (f *Frontend) cacheGet(key string) ([]byte, uint64, bool) {
 	if f.cache == nil {
-		return nil, false
+		return nil, 0, false
 	}
 	blob, ok := f.cache.Get(KeyID(key))
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
 	return decodeEntry(key, blob)
 }
 
-func (f *Frontend) cachePut(key string, value []byte) {
+func (f *Frontend) cachePut(key string, ver uint64, value []byte) {
 	if f.cache == nil {
 		return
 	}
@@ -479,7 +487,7 @@ func (f *Frontend) cachePut(key string, value []byte) {
 		ts.filtered.Inc()
 		return
 	}
-	f.cache.Put(id, encodeEntry(key, value))
+	f.cache.Put(id, encodeEntry(key, ver, value))
 }
 
 func (f *Frontend) cacheRemove(key string) {
@@ -562,12 +570,40 @@ func (f *Frontend) nextRand() uint64 {
 // failing over across replicas on transport errors.
 func (f *Frontend) Get(key string) ([]byte, error) {
 	f.requestsTotal.Inc()
-	if v, ok := f.cacheGet(key); ok {
+	if v, _, ok := f.cacheGet(key); ok {
 		f.cacheHits.Inc()
 		return v, nil
 	}
 	f.cacheMisses.Inc()
 	return f.coalescedFetch(key)
+}
+
+// GetV serves a versioned read: like Get, but the entry's logical
+// version rides along so CAS callers can learn the expectation for
+// their swap (and the consistency checker can compare replica copies)
+// without a side channel. A tombstone reports (nil, tombVer, true,
+// ErrNotFound) — "deleted at tombVer" — while a clean miss reports ver
+// 0. Cached entries answer only when the fill path recorded a real
+// version; a version-less cache fill (the batch path) falls through to
+// the replicas, which refreshes the cache with the version attached.
+func (f *Frontend) GetV(key string) (value []byte, ver uint64, tomb bool, err error) {
+	f.requestsTotal.Inc()
+	if v, cver, ok := f.cacheGet(key); ok && cver != 0 {
+		f.cacheHits.Inc()
+		return v, cver, false, nil
+	}
+	f.cacheMisses.Inc()
+	v, ver, err := f.fetchReplicasVersioned(key)
+	switch {
+	case err == nil:
+		return v, ver, false, nil
+	case errors.Is(err, ErrNotFound):
+		// errDeleted (tombstone authority) and the dual-epoch path both
+		// funnel here; a non-zero version marks the authoritative delete.
+		return nil, ver, ver != 0, ErrNotFound
+	default:
+		return nil, 0, false, err
+	}
 }
 
 // coalescedFetch routes a cache miss through the singleflight group:
@@ -634,12 +670,12 @@ func (f *Frontend) fetchGroupVersioned(key string, ordered []int) ([]byte, uint6
 		switch {
 		case err == nil:
 			f.health.onSuccess(node)
-			f.cachePut(key, v)
+			f.cachePut(key, ver, v)
 			f.scheduleReadRepair(key, empty, v, ver)
 			return v, ver, nil
 		case errors.Is(err, ErrNotFound):
 			f.health.onSuccess(node)
-			if tomb {
+			if tomb && !testHooks.disableTombAuthority.Load() {
 				return nil, ver, errDeleted
 			}
 			empty = append(empty, node)
@@ -679,6 +715,14 @@ func (f *Frontend) noteBackendError(node int, err error) {
 // Dynamo-style systems the paper cites, and the version ordering keeps
 // the partial write from ever rolling back a newer one.
 func (f *Frontend) Set(key string, value []byte) error {
+	_, err := f.SetV(key, value)
+	return err
+}
+
+// SetV is Set returning the logical version the write was stamped with:
+// the handle a caller chains a Cas onto, and the ground truth recorded
+// consistency histories need to bind values to versions.
+func (f *Frontend) SetV(key string, value []byte) (uint64, error) {
 	f.requestsTotal.Inc()
 	f.setsTotal.Inc()
 	// Detach any in-flight miss fetch for this key once the write is
@@ -734,10 +778,10 @@ func (f *Frontend) Set(key string, value []byte) error {
 		if busies == len(failures) {
 			// Every failure was a shed: keep the busy classification so
 			// callers back off instead of treating the node as broken.
-			return fmt.Errorf("kvstore: set %q: %d/%d acks (need %d): %s: %w",
+			return 0, fmt.Errorf("kvstore: set %q: %d/%d acks (need %d): %s: %w",
 				key, acks, acks+len(failures), f.writeQuorum, strings.Join(failures, "; "), ErrBusy)
 		}
-		return fmt.Errorf("kvstore: set %q: %d/%d acks (need %d): %s",
+		return 0, fmt.Errorf("kvstore: set %q: %d/%d acks (need %d): %s",
 			key, acks, acks+len(failures), f.writeQuorum, strings.Join(failures, "; "))
 	}
 	// Refresh the cache only if the key is already cached — a write must
@@ -745,9 +789,9 @@ func (f *Frontend) Set(key string, value []byte) error {
 	// value is the winning version cluster-wide, so caching it is sound
 	// even while hinted replicas lag.)
 	if f.cache != nil {
-		f.cache.PutIfPresent(KeyID(key), encodeEntry(key, value))
+		f.cache.PutIfPresent(KeyID(key), encodeEntry(key, ver, value))
 	}
-	return nil
+	return ver, nil
 }
 
 // MGet serves a batch read: cached keys are answered locally, the misses
@@ -759,7 +803,7 @@ func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 	results := make([]proto.MGetResult, len(keys))
 	var misses []int // indices into keys not answered by the cache
 	for i, key := range keys {
-		if v, ok := f.cacheGet(key); ok {
+		if v, _, ok := f.cacheGet(key); ok {
 			f.cacheHits.Inc()
 			results[i] = proto.MGetResult{Found: true, Value: v}
 			continue
@@ -842,7 +886,9 @@ func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 				continue
 			}
 			results[i] = fetched[j]
-			f.cachePut(keys[i], fetched[j].Value)
+			// The batch protocol carries no versions; fill at version 0
+			// ("unknown") — plain Gets serve it, versioned reads refresh it.
+			f.cachePut(keys[i], 0, fetched[j].Value)
 		}
 	}
 	return results, nil
@@ -855,6 +901,14 @@ func (f *Frontend) MGet(keys []string) ([]proto.MGetResult, error) {
 // that value in every read, hint replay, and anti-entropy comparison —
 // the key cannot be resurrected by the lagging replica.
 func (f *Frontend) Del(key string) error {
+	_, err := f.DelV(key)
+	return err
+}
+
+// DelV is Del returning the version of the tombstone the delete wrote —
+// the threshold below which any later live sighting of the key is a
+// resurrection.
+func (f *Frontend) DelV(key string) (uint64, error) {
 	f.requestsTotal.Inc()
 	f.delsTotal.Inc()
 	// As in Set: once the tombstones are down, no later miss may join a
@@ -926,13 +980,13 @@ func (f *Frontend) Del(key string) error {
 	}
 	if acks < f.writeQuorum || purgeFailed > 0 {
 		if busies == len(failures) {
-			return fmt.Errorf("kvstore: del %q: %d/%d acks (need %d): %s: %w",
+			return 0, fmt.Errorf("kvstore: del %q: %d/%d acks (need %d): %s: %w",
 				key, acks, len(group), f.writeQuorum, strings.Join(failures, "; "), ErrBusy)
 		}
-		return fmt.Errorf("kvstore: del %q: %d/%d acks (need %d): %s",
+		return 0, fmt.Errorf("kvstore: del %q: %d/%d acks (need %d): %s",
 			key, acks, len(group), f.writeQuorum, strings.Join(failures, "; "))
 	}
-	return nil
+	return ver, nil
 }
 
 // CacheStats returns the cache's hit/miss counters (zero Stats when no
@@ -961,22 +1015,66 @@ func (f *Frontend) handle(req *proto.Request) *proto.Response {
 		default:
 			return errResponse("frontend", req.Op, err)
 		}
+	case proto.OpGetV:
+		v, ver, tomb, err := f.GetV(req.Key)
+		switch {
+		case err == nil:
+			payload, perr := proto.EncodeGetVPayload(ver, v)
+			if perr != nil {
+				return errResponse("frontend", req.Op, perr)
+			}
+			return &proto.Response{Status: proto.StatusOK, Payload: payload}
+		case errors.Is(err, ErrNotFound):
+			if tomb {
+				payload, _ := proto.EncodeGetVPayload(ver, nil)
+				return &proto.Response{Status: proto.StatusNotFound, Payload: payload}
+			}
+			return &proto.Response{Status: proto.StatusNotFound}
+		case errors.Is(err, ErrBusy):
+			return &proto.Response{Status: proto.StatusBusy}
+		default:
+			return errResponse("frontend", req.Op, err)
+		}
 	case proto.OpSet:
-		if err := f.Set(req.Key, req.Value); err != nil {
+		ver, err := f.SetV(req.Key, req.Value)
+		if err != nil {
 			if errors.Is(err, ErrBusy) {
 				return &proto.Response{Status: proto.StatusBusy}
 			}
 			return errResponse("frontend", req.Op, err)
 		}
-		return &proto.Response{Status: proto.StatusOK}
+		// The assigned version rides back so writers can chain a Cas (or
+		// record a checkable history) without a follow-up read. Old
+		// clients ignore the payload.
+		return &proto.Response{Status: proto.StatusOK, Payload: binary.BigEndian.AppendUint64(nil, ver)}
 	case proto.OpDel:
-		if err := f.Del(req.Key); err != nil {
+		ver, err := f.DelV(req.Key)
+		if err != nil {
 			if errors.Is(err, ErrBusy) {
 				return &proto.Response{Status: proto.StatusBusy}
 			}
 			return errResponse("frontend", req.Op, err)
 		}
-		return &proto.Response{Status: proto.StatusOK}
+		return &proto.Response{Status: proto.StatusOK, Payload: binary.BigEndian.AppendUint64(nil, ver)}
+	case proto.OpCas:
+		if req.Ver != 0 {
+			// The frontend owns the version clock for replicated writes; a
+			// client-chosen version could regress it.
+			return errResponse("frontend", req.Op, errors.New("explicit CAS version reserved for backend writes"))
+		}
+		ver, err := f.Cas(req.Key, req.Value, req.CasExpect)
+		var conflict *CasConflictError
+		switch {
+		case err == nil:
+			return &proto.Response{Status: proto.StatusOK, Payload: binary.BigEndian.AppendUint64(nil, ver)}
+		case errors.As(err, &conflict):
+			return &proto.Response{Status: proto.StatusConflict,
+				Payload: proto.EncodeCasConflictPayload(nil, conflict.Cur, conflict.Partial)}
+		case errors.Is(err, ErrBusy):
+			return &proto.Response{Status: proto.StatusBusy}
+		default:
+			return errResponse("frontend", req.Op, err)
+		}
 	case proto.OpMGet:
 		results, err := f.MGet(req.Keys)
 		if err != nil {

@@ -310,7 +310,7 @@ func TestCoalescedMissNeverServesTombstone(t *testing.T) {
 	if got := s.getvCount(); got != 1 {
 		t.Fatalf("backend saw %d fetches, want 1", got)
 	}
-	if _, ok := f.cacheGet("deleted-key"); ok {
+	if _, _, ok := f.cacheGet("deleted-key"); ok {
 		t.Fatal("tombstone miss left an entry in the cache")
 	}
 }

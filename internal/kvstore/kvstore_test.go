@@ -317,19 +317,22 @@ func TestLocalClusterValidation(t *testing.T) {
 }
 
 func TestEntryEncodingGuardsCollisions(t *testing.T) {
-	blob := encodeEntry("key-a", []byte("value-a"))
-	if _, ok := decodeEntry("key-b", blob); ok {
+	blob := encodeEntry("key-a", 7, []byte("value-a"))
+	if _, _, ok := decodeEntry("key-b", blob); ok {
 		t.Error("entry for key-a decoded under key-b")
 	}
-	v, ok := decodeEntry("key-a", blob)
-	if !ok || string(v) != "value-a" {
-		t.Errorf("decode = %q, %v", v, ok)
+	v, ver, ok := decodeEntry("key-a", blob)
+	if !ok || string(v) != "value-a" || ver != 7 {
+		t.Errorf("decode = %q, %d, %v", v, ver, ok)
 	}
-	if _, ok := decodeEntry("x", nil); ok {
+	if _, _, ok := decodeEntry("x", nil); ok {
 		t.Error("nil blob decoded")
 	}
-	if _, ok := decodeEntry("x", []byte{0}); ok {
+	if _, _, ok := decodeEntry("x", []byte{0}); ok {
 		t.Error("1-byte blob decoded")
+	}
+	if _, _, ok := decodeEntry("x", encodeEntry("x", 1, nil)[:3]); ok {
+		t.Error("version-truncated blob decoded")
 	}
 }
 

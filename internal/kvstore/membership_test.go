@@ -897,6 +897,98 @@ func TestMembershipRingPartitioner(t *testing.T) {
 	waitRotated(t, f, 60*time.Second)
 }
 
+// TestMembershipRingMovedFractionRealized pins the ~d/n consistent-hash
+// claim on the REALIZED migration, not just the staged report's sampled
+// prediction: under `-partitioner ring` a join must MOVE only about a
+// d/(n+1) fraction of the stored keys (counted by the migrator itself)
+// and re-tag the rest in place, and the drain back out must stay in the
+// same regime. This is the BENCH_membership.json ring episode
+// (cmd/secmember -local) as a CI regression — the dense hash would
+// realize ≈1.0 on both legs.
+func TestMembershipRingMovedFractionRealized(t *testing.T) {
+	const (
+		n = 10
+		d = 3
+		m = 500
+	)
+	lc, err := StartLocalCluster(LocalConfig{
+		Nodes:         n,
+		Replication:   d,
+		PartitionSeed: 47,
+		Partitioner:   partition.KindRing,
+		Rotation:      RotationConfig{Rate: -1},
+		Membership:    MembershipConfig{RetryDelay: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	f := lc.Frontend
+	for i := 0; i < m; i++ {
+		if err := f.Set(rotKey(i), rotVal(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg := f.Metrics()
+	realized := func(run func() (MembershipReport, error)) (measured, predicted float64) {
+		t.Helper()
+		moved0 := reg.Counter("migration_keys_moved_total").Value()
+		retag0 := reg.Counter("migration_keys_retagged_total").Value()
+		rep, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitViewSettled(t, f, 60*time.Second)
+		movedN := float64(reg.Counter("migration_keys_moved_total").Value() - moved0)
+		retagN := float64(reg.Counter("migration_keys_retagged_total").Value() - retag0)
+		if movedN+retagN < m {
+			t.Fatalf("migration processed %.0f keys, stored %d", movedN+retagN, m)
+		}
+		return movedN / (movedN + retagN), rep.ExpectedMovedFraction
+	}
+
+	addr, err := lc.AddBackend(overload.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joinID int
+	joinFrac, joinPred := realized(func() (MembershipReport, error) {
+		rep, err := f.Join(addr)
+		if len(rep.Joined) > 0 {
+			joinID = rep.Joined[0].ID
+		}
+		return rep, err
+	})
+	// d=3, n=10->11: ~d/(n+1) ≈ 0.27 with vnode placement noise. The
+	// 0.55 ceiling splits the consistent-hash regime from the dense
+	// hash's ≈1.0; the floor proves the joiner takes a real share.
+	if joinFrac > 0.55 || joinFrac < 0.05 {
+		t.Errorf("ring join realized moved fraction %.3f, want ~d/(n+1) regime (0.05..0.55)", joinFrac)
+	}
+	if diff := joinFrac - joinPred; diff < -0.15 || diff > 0.15 {
+		t.Errorf("ring join realized %.3f vs predicted %.3f — sampled prediction off", joinFrac, joinPred)
+	}
+
+	drainFrac, drainPred := realized(func() (MembershipReport, error) {
+		return f.Drain(joinID)
+	})
+	if drainFrac > 0.55 || drainFrac < 0.05 {
+		t.Errorf("ring drain realized moved fraction %.3f, want ~d/n regime (0.05..0.55)", drainFrac)
+	}
+	if diff := drainFrac - drainPred; diff < -0.15 || diff > 0.15 {
+		t.Errorf("ring drain realized %.3f vs predicted %.3f — sampled prediction off", drainFrac, drainPred)
+	}
+
+	// The data survived both legs under the ring mapping.
+	for i := 0; i < m; i++ {
+		v, err := f.Get(rotKey(i))
+		if err != nil || !bytes.Equal(v, rotVal(i, 0)) {
+			t.Fatalf("get %s after ring join+drain: %v %q", rotKey(i), err, v)
+		}
+	}
+}
+
 // TestFrontendRejectsRegistryOnlyPartitioner pins the guard: mapping
 // families whose group identity depends on dense indices (jump) cannot
 // back live membership.

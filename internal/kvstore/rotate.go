@@ -252,42 +252,50 @@ func (f *Frontend) RotationStatus() RotationStatus {
 // never established) nor a tombstone (absence is authoritative — the
 // old copy is precisely the deleted value) may fall back.
 func (f *Frontend) fetchFromReplicas(key string) ([]byte, error) {
+	v, _, err := f.fetchReplicasVersioned(key)
+	return v, err
+}
+
+// fetchReplicasVersioned is fetchFromReplicas with the winning replica's
+// logical version threaded through (a tombstone miss reports the
+// tombstone's version alongside the NotFound-class error).
+func (f *Frontend) fetchReplicasVersioned(key string) ([]byte, uint64, error) {
 	id := KeyID(key)
 	_, cur, prev := f.part.Snapshot()
 	if prev == nil || f.part.Migrated(id) {
-		return f.fetchFromGroup(key, f.orderedGroup(cur.Group(id)))
+		return f.fetchGroupVersioned(key, f.orderedGroup(cur.Group(id)))
 	}
-	v, err := f.fetchFromGroup(key, f.orderedGroup(cur.Group(id)))
+	v, ver, err := f.fetchGroupVersioned(key, f.orderedGroup(cur.Group(id)))
 	if errors.Is(err, errDeleted) {
-		return nil, ErrNotFound
+		return nil, ver, ErrNotFound
 	}
 	if err == nil || !errors.Is(err, ErrNotFound) {
-		return v, err
+		return v, ver, err
 	}
 	f.metrics.Counter("rotation_fallback_reads_total").Inc()
-	v, ver, err := f.fetchGroupVersioned(key, f.orderedGroup(prev.Group(id)))
+	v, ver, err = f.fetchGroupVersioned(key, f.orderedGroup(prev.Group(id)))
 	switch {
 	case err == nil:
 		if f.part.Migrated(id) {
 			// A write or migration landed between our two reads, so the
 			// new group is authoritative now and the old value may be
 			// stale — re-read rather than return it.
-			return f.fetchFromGroup(key, f.orderedGroup(cur.Group(id)))
+			return f.fetchGroupVersioned(key, f.orderedGroup(cur.Group(id)))
 		}
 		f.readRepair(key, v, ver)
-		return v, nil
+		return v, ver, nil
 	case errors.Is(err, ErrNotFound):
 		// In neither generation (a tombstone in the old one counts — the
 		// value is gone either way) — unless a migration purged the old
 		// copy between our two reads. One second look at the new group
 		// settles it (migration copies land before the purge).
-		v, err = f.fetchFromGroup(key, f.orderedGroup(cur.Group(id)))
+		v, ver, err = f.fetchGroupVersioned(key, f.orderedGroup(cur.Group(id)))
 		if errors.Is(err, errDeleted) {
-			return nil, ErrNotFound
+			return nil, ver, ErrNotFound
 		}
-		return v, err
+		return v, ver, err
 	default:
-		return nil, err
+		return nil, 0, err
 	}
 }
 

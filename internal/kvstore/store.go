@@ -151,6 +151,54 @@ func (s *Store) SetVersioned(key string, value []byte, epoch uint32, ver uint64)
 	return true
 }
 
+// CasVersioned applies a compare-and-swap: value is stored at newVer
+// only if the entry's current live version equals expect. An absent or
+// tombstoned key has live version 0, so expect 0 is CAS-create (and
+// correctly fails once the key exists). newVer 0 asks the store to
+// assign cur+1 — the single-node path for callers without a version
+// clock; replicated writes pass the frontend-assigned version so copies
+// stay comparable. A repeated delivery of the same CAS (same non-zero
+// newVer already live) reports success again, which is what makes a
+// quorum retry safe.
+//
+// It returns (applied, ver): on success ver is the entry's new live
+// version; on a conflict it is the live version the precondition lost
+// to, for the caller to retry against. The check-and-write is atomic
+// under the shard lock, and an applied swap is logged write-through like
+// any other versioned write.
+func (s *Store) CasVersioned(key string, value []byte, epoch uint32, expect, newVer uint64) (applied bool, ver uint64) {
+	sh := s.shard(key)
+	cp := append([]byte(nil), value...)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.m[key]
+	live := uint64(0)
+	if ok && !cur.tomb {
+		live = cur.ver
+	}
+	if ok && !cur.tomb && newVer != 0 && cur.ver == newVer {
+		return true, newVer // duplicate delivery of an applied swap
+	}
+	if live != expect && !testHooks.disableCasCheck.Load() {
+		return false, live
+	}
+	if newVer == 0 {
+		newVer = cur.ver + 1
+	}
+	if ok && cur.ver >= newVer {
+		// Highest-version-wins still holds even when the live version
+		// matched: a tombstone at a newer version (live 0) must not be
+		// overwritten by a swap stamped older than it.
+		return false, live
+	}
+	s.logAppend(key, cp, epoch, newVer, false)
+	if ok && cur.tomb {
+		sh.tombs--
+	}
+	sh.m[key] = entry{val: cp, epoch: epoch, ver: newVer}
+	return true, newVer
+}
+
 // SetGuarded applies a migration copy: the value is stored only if the
 // key is absent or its current entry carries a strictly older epoch.
 // It reports whether the write was applied. The check-and-write is

@@ -1,0 +1,126 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestTierVersionedOps drives GetV/SetV/DelV/Cas through the two-choice
+// client: versions thread end to end, a CAS conflict round-trips as a
+// typed answer, and the other candidate's cache never serves the state
+// the swap replaced.
+func TestTierVersionedOps(t *testing.T) {
+	tcl, err := StartTierCluster(TierLocalConfig{
+		Nodes: 4, Replication: 2, Frontends: 3,
+		PartitionSeed: 73, TierSeed: 7300,
+		NewCache: lruFactory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcl.Close()
+	c := tcl.Client
+
+	// SetV hands back the version a later Cas chains onto.
+	v1, err := c.SetV("k", []byte("one"))
+	if err != nil || v1 == 0 {
+		t.Fatalf("SetV: ver=%d err=%v", v1, err)
+	}
+	val, ver, tomb, err := c.GetV("k")
+	if err != nil || tomb || ver != v1 || !bytes.Equal(val, []byte("one")) {
+		t.Fatalf("GetV: %q ver=%d tomb=%v err=%v", val, ver, tomb, err)
+	}
+
+	v2, err := c.Cas("k", []byte("two"), v1)
+	if err != nil || v2 <= v1 {
+		t.Fatalf("Cas: ver=%d err=%v", v2, err)
+	}
+	// The stale expectation loses with the live version as evidence, and
+	// the answer must not read as a frontend failure.
+	var conflict *CasConflictError
+	_, cerr := c.Cas("k", []byte("stale"), v1)
+	if !errors.As(cerr, &conflict) || conflict.Cur != v2 {
+		t.Fatalf("stale Cas: %v", cerr)
+	}
+	if penalizeWorthy(cerr) || failoverWorthy(cerr) {
+		t.Fatal("CAS conflict classified as a frontend failure")
+	}
+
+	// Both candidates must now serve the committed value: the winner
+	// wrote through one and invalidated the other, and the conflict
+	// invalidated again — warm either cache first to prove it.
+	a, b := c.Candidates("k")
+	for _, id := range []int{a, b} {
+		fc := NewClient(tcl.FrontendAddrs[id])
+		got, gver, _, err := fc.GetV("k")
+		fc.Close()
+		if err != nil || gver != v2 || !bytes.Equal(got, []byte("two")) {
+			t.Fatalf("candidate %d after cas: %q ver=%d err=%v", id, got, gver, err)
+		}
+	}
+
+	// DelV tombs the key at a version; CAS-create resurrects it.
+	dver, err := c.DelV("k")
+	if err != nil || dver <= v2 {
+		t.Fatalf("DelV: ver=%d err=%v", dver, err)
+	}
+	if _, ver, tomb, err := c.GetV("k"); !errors.Is(err, ErrNotFound) || !tomb || ver != dver {
+		t.Fatalf("GetV after DelV: ver=%d tomb=%v err=%v", ver, tomb, err)
+	}
+	v3, err := c.Cas("k", []byte("three"), 0)
+	if err != nil || v3 <= dver {
+		t.Fatalf("Cas-create over tombstone: ver=%d err=%v", v3, err)
+	}
+	if got, err := c.Get("k"); err != nil || !bytes.Equal(got, []byte("three")) {
+		t.Fatalf("Get after resurrect: %q err=%v", got, err)
+	}
+}
+
+// TestTierCasNoFailoverOnAmbiguity pins the tier CAS failover rule: a
+// crashed first candidate is an AMBIGUOUS outcome, so the client must
+// surface the error instead of replaying the swap through the survivor
+// (a replay could commit the swap twice at two versions). A plain SetV
+// through the same pair fails over fine — that asymmetry is the point.
+func TestTierCasNoFailoverOnAmbiguity(t *testing.T) {
+	tcl, err := StartTierCluster(TierLocalConfig{
+		Nodes: 2, Replication: 2, Frontends: 2,
+		PartitionSeed: 77, TierSeed: 7700,
+		NewCache: lruFactory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcl.Close()
+	c := tcl.Client
+
+	v1, err := c.SetV("k", []byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill whichever candidate the next pick would route to, so the CAS
+	// hits a dead frontend first.
+	a, b := c.Candidates("k")
+	first := c.Loads().Pick(a, b)
+	tcl.CrashFrontend(first)
+
+	if _, err := c.Cas("k", []byte("two"), v1); err == nil {
+		t.Fatal("CAS through a crashed candidate reported success")
+	} else if errors.Is(err, ErrCasConflict) {
+		t.Fatalf("CAS through a crashed candidate reported a conflict: %v", err)
+	}
+	// The transport error penalized the dead frontend; the next SetV
+	// routes around it and succeeds (writes MAY fail over — they are
+	// idempotent under highest-version-wins).
+	if _, err := c.SetV("k", []byte("after")); err != nil {
+		t.Fatalf("SetV after crash did not fail over: %v", err)
+	}
+	// And with the survivor now preferred, CAS works again end to end.
+	_, ver, _, err := c.GetV("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cas("k", []byte("final"), ver); err != nil {
+		t.Fatalf("CAS via survivor: %v", err)
+	}
+}

@@ -171,18 +171,20 @@ func (tc *TierClient) pick(v *tierView, key string) (first, second int) {
 // failoverWorthy reports whether an error on one candidate should be
 // retried on the other: transport failures (frontend dead or
 // unreachable) and sheds (frontend alive but saturated — exactly the
-// case two-choice exists for). ErrNotFound is a real answer, not a
-// failure.
+// case two-choice exists for). ErrNotFound and a CAS conflict are real
+// answers, not failures.
 func failoverWorthy(err error) bool {
-	return err != nil && !errors.Is(err, ErrNotFound)
+	return err != nil && !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrCasConflict)
 }
 
 // penalizeWorthy reports whether the error is evidence the frontend is
 // GONE rather than busy. A shed (ErrBusy) response is proof of life —
 // its frame carried a load hint that already updated the table — so
-// only transport-level failures penalize.
+// only transport-level failures penalize. A CAS conflict is a healthy
+// frontend answering a question correctly, never a health signal.
 func penalizeWorthy(err error) bool {
-	return err != nil && !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrBusy)
+	return err != nil && !errors.Is(err, ErrNotFound) &&
+		!errors.Is(err, ErrBusy) && !errors.Is(err, ErrCasConflict)
 }
 
 // do runs one request against frontend id, tracking it in the load
@@ -243,23 +245,108 @@ func (tc *TierClient) Del(key string) error {
 }
 
 func (tc *TierClient) writeThrough(key string, fn func(*Client) error) error {
+	_, err := tc.writeThroughV(key, func(c *Client) (uint64, error) { return 0, fn(c) })
+	return err
+}
+
+// writeThroughV is writeThrough with the write's logical version
+// threaded back to the caller.
+func (tc *TierClient) writeThroughV(key string, fn func(*Client) (uint64, error)) (uint64, error) {
 	v := tc.view.Load()
 	first, second := tc.pick(v, key)
 	wrote := first
-	err := tc.do(v, first, fn)
+	var ver uint64
+	err := tc.do(v, first, func(c *Client) error {
+		var err error
+		ver, err = fn(c)
+		return err
+	})
 	if failoverWorthy(err) && second != first {
 		wrote = second
-		err = tc.do(v, second, fn)
+		err = tc.do(v, second, func(c *Client) error {
+			var err error
+			ver, err = fn(c)
+			return err
+		})
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if other := first + second - wrote; other != wrote {
 		if c := v.clients[other]; c != nil {
 			c.Invalidate(key) // best-effort; see Set
 		}
 	}
-	return nil
+	return ver, nil
+}
+
+// GetV fetches key with its logical version via the less-loaded
+// candidate, the versioned read CAS callers chain their expectation
+// from. A tombstone reports (nil, tombVer, true, ErrNotFound) exactly
+// as Frontend.GetV does.
+func (tc *TierClient) GetV(key string) (value []byte, ver uint64, tomb bool, err error) {
+	err = tc.twoChoice(key, func(c *Client) error {
+		var e error
+		value, ver, tomb, e = c.GetV(key)
+		return e
+	})
+	return value, ver, tomb, err
+}
+
+// SetV is Set returning the version the write committed at.
+func (tc *TierClient) SetV(key string, value []byte) (uint64, error) {
+	return tc.writeThroughV(key, func(c *Client) (uint64, error) { return c.SetV(key, value) })
+}
+
+// DelV is Del returning the tombstone's version.
+func (tc *TierClient) DelV(key string) (uint64, error) {
+	return tc.writeThroughV(key, func(c *Client) (uint64, error) { return c.DelV(key) })
+}
+
+// Cas performs a replicated compare-and-swap through one candidate
+// frontend, invalidating the other candidate on any definite outcome.
+//
+// The failover rule is deliberately narrower than writeThrough's: a
+// shed (ErrBusy) is proof the frontend never processed the swap, so the
+// other candidate may safely retry it. Any other failure is AMBIGUOUS —
+// the first frontend may have committed the swap before the connection
+// died, and replaying it through the second would stamp a second
+// version and could apply twice (each application a distinct
+// linearization point, which is exactly what CAS must never do). Those
+// errors surface to the caller, who owns the read-validate-retry loop.
+func (tc *TierClient) Cas(key string, value []byte, expect uint64) (uint64, error) {
+	v := tc.view.Load()
+	first, second := tc.pick(v, key)
+	wrote := first
+	var ver uint64
+	err := tc.do(v, first, func(c *Client) error {
+		var e error
+		ver, e = c.Cas(key, value, expect)
+		return e
+	})
+	if err != nil && errors.Is(err, ErrBusy) && second != first {
+		wrote = second
+		err = tc.do(v, second, func(c *Client) error {
+			var e error
+			ver, e = c.Cas(key, value, expect)
+			return e
+		})
+	}
+	if err != nil && !errors.Is(err, ErrCasConflict) {
+		return 0, err
+	}
+	// Success and conflict both carry authoritative news about the key's
+	// current state; the other candidate's cached copy is stale either
+	// way (on conflict it is what misled this caller's expectation).
+	if other := first + second - wrote; other != wrote {
+		if c := v.clients[other]; c != nil {
+			c.Invalidate(key) // best-effort; see Set
+		}
+	}
+	if err != nil {
+		return ver, err // the conflict, with Cur threaded through Client.Cas
+	}
+	return ver, nil
 }
 
 // MGet fetches many keys, grouping them by picked frontend so each

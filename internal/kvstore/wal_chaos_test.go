@@ -96,9 +96,9 @@ func TestChaosWarmRestart(t *testing.T) {
 	f, _, err := StartFrontend(FrontendConfig{
 		BackendAddrs: []string{addr0, addr1},
 		Replication:  2, PartitionSeed: 31,
-		WriteQuorum: 2,
-		Client:      ClientConfig{MaxRetries: -1},
-		Health:      HealthConfig{FailureThreshold: 3, ProbeInterval: 20 * time.Millisecond},
+		WriteQuorum:    2,
+		Client:         ClientConfig{MaxRetries: -1},
+		Health:         HealthConfig{FailureThreshold: 3, ProbeInterval: 20 * time.Millisecond},
 		RepairInterval: -1, RepairRate: -1,
 	}, "127.0.0.1:0")
 	if err != nil {

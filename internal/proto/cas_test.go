@@ -1,0 +1,98 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestCasRequestRoundTrip(t *testing.T) {
+	cases := []*Request{
+		{Op: OpCas, Key: "k1", Value: []byte("v1"), CasExpect: 0},
+		{Op: OpCas, Key: "k2", Value: []byte("v2"), CasExpect: 41, Ver: 42},
+		{Op: OpCas, Key: "k3", Value: nil, CasExpect: 7, Ver: 8, Epoch: 3},
+	}
+	for _, req := range cases {
+		got := roundTripRequest(t, req)
+		if got.Op != OpCas || got.Key != req.Key || !bytes.Equal(got.Value, req.Value) ||
+			got.CasExpect != req.CasExpect || got.Ver != req.Ver || got.Epoch != req.Epoch {
+			t.Errorf("round trip %+v -> %+v", req, got)
+		}
+	}
+}
+
+func TestCasExpectRejectedOnOtherOps(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteRequest(&buf, &Request{Op: OpSet, Key: "k", Value: []byte("v"), CasExpect: 3})
+	if !errors.Is(err, ErrMalformed) {
+		t.Errorf("CAS expectation on SET: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestCasVersionExtensionAllowed(t *testing.T) {
+	// The 0xE2 version extension is valid on OpCas (the new version) but
+	// still rejected on reads.
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{Op: OpCas, Key: "k", Value: []byte("v"), Ver: 9}); err != nil {
+		t.Fatalf("CAS with version ext: %v", err)
+	}
+	if err := WriteRequest(&buf, &Request{Op: OpGet, Key: "k", Ver: 9}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("GET with version ext: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestCasRequestMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		// op, klen=1, 'k', vlen=0 — then the mandatory 8-byte expectation
+		// is missing entirely or truncated.
+		"missing expectation":   {0, 0, 0, 8, byte(OpCas), 0, 1, 'k', 0, 0, 0, 0},
+		"truncated expectation": {0, 0, 0, 11, byte(OpCas), 0, 1, 'k', 0, 0, 0, 0, 0, 0, 0},
+	}
+	for name, raw := range cases {
+		if _, err := ReadRequest(bytes.NewReader(raw)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: error %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestStatusConflict(t *testing.T) {
+	if StatusConflict.String() != "CONFLICT" {
+		t.Errorf("StatusConflict.String() = %q", StatusConflict.String())
+	}
+	if OpCas.String() != "CAS" {
+		t.Errorf("OpCas.String() = %q", OpCas.String())
+	}
+	resp := &Response{Status: StatusConflict, Payload: EncodeCasConflictPayload(nil, 17, false)}
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, resp); err != nil {
+		t.Fatalf("WriteResponse: %v", err)
+	}
+	got, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatalf("ReadResponse: %v", err)
+	}
+	if got.Status != StatusConflict {
+		t.Fatalf("status %v", got.Status)
+	}
+	if !errors.Is(got.Err(), ErrConflict) {
+		t.Errorf("Err() = %v, want ErrConflict", got.Err())
+	}
+	cur, partial, err := DecodeCasConflictPayload(got.Payload)
+	if err != nil || cur != 17 || partial {
+		t.Errorf("conflict payload = (%d, %v, %v), want (17, false, nil)", cur, partial, err)
+	}
+}
+
+func TestCasConflictPayload(t *testing.T) {
+	p := EncodeCasConflictPayload(nil, 99, true)
+	cur, partial, err := DecodeCasConflictPayload(p)
+	if err != nil || cur != 99 || !partial {
+		t.Fatalf("partial payload = (%d, %v, %v)", cur, partial, err)
+	}
+	if _, _, err := DecodeCasConflictPayload([]byte{1, 2}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short payload: err = %v", err)
+	}
+	if _, _, err := DecodeCasConflictPayload(append(EncodeCasConflictPayload(nil, 1, false), 0x7f)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("unknown disposition: err = %v", err)
+	}
+}

@@ -10,7 +10,8 @@
 //
 //	byte    op (OpGet, OpSet, OpDel, OpStats, OpPing)
 //	uint16  key length, then key bytes (absent for OpStats/OpPing)
-//	uint32  value length, then value bytes (OpSet only)
+//	uint32  value length, then value bytes (OpSet and OpCas)
+//	uint64  expected version (OpCas only)
 //	[ext]   optional epoch extension (see below)
 //
 // Single-key requests (and OpScan) may carry one trailing extension
@@ -27,7 +28,8 @@
 //
 // Response body:
 //
-//	byte    status (StatusOK, StatusNotFound, StatusError, StatusBusy)
+//	byte    status (StatusOK, StatusNotFound, StatusError, StatusBusy,
+//	        StatusConflict)
 //	uint32  payload length, then payload bytes
 //	        (the value for GET, JSON metrics for STATS, the error
 //	        message for StatusError)
@@ -87,6 +89,16 @@ const OpGetV Op = 8
 // answer StatusError (they hold no cache).
 const OpInvalidate Op = 10
 
+// OpCas is a versioned compare-and-swap write. The body carries the key,
+// the new value, and a fixed [uint64 expected version] after the value:
+// the write applies only if the entry's current live version equals the
+// expectation (0 expects an absent or tombstoned key). The new version
+// rides the 0xE2 version extension (0 = the server assigns one). On
+// success the response is StatusOK with payload [uint64 new version]; on
+// a precondition miss it is StatusConflict with payload [uint64 current
+// live version] (plus an optional disposition byte — see StatusConflict).
+const OpCas Op = 11
+
 // OpMembers asks a frontend for its current membership view. Key-less,
 // like OpStats; the StatusOK payload is a JSON document (the kvstore
 // MembershipStatus: view version, node list with states, the member
@@ -119,19 +131,24 @@ func (o Op) String() string {
 		return "MEMBERS"
 	case OpInvalidate:
 		return "INVALIDATE"
+	case OpCas:
+		return "CAS"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
 }
 
 func (o Op) valid() bool {
-	return (o >= OpGet && o <= OpPing) || o == OpMGet || o == OpScan || o == OpGetV || o == OpMembers || o == OpInvalidate
+	return (o >= OpGet && o <= OpPing) || o == OpMGet || o == OpScan || o == OpGetV || o == OpMembers || o == OpInvalidate || o == OpCas
 }
 
 // hasKey reports whether the op carries a key.
 func (o Op) hasKey() bool {
-	return o == OpGet || o == OpSet || o == OpDel || o == OpGetV || o == OpInvalidate
+	return o == OpGet || o == OpSet || o == OpDel || o == OpGetV || o == OpInvalidate || o == OpCas
 }
+
+// hasValue reports whether the op carries a value.
+func (o Op) hasValue() bool { return o == OpSet || o == OpCas }
 
 // Status identifies a response outcome.
 type Status byte
@@ -147,6 +164,13 @@ const (
 	// than treat the node as failed — a shedding node must not trip
 	// circuit breakers.
 	StatusBusy
+	// StatusConflict means an OpCas found a live version different from
+	// the expectation. The payload is [uint64 current live version],
+	// optionally followed by one disposition byte: 0x01 marks a partial
+	// conflict — the new value reached at least one replica but fewer
+	// than the write quorum, so the CAS may still surface through
+	// anti-entropy and the caller must treat its fate as ambiguous.
+	StatusConflict
 )
 
 // String names the status.
@@ -160,12 +184,14 @@ func (s Status) String() string {
 		return "ERROR"
 	case StatusBusy:
 		return "BUSY"
+	case StatusConflict:
+		return "CONFLICT"
 	default:
 		return fmt.Sprintf("Status(%d)", byte(s))
 	}
 }
 
-func (s Status) valid() bool { return s >= StatusOK && s <= StatusBusy }
+func (s Status) valid() bool { return s >= StatusOK && s <= StatusConflict }
 
 // Size limits. Oversized frames are rejected before allocation.
 const (
@@ -186,6 +212,11 @@ var (
 	// request under overload control. Retrying the same node immediately
 	// only feeds the overload; fail over or back off instead.
 	ErrBusy = errors.New("proto: server busy, request shed")
+	// ErrConflict is returned for StatusConflict responses: a
+	// compare-and-swap found a live version different from the one the
+	// caller expected. Re-read the entry and retry with the fresh
+	// version; the request was answered, not lost.
+	ErrConflict = errors.New("proto: compare-and-swap conflict")
 )
 
 // Epoch extension encoding: tag byte, uint32 epoch, flag byte.
@@ -244,8 +275,14 @@ type Request struct {
 	// store applies the write only over a strictly older stored version;
 	// on OpDel it turns the delete into a tombstone write at this
 	// version, so replicas that missed the delete can be reconciled
-	// without resurrecting the key.
+	// without resurrecting the key. On OpCas it is the version the new
+	// value will be stored at (0 = the server assigns one).
 	Ver uint64
+
+	// CasExpect is the OpCas precondition: the entry's current live
+	// version must equal it for the swap to apply. 0 expects an absent
+	// or tombstoned key, so CAS-create is expressible.
+	CasExpect uint64
 
 	// ScanCursor resumes an OpScan after the entry with this key ID
 	// (0 starts from the beginning).
@@ -284,12 +321,14 @@ type Response struct {
 	LoadHinted bool
 }
 
-// Err returns the response's error: ErrBusy for StatusBusy, the remote
-// message for StatusError, nil otherwise.
+// Err returns the response's error: ErrBusy for StatusBusy, ErrConflict
+// for StatusConflict, the remote message for StatusError, nil otherwise.
 func (r *Response) Err() error {
 	switch r.Status {
 	case StatusBusy:
 		return ErrBusy
+	case StatusConflict:
+		return ErrConflict
 	case StatusError:
 		return fmt.Errorf("proto: remote error: %s", r.Payload)
 	default:
@@ -321,15 +360,21 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	if (req.ScanTombs || req.ScanDigest) && req.Op != OpScan {
 		return dst, fmt.Errorf("%w: scan flags on %s", ErrMalformed, req.Op)
 	}
-	if req.hasVerExt() && req.Op != OpSet && req.Op != OpDel {
+	if req.hasVerExt() && req.Op != OpSet && req.Op != OpDel && req.Op != OpCas {
 		return dst, fmt.Errorf("%w: version extension on %s", ErrMalformed, req.Op)
+	}
+	if req.CasExpect != 0 && req.Op != OpCas {
+		return dst, fmt.Errorf("%w: CAS expectation on %s", ErrMalformed, req.Op)
 	}
 	body := 1
 	if req.Op.hasKey() {
 		body += 2 + len(req.Key)
 	}
-	if req.Op == OpSet {
+	if req.Op.hasValue() {
 		body += 4 + len(req.Value)
+	}
+	if req.Op == OpCas {
+		body += 8
 	}
 	if req.Op == OpScan {
 		body += 8 + 2
@@ -346,9 +391,12 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(req.Key)))
 		dst = append(dst, req.Key...)
 	}
-	if req.Op == OpSet {
+	if req.Op.hasValue() {
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(req.Value)))
 		dst = append(dst, req.Value...)
+	}
+	if req.Op == OpCas {
+		dst = binary.BigEndian.AppendUint64(dst, req.CasExpect)
 	}
 	if req.Op == OpScan {
 		dst = binary.BigEndian.AppendUint64(dst, req.ScanCursor)
@@ -427,7 +475,7 @@ func ReadRequest(r io.Reader) (*Request, error) {
 		req.Key = string(body[:klen])
 		body = body[klen:]
 	}
-	if req.Op == OpSet {
+	if req.Op.hasValue() {
 		if len(body) < 4 {
 			return nil, fmt.Errorf("%w: truncated value length", ErrMalformed)
 		}
@@ -438,6 +486,13 @@ func ReadRequest(r io.Reader) (*Request, error) {
 		}
 		req.Value = append([]byte(nil), body[:vlen]...)
 		body = body[vlen:]
+	}
+	if req.Op == OpCas {
+		if len(body) < 8 {
+			return nil, fmt.Errorf("%w: truncated CAS expectation", ErrMalformed)
+		}
+		req.CasExpect = binary.BigEndian.Uint64(body)
+		body = body[8:]
 	}
 	if req.Op == OpScan {
 		if len(body) < 10 {
@@ -474,7 +529,7 @@ func ReadRequest(r io.Reader) (*Request, error) {
 			if sawVer || len(body) < extVerLen {
 				return nil, fmt.Errorf("%w: bad version extension (%d bytes)", ErrMalformed, len(body))
 			}
-			if req.Op != OpSet && req.Op != OpDel {
+			if req.Op != OpSet && req.Op != OpDel && req.Op != OpCas {
 				return nil, fmt.Errorf("%w: version extension on %s", ErrMalformed, req.Op)
 			}
 			sawVer = true
@@ -509,6 +564,38 @@ func DecodeGetVPayload(payload []byte) (ver uint64, value []byte, err error) {
 		value = append([]byte(nil), payload[8:]...)
 	}
 	return ver, value, nil
+}
+
+// casPartialFlag marks a StatusConflict whose losing write still reached
+// at least one replica (see StatusConflict).
+const casPartialFlag = 0x01
+
+// EncodeCasConflictPayload packs a StatusConflict payload: the current
+// live version, plus a disposition byte when the losing write partially
+// applied.
+func EncodeCasConflictPayload(dst []byte, cur uint64, partial bool) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, cur)
+	if partial {
+		dst = append(dst, casPartialFlag)
+	}
+	return dst
+}
+
+// DecodeCasConflictPayload unpacks a StatusConflict payload.
+func DecodeCasConflictPayload(payload []byte) (cur uint64, partial bool, err error) {
+	if len(payload) < 8 {
+		return 0, false, fmt.Errorf("%w: CAS conflict payload %d bytes", ErrMalformed, len(payload))
+	}
+	cur = binary.BigEndian.Uint64(payload)
+	rest := payload[8:]
+	switch {
+	case len(rest) == 0:
+	case len(rest) == 1 && rest[0] == casPartialFlag:
+		partial = true
+	default:
+		return 0, false, fmt.Errorf("%w: CAS conflict disposition %x", ErrMalformed, rest)
+	}
+	return cur, partial, nil
 }
 
 // AppendResponse encodes resp into dst and returns the grown slice.

@@ -23,8 +23,8 @@ func FuzzReplaySegment(f *testing.F) {
 	two := appendRecord(nil, "a", []byte("1"), 1, 1, false)
 	two = appendRecord(two, "b", nil, 1, 2, true)
 	f.Add(two)
-	f.Add(two[:len(two)-3])             // torn tail
-	f.Add(append(two, 0, 0, 0, 0, 0))   // zero-fill tail
+	f.Add(two[:len(two)-3])           // torn tail
+	f.Add(append(two, 0, 0, 0, 0, 0)) // zero-fill tail
 	corrupt := append([]byte(nil), two...)
 	corrupt[recHdrLen] ^= 0xff
 	f.Add(corrupt) // CRC-bad first record, valid chain after

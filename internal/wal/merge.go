@@ -280,4 +280,3 @@ func segBySeqIn(segs []*segment, seq uint64) *segment {
 	}
 	return nil
 }
-

@@ -168,9 +168,9 @@ type Log struct {
 	merging  bool
 	closed   bool
 
-	appends, appendErrs, replayed, torn    atomic.Uint64
-	hintLoads, hintFalls, rotations        atomic.Uint64
-	merges, mergeDropped                   atomic.Uint64
+	appends, appendErrs, replayed, torn atomic.Uint64
+	hintLoads, hintFalls, rotations     atomic.Uint64
+	merges, mergeDropped                atomic.Uint64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
