@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet lint race chaos wal membership disttier consistency bench fuzz
+.PHONY: all build test verify vet lint race chaos wal membership disttier consistency bench benchsmoke fuzz
 
 all: verify
 
@@ -30,9 +30,11 @@ lint: vet
 	fi
 
 # Race-detect the networked kvstore package: failover, retries, breaker
-# transitions, and the probe loop all run real goroutines over loopback.
+# transitions, the probe loop, and the pipelined transport's reader/
+# writer/watchdog goroutines all run real goroutines over loopback. The
+# proto package rides along for its pooled frame and struct lifecycles.
 race:
-	$(GO) vet ./... && $(GO) test -race ./internal/kvstore/...
+	$(GO) vet ./... && $(GO) test -race ./internal/kvstore/... ./internal/proto/...
 
 # Chaos suite: the cluster driven through faultnet fault schedules
 # (floods, latency, truncation, flapping partitions) under -race, plus
@@ -92,6 +94,15 @@ BENCHTIME ?= 1x
 
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem ./...
+
+# Pipeline regression smoke: boot a live cluster, measure lockstep vs
+# the deepest pipeline window at GOMAXPROCS=4, and fail on a >20% drop
+# of the speedup ratio below the recorded baseline. Ratios, not
+# absolute ops/s, so the gate is portable across runner hardware.
+CHECK_OPS ?= 30000
+
+benchsmoke:
+	$(GO) run ./cmd/sechotpath -check BENCH_hotpath.json -sweep-ops $(CHECK_OPS) -m 1000
 
 # Fuzz smoke: a short budget per wire-format fuzz target. `go test -fuzz`
 # accepts exactly one matching target per invocation, so each target gets

@@ -1,30 +1,44 @@
 package cache
 
-import "container/list"
-
 // LFU is an O(1) least-frequently-used cache (Shah, Mitra & Matani's
 // frequency-list construction): entries live in buckets of equal access
 // count; eviction takes the least recently used entry of the lowest
 // bucket. LFU approximates the perfect cache well under static
 // popularity — which is exactly the adversarial setting — because the
 // plateau keys accumulate the highest counts and stick.
+//
+// Both lists (buckets by count, entries within a bucket) are intrusive:
+// a Get on a cached key moves pointers but allocates nothing. This is a
+// hot-path property, not a nicety — the frontend touches this structure
+// once per cached GET, and with the pipelined transport pushing
+// hundreds of thousands of GETs per second, per-touch garbage was the
+// single largest allocation source in the whole serving path.
 type LFU struct {
 	capacity int
-	freqs    *list.List // of *lfuBucket, ascending count
-	items    map[uint64]*lfuItem
-	stats    Stats
+	// Frequency buckets in ascending count order; head is the eviction
+	// end. spare holds the most recently emptied bucket so the steady
+	// state (keys marching up the count ladder together) recycles one
+	// bucket instead of allocating one per promotion.
+	head, tail *lfuBucket
+	spare      *lfuBucket
+	items      map[uint64]*lfuItem
+	stats      Stats
 }
 
 type lfuBucket struct {
-	count   uint64
-	entries *list.List // of *lfuItem, front = most recent
+	count      uint64
+	prev, next *lfuBucket
+	// Entries with this count; front = most recently touched, back =
+	// the LRU tie-break victim.
+	front, back *lfuItem
+	n           int
 }
 
 type lfuItem struct {
-	key    uint64
-	value  []byte
-	bucket *list.Element // the *lfuBucket this item is in
-	pos    *list.Element // position within bucket.entries
+	key        uint64
+	value      []byte
+	bucket     *lfuBucket
+	prev, next *lfuItem
 }
 
 var _ Cache = (*LFU)(nil)
@@ -34,9 +48,83 @@ func NewLFU(capacity int) *LFU {
 	validateCapacity(capacity)
 	return &LFU{
 		capacity: capacity,
-		freqs:    list.New(),
 		items:    make(map[uint64]*lfuItem, capacity),
 	}
+}
+
+// pushFront links it as b's most recent entry.
+func (b *lfuBucket) pushFront(it *lfuItem) {
+	it.bucket = b
+	it.prev = nil
+	it.next = b.front
+	if b.front != nil {
+		b.front.prev = it
+	} else {
+		b.back = it
+	}
+	b.front = it
+	b.n++
+}
+
+// removeItem unlinks it from b.
+func (b *lfuBucket) removeItem(it *lfuItem) {
+	if it.prev != nil {
+		it.prev.next = it.next
+	} else {
+		b.front = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	} else {
+		b.back = it.prev
+	}
+	it.prev, it.next = nil, nil
+	b.n--
+}
+
+// newBucket returns an empty bucket with the given count, recycling the
+// spare if one is parked.
+func (c *LFU) newBucket(count uint64) *lfuBucket {
+	if b := c.spare; b != nil {
+		c.spare = nil
+		b.count = count
+		return b
+	}
+	return &lfuBucket{count: count}
+}
+
+// insertAfter links b into the frequency list after prev (prev == nil
+// means at the head).
+func (c *LFU) insertAfter(b, prev *lfuBucket) {
+	b.prev = prev
+	if prev != nil {
+		b.next = prev.next
+		prev.next = b
+	} else {
+		b.next = c.head
+		c.head = b
+	}
+	if b.next != nil {
+		b.next.prev = b
+	} else {
+		c.tail = b
+	}
+}
+
+// removeBucket unlinks an emptied b and parks it as the spare.
+func (c *LFU) removeBucket(b *lfuBucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		c.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		c.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+	c.spare = b
 }
 
 // Get returns the cached value, incrementing the key's frequency.
@@ -51,23 +139,33 @@ func (c *LFU) Get(key uint64) ([]byte, bool) {
 	return it.value, true
 }
 
-// touch moves it to the next-higher frequency bucket.
+// touch moves it to the next-higher frequency bucket. Allocation-free:
+// a sole occupant whose bucket has no count+1 neighbor is promoted by
+// bumping the bucket's count in place, and a bucket emptied by the move
+// is recycled through the spare slot.
 func (c *LFU) touch(it *lfuItem) {
-	cur := it.bucket.Value.(*lfuBucket)
+	cur := it.bucket
+	next := cur.next
 	nextCount := cur.count + 1
-	next := it.bucket.Next()
-	var dst *list.Element
-	if next != nil && next.Value.(*lfuBucket).count == nextCount {
+	if cur.n == 1 && (next == nil || next.count != nextCount) {
+		cur.count = nextCount
+		return
+	}
+	var dst *lfuBucket
+	if next != nil && next.count == nextCount {
+		cur.removeItem(it)
+		if cur.n == 0 {
+			c.removeBucket(cur)
+		}
 		dst = next
 	} else {
-		dst = c.freqs.InsertAfter(&lfuBucket{count: nextCount, entries: list.New()}, it.bucket)
+		// cur keeps other entries (the sole-occupant case returned
+		// above), so the promotion needs a fresh bucket after cur.
+		cur.removeItem(it)
+		dst = c.newBucket(nextCount)
+		c.insertAfter(dst, cur)
 	}
-	cur.entries.Remove(it.pos)
-	if cur.entries.Len() == 0 {
-		c.freqs.Remove(it.bucket)
-	}
-	it.bucket = dst
-	it.pos = dst.Value.(*lfuBucket).entries.PushFront(it)
+	dst.pushFront(it)
 }
 
 // Put inserts or updates key with frequency 1 (new) or bumped (existing),
@@ -86,37 +184,33 @@ func (c *LFU) Put(key uint64, value []byte) bool {
 		c.evict()
 	}
 	// New entries enter a count-1 bucket at the front of the list.
-	front := c.freqs.Front()
-	var dst *list.Element
-	if front != nil && front.Value.(*lfuBucket).count == 1 {
-		dst = front
-	} else {
-		dst = c.freqs.PushFront(&lfuBucket{count: 1, entries: list.New()})
+	dst := c.head
+	if dst == nil || dst.count != 1 {
+		dst = c.newBucket(1)
+		c.insertAfter(dst, nil)
 	}
-	it := &lfuItem{key: key, value: value, bucket: dst}
-	it.pos = dst.Value.(*lfuBucket).entries.PushFront(it)
+	it := &lfuItem{key: key, value: value}
+	dst.pushFront(it)
 	c.items[key] = it
 	return true
 }
 
 // evict removes the LRU entry of the lowest-frequency bucket.
 func (c *LFU) evict() {
-	front := c.freqs.Front()
+	front := c.head
 	if front == nil {
 		return
 	}
-	bucket := front.Value.(*lfuBucket)
-	victim := bucket.entries.Back()
+	victim := front.back
 	if victim == nil {
-		c.freqs.Remove(front)
+		c.removeBucket(front)
 		return
 	}
-	it := victim.Value.(*lfuItem)
-	bucket.entries.Remove(victim)
-	if bucket.entries.Len() == 0 {
-		c.freqs.Remove(front)
+	front.removeItem(victim)
+	if front.n == 0 {
+		c.removeBucket(front)
 	}
-	delete(c.items, it.key)
+	delete(c.items, victim.key)
 }
 
 // Contains reports presence without updating frequency or statistics.
@@ -131,10 +225,10 @@ func (c *LFU) Remove(key uint64) bool {
 	if !ok {
 		return false
 	}
-	bucket := it.bucket.Value.(*lfuBucket)
-	bucket.entries.Remove(it.pos)
-	if bucket.entries.Len() == 0 {
-		c.freqs.Remove(it.bucket)
+	b := it.bucket
+	b.removeItem(it)
+	if b.n == 0 {
+		c.removeBucket(b)
 	}
 	delete(c.items, key)
 	return true
@@ -147,7 +241,7 @@ func (c *LFU) Count(key uint64) uint64 {
 	if !ok {
 		return 0
 	}
-	return it.bucket.Value.(*lfuBucket).count
+	return it.bucket.count
 }
 
 // Len returns the number of cached keys.

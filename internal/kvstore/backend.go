@@ -180,6 +180,14 @@ func (b *Backend) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		if req.Corr != 0 {
+			// First correlated frame: this peer pipelines. Hand the conn
+			// to the concurrent dispatcher for the rest of its life.
+			runPipelined(conn, r, req,
+				func() time.Duration { return time.Duration(b.idleTimeout.Load()) },
+				b.pipeDispatch, b.pipeFast, fmt.Sprintf("backend %d", b.id))
+			return
+		}
 		// Admission control. Ping/Stats bypass the gate: probes and
 		// monitoring must keep working on a saturated node. The
 		// in-flight slot is held until the response is flushed, so a
@@ -204,6 +212,10 @@ func (b *Backend) serveConn(conn net.Conn) {
 		if holding {
 			b.gate.Release()
 		}
+		// Both structs are done once the frame is on the wire; the
+		// stored key/value slices they referenced live on unaffected.
+		proto.ReleaseRequest(req)
+		proto.ReleaseResponse(resp)
 		if err != nil {
 			return
 		}

@@ -1,0 +1,198 @@
+package kvstore
+
+// Client-side write batching. A Batch queues Set/Del requests and
+// dispatches them asynchronously, handing each caller a BatchPending
+// future instead of blocking per op. Dispatched ops ride the client's
+// normal Do path — on a pipelined client that means they land in the
+// writer's coalescing queue together and leave in one writev, so a
+// burst of B writes costs one syscall, not B.
+//
+// Two flush policies:
+//
+//   - MaxWait == 0 (default): dispatch immediately. The op is in flight
+//     the moment the method returns; coalescing happens adaptively in
+//     the pipelined writer. This is what the frontend's quorum fan-out
+//     uses — a W-replica write enqueues all W frames before waiting on
+//     any of them.
+//   - MaxWait > 0: Nagle-style. Ops accumulate until MaxBytes of
+//     encoded payload are queued or MaxWait has passed since the first,
+//     then the whole batch dispatches at once. Trades up to MaxWait of
+//     latency for bigger writev batches — a knob for bulk loaders
+//     (kvload -batch-wait), not for interactive paths.
+
+import (
+	"sync"
+	"time"
+
+	"securecache/internal/proto"
+)
+
+// DefaultBatchMaxBytes is the flush threshold when BatchOptions.MaxBytes
+// is zero.
+const DefaultBatchMaxBytes = 32 << 10
+
+// BatchOptions tunes a Batch's flush policy.
+type BatchOptions struct {
+	// MaxBytes flushes the queue once this much request payload (keys +
+	// values) is pending. 0 = DefaultBatchMaxBytes. Only meaningful with
+	// MaxWait > 0 — immediate mode has no queue.
+	MaxBytes int
+	// MaxWait bounds how long the first queued op may wait for company:
+	// 0 dispatches every op immediately, > 0 holds the queue open that
+	// long (or until MaxBytes), negative flushes only explicitly.
+	MaxWait time.Duration
+}
+
+// BatchPending is one queued op's future.
+type BatchPending struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the op's response (or transport failure) and
+// returns its outcome.
+func (p *BatchPending) Wait() error {
+	<-p.done
+	return p.err
+}
+
+type batchOp struct {
+	req     *proto.Request
+	pending *BatchPending
+}
+
+// Batch is a write-coalescing buffer over one Client. Safe for
+// concurrent use; per-op outcomes come from the returned futures,
+// Flush/Err report the first error any op hit.
+type Batch struct {
+	c    *Client
+	opts BatchOptions
+
+	mu     sync.Mutex
+	queued []batchOp
+	bytes  int
+	timer  *time.Timer
+
+	wg sync.WaitGroup
+
+	errMu sync.Mutex
+	err   error
+}
+
+// Batch returns a new write batcher over c (see BatchOptions for the
+// flush policy).
+func (c *Client) Batch(opts BatchOptions) *Batch {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultBatchMaxBytes
+	}
+	return &Batch{c: c, opts: opts}
+}
+
+// Set queues an unversioned write.
+func (b *Batch) Set(key string, value []byte) *BatchPending {
+	return b.add(&proto.Request{Op: proto.OpSet, Key: key, Value: value})
+}
+
+// SetVersioned queues a versioned (idempotent, highest-version-wins)
+// write — the quorum fan-out's op.
+func (b *Batch) SetVersioned(key string, value []byte, epoch uint32, ver uint64) *BatchPending {
+	return b.add(&proto.Request{Op: proto.OpSet, Key: key, Value: value, Epoch: epoch, Ver: ver})
+}
+
+// Del queues an unversioned delete (missing key is not an error).
+func (b *Batch) Del(key string) *BatchPending {
+	return b.add(&proto.Request{Op: proto.OpDel, Key: key})
+}
+
+// DelVersioned queues a versioned tombstone write.
+func (b *Batch) DelVersioned(key string, epoch uint32, ver uint64) *BatchPending {
+	return b.add(&proto.Request{Op: proto.OpDel, Key: key, Epoch: epoch, Ver: ver})
+}
+
+func (b *Batch) add(req *proto.Request) *BatchPending {
+	op := batchOp{req: req, pending: &BatchPending{done: make(chan struct{})}}
+	if b.opts.MaxWait == 0 {
+		b.wg.Add(1)
+		go b.run(op)
+		return op.pending
+	}
+	b.mu.Lock()
+	b.queued = append(b.queued, op)
+	b.bytes += len(req.Key) + len(req.Value) + 32
+	var due []batchOp
+	if b.bytes >= b.opts.MaxBytes {
+		due = b.takeLocked()
+	} else if len(b.queued) == 1 && b.opts.MaxWait > 0 {
+		b.timer = time.AfterFunc(b.opts.MaxWait, func() { b.Flush() })
+	}
+	b.mu.Unlock()
+	b.dispatch(due)
+	return op.pending
+}
+
+// takeLocked detaches the queue (caller holds b.mu).
+func (b *Batch) takeLocked() []batchOp {
+	due := b.queued
+	b.queued = nil
+	b.bytes = 0
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return due
+}
+
+func (b *Batch) dispatch(due []batchOp) {
+	for _, op := range due {
+		b.wg.Add(1)
+		go b.run(op)
+	}
+}
+
+// run executes one op through the client and settles its future. Del of
+// a missing key is success, matching Client.Del.
+func (b *Batch) run(op batchOp) {
+	defer b.wg.Done()
+	resp, err := b.c.Do(op.req)
+	if err == nil {
+		if op.req.Op == proto.OpDel && resp.Status == proto.StatusNotFound {
+			// settled below with err == nil
+		} else {
+			err = resp.Err()
+		}
+	}
+	if err != nil {
+		b.errMu.Lock()
+		if b.err == nil {
+			b.err = err
+		}
+		b.errMu.Unlock()
+	}
+	op.pending.err = err
+	close(op.pending.done)
+}
+
+// Flush dispatches everything queued, waits for every op ever queued on
+// this batch to settle, and returns the first error seen (nil if all
+// succeeded so far).
+func (b *Batch) Flush() error {
+	b.mu.Lock()
+	due := b.takeLocked()
+	b.mu.Unlock()
+	b.dispatch(due)
+	b.wg.Wait()
+	return b.Err()
+}
+
+// Err returns the first error any op on this batch hit (sticky).
+func (b *Batch) Err() error {
+	b.errMu.Lock()
+	defer b.errMu.Unlock()
+	return b.err
+}
+
+// Close flushes and returns the final error state. The batch must not
+// be used afterwards.
+func (b *Batch) Close() error {
+	return b.Flush()
+}

@@ -77,8 +77,20 @@ type ClientConfig struct {
 	// each time a response frame carries one (tier frontends stamp every
 	// frame with their in-flight count). TierClient hooks its per-
 	// frontend load table here; the hint is delivered before Do returns,
-	// so the next pick sees it.
+	// so the next pick sees it. On a pipelined client the hook fires
+	// from the reader goroutine and must be safe for concurrent use.
 	OnLoadHint func(load uint32)
+	// PipelineDepth > 0 switches the client to the pipelined transport
+	// (pipeline.go): all callers share one connection carrying up to
+	// PipelineDepth correlated frames in flight, written in writev
+	// batches and matched out of order. 0 keeps the lockstep
+	// conn-per-exchange transport. Depths above 1024 are clamped.
+	PipelineDepth int
+	// OnWindowWait, when non-nil, is invoked with the time a pipelined
+	// request spent blocked on the full in-flight window before
+	// acquiring a slot. It fires only when the window was full (fast
+	// acquisitions are silent) and may be called concurrently.
+	OnWindowWait func(wait time.Duration)
 }
 
 func defDur(v, def time.Duration) time.Duration {
@@ -111,6 +123,12 @@ func (cfg ClientConfig) withDefaults() ClientConfig {
 	case cfg.MaxIdleConns == 0:
 		cfg.MaxIdleConns = DefaultMaxIdleConns
 	}
+	switch {
+	case cfg.PipelineDepth < 0:
+		cfg.PipelineDepth = 0
+	case cfg.PipelineDepth > maxPipelineDepth:
+		cfg.PipelineDepth = maxPipelineDepth
+	}
 	return cfg
 }
 
@@ -124,6 +142,7 @@ type Client struct {
 
 	mu     sync.Mutex
 	idle   []*clientConn
+	pipe   *pipeConn // live pipelined conn (PipelineDepth > 0 only)
 	closed bool
 }
 
@@ -280,6 +299,9 @@ func isTimeout(err error) bool {
 //     saturated, and the caller (the frontend) should fail over to
 //     another replica instead of burning its latency budget here.
 func (c *Client) Do(req *proto.Request) (*proto.Response, error) {
+	if c.cfg.PipelineDepth > 0 {
+		return c.pipeDo(req)
+	}
 	budget := c.cfg.MaxRetries
 	for attempt := 0; ; attempt++ {
 		resp, terr := c.try(req)
@@ -390,10 +412,16 @@ func (e *CasConflictError) Unwrap() error { return ErrCasConflict }
 // Get fetches key's value. It returns ErrNotFound for missing keys and
 // ErrBusy when the server shed the request.
 func (c *Client) Get(key string) ([]byte, error) {
-	resp, err := c.Do(&proto.Request{Op: proto.OpGet, Key: key})
+	req := proto.AcquireRequest()
+	req.Op, req.Key = proto.OpGet, key
+	resp, err := c.Do(req)
+	proto.ReleaseRequest(req)
 	if err != nil {
 		return nil, err
 	}
+	// The struct is recycled once the payload slice is extracted; the
+	// slice itself is freshly allocated per response and stays valid.
+	defer proto.ReleaseResponse(resp)
 	switch resp.Status {
 	case proto.StatusOK:
 		return resp.Payload, nil
@@ -735,10 +763,19 @@ func StatCounter(stats map[string]interface{}, name string) uint64 {
 func (c *Client) Close() {
 	c.mu.Lock()
 	idle := c.idle
+	pipe := c.pipe
 	c.idle = nil
+	c.pipe = nil
 	c.closed = true
 	c.mu.Unlock()
 	for _, cc := range idle {
 		cc.conn.Close()
+	}
+	if pipe != nil {
+		// Closing the conn fails the reader, which tears down every
+		// in-flight call; waiting for both loops keeps Close a true
+		// barrier (no goroutines survive it).
+		pipe.conn.Close()
+		pipe.wg.Wait()
 	}
 }

@@ -351,7 +351,7 @@ func TestConsistencyAsymmetricPartition(t *testing.T) {
 		BackendAddrs: []string{proxy.Addr(), addrs[1], addrs[2]},
 		Replication:  3, PartitionSeed: 7, WriteQuorum: 2,
 		Client: ClientConfig{DialTimeout: 100 * time.Millisecond, ReadTimeout: 100 * time.Millisecond,
-			WriteTimeout: 100 * time.Millisecond, MaxRetries: -1},
+			WriteTimeout: 100 * time.Millisecond, MaxRetries: -1, PipelineDepth: 8},
 		Health:         HealthConfig{FailureThreshold: 3, ProbeInterval: 20 * time.Millisecond},
 		RepairInterval: -1, RepairRate: -1,
 	}, "127.0.0.1:0")
@@ -449,7 +449,7 @@ func TestConsistencyCrashMidQuorumWrite(t *testing.T) {
 		BackendAddrs: []string{addr0, addr1},
 		Replication:  2, PartitionSeed: 13, WriteQuorum: 2,
 		Client: ClientConfig{DialTimeout: 200 * time.Millisecond, ReadTimeout: 200 * time.Millisecond,
-			WriteTimeout: 200 * time.Millisecond, MaxRetries: -1},
+			WriteTimeout: 200 * time.Millisecond, MaxRetries: -1, PipelineDepth: 8},
 		Health:         HealthConfig{FailureThreshold: 3, ProbeInterval: 20 * time.Millisecond},
 		RepairInterval: -1, RepairRate: -1,
 	}, "127.0.0.1:0")
@@ -537,6 +537,7 @@ func TestConsistencyRotationMidHistory(t *testing.T) {
 	checkGoroutineLeaks(t)
 	lc := startCluster(t, LocalConfig{
 		Nodes: 4, Replication: 2, PartitionSeed: 17, WriteQuorum: 2,
+		Client:         ClientConfig{PipelineDepth: 8},
 		Health:         HealthConfig{FailureThreshold: 3, ProbeInterval: 20 * time.Millisecond},
 		RepairInterval: -1, RepairRate: -1,
 	})
@@ -610,6 +611,7 @@ func TestConsistencyJoinDrainMidHistory(t *testing.T) {
 	checkGoroutineLeaks(t)
 	lc := startCluster(t, LocalConfig{
 		Nodes: 3, Replication: 2, PartitionSeed: 29, WriteQuorum: 2,
+		Client:         ClientConfig{PipelineDepth: 8},
 		Health:         HealthConfig{FailureThreshold: 3, ProbeInterval: 20 * time.Millisecond},
 		RepairInterval: -1, RepairRate: -1,
 	})
@@ -680,6 +682,116 @@ func TestConsistencyJoinDrainMidHistory(t *testing.T) {
 	consRequireOK(t, "join-drain-mid-history", "register", false,
 		consistency.CheckLinearizable(casH, consistency.RegisterModel{}, 0), casH)
 	consRequireOK(t, "join-drain-mid-history", "convergence", true,
+		consistency.CheckConvergence(h, consistency.ConvergenceOpts{StrictDeletes: true}), h)
+}
+
+// TestConsistencyPipelinedCasChain: the pinned pipelined-wire scenario.
+// The recorded ops travel a pipelined TCP connection — one shared wire
+// *Client (PipelineDepth 32) against the frontend's address, every CAS
+// chain and mixed worker multiplexed on the same conn — and the
+// frontend's own quorum fan-out uses pipelined backend clients. A
+// faultnet proxy sits on the client→frontend wire and flaps: dropped
+// requests leak window slots until the read deadline tears the conn
+// down, dropped responses are the classic ack-lost ambiguity, and a
+// hard CloseExisting between the two windows fails a full window of
+// in-flight frames at once. The register model over the CAS keys is
+// what proves correlation matching never mis-delivered a response or
+// silently re-applied a swap (the free-retry policy must refuse
+// non-idempotent ops after a mid-flight pipe death); strict convergence
+// holds because W = d and the backends themselves never fault.
+func TestConsistencyPipelinedCasChain(t *testing.T) {
+	checkGoroutineLeaks(t)
+	backends := make([]*Backend, 3)
+	addrs := make([]string, 3)
+	for i := range backends {
+		b, addr, err := StartBackend(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		backends[i], addrs[i] = b, addr
+	}
+	f, faddr, err := StartFrontend(FrontendConfig{
+		BackendAddrs: addrs,
+		Replication:  2, PartitionSeed: 41, WriteQuorum: 2,
+		Client: ClientConfig{DialTimeout: 100 * time.Millisecond, ReadTimeout: 100 * time.Millisecond,
+			WriteTimeout: 100 * time.Millisecond, MaxRetries: -1, PipelineDepth: 8},
+		Health:         HealthConfig{FailureThreshold: 3, ProbeInterval: 20 * time.Millisecond},
+		RepairInterval: -1, RepairRate: -1,
+	}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	proxy, err := faultnet.Start(faddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	wc := NewClientWithConfig(proxy.Addr(), ClientConfig{
+		PipelineDepth: 32, MaxRetries: -1,
+		DialTimeout: 500 * time.Millisecond, ReadTimeout: 500 * time.Millisecond,
+		WriteTimeout: 500 * time.Millisecond,
+	})
+	defer wc.Close()
+
+	rec := consistency.NewRecorder()
+	rk := consistency.NewRecordedKV(wc, rec, kvConsErrs())
+	kvKeys := consKeys("pipekv", 6)
+	casKeys := consKeys("pipecas", 4)
+
+	var schedDone atomic.Bool
+	var schedWG sync.WaitGroup
+	schedWG.Add(1)
+	go func() {
+		defer schedWG.Done()
+		proxy.RunSchedule(faultnet.PartitionWindows(
+			faultnet.Faults{DropToServer: true}, 100*time.Millisecond, 100*time.Millisecond, 3))
+		proxy.CloseExisting() // hard pipe death: fail-all-pending under load
+		proxy.RunSchedule(faultnet.PartitionWindows(
+			faultnet.Faults{DropToClient: true}, 100*time.Millisecond, 100*time.Millisecond, 3))
+		schedDone.Store(true)
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		worker := rk.WithProc()
+		go func(salt uint64) {
+			defer wg.Done()
+			rng := consRNG(salt)
+			for i := 0; !schedDone.Load() || i < 20; i++ {
+				consMixedOps(worker, rng, kvKeys, 1, [3]int{40, 35, 10})
+			}
+		}(0xB1 + uint64(p))
+	}
+	for i, key := range casKeys {
+		wg.Add(1)
+		worker := rk.WithProc()
+		go func(key string, salt uint64) {
+			defer wg.Done()
+			consCasWorker(worker, consRNG(salt), key, 15, schedDone.Load)
+		}(key, 0x91CA5+uint64(i))
+	}
+	wg.Wait()
+	schedWG.Wait()
+	proxy.Clear()
+
+	consDrainHints(t, f)
+	if _, err := f.RunRepairPass(); err != nil {
+		t.Fatalf("repair pass: %v", err)
+	}
+	rec.MarkBarrier()
+	allKeys := append(append([]string(nil), kvKeys...), casKeys...)
+	consFinalReads(rk, allKeys)
+	consObserve(rec, f, consClients(t, addrs), []int{0, 0, 0}, allKeys)
+
+	h := rec.History()
+	casH := consFilterKeys(h, "pipecas-")
+	consRequireOK(t, "pipelined-cas-chain", "register", false,
+		consistency.CheckLinearizable(casH, consistency.RegisterModel{}, 0), casH)
+	consRequireOK(t, "pipelined-cas-chain", "convergence", true,
 		consistency.CheckConvergence(h, consistency.ConvergenceOpts{StrictDeletes: true}), h)
 }
 

@@ -37,6 +37,11 @@ type nodeSet struct {
 	clients  []*Client
 	inflight []*atomic.Int64
 	addrs    []string
+	// batches are per-node write batchers (immediate-dispatch mode):
+	// the quorum fan-out enqueues a write for every replica through
+	// these before waiting on any, so the W frames overlap — and on
+	// pipelined backend clients leave in one writev per node.
+	batches []*Batch
 }
 
 // Selection chooses how the frontend picks a replica for a GET.
@@ -369,10 +374,12 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		clients:  make([]*Client, n),
 		inflight: make([]*atomic.Int64, n),
 		addrs:    append([]string(nil), cfg.BackendAddrs...),
+		batches:  make([]*Batch, n),
 	}
 	for i, addr := range cfg.BackendAddrs {
 		ns.clients[i] = NewClientWithConfig(addr, ccfg)
 		ns.inflight[i] = new(atomic.Int64)
+		ns.batches[i] = ns.clients[i].Batch(BatchOptions{})
 	}
 	f.fleet.Store(ns)
 	rep, err := f.newRepairer(bootIDs)
@@ -705,6 +712,37 @@ func (f *Frontend) noteBackendError(node int, err error) {
 	f.backendErrs.Inc()
 }
 
+// nodeErr is one replica's outcome in a quorum fan-out.
+type nodeErr struct {
+	node int
+	err  error
+}
+
+// fanoutWrite issues one write per replica through the per-node write
+// batchers and collects outcomes in group order. Every frame is
+// enqueued before any response is awaited, so the fan-out completes in
+// one overlapped round trip instead of W sequential ones — and when
+// the backend clients are pipelined the frames share the writer's
+// writev batches, so a W-replica write costs one flush per backend.
+// Writes to distinct replicas commute (each applies highest-version-
+// wins independently), so overlapping them does not change any
+// observable history; the breaker, hint queue, and inflight gauges are
+// all safe under the concurrency.
+func (f *Frontend) fanoutWrite(ns *nodeSet, group []int, enqueue func(*Batch) *BatchPending) []nodeErr {
+	pendings := make([]*BatchPending, len(group))
+	for i, node := range group {
+		ns.inflight[node].Add(1)
+		pendings[i] = enqueue(ns.batches[node])
+	}
+	out := make([]nodeErr, len(group))
+	for i, node := range group {
+		err := pendings[i].Wait()
+		ns.inflight[node].Add(-1)
+		out[i] = nodeErr{node: node, err: err}
+	}
+	return out
+}
+
 // Set writes the key's group with a fresh logical version and succeeds
 // once W (FrontendConfig.WriteQuorum) replicas ack. Replicas that miss
 // the write are queued for hinted handoff; because every replica applies
@@ -747,19 +785,18 @@ func (f *Frontend) SetV(key string, value []byte) (uint64, error) {
 	var failures []string
 	busies := 0
 	ns := f.fleet.Load()
-	for _, node := range cur.Group(id) {
-		ns.inflight[node].Add(1)
-		err := ns.clients[node].SetVersioned(key, value, epoch, ver)
-		ns.inflight[node].Add(-1)
-		if err != nil {
-			f.noteBackendError(node, err)
-			if errors.Is(err, ErrBusy) {
+	for _, r := range f.fanoutWrite(ns, cur.Group(id), func(b *Batch) *BatchPending {
+		return b.SetVersioned(key, value, epoch, ver)
+	}) {
+		if r.err != nil {
+			f.noteBackendError(r.node, r.err)
+			if errors.Is(r.err, ErrBusy) {
 				busies++
 			}
-			failures = append(failures, fmt.Sprintf("node %d: %v", node, err))
-			f.enqueueHint(repair.Hint{Node: node, Key: key, Value: value, Epoch: epoch, Ver: ver})
+			failures = append(failures, fmt.Sprintf("node %d: %v", r.node, r.err))
+			f.enqueueHint(repair.Hint{Node: r.node, Key: key, Value: value, Epoch: epoch, Ver: ver})
 		} else {
-			f.health.onSuccess(node)
+			f.health.onSuccess(r.node)
 			acks++
 		}
 	}
@@ -935,21 +972,18 @@ func (f *Frontend) DelV(key string) (uint64, error) {
 	var failures []string
 	busies := 0
 	ns := f.fleet.Load()
-	for _, node := range group {
-		// Track inflight like Get/Set do: least-inflight selection that
-		// cannot see delete load under-counts busy nodes.
-		ns.inflight[node].Add(1)
-		err := ns.clients[node].DelVersioned(key, epoch, ver)
-		ns.inflight[node].Add(-1)
-		if err != nil {
-			f.noteBackendError(node, err)
-			if errors.Is(err, ErrBusy) {
+	for _, r := range f.fanoutWrite(ns, group, func(b *Batch) *BatchPending {
+		return b.DelVersioned(key, epoch, ver)
+	}) {
+		if r.err != nil {
+			f.noteBackendError(r.node, r.err)
+			if errors.Is(r.err, ErrBusy) {
 				busies++
 			}
-			failures = append(failures, fmt.Sprintf("node %d: %v", node, err))
-			f.enqueueHint(repair.Hint{Node: node, Key: key, Epoch: epoch, Ver: ver, Del: true})
+			failures = append(failures, fmt.Sprintf("node %d: %v", r.node, r.err))
+			f.enqueueHint(repair.Hint{Node: r.node, Key: key, Epoch: epoch, Ver: ver, Del: true})
 		} else {
-			f.health.onSuccess(node)
+			f.health.onSuccess(r.node)
 			acks++
 		}
 	}
@@ -1175,6 +1209,14 @@ func (f *Frontend) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		if req.Corr != 0 {
+			// First correlated frame: this peer pipelines. Hand the conn
+			// to the concurrent dispatcher for the rest of its life.
+			runPipelined(conn, r, req,
+				func() time.Duration { return time.Duration(f.idleTimeout.Load()) },
+				f.pipeDispatch, f.pipeFast, "frontend")
+			return
+		}
 		// Admission control mirrors the backend: Ping/Stats/Members
 		// bypass the gate (control plane must answer while the data
 		// plane sheds — kvload refreshes its address list on exactly
@@ -1217,6 +1259,8 @@ func (f *Frontend) serveConn(conn net.Conn) {
 		if holding {
 			f.gate.Release()
 		}
+		proto.ReleaseRequest(req)
+		proto.ReleaseResponse(resp)
 		if err != nil {
 			return
 		}

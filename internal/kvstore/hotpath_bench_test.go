@@ -116,6 +116,37 @@ func BenchmarkFrontendGetWire(b *testing.B) {
 	}
 }
 
+// BenchmarkFrontendGetWirePipelined is the wire workload again with
+// every parallel worker multiplexed onto ONE shared pipelined client —
+// the deployment shape the pipelined transport is built for. Compare
+// against BenchmarkFrontendGetWire/sharded for the lockstep baseline.
+func BenchmarkFrontendGetWirePipelined(b *testing.B) {
+	const hotKeys = 256
+	for _, depth := range []int{8, 64} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			c, err := cache.NewSharded(cache.KindLFU, hotKeys*2, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lc, keys := benchFrontend(b, c, hotKeys)
+			client := NewClientWithConfig(lc.FrontendAddr, ClientConfig{PipelineDepth: depth})
+			defer client.Close()
+			b.SetParallelism(depth)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := client.Get(keys[i%len(keys)]); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkStore exercises the storage engine alone, concurrently.
 func BenchmarkStore(b *testing.B) {
 	const keys = 4096

@@ -1,0 +1,339 @@
+package kvstore
+
+// Server side of the pipelined transport. A connection starts in the
+// strict lockstep loop (serveConn); the first frame carrying a non-zero
+// correlation ID upgrades it permanently to this path. Legacy clients
+// never send the extension, so they never leave lockstep — the upgrade
+// is invisible to them.
+//
+// Per upgraded connection:
+//
+//	read loop ──▶ reqCh ──▶ worker pool ──▶ flushCh ──▶ flusher
+//
+// Workers execute requests concurrently (this is what lets one conn
+// saturate every core, and lets a frontend overlap its backend fan-out
+// across requests); the flusher writes completions back in whatever
+// order they finish, coalescing queued frames into a single writev.
+// Both channels are bounded, so a peer that stops draining responses
+// eventually blocks the workers and then the read loop — backpressure
+// propagates to the socket instead of buffering unboundedly.
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"securecache/internal/proto"
+)
+
+// pipeWorkersPerConn sizes the per-connection worker pool: enough to
+// cover the cores for CPU-bound backend handlers, with a floor of 4 so
+// a frontend's I/O-bound handlers (each blocks on a backend round
+// trip) still overlap even on small machines.
+func pipeWorkersPerConn() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// runPipelined serves an upgraded connection until it errors or closes.
+// first is the frame that triggered the upgrade. dispatch runs one
+// request — including the server's own admission control and metric
+// accounting — and is called concurrently from the worker pool; scratch
+// is per-worker, and the returned response may alias it (the worker
+// encodes the frame before touching the next request, which is what
+// makes the aliasing safe here, exactly as sequencing does in
+// lockstep). idle returns the current idle-timeout setting.
+//
+// fast (optional) is a non-blocking dispatch for requests the server
+// can answer without I/O — a cache-hit GET, a pure-memory store read —
+// returning nil for anything that needs the full path. It is used only
+// when the scheduler has no real parallelism (GOMAXPROCS or NumCPU is
+// 1): there, handing a request to a worker cannot overlap execution
+// anyway, and the two goroutine switches it costs are pure overhead.
+// With real parallelism available the worker pool wins — one conn can
+// fan its requests across cores — so fast is ignored.
+func runPipelined(conn net.Conn, r *bufio.Reader, first *proto.Request,
+	idle func() time.Duration,
+	dispatch, fast func(*proto.Request, *[]byte) *proto.Response,
+	logPrefix string,
+) {
+	workers := pipeWorkersPerConn()
+	// Queue depth beyond the worker count is what feeds the batched
+	// flusher: with room for a full client window on both channels, a
+	// 64-deep burst drains as one read syscall in, one writev out. The
+	// bound still holds — a peer that stops reading responses fills
+	// flushCh, then reqCh, then the socket.
+	queue := 4 * workers
+	if queue < 64 {
+		queue = 64
+	}
+	reqCh := make(chan *proto.Request, queue)
+	flushCh := make(chan proto.Frame, queue)
+
+	var flusherWG sync.WaitGroup
+	flusherWG.Add(1)
+	go func() {
+		defer flusherWG.Done()
+		pipeFlush(conn, flushCh)
+	}()
+
+	var workerWG sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			scratch := make([]byte, 0, 512)
+			for req := range reqCh {
+				resp := dispatch(req, &scratch)
+				resp.Corr = req.Corr
+				frame, err := proto.NewResponseFrame(resp)
+				if err != nil {
+					// Oversized or otherwise unencodable payload: send a
+					// sanitized error in its place so the correlation ID
+					// is answered and the client's window slot frees.
+					log.Printf("kvstore: %s: encoding response: %v", logPrefix, err)
+					frame, err = proto.NewResponseFrame(&proto.Response{
+						Status:  proto.StatusError,
+						Payload: []byte("response encoding failed: internal error"),
+						Corr:    req.Corr,
+					})
+				}
+				// The frame owns an encoded copy; both structs are done.
+				proto.ReleaseRequest(req)
+				proto.ReleaseResponse(resp)
+				if err != nil {
+					continue
+				}
+				flushCh <- frame
+			}
+		}()
+	}
+
+	par := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < par {
+		par = n
+	}
+	if par > 1 {
+		fast = nil
+	}
+	var scratch []byte
+	if fast != nil {
+		scratch = make([]byte, 0, 512)
+	}
+
+	reqCh <- first
+	for {
+		if d := idle(); d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
+		req, err := proto.ReadRequest(r)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !isTimeout(err) {
+				log.Printf("kvstore: %s: read: %v", logPrefix, err)
+			}
+			break
+		}
+		if req.Corr == 0 {
+			// A pipelined peer never reverts to lockstep mid-stream; an
+			// uncorrelated frame here means the stream is corrupt.
+			log.Printf("kvstore: %s: uncorrelated frame on pipelined conn", logPrefix)
+			break
+		}
+		if fast != nil {
+			if resp := fast(req, &scratch); resp != nil {
+				resp.Corr = req.Corr
+				frame, err := proto.NewResponseFrame(resp)
+				if err != nil {
+					// Same substitution as the worker path: answer the
+					// correlation ID with a sanitized error.
+					log.Printf("kvstore: %s: encoding response: %v", logPrefix, err)
+					frame, err = proto.NewResponseFrame(&proto.Response{
+						Status:  proto.StatusError,
+						Payload: []byte("response encoding failed: internal error"),
+						Corr:    req.Corr,
+					})
+				}
+				proto.ReleaseRequest(req)
+				proto.ReleaseResponse(resp)
+				if err == nil {
+					flushCh <- frame
+				}
+				continue
+			}
+		}
+		reqCh <- req
+	}
+	// Orderly drain: no new requests, let workers finish what they
+	// took, then let the flusher write (or discard, if the conn died)
+	// what they produced.
+	close(reqCh)
+	workerWG.Wait()
+	close(flushCh)
+	flusherWG.Wait()
+}
+
+// pipeFlush writes completed frames in completion order, coalescing
+// everything queued at each wakeup into one net.Buffers writev. After a
+// write error it keeps draining (releasing frames) so workers never
+// block on a dead connection's flush channel.
+func pipeFlush(conn net.Conn, flushCh <-chan proto.Frame) {
+	bufs := make([][]byte, 0, 64)
+	frames := make([]proto.Frame, 0, 64)
+	dead := false
+	for first := range flushCh {
+		if dead {
+			first.Release()
+			continue
+		}
+		bufs, frames = bufs[:0], frames[:0]
+		bufs = append(bufs, first.Bytes())
+		frames = append(frames, first)
+		// Let the workers drain into flushCh before the syscall: on a
+		// single P they cannot run while the writev below is in flight,
+		// so without this yield every batch ships one frame (see the
+		// matching yield in the client's writeLoop).
+		runtime.Gosched()
+	coalesce:
+		for len(frames) < cap(frames) {
+			select {
+			case f, ok := <-flushCh:
+				if !ok {
+					break coalesce
+				}
+				bufs = append(bufs, f.Bytes())
+				frames = append(frames, f)
+			default:
+				break coalesce
+			}
+		}
+		nb := net.Buffers(bufs)
+		_, err := nb.WriteTo(conn)
+		for _, f := range frames {
+			f.Release()
+		}
+		if err != nil {
+			conn.Close() // fails the read loop, which owns shutdown
+			dead = true
+		}
+	}
+}
+
+// pipeFast answers pure-memory reads inline on the read goroutine (see
+// runPipelined's fast parameter). Gate accounting is identical to
+// pipeDispatch — a shed here is the same StatusBusy the full path
+// would produce, just cheaper.
+func (b *Backend) pipeFast(req *proto.Request, scratch *[]byte) *proto.Response {
+	if req.Op != proto.OpGet && req.Op != proto.OpGetV {
+		return nil
+	}
+	if !b.gate.Admit() {
+		b.shedTotal.Inc()
+		return &proto.Response{Status: proto.StatusBusy}
+	}
+	resp := b.handle(req, scratch)
+	b.gate.Release()
+	return resp
+}
+
+// pipeDispatch is the backend's per-request path on an upgraded conn:
+// the same admission and handler logic as the lockstep loop. The gate
+// slot is released when the handler returns rather than after the
+// flush — with concurrent dispatch the bounded flush channel is what
+// bounds a slow-draining peer, so holding the slot across the flush
+// would only couple admission to an unrelated conn's write stall.
+func (b *Backend) pipeDispatch(req *proto.Request, scratch *[]byte) *proto.Response {
+	switch {
+	case req.Op == proto.OpPing || req.Op == proto.OpStats:
+		return b.handle(req, scratch)
+	case b.gate.Admit():
+		resp := b.handle(req, scratch)
+		b.gate.Release()
+		return resp
+	default:
+		b.shedTotal.Inc()
+		return &proto.Response{Status: proto.StatusBusy}
+	}
+}
+
+// pipeFast answers cache-hit GETs inline on the read goroutine (see
+// runPipelined's fast parameter); a miss, or any other op, falls
+// through to the worker path untouched — including its metric
+// accounting, which only ever counts a request once.
+func (f *Frontend) pipeFast(req *proto.Request, _ *[]byte) *proto.Response {
+	if req.Op != proto.OpGet {
+		return nil
+	}
+	ts := f.tier
+	var resp *proto.Response
+	if f.gate.Admit() {
+		if ts != nil {
+			ts.inflight.Add(1)
+		}
+		v, _, ok := f.cacheGet(req.Key)
+		if ok {
+			f.requestsTotal.Inc()
+			f.cacheHits.Inc()
+			resp = &proto.Response{Status: proto.StatusOK, Payload: v}
+		}
+		if ts != nil {
+			ts.inflight.Add(-1)
+		}
+		f.gate.Release()
+		if resp == nil {
+			return nil // cache miss: the full path re-admits and counts
+		}
+	} else {
+		f.shedTotal.Inc()
+		resp = &proto.Response{Status: proto.StatusBusy}
+	}
+	if ts != nil {
+		if n := ts.inflight.Load(); n > 0 {
+			resp.Load = uint32(n)
+		}
+		resp.LoadHinted = true
+	}
+	return resp
+}
+
+// pipeDispatch is the frontend's per-request path on an upgraded conn;
+// see the backend variant for the gate-release rationale. Tier load
+// hints are stamped exactly as in lockstep — every response carries
+// the instantaneous in-flight count.
+func (f *Frontend) pipeDispatch(req *proto.Request, _ *[]byte) *proto.Response {
+	ts := f.tier
+	var resp *proto.Response
+	switch {
+	case req.Op == proto.OpPing || req.Op == proto.OpStats || req.Op == proto.OpMembers:
+		resp = f.handle(req)
+	case f.gate.Admit():
+		if ts != nil {
+			ts.inflight.Add(1)
+		}
+		resp = f.handle(req)
+		if ts != nil {
+			ts.inflight.Add(-1)
+		}
+		f.gate.Release()
+	default:
+		f.shedTotal.Inc()
+		resp = &proto.Response{Status: proto.StatusBusy}
+	}
+	if ts != nil {
+		if n := ts.inflight.Load(); n > 0 {
+			resp.Load = uint32(n)
+		}
+		resp.LoadHinted = true
+	}
+	return resp
+}

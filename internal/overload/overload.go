@@ -224,6 +224,11 @@ type Gate struct {
 	bucket *TokenBucket
 	sem    *Semaphore
 	conns  atomic.Int64
+	// frames counts admitted requests currently in flight. Tracked
+	// per-frame (not per-conn slot) so the count stays meaningful on
+	// pipelined connections, where one conn dispatches many requests
+	// concurrently — and regardless of whether MaxInflight is set.
+	frames atomic.Int64
 }
 
 // NewGate builds a Gate from lim, or returns nil when lim is all-zero.
@@ -274,6 +279,7 @@ func (g *Gate) Admit() bool {
 	if !g.sem.TryAcquire(g.lim.AdmissionWait) {
 		return false
 	}
+	g.frames.Add(1)
 	return true
 }
 
@@ -282,15 +288,17 @@ func (g *Gate) Release() {
 	if g == nil {
 		return
 	}
+	g.frames.Add(-1)
 	g.sem.Release()
 }
 
-// Inflight returns the number of currently admitted requests.
+// Inflight returns the number of currently admitted requests (frames,
+// not connections — on a pipelined conn each in-flight frame counts).
 func (g *Gate) Inflight() int {
 	if g == nil {
 		return 0
 	}
-	return g.sem.Inflight()
+	return int(g.frames.Load())
 }
 
 // RetryBudget caps retries as a fraction of successful work. Each retry

@@ -209,3 +209,27 @@ func TestLimitsWithDefaults(t *testing.T) {
 		t.Fatalf("negative AdmissionWait resolved to %v, want 0", w)
 	}
 }
+
+// TestGateInflightPerFrame: the in-flight count is per admitted frame,
+// and is tracked even when no MaxInflight semaphore is configured —
+// pipelined connections report occupancy through exactly this.
+func TestGateInflightPerFrame(t *testing.T) {
+	g := NewGate(Limits{RateLimit: 1e9, RateBurst: 1e9})
+	if g == nil {
+		t.Fatal("rate-limited gate should be non-nil")
+	}
+	for i := 0; i < 5; i++ {
+		if !g.Admit() {
+			t.Fatalf("admit %d refused", i)
+		}
+	}
+	if got := g.Inflight(); got != 5 {
+		t.Fatalf("Inflight = %d, want 5 (per-frame accounting without MaxInflight)", got)
+	}
+	for i := 0; i < 5; i++ {
+		g.Release()
+	}
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("Inflight after release = %d", got)
+	}
+}

@@ -23,6 +23,9 @@ func FuzzReadRequest(f *testing.F) {
 		mustReq(&Request{Op: OpDel, Key: "key", Epoch: 1, Ver: 42}),
 		mustReq(&Request{Op: OpScan, ScanCursor: 1, ScanLimit: 8, ScanTombs: true, ScanDigest: true}),
 		mustReq(&Request{Op: OpGetV, Key: "k"}),
+		mustReq(&Request{Op: OpGet, Key: "k", Corr: 1}),
+		mustReq(&Request{Op: OpSet, Key: "key", Value: []byte("v"), Epoch: 3, Ver: 9, Corr: 1 << 40}),
+		mustReq(&Request{Op: OpMGet, Keys: []string{"a", "b"}, Corr: 7}),
 		{0xff, 0xff, 0xff, 0xff, 1, 2, 3},
 	}
 	for _, s := range seed {
@@ -45,7 +48,8 @@ func FuzzReadRequest(f *testing.F) {
 		if back.Op != req.Op || back.Key != req.Key || !bytes.Equal(back.Value, req.Value) ||
 			back.Epoch != req.Epoch || back.EpochGuard != req.EpochGuard ||
 			back.Ver != req.Ver || back.ScanTombs != req.ScanTombs || back.ScanDigest != req.ScanDigest ||
-			back.ScanCursor != req.ScanCursor || back.ScanLimit != req.ScanLimit {
+			back.ScanCursor != req.ScanCursor || back.ScanLimit != req.ScanLimit ||
+			back.Corr != req.Corr {
 			t.Fatalf("round trip changed the message: %+v vs %+v", req, back)
 		}
 	})
@@ -99,6 +103,8 @@ func FuzzReadResponse(f *testing.F) {
 		mustResp(&Response{Status: StatusOK, Payload: []byte("v")}),
 		mustResp(&Response{Status: StatusNotFound}),
 		mustResp(&Response{Status: StatusError, Payload: []byte("boom")}),
+		mustResp(&Response{Status: StatusOK, Payload: []byte("v"), Corr: 3}),
+		mustResp(&Response{Status: StatusBusy, Load: 9, LoadHinted: true, Corr: 1 << 62}),
 		{0, 0, 0, 5, 77, 0, 0, 0, 0},
 	}
 	for _, s := range seed {
@@ -117,7 +123,8 @@ func FuzzReadResponse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encoded response fails to decode: %v", err)
 		}
-		if back.Status != resp.Status || !bytes.Equal(back.Payload, resp.Payload) {
+		if back.Status != resp.Status || !bytes.Equal(back.Payload, resp.Payload) ||
+			back.Load != resp.Load || back.LoadHinted != resp.LoadHinted || back.Corr != resp.Corr {
 			t.Fatalf("round trip changed the message: %+v vs %+v", resp, back)
 		}
 	})

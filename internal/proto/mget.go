@@ -32,8 +32,16 @@ type MGetResult struct {
 	Value []byte
 }
 
-// AppendMGetRequest encodes a batch-read request.
+// AppendMGetRequest encodes a batch-read request (lockstep form; the
+// pipelined path goes through AppendRequest, which threads the
+// correlation ID).
 func AppendMGetRequest(dst []byte, keys []string) ([]byte, error) {
+	return appendMGetRequestCorr(dst, keys, 0)
+}
+
+// appendMGetRequestCorr encodes a batch-read request, appending the
+// correlation extension when corr is non-zero.
+func appendMGetRequestCorr(dst []byte, keys []string, corr uint64) ([]byte, error) {
 	if len(keys) == 0 || len(keys) > MaxBatchKeys {
 		return dst, fmt.Errorf("%w: %d keys in batch (limit %d)", ErrMalformed, len(keys), MaxBatchKeys)
 	}
@@ -44,6 +52,9 @@ func AppendMGetRequest(dst []byte, keys []string) ([]byte, error) {
 		}
 		body += 2 + len(k)
 	}
+	if corr != 0 {
+		body += corrExtLen(corr)
+	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
 	dst = append(dst, byte(OpMGet))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(keys)))
@@ -51,36 +62,48 @@ func AppendMGetRequest(dst []byte, keys []string) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(k)))
 		dst = append(dst, k...)
 	}
+	if corr != 0 {
+		dst = appendCorrExt(dst, corr)
+	}
 	return dst, nil
 }
 
-// parseMGetBody decodes the post-op portion of an OpMGet request body.
-func parseMGetBody(body []byte) ([]string, error) {
+// parseMGetBody decodes the post-op portion of an OpMGet request body:
+// the keys, then an optional trailing correlation extension.
+func parseMGetBody(body []byte) ([]string, uint64, error) {
 	if len(body) < 2 {
-		return nil, fmt.Errorf("%w: truncated batch count", ErrMalformed)
+		return nil, 0, fmt.Errorf("%w: truncated batch count", ErrMalformed)
 	}
 	count := int(binary.BigEndian.Uint16(body))
 	body = body[2:]
 	if count == 0 || count > MaxBatchKeys {
-		return nil, fmt.Errorf("%w: batch of %d keys", ErrMalformed, count)
+		return nil, 0, fmt.Errorf("%w: batch of %d keys", ErrMalformed, count)
 	}
 	keys := make([]string, 0, count)
 	for i := 0; i < count; i++ {
 		if len(body) < 2 {
-			return nil, fmt.Errorf("%w: truncated key %d length", ErrMalformed, i)
+			return nil, 0, fmt.Errorf("%w: truncated key %d length", ErrMalformed, i)
 		}
 		klen := int(binary.BigEndian.Uint16(body))
 		body = body[2:]
 		if klen > MaxKeyLen || len(body) < klen {
-			return nil, fmt.Errorf("%w: key %d length %d vs body %d", ErrMalformed, i, klen, len(body))
+			return nil, 0, fmt.Errorf("%w: key %d length %d vs body %d", ErrMalformed, i, klen, len(body))
 		}
 		keys = append(keys, string(body[:klen]))
 		body = body[klen:]
 	}
-	if len(body) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrMalformed, len(body))
+	var corr uint64
+	if len(body) > 0 && body[0] == extCorrTag {
+		var err error
+		corr, body, err = parseCorrExt(body[1:])
+		if err != nil {
+			return nil, 0, err
+		}
 	}
-	return keys, nil
+	if len(body) != 0 {
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes after batch", ErrMalformed, len(body))
+	}
+	return keys, corr, nil
 }
 
 // EncodeMGetPayload packs per-key results into a response payload.

@@ -54,6 +54,57 @@ func (fb *frameBuf) release() {
 	bufPool.Put(fb)
 }
 
+// Frame is one encoded wire frame in a pooled buffer whose ownership
+// HAS escaped the encoding function — the one sanctioned exception to
+// the ownership rule above, for pipelined flushers that coalesce many
+// frames into a single writev. The contract moves with the value:
+// exactly one goroutine owns a Frame at a time, Bytes must not be
+// retained after Release, and Release must be called exactly once.
+type Frame struct {
+	fb *frameBuf
+}
+
+// NewRequestFrame encodes req into a pooled frame (prefix included).
+func NewRequestFrame(req *Request) (Frame, error) {
+	fb := getBuf()
+	buf, err := AppendRequest(fb.b, req)
+	fb.b = buf
+	if err != nil {
+		fb.release()
+		return Frame{}, err
+	}
+	return Frame{fb: fb}, nil
+}
+
+// NewResponseFrame encodes resp into a pooled frame (prefix included).
+func NewResponseFrame(resp *Response) (Frame, error) {
+	fb := getBuf()
+	buf, err := AppendResponse(fb.b, resp)
+	fb.b = buf
+	if err != nil {
+		fb.release()
+		return Frame{}, err
+	}
+	return Frame{fb: fb}, nil
+}
+
+// Bytes returns the encoded frame (length prefix plus body). Valid only
+// until Release.
+func (f Frame) Bytes() []byte {
+	if f.fb == nil {
+		return nil
+	}
+	return f.fb.b
+}
+
+// Release returns the buffer to the pool. The Frame must not be used
+// afterwards.
+func (f Frame) Release() {
+	if f.fb != nil {
+		f.fb.release()
+	}
+}
+
 // grow ensures room for total bytes of content, preserving fb.b's
 // current contents. Growth doubles but never exceeds total, so a frame
 // that trickles in converges without over-reserving.

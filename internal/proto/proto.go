@@ -47,10 +47,26 @@
 // every pre-extension frame stays byte-identical and old peers are
 // unaffected unless they talk to a hinting frontend.
 //
-// The protocol is deliberately minimal: no pipelining metadata, no
-// versioning negotiation — one request, one response, in order, per
-// connection. Frames are bounded (MaxKeyLen, MaxValueLen) so a malicious
-// peer cannot make a server allocate unbounded memory.
+// Requests and responses may both carry a correlation-ID extension,
+// which is what turns the lockstep protocol into a pipelined one:
+//
+//	byte    0xE4 (correlation tag)
+//	uvarint correlation ID (non-zero)
+//
+// A client that pipelines stamps every request with a connection-unique
+// non-zero ID and may have many frames in flight; the server echoes the
+// ID on the matching response, which may be written out of order. ID 0
+// encodes as no extension at all, so a non-pipelining client's frames
+// are byte-identical to the pre-extension format and the exchange stays
+// strict lockstep: one request, one response, in order. Servers treat
+// the first correlated frame on a connection as the upgrade signal;
+// peers that predate the extension reject the unknown tag as malformed,
+// so a pipelining client talking to an old server fails loudly on the
+// first frame instead of desynchronizing mid-stream.
+//
+// There is still no versioning negotiation. Frames are bounded
+// (MaxKeyLen, MaxValueLen) so a malicious peer cannot make a server
+// allocate unbounded memory.
 package proto
 
 import (
@@ -58,6 +74,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Op identifies a request operation.
@@ -250,6 +267,44 @@ const (
 	extVerLen = 9
 )
 
+// Correlation extension encoding: tag byte, uvarint correlation ID.
+// Valid on every request op (including OpMGet) and on responses. ID 0
+// encodes as no extension — the legacy lockstep exchange — so only
+// pipelined peers ever emit the tag. See the package comment for the
+// pipelining contract.
+const extCorrTag = 0xE4
+
+// corrExtLen returns the encoded size of the correlation extension for
+// a given ID (tag byte plus uvarint).
+func corrExtLen(corr uint64) int {
+	n := 1
+	for {
+		n++
+		corr >>= 7
+		if corr == 0 {
+			return n
+		}
+	}
+}
+
+// appendCorrExt appends the correlation extension block.
+func appendCorrExt(dst []byte, corr uint64) []byte {
+	dst = append(dst, extCorrTag)
+	return binary.AppendUvarint(dst, corr)
+}
+
+// parseCorrExt decodes the uvarint after an extCorrTag byte, returning
+// the ID and the remaining body. A zero or unparseable ID is malformed:
+// zero must encode as no extension, so an explicit zero is a confused
+// (or hostile) peer.
+func parseCorrExt(body []byte) (uint64, []byte, error) {
+	corr, n := binary.Uvarint(body)
+	if n <= 0 || corr == 0 {
+		return 0, nil, fmt.Errorf("%w: bad correlation extension", ErrMalformed)
+	}
+	return corr, body[n:], nil
+}
+
 // Request is a client -> server message. Key/Value apply to the
 // single-key ops; Keys applies to OpMGet; ScanCursor/ScanLimit apply to
 // OpScan.
@@ -295,6 +350,12 @@ type Request struct {
 	// ScanDigest replaces value bytes with 64-bit content hashes in an
 	// OpScan page.
 	ScanDigest bool
+
+	// Corr is the request's correlation ID (0 = lockstep, encoded as no
+	// extension). A pipelining client assigns a connection-unique
+	// non-zero ID per in-flight frame; the server echoes it on the
+	// response so out-of-order completions can be matched.
+	Corr uint64
 }
 
 // hasEpochExt reports whether the request carries the epoch extension.
@@ -319,6 +380,12 @@ type Response struct {
 	// the load-hint extension. A zero Load with LoadHinted set is still
 	// encoded — "idle" is a meaningful hint.
 	LoadHinted bool
+
+	// Corr echoes the matched request's correlation ID (0 = lockstep,
+	// encoded as no extension). Pipelined clients use it to pair a
+	// response with its request; anything unknown is a protocol
+	// violation that tears the connection down.
+	Corr uint64
 }
 
 // Err returns the response's error: ErrBusy for StatusBusy, ErrConflict
@@ -346,7 +413,7 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 		if req.hasEpochExt() {
 			return dst, fmt.Errorf("%w: batch requests cannot carry an epoch extension", ErrMalformed)
 		}
-		return AppendMGetRequest(dst, req.Keys)
+		return appendMGetRequestCorr(dst, req.Keys, req.Corr)
 	}
 	if len(req.Key) > MaxKeyLen {
 		return dst, fmt.Errorf("%w: key length %d", ErrFrameTooLarge, len(req.Key))
@@ -385,6 +452,9 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	if req.hasVerExt() {
 		body += extVerLen
 	}
+	if req.Corr != 0 {
+		body += corrExtLen(req.Corr)
+	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
 	dst = append(dst, byte(req.Op))
 	if req.Op.hasKey() {
@@ -421,6 +491,9 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 		dst = append(dst, extVerTag)
 		dst = binary.BigEndian.AppendUint64(dst, req.Ver)
 	}
+	if req.Corr != 0 {
+		dst = appendCorrExt(dst, req.Corr)
+	}
 	return dst, nil
 }
 
@@ -437,6 +510,39 @@ func WriteRequest(w io.Writer, req *Request) error {
 	return err
 }
 
+// reqPool and respPool recycle decoded message structs on the serving
+// hot path: one struct allocation per message read is measurable at
+// pipelined throughputs. Only the struct shell is pooled — key,
+// value, and payload backing storage is always freshly allocated by
+// the readers (stores and callers retain those slices), so releasing
+// a message never invalidates data previously extracted from it.
+var (
+	reqPool  = sync.Pool{New: func() interface{} { return new(Request) }}
+	respPool = sync.Pool{New: func() interface{} { return new(Response) }}
+)
+
+// AcquireRequest returns a zeroed Request from the pool. Callers on
+// hot paths pair it with ReleaseRequest once the request has been
+// encoded and answered; everyone else can keep building requests with
+// composite literals.
+func AcquireRequest() *Request { return reqPool.Get().(*Request) }
+
+// ReleaseRequest recycles req's struct for a future ReadRequest or
+// AcquireRequest. The caller must be done with the struct itself;
+// strings and slices read out of it earlier remain valid. Optional —
+// an unreleased request is ordinary garbage.
+func ReleaseRequest(req *Request) {
+	*req = Request{}
+	reqPool.Put(req)
+}
+
+// ReleaseResponse recycles resp's struct for a future ReadResponse;
+// same contract as ReleaseRequest.
+func ReleaseResponse(resp *Response) {
+	*resp = Response{}
+	respPool.Put(resp)
+}
+
 // ReadRequest reads one framed request from r.
 func ReadRequest(r io.Reader) (*Request, error) {
 	fb, err := readFrame(r)
@@ -450,17 +556,19 @@ func ReadRequest(r io.Reader) (*Request, error) {
 	if len(body) < 1 {
 		return nil, fmt.Errorf("%w: empty body", ErrMalformed)
 	}
-	req := &Request{Op: Op(body[0])}
+	req := reqPool.Get().(*Request)
+	req.Op = Op(body[0])
 	body = body[1:]
 	if !req.Op.valid() {
 		return nil, fmt.Errorf("%w: bad op %d", ErrMalformed, req.Op)
 	}
 	if req.Op == OpMGet {
-		keys, err := parseMGetBody(body)
+		keys, corr, err := parseMGetBody(body)
 		if err != nil {
 			return nil, err
 		}
 		req.Keys = keys
+		req.Corr = corr
 		return req, nil
 	}
 	if req.Op.hasKey() {
@@ -535,6 +643,15 @@ func ReadRequest(r io.Reader) (*Request, error) {
 			sawVer = true
 			req.Ver = binary.BigEndian.Uint64(body[1:])
 			body = body[extVerLen:]
+		case extCorrTag:
+			if req.Corr != 0 {
+				return nil, fmt.Errorf("%w: duplicate correlation extension", ErrMalformed)
+			}
+			var err error
+			req.Corr, body, err = parseCorrExt(body[1:])
+			if err != nil {
+				return nil, err
+			}
 		default:
 			return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(body))
 		}
@@ -610,6 +727,9 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 	if resp.LoadHinted {
 		body += extLoadLen
 	}
+	if resp.Corr != 0 {
+		body += corrExtLen(resp.Corr)
+	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
 	dst = append(dst, byte(resp.Status))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Payload)))
@@ -617,6 +737,9 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 	if resp.LoadHinted {
 		dst = append(dst, extLoadTag)
 		dst = binary.BigEndian.AppendUint32(dst, resp.Load)
+	}
+	if resp.Corr != 0 {
+		dst = appendCorrExt(dst, resp.Corr)
 	}
 	return dst, nil
 }
@@ -646,7 +769,8 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	if len(body) < 5 {
 		return nil, fmt.Errorf("%w: response body %d bytes", ErrMalformed, len(body))
 	}
-	resp := &Response{Status: Status(body[0])}
+	resp := respPool.Get().(*Response)
+	resp.Status = Status(body[0])
 	if !resp.Status.valid() {
 		return nil, fmt.Errorf("%w: bad status %d", ErrMalformed, resp.Status)
 	}
@@ -668,6 +792,15 @@ func ReadResponse(r io.Reader) (*Response, error) {
 			resp.LoadHinted = true
 			resp.Load = binary.BigEndian.Uint32(body[1:])
 			body = body[extLoadLen:]
+		case extCorrTag:
+			if resp.Corr != 0 {
+				return nil, fmt.Errorf("%w: duplicate correlation extension", ErrMalformed)
+			}
+			var err error
+			resp.Corr, body, err = parseCorrExt(body[1:])
+			if err != nil {
+				return nil, err
+			}
 		default:
 			return nil, fmt.Errorf("%w: %d trailing response bytes", ErrMalformed, len(body))
 		}
